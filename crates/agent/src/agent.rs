@@ -1,0 +1,957 @@
+//! The FlexRAN agent.
+//!
+//! One agent sits on each eNodeB (paper Fig. 2). It owns the data plane,
+//! hosts the eNodeB control modules with their VSF caches, runs the
+//! message handler & dispatcher for the FlexRAN protocol, and the
+//! Reports & Events manager. Control can be local (delegated VSFs),
+//! remote (the master's centralized applications pushing commands), or a
+//! mix — switchable at runtime through VSF updation + policy
+//! reconfiguration without service interruption (§5.4).
+//!
+//! Each TTI runs in two phases, mirroring the data plane's pipeline:
+//!
+//! * [`FlexranAgent::phase_a`] — data-plane bookkeeping, then protocol
+//!   intake (commands, delegation, subscriptions), then *local* VSF
+//!   scheduling for this subframe.
+//! * [`FlexranAgent::phase_b`] — the subframe commits; events, sync
+//!   triggers and due statistics reports go out to the master.
+//!
+//! The split exists so a multi-cell harness can determine the
+//! interference coupling (which cells transmit) between the two phases.
+
+use flexran_proto::messages::delegation::{DelegationAck, VsfArtifact, VsfPush};
+use flexran_proto::messages::{
+    ConfigReply, EventNotification, FlexranMessage, Header, SubframeTrigger,
+};
+use flexran_proto::transport::Transport;
+use flexran_stack::enb::{Enb, PhyView};
+use flexran_stack::events::EnbEvent;
+use flexran_stack::mac::dci::{DlSchedulingDecision, UlSchedulingDecision};
+use flexran_types::ids::{CellId, Rnti};
+use flexran_types::time::Tti;
+use flexran_types::{FlexError, Result};
+
+/// A handover decision awaiting completion at the target side (the
+/// harness or an X2-equivalent moves the UE context).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HandoverRequest {
+    pub cell: CellId,
+    pub rnti: Rnti,
+    /// Radio-site key chosen by a *local* handover VSF.
+    pub target_site: Option<u32>,
+    /// Target addressed explicitly by a master `HandoverCommand`.
+    pub target_enb: Option<u32>,
+    pub target_cell: Option<u16>,
+}
+
+use crate::cmi::{
+    MacControlModule, RrcControlModule, MAC_DL_SCHEDULER, MAC_UL_SCHEDULER, RRC_HANDOVER,
+};
+use crate::policy::PolicyDoc;
+use crate::reports::ReportsManager;
+use crate::vsf::{verify_push, VsfImpl, VsfRegistry};
+
+/// Agent configuration.
+#[derive(Debug, Clone)]
+pub struct AgentConfig {
+    /// Registry key of the downlink scheduler active at start
+    /// (`None` = no local DL scheduling until the master configures one).
+    pub initial_dl_scheduler: Option<String>,
+    pub initial_ul_scheduler: Option<String>,
+    /// Subframe-sync period in TTIs towards the master (0 = disabled;
+    /// the centralized-scheduling experiments run with 1).
+    pub sync_period: u64,
+    pub capabilities: Vec<String>,
+}
+
+impl Default for AgentConfig {
+    fn default() -> Self {
+        AgentConfig {
+            initial_dl_scheduler: Some("round-robin".into()),
+            initial_ul_scheduler: Some("ul-round-robin".into()),
+            sync_period: 0,
+            capabilities: vec!["dl_scheduling".into(), "vsf_dsl".into()],
+        }
+    }
+}
+
+/// Operational counters (observability and tests).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AgentCounters {
+    pub rx_messages: u64,
+    pub transport_errors: u64,
+    pub command_errors: u64,
+    pub pushes_accepted: u64,
+    pub pushes_rejected: u64,
+    pub policies_applied: u64,
+    pub policy_errors: u64,
+}
+
+/// The per-eNodeB FlexRAN agent.
+pub struct FlexranAgent<T: Transport> {
+    enb: Enb,
+    transport: T,
+    pub mac: MacControlModule,
+    pub rrc: RrcControlModule,
+    reports: ReportsManager,
+    registry: VsfRegistry,
+    config: AgentConfig,
+    counters: AgentCounters,
+    hello_sent: bool,
+    outbox_acks: Vec<DelegationAck>,
+    handover_requests: Vec<HandoverRequest>,
+}
+
+impl<T: Transport> FlexranAgent<T> {
+    /// Build an agent over a data plane and a transport to the master.
+    ///
+    /// All registry built-ins are preloaded into the module caches (the
+    /// "hardcoded policies" baseline of §4.3.1); new behaviour arrives
+    /// through VSF pushes.
+    pub fn new(enb: Enb, transport: T, registry: VsfRegistry, config: AgentConfig) -> Self {
+        let mut mac = MacControlModule::new();
+        let mut rrc = RrcControlModule::new();
+        for key in registry.keys() {
+            match registry.instantiate(key).expect("listed key") {
+                VsfImpl::DlScheduler(s) => mac.dl.insert(key, s),
+                VsfImpl::UlScheduler(s) => mac.ul.insert(key, s),
+                VsfImpl::Handover(h) => rrc.handover.insert(key, h),
+            }
+        }
+        if let Some(k) = &config.initial_dl_scheduler {
+            mac.dl
+                .activate(k)
+                .expect("initial DL scheduler in registry");
+        }
+        if let Some(k) = &config.initial_ul_scheduler {
+            mac.ul
+                .activate(k)
+                .expect("initial UL scheduler in registry");
+        }
+        FlexranAgent {
+            enb,
+            transport,
+            mac,
+            rrc,
+            reports: ReportsManager::new(),
+            registry,
+            config,
+            counters: AgentCounters::default(),
+            hello_sent: false,
+            outbox_acks: Vec::new(),
+            handover_requests: Vec::new(),
+        }
+    }
+
+    pub fn enb(&self) -> &Enb {
+        &self.enb
+    }
+
+    pub fn enb_mut(&mut self) -> &mut Enb {
+        &mut self.enb
+    }
+
+    pub fn transport(&self) -> &T {
+        &self.transport
+    }
+
+    pub fn counters(&self) -> AgentCounters {
+        self.counters
+    }
+
+    pub fn config(&self) -> &AgentConfig {
+        &self.config
+    }
+
+    /// Approximate heap footprint of the agent layer on top of the data
+    /// plane: the VSF caches, subscriptions and outboxes (the Fig. 6a
+    /// memory-overhead comparison).
+    pub fn heap_bytes(&self) -> usize {
+        self.enb.heap_bytes()
+            + (self.mac.dl.len() + self.mac.ul.len() + self.rrc.handover.len()) * 256
+            + self.reports.n_subscriptions() * 96
+            + self.outbox_acks.capacity() * std::mem::size_of::<DelegationAck>()
+            + self.handover_requests.capacity() * std::mem::size_of::<HandoverRequest>()
+    }
+
+    /// Handover decisions made since the last call (by the local RRC VSF
+    /// or by master commands). The harness (standing in for X2) completes
+    /// them at the target eNodeB.
+    pub fn take_handover_requests(&mut self) -> Vec<HandoverRequest> {
+        std::mem::take(&mut self.handover_requests)
+    }
+
+    /// Phase 1 of the TTI (see module docs).
+    pub fn phase_a(&mut self, tti: Tti, phy: &mut dyn PhyView) {
+        if !self.hello_sent {
+            let hello = FlexranMessage::Hello(flexran_proto::messages::Hello {
+                enb_id: self.enb.config().enb_id,
+                n_cells: self.enb.cell_ids().len() as u32,
+                capabilities: self.config.capabilities.clone(),
+            });
+            let _ = self.transport.send(Header::default(), &hello);
+            self.hello_sent = true;
+        }
+        self.enb.begin_tti(tti, phy);
+        // Protocol intake.
+        loop {
+            match self.transport.try_recv() {
+                Ok(Some((header, msg))) => {
+                    self.counters.rx_messages += 1;
+                    self.handle_message(header, msg, tti);
+                }
+                Ok(None) => break,
+                Err(_) => {
+                    self.counters.transport_errors += 1;
+                    break;
+                }
+            }
+        }
+        // Local scheduling through the active VSFs.
+        for cell in self.enb.cell_ids() {
+            if let Some(sched) = self.mac.dl.active_mut() {
+                if let Ok(input) = self.enb.dl_scheduler_input(cell, tti, tti) {
+                    let out = sched.schedule_dl(&input);
+                    if !out.dcis.is_empty() {
+                        let d = DlSchedulingDecision {
+                            cell,
+                            target: tti,
+                            dcis: out.dcis,
+                        };
+                        if self.enb.submit_dl_decision(d, tti).is_err() {
+                            self.counters.command_errors += 1;
+                        }
+                    }
+                }
+            }
+            if let Some(sched) = self.mac.ul.active_mut() {
+                if let Ok(input) = self.enb.ul_scheduler_input(cell, tti, tti) {
+                    let out = sched.schedule_ul(&input);
+                    if !out.grants.is_empty() {
+                        let d = UlSchedulingDecision {
+                            cell,
+                            target: tti,
+                            grants: out.grants,
+                        };
+                        if self.enb.submit_ul_decision(d, tti).is_err() {
+                            self.counters.command_errors += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Phase 2 of the TTI (see module docs). Returns the data-plane
+    /// events of this TTI (also forwarded to the master).
+    pub fn phase_b(&mut self, tti: Tti, phy: &mut dyn PhyView) -> Vec<EnbEvent> {
+        self.enb.finish_tti(tti, phy);
+        let events = self.enb.take_events();
+        let enb_id = self.enb.config().enb_id;
+        for ev in &events {
+            // Local handover policy reacts to measurement reports.
+            if let EnbEvent::MeasurementReport {
+                cell,
+                rnti,
+                serving_rsrp_dbm,
+                neighbours,
+                ..
+            } = ev
+            {
+                if let Some(policy) = self.rrc.handover.active_mut() {
+                    if let Some(target) = policy.on_measurement(*serving_rsrp_dbm, neighbours) {
+                        if self.enb.start_handover(*cell, *rnti, tti).is_ok() {
+                            self.handover_requests.push(HandoverRequest {
+                                cell: *cell,
+                                rnti: *rnti,
+                                target_site: Some(target),
+                                target_enb: None,
+                                target_cell: None,
+                            });
+                        }
+                    }
+                }
+            }
+            let note = EventNotification::from_enb_event(enb_id, ev);
+            let _ = self
+                .transport
+                .send(Header::default(), &FlexranMessage::EventNotification(note));
+        }
+        if self.config.sync_period > 0 && tti.0.is_multiple_of(self.config.sync_period) {
+            let sfnsf = tti.sfn_sf();
+            let _ = self.transport.send(
+                Header::default(),
+                &FlexranMessage::SubframeTrigger(SubframeTrigger {
+                    enb_id,
+                    sfn: sfnsf.sfn,
+                    sf: sfnsf.sf,
+                    tti: tti.0,
+                }),
+            );
+        }
+        for (xid, reply) in self.reports.due(tti, &self.enb) {
+            let _ = self
+                .transport
+                .send(Header::with_xid(xid), &FlexranMessage::StatsReply(reply));
+        }
+        for ack in std::mem::take(&mut self.outbox_acks) {
+            let _ = self.transport.send(
+                Header::with_xid(ack.xid),
+                &FlexranMessage::DelegationAck(ack),
+            );
+        }
+        events
+    }
+
+    /// Convenience for single-eNodeB scenarios: both phases back to back.
+    pub fn run_tti(&mut self, tti: Tti, phy: &mut dyn PhyView) -> Vec<EnbEvent> {
+        self.phase_a(tti, phy);
+        self.phase_b(tti, phy)
+    }
+
+    // ------------------------------------------------------------------
+    // Message handling (the dispatcher of paper Fig. 2)
+    // ------------------------------------------------------------------
+
+    fn handle_message(&mut self, header: Header, msg: FlexranMessage, tti: Tti) {
+        match msg {
+            FlexranMessage::EchoRequest(e) => {
+                let _ = self.transport.send(header, &FlexranMessage::EchoReply(e));
+            }
+            FlexranMessage::StatsRequest(req) => {
+                self.reports.register(header.xid, req.config);
+            }
+            FlexranMessage::ConfigRequest(_) => {
+                let mut reply = ConfigReply {
+                    enb_id: self.enb.config().enb_id,
+                    cells: Vec::new(),
+                    ues: Vec::new(),
+                };
+                for cell in self.enb.cell_ids() {
+                    if let Ok(cfg) = self.enb.cell_config(cell) {
+                        reply.cells.push(
+                            flexran_proto::messages::config::CellConfigPb::from_config(cfg),
+                        );
+                    }
+                    if let Ok(ues) = self.enb.ue_stats(cell) {
+                        for u in ues {
+                            reply.ues.push(flexran_proto::messages::config::UeConfigPb {
+                                rnti: u.rnti.0,
+                                pcell: cell.0,
+                                transmission_mode: 1,
+                                slice: u.slice.0,
+                                ue_category: 4,
+                            });
+                        }
+                    }
+                }
+                let _ = self
+                    .transport
+                    .send(header, &FlexranMessage::ConfigReply(reply));
+            }
+            FlexranMessage::DlSchedulingCommand(cmd) => {
+                if self.enb.submit_dl_decision(cmd.to_decision(), tti).is_err() {
+                    self.counters.command_errors += 1;
+                }
+            }
+            FlexranMessage::UlSchedulingCommand(cmd) => {
+                if self.enb.submit_ul_decision(cmd.to_decision(), tti).is_err() {
+                    self.counters.command_errors += 1;
+                }
+            }
+            FlexranMessage::HandoverCommand(cmd) => {
+                if self
+                    .enb
+                    .start_handover(CellId(cmd.cell), Rnti(cmd.rnti), tti)
+                    .is_ok()
+                {
+                    self.handover_requests.push(HandoverRequest {
+                        cell: CellId(cmd.cell),
+                        rnti: Rnti(cmd.rnti),
+                        target_site: None,
+                        target_enb: Some(cmd.target_enb),
+                        target_cell: Some(cmd.target_cell),
+                    });
+                } else {
+                    self.counters.command_errors += 1;
+                }
+            }
+            FlexranMessage::DrxCommand(cmd) => {
+                if self
+                    .enb
+                    .set_drx(
+                        CellId(cmd.cell),
+                        Rnti(cmd.rnti),
+                        cmd.cycle_ttis as u64,
+                        cmd.on_duration_ttis as u64,
+                    )
+                    .is_err()
+                {
+                    self.counters.command_errors += 1;
+                }
+            }
+            FlexranMessage::ScellCommand(cmd) => {
+                if self
+                    .enb
+                    .set_scell(
+                        CellId(cmd.cell),
+                        Rnti(cmd.rnti),
+                        CellId(cmd.scell),
+                        cmd.activate,
+                    )
+                    .is_err()
+                {
+                    self.counters.command_errors += 1;
+                }
+            }
+            FlexranMessage::AbsCommand(cmd) => {
+                if self
+                    .enb
+                    .set_abs_pattern(CellId(cmd.cell), cmd.to_pattern())
+                    .is_err()
+                {
+                    self.counters.command_errors += 1;
+                }
+            }
+            FlexranMessage::VsfPush(push) => {
+                let result = self.install_vsf(&push);
+                match &result {
+                    Ok(()) => self.counters.pushes_accepted += 1,
+                    Err(_) => self.counters.pushes_rejected += 1,
+                }
+                self.outbox_acks.push(DelegationAck {
+                    xid: header.xid,
+                    ok: result.is_ok(),
+                    error: result.err().map(|e| e.to_string()).unwrap_or_default(),
+                });
+            }
+            FlexranMessage::PolicyReconfiguration(p) => {
+                let result = self.apply_policy(&p.yaml);
+                match &result {
+                    Ok(()) => self.counters.policies_applied += 1,
+                    Err(_) => self.counters.policy_errors += 1,
+                }
+                self.outbox_acks.push(DelegationAck {
+                    xid: header.xid,
+                    ok: result.is_ok(),
+                    error: result.err().map(|e| e.to_string()).unwrap_or_default(),
+                });
+            }
+            // Messages an agent never consumes.
+            FlexranMessage::Hello(_)
+            | FlexranMessage::EchoReply(_)
+            | FlexranMessage::ConfigReply(_)
+            | FlexranMessage::SubframeTrigger(_)
+            | FlexranMessage::StatsReply(_)
+            | FlexranMessage::EventNotification(_)
+            | FlexranMessage::DelegationAck(_) => {}
+        }
+    }
+
+    /// VSF updation: verify, build, cache.
+    fn install_vsf(&mut self, push: &VsfPush) -> Result<()> {
+        verify_push(push)?;
+        let imp = match &push.artifact {
+            VsfArtifact::Registry { key } => self.registry.instantiate(key)?,
+            VsfArtifact::Dsl { source } => match (push.module.as_str(), push.vsf.as_str()) {
+                ("mac", MAC_DL_SCHEDULER) => {
+                    VsfImpl::DlScheduler(Box::new(crate::dsl::DslScheduler::compile(source)?))
+                }
+                (m, v) => {
+                    return Err(FlexError::Delegation(format!(
+                        "DSL artifacts are only supported for mac/{MAC_DL_SCHEDULER}, not {m}/{v}"
+                    )))
+                }
+            },
+        };
+        match (push.module.as_str(), push.vsf.as_str(), imp) {
+            ("mac", MAC_DL_SCHEDULER, VsfImpl::DlScheduler(s)) => {
+                self.mac.dl.insert(&push.name, s);
+                Ok(())
+            }
+            ("mac", MAC_UL_SCHEDULER, VsfImpl::UlScheduler(s)) => {
+                self.mac.ul.insert(&push.name, s);
+                Ok(())
+            }
+            ("rrc", RRC_HANDOVER, VsfImpl::Handover(h)) => {
+                self.rrc.handover.insert(&push.name, h);
+                Ok(())
+            }
+            (m, v, imp) => Err(FlexError::Delegation(format!(
+                "artifact of kind '{}' does not fit slot {m}/{v}",
+                imp.kind()
+            ))),
+        }
+    }
+
+    /// Policy reconfiguration: behaviour swaps and parameter updates.
+    fn apply_policy(&mut self, yaml: &str) -> Result<()> {
+        let doc = PolicyDoc::parse(yaml)?;
+        for module in &doc.modules {
+            match module.module.as_str() {
+                "mac" => {
+                    for vsf in &module.vsfs {
+                        match vsf.vsf.as_str() {
+                            MAC_DL_SCHEDULER => {
+                                if let Some(b) = &vsf.behavior {
+                                    self.mac.dl.activate(b)?;
+                                }
+                                if !vsf.parameters.is_empty() {
+                                    let target = self.mac.dl.active_mut().ok_or_else(|| {
+                                        FlexError::Policy(
+                                            "parameters given but no active DL scheduler".into(),
+                                        )
+                                    })?;
+                                    for (k, v) in &vsf.parameters {
+                                        target.set_param(k, v.clone())?;
+                                    }
+                                }
+                            }
+                            MAC_UL_SCHEDULER => {
+                                if let Some(b) = &vsf.behavior {
+                                    self.mac.ul.activate(b)?;
+                                }
+                                if !vsf.parameters.is_empty() {
+                                    return Err(FlexError::Policy(
+                                        "UL scheduler exposes no parameters".into(),
+                                    ));
+                                }
+                            }
+                            other => {
+                                return Err(FlexError::Policy(format!(
+                                    "mac module has no VSF '{other}'"
+                                )))
+                            }
+                        }
+                    }
+                }
+                "rrc" => {
+                    for vsf in &module.vsfs {
+                        if vsf.vsf != RRC_HANDOVER {
+                            return Err(FlexError::Policy(format!(
+                                "rrc module has no VSF '{}'",
+                                vsf.vsf
+                            )));
+                        }
+                        if let Some(b) = &vsf.behavior {
+                            self.rrc.handover.activate(b)?;
+                        }
+                        if !vsf.parameters.is_empty() {
+                            return Err(FlexError::Policy(
+                                "handover policy exposes no wire parameters".into(),
+                            ));
+                        }
+                    }
+                }
+                "agent" => {
+                    for vsf in &module.vsfs {
+                        if vsf.vsf != "sync" {
+                            return Err(FlexError::Policy(format!(
+                                "agent module has no VSF '{}'",
+                                vsf.vsf
+                            )));
+                        }
+                        for (k, v) in &vsf.parameters {
+                            match k.as_str() {
+                                "period" => {
+                                    self.config.sync_period =
+                                        v.as_i64()
+                                            .ok_or_else(|| {
+                                                FlexError::Policy("period must be integer".into())
+                                            })?
+                                            .max(0) as u64;
+                                }
+                                other => {
+                                    return Err(FlexError::Policy(format!(
+                                        "agent/sync has no parameter '{other}'"
+                                    )))
+                                }
+                            }
+                        }
+                    }
+                }
+                other => {
+                    return Err(FlexError::Policy(format!(
+                        "unknown control module '{other}'"
+                    )))
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vsf::sign_push;
+    use flexran_proto::messages::stats::{ReportConfig, ReportFlags, ReportType, StatsRequest};
+    use flexran_proto::messages::PolicyReconfiguration;
+    use flexran_proto::transport::{channel_pair, ChannelTransport};
+    use flexran_stack::enb::{EnbParams, StaticPhyView};
+    use flexran_types::config::EnbConfig;
+    use flexran_types::ids::{EnbId, SliceId, UeId};
+    use flexran_types::units::Bytes;
+
+    const CELL: CellId = CellId(0);
+
+    fn agent_and_master() -> (FlexranAgent<ChannelTransport>, ChannelTransport) {
+        let (a_side, m_side) = channel_pair();
+        let enb = Enb::new(EnbConfig::single_cell(EnbId(1)), EnbParams::default()).unwrap();
+        let agent = FlexranAgent::new(
+            enb,
+            a_side,
+            VsfRegistry::with_builtins(),
+            AgentConfig::default(),
+        );
+        (agent, m_side)
+    }
+
+    fn drain(master: &mut ChannelTransport) -> Vec<FlexranMessage> {
+        let mut out = Vec::new();
+        while let Ok(Some((_, m))) = master.try_recv() {
+            out.push(m);
+        }
+        out
+    }
+
+    #[test]
+    fn hello_sent_on_first_tti() {
+        let (mut agent, mut master) = agent_and_master();
+        let mut phy = StaticPhyView(20.0);
+        agent.run_tti(Tti(0), &mut phy);
+        let msgs = drain(&mut master);
+        assert!(matches!(msgs.first(), Some(FlexranMessage::Hello(h)) if h.enb_id == EnbId(1)));
+    }
+
+    #[test]
+    fn attach_and_traffic_via_local_vsf() {
+        let (mut agent, mut master) = agent_and_master();
+        let mut phy = StaticPhyView(20.0);
+        let rnti = agent
+            .enb_mut()
+            .rach(CELL, UeId(1), SliceId::MNO, 0, Tti(0))
+            .unwrap();
+        let mut attached = false;
+        for t in 0..80 {
+            for ev in agent.run_tti(Tti(t), &mut phy) {
+                if matches!(ev, EnbEvent::UeAttached { .. }) {
+                    attached = true;
+                }
+            }
+        }
+        assert!(attached);
+        // The attach event reached the master too.
+        let msgs = drain(&mut master);
+        assert!(msgs.iter().any(|m| matches!(
+            m,
+            FlexranMessage::EventNotification(n)
+                if n.kind == flexran_proto::messages::events::EventKind::UeAttached
+        )));
+        agent
+            .enb_mut()
+            .inject_dl_traffic(CELL, rnti, Bytes(50_000), Tti(80))
+            .unwrap();
+        for t in 80..300 {
+            agent.run_tti(Tti(t), &mut phy);
+        }
+        let stats = agent.enb().ue_stat(CELL, rnti).unwrap();
+        assert!(stats.dl_delivered_bits >= 50_000 * 8);
+    }
+
+    #[test]
+    fn periodic_stats_subscription_flows() {
+        let (mut agent, mut master) = agent_and_master();
+        let mut phy = StaticPhyView(20.0);
+        master
+            .send(
+                Header::with_xid(42),
+                &FlexranMessage::StatsRequest(StatsRequest {
+                    config: ReportConfig {
+                        report_type: ReportType::Periodic { period: 10 },
+                        flags: ReportFlags::ALL,
+                    },
+                }),
+            )
+            .unwrap();
+        for t in 0..35 {
+            agent.run_tti(Tti(t), &mut phy);
+        }
+        let replies = drain(&mut master)
+            .into_iter()
+            .filter(|m| matches!(m, FlexranMessage::StatsReply(_)))
+            .count();
+        assert_eq!(replies, 4, "t=0,10,20,30");
+    }
+
+    #[test]
+    fn sync_trigger_follows_policy() {
+        let (mut agent, mut master) = agent_and_master();
+        let mut phy = StaticPhyView(20.0);
+        master
+            .send(
+                Header::with_xid(1),
+                &FlexranMessage::PolicyReconfiguration(PolicyReconfiguration {
+                    yaml: "agent:\n  sync:\n    parameters:\n      period: 1\n".into(),
+                }),
+            )
+            .unwrap();
+        for t in 0..10 {
+            agent.run_tti(Tti(t), &mut phy);
+        }
+        let msgs = drain(&mut master);
+        let syncs = msgs
+            .iter()
+            .filter(|m| matches!(m, FlexranMessage::SubframeTrigger(_)))
+            .count();
+        // Policy applied at t=0 → sync from t=0 or t=1 onwards.
+        assert!(syncs >= 9, "got {syncs} sync triggers");
+        assert!(msgs.iter().any(|m| matches!(
+            m,
+            FlexranMessage::DelegationAck(a) if a.ok && a.xid == 1
+        )));
+    }
+
+    #[test]
+    fn remote_scheduling_via_commands() {
+        let (mut agent, mut master) = agent_and_master();
+        let mut phy = StaticPhyView(20.0);
+        let rnti = agent
+            .enb_mut()
+            .rach(CELL, UeId(1), SliceId::MNO, 0, Tti(0))
+            .unwrap();
+        // Attach locally first.
+        for t in 0..80 {
+            agent.run_tti(Tti(t), &mut phy);
+        }
+        // Switch to the remote stub: local VSF goes silent.
+        master
+            .send(
+                Header::with_xid(2),
+                &FlexranMessage::PolicyReconfiguration(PolicyReconfiguration {
+                    yaml: "mac:\n  dl_ue_scheduler:\n    behavior: remote-stub\n".into(),
+                }),
+            )
+            .unwrap();
+        agent
+            .enb_mut()
+            .inject_dl_traffic(CELL, rnti, Bytes(20_000), Tti(80))
+            .unwrap();
+        // A few TTIs with no remote commands: queue must not drain.
+        for t in 80..90 {
+            agent.run_tti(Tti(t), &mut phy);
+        }
+        let before = agent.enb().ue_stat(CELL, rnti).unwrap().dl_delivered_bits;
+        // Now the master schedules remotely for specific subframes.
+        for t in 90..140u64 {
+            let cmd = flexran_proto::messages::DlSchedulingCommand {
+                enb_id: EnbId(1),
+                cell: 0,
+                target_tti: t,
+                dcis: vec![flexran_proto::messages::commands::DciPb {
+                    rnti: rnti.0,
+                    n_prb: 50,
+                    mcs: 15,
+                    ..Default::default()
+                }],
+            };
+            master
+                .send(Header::default(), &FlexranMessage::DlSchedulingCommand(cmd))
+                .unwrap();
+            agent.run_tti(Tti(t), &mut phy);
+        }
+        let after = agent.enb().ue_stat(CELL, rnti).unwrap().dl_delivered_bits;
+        assert!(after > before, "remote decisions must move data");
+        assert_eq!(agent.counters().transport_errors, 0);
+    }
+
+    #[test]
+    fn vsf_push_dsl_and_activate() {
+        let (mut agent, mut master) = agent_and_master();
+        let mut phy = StaticPhyView(20.0);
+        let mut push = VsfPush {
+            module: "mac".into(),
+            vsf: MAC_DL_SCHEDULER.into(),
+            name: "cqi-gate".into(),
+            artifact: VsfArtifact::Dsl {
+                source: "priority = step(cqi - 9)\n".into(),
+            },
+            signature: vec![],
+        };
+        sign_push(&mut push);
+        master
+            .send(Header::with_xid(7), &FlexranMessage::VsfPush(push))
+            .unwrap();
+        master
+            .send(
+                Header::with_xid(8),
+                &FlexranMessage::PolicyReconfiguration(PolicyReconfiguration {
+                    yaml: "mac:\n  dl_ue_scheduler:\n    behavior: cqi-gate\n".into(),
+                }),
+            )
+            .unwrap();
+        agent.run_tti(Tti(0), &mut phy);
+        assert_eq!(agent.mac.dl.active_name(), Some("cqi-gate"));
+        assert_eq!(agent.counters().pushes_accepted, 1);
+        let acks: Vec<_> = drain(&mut master)
+            .into_iter()
+            .filter_map(|m| match m {
+                FlexranMessage::DelegationAck(a) => Some(a),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(acks.len(), 2);
+        assert!(acks.iter().all(|a| a.ok));
+    }
+
+    #[test]
+    fn tampered_push_rejected() {
+        let (mut agent, mut master) = agent_and_master();
+        let mut phy = StaticPhyView(20.0);
+        let mut push = VsfPush {
+            module: "mac".into(),
+            vsf: MAC_DL_SCHEDULER.into(),
+            name: "evil".into(),
+            artifact: VsfArtifact::Registry {
+                key: "max-cqi".into(),
+            },
+            signature: vec![],
+        };
+        sign_push(&mut push);
+        push.artifact = VsfArtifact::Registry {
+            key: "round-robin".into(),
+        }; // tamper after signing
+        master
+            .send(Header::with_xid(9), &FlexranMessage::VsfPush(push))
+            .unwrap();
+        agent.run_tti(Tti(0), &mut phy);
+        assert_eq!(agent.counters().pushes_rejected, 1);
+        assert!(!agent.mac.dl.names().contains(&"evil"));
+        let acks: Vec<_> = drain(&mut master)
+            .into_iter()
+            .filter_map(|m| match m {
+                FlexranMessage::DelegationAck(a) => Some(a),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(acks.len(), 1);
+        assert!(!acks[0].ok);
+        assert!(acks[0].error.contains("signature"));
+    }
+
+    #[test]
+    fn bad_policy_is_acked_with_error() {
+        let (mut agent, mut master) = agent_and_master();
+        let mut phy = StaticPhyView(20.0);
+        master
+            .send(
+                Header::with_xid(3),
+                &FlexranMessage::PolicyReconfiguration(PolicyReconfiguration {
+                    yaml: "mac:\n  dl_ue_scheduler:\n    behavior: not-cached\n".into(),
+                }),
+            )
+            .unwrap();
+        agent.run_tti(Tti(0), &mut phy);
+        assert_eq!(agent.counters().policy_errors, 1);
+        // The previous scheduler stays active.
+        assert_eq!(agent.mac.dl.active_name(), Some("round-robin"));
+        drain(&mut master);
+    }
+
+    #[test]
+    fn scell_command_over_the_wire() {
+        let (a_side, m_side) = channel_pair();
+        let mut cfg = EnbConfig::single_cell(EnbId(1));
+        cfg.cells
+            .push(flexran_types::config::CellConfig::paper_default(CellId(1)));
+        let enb = Enb::new(cfg, EnbParams::default()).unwrap();
+        let mut agent = FlexranAgent::new(
+            enb,
+            a_side,
+            VsfRegistry::with_builtins(),
+            AgentConfig::default(),
+        );
+        let mut master = m_side;
+        let mut phy = StaticPhyView(20.0);
+        let rnti = agent
+            .enb_mut()
+            .rach(CELL, UeId(1), SliceId::MNO, 0, Tti(0))
+            .unwrap();
+        master
+            .send(
+                Header::with_xid(1),
+                &FlexranMessage::ScellCommand(flexran_proto::messages::ScellCommand {
+                    cell: 0,
+                    rnti: rnti.0,
+                    scell: 1,
+                    activate: true,
+                }),
+            )
+            .unwrap();
+        agent.run_tti(Tti(0), &mut phy);
+        assert_eq!(
+            agent.enb().ue_stat(CELL, rnti).unwrap().active_scells,
+            vec![1]
+        );
+        // Deactivation and an invalid scell.
+        master
+            .send(
+                Header::with_xid(2),
+                &FlexranMessage::ScellCommand(flexran_proto::messages::ScellCommand {
+                    cell: 0,
+                    rnti: rnti.0,
+                    scell: 1,
+                    activate: false,
+                }),
+            )
+            .unwrap();
+        master
+            .send(
+                Header::with_xid(3),
+                &FlexranMessage::ScellCommand(flexran_proto::messages::ScellCommand {
+                    cell: 0,
+                    rnti: rnti.0,
+                    scell: 9,
+                    activate: true,
+                }),
+            )
+            .unwrap();
+        agent.run_tti(Tti(1), &mut phy);
+        assert!(agent
+            .enb()
+            .ue_stat(CELL, rnti)
+            .unwrap()
+            .active_scells
+            .is_empty());
+        assert_eq!(agent.counters().command_errors, 1);
+    }
+
+    #[test]
+    fn echo_and_config_requests_answered() {
+        let (mut agent, mut master) = agent_and_master();
+        let mut phy = StaticPhyView(20.0);
+        master
+            .send(
+                Header::with_xid(5),
+                &FlexranMessage::EchoRequest(flexran_proto::messages::Echo {
+                    timestamp_us: 77,
+                    payload: vec![1],
+                }),
+            )
+            .unwrap();
+        master
+            .send(
+                Header::with_xid(6),
+                &FlexranMessage::ConfigRequest(flexran_proto::messages::ConfigRequest::default()),
+            )
+            .unwrap();
+        agent.run_tti(Tti(0), &mut phy);
+        let msgs = drain(&mut master);
+        assert!(msgs
+            .iter()
+            .any(|m| matches!(m, FlexranMessage::EchoReply(e) if e.timestamp_us == 77)));
+        assert!(msgs
+            .iter()
+            .any(|m| matches!(m, FlexranMessage::ConfigReply(c) if c.cells.len() == 1)));
+    }
+}

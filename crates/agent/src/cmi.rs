@@ -1,0 +1,170 @@
+//! Control Module Interfaces (CMIs) and the eNodeB control modules.
+//!
+//! Each control module mirrors one access-stratum protocol (paper §4.3.1:
+//! "FlexRAN adopts the same structure for the agent's control modules")
+//! and exposes a well-defined set of VSF slots. The CMI is what lets "the
+//! agent react to a specific event (e.g., time for downlink scheduling)
+//! without having to worry about the underlying implementation".
+//!
+//! * [`MacControlModule`] — downlink and uplink UE-scheduling VSFs (the
+//!   module the paper's prototype focused on).
+//! * [`RrcControlModule`] — the handover-policy VSF.
+//! * [`PdcpControlModule`] — placeholder slots kept for structural
+//!   completeness (no experiment exercises PDCP control).
+
+use flexran_stack::mac::scheduler::{DlScheduler, UlScheduler};
+
+use crate::vsf::VsfSlot;
+
+/// A local handover policy VSF: reacts to measurement reports.
+pub trait HandoverVsf: Send {
+    fn name(&self) -> &str;
+
+    /// Given a measurement report, decide whether to hand the UE over and
+    /// to which site.
+    fn on_measurement(&mut self, serving_rsrp_dbm: f64, neighbours: &[(u32, f64)]) -> Option<u32>;
+}
+
+/// The standard A3-event policy: hand over when a neighbour is better
+/// than serving by `hysteresis_db` for `time_to_trigger` consecutive
+/// reports.
+#[derive(Debug, Clone)]
+pub struct A3HandoverVsf {
+    pub hysteresis_db: f64,
+    pub time_to_trigger_reports: u32,
+    streak: u32,
+    candidate: Option<u32>,
+}
+
+impl Default for A3HandoverVsf {
+    fn default() -> Self {
+        A3HandoverVsf {
+            hysteresis_db: 3.0,
+            time_to_trigger_reports: 2,
+            streak: 0,
+            candidate: None,
+        }
+    }
+}
+
+impl HandoverVsf for A3HandoverVsf {
+    fn name(&self) -> &str {
+        "a3-handover"
+    }
+
+    fn on_measurement(&mut self, serving_rsrp_dbm: f64, neighbours: &[(u32, f64)]) -> Option<u32> {
+        let best = neighbours
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN RSRP"))?;
+        if best.1 > serving_rsrp_dbm + self.hysteresis_db {
+            if self.candidate == Some(best.0) {
+                self.streak += 1;
+            } else {
+                self.candidate = Some(best.0);
+                self.streak = 1;
+            }
+            if self.streak >= self.time_to_trigger_reports {
+                self.streak = 0;
+                return self.candidate.take();
+            }
+        } else {
+            self.streak = 0;
+            self.candidate = None;
+        }
+        None
+    }
+}
+
+/// VSF slot names of the MAC control module.
+pub const MAC_DL_SCHEDULER: &str = "dl_ue_scheduler";
+pub const MAC_UL_SCHEDULER: &str = "ul_ue_scheduler";
+/// VSF slot name of the RRC control module.
+pub const RRC_HANDOVER: &str = "handover_policy";
+
+/// The MAC/RLC control module.
+#[derive(Default)]
+pub struct MacControlModule {
+    pub dl: VsfSlot<dyn DlScheduler>,
+    pub ul: VsfSlot<dyn UlScheduler>,
+}
+
+impl MacControlModule {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// The RRC control module.
+#[derive(Default)]
+pub struct RrcControlModule {
+    pub handover: VsfSlot<dyn HandoverVsf>,
+}
+
+impl RrcControlModule {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// The PDCP control module (structural placeholder: the LTE PDCP control
+/// surface — ROHC profiles, integrity — is not exercised by any paper
+/// experiment; see DESIGN.md §7).
+#[derive(Default)]
+pub struct PdcpControlModule;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a3_triggers_after_ttt() {
+        let mut p = A3HandoverVsf {
+            hysteresis_db: 3.0,
+            time_to_trigger_reports: 2,
+            ..A3HandoverVsf::default()
+        };
+        // Neighbour only 1 dB better: never triggers.
+        assert_eq!(p.on_measurement(-90.0, &[(2, -89.0)]), None);
+        assert_eq!(p.on_measurement(-90.0, &[(2, -89.0)]), None);
+        // 5 dB better: needs two consecutive reports.
+        assert_eq!(p.on_measurement(-90.0, &[(2, -85.0)]), None);
+        assert_eq!(p.on_measurement(-90.0, &[(2, -85.0)]), Some(2));
+        // Streak resets after firing.
+        assert_eq!(p.on_measurement(-90.0, &[(2, -85.0)]), None);
+    }
+
+    #[test]
+    fn a3_streak_resets_on_dip() {
+        let mut p = A3HandoverVsf {
+            hysteresis_db: 3.0,
+            time_to_trigger_reports: 2,
+            ..A3HandoverVsf::default()
+        };
+        assert_eq!(p.on_measurement(-90.0, &[(2, -85.0)]), None);
+        assert_eq!(p.on_measurement(-90.0, &[(2, -90.0)]), None); // dip
+        assert_eq!(p.on_measurement(-90.0, &[(2, -85.0)]), None); // streak=1 again
+        assert_eq!(p.on_measurement(-90.0, &[(2, -85.0)]), Some(2));
+    }
+
+    #[test]
+    fn a3_tracks_best_neighbour() {
+        let mut p = A3HandoverVsf::default();
+        assert_eq!(p.on_measurement(-90.0, &[(2, -86.0), (3, -80.0)]), None);
+        assert_eq!(p.on_measurement(-90.0, &[(2, -86.0), (3, -80.0)]), Some(3));
+    }
+
+    #[test]
+    fn empty_neighbour_list_is_safe() {
+        let mut p = A3HandoverVsf::default();
+        assert_eq!(p.on_measurement(-90.0, &[]), None);
+    }
+
+    #[test]
+    fn modules_start_with_empty_slots() {
+        let mac = MacControlModule::new();
+        assert!(mac.dl.is_empty());
+        assert!(mac.ul.is_empty());
+        let rrc = RrcControlModule::new();
+        assert!(rrc.handover.is_empty());
+    }
+}

@@ -1,0 +1,34 @@
+//! # flexran-agent
+//!
+//! The FlexRAN agent (paper §4.3.1): the per-eNodeB half of the FlexRAN
+//! control plane. It hosts the *eNodeB control modules* — one per
+//! access-stratum protocol, each exposing VSF slots through a Control
+//! Module Interface — the *message handler & dispatcher* for the FlexRAN
+//! protocol, the *Reports & Events manager*, and the control-delegation
+//! machinery (VSF cache, registry, code signing, policy-reconfiguration
+//! parser, and the scheduling-policy DSL).
+//!
+//! * [`agent`] — [`FlexranAgent`]: the per-TTI engine.
+//! * [`cmi`] — control modules and their interfaces (MAC, RRC, PDCP).
+//! * [`vsf`] — VSF cache/slots, registry, signing.
+//! * [`dsl`] — the pushable scheduling-policy language (§7.3 future work).
+//! * [`policy`] — the YAML-subset policy-reconfiguration documents
+//!   (paper Fig. 3).
+//! * [`reports`] — one-off / periodic / triggered statistics reporting.
+
+pub mod agent;
+pub mod cmi;
+pub mod dsl;
+pub mod policy;
+pub mod reports;
+pub mod vsf;
+
+pub use agent::{AgentConfig, AgentCounters, FlexranAgent, HandoverRequest};
+pub use cmi::{
+    A3HandoverVsf, HandoverVsf, MacControlModule, RrcControlModule, MAC_DL_SCHEDULER,
+    MAC_UL_SCHEDULER, RRC_HANDOVER,
+};
+pub use dsl::DslScheduler;
+pub use policy::{ModulePolicy, PolicyDoc, VsfPolicy};
+pub use reports::{compose_reply, ReportsManager};
+pub use vsf::{sign_push, verify_push, RemoteStubScheduler, VsfImpl, VsfRegistry, VsfSlot};

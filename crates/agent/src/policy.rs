@@ -1,0 +1,406 @@
+//! Policy reconfiguration: the YAML-subset document of paper Fig. 3.
+//!
+//! The structure mirrors the paper exactly: the top level names a control
+//! module, below it a sequence of VSFs, each with two optional sections —
+//! `behavior:` (an instruction to link the CMI call to one of the cached
+//! VSF implementations, i.e. the runtime swap) and `parameters:` (values
+//! exposed by the active implementation's public parameter API).
+//!
+//! ```yaml
+//! mac:
+//!   dl_ue_scheduler:
+//!     behavior: slice-scheduler
+//!     parameters:
+//!       slice_shares: [0.7, 0.3]
+//!   ul_ue_scheduler:
+//!     behavior: ul-round-robin
+//! ```
+//!
+//! The parser is a from-scratch indentation-based YAML subset (block maps,
+//! scalars, inline numeric lists, `#` comments) — enough for every policy
+//! document the platform produces, with strict errors on anything else.
+
+use flexran_stack::mac::scheduler::ParamValue;
+use flexran_types::{FlexError, Result};
+
+/// One VSF's reconfiguration.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct VsfPolicy {
+    pub vsf: String,
+    /// Cached implementation to activate, if present.
+    pub behavior: Option<String>,
+    /// Parameters to set on the (newly) active implementation.
+    pub parameters: Vec<(String, ParamValue)>,
+}
+
+/// One control module's reconfiguration.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ModulePolicy {
+    pub module: String,
+    pub vsfs: Vec<VsfPolicy>,
+}
+
+/// A full policy reconfiguration document.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PolicyDoc {
+    pub modules: Vec<ModulePolicy>,
+}
+
+#[derive(Debug)]
+struct Line<'a> {
+    indent: usize,
+    key: &'a str,
+    value: Option<&'a str>,
+}
+
+fn split_lines(src: &str) -> Result<Vec<Line<'_>>> {
+    let mut out = Vec::new();
+    for (no, raw) in src.lines().enumerate() {
+        let line = match raw.find('#') {
+            Some(i) => &raw[..i],
+            None => raw,
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let indent = line.len() - line.trim_start_matches(' ').len();
+        if line[indent..].starts_with('\t') {
+            return Err(FlexError::Policy(format!(
+                "line {}: tabs are not allowed for indentation",
+                no + 1
+            )));
+        }
+        let body = line.trim();
+        let Some(colon) = body.find(':') else {
+            return Err(FlexError::Policy(format!(
+                "line {}: expected 'key:' or 'key: value'",
+                no + 1
+            )));
+        };
+        let key = body[..colon].trim();
+        if key.is_empty() {
+            return Err(FlexError::Policy(format!("line {}: empty key", no + 1)));
+        }
+        let rest = body[colon + 1..].trim();
+        out.push(Line {
+            indent,
+            key,
+            value: if rest.is_empty() { None } else { Some(rest) },
+        });
+    }
+    Ok(out)
+}
+
+fn parse_scalar(s: &str) -> ParamValue {
+    if let Ok(i) = s.parse::<i64>() {
+        return ParamValue::I64(i);
+    }
+    if let Ok(f) = s.parse::<f64>() {
+        return ParamValue::F64(f);
+    }
+    ParamValue::Str(s.trim_matches(|c| c == '"' || c == '\'').to_string())
+}
+
+fn parse_value(s: &str) -> Result<ParamValue> {
+    let s = s.trim();
+    if let Some(inner) = s.strip_prefix('[') {
+        let Some(inner) = inner.strip_suffix(']') else {
+            return Err(FlexError::Policy(format!("unterminated list '{s}'")));
+        };
+        let mut items = Vec::new();
+        for part in inner.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let v = part
+                .parse::<f64>()
+                .map_err(|_| FlexError::Policy(format!("list item '{part}' is not numeric")))?;
+            items.push(v);
+        }
+        return Ok(ParamValue::List(items));
+    }
+    Ok(parse_scalar(s))
+}
+
+impl PolicyDoc {
+    /// Parse a policy document.
+    pub fn parse(src: &str) -> Result<PolicyDoc> {
+        let lines = split_lines(src)?;
+        let mut doc = PolicyDoc::default();
+        let mut i = 0;
+        while i < lines.len() {
+            let l = &lines[i];
+            if l.indent != 0 || l.value.is_some() {
+                return Err(FlexError::Policy(format!(
+                    "expected a module name at top level, got '{}'",
+                    l.key
+                )));
+            }
+            let mut module = ModulePolicy {
+                module: l.key.to_string(),
+                vsfs: Vec::new(),
+            };
+            i += 1;
+            // VSF entries, indented deeper than the module.
+            while i < lines.len() && lines[i].indent > 0 {
+                let vsf_indent = lines[i].indent;
+                if lines[i].value.is_some() {
+                    return Err(FlexError::Policy(format!(
+                        "VSF entry '{}' must be a mapping",
+                        lines[i].key
+                    )));
+                }
+                let mut vsf = VsfPolicy {
+                    vsf: lines[i].key.to_string(),
+                    ..VsfPolicy::default()
+                };
+                i += 1;
+                while i < lines.len() && lines[i].indent > vsf_indent {
+                    let section = &lines[i];
+                    match (section.key, section.value) {
+                        ("behavior", Some(v)) => {
+                            vsf.behavior = Some(v.to_string());
+                            i += 1;
+                        }
+                        ("parameters", None) => {
+                            let sec_indent = section.indent;
+                            i += 1;
+                            while i < lines.len() && lines[i].indent > sec_indent {
+                                let p = &lines[i];
+                                let Some(v) = p.value else {
+                                    return Err(FlexError::Policy(format!(
+                                        "parameter '{}' has no value",
+                                        p.key
+                                    )));
+                                };
+                                vsf.parameters.push((p.key.to_string(), parse_value(v)?));
+                                i += 1;
+                            }
+                        }
+                        (other, _) => {
+                            return Err(FlexError::Policy(format!(
+                                "unknown section '{other}' (expected behavior/parameters)"
+                            )));
+                        }
+                    }
+                }
+                module.vsfs.push(vsf);
+            }
+            doc.modules.push(module);
+        }
+        Ok(doc)
+    }
+
+    /// Serialize back to the YAML subset (for composing
+    /// `PolicyReconfiguration` messages programmatically at the master).
+    pub fn to_yaml(&self) -> String {
+        let mut s = String::new();
+        for m in &self.modules {
+            s.push_str(&m.module);
+            s.push_str(":\n");
+            for v in &m.vsfs {
+                s.push_str(&format!("  {}:\n", v.vsf));
+                if let Some(b) = &v.behavior {
+                    s.push_str(&format!("    behavior: {b}\n"));
+                }
+                if !v.parameters.is_empty() {
+                    s.push_str("    parameters:\n");
+                    for (k, val) in &v.parameters {
+                        let rendered = match val {
+                            ParamValue::I64(i) => i.to_string(),
+                            // Keep the decimal point so the type survives
+                            // the parse (21.0 must not come back as I64).
+                            ParamValue::F64(f) if f.fract() == 0.0 => format!("{f:.1}"),
+                            ParamValue::F64(f) => format!("{f}"),
+                            ParamValue::Str(st) => st.clone(),
+                            ParamValue::List(l) => format!(
+                                "[{}]",
+                                l.iter()
+                                    .map(|x| x.to_string())
+                                    .collect::<Vec<_>>()
+                                    .join(", ")
+                            ),
+                        };
+                        s.push_str(&format!("      {k}: {rendered}\n"));
+                    }
+                }
+            }
+        }
+        s
+    }
+
+    /// Convenience constructor: one module, one VSF.
+    pub fn single(
+        module: &str,
+        vsf: &str,
+        behavior: Option<&str>,
+        parameters: Vec<(String, ParamValue)>,
+    ) -> PolicyDoc {
+        PolicyDoc {
+            modules: vec![ModulePolicy {
+                module: module.to_string(),
+                vsfs: vec![VsfPolicy {
+                    vsf: vsf.to_string(),
+                    behavior: behavior.map(|s| s.to_string()),
+                    parameters,
+                }],
+            }],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ident() -> impl Strategy<Value = String> {
+        "[a-z][a-z0-9_]{0,12}"
+    }
+
+    fn param_value() -> impl Strategy<Value = ParamValue> {
+        prop_oneof![
+            any::<i32>().prop_map(|v| ParamValue::I64(v as i64)),
+            // One-decimal floats survive the text roundtrip exactly.
+            (-1000i64..1000).prop_map(|v| ParamValue::F64(v as f64 / 10.0)),
+            "[a-z][a-z0-9_-]{0,10}".prop_map(ParamValue::Str),
+            proptest::collection::vec((-100i64..100).prop_map(|v| v as f64 / 4.0), 1..5)
+                .prop_map(ParamValue::List),
+        ]
+    }
+
+    proptest! {
+        /// Any document this crate can express survives the YAML-subset
+        /// serialize → parse roundtrip.
+        #[test]
+        fn roundtrip_arbitrary_docs(
+            modules in proptest::collection::vec(
+                (ident(), proptest::collection::vec(
+                    (ident(), proptest::option::of(ident()),
+                     proptest::collection::vec((ident(), param_value()), 0..4)),
+                    1..3,
+                )),
+                1..3,
+            )
+        ) {
+            let doc = PolicyDoc {
+                modules: modules
+                    .into_iter()
+                    .map(|(module, vsfs)| ModulePolicy {
+                        module,
+                        vsfs: vsfs
+                            .into_iter()
+                            .map(|(vsf, behavior, parameters)| VsfPolicy { vsf, behavior, parameters })
+                            .collect(),
+                    })
+                    .collect(),
+            };
+            let parsed = PolicyDoc::parse(&doc.to_yaml()).unwrap();
+            prop_assert_eq!(parsed, doc);
+        }
+
+        /// The parser never panics on arbitrary text.
+        #[test]
+        fn parser_never_panics(src in "\\PC{0,200}") {
+            let _ = PolicyDoc::parse(&src);
+        }
+    }
+
+    #[test]
+    fn parses_the_paper_figure_3_shape() {
+        let src = "\
+mac:
+  dl_ue_scheduler:
+    behavior: local-pf
+    parameters:
+      fairness_exponent: 0.7
+      slice_shares: [0.7, 0.3]
+  ul_ue_scheduler:
+    behavior: ul-round-robin
+rrc:
+  handover_policy:
+    parameters:
+      hysteresis_db: 3
+";
+        let doc = PolicyDoc::parse(src).unwrap();
+        assert_eq!(doc.modules.len(), 2);
+        let mac = &doc.modules[0];
+        assert_eq!(mac.module, "mac");
+        assert_eq!(mac.vsfs.len(), 2);
+        assert_eq!(mac.vsfs[0].behavior.as_deref(), Some("local-pf"));
+        assert_eq!(
+            mac.vsfs[0].parameters,
+            vec![
+                ("fairness_exponent".to_string(), ParamValue::F64(0.7)),
+                ("slice_shares".to_string(), ParamValue::List(vec![0.7, 0.3])),
+            ]
+        );
+        assert_eq!(mac.vsfs[1].behavior.as_deref(), Some("ul-round-robin"));
+        assert!(mac.vsfs[1].parameters.is_empty());
+        assert_eq!(
+            doc.modules[1].vsfs[0].parameters[0],
+            ("hysteresis_db".to_string(), ParamValue::I64(3))
+        );
+    }
+
+    #[test]
+    fn roundtrips_through_to_yaml() {
+        let doc = PolicyDoc::single(
+            "mac",
+            "dl_ue_scheduler",
+            Some("slice-scheduler"),
+            vec![
+                ("slice_shares".into(), ParamValue::List(vec![0.4, 0.6])),
+                ("label".into(), ParamValue::Str("premium".into())),
+                ("n".into(), ParamValue::I64(5)),
+            ],
+        );
+        let parsed = PolicyDoc::parse(&doc.to_yaml()).unwrap();
+        assert_eq!(parsed, doc);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let src = "# heading\nmac:\n\n  dl_ue_scheduler:  # mapping\n    behavior: x # tail\n";
+        let doc = PolicyDoc::parse(src).unwrap();
+        assert_eq!(doc.modules[0].vsfs[0].behavior.as_deref(), Some("x"));
+    }
+
+    #[test]
+    fn errors_are_strict() {
+        assert!(PolicyDoc::parse("  indented-top:\n").is_err());
+        assert!(PolicyDoc::parse("mac: value\n").is_err());
+        assert!(PolicyDoc::parse("mac:\n  vsf: scalar\n").is_err());
+        assert!(PolicyDoc::parse("mac:\n  vsf:\n    unknown_section: 1\n").is_err());
+        assert!(PolicyDoc::parse("mac:\n  vsf:\n    parameters:\n      broken\n").is_err());
+        assert!(PolicyDoc::parse("mac:\n\tvsf:\n").is_err(), "tabs rejected");
+        assert!(
+            PolicyDoc::parse("mac:\n  v:\n    parameters:\n      l: [1, x]\n").is_err(),
+            "non-numeric list"
+        );
+        assert!(
+            PolicyDoc::parse("mac:\n  v:\n    parameters:\n      l: [1, 2\n").is_err(),
+            "unterminated list"
+        );
+    }
+
+    #[test]
+    fn scalar_typing() {
+        let src =
+            "m:\n  v:\n    parameters:\n      a: 3\n      b: 3.5\n      c: hello\n      d: -2\n";
+        let doc = PolicyDoc::parse(src).unwrap();
+        let p = &doc.modules[0].vsfs[0].parameters;
+        assert_eq!(p[0].1, ParamValue::I64(3));
+        assert_eq!(p[1].1, ParamValue::F64(3.5));
+        assert_eq!(p[2].1, ParamValue::Str("hello".into()));
+        assert_eq!(p[3].1, ParamValue::I64(-2));
+    }
+
+    #[test]
+    fn empty_document_is_empty_policy() {
+        let doc = PolicyDoc::parse("").unwrap();
+        assert!(doc.modules.is_empty());
+        assert_eq!(doc.to_yaml(), "");
+    }
+}

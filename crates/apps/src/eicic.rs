@@ -1,0 +1,291 @@
+//! Interference management: eICIC and optimized eICIC (paper §6.1).
+//!
+//! Heterogeneous deployments protect small-cell users with *almost-blank
+//! subframes* (ABS): the macro cell is muted in a configured subframe
+//! pattern so small cells can serve their users without cross-tier
+//! interference. Three operating modes, matching the paper's experiment:
+//!
+//! * **uncoordinated** — no ABS, each cell schedules independently
+//!   (plain local schedulers; nothing from this module needed),
+//! * **eICIC** — the macro runs [`AbsAwareScheduler::macro_side`]
+//!   (silent during ABS), small cells run
+//!   [`AbsAwareScheduler::small_side`] (transmit *only* during ABS,
+//!   where their users see clean SINR),
+//! * **optimized eICIC** — additionally, the [`OptimizedEicicApp`] at the
+//!   master watches the small cells' queues in the RIB and hands ABS
+//!   subframes the small cells won't use back to the macro cell
+//!   (the coordination "which cannot be easily achieved using the
+//!   traditional X2 interface").
+
+use std::collections::BTreeMap;
+
+use flexran_controller::northbound::{App, AppContext};
+use flexran_proto::messages::DlSchedulingCommand;
+use flexran_stack::enb::AbsPattern;
+use flexran_stack::mac::dci::DlSchedulingDecision;
+use flexran_stack::mac::scheduler::{
+    DlScheduler, DlSchedulerInput, DlSchedulerOutput, RoundRobinScheduler,
+};
+use flexran_types::ids::{CellId, EnbId};
+use flexran_types::time::Tti;
+
+use crate::remote_sched::scheduler_input_from_rib;
+
+/// A standard ABS pattern: `n_abs` muted subframes spread evenly over the
+/// 40-subframe pattern period (n=4 → subframes 0, 10, 20, 30 — one ABS
+/// per radio frame, as in the paper's experiment).
+pub fn standard_abs_pattern(n_abs: usize) -> AbsPattern {
+    let mut p = [false; 40];
+    if n_abs == 0 {
+        return p;
+    }
+    let stride = (40 / n_abs.min(40)).max(1);
+    let mut placed = 0;
+    let mut i = 0;
+    while placed < n_abs.min(40) {
+        p[i % 40] = true;
+        i += stride;
+        placed += 1;
+    }
+    p
+}
+
+/// Whether `tti` falls in an ABS of `pattern`.
+pub fn is_abs(pattern: &AbsPattern, tti: Tti) -> bool {
+    pattern[(tti.0 % 40) as usize]
+}
+
+/// An ABS-aware local scheduler: wraps a round-robin allocator and gates
+/// it on the pattern phase.
+pub struct AbsAwareScheduler {
+    inner: RoundRobinScheduler,
+    pattern: AbsPattern,
+    /// `true` → transmit only during ABS (small cell); `false` → only
+    /// outside ABS (macro cell).
+    transmit_in_abs: bool,
+    label: &'static str,
+}
+
+impl AbsAwareScheduler {
+    /// Macro-cell side: silent during ABS.
+    pub fn macro_side(pattern: AbsPattern) -> Self {
+        AbsAwareScheduler {
+            inner: RoundRobinScheduler::new(),
+            pattern,
+            transmit_in_abs: false,
+            label: "macro-eicic",
+        }
+    }
+
+    /// Small-cell side: transmits only during ABS (its users are
+    /// interference-protected exactly then).
+    pub fn small_side(pattern: AbsPattern) -> Self {
+        AbsAwareScheduler {
+            inner: RoundRobinScheduler::new(),
+            pattern,
+            transmit_in_abs: true,
+            label: "small-eicic",
+        }
+    }
+}
+
+impl DlScheduler for AbsAwareScheduler {
+    fn name(&self) -> &str {
+        self.label
+    }
+
+    fn schedule_dl(&mut self, input: &DlSchedulerInput) -> DlSchedulerOutput {
+        if is_abs(&self.pattern, input.target) != self.transmit_in_abs {
+            return DlSchedulerOutput::default();
+        }
+        self.inner.schedule_dl(input)
+    }
+}
+
+/// The optimized-eICIC coordinator at the master.
+pub struct OptimizedEicicApp {
+    pub macro_enb: EnbId,
+    pub macro_cell: u16,
+    /// The protected small cells: `(agent, cell)`.
+    pub small_cells: Vec<(EnbId, u16)>,
+    pub pattern: AbsPattern,
+    /// Schedule-ahead for the macro reassignment commands.
+    pub schedule_ahead: u64,
+    /// A small cell "needs" its ABS if its queued bytes exceed this.
+    /// The default is near zero: reassignment targets *periods of
+    /// inactivity* of the small cells (paper §6.1); reassigning ABS a
+    /// small cell still wants would re-create the interference eICIC
+    /// exists to remove.
+    pub queue_threshold: u64,
+    policy: RoundRobinScheduler,
+    last_target: u64,
+    /// ABS subframes reassigned to the macro cell (observability).
+    pub reassigned: u64,
+}
+
+impl OptimizedEicicApp {
+    pub fn new(
+        macro_enb: EnbId,
+        macro_cell: u16,
+        small_cells: Vec<(EnbId, u16)>,
+        pattern: AbsPattern,
+        schedule_ahead: u64,
+    ) -> Self {
+        OptimizedEicicApp {
+            macro_enb,
+            macro_cell,
+            small_cells,
+            pattern,
+            schedule_ahead,
+            queue_threshold: 300,
+            policy: RoundRobinScheduler::new(),
+            last_target: 0,
+            reassigned: 0,
+        }
+    }
+
+    fn small_cells_idle(&self, ctx: &AppContext<'_>) -> bool {
+        for (enb, cell) in &self.small_cells {
+            let Some(cell_node) = ctx.rib.cell(*enb, CellId(*cell)) else {
+                continue;
+            };
+            let queued: u64 = cell_node
+                .ues
+                .values()
+                .flat_map(|u| u.report.rlc.iter())
+                .filter(|b| b.lcid >= 3)
+                .map(|b| b.tx_queue_bytes)
+                .sum();
+            if queued > self.queue_threshold {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+impl App for OptimizedEicicApp {
+    fn name(&self) -> &str {
+        "optimized-eicic"
+    }
+
+    fn priority(&self) -> u8 {
+        200
+    }
+
+    fn on_cycle(&mut self, ctx: &mut AppContext<'_>) {
+        let Some(sync) = ctx.synced_subframe(self.macro_enb) else {
+            return;
+        };
+        let horizon = sync.0 + self.schedule_ahead;
+        let from = (self.last_target + 1)
+            .max(sync.0 + 1)
+            .max(horizon.saturating_sub(3));
+        for target in from..=horizon {
+            self.last_target = target;
+            if !is_abs(&self.pattern, Tti(target)) {
+                continue; // non-ABS: the macro's local scheduler owns it
+            }
+            if !self.small_cells_idle(ctx) {
+                continue; // the protected cells need this ABS
+            }
+            let Some(cell) = ctx.rib.cell(self.macro_enb, CellId(self.macro_cell)) else {
+                continue;
+            };
+            let input = scheduler_input_from_rib(cell, ctx.now, Tti(target), &BTreeMap::new());
+            let out = self.policy.schedule_dl(&input);
+            if out.dcis.is_empty() {
+                continue;
+            }
+            let cmd = DlSchedulingCommand::from_decision(
+                self.macro_enb,
+                &DlSchedulingDecision {
+                    cell: CellId(self.macro_cell),
+                    target: Tti(target),
+                    dcis: out.dcis,
+                },
+            );
+            if ctx.schedule_dl(self.macro_enb, cmd).is_ok() {
+                self.reassigned += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexran_phy::link_adaptation::Cqi;
+    use flexran_stack::mac::scheduler::UeSchedInfo;
+    use flexran_types::ids::{Rnti, SliceId};
+    use flexran_types::units::Bytes;
+
+    #[test]
+    fn standard_pattern_spreads_abs() {
+        let p = standard_abs_pattern(4);
+        assert_eq!(p.iter().filter(|m| **m).count(), 4);
+        assert!(p[0] && p[10] && p[20] && p[30]);
+        assert!(!p[5]);
+        assert_eq!(standard_abs_pattern(0).iter().filter(|m| **m).count(), 0);
+        assert_eq!(standard_abs_pattern(40).iter().filter(|m| **m).count(), 40);
+    }
+
+    fn input_at(target: u64) -> DlSchedulerInput {
+        DlSchedulerInput {
+            cell: CellId(0),
+            now: Tti(target),
+            target: Tti(target),
+            available_prb: 50,
+            max_dcis: 10,
+            ues: vec![UeSchedInfo {
+                rnti: Rnti(0x100),
+                cqi: Cqi(12),
+                queue_bytes: Bytes(10_000),
+                srb_bytes: Bytes::ZERO,
+                avg_rate_bps: 1.0,
+                slice: SliceId::MNO,
+                priority_group: 0,
+                hol_delay_ms: 0,
+            }],
+            retx: vec![],
+        }
+    }
+
+    #[test]
+    fn macro_scheduler_silent_in_abs() {
+        let mut s = AbsAwareScheduler::macro_side(standard_abs_pattern(4));
+        assert!(s.schedule_dl(&input_at(0)).dcis.is_empty(), "ABS subframe");
+        assert!(
+            !s.schedule_dl(&input_at(5)).dcis.is_empty(),
+            "normal subframe"
+        );
+        assert!(
+            s.schedule_dl(&input_at(40)).dcis.is_empty(),
+            "pattern wraps"
+        );
+    }
+
+    #[test]
+    fn small_scheduler_transmits_only_in_abs() {
+        let mut s = AbsAwareScheduler::small_side(standard_abs_pattern(4));
+        assert!(!s.schedule_dl(&input_at(0)).dcis.is_empty());
+        assert!(s.schedule_dl(&input_at(5)).dcis.is_empty());
+        assert!(!s.schedule_dl(&input_at(30)).dcis.is_empty());
+    }
+
+    #[test]
+    fn macro_and_small_never_overlap() {
+        let p = standard_abs_pattern(4);
+        let mut m = AbsAwareScheduler::macro_side(p);
+        let mut s = AbsAwareScheduler::small_side(p);
+        for t in 0..80u64 {
+            let macro_tx = !m.schedule_dl(&input_at(t)).dcis.is_empty();
+            let small_tx = !s.schedule_dl(&input_at(t)).dcis.is_empty();
+            assert!(
+                !(macro_tx && small_tx),
+                "both transmitting at subframe {t} defeats eICIC"
+            );
+            assert!(macro_tx || small_tx, "someone should use subframe {t}");
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! # flexran-apps
+//!
+//! RAN control and management applications over the FlexRAN northbound
+//! API, plus the agent-side VSFs they delegate to — everything paper §6
+//! deploys:
+//!
+//! * [`monitoring`] — a statistics-gathering app (the paper's simplest
+//!   application class).
+//! * [`remote_sched`] — the centralized downlink scheduler with the
+//!   schedule-ahead mechanism of §5.3.
+//! * [`eicic`] — interference management (§6.1): ABS patterns, the
+//!   ABS-aware macro/small-cell VSFs, and the optimized-eICIC
+//!   coordinator that reassigns idle almost-blank subframes.
+//! * [`mec_dash`] — mobile edge computing (§6.2): CQI-EMA → sustainable
+//!   bitrate hints for DASH clients, over an out-of-band channel.
+//! * [`ran_sharing`] — RAN sharing & virtualization (§6.3): the slicing
+//!   VSF with runtime-reconfigurable per-operator shares and fair /
+//!   group-based intra-slice policies.
+//! * [`mobility`] — load-aware mobility management (§7.1 use case).
+//!
+//! [`register_app_vsfs`] adds the agent-side VSFs of these applications
+//! to a [`VsfRegistry`], so masters can push and activate them by name.
+
+pub mod eicic;
+pub mod mec_dash;
+pub mod mobility;
+pub mod monitoring;
+pub mod ran_sharing;
+pub mod remote_sched;
+
+use flexran_agent::vsf::{VsfImpl, VsfRegistry};
+
+pub use eicic::{AbsAwareScheduler, OptimizedEicicApp};
+pub use mec_dash::{cqi_capacity, MecDashApp};
+pub use mobility::MobilityManagerApp;
+pub use monitoring::MonitoringApp;
+pub use ran_sharing::SliceScheduler;
+pub use remote_sched::CentralizedScheduler;
+
+/// Register the agent-side VSFs shipped by this crate under their
+/// wire-addressable registry keys.
+pub fn register_app_vsfs(registry: &mut VsfRegistry) {
+    registry.register("slice-scheduler", || {
+        VsfImpl::DlScheduler(Box::new(SliceScheduler::default()))
+    });
+    registry.register("macro-eicic", || {
+        VsfImpl::DlScheduler(Box::new(AbsAwareScheduler::macro_side(
+            eicic::standard_abs_pattern(4),
+        )))
+    });
+    registry.register("small-eicic", || {
+        VsfImpl::DlScheduler(Box::new(AbsAwareScheduler::small_side(
+            eicic::standard_abs_pattern(4),
+        )))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vsfs_register_and_instantiate() {
+        let mut r = VsfRegistry::with_builtins();
+        register_app_vsfs(&mut r);
+        for key in ["slice-scheduler", "macro-eicic", "small-eicic"] {
+            assert_eq!(r.instantiate(key).unwrap().kind(), "dl-scheduler", "{key}");
+        }
+    }
+}

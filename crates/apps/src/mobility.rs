@@ -1,0 +1,233 @@
+//! Load-aware mobility management (paper §7.1).
+//!
+//! "The centralized network view offered by FlexRAN could enable more
+//! sophisticated mobility management mechanisms that consider additional
+//! factors, e.g., the load of cells." This application reacts to
+//! measurement-report events: it scores each candidate cell by RSRP minus
+//! a load penalty (UEs currently attached, from the RIB) and issues a
+//! handover command when a neighbour beats the serving cell by the
+//! hysteresis margin.
+
+use std::collections::BTreeMap;
+
+use flexran_controller::northbound::{App, AppContext};
+use flexran_controller::updater::NotifiedEvent;
+use flexran_proto::messages::events::EventKind;
+use flexran_proto::messages::{FlexranMessage, HandoverCommand};
+use flexran_types::ids::{CellId, EnbId};
+
+/// The mobility manager.
+pub struct MobilityManagerApp {
+    /// RSRP advantage a candidate needs (dB).
+    pub hysteresis_db: f64,
+    /// Penalty per attached UE at the candidate (dB) — the load-awareness
+    /// the paper motivates.
+    pub load_penalty_db: f64,
+    /// Minimum interval between handovers of the same UE (ms).
+    pub min_interval_ms: u64,
+    /// Radio-site key (as reported in measurement events) → cell.
+    site_map: BTreeMap<u32, (EnbId, CellId)>,
+    last_handover: BTreeMap<(EnbId, u16), u64>,
+    /// Handover commands issued.
+    pub handovers: u64,
+}
+
+impl MobilityManagerApp {
+    /// `site_map`: the deployment knowledge mapping measurement site keys
+    /// to cells (in a real network: the neighbour-relation table).
+    pub fn new(site_map: BTreeMap<u32, (EnbId, CellId)>) -> Self {
+        MobilityManagerApp {
+            hysteresis_db: 3.0,
+            load_penalty_db: 0.5,
+            min_interval_ms: 1000,
+            site_map,
+            last_handover: BTreeMap::new(),
+            handovers: 0,
+        }
+    }
+
+    fn cell_load(&self, ctx: &AppContext<'_>, enb: EnbId, cell: CellId) -> usize {
+        ctx.rib.cell(enb, cell).map(|c| c.ues.len()).unwrap_or(0)
+    }
+}
+
+impl App for MobilityManagerApp {
+    fn name(&self) -> &str {
+        "mobility-manager"
+    }
+
+    fn priority(&self) -> u8 {
+        100
+    }
+
+    fn on_cycle(&mut self, _ctx: &mut AppContext<'_>) {}
+
+    fn on_event(&mut self, event: &NotifiedEvent, ctx: &mut AppContext<'_>) {
+        let n = &event.notification;
+        if n.kind != EventKind::MeasurementReport {
+            return;
+        }
+        // Rate-limit per UE.
+        if let Some(last) = self.last_handover.get(&(event.enb, n.rnti)) {
+            if ctx.now.0.saturating_sub(*last) < self.min_interval_ms {
+                return;
+            }
+        }
+        let serving_load = self.cell_load(ctx, event.enb, CellId(n.cell));
+        let serving_score =
+            n.serving_rsrp_decidbm as f64 / 10.0 - self.load_penalty_db * serving_load as f64;
+        let mut best: Option<(f64, EnbId, CellId)> = None;
+        for (site, rsrp) in n.neighbours() {
+            let Some((enb, cell)) = self.site_map.get(&site) else {
+                continue;
+            };
+            if *enb == event.enb && cell.0 == n.cell {
+                continue; // serving itself
+            }
+            let load = self.cell_load(ctx, *enb, *cell);
+            let score = rsrp - self.load_penalty_db * load as f64;
+            if best.map(|(s, _, _)| score > s).unwrap_or(true) {
+                best = Some((score, *enb, *cell));
+            }
+        }
+        let Some((score, target_enb, target_cell)) = best else {
+            return;
+        };
+        if score > serving_score + self.hysteresis_db {
+            ctx.send(
+                event.enb,
+                FlexranMessage::HandoverCommand(HandoverCommand {
+                    cell: n.cell,
+                    rnti: n.rnti,
+                    target_enb: target_enb.0,
+                    target_cell: target_cell.0,
+                }),
+            );
+            self.last_handover.insert((event.enb, n.rnti), ctx.now.0);
+            self.handovers += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexran_controller::northbound::ConflictGuard;
+    use flexran_controller::rib::Rib;
+    use flexran_proto::messages::EventNotification;
+    use flexran_types::time::Tti;
+
+    fn meas_event(serving_decidbm: i64, neighbours: &[(u32, f64)]) -> NotifiedEvent {
+        let mut packed = Vec::new();
+        for (site, rsrp) in neighbours {
+            packed.push(*site as u64);
+            packed.push(((rsrp * 10.0) as i64 + 2000).max(0) as u64);
+        }
+        NotifiedEvent {
+            enb: EnbId(1),
+            notification: EventNotification {
+                enb_id: EnbId(1),
+                kind: EventKind::MeasurementReport,
+                cell: 0,
+                rnti: 0x100,
+                serving_rsrp_decidbm: serving_decidbm,
+                neighbours_packed: packed,
+                ..Default::default()
+            },
+            received: Tti(0),
+        }
+    }
+
+    fn site_map() -> BTreeMap<u32, (EnbId, CellId)> {
+        let mut m = BTreeMap::new();
+        m.insert(0, (EnbId(1), CellId(0)));
+        m.insert(1, (EnbId(2), CellId(0)));
+        m
+    }
+
+    #[test]
+    fn strong_neighbour_triggers_handover() {
+        let mut app = MobilityManagerApp::new(site_map());
+        let rib = Rib::new();
+        let mut outbox = Vec::new();
+        let mut guard = ConflictGuard::new();
+        let mut xid = 0;
+        let mut ctx = AppContext::new(Tti(10), &rib, &mut outbox, &mut guard, &mut xid);
+        app.on_event(&meas_event(-950, &[(1, -85.0)]), &mut ctx);
+        assert_eq!(app.handovers, 1);
+        assert!(matches!(
+            &outbox[0].2,
+            FlexranMessage::HandoverCommand(c) if c.target_enb == 2 && c.rnti == 0x100
+        ));
+    }
+
+    #[test]
+    fn hysteresis_blocks_marginal_gain() {
+        let mut app = MobilityManagerApp::new(site_map());
+        let rib = Rib::new();
+        let mut outbox = Vec::new();
+        let mut guard = ConflictGuard::new();
+        let mut xid = 0;
+        let mut ctx = AppContext::new(Tti(10), &rib, &mut outbox, &mut guard, &mut xid);
+        // Neighbour only 1 dB better (hysteresis is 3 dB).
+        app.on_event(&meas_event(-900, &[(1, -89.0)]), &mut ctx);
+        assert_eq!(app.handovers, 0);
+        assert!(outbox.is_empty());
+    }
+
+    #[test]
+    fn load_penalty_steers_away_from_busy_cells() {
+        let mut app = MobilityManagerApp::new(site_map());
+        app.load_penalty_db = 2.0;
+        let mut rib = Rib::new();
+        // Target cell enb2/cell0 holds 5 UEs → 10 dB penalty.
+        {
+            let agent = rib.agent_mut(EnbId(2));
+            let cell = agent.cells.entry(CellId(0)).or_default();
+            for i in 0..5u16 {
+                cell.ues
+                    .insert(flexran_types::ids::Rnti(0x200 + i), Default::default());
+            }
+        }
+        let mut outbox = Vec::new();
+        let mut guard = ConflictGuard::new();
+        let mut xid = 0;
+        let mut ctx = AppContext::new(Tti(10), &rib, &mut outbox, &mut guard, &mut xid);
+        // 6 dB RSRP advantage, but load penalty (10 dB) eats it.
+        app.on_event(&meas_event(-900, &[(1, -84.0)]), &mut ctx);
+        assert_eq!(app.handovers, 0);
+    }
+
+    #[test]
+    fn rate_limited_per_ue() {
+        let mut app = MobilityManagerApp::new(site_map());
+        let rib = Rib::new();
+        let mut outbox = Vec::new();
+        let mut guard = ConflictGuard::new();
+        let mut xid = 0;
+        let ev = meas_event(-950, &[(1, -85.0)]);
+        {
+            let mut ctx = AppContext::new(Tti(10), &rib, &mut outbox, &mut guard, &mut xid);
+            app.on_event(&ev, &mut ctx);
+            app.on_event(&ev, &mut ctx);
+        }
+        assert_eq!(app.handovers, 1, "second HO suppressed by interval");
+        {
+            let mut ctx = AppContext::new(Tti(2000), &rib, &mut outbox, &mut guard, &mut xid);
+            app.on_event(&ev, &mut ctx);
+        }
+        assert_eq!(app.handovers, 2, "allowed after the interval");
+    }
+
+    #[test]
+    fn unknown_sites_ignored() {
+        let mut app = MobilityManagerApp::new(site_map());
+        let rib = Rib::new();
+        let mut outbox = Vec::new();
+        let mut guard = ConflictGuard::new();
+        let mut xid = 0;
+        let mut ctx = AppContext::new(Tti(10), &rib, &mut outbox, &mut guard, &mut xid);
+        app.on_event(&meas_event(-950, &[(99, -50.0)]), &mut ctx);
+        assert_eq!(app.handovers, 0);
+    }
+}

@@ -1,0 +1,415 @@
+//! RAN sharing & virtualization (paper §6.3).
+//!
+//! [`SliceScheduler`] is the agent-side downlink scheduler "that supports
+//! the dynamic introduction of new MVNOs to the RAN and the on-demand
+//! modification of the scheduling policy per operator". Each slice
+//! (operator) owns a runtime-reconfigurable share of the cell's PRBs and
+//! an intra-slice policy:
+//!
+//! * `fair` — equal split among the slice's backlogged UEs,
+//! * `group` — premium/secondary user groups, with the premium group
+//!   owning a configurable fraction of the slice's resources
+//!   (the paper's second experiment: 70 % premium / 30 % secondary).
+//!
+//! A master application modifies `slice_shares` / policies at runtime via
+//! the policy-reconfiguration mechanism — the Fig. 12a experiment is
+//! literally two such messages at t = 10 s and t = 140 s.
+
+use flexran_phy::link_adaptation::mcs_for_cqi;
+use flexran_stack::mac::dci::DlDci;
+use flexran_stack::mac::scheduler::{
+    allocate_srbs, prbs_for_bytes, DlScheduler, DlSchedulerInput, DlSchedulerOutput, ParamValue,
+    UeSchedInfo,
+};
+use flexran_types::units::Bytes;
+use flexran_types::{FlexError, Result};
+
+/// Intra-slice scheduling policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlicePolicy {
+    Fair,
+    /// Premium (group 0) / secondary (group ≥ 1) split.
+    GroupBased,
+}
+
+/// The multi-operator slicing scheduler.
+pub struct SliceScheduler {
+    /// PRB share per slice id (normalized on use; missing slices get 0).
+    pub shares: Vec<f64>,
+    /// Intra-slice policy per slice id (missing → `Fair`).
+    pub policies: Vec<SlicePolicy>,
+    /// Premium group's fraction of its slice's budget under `GroupBased`.
+    pub premium_share: f64,
+    /// Per-(slice, group) rotation cursors — each candidate set rotates
+    /// independently so DCI pressure starves nobody.
+    rotations: std::collections::BTreeMap<(usize, u8), usize>,
+}
+
+impl Default for SliceScheduler {
+    fn default() -> Self {
+        SliceScheduler {
+            shares: vec![1.0],
+            policies: vec![SlicePolicy::Fair],
+            premium_share: 0.7,
+            rotations: std::collections::BTreeMap::new(),
+        }
+    }
+}
+
+impl SliceScheduler {
+    pub fn new(shares: Vec<f64>, policies: Vec<SlicePolicy>) -> Self {
+        SliceScheduler {
+            shares,
+            policies,
+            ..SliceScheduler::default()
+        }
+    }
+
+    fn policy_of(&self, slice: usize) -> SlicePolicy {
+        self.policies
+            .get(slice)
+            .copied()
+            .unwrap_or(SlicePolicy::Fair)
+    }
+
+    /// Allocate `budget` PRBs among `cands` with equal shares, adding at
+    /// most `max_new` DCIs and rotating the start index so DCI-budget
+    /// pressure is spread over TTIs rather than starving whoever comes
+    /// last.
+    fn allocate_equal(
+        &mut self,
+        key: (usize, u8),
+        cands: &[&UeSchedInfo],
+        budget: u8,
+        dcis: &mut Vec<DlDci>,
+        max_new: usize,
+    ) {
+        if cands.is_empty() || budget == 0 || max_new == 0 {
+            return;
+        }
+        let n_served = cands.len().min(max_new);
+        let rotation = self.rotations.entry(key).or_insert(0);
+        *rotation = rotation.wrapping_add(1);
+        let rotation = *rotation;
+        let share = ((budget as usize) / n_served).max(1) as u8;
+        let mut left = budget;
+        for i in 0..n_served {
+            if left == 0 {
+                break;
+            }
+            let ue = cands[(rotation + i) % cands.len()];
+            let mcs = mcs_for_cqi(ue.cqi);
+            let want = prbs_for_bytes(mcs, Bytes(ue.queue_bytes.as_u64() + 8), share.min(left));
+            dcis.push(DlDci {
+                rnti: ue.rnti,
+                n_prb: want,
+                mcs,
+            });
+            left -= want;
+        }
+    }
+}
+
+impl DlScheduler for SliceScheduler {
+    fn name(&self) -> &str {
+        "slice-scheduler"
+    }
+
+    fn schedule_dl(&mut self, input: &DlSchedulerInput) -> DlSchedulerOutput {
+        let mut dcis = Vec::new();
+        let prb_left = allocate_srbs(input, &mut dcis, input.available_prb);
+        let max_dcis = input.max_dcis as usize;
+        let total_share: f64 = self.shares.iter().sum::<f64>().max(1e-9);
+        let n_slices = self.shares.len().max(1);
+        for slice in 0..n_slices {
+            if dcis.len() >= max_dcis {
+                break;
+            }
+            let budget = ((self.shares.get(slice).copied().unwrap_or(0.0) / total_share)
+                * prb_left as f64)
+                .floor() as u8;
+            if budget == 0 {
+                continue;
+            }
+            let cands: Vec<&UeSchedInfo> = input
+                .ues
+                .iter()
+                .filter(|u| {
+                    u.slice.0 as usize == slice
+                        && !u.queue_bytes.is_zero()
+                        && u.cqi.0 > 0
+                        && !dcis.iter().any(|d| d.rnti == u.rnti)
+                })
+                .collect();
+            if cands.is_empty() {
+                continue;
+            }
+            // The PDCCH DCI budget is sliced proportionally too, so late
+            // slices/groups are not starved of control-channel space.
+            let share_frac = self.shares.get(slice).copied().unwrap_or(0.0) / total_share;
+            let slice_dcis = ((max_dcis as f64 * share_frac).ceil() as usize)
+                .max(1)
+                .min(max_dcis.saturating_sub(dcis.len()));
+            match self.policy_of(slice) {
+                SlicePolicy::Fair => {
+                    self.allocate_equal((slice, 0), &cands, budget, &mut dcis, slice_dcis);
+                }
+                SlicePolicy::GroupBased => {
+                    let premium: Vec<&UeSchedInfo> = cands
+                        .iter()
+                        .copied()
+                        .filter(|u| u.priority_group == 0)
+                        .collect();
+                    let secondary: Vec<&UeSchedInfo> = cands
+                        .iter()
+                        .copied()
+                        .filter(|u| u.priority_group != 0)
+                        .collect();
+                    let premium_budget =
+                        (budget as f64 * self.premium_share.clamp(0.0, 1.0)).round() as u8;
+                    let premium_dcis = if secondary.is_empty() {
+                        slice_dcis
+                    } else {
+                        ((slice_dcis as f64 * self.premium_share).ceil() as usize)
+                            .min(slice_dcis.saturating_sub(1))
+                    };
+                    self.allocate_equal(
+                        (slice, 0),
+                        &premium,
+                        premium_budget,
+                        &mut dcis,
+                        premium_dcis,
+                    );
+                    self.allocate_equal(
+                        (slice, 1),
+                        &secondary,
+                        budget.saturating_sub(premium_budget),
+                        &mut dcis,
+                        slice_dcis.saturating_sub(premium_dcis),
+                    );
+                }
+            }
+        }
+        DlSchedulerOutput { dcis }
+    }
+
+    fn set_param(&mut self, key: &str, value: ParamValue) -> Result<()> {
+        match key {
+            "slice_shares" => match value {
+                ParamValue::List(shares) => {
+                    if shares.iter().any(|s| *s < 0.0) || shares.is_empty() {
+                        return Err(FlexError::Policy(
+                            "slice_shares must be non-empty and non-negative".into(),
+                        ));
+                    }
+                    self.shares = shares;
+                    Ok(())
+                }
+                _ => Err(FlexError::Policy("slice_shares must be a list".into())),
+            },
+            "premium_share" => {
+                let v = value
+                    .as_f64()
+                    .ok_or_else(|| FlexError::Policy("premium_share must be numeric".into()))?;
+                if !(0.0..=1.0).contains(&v) {
+                    return Err(FlexError::Policy(format!(
+                        "premium_share {v} outside 0..=1"
+                    )));
+                }
+                self.premium_share = v;
+                Ok(())
+            }
+            "policies" => match value {
+                ParamValue::Str(s) => {
+                    let mut out = Vec::new();
+                    for p in s.split(',') {
+                        out.push(match p.trim() {
+                            "fair" => SlicePolicy::Fair,
+                            "group" => SlicePolicy::GroupBased,
+                            other => {
+                                return Err(FlexError::Policy(format!(
+                                    "unknown slice policy '{other}'"
+                                )))
+                            }
+                        });
+                    }
+                    self.policies = out;
+                    Ok(())
+                }
+                _ => Err(FlexError::Policy(
+                    "policies must be a comma-separated string".into(),
+                )),
+            },
+            other => Err(FlexError::NotFound(format!(
+                "slice-scheduler has no parameter '{other}'"
+            ))),
+        }
+    }
+
+    fn params(&self) -> Vec<(String, ParamValue)> {
+        vec![
+            ("slice_shares".into(), ParamValue::List(self.shares.clone())),
+            ("premium_share".into(), ParamValue::F64(self.premium_share)),
+            (
+                "policies".into(),
+                ParamValue::Str(
+                    self.policies
+                        .iter()
+                        .map(|p| match p {
+                            SlicePolicy::Fair => "fair",
+                            SlicePolicy::GroupBased => "group",
+                        })
+                        .collect::<Vec<_>>()
+                        .join(","),
+                ),
+            ),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexran_phy::link_adaptation::Cqi;
+    use flexran_types::ids::{CellId, Rnti, SliceId};
+    use flexran_types::time::Tti;
+
+    fn ue(rnti: u16, slice: u8, group: u8) -> UeSchedInfo {
+        UeSchedInfo {
+            rnti: Rnti(rnti),
+            cqi: Cqi(10),
+            queue_bytes: Bytes(1_000_000),
+            srb_bytes: Bytes::ZERO,
+            avg_rate_bps: 1.0,
+            slice: SliceId(slice),
+            priority_group: group,
+            hol_delay_ms: 0,
+        }
+    }
+
+    fn input(ues: Vec<UeSchedInfo>) -> DlSchedulerInput {
+        DlSchedulerInput {
+            cell: CellId(0),
+            now: Tti(0),
+            target: Tti(0),
+            available_prb: 50,
+            max_dcis: 10,
+            ues,
+            retx: vec![],
+        }
+    }
+
+    fn prbs_for_slice(out: &DlSchedulerOutput, ues: &[UeSchedInfo], slice: u8) -> u32 {
+        out.dcis
+            .iter()
+            .filter(|d| {
+                ues.iter()
+                    .any(|u| u.rnti == d.rnti && u.slice == SliceId(slice))
+            })
+            .map(|d| d.n_prb as u32)
+            .sum()
+    }
+
+    #[test]
+    fn shares_partition_the_band() {
+        let mut s = SliceScheduler::new(vec![0.7, 0.3], vec![SlicePolicy::Fair, SlicePolicy::Fair]);
+        let ues: Vec<_> = (0..4).map(|i| ue(0x100 + i, (i % 2) as u8, 0)).collect();
+        let out = s.schedule_dl(&input(ues.clone()));
+        let mno = prbs_for_slice(&out, &ues, 0);
+        let mvno = prbs_for_slice(&out, &ues, 1);
+        assert!(mno + mvno <= 50);
+        // 70/30 ± rounding.
+        assert!((33..=35).contains(&mno), "MNO got {mno}");
+        assert!((13..=15).contains(&mvno), "MVNO got {mvno}");
+    }
+
+    #[test]
+    fn reconfiguring_shares_shifts_allocation() {
+        let mut s = SliceScheduler::new(vec![0.7, 0.3], vec![SlicePolicy::Fair, SlicePolicy::Fair]);
+        s.set_param("slice_shares", ParamValue::List(vec![0.4, 0.6]))
+            .unwrap();
+        let ues: Vec<_> = (0..4).map(|i| ue(0x100 + i, (i % 2) as u8, 0)).collect();
+        let out = s.schedule_dl(&input(ues.clone()));
+        let mno = prbs_for_slice(&out, &ues, 0);
+        let mvno = prbs_for_slice(&out, &ues, 1);
+        assert!(mvno > mno, "after reconfiguration the MVNO leads");
+    }
+
+    #[test]
+    fn group_policy_prefers_premium() {
+        let mut s = SliceScheduler::new(vec![1.0], vec![SlicePolicy::GroupBased]);
+        let mut ues = Vec::new();
+        for i in 0..3 {
+            ues.push(ue(0x100 + i, 0, 0)); // premium
+        }
+        for i in 3..6 {
+            ues.push(ue(0x100 + i, 0, 1)); // secondary
+        }
+        let out = s.schedule_dl(&input(ues.clone()));
+        let premium_prbs: u32 = out
+            .dcis
+            .iter()
+            .filter(|d| d.rnti.0 < 0x103)
+            .map(|d| d.n_prb as u32)
+            .sum();
+        let secondary_prbs: u32 = out
+            .dcis
+            .iter()
+            .filter(|d| d.rnti.0 >= 0x103)
+            .map(|d| d.n_prb as u32)
+            .sum();
+        assert!(
+            premium_prbs > secondary_prbs * 2 - 3,
+            "{premium_prbs} vs {secondary_prbs}"
+        );
+    }
+
+    #[test]
+    fn unused_share_is_not_stolen() {
+        // Slice isolation: slice 1 has no backlog; slice 0 must NOT take
+        // its PRBs (hard slicing, as in the paper's on-demand allocation).
+        let mut s = SliceScheduler::new(vec![0.5, 0.5], vec![SlicePolicy::Fair, SlicePolicy::Fair]);
+        let ues = vec![ue(0x100, 0, 0)];
+        let out = s.schedule_dl(&input(ues.clone()));
+        let mno = prbs_for_slice(&out, &ues, 0);
+        assert!(mno <= 25, "slice 0 confined to its share, got {mno}");
+    }
+
+    #[test]
+    fn param_api_validates() {
+        let mut s = SliceScheduler::default();
+        assert!(s.set_param("slice_shares", ParamValue::F64(1.0)).is_err());
+        assert!(s
+            .set_param("slice_shares", ParamValue::List(vec![]))
+            .is_err());
+        assert!(s
+            .set_param("slice_shares", ParamValue::List(vec![-0.1, 1.1]))
+            .is_err());
+        assert!(s.set_param("premium_share", ParamValue::F64(1.5)).is_err());
+        s.set_param("policies", ParamValue::Str("fair,group".into()))
+            .unwrap();
+        assert_eq!(s.policies, vec![SlicePolicy::Fair, SlicePolicy::GroupBased]);
+        assert!(s
+            .set_param("policies", ParamValue::Str("bogus".into()))
+            .is_err());
+        assert!(s.set_param("nope", ParamValue::I64(0)).is_err());
+        assert_eq!(s.params().len(), 3);
+    }
+
+    #[test]
+    fn rotation_serves_everyone_under_dci_pressure() {
+        // 15 UEs in one fair slice, 10 DCIs per TTI: over 30 TTIs all are
+        // served (the Fig. 12b fairness requirement).
+        let mut s = SliceScheduler::new(vec![1.0], vec![SlicePolicy::Fair]);
+        let ues: Vec<_> = (0..15).map(|i| ue(0x100 + i, 0, 0)).collect();
+        let mut served = std::collections::HashSet::new();
+        for _ in 0..30 {
+            let out = s.schedule_dl(&input(ues.clone()));
+            assert!(out.dcis.len() <= 10);
+            for d in out.dcis {
+                served.insert(d.rnti);
+            }
+        }
+        assert_eq!(served.len(), 15);
+    }
+}

@@ -1,0 +1,42 @@
+//! `cargo bench --bench experiments_all` — regenerates every paper
+//! table/figure in quick mode, so a plain `cargo bench --workspace`
+//! exercises the full reproduction pipeline end to end.
+//!
+//! (`harness = false`: this is a driver, not a statistical benchmark —
+//! the statistical micro-benchmarks live in `benches/micro.rs`.)
+
+use flexran_bench::experiments::{self, ALL};
+use flexran_bench::ExpContext;
+
+fn main() {
+    // Respect harness probes (`cargo bench -- --list`, test mode).
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list") {
+        return;
+    }
+    let ctx = ExpContext::new(true, "target/experiments-quick");
+    let mut seen = std::collections::HashSet::new();
+    for id in ALL {
+        let key = match *id {
+            "fig7a" | "fig7b" => "fig7",
+            "fig10a" | "fig10b" => "fig10",
+            other => other,
+        };
+        if !seen.insert(key) {
+            continue;
+        }
+        let t0 = std::time::Instant::now();
+        let results = experiments::run(id, &ctx);
+        for r in &results {
+            // One summary line per experiment keeps bench output readable.
+            println!(
+                "experiments_all/{}: ok ({} rows) in {:.1?}",
+                r.id,
+                r.rows.len(),
+                t0.elapsed()
+            );
+            assert!(!r.rows.is_empty(), "experiment {id} produced no rows");
+        }
+    }
+    println!("experiments_all: full suite regenerated (quick mode)");
+}

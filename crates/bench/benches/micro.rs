@@ -1,0 +1,165 @@
+//! Criterion micro-benchmarks for the platform's hot paths:
+//!
+//! * `vsf_swap` — the paper's headline delegation number (~103 ns per
+//!   runtime scheduler swap, §5.4).
+//! * `proto/*` — FlexRAN protocol encode/decode of the worst-case
+//!   statistics report (what the Fig. 7 load consists of).
+//! * `rib_update` — one full stats report applied by the single-writer
+//!   RIB updater (the Fig. 8 core-components cost).
+//! * `scheduler/*` — one TTI of downlink scheduling at 50 UEs.
+//! * `sim_tti` — one whole harness TTI (master cycle + agent phases +
+//!   data plane) with 10 UEs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use flexran::agent::vsf::{VsfImpl, VsfSlot};
+use flexran::agent::{AgentConfig, VsfRegistry};
+use flexran::controller::{Rib, RibUpdater};
+use flexran::harness::{SimConfig, SimHarness, UeRadioSpec};
+use flexran::phy::link_adaptation::Cqi;
+use flexran::prelude::*;
+use flexran::proto::messages::stats::{ReportFlags, StatsReply, UeReport};
+use flexran::proto::messages::{FlexranMessage, Header};
+use flexran::sim::traffic::CbrSource;
+use flexran::stack::mac::scheduler::{
+    DlScheduler, DlSchedulerInput, ProportionalFairScheduler, RoundRobinScheduler, UeSchedInfo,
+};
+use flexran::stack::stats::UeStats;
+use flexran::types::units::Bytes;
+
+fn sample_ue_stats(i: u16) -> UeStats {
+    UeStats {
+        rnti: Rnti(0x100 + i),
+        ue: UeId(i as u32),
+        slice: SliceId(0),
+        priority_group: 0,
+        connected: true,
+        cqi: Cqi(10),
+        cqi_updated: Tti(100),
+        sinr_db: 12.0,
+        dl_queue_bytes: Bytes(10_000),
+        srb_queue_bytes: Bytes(0),
+        ul_bsr_bytes: Bytes(500),
+        dl_delivered_bits: 1_000_000,
+        ul_delivered_bits: 100_000,
+        avg_rate_bps: 2e6,
+        harq_tx: 100,
+        harq_retx: 10,
+        hol_delay_ms: 3,
+        active_scells: vec![],
+    }
+}
+
+fn worst_case_reply(n_ues: u16) -> StatsReply {
+    StatsReply {
+        enb_id: EnbId(1),
+        tti: 12345,
+        cells: vec![],
+        ues: (0..n_ues)
+            .map(|i| UeReport::from_stats(&sample_ue_stats(i), CellId(0), ReportFlags::ALL))
+            .collect(),
+    }
+}
+
+fn bench_vsf_swap(c: &mut Criterion) {
+    let mut slot: VsfSlot<dyn DlScheduler> = VsfSlot::new();
+    slot.insert("rr", Box::new(RoundRobinScheduler::new()));
+    slot.insert("pf", Box::new(ProportionalFairScheduler::new()));
+    let mut flip = false;
+    c.bench_function("vsf_swap", |b| {
+        b.iter(|| {
+            flip = !flip;
+            slot.activate(if flip { "rr" } else { "pf" }).unwrap();
+            black_box(slot.active_name());
+        })
+    });
+    // Registry instantiation (the "push" cost, excluding the wire).
+    let registry = VsfRegistry::with_builtins();
+    c.bench_function("vsf_instantiate", |b| {
+        b.iter(|| {
+            let imp = registry.instantiate("proportional-fair").unwrap();
+            black_box(matches!(imp, VsfImpl::DlScheduler(_)));
+        })
+    });
+}
+
+fn bench_proto(c: &mut Criterion) {
+    let reply = worst_case_reply(50);
+    let msg = FlexranMessage::StatsReply(reply);
+    c.bench_function("proto_encode_stats_50ues", |b| {
+        b.iter(|| black_box(msg.encode(Header::with_xid(1))))
+    });
+    let bytes = msg.encode(Header::with_xid(1));
+    c.bench_function("proto_decode_stats_50ues", |b| {
+        b.iter(|| black_box(FlexranMessage::decode(&bytes).unwrap()))
+    });
+}
+
+fn bench_rib_update(c: &mut Criterion) {
+    let mut rib = Rib::new();
+    let mut updater = RibUpdater::new();
+    let msg = FlexranMessage::StatsReply(worst_case_reply(16));
+    c.bench_function("rib_update_16ues", |b| {
+        b.iter(|| {
+            black_box(updater.apply(&mut rib, EnbId(1), &msg, Tti(1)));
+        })
+    });
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let ues: Vec<UeSchedInfo> = (0..50u16)
+        .map(|i| UeSchedInfo {
+            rnti: Rnti(0x100 + i),
+            cqi: Cqi(5 + (i % 11) as u8),
+            queue_bytes: Bytes(20_000),
+            srb_bytes: Bytes(0),
+            avg_rate_bps: 1e6 + i as f64 * 1e4,
+            slice: SliceId((i % 2) as u8),
+            priority_group: 0,
+            hol_delay_ms: 1,
+        })
+        .collect();
+    let input = DlSchedulerInput {
+        cell: CellId(0),
+        now: Tti(100),
+        target: Tti(100),
+        available_prb: 50,
+        max_dcis: 10,
+        ues,
+        retx: vec![],
+    };
+    let mut rr = RoundRobinScheduler::new();
+    c.bench_function("scheduler_rr_50ues", |b| {
+        b.iter(|| black_box(rr.schedule_dl(&input)))
+    });
+    let mut pf = ProportionalFairScheduler::new();
+    c.bench_function("scheduler_pf_50ues", |b| {
+        b.iter(|| black_box(pf.schedule_dl(&input)))
+    });
+}
+
+fn bench_sim_tti(c: &mut Criterion) {
+    let mut sim = SimHarness::new(SimConfig::default());
+    let enb = sim.add_enb(EnbConfig::single_cell(EnbId(1)), AgentConfig::default());
+    for _ in 0..10 {
+        let ue = sim.add_ue(enb, CellId(0), SliceId::MNO, 0, UeRadioSpec::FixedCqi(10));
+        sim.set_dl_traffic(ue, Box::new(CbrSource::new(BitRate::from_mbps(1))));
+    }
+    sim.run(200); // attach
+    c.bench_function("sim_tti_10ues", |b| b.iter(|| sim.step()));
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .sample_size(50)
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_vsf_swap, bench_proto, bench_rib_update, bench_scheduler, bench_sim_tti
+}
+criterion_main!(benches);

@@ -1,0 +1,202 @@
+//! Ablations of FlexRAN design choices (DESIGN.md §5).
+//!
+//! * **reporting mode** — paper §5.2.1 claims the agent→master overhead
+//!   "could be reduced to almost half" by setting the MAC report period
+//!   to 2 TTIs, and suggests event-triggered reporting as an alternative.
+//!   Measured: the same scenario under periodic-1, periodic-2, periodic-5
+//!   and triggered reporting.
+//! * **PDCCH DCI budget** — the per-TTI scheduling fan-out cap trades
+//!   per-UE latency against control-channel space; the paper's Fig. 7b
+//!   superlinearity depends on it.
+//! * **HARQ BLER target** — the link-adaptation operating point: a
+//!   conservative target wastes capacity, an aggressive one spends it on
+//!   retransmissions. Validates that the default 10 % target (the LTE
+//!   convention the paper's stack inherits) is a sensible knee.
+
+use flexran::harness::{SimConfig, SimHarness, UeRadioSpec};
+use flexran::phy::bler::BlerModel;
+use flexran::prelude::*;
+use flexran::proto::{MessageCategory, ReportConfig, ReportFlags, ReportType, Transport};
+use flexran::sim::traffic::{CbrSource, FullBufferSource};
+use flexran::stack::enb::EnbParams;
+
+use crate::experiments::{mbps, remote_agent_config, sim_with_rtt};
+use crate::{csv, f2, ExpContext, ExpResult};
+
+/// Reporting-mode ablation.
+pub fn ablation_reporting(ctx: &ExpContext) -> ExpResult {
+    let mut r = ExpResult::new(
+        "ablation-reporting",
+        "agent→master stats overhead by reporting mode (paper §5.2.1 claim)",
+        &["mode", "stats Mb/s", "messages/s", "UE goodput Mb/s"],
+    );
+    let mut rows = Vec::new();
+    let cases: Vec<(String, ReportType)> = vec![
+        ("periodic-1".into(), ReportType::Periodic { period: 1 }),
+        ("periodic-2".into(), ReportType::Periodic { period: 2 }),
+        ("periodic-5".into(), ReportType::Periodic { period: 5 }),
+        ("triggered".into(), ReportType::Triggered),
+    ];
+    for (label, report_type) in cases {
+        let mut sim = sim_with_rtt(0);
+        let enb = sim.add_enb(EnbConfig::single_cell(EnbId(1)), remote_agent_config());
+        sim.master_mut()
+            .register_app(Box::new(flexran::apps::CentralizedScheduler::new(
+                2,
+                Box::new(flexran::stack::mac::scheduler::RoundRobinScheduler::new()),
+            )));
+        let mut ues = Vec::new();
+        for _ in 0..16 {
+            let ue = sim.add_ue(enb, CellId(0), SliceId::MNO, 0, UeRadioSpec::FixedCqi(10));
+            sim.set_dl_traffic(ue, Box::new(CbrSource::new(BitRate::from_kbps(500))));
+            ues.push(ue);
+        }
+        sim.run(5);
+        let _ = sim.master_mut().request_stats(
+            enb,
+            ReportConfig {
+                report_type,
+                flags: ReportFlags::ALL,
+            },
+        );
+        sim.run(ctx.ttis(800, 300));
+        let tx0 = sim.agent(enb).unwrap().transport().tx_counters();
+        let goodput0: u64 = ues
+            .iter()
+            .filter_map(|u| sim.ue_stats(*u))
+            .map(|s| s.dl_delivered_bits)
+            .sum();
+        let window = ctx.ttis(5_000, 1_500);
+        sim.run(window);
+        let tx = sim
+            .agent(enb)
+            .unwrap()
+            .transport()
+            .tx_counters()
+            .since(&tx0);
+        let goodput: u64 = ues
+            .iter()
+            .filter_map(|u| sim.ue_stats(*u))
+            .map(|s| s.dl_delivered_bits)
+            .sum();
+        let row = vec![
+            label,
+            f2(tx.mbps(MessageCategory::StatsReporting, window)),
+            f2(tx.messages(MessageCategory::StatsReporting) as f64 * 1000.0 / window as f64),
+            f2(mbps(goodput - goodput0, window)),
+        ];
+        r.row(row.clone());
+        rows.push(row);
+    }
+    ctx.write_csv(
+        "ablation_reporting",
+        &csv(&["mode", "stats_mbps", "msgs_per_s", "goodput_mbps"], &rows),
+    );
+    r.note("paper claim to verify: period-2 ≈ half the period-1 overhead with no significant performance impact (the remote scheduler still saturates the cell)");
+    r
+}
+
+/// PDCCH DCI-budget ablation.
+pub fn ablation_dci_budget(ctx: &ExpContext) -> ExpResult {
+    let mut r = ExpResult::new(
+        "ablation-dci-budget",
+        "cell goodput and fairness vs per-TTI DCI budget",
+        &["max DCIs/TTI", "cell Mb/s", "min-UE Mb/s", "max-UE Mb/s"],
+    );
+    let mut rows = Vec::new();
+    for max_dcis in [2u8, 4, 10, 16] {
+        let mut sim = SimHarness::new(SimConfig::default());
+        let mut cfg = EnbConfig::single_cell(EnbId(1));
+        cfg.cells[0].max_dl_dcis_per_tti = max_dcis;
+        let enb = sim.add_enb(cfg, Default::default());
+        let mut ues = Vec::new();
+        for _ in 0..12 {
+            let ue = sim.add_ue(enb, CellId(0), SliceId::MNO, 0, UeRadioSpec::FixedCqi(10));
+            sim.set_dl_traffic(ue, Box::new(FullBufferSource::default()));
+            ues.push(ue);
+        }
+        sim.run(300);
+        let start: Vec<u64> = ues
+            .iter()
+            .map(|u| sim.ue_stats(*u).map(|s| s.dl_delivered_bits).unwrap_or(0))
+            .collect();
+        let window = ctx.ttis(5_000, 1_500);
+        sim.run(window);
+        let rates: Vec<f64> = ues
+            .iter()
+            .zip(&start)
+            .map(|(u, s0)| {
+                mbps(
+                    sim.ue_stats(*u).map(|s| s.dl_delivered_bits).unwrap_or(*s0) - s0,
+                    window,
+                )
+            })
+            .collect();
+        let total: f64 = rates.iter().sum();
+        let min = rates.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = rates.iter().cloned().fold(0.0f64, f64::max);
+        let row = vec![max_dcis.to_string(), f2(total), f2(min), f2(max)];
+        r.row(row.clone());
+        rows.push(row);
+    }
+    ctx.write_csv(
+        "ablation_dci_budget",
+        &csv(
+            &["max_dcis", "cell_mbps", "min_ue_mbps", "max_ue_mbps"],
+            &rows,
+        ),
+    );
+    r.note("cell capacity is DCI-insensitive under round-robin (PRBs, not DCIs, are the bottleneck); short-term fairness degrades at tiny budgets");
+    r
+}
+
+/// BLER-target ablation.
+pub fn ablation_bler_target(ctx: &ExpContext) -> ExpResult {
+    let mut r = ExpResult::new(
+        "ablation-bler-target",
+        "goodput and HARQ retransmission rate vs link-adaptation BLER target",
+        &["target BLER", "goodput Mb/s", "retx/tx"],
+    );
+    let mut rows = Vec::new();
+    for target in [0.01, 0.05, 0.1, 0.3] {
+        let mut sim = SimHarness::new(SimConfig::default());
+        let params = EnbParams {
+            bler: BlerModel {
+                target_bler: target,
+                ..BlerModel::default()
+            },
+            ..EnbParams::default()
+        };
+        let enb = sim.add_enb_with(
+            EnbConfig::single_cell(EnbId(1)),
+            Default::default(),
+            params,
+            None,
+        );
+        let ue = sim.add_ue(
+            enb,
+            CellId(0),
+            SliceId::MNO,
+            0,
+            UeRadioSpec::Fading(16.0, 3.0, 0.99, 7),
+        );
+        sim.set_dl_traffic(ue, Box::new(FullBufferSource::default()));
+        sim.run(300);
+        let s0 = sim.ue_stats(ue).unwrap();
+        let window = ctx.ttis(6_000, 1_500);
+        sim.run(window);
+        let s1 = sim.ue_stats(ue).unwrap();
+        let goodput = mbps(s1.dl_delivered_bits - s0.dl_delivered_bits, window);
+        let tx = (s1.harq_tx - s0.harq_tx).max(1);
+        let retx_rate = (s1.harq_retx - s0.harq_retx) as f64 / tx as f64;
+        let row = vec![format!("{target}"), f2(goodput), format!("{retx_rate:.3}")];
+        r.row(row.clone());
+        rows.push(row);
+    }
+    ctx.write_csv(
+        "ablation_bler_target",
+        &csv(&["target_bler", "goodput_mbps", "retx_ratio"], &rows),
+    );
+    r.note("the retransmission ratio tracks the configured operating point; goodput is flat near the conventional 10 % knee (chase combining recovers most first-attempt losses)");
+    r
+}

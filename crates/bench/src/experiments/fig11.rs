@@ -1,0 +1,200 @@
+//! Fig. 11 — DASH rate adaptation, default vs FlexRAN-assisted player
+//! (paper §6.2).
+//!
+//! Two cases, as in the paper:
+//!
+//! * **11a** (low variability): ladder {1.2, 2, 4} Mb/s, CQI toggling
+//!   3 ↔ 2. The default player parks at the lowest bitrate; the assisted
+//!   player exploits the RAN's CQI to ride the higher sustainable level
+//!   when the channel allows — higher mean quality, no freezes for
+//!   either.
+//! * **11b** (high variability): the 4K ladder {2.9 … 19.6} Mb/s, CQI
+//!   toggling 10 ↔ 4. The default player overshoots the achievable
+//!   throughput, collapses into congestion and freezes; the assisted
+//!   player holds a sustainable level with zero freezes and higher
+//!   stability.
+
+use flexran::agent::AgentConfig;
+use flexran::apps::MecDashApp;
+use flexran::harness::{SimConfig, SimHarness, UeRadioSpec};
+use flexran::prelude::*;
+use flexran::sim::dash::{Abr, AssistedAbr, DashClient, DashConfig, ReferenceAbr};
+
+use crate::experiments::subscribe_stats;
+use crate::{csv, f2, ExpContext, ExpResult};
+
+struct Outcome {
+    mean_bitrate: f64,
+    max_bitrate: f64,
+    rebuffer_events: u64,
+    rebuffer_s: f64,
+    segments: u64,
+    /// Bitrate changes across consecutive segments (instability).
+    switches: u64,
+    /// Segments whose bitrate exceeded the channel capacity at choice
+    /// time (the overshoot that triggers congestion).
+    overshoots: u64,
+}
+
+fn run_player(
+    low_var: bool,
+    assisted: bool,
+    ttis: u64,
+    half_period: u64,
+) -> (Outcome, Vec<Vec<String>>) {
+    let mut sim = SimHarness::new(SimConfig::default());
+    let enb = sim.add_enb(EnbConfig::single_cell(EnbId(1)), AgentConfig::default());
+    let (hi, lo) = if low_var { (3, 2) } else { (10, 4) };
+    let ue = sim.add_ue(
+        enb,
+        CellId(0),
+        SliceId::MNO,
+        0,
+        UeRadioSpec::CqiSquareWave(hi, lo, half_period),
+    );
+    let app = MecDashApp::new();
+    let hints = app.hint_channel();
+    sim.master_mut().register_app(Box::new(app));
+    sim.run(3);
+    subscribe_stats(&mut sim, enb, 10);
+    sim.run(100);
+
+    let cfg = if low_var {
+        DashConfig::paper_low_ladder()
+    } else {
+        DashConfig::paper_4k_ladder()
+    };
+    let abr: Box<dyn Abr> = if assisted {
+        Box::new(AssistedAbr)
+    } else {
+        Box::new(ReferenceAbr::default())
+    };
+    let mut client = DashClient::new(cfg, abr);
+    let rnti = sim.ue_stats(ue).unwrap().rnti;
+    for _ in 0..ttis {
+        let stats = sim.ue_stats(ue).expect("attached");
+        if assisted {
+            if let Some(hint) = hints.read().get(&(EnbId(1), rnti)) {
+                client.set_hint(*hint);
+            }
+        }
+        let inject = client.on_tti(sim.now(), stats.dl_queue_bytes, stats.dl_delivered_bits);
+        if !inject.is_zero() {
+            sim.inject_dl(ue, inject).unwrap();
+        }
+        sim.step();
+    }
+    let series: Vec<Vec<String>> = client
+        .bitrate_series
+        .iter()
+        .map(|(t, b)| vec![format!("{t:.1}"), f2(*b)])
+        .collect();
+    let mean = client.bitrate_series.iter().map(|p| p.1).sum::<f64>()
+        / client.bitrate_series.len().max(1) as f64;
+    let max = client
+        .bitrate_series
+        .iter()
+        .map(|p| p.1)
+        .fold(0.0f64, f64::max);
+    let switches = client
+        .bitrate_series
+        .windows(2)
+        .filter(|w| (w[0].1 - w[1].1).abs() > 1e-9)
+        .count() as u64;
+    // Capacity at each choice time follows the known CQI square wave.
+    let capacity = |t_s: f64| -> f64 {
+        let phase = ((t_s * 1000.0) as u64 / half_period) % 2;
+        let cqi = if phase == 0 { hi } else { lo };
+        flexran::apps::cqi_capacity(flexran::phy::link_adaptation::Cqi(cqi)).as_mbps_f64()
+    };
+    let overshoots = client
+        .bitrate_series
+        .iter()
+        .filter(|(t, b)| *b > capacity(*t) * 0.97)
+        .count() as u64;
+    (
+        Outcome {
+            mean_bitrate: mean,
+            max_bitrate: max,
+            rebuffer_events: client.rebuffer_events,
+            rebuffer_s: client.rebuffer_ms as f64 / 1000.0,
+            segments: client.segments_completed,
+            switches,
+            overshoots,
+        },
+        series,
+    )
+}
+
+pub fn fig11(ctx: &ExpContext, low_var: bool) -> ExpResult {
+    let (id, title): (&'static str, &'static str) = if low_var {
+        (
+            "fig11a",
+            "DASH adaptation, low throughput variability (paper Fig. 11a)",
+        )
+    } else {
+        (
+            "fig11b",
+            "DASH adaptation, high throughput variability (paper Fig. 11b)",
+        )
+    };
+    let ttis = ctx.ttis(120_000, 30_000);
+    let half_period = ctx.ttis(20_000, 6_000);
+    let mut r = ExpResult::new(
+        id,
+        title,
+        &[
+            "player",
+            "mean Mb/s",
+            "max Mb/s",
+            "freezes",
+            "frozen s",
+            "segments",
+            "switches",
+            "overshoots",
+        ],
+    );
+    let mut summary_rows = Vec::new();
+    for assisted in [false, true] {
+        let (o, series) = run_player(low_var, assisted, ttis, half_period);
+        let label = if assisted { "assisted" } else { "reference" };
+        ctx.write_csv(
+            &format!("{id}_{label}_bitrate"),
+            &csv(&["t_s", "mbps"], &series),
+        );
+        let row = vec![
+            label.to_string(),
+            f2(o.mean_bitrate),
+            f2(o.max_bitrate),
+            o.rebuffer_events.to_string(),
+            f2(o.rebuffer_s),
+            o.segments.to_string(),
+            o.switches.to_string(),
+            o.overshoots.to_string(),
+        ];
+        r.row(row.clone());
+        summary_rows.push(row);
+    }
+    ctx.write_csv(
+        id,
+        &csv(
+            &[
+                "player",
+                "mean_mbps",
+                "max_mbps",
+                "freezes",
+                "frozen_s",
+                "segments",
+                "switches",
+                "overshoots",
+            ],
+            &summary_rows,
+        ),
+    );
+    if low_var {
+        r.note("paper 11a: the default player misjudges the channel (theirs undershot; ours, with a sharper transport estimator, overshoots via buffer probes) while the assisted player tracks the sustainable level exactly — zero overshoots, fewer switches, no freezes for either");
+    } else {
+        r.note("paper 11b: the default player overshoots (19.6 > achievable ~15 Mb/s), congests and freezes repeatedly; the assisted player is stable with zero freezes");
+    }
+    r
+}

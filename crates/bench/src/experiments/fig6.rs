@@ -1,0 +1,242 @@
+//! Fig. 6 — comparison to vanilla OAI (paper §5.1).
+//!
+//! * **6a**: CPU utilization and memory footprint of the eNodeB with and
+//!   without the FlexRAN agent, idle and with a UE running a speedtest.
+//!   The paper measures OS-level process accounting on its Xeon testbed;
+//!   here the same quantities are wall-clock time of the identical
+//!   per-TTI code path and explicit heap accounting. Absolute values
+//!   differ from the paper's; the *shape* — a slight increase from the
+//!   agent, dwarfed by the UE workload itself — is the result.
+//! * **6b**: downlink/uplink goodput of the speedtest UE, which must be
+//!   indistinguishable between the two (FlexRAN transparency).
+
+use std::time::Instant;
+
+use flexran::agent::AgentConfig;
+use flexran::harness::{UeRadioSpec, VanillaHarness};
+use flexran::prelude::*;
+use flexran::stack::enb::EnbParams;
+use flexran::types::units::Bytes;
+
+use crate::experiments::mbps;
+use crate::{csv, f2, ExpContext, ExpResult};
+
+struct Case {
+    label: &'static str,
+    cpu_us_per_tti: f64,
+    mem_bytes: usize,
+    dl_mbps: f64,
+    ul_mbps: f64,
+}
+
+fn run_vanilla(with_ue: bool, ttis: u64) -> Case {
+    let mut h = VanillaHarness::new(EnbConfig::single_cell(EnbId(1)), EnbParams::default());
+    let ue = with_ue.then(|| h.add_ue(CellId(0), UeRadioSpec::FixedCqi(14)));
+    // Attach.
+    h.run(100);
+    let start_bits = ue
+        .and_then(|(_, rnti)| h.enb.ue_stat(CellId(0), rnti).ok())
+        .map(|s| (s.dl_delivered_bits, s.ul_delivered_bits))
+        .unwrap_or((0, 0));
+    let t0 = Instant::now();
+    for _ in 0..ttis {
+        if let Some((_, rnti)) = ue {
+            let queue = h
+                .enb
+                .ue_stat(CellId(0), rnti)
+                .map(|s| s.dl_queue_bytes.as_u64())
+                .unwrap_or(0);
+            if queue < 300_000 {
+                let now = h.now();
+                let _ = h
+                    .enb
+                    .inject_dl_traffic(CellId(0), rnti, Bytes(300_000 - queue), now);
+            }
+            let _ = h.enb.inject_ul_traffic(CellId(0), rnti, Bytes(3_000));
+        }
+        h.step();
+    }
+    let elapsed = t0.elapsed();
+    let (dl, ul) = ue
+        .and_then(|(_, rnti)| h.enb.ue_stat(CellId(0), rnti).ok())
+        .map(|s| {
+            (
+                s.dl_delivered_bits - start_bits.0,
+                s.ul_delivered_bits - start_bits.1,
+            )
+        })
+        .unwrap_or((0, 0));
+    Case {
+        label: if with_ue {
+            "vanilla + UE"
+        } else {
+            "vanilla idle"
+        },
+        cpu_us_per_tti: elapsed.as_secs_f64() * 1e6 / ttis as f64,
+        mem_bytes: h.enb.heap_bytes(),
+        dl_mbps: mbps(dl, ttis),
+        ul_mbps: mbps(ul, ttis),
+    }
+}
+
+fn run_flexran(with_ue: bool, ttis: u64) -> Case {
+    // Build the eNodeB-machine side by hand so only *its* work is timed
+    // (the paper measures the eNodeB host, not the controller): agent +
+    // data plane on the timed path, master untimed on the other side of
+    // an in-process channel.
+    use flexran::agent::{FlexranAgent, VsfRegistry};
+    use flexran::controller::{MasterController, TaskManagerConfig};
+    use flexran::proto::channel_pair;
+    use flexran::proto::{ReportConfig, ReportFlags, ReportType};
+    use flexran::stack::enb::{Enb, StaticPhyView};
+
+    let (agent_side, master_side) = channel_pair();
+    let enb_dp = Enb::new(EnbConfig::single_cell(EnbId(1)), EnbParams::default()).unwrap();
+    let mut agent = FlexranAgent::new(
+        enb_dp,
+        agent_side,
+        VsfRegistry::with_builtins(),
+        AgentConfig {
+            sync_period: 1,
+            ..AgentConfig::default()
+        },
+    );
+    let mut master = MasterController::new(TaskManagerConfig::default());
+    master.add_agent(Box::new(master_side));
+    let mut phy = StaticPhyView(flexran::phy::link_adaptation::sinr_for_cqi(
+        flexran::phy::link_adaptation::Cqi(14),
+    )); // identical channel to the vanilla case
+    let rnti = with_ue.then(|| {
+        agent
+            .enb_mut()
+            .rach(CellId(0), UeId(1), SliceId::MNO, 0, Tti(0))
+            .unwrap()
+    });
+    // Warm up: hello + attach + worst-case per-TTI stats subscription.
+    for t in 1..100u64 {
+        agent.run_tti(Tti(t), &mut phy);
+        master.run_cycle(Tti(t));
+        if t == 5 {
+            // Normal-operation reporting (the paper's Fig. 6 runs the
+            // plain setup; the per-TTI worst case is Fig. 7's subject).
+            let _ = master.request_stats(
+                EnbId(1),
+                ReportConfig {
+                    report_type: ReportType::Periodic { period: 100 },
+                    flags: ReportFlags::ALL,
+                },
+            );
+        }
+    }
+    let start_bits = rnti
+        .and_then(|r| agent.enb().ue_stat(CellId(0), r).ok())
+        .map(|s| (s.dl_delivered_bits, s.ul_delivered_bits))
+        .unwrap_or((0, 0));
+    let mut agent_time = std::time::Duration::ZERO;
+    for t in 100..100 + ttis {
+        let tti = Tti(t);
+        if let Some(r) = rnti {
+            let queue = agent
+                .enb()
+                .ue_stat(CellId(0), r)
+                .map(|s| s.dl_queue_bytes.as_u64())
+                .unwrap_or(0);
+            if queue < 300_000 {
+                let _ =
+                    agent
+                        .enb_mut()
+                        .inject_dl_traffic(CellId(0), r, Bytes(300_000 - queue), tti);
+            }
+            let _ = agent
+                .enb_mut()
+                .inject_ul_traffic(CellId(0), r, Bytes(3_000));
+        }
+        let t0 = Instant::now();
+        agent.run_tti(tti, &mut phy); // the timed eNodeB-machine work
+        agent_time += t0.elapsed();
+        master.run_cycle(tti); // controller machine: untimed
+    }
+    let (dl, ul) = rnti
+        .and_then(|r| agent.enb().ue_stat(CellId(0), r).ok())
+        .map(|s| {
+            (
+                s.dl_delivered_bits - start_bits.0,
+                s.ul_delivered_bits - start_bits.1,
+            )
+        })
+        .unwrap_or((0, 0));
+    Case {
+        label: if with_ue {
+            "flexran + UE"
+        } else {
+            "flexran idle"
+        },
+        cpu_us_per_tti: agent_time.as_secs_f64() * 1e6 / ttis as f64,
+        mem_bytes: agent.heap_bytes(),
+        dl_mbps: mbps(dl, ttis),
+        ul_mbps: mbps(ul, ttis),
+    }
+}
+
+fn run_cases(ctx: &ExpContext) -> Vec<Case> {
+    let ttis = ctx.ttis(8_000, 1_500);
+    vec![
+        run_vanilla(false, ttis),
+        run_vanilla(true, ttis),
+        run_flexran(false, ttis),
+        run_flexran(true, ttis),
+    ]
+}
+
+/// Fig. 6a: CPU and memory overhead of the agent.
+pub fn fig6a(ctx: &ExpContext) -> ExpResult {
+    let cases = run_cases(ctx);
+    let mut r = ExpResult::new(
+        "fig6a",
+        "eNodeB CPU / memory: vanilla vs FlexRAN-enabled (paper Fig. 6a)",
+        &["case", "cpu µs/TTI", "heap bytes"],
+    );
+    let mut rows = Vec::new();
+    for c in &cases {
+        r.row(vec![
+            c.label.to_string(),
+            f2(c.cpu_us_per_tti),
+            c.mem_bytes.to_string(),
+        ]);
+        rows.push(vec![
+            c.label.to_string(),
+            f2(c.cpu_us_per_tti),
+            c.mem_bytes.to_string(),
+        ]);
+    }
+    ctx.write_csv(
+        "fig6a",
+        &csv(&["case", "cpu_us_per_tti", "heap_bytes"], &rows),
+    );
+    r.note("paper: +0.17 % CPU, +30 MB memory from the agent; shape = slight agent overhead, workload dominates");
+    r
+}
+
+/// Fig. 6b: throughput transparency.
+pub fn fig6b(ctx: &ExpContext) -> ExpResult {
+    let ttis = ctx.ttis(8_000, 1_500);
+    let v = run_vanilla(true, ttis);
+    let f = run_flexran(true, ttis);
+    let mut r = ExpResult::new(
+        "fig6b",
+        "speedtest UE goodput: vanilla vs FlexRAN-enabled (paper Fig. 6b)",
+        &["case", "DL Mb/s", "UL Mb/s"],
+    );
+    let mut rows = Vec::new();
+    for c in [&v, &f] {
+        r.row(vec![c.label.to_string(), f2(c.dl_mbps), f2(c.ul_mbps)]);
+        rows.push(vec![c.label.to_string(), f2(c.dl_mbps), f2(c.ul_mbps)]);
+    }
+    ctx.write_csv("fig6b", &csv(&["case", "dl_mbps", "ul_mbps"], &rows));
+    let dl_ratio = f.dl_mbps / v.dl_mbps.max(1e-9);
+    r.note(format!(
+        "DL ratio flexran/vanilla = {:.3} (paper: indistinguishable, ~23 DL / ~9 UL Mb/s on their testbed)",
+        dl_ratio
+    ));
+    r
+}

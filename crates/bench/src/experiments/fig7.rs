@@ -1,0 +1,174 @@
+//! Fig. 7 — controller–agent signalling overhead (paper §5.2.1).
+//!
+//! The paper's worst case: a centralized scheduler at the master taking
+//! every decision at TTI granularity, full statistics reports every TTI,
+//! per-TTI master–agent synchronization, uniform downlink UDP traffic for
+//! 10–50 UEs. Measured: bytes on the control channel per direction,
+//! broken down by message category.
+//!
+//! Expected shapes: agent→master dominated by stats reporting, growing
+//! *sublinearly* with the UE count (per-message framing and envelope are
+//! amortized over aggregated per-UE reports); master→agent dominated by
+//! scheduling commands, growing *faster than linearly* at the high end as
+//! the saturated cell needs more DCIs per TTI.
+
+use flexran::harness::UeRadioSpec;
+use flexran::prelude::*;
+use flexran::proto::{MessageCategory, Transport};
+use flexran::sim::traffic::PoissonSource;
+use flexran::stack::mac::scheduler::RoundRobinScheduler;
+
+use crate::experiments::{remote_agent_config, sim_with_rtt, subscribe_stats};
+use crate::{csv, f2, ExpContext, ExpResult};
+
+struct Sample {
+    n_ues: usize,
+    // agent → master, Mb/s
+    mgmt: f64,
+    sync: f64,
+    stats: f64,
+    events: f64,
+    // master → agent, Mb/s
+    m_mgmt: f64,
+    commands: f64,
+}
+
+fn run_point(n_ues: usize, ctx: &ExpContext) -> Sample {
+    let mut sim = sim_with_rtt(0);
+    let enb = sim.add_enb(EnbConfig::single_cell(EnbId(1)), remote_agent_config());
+    sim.master_mut()
+        .register_app(Box::new(flexran::apps::CentralizedScheduler::new(
+            2,
+            Box::new(RoundRobinScheduler::new()),
+        )));
+    for i in 0..n_ues {
+        let ue = sim.add_ue(enb, CellId(0), SliceId::MNO, 0, UeRadioSpec::FixedCqi(10));
+        // Uniform downlink UDP: 0.4 Mb/s per UE in 1200-byte packets.
+        // Packetized arrivals mean a UE is backlogged only part of the
+        // time, so the number of scheduling decisions per TTI — and with
+        // it the command overhead — grows with the UE count until the
+        // cell saturates, as in the paper.
+        sim.set_dl_traffic(
+            ue,
+            Box::new(PoissonSource::new(
+                BitRate::from_kbps(400),
+                1200,
+                100 + i as u64,
+            )),
+        );
+    }
+    sim.run(5);
+    subscribe_stats(&mut sim, enb, 1);
+    // Warm-up: attaches complete, queues reach steady state.
+    sim.run(ctx.ttis(1_000, 400));
+    let tx0 = sim.agent(enb).unwrap().transport().tx_counters();
+    let rx0 = sim.agent(enb).unwrap().transport().rx_counters();
+    let window = ctx.ttis(10_000, 1_500);
+    sim.run(window);
+    let tx = sim
+        .agent(enb)
+        .unwrap()
+        .transport()
+        .tx_counters()
+        .since(&tx0);
+    let rx = sim
+        .agent(enb)
+        .unwrap()
+        .transport()
+        .rx_counters()
+        .since(&rx0);
+    Sample {
+        n_ues,
+        mgmt: tx.mbps(MessageCategory::AgentManagement, window),
+        sync: tx.mbps(MessageCategory::Sync, window),
+        stats: tx.mbps(MessageCategory::StatsReporting, window),
+        events: tx.mbps(MessageCategory::Events, window),
+        m_mgmt: rx.mbps(MessageCategory::AgentManagement, window)
+            + rx.mbps(MessageCategory::Delegation, window),
+        commands: rx.mbps(MessageCategory::Commands, window),
+    }
+}
+
+/// Fig. 7a and 7b together (one sweep feeds both).
+pub fn fig7(ctx: &ExpContext) -> Vec<ExpResult> {
+    let ue_counts: &[usize] = if ctx.quick {
+        &[10, 30, 50]
+    } else {
+        &[10, 20, 30, 40, 50]
+    };
+    let samples: Vec<Sample> = ue_counts.iter().map(|n| run_point(*n, ctx)).collect();
+
+    let mut a = ExpResult::new(
+        "fig7a",
+        "agent→master signalling vs UE count (paper Fig. 7a)",
+        &[
+            "UEs",
+            "mgmt Mb/s",
+            "sync Mb/s",
+            "stats Mb/s",
+            "events Mb/s",
+            "total Mb/s",
+        ],
+    );
+    let mut a_rows = Vec::new();
+    for s in &samples {
+        let total = s.mgmt + s.sync + s.stats + s.events;
+        let row = vec![
+            s.n_ues.to_string(),
+            format!("{:.4}", s.mgmt),
+            f2(s.sync),
+            f2(s.stats),
+            format!("{:.4}", s.events),
+            f2(total),
+        ];
+        a.row(row.clone());
+        a_rows.push(row);
+    }
+    ctx.write_csv(
+        "fig7a",
+        &csv(
+            &[
+                "ues",
+                "mgmt_mbps",
+                "sync_mbps",
+                "stats_mbps",
+                "events_mbps",
+                "total_mbps",
+            ],
+            &a_rows,
+        ),
+    );
+    // Linearity characterization for the notes.
+    let per_ue_first = (samples[0].stats + samples[0].sync) / samples[0].n_ues as f64;
+    let last = samples.last().expect("non-empty sweep");
+    let per_ue_last = (last.stats + last.sync) / last.n_ues as f64;
+    a.note(format!(
+        "per-UE overhead {per_ue_first:.2} → {per_ue_last:.2} Mb/s; stats reporting dominates and agent management is negligible, as in the paper (the paper's visible sublinearity comes from protobuf scaffolding amortization, relatively smaller in this leaner encoding — see EXPERIMENTS.md)"
+    ));
+
+    let mut b = ExpResult::new(
+        "fig7b",
+        "master→agent signalling vs UE count (paper Fig. 7b)",
+        &["UEs", "mgmt Mb/s", "commands Mb/s"],
+    );
+    let mut b_rows = Vec::new();
+    for s in &samples {
+        let row = vec![
+            s.n_ues.to_string(),
+            format!("{:.4}", s.m_mgmt),
+            f2(s.commands),
+        ];
+        b.row(row.clone());
+        b_rows.push(row);
+    }
+    ctx.write_csv(
+        "fig7b",
+        &csv(&["ues", "mgmt_mbps", "commands_mbps"], &b_rows),
+    );
+    b.note(format!(
+        "commands grow {:.2} → {:.2} Mb/s as the saturated cell schedules more UEs per TTI; management is negligible (paper: <4 Mb/s, almost entirely scheduling decisions)",
+        samples[0].commands,
+        last.commands
+    ));
+    vec![a, b]
+}

@@ -1,0 +1,85 @@
+//! Fig. 8 — master controller resources vs number of agents
+//! (paper §5.2.2).
+//!
+//! The master runs its Task Manager in TTI cycles; the paper reports how
+//! much of each cycle the core components (RIB updater) and applications
+//! consume, plus the master's memory footprint, for 0–3 connected agents
+//! with 16 UEs each under per-TTI reporting.
+//!
+//! Absolute microseconds are hardware-specific; the shape — core-
+//! component time growing with the number of agents (more RIB updates),
+//! both slots a small fraction of the 1 ms cycle, memory growing with the
+//! RIB — is the reproduced result.
+
+use flexran::harness::UeRadioSpec;
+use flexran::prelude::*;
+use flexran::sim::traffic::CbrSource;
+use flexran::stack::mac::scheduler::RoundRobinScheduler;
+
+use crate::experiments::{remote_agent_config, sim_with_rtt, subscribe_stats};
+use crate::{csv, f2, ExpContext, ExpResult};
+
+pub fn fig8(ctx: &ExpContext) -> ExpResult {
+    let mut r = ExpResult::new(
+        "fig8",
+        "master TTI-cycle utilization and memory vs agents (paper Fig. 8)",
+        &[
+            "agents",
+            "apps µs/cycle",
+            "core µs/cycle",
+            "idle µs/cycle",
+            "RIB bytes",
+        ],
+    );
+    let mut rows = Vec::new();
+    let agent_counts: &[u32] = if ctx.quick { &[0, 2] } else { &[0, 1, 2, 3] };
+    for &n_agents in agent_counts {
+        let mut sim = sim_with_rtt(0);
+        sim.master_mut()
+            .register_app(Box::new(flexran::apps::MonitoringApp::new(10)));
+        sim.master_mut()
+            .register_app(Box::new(flexran::apps::CentralizedScheduler::new(
+                2,
+                Box::new(RoundRobinScheduler::new()),
+            )));
+        for i in 0..n_agents {
+            let enb = sim.add_enb(EnbConfig::single_cell(EnbId(i + 1)), remote_agent_config());
+            for _ in 0..16 {
+                let ue = sim.add_ue(enb, CellId(0), SliceId::MNO, 0, UeRadioSpec::FixedCqi(10));
+                sim.set_dl_traffic(ue, Box::new(CbrSource::new(BitRate::from_kbps(500))));
+            }
+        }
+        sim.run(5);
+        for i in 0..n_agents {
+            subscribe_stats(&mut sim, EnbId(i + 1), 1);
+        }
+        // Warm up, then measure a clean window.
+        sim.run(ctx.ttis(500, 200));
+        let acc0 = sim.master().accounting();
+        sim.run(ctx.ttis(4_000, 800));
+        let acc1 = sim.master().accounting();
+        let cycles = (acc1.cycles - acc0.cycles) as f64;
+        let core_us = (acc1.rib_total - acc0.rib_total).as_secs_f64() * 1e6 / cycles;
+        let apps_us = (acc1.apps_total - acc0.apps_total).as_secs_f64() * 1e6 / cycles;
+        let idle_us = (1000.0 - core_us - apps_us).max(0.0);
+        let rib_bytes = sim.master().rib().heap_bytes();
+        let row = vec![
+            n_agents.to_string(),
+            f2(apps_us),
+            f2(core_us),
+            f2(idle_us),
+            rib_bytes.to_string(),
+        ];
+        r.row(row.clone());
+        rows.push(row);
+    }
+    ctx.write_csv(
+        "fig8",
+        &csv(
+            &["agents", "apps_us", "core_us", "idle_us", "rib_bytes"],
+            &rows,
+        ),
+    );
+    r.note("paper: core-component time grows with agents (RIB updates), cycle mostly idle, memory 5→9 MB; here the same shape at this implementation's (much smaller) absolute scale");
+    r
+}

@@ -1,0 +1,89 @@
+//! Fig. 9 — control-channel latency vs schedule-ahead (paper §5.3).
+//!
+//! A centralized scheduler at the master, one full-buffer UE, a `netem`
+//! link with RTT 0–60 ms, and the scheduler's schedule-ahead parameter
+//! swept 0–80 subframes. Two regions:
+//!
+//! * `ahead < RTT` — every decision misses its target subframe; the UE
+//!   cannot even complete attachment → throughput 0 (lower triangle).
+//! * `ahead ≥ RTT` — the UE is served, but throughput decays gradually
+//!   with both knobs: the RIB's CQI is stale by the RTT, and larger
+//!   schedule-ahead means predicting the channel further into the future.
+//!   A time-varying (AR(1)) channel makes that staleness costly, exactly
+//!   as the paper argues ("wrong scheduling decisions (e.g. due to a bad
+//!   modulation and coding scheme choice)").
+
+use flexran::harness::UeRadioSpec;
+use flexran::prelude::*;
+use flexran::sim::traffic::FullBufferSource;
+use flexran::stack::mac::scheduler::RoundRobinScheduler;
+
+use crate::experiments::{mbps, remote_agent_config, sim_with_rtt, subscribe_stats};
+use crate::{csv, f2, ExpContext, ExpResult};
+
+fn run_point(rtt_ms: u64, ahead: u64, ctx: &ExpContext) -> f64 {
+    let mut sim = sim_with_rtt(rtt_ms);
+    let enb = sim.add_enb(EnbConfig::single_cell(EnbId(1)), remote_agent_config());
+    // Slowly varying channel around 18 dB: fresh CQI tracks it well;
+    // stale CQI overshoots on the downswings.
+    let ue = sim.add_ue(
+        enb,
+        CellId(0),
+        SliceId::MNO,
+        0,
+        UeRadioSpec::Fading(18.0, 4.0, 0.997, 42),
+    );
+    sim.set_dl_traffic(ue, Box::new(FullBufferSource::default()));
+    sim.master_mut()
+        .register_app(Box::new(flexran::apps::CentralizedScheduler::new(
+            ahead,
+            Box::new(RoundRobinScheduler::new()),
+        )));
+    sim.run(5 + rtt_ms);
+    subscribe_stats(&mut sim, enb, 1);
+    // Attach window (generous at high RTT), then measurement.
+    sim.run(ctx.ttis(1_500, 800));
+    let start = sim.ue_stats(ue).map(|s| s.dl_delivered_bits).unwrap_or(0);
+    let window = ctx.ttis(4_000, 1_200);
+    sim.run(window);
+    let end = sim
+        .ue_stats(ue)
+        .map(|s| s.dl_delivered_bits)
+        .unwrap_or(start);
+    mbps(end.saturating_sub(start), window)
+}
+
+pub fn fig9(ctx: &ExpContext) -> ExpResult {
+    let (rtts, aheads): (&[u64], &[u64]) = if ctx.quick {
+        (&[0, 20, 40], &[0, 8, 24, 48])
+    } else {
+        (&[0, 10, 20, 30, 40, 60], &[0, 4, 8, 16, 24, 32, 48, 64, 80])
+    };
+    let mut r = ExpResult::new(
+        "fig9",
+        "DL throughput vs control RTT × schedule-ahead (paper Fig. 9)",
+        &["RTT ms", "ahead sf", "Mb/s"],
+    );
+    let mut rows = Vec::new();
+    let mut zero_lower = true;
+    let mut served_upper = true;
+    for &rtt in rtts {
+        for &ahead in aheads {
+            let m = run_point(rtt, ahead, ctx);
+            if ahead < rtt && m > 0.01 {
+                zero_lower = false;
+            }
+            if ahead >= rtt + 8 && m < 1.0 {
+                served_upper = false;
+            }
+            let row = vec![rtt.to_string(), ahead.to_string(), f2(m)];
+            r.row(row.clone());
+            rows.push(row);
+        }
+    }
+    ctx.write_csv("fig9", &csv(&["rtt_ms", "ahead_sf", "mbps"], &rows));
+    r.note(format!(
+        "lower triangle (ahead < RTT) all zero: {zero_lower}; upper region served: {served_upper}; throughput decays with RTT and ahead (stale CQI + further prediction), as in the paper"
+    ));
+    r
+}

@@ -1,0 +1,25 @@
+//! # flexran-controller
+//!
+//! The FlexRAN master controller (paper §4.3.3): the brain of the FlexRAN
+//! control plane.
+//!
+//! * [`rib`] — the RAN Information Base: an in-memory forest (agents →
+//!   cells → UEs) of raw reported state.
+//! * [`updater`] — the single-writer RIB Updater plus the event funnel
+//!   for the Event Notification Service.
+//! * [`northbound`] — the application API: [`northbound::App`],
+//!   [`northbound::AppContext`], the Registry Service, and the
+//!   conflict-resolution guard (§7.3 extension).
+//! * [`master`] — agent sessions, the TTI-cycled Task Manager with
+//!   per-slot wall-clock accounting (Fig. 8's instrumentation), and
+//!   real-time pacing for TCP deployments.
+
+pub mod master;
+pub mod northbound;
+pub mod rib;
+pub mod updater;
+
+pub use master::{CycleAccounting, CycleStats, MasterController, TaskManagerConfig};
+pub use northbound::{App, AppContext, AppRegistry, ConflictGuard, Priority};
+pub use rib::{AgentNode, CellNode, Rib, UeNode};
+pub use updater::{NotifiedEvent, RibUpdater};

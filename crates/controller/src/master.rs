@@ -1,0 +1,427 @@
+//! The FlexRAN master controller (paper §4.3.3).
+//!
+//! The master manages agent sessions, runs the single-writer RIB Updater,
+//! the Event Notification Service and the registered applications, paced
+//! by the Task Manager in cycles of one TTI split into two slots: first
+//! the RIB Updater, then the applications (the paper's 20 % / 80 %
+//! division — here the split is a budget rather than a pre-emption
+//! boundary, since neither slot ever approaches it in practice; the
+//! per-slot wall-clock times are recorded per cycle, which is exactly the
+//! data behind Fig. 8).
+//!
+//! Two pacing modes (paper §4.3.3):
+//! * **virtual time** — [`MasterController::run_cycle`] is called once
+//!   per simulated TTI by a harness.
+//! * **real time** — [`MasterController::run_realtime`] paces cycles at
+//!   wall-clock 1 ms, for deployments over real TCP transports.
+
+use std::time::{Duration, Instant};
+
+use flexran_proto::messages::delegation::VsfPush;
+use flexran_proto::messages::stats::{ReportConfig, StatsRequest};
+use flexran_proto::messages::{FlexranMessage, Header};
+use flexran_proto::transport::Transport;
+use flexran_types::ids::EnbId;
+use flexran_types::time::Tti;
+use flexran_types::{FlexError, Result};
+
+use crate::northbound::{App, AppContext, AppRegistry, ConflictGuard};
+use crate::rib::Rib;
+use crate::updater::{NotifiedEvent, RibUpdater};
+
+/// Task Manager configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct TaskManagerConfig {
+    /// Cycle length in wall-clock time (real-time mode).
+    pub tti_duration: Duration,
+    /// Fraction of the cycle budgeted to the RIB Updater slot.
+    pub rib_slot_fraction: f64,
+}
+
+impl Default for TaskManagerConfig {
+    fn default() -> Self {
+        TaskManagerConfig {
+            tti_duration: Duration::from_millis(1),
+            rib_slot_fraction: 0.2,
+        }
+    }
+}
+
+/// Wall-clock accounting of one cycle.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CycleStats {
+    pub rib_slot: Duration,
+    pub apps_slot: Duration,
+}
+
+/// Accumulated accounting across cycles (Fig. 8's series).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CycleAccounting {
+    pub cycles: u64,
+    pub rib_total: Duration,
+    pub apps_total: Duration,
+}
+
+impl CycleAccounting {
+    pub fn mean_rib(&self) -> Duration {
+        if self.cycles == 0 {
+            Duration::ZERO
+        } else {
+            self.rib_total / self.cycles as u32
+        }
+    }
+
+    pub fn mean_apps(&self) -> Duration {
+        if self.cycles == 0 {
+            Duration::ZERO
+        } else {
+            self.apps_total / self.cycles as u32
+        }
+    }
+
+    /// Mean idle time per cycle against a TTI budget.
+    pub fn mean_idle(&self, tti: Duration) -> Duration {
+        tti.saturating_sub(self.mean_rib() + self.mean_apps())
+    }
+}
+
+struct Session {
+    transport: Box<dyn Transport>,
+    enb_id: Option<EnbId>,
+}
+
+/// The master controller.
+pub struct MasterController {
+    config: TaskManagerConfig,
+    rib: Rib,
+    updater: RibUpdater,
+    sessions: Vec<Session>,
+    apps: AppRegistry,
+    guard: ConflictGuard,
+    accounting: CycleAccounting,
+    xid: u32,
+    now: Tti,
+}
+
+impl MasterController {
+    pub fn new(config: TaskManagerConfig) -> Self {
+        MasterController {
+            config,
+            rib: Rib::new(),
+            updater: RibUpdater::new(),
+            sessions: Vec::new(),
+            apps: AppRegistry::new(),
+            guard: ConflictGuard::new(),
+            accounting: CycleAccounting::default(),
+            xid: 0,
+            now: Tti::ZERO,
+        }
+    }
+
+    /// Attach an agent session (any transport).
+    pub fn add_agent(&mut self, transport: Box<dyn Transport>) -> usize {
+        self.sessions.push(Session {
+            transport,
+            enb_id: None,
+        });
+        self.sessions.len() - 1
+    }
+
+    /// Register a northbound application.
+    pub fn register_app(&mut self, app: Box<dyn App>) {
+        self.apps.register(app);
+    }
+
+    pub fn rib(&self) -> &Rib {
+        &self.rib
+    }
+
+    pub fn accounting(&self) -> CycleAccounting {
+        self.accounting
+    }
+
+    pub fn conflicts(&self) -> u64 {
+        self.guard.conflicts
+    }
+
+    pub fn app_names(&self) -> Vec<String> {
+        self.apps.names()
+    }
+
+    /// Known agents, in session order.
+    pub fn connected_agents(&self) -> Vec<EnbId> {
+        self.sessions.iter().filter_map(|s| s.enb_id).collect()
+    }
+
+    fn next_xid(&mut self) -> u32 {
+        self.xid = self.xid.wrapping_add(1);
+        self.xid
+    }
+
+    /// Send a message to an agent immediately (management path).
+    pub fn send_to(&mut self, enb: EnbId, msg: FlexranMessage) -> Result<u32> {
+        let xid = self.next_xid();
+        let session = self
+            .sessions
+            .iter_mut()
+            .find(|s| s.enb_id == Some(enb))
+            .ok_or_else(|| FlexError::NotFound(format!("no session for {enb}")))?;
+        session.transport.send(Header::with_xid(xid), &msg)?;
+        Ok(xid)
+    }
+
+    /// Subscribe to statistics from an agent.
+    pub fn request_stats(&mut self, enb: EnbId, config: ReportConfig) -> Result<u32> {
+        self.send_to(enb, FlexranMessage::StatsRequest(StatsRequest { config }))
+    }
+
+    /// Push a VSF (signing it as the trusted authority would).
+    pub fn push_vsf(&mut self, enb: EnbId, mut push: VsfPush, sign: bool) -> Result<u32> {
+        if sign {
+            // The master holds the signing key in this model.
+            sign_push_compat(&mut push);
+        }
+        self.send_to(enb, FlexranMessage::VsfPush(push))
+    }
+
+    /// Send a policy reconfiguration document.
+    pub fn reconfigure(&mut self, enb: EnbId, yaml: String) -> Result<u32> {
+        self.send_to(
+            enb,
+            FlexranMessage::PolicyReconfiguration(flexran_proto::messages::PolicyReconfiguration {
+                yaml,
+            }),
+        )
+    }
+
+    /// Run one Task Manager cycle at master time `now`.
+    pub fn run_cycle(&mut self, now: Tti) -> CycleStats {
+        self.now = now;
+        // --------------------------- RIB slot ---------------------------
+        let rib_start = Instant::now();
+        let mut events: Vec<NotifiedEvent> = Vec::new();
+        for session in &mut self.sessions {
+            loop {
+                match session.transport.try_recv() {
+                    Ok(Some((_, msg))) => {
+                        if let FlexranMessage::Hello(h) = &msg {
+                            session.enb_id = Some(h.enb_id);
+                        }
+                        let Some(enb) = session.enb_id else {
+                            continue; // ignore pre-hello traffic
+                        };
+                        if let Some(ev) = self.updater.apply(&mut self.rib, enb, &msg, now) {
+                            events.push(ev);
+                        }
+                    }
+                    Ok(None) => break,
+                    Err(_) => break,
+                }
+            }
+        }
+        let rib_slot = rib_start.elapsed();
+
+        // --------------------------- Apps slot --------------------------
+        let apps_start = Instant::now();
+        let mut outbox: Vec<(EnbId, Header, FlexranMessage)> = Vec::new();
+        for app in self.apps.iter_mut() {
+            let mut ctx = AppContext {
+                now,
+                rib: &self.rib,
+                outbox: &mut outbox,
+                guard: &mut self.guard,
+                xid: &mut self.xid,
+            };
+            for ev in &events {
+                app.on_event(ev, &mut ctx);
+            }
+            app.on_cycle(&mut ctx);
+        }
+        // Dispatch staged commands.
+        for (enb, header, msg) in outbox {
+            if let Some(session) = self.sessions.iter_mut().find(|s| s.enb_id == Some(enb)) {
+                let _ = session.transport.send(header, &msg);
+            }
+        }
+        // Old scheduling claims can never conflict again.
+        self.guard.expire_before(Tti(now.0.saturating_sub(200)));
+        let apps_slot = apps_start.elapsed();
+
+        self.accounting.cycles += 1;
+        self.accounting.rib_total += rib_slot;
+        self.accounting.apps_total += apps_slot;
+        CycleStats {
+            rib_slot,
+            apps_slot,
+        }
+    }
+
+    /// Real-time mode: run cycles paced at the configured TTI duration
+    /// for `duration`, sleeping out each cycle's idle time.
+    pub fn run_realtime(&mut self, duration: Duration) {
+        let start = Instant::now();
+        let mut tti = self.now;
+        while start.elapsed() < duration {
+            let cycle_start = Instant::now();
+            tti += 1;
+            self.run_cycle(tti);
+            let spent = cycle_start.elapsed();
+            if spent < self.config.tti_duration {
+                std::thread::sleep(self.config.tti_duration - spent);
+            }
+        }
+    }
+}
+
+/// Signing helper re-exported here so the controller crate does not
+/// depend on the agent crate (the key/algorithm pair must match
+/// `flexran-agent`'s verifier; the shared-constant duplication is the
+/// model's stand-in for PKI).
+fn sign_push_compat(push: &mut VsfPush) {
+    const SIGNING_KEY: u64 = 0x46_4C_45_58_52_41_4E_21;
+    let mut h = SIGNING_KEY ^ 0xcbf29ce484222325;
+    let mut feed = |data: &[u8]| {
+        for b in data {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    };
+    feed(push.module.as_bytes());
+    feed(&[0]);
+    feed(push.vsf.as_bytes());
+    feed(&[0]);
+    feed(push.name.as_bytes());
+    feed(&[0]);
+    match &push.artifact {
+        flexran_proto::messages::VsfArtifact::Registry { key } => {
+            feed(&[0]);
+            feed(key.as_bytes());
+        }
+        flexran_proto::messages::VsfArtifact::Dsl { source } => {
+            feed(&[1]);
+            feed(source.as_bytes());
+        }
+    }
+    push.signature = h.to_be_bytes().to_vec();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexran_proto::messages::Hello;
+    use flexran_proto::transport::channel_pair;
+
+    #[test]
+    fn sessions_learn_identity_from_hello() {
+        let mut master = MasterController::new(TaskManagerConfig::default());
+        let (mut agent_side, master_side) = channel_pair();
+        master.add_agent(Box::new(master_side));
+        agent_side
+            .send(
+                Header::default(),
+                &FlexranMessage::Hello(Hello {
+                    enb_id: EnbId(7),
+                    n_cells: 1,
+                    capabilities: vec![],
+                }),
+            )
+            .unwrap();
+        master.run_cycle(Tti(0));
+        assert_eq!(master.connected_agents(), vec![EnbId(7)]);
+        assert!(master.rib().agent(EnbId(7)).is_some());
+        // Messages to unknown agents error.
+        assert!(master
+            .send_to(EnbId(9), FlexranMessage::EchoRequest(Default::default()))
+            .is_err());
+        // Messages to known agents arrive.
+        master
+            .send_to(EnbId(7), FlexranMessage::EchoRequest(Default::default()))
+            .unwrap();
+        assert!(agent_side.try_recv().unwrap().is_some());
+    }
+
+    #[test]
+    fn cycle_accounting_accumulates() {
+        let mut master = MasterController::new(TaskManagerConfig::default());
+        for t in 0..10 {
+            master.run_cycle(Tti(t));
+        }
+        let acc = master.accounting();
+        assert_eq!(acc.cycles, 10);
+        assert!(acc.mean_idle(Duration::from_millis(1)) > Duration::from_micros(500));
+    }
+
+    struct CountingApp {
+        cycles: std::sync::Arc<std::sync::atomic::AtomicU64>,
+        events: std::sync::Arc<std::sync::atomic::AtomicU64>,
+    }
+
+    impl App for CountingApp {
+        fn name(&self) -> &str {
+            "counting"
+        }
+        fn on_cycle(&mut self, _ctx: &mut AppContext<'_>) {
+            self.cycles
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+        fn on_event(&mut self, _ev: &NotifiedEvent, _ctx: &mut AppContext<'_>) {
+            self.events
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn apps_get_cycles_and_events() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        let cycles = Arc::new(AtomicU64::new(0));
+        let events = Arc::new(AtomicU64::new(0));
+        let mut master = MasterController::new(TaskManagerConfig::default());
+        master.register_app(Box::new(CountingApp {
+            cycles: cycles.clone(),
+            events: events.clone(),
+        }));
+        let (mut agent_side, master_side) = channel_pair();
+        master.add_agent(Box::new(master_side));
+        agent_side
+            .send(
+                Header::default(),
+                &FlexranMessage::Hello(Hello {
+                    enb_id: EnbId(1),
+                    n_cells: 1,
+                    capabilities: vec![],
+                }),
+            )
+            .unwrap();
+        agent_side
+            .send(
+                Header::default(),
+                &FlexranMessage::EventNotification(flexran_proto::messages::EventNotification {
+                    enb_id: EnbId(1),
+                    kind: flexran_proto::messages::events::EventKind::SchedulingRequest,
+                    ..Default::default()
+                }),
+            )
+            .unwrap();
+        for t in 0..5 {
+            master.run_cycle(Tti(t));
+        }
+        assert_eq!(cycles.load(Ordering::Relaxed), 5);
+        assert_eq!(events.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn signing_matches_agent_verifier() {
+        let mut push = VsfPush {
+            module: "mac".into(),
+            vsf: "dl_ue_scheduler".into(),
+            name: "x".into(),
+            artifact: flexran_proto::messages::VsfArtifact::Registry {
+                key: "round-robin".into(),
+            },
+            signature: vec![],
+        };
+        sign_push_compat(&mut push);
+        flexran_agent::vsf::verify_push(&push).expect("controller signature must verify");
+    }
+}

@@ -1,0 +1,255 @@
+//! The northbound API (paper §4.4).
+//!
+//! RAN applications "monitor the infrastructure through the information
+//! obtained from the RIB and apply their control decisions through the
+//! agent control modules". They never write the RIB directly: an
+//! [`AppContext`] gives read access plus a staged command sink that the
+//! master dispatches after the application slot.
+//!
+//! Two execution patterns (paper: periodic and event-based) map to the
+//! two trait hooks: [`App::on_cycle`] runs every master TTI cycle;
+//! [`App::on_event`] runs when the Event Notification Service delivers an
+//! agent event. An application may use both.
+//!
+//! The context also hosts the **conflict guard** — the §7.3 future-work
+//! item: two applications issuing scheduling decisions for the same
+//! cell × subframe is detected and the second is refused.
+
+use std::collections::HashSet;
+
+use flexran_proto::messages::{DlSchedulingCommand, FlexranMessage, Header};
+use flexran_types::ids::EnbId;
+use flexran_types::time::Tti;
+use flexran_types::{FlexError, Result};
+
+use crate::rib::Rib;
+use crate::updater::NotifiedEvent;
+
+/// Application priority: higher runs earlier within the apps slot (the
+/// paper's Task Manager "assign\[s\] priorities to running services" —
+/// e.g. a centralized MAC scheduler above a monitoring app).
+pub type Priority = u8;
+
+/// A RAN control/management application.
+pub trait App: Send {
+    fn name(&self) -> &str;
+
+    /// Higher = scheduled earlier in the cycle. Time-critical apps (a
+    /// centralized scheduler) should use ≥ 200; monitoring ≈ 10.
+    fn priority(&self) -> Priority {
+        10
+    }
+
+    /// Periodic hook: once per master TTI cycle.
+    fn on_cycle(&mut self, ctx: &mut AppContext<'_>);
+
+    /// Event hook: agent events delivered by the notification service.
+    fn on_event(&mut self, _event: &NotifiedEvent, _ctx: &mut AppContext<'_>) {}
+}
+
+/// Claims on cell × subframe scheduling slots, preventing two apps from
+/// both scheduling the same resources.
+#[derive(Debug, Default)]
+pub struct ConflictGuard {
+    claims: HashSet<(EnbId, u16, u64)>,
+    /// Conflicts refused so far.
+    pub conflicts: u64,
+}
+
+impl ConflictGuard {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Claim `(enb, cell, target)`; errors if already claimed this cycle
+    /// window.
+    pub fn claim(&mut self, enb: EnbId, cell: u16, target: u64) -> Result<()> {
+        if self.claims.insert((enb, cell, target)) {
+            Ok(())
+        } else {
+            self.conflicts += 1;
+            Err(FlexError::Conflict(format!(
+                "subframe {target} of {enb}/cell{cell} already claimed by another application"
+            )))
+        }
+    }
+
+    /// Drop claims older than `horizon` (they can never conflict again).
+    pub fn expire_before(&mut self, horizon: Tti) {
+        self.claims.retain(|(_, _, t)| *t >= horizon.0);
+    }
+
+    pub fn n_claims(&self) -> usize {
+        self.claims.len()
+    }
+}
+
+/// What an application sees during one hook invocation.
+pub struct AppContext<'a> {
+    /// Master time.
+    pub now: Tti,
+    /// Read-only RIB view.
+    pub rib: &'a Rib,
+    pub(crate) outbox: &'a mut Vec<(EnbId, Header, FlexranMessage)>,
+    pub(crate) guard: &'a mut ConflictGuard,
+    pub(crate) xid: &'a mut u32,
+}
+
+impl<'a> AppContext<'a> {
+    /// Construct a context manually — used by the master's Task Manager
+    /// and by harnesses/tests driving an [`App`] directly.
+    pub fn new(
+        now: Tti,
+        rib: &'a Rib,
+        outbox: &'a mut Vec<(EnbId, Header, FlexranMessage)>,
+        guard: &'a mut ConflictGuard,
+        xid: &'a mut u32,
+    ) -> Self {
+        AppContext {
+            now,
+            rib,
+            outbox,
+            guard,
+            xid,
+        }
+    }
+
+    fn next_xid(&mut self) -> u32 {
+        *self.xid = self.xid.wrapping_add(1);
+        *self.xid
+    }
+
+    /// Stage an arbitrary message to an agent.
+    pub fn send(&mut self, enb: EnbId, msg: FlexranMessage) -> u32 {
+        let xid = self.next_xid();
+        self.outbox.push((enb, Header::with_xid(xid), msg));
+        xid
+    }
+
+    /// Stage a downlink scheduling command, enforcing the conflict guard.
+    pub fn schedule_dl(&mut self, enb: EnbId, cmd: DlSchedulingCommand) -> Result<u32> {
+        self.guard.claim(enb, cmd.cell, cmd.target_tti)?;
+        Ok(self.send(enb, FlexranMessage::DlSchedulingCommand(cmd)))
+    }
+
+    /// The agent's freshest synced subframe, if it syncs.
+    pub fn synced_subframe(&self, enb: EnbId) -> Option<Tti> {
+        self.rib.agent(enb)?.synced_subframe()
+    }
+}
+
+/// The Registry Service: applications register here and the master runs
+/// them by priority.
+#[derive(Default)]
+pub struct AppRegistry {
+    apps: Vec<Box<dyn App>>,
+}
+
+impl AppRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register an application (kept sorted: higher priority first,
+    /// registration order breaking ties).
+    pub fn register(&mut self, app: Box<dyn App>) {
+        self.apps.push(app);
+        self.apps.sort_by_key(|a| std::cmp::Reverse(a.priority()));
+    }
+
+    pub fn names(&self) -> Vec<String> {
+        self.apps.iter().map(|a| a.name().to_string()).collect()
+    }
+
+    pub fn len(&self) -> usize {
+        self.apps.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.apps.is_empty()
+    }
+
+    pub(crate) fn iter_mut(&mut self) -> impl Iterator<Item = &mut Box<dyn App>> {
+        self.apps.iter_mut()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Dummy(&'static str, Priority);
+
+    impl App for Dummy {
+        fn name(&self) -> &str {
+            self.0
+        }
+        fn priority(&self) -> Priority {
+            self.1
+        }
+        fn on_cycle(&mut self, _ctx: &mut AppContext<'_>) {}
+    }
+
+    #[test]
+    fn registry_orders_by_priority() {
+        let mut reg = AppRegistry::new();
+        reg.register(Box::new(Dummy("monitor", 10)));
+        reg.register(Box::new(Dummy("scheduler", 200)));
+        reg.register(Box::new(Dummy("mobility", 50)));
+        assert_eq!(reg.names(), vec!["scheduler", "mobility", "monitor"]);
+        assert_eq!(reg.len(), 3);
+    }
+
+    #[test]
+    fn conflict_guard_refuses_double_claims() {
+        let mut g = ConflictGuard::new();
+        g.claim(EnbId(1), 0, 100).unwrap();
+        let err = g.claim(EnbId(1), 0, 100).unwrap_err();
+        assert_eq!(err.category(), "conflict");
+        assert_eq!(g.conflicts, 1);
+        // Different subframe / cell / agent is fine.
+        g.claim(EnbId(1), 0, 101).unwrap();
+        g.claim(EnbId(1), 1, 100).unwrap();
+        g.claim(EnbId(2), 0, 100).unwrap();
+    }
+
+    #[test]
+    fn conflict_guard_expiry() {
+        let mut g = ConflictGuard::new();
+        for t in 0..100u64 {
+            g.claim(EnbId(1), 0, t).unwrap();
+        }
+        g.expire_before(Tti(90));
+        assert_eq!(g.n_claims(), 10);
+        // Expired slots can be reclaimed (time has passed; nobody can
+        // schedule them anyway — deadline enforcement is the agent's job).
+        g.claim(EnbId(1), 0, 5).unwrap();
+    }
+
+    #[test]
+    fn context_stages_and_guards() {
+        let rib = Rib::new();
+        let mut outbox = Vec::new();
+        let mut guard = ConflictGuard::new();
+        let mut xid = 0;
+        let mut ctx = AppContext {
+            now: Tti(5),
+            rib: &rib,
+            outbox: &mut outbox,
+            guard: &mut guard,
+            xid: &mut xid,
+        };
+        let cmd = DlSchedulingCommand {
+            enb_id: EnbId(1),
+            cell: 0,
+            target_tti: 10,
+            dcis: vec![],
+        };
+        ctx.schedule_dl(EnbId(1), cmd.clone()).unwrap();
+        assert!(
+            ctx.schedule_dl(EnbId(1), cmd).is_err(),
+            "second app refused"
+        );
+        assert_eq!(outbox.len(), 1);
+    }
+}

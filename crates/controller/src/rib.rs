@@ -1,0 +1,217 @@
+//! The RAN Information Base (paper §4.3.3).
+//!
+//! "A key component that maintains all the statistics and configuration
+//! related information about the underlying network entities [...]
+//! structured as a forest graph": each tree is rooted at an agent, with
+//! the agent's cells at the second level and the UEs attached to each
+//! (primary) cell as leaves. Following the paper, the RIB stores *raw*
+//! reported data (no high-level abstraction — that is §7.3 future work):
+//! the leaves hold the last [`UeReport`] verbatim.
+//!
+//! Only the RIB Updater writes (see [`crate::updater`]); applications and
+//! the event service read.
+
+use std::collections::BTreeMap;
+
+use flexran_proto::messages::config::CellConfigPb;
+use flexran_proto::messages::{CellReport, UeReport};
+use flexran_types::ids::{CellId, EnbId, Rnti, UeId};
+use flexran_types::time::Tti;
+
+/// Leaf: one UE's last-known state.
+#[derive(Debug, Clone, Default)]
+pub struct UeNode {
+    pub rnti: Rnti,
+    pub ue_tag: UeId,
+    /// The raw last report (the paper's "raw data to the northbound API").
+    pub report: UeReport,
+    /// Master-clock time of the last update.
+    pub updated: Tti,
+}
+
+/// Second level: one cell.
+#[derive(Debug, Clone, Default)]
+pub struct CellNode {
+    pub cell_id: CellId,
+    pub config: Option<CellConfigPb>,
+    pub last_report: Option<CellReport>,
+    pub updated: Tti,
+    pub ues: BTreeMap<Rnti, UeNode>,
+}
+
+/// Root: one agent / eNodeB.
+#[derive(Debug, Clone, Default)]
+pub struct AgentNode {
+    pub enb_id: EnbId,
+    pub capabilities: Vec<String>,
+    pub connected_at: Tti,
+    /// Last subframe sync: `(agent TTI, master time when received)`. The
+    /// agent view is stale by the one-way control-channel delay — exactly
+    /// the offset the schedule-ahead parameter must absorb (paper §5.3).
+    pub last_sync: Option<(Tti, Tti)>,
+    pub cells: BTreeMap<CellId, CellNode>,
+}
+
+impl AgentNode {
+    /// The newest subframe the master knows the agent has reached.
+    pub fn synced_subframe(&self) -> Option<Tti> {
+        self.last_sync.map(|(agent_tti, _)| agent_tti)
+    }
+}
+
+/// The RAN Information Base.
+#[derive(Debug, Clone, Default)]
+pub struct Rib {
+    agents: BTreeMap<EnbId, AgentNode>,
+}
+
+impl Rib {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn agent(&self, enb: EnbId) -> Option<&AgentNode> {
+        self.agents.get(&enb)
+    }
+
+    /// Writer-side access: creates the agent node if missing. Only the
+    /// RIB Updater (and test/bench harnesses constructing RIB fixtures)
+    /// should call this — applications read.
+    pub fn agent_mut(&mut self, enb: EnbId) -> &mut AgentNode {
+        self.agents.entry(enb).or_insert_with(|| AgentNode {
+            enb_id: enb,
+            ..AgentNode::default()
+        })
+    }
+
+    /// Remove an agent (session loss).
+    pub fn remove_agent(&mut self, enb: EnbId) {
+        self.agents.remove(&enb);
+    }
+
+    pub fn agents(&self) -> impl Iterator<Item = &AgentNode> {
+        self.agents.values()
+    }
+
+    pub fn n_agents(&self) -> usize {
+        self.agents.len()
+    }
+
+    pub fn cell(&self, enb: EnbId, cell: CellId) -> Option<&CellNode> {
+        self.agents.get(&enb)?.cells.get(&cell)
+    }
+
+    pub fn ue(&self, enb: EnbId, cell: CellId, rnti: Rnti) -> Option<&UeNode> {
+        self.cell(enb, cell)?.ues.get(&rnti)
+    }
+
+    /// All UEs across the forest, with their coordinates.
+    pub fn all_ues(&self) -> Vec<(EnbId, CellId, &UeNode)> {
+        let mut out = Vec::new();
+        for a in self.agents.values() {
+            for c in a.cells.values() {
+                for u in c.ues.values() {
+                    out.push((a.enb_id, c.cell_id, u));
+                }
+            }
+        }
+        out
+    }
+
+    /// Total UE count.
+    pub fn n_ues(&self) -> usize {
+        self.agents
+            .values()
+            .flat_map(|a| a.cells.values())
+            .map(|c| c.ues.len())
+            .sum()
+    }
+
+    /// Approximate heap footprint of the RIB — the memory series of
+    /// paper Fig. 8.
+    pub fn heap_bytes(&self) -> usize {
+        let mut total = std::mem::size_of::<Self>();
+        for a in self.agents.values() {
+            total += std::mem::size_of::<AgentNode>();
+            total += a
+                .capabilities
+                .iter()
+                .map(|s| s.capacity() + 24)
+                .sum::<usize>();
+            for c in a.cells.values() {
+                total += std::mem::size_of::<CellNode>();
+                for u in c.ues.values() {
+                    total += std::mem::size_of::<UeNode>();
+                    // Vec payloads inside the raw report.
+                    total += u.report.subband_cqi.capacity() * 8;
+                    total += u.report.subband_cqi_cw1.capacity() * 8;
+                    total += u.report.bsr.capacity() * 8;
+                    total += u.report.harq_states.capacity() * 8;
+                    total += u.report.harq_rounds.capacity() * 8;
+                    total += u.report.tbs_per_process.capacity() * 8;
+                    total += u.report.ul_subband_sinr.capacity() * 8;
+                    total += u.report.rlc.capacity()
+                        * std::mem::size_of::<flexran_proto::messages::stats::RlcReport>();
+                }
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forest_structure_navigable() {
+        let mut rib = Rib::new();
+        {
+            let agent = rib.agent_mut(EnbId(1));
+            agent.connected_at = Tti(0);
+            let cell = agent.cells.entry(CellId(0)).or_default();
+            cell.cell_id = CellId(0);
+            cell.ues.insert(
+                Rnti(0x100),
+                UeNode {
+                    rnti: Rnti(0x100),
+                    ue_tag: UeId(7),
+                    ..UeNode::default()
+                },
+            );
+        }
+        assert_eq!(rib.n_agents(), 1);
+        assert_eq!(rib.n_ues(), 1);
+        assert!(rib.ue(EnbId(1), CellId(0), Rnti(0x100)).is_some());
+        assert!(rib.ue(EnbId(1), CellId(0), Rnti(0x101)).is_none());
+        assert_eq!(rib.all_ues().len(), 1);
+        rib.remove_agent(EnbId(1));
+        assert_eq!(rib.n_agents(), 0);
+    }
+
+    #[test]
+    fn heap_grows_with_content() {
+        let mut rib = Rib::new();
+        let empty = rib.heap_bytes();
+        let agent = rib.agent_mut(EnbId(1));
+        let cell = agent.cells.entry(CellId(0)).or_default();
+        for i in 0..16u16 {
+            let mut node = UeNode::default();
+            node.report.subband_cqi = vec![9; 13];
+            cell.ues.insert(Rnti(0x100 + i), node);
+        }
+        assert!(rib.heap_bytes() > empty + 16 * 100);
+    }
+
+    #[test]
+    fn synced_subframe_reflects_last_sync() {
+        let mut rib = Rib::new();
+        let agent = rib.agent_mut(EnbId(1));
+        assert_eq!(agent.synced_subframe(), None);
+        agent.last_sync = Some((Tti(500), Tti(510)));
+        assert_eq!(
+            rib.agent(EnbId(1)).unwrap().synced_subframe(),
+            Some(Tti(500))
+        );
+    }
+}

@@ -1,0 +1,257 @@
+//! The RIB Updater — the single writer (paper Fig. 5).
+//!
+//! "Only the RIB Updater component of the master can update the RIB with
+//! the information received from the agents. [...] Having just a single
+//! writer and multiple readers helps avoid [write conflicts]." Everything
+//! arriving from agents funnels through [`RibUpdater::apply`]; the master
+//! runs it in the RIB slot of each TTI cycle.
+
+use flexran_proto::messages::events::EventKind;
+use flexran_proto::messages::{EventNotification, FlexranMessage};
+use flexran_types::ids::{CellId, EnbId, Rnti, UeId};
+use flexran_types::time::Tti;
+
+use crate::rib::{Rib, UeNode};
+
+/// An event as surfaced to the Event Notification Service / applications.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NotifiedEvent {
+    pub enb: EnbId,
+    pub notification: EventNotification,
+    /// Master time the event was processed.
+    pub received: Tti,
+}
+
+/// The single writer.
+#[derive(Debug, Default)]
+pub struct RibUpdater {
+    /// Update counters (Fig. 8's "core components" cost driver).
+    pub stats_updates: u64,
+    pub sync_updates: u64,
+    pub event_updates: u64,
+}
+
+impl RibUpdater {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Apply one agent message to the RIB. Returns an event to notify
+    /// applications about, when the message is an event trigger.
+    pub fn apply(
+        &mut self,
+        rib: &mut Rib,
+        enb: EnbId,
+        msg: &FlexranMessage,
+        now: Tti,
+    ) -> Option<NotifiedEvent> {
+        match msg {
+            FlexranMessage::Hello(h) => {
+                let agent = rib.agent_mut(enb);
+                agent.enb_id = h.enb_id;
+                agent.capabilities = h.capabilities.clone();
+                agent.connected_at = now;
+                None
+            }
+            FlexranMessage::ConfigReply(rep) => {
+                let agent = rib.agent_mut(enb);
+                for c in &rep.cells {
+                    let node = agent.cells.entry(CellId(c.cell_id)).or_default();
+                    node.cell_id = CellId(c.cell_id);
+                    node.config = Some(c.clone());
+                    node.updated = now;
+                }
+                None
+            }
+            FlexranMessage::SubframeTrigger(t) => {
+                self.sync_updates += 1;
+                rib.agent_mut(enb).last_sync = Some((Tti(t.tti), now));
+                None
+            }
+            FlexranMessage::StatsReply(rep) => {
+                self.stats_updates += 1;
+                let agent = rib.agent_mut(enb);
+                for c in &rep.cells {
+                    let node = agent.cells.entry(CellId(c.cell_id)).or_default();
+                    node.cell_id = CellId(c.cell_id);
+                    node.last_report = Some(*c);
+                    node.updated = now;
+                }
+                for u in &rep.ues {
+                    let cell = agent.cells.entry(CellId(u.cell)).or_default();
+                    cell.cell_id = CellId(u.cell);
+                    let node = cell.ues.entry(Rnti(u.rnti)).or_insert_with(|| UeNode {
+                        rnti: Rnti(u.rnti),
+                        ..UeNode::default()
+                    });
+                    node.report = u.clone();
+                    node.updated = now;
+                }
+                None
+            }
+            FlexranMessage::EventNotification(n) => {
+                self.event_updates += 1;
+                let agent = rib.agent_mut(enb);
+                let cell = agent.cells.entry(CellId(n.cell)).or_default();
+                cell.cell_id = CellId(n.cell);
+                match n.kind {
+                    EventKind::RachAttempt => {
+                        let node = cell.ues.entry(Rnti(n.rnti)).or_insert_with(|| UeNode {
+                            rnti: Rnti(n.rnti),
+                            ..UeNode::default()
+                        });
+                        node.ue_tag = UeId(n.ue_tag);
+                        node.updated = now;
+                    }
+                    EventKind::UeAttached => {
+                        let node = cell.ues.entry(Rnti(n.rnti)).or_insert_with(|| UeNode {
+                            rnti: Rnti(n.rnti),
+                            ..UeNode::default()
+                        });
+                        node.ue_tag = UeId(n.ue_tag);
+                        node.report.connected = true;
+                        node.updated = now;
+                    }
+                    EventKind::AttachFailed
+                    | EventKind::UeDetached
+                    | EventKind::HandoverExecuted => {
+                        cell.ues.remove(&Rnti(n.rnti));
+                    }
+                    EventKind::SchedulingRequest
+                    | EventKind::MeasurementReport
+                    | EventKind::DecisionMissedDeadline => {}
+                }
+                Some(NotifiedEvent {
+                    enb,
+                    notification: n.clone(),
+                    received: now,
+                })
+            }
+            // Master-to-agent message kinds never reach the updater.
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexran_proto::messages::stats::{StatsReply, UeReport};
+    use flexran_proto::messages::{Hello, SubframeTrigger};
+
+    fn hello() -> FlexranMessage {
+        FlexranMessage::Hello(Hello {
+            enb_id: EnbId(1),
+            n_cells: 1,
+            capabilities: vec!["dl_scheduling".into()],
+        })
+    }
+
+    #[test]
+    fn hello_creates_agent() {
+        let mut rib = Rib::new();
+        let mut up = RibUpdater::new();
+        up.apply(&mut rib, EnbId(1), &hello(), Tti(5));
+        let agent = rib.agent(EnbId(1)).unwrap();
+        assert_eq!(agent.connected_at, Tti(5));
+        assert_eq!(agent.capabilities, vec!["dl_scheduling"]);
+    }
+
+    #[test]
+    fn stats_reply_populates_forest() {
+        let mut rib = Rib::new();
+        let mut up = RibUpdater::new();
+        up.apply(&mut rib, EnbId(1), &hello(), Tti(0));
+        let reply = StatsReply {
+            enb_id: EnbId(1),
+            tti: 100,
+            cells: vec![],
+            ues: vec![UeReport {
+                rnti: 0x100,
+                cell: 0,
+                wideband_cqi: 12,
+                ..UeReport::default()
+            }],
+        };
+        up.apply(
+            &mut rib,
+            EnbId(1),
+            &FlexranMessage::StatsReply(reply),
+            Tti(101),
+        );
+        let ue = rib.ue(EnbId(1), CellId(0), Rnti(0x100)).unwrap();
+        assert_eq!(ue.report.wideband_cqi, 12);
+        assert_eq!(ue.updated, Tti(101));
+        assert_eq!(up.stats_updates, 1);
+    }
+
+    #[test]
+    fn sync_records_staleness_pair() {
+        let mut rib = Rib::new();
+        let mut up = RibUpdater::new();
+        up.apply(
+            &mut rib,
+            EnbId(1),
+            &FlexranMessage::SubframeTrigger(SubframeTrigger {
+                enb_id: EnbId(1),
+                sfn: 10,
+                sf: 3,
+                tti: 103,
+            }),
+            Tti(110),
+        );
+        assert_eq!(
+            rib.agent(EnbId(1)).unwrap().last_sync,
+            Some((Tti(103), Tti(110)))
+        );
+    }
+
+    #[test]
+    fn attach_detach_events_manage_leaves() {
+        let mut rib = Rib::new();
+        let mut up = RibUpdater::new();
+        let mut attach = EventNotification {
+            enb_id: EnbId(1),
+            kind: EventKind::UeAttached,
+            cell: 0,
+            rnti: 0x100,
+            ue_tag: 9,
+            tti: 50,
+            ..EventNotification::default()
+        };
+        let ev = up
+            .apply(
+                &mut rib,
+                EnbId(1),
+                &FlexranMessage::EventNotification(attach.clone()),
+                Tti(55),
+            )
+            .expect("events are surfaced");
+        assert_eq!(ev.enb, EnbId(1));
+        assert!(
+            rib.ue(EnbId(1), CellId(0), Rnti(0x100))
+                .unwrap()
+                .report
+                .connected
+        );
+        attach.kind = EventKind::UeDetached;
+        up.apply(
+            &mut rib,
+            EnbId(1),
+            &FlexranMessage::EventNotification(attach),
+            Tti(60),
+        );
+        assert!(rib.ue(EnbId(1), CellId(0), Rnti(0x100)).is_none());
+    }
+
+    #[test]
+    fn master_bound_messages_ignored() {
+        let mut rib = Rib::new();
+        let mut up = RibUpdater::new();
+        let msg = FlexranMessage::DlSchedulingCommand(
+            flexran_proto::messages::DlSchedulingCommand::default(),
+        );
+        assert!(up.apply(&mut rib, EnbId(1), &msg, Tti(0)).is_none());
+        assert_eq!(rib.n_agents(), 0);
+    }
+}

@@ -1,0 +1,782 @@
+//! The simulation harness: the paper's testbed in virtual time.
+//!
+//! A [`SimHarness`] owns one master controller, any number of
+//! agent-enabled eNodeBs connected over configurable control-channel
+//! links (latency/jitter/rate — the `netem` stand-in), the global radio
+//! environment, the UE population and their traffic sources. One call to
+//! [`SimHarness::step`] advances everything by exactly one TTI:
+//!
+//! 1. the master runs one Task Manager cycle (so its commands ride the
+//!    control links this TTI),
+//! 2. traffic sources inject bytes, measurement reports fire,
+//! 3. every agent runs phase A (data-plane bookkeeping, protocol intake,
+//!    local VSF scheduling),
+//! 4. the harness derives which cells transmit and updates the
+//!    interference coupling,
+//! 5. every agent runs phase B (transmissions commit; events, sync and
+//!    reports go out), and the harness completes attach bookkeeping and
+//!    X2-style handovers.
+//!
+//! [`VanillaHarness`] is the agent-less baseline of Fig. 6: the same data
+//! plane driven directly by an embedded scheduler, no FlexRAN anywhere.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use flexran_agent::{AgentConfig, FlexranAgent, VsfRegistry};
+use flexran_controller::{MasterController, TaskManagerConfig};
+use flexran_phy::channel::{ChannelProcess, CqiSquareWave, FixedCqi, FixedSinr, GaussMarkovFading};
+use flexran_phy::link_adaptation::Cqi;
+use flexran_sim::clock::VirtualClock;
+use flexran_sim::link::{sim_link_pair, LinkConfig, SimTransport};
+use flexran_sim::radio::{PhyAdapter, RadioEnvironment, UeRadio};
+use flexran_sim::traffic::TrafficSource;
+use flexran_stack::enb::{Enb, EnbParams};
+use flexran_stack::events::EnbEvent;
+use flexran_stack::mac::dci::{DlSchedulingDecision, UlSchedulingDecision};
+use flexran_stack::mac::scheduler::{
+    DlScheduler, RoundRobinScheduler, UlRoundRobinScheduler, UlScheduler,
+};
+use flexran_stack::stats::UeStats;
+use flexran_types::config::EnbConfig;
+use flexran_types::ids::{CellId, EnbId, Rnti, SliceId, UeId};
+use flexran_types::time::Tti;
+use flexran_types::units::Bytes;
+use flexran_types::{FlexError, Result};
+
+/// Harness-wide configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Default agent→master link.
+    pub uplink: LinkConfig,
+    /// Default master→agent link.
+    pub downlink: LinkConfig,
+    pub master: TaskManagerConfig,
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            uplink: LinkConfig::ideal(),
+            downlink: LinkConfig::ideal(),
+            master: TaskManagerConfig::default(),
+            seed: 1,
+        }
+    }
+}
+
+/// How a UE's radio is specified when added to the harness.
+pub enum UeRadioSpec {
+    FixedCqi(u8),
+    FixedSinrDb(f64),
+    /// `(high CQI, low CQI, half-period ms)`.
+    CqiSquareWave(u8, u8, u64),
+    /// `(mean SINR dB, sigma dB, rho, seed)`.
+    Fading(f64, f64, f64, u64),
+    Custom(Box<dyn ChannelProcess>),
+    /// Geometry mode: mobility model + serving site index.
+    Geo(Box<dyn flexran_phy::mobility::MobilityModel>, usize),
+}
+
+struct UeEntry {
+    agent_idx: usize,
+    cell: CellId,
+    slice: SliceId,
+    group: u8,
+    rnti: Option<Rnti>,
+    dl_source: Option<Box<dyn TrafficSource>>,
+    ul_source: Option<Box<dyn TrafficSource>>,
+    /// Measurement-report period (ms), geometry mode only.
+    meas_period: Option<u64>,
+    serving_site: Option<usize>,
+}
+
+struct PendingHandover {
+    target_enb: EnbId,
+    target_cell: CellId,
+    target_site: Option<usize>,
+}
+
+/// The virtual testbed.
+pub struct SimHarness {
+    clock: Arc<VirtualClock>,
+    master: MasterController,
+    agents: Vec<FlexranAgent<SimTransport>>,
+    rnti_maps: Vec<BTreeMap<(CellId, Rnti), UeId>>,
+    radio: RadioEnvironment,
+    ues: BTreeMap<UeId, UeEntry>,
+    next_ue: u32,
+    now: Tti,
+    /// `(agent, cell)` → radio site (geometry-mode interference).
+    cell_sites: BTreeMap<(EnbId, CellId), usize>,
+    /// Static activity hints per site: `(pattern, transmit_in_abs)`.
+    /// Drives the active-site set used for *measurements* (the
+    /// restricted-measurement behaviour eICIC UEs apply), before the
+    /// actual per-TTI transmission set is known.
+    site_activity: BTreeMap<usize, (flexran_stack::enb::AbsPattern, bool)>,
+    pending_handovers: BTreeMap<(usize, Rnti), PendingHandover>,
+    /// Events of the last step, for callers that inspect them.
+    pub last_events: Vec<(EnbId, EnbEvent)>,
+    config: SimConfig,
+}
+
+impl SimHarness {
+    pub fn new(config: SimConfig) -> Self {
+        SimHarness::with_radio(config, RadioEnvironment::new())
+    }
+
+    /// Harness over a geometry-aware radio environment.
+    pub fn with_radio(config: SimConfig, radio: RadioEnvironment) -> Self {
+        SimHarness {
+            clock: Arc::new(VirtualClock::new()),
+            master: MasterController::new(config.master),
+            agents: Vec::new(),
+            rnti_maps: Vec::new(),
+            radio,
+            ues: BTreeMap::new(),
+            next_ue: 1,
+            now: Tti::ZERO,
+            cell_sites: BTreeMap::new(),
+            pending_handovers: BTreeMap::new(),
+            last_events: Vec::new(),
+            site_activity: BTreeMap::new(),
+            config,
+        }
+    }
+
+    /// Add an agent-enabled eNodeB connected over the default links.
+    pub fn add_enb(&mut self, config: EnbConfig, agent_config: AgentConfig) -> EnbId {
+        self.add_enb_with(config, agent_config, EnbParams::default(), None)
+    }
+
+    /// Full-control variant: custom data-plane parameters and links.
+    pub fn add_enb_with(
+        &mut self,
+        config: EnbConfig,
+        agent_config: AgentConfig,
+        enb_params: EnbParams,
+        links: Option<(LinkConfig, LinkConfig)>,
+    ) -> EnbId {
+        let enb_id = config.enb_id;
+        let (up, down) = links.unwrap_or((self.config.uplink, self.config.downlink));
+        let (agent_side, master_side) = sim_link_pair(self.clock.clone(), up, down);
+        let mut registry = VsfRegistry::with_builtins();
+        flexran_apps::register_app_vsfs(&mut registry);
+        let enb = Enb::new(config, enb_params).expect("valid eNodeB config");
+        let agent = FlexranAgent::new(enb, agent_side, registry, agent_config);
+        self.master.add_agent(Box::new(master_side));
+        self.agents.push(agent);
+        self.rnti_maps.push(BTreeMap::new());
+        enb_id
+    }
+
+    fn agent_idx(&self, enb: EnbId) -> Result<usize> {
+        self.agents
+            .iter()
+            .position(|a| a.enb().config().enb_id == enb)
+            .ok_or_else(|| FlexError::NotFound(format!("{enb}")))
+    }
+
+    /// The agent of an eNodeB.
+    pub fn agent(&self, enb: EnbId) -> Result<&FlexranAgent<SimTransport>> {
+        Ok(&self.agents[self.agent_idx(enb)?])
+    }
+
+    pub fn agent_mut(&mut self, enb: EnbId) -> Result<&mut FlexranAgent<SimTransport>> {
+        let i = self.agent_idx(enb)?;
+        Ok(&mut self.agents[i])
+    }
+
+    pub fn master(&self) -> &MasterController {
+        &self.master
+    }
+
+    pub fn master_mut(&mut self) -> &mut MasterController {
+        &mut self.master
+    }
+
+    pub fn radio_mut(&mut self) -> &mut RadioEnvironment {
+        &mut self.radio
+    }
+
+    pub fn now(&self) -> Tti {
+        self.now
+    }
+
+    /// Associate a cell with a radio site (geometry mode: the site's
+    /// activity drives interference for other cells' UEs).
+    pub fn map_cell_to_site(&mut self, enb: EnbId, cell: CellId, site: usize) {
+        self.cell_sites.insert((enb, cell), site);
+    }
+
+    /// Declare a site's subframe activity pattern for *measurement*
+    /// purposes (eICIC restricted measurements): `transmit_in_abs = false`
+    /// means the site is silent during ABS subframes of `pattern` (a
+    /// macro cell), `true` means it transmits only then (a protected
+    /// small cell). Sites without a hint count as always-on.
+    pub fn set_site_activity_pattern(
+        &mut self,
+        site: usize,
+        pattern: flexran_stack::enb::AbsPattern,
+        transmit_in_abs: bool,
+    ) {
+        self.site_activity.insert(site, (pattern, transmit_in_abs));
+    }
+
+    fn measurement_active_sites(&self, tti: Tti) -> Vec<usize> {
+        self.cell_sites
+            .values()
+            .filter(|site| match self.site_activity.get(site) {
+                None => true,
+                Some((pattern, tx_in_abs)) => {
+                    let abs = pattern[(tti.0 % 40) as usize];
+                    abs == *tx_in_abs
+                }
+            })
+            .copied()
+            .collect()
+    }
+
+    /// Add a UE and start its attach procedure.
+    pub fn add_ue(
+        &mut self,
+        enb: EnbId,
+        cell: CellId,
+        slice: SliceId,
+        group: u8,
+        radio: UeRadioSpec,
+    ) -> UeId {
+        let ue = UeId(self.next_ue);
+        self.next_ue += 1;
+        let (ue_radio, serving_site) = match radio {
+            UeRadioSpec::FixedCqi(c) => (
+                UeRadio::Process(Box::new(FixedCqi(Cqi::new_clamped(c)))),
+                None,
+            ),
+            UeRadioSpec::FixedSinrDb(s) => (UeRadio::Process(Box::new(FixedSinr(s))), None),
+            UeRadioSpec::CqiSquareWave(hi, lo, half) => (
+                UeRadio::Process(Box::new(CqiSquareWave::new(
+                    Cqi::new_clamped(hi),
+                    Cqi::new_clamped(lo),
+                    half,
+                ))),
+                None,
+            ),
+            UeRadioSpec::Fading(mean, sigma, rho, seed) => (
+                UeRadio::Process(Box::new(GaussMarkovFading::new(mean, sigma, rho, seed))),
+                None,
+            ),
+            UeRadioSpec::Custom(p) => (UeRadio::Process(p), None),
+            UeRadioSpec::Geo(mobility, site) => (
+                UeRadio::Geo {
+                    mobility,
+                    serving_site: site,
+                },
+                Some(site),
+            ),
+        };
+        self.radio.register_ue(ue, ue_radio);
+        let idx = self.agent_idx(enb).expect("known eNodeB");
+        let rnti = self.agents[idx]
+            .enb_mut()
+            .rach(cell, ue, slice, group, self.now)
+            .expect("cell exists");
+        self.rnti_maps[idx].insert((cell, rnti), ue);
+        self.ues.insert(
+            ue,
+            UeEntry {
+                agent_idx: idx,
+                cell,
+                slice,
+                group,
+                rnti: Some(rnti),
+                dl_source: None,
+                ul_source: None,
+                meas_period: None,
+                serving_site,
+            },
+        );
+        ue
+    }
+
+    pub fn set_dl_traffic(&mut self, ue: UeId, source: Box<dyn TrafficSource>) {
+        if let Some(e) = self.ues.get_mut(&ue) {
+            e.dl_source = Some(source);
+        }
+    }
+
+    pub fn set_ul_traffic(&mut self, ue: UeId, source: Box<dyn TrafficSource>) {
+        if let Some(e) = self.ues.get_mut(&ue) {
+            e.ul_source = Some(source);
+        }
+    }
+
+    /// Enable periodic measurement reports for a geometry-mode UE.
+    pub fn enable_measurements(&mut self, ue: UeId, period_ms: u64) {
+        if let Some(e) = self.ues.get_mut(&ue) {
+            e.meas_period = Some(period_ms.max(1));
+        }
+    }
+
+    /// Current serving eNodeB of a UE.
+    pub fn serving_enb(&self, ue: UeId) -> Option<EnbId> {
+        let e = self.ues.get(&ue)?;
+        Some(self.agents[e.agent_idx].enb().config().enb_id)
+    }
+
+    /// Data-plane statistics for a UE (None while detached / re-attaching).
+    pub fn ue_stats(&self, ue: UeId) -> Option<UeStats> {
+        let e = self.ues.get(&ue)?;
+        let rnti = e.rnti?;
+        self.agents[e.agent_idx].enb().ue_stat(e.cell, rnti).ok()
+    }
+
+    /// Inject downlink bytes directly (application-paced flows: TCP/DASH
+    /// drive this between steps).
+    pub fn inject_dl(&mut self, ue: UeId, bytes: Bytes) -> Result<()> {
+        let e = self
+            .ues
+            .get(&ue)
+            .ok_or_else(|| FlexError::NotFound(format!("{ue}")))?;
+        let rnti = e
+            .rnti
+            .ok_or_else(|| FlexError::NotFound(format!("{ue} has no RNTI")))?;
+        let now = self.now;
+        self.agents[e.agent_idx]
+            .enb_mut()
+            .inject_dl_traffic(e.cell, rnti, bytes, now)
+    }
+
+    /// Advance one TTI.
+    pub fn step(&mut self) {
+        self.now = self.now.next();
+        let now = self.now;
+        self.clock.advance_to(now);
+
+        // 1. Master cycle (commands ride the links this TTI).
+        self.master.run_cycle(now);
+
+        // 2. Traffic sources and measurement reports.
+        let ue_ids: Vec<UeId> = self.ues.keys().copied().collect();
+        for ue in ue_ids {
+            let Some(entry) = self.ues.get_mut(&ue) else {
+                continue;
+            };
+            let Some(rnti) = entry.rnti else { continue };
+            let idx = entry.agent_idx;
+            let cell = entry.cell;
+            // Downlink.
+            if entry.dl_source.is_some() {
+                let queue = self.agents[idx]
+                    .enb()
+                    .ue_stat(cell, rnti)
+                    .map(|s| s.dl_queue_bytes)
+                    .unwrap_or(Bytes::ZERO);
+                let entry = self.ues.get_mut(&ue).expect("present");
+                let due = entry
+                    .dl_source
+                    .as_mut()
+                    .expect("checked")
+                    .bytes_due(now, queue);
+                if !due.is_zero() {
+                    let _ = self.agents[idx]
+                        .enb_mut()
+                        .inject_dl_traffic(cell, rnti, due, now);
+                }
+            }
+            // Uplink.
+            let entry = self.ues.get_mut(&ue).expect("present");
+            if let Some(src) = entry.ul_source.as_mut() {
+                let due = src.bytes_due(now, Bytes::ZERO);
+                if !due.is_zero() {
+                    let _ = self.agents[idx]
+                        .enb_mut()
+                        .inject_ul_traffic(cell, rnti, due);
+                }
+            }
+            // Measurement reports (geometry mode).
+            let entry = self.ues.get(&ue).expect("present");
+            if let (Some(period), Some(site)) = (entry.meas_period, entry.serving_site) {
+                if now.0.is_multiple_of(period) {
+                    let all = self.radio.rsrp_all_sites(ue, now);
+                    if !all.is_empty() {
+                        let serving_rsrp = all
+                            .iter()
+                            .find(|(s, _)| *s == site)
+                            .map(|(_, r)| *r)
+                            .unwrap_or(-140.0);
+                        let neighbours: Vec<(u32, f64)> = all
+                            .into_iter()
+                            .filter(|(s, _)| *s != site)
+                            .map(|(s, r)| (s as u32, r))
+                            .collect();
+                        let _ = self.agents[idx].enb_mut().submit_measurement(
+                            cell,
+                            rnti,
+                            serving_rsrp,
+                            neighbours,
+                            now,
+                        );
+                    }
+                }
+            }
+        }
+
+        // 3. Phase A on every agent. Measurements in this phase use the
+        //    declared activity hints (restricted measurements).
+        let hint = self.measurement_active_sites(now);
+        self.radio.set_active_sites(hint);
+        for (i, agent) in self.agents.iter_mut().enumerate() {
+            let mut phy = PhyAdapter {
+                radio: &mut self.radio,
+                rnti_map: &self.rnti_maps[i],
+            };
+            agent.phase_a(now, &mut phy);
+        }
+
+        // 4. Interference coupling: which sites put energy on the air.
+        let mut active = Vec::new();
+        for agent in &self.agents {
+            let enb_id = agent.enb().config().enb_id;
+            for cell in agent.enb().cell_ids() {
+                if agent.enb().will_transmit_dl(cell, now) {
+                    if let Some(site) = self.cell_sites.get(&(enb_id, cell)) {
+                        active.push(*site);
+                    }
+                }
+            }
+        }
+        self.radio.set_active_sites(active);
+
+        // 5. Phase B + bookkeeping.
+        self.last_events.clear();
+        for i in 0..self.agents.len() {
+            let enb_id = self.agents[i].enb().config().enb_id;
+            let events = {
+                let (agents, radio, maps) = (&mut self.agents, &mut self.radio, &self.rnti_maps);
+                let mut phy = PhyAdapter {
+                    radio,
+                    rnti_map: &maps[i],
+                };
+                agents[i].phase_b(now, &mut phy)
+            };
+            for ev in &events {
+                self.last_events.push((enb_id, ev.clone()));
+                self.apply_event(i, ev);
+            }
+            // X2 stand-in: remember where each starting handover goes.
+            for req in self.agents[i].take_handover_requests() {
+                let target =
+                    self.resolve_handover_target(req.target_site, req.target_enb, req.target_cell);
+                if let Some((target_enb, target_cell, target_site)) = target {
+                    self.pending_handovers.insert(
+                        (i, req.rnti),
+                        PendingHandover {
+                            target_enb,
+                            target_cell,
+                            target_site,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    fn resolve_handover_target(
+        &self,
+        site: Option<u32>,
+        enb: Option<u32>,
+        cell: Option<u16>,
+    ) -> Option<(EnbId, CellId, Option<usize>)> {
+        if let Some(site) = site {
+            // Local VSF picked a radio site: reverse-map to its cell.
+            let ((enb, cell), s) = self
+                .cell_sites
+                .iter()
+                .find(|(_, s)| **s == site as usize)
+                .map(|(k, s)| (*k, *s))?;
+            return Some((enb, cell, Some(s)));
+        }
+        let enb = EnbId(enb?);
+        let cell = CellId(cell.unwrap_or(0));
+        let site = self.cell_sites.get(&(enb, cell)).copied();
+        Some((enb, cell, site))
+    }
+
+    fn apply_event(&mut self, agent_idx: usize, ev: &EnbEvent) {
+        match ev {
+            EnbEvent::RachAttempt { cell, rnti, ue, .. } => {
+                // Re-attach after failure: track the fresh RNTI.
+                self.rnti_maps[agent_idx].insert((*cell, *rnti), *ue);
+                if let Some(e) = self.ues.get_mut(ue) {
+                    e.rnti = Some(*rnti);
+                    e.agent_idx = agent_idx;
+                    e.cell = *cell;
+                }
+            }
+            EnbEvent::UeAttached { cell, rnti, ue, .. } => {
+                self.rnti_maps[agent_idx].insert((*cell, *rnti), *ue);
+                if let Some(e) = self.ues.get_mut(ue) {
+                    e.rnti = Some(*rnti);
+                    e.agent_idx = agent_idx;
+                    e.cell = *cell;
+                }
+            }
+            EnbEvent::AttachFailed { cell, rnti, ue, .. }
+            | EnbEvent::UeDetached { cell, rnti, ue, .. } => {
+                self.rnti_maps[agent_idx].remove(&(*cell, *rnti));
+                if let Some(e) = self.ues.get_mut(ue) {
+                    if e.rnti == Some(*rnti) {
+                        e.rnti = None;
+                    }
+                }
+            }
+            EnbEvent::HandoverExecuted {
+                cell,
+                rnti,
+                ue,
+                forwarded_bytes,
+                ..
+            } => {
+                self.rnti_maps[agent_idx].remove(&(*cell, *rnti));
+                let Some(pending) = self.pending_handovers.remove(&(agent_idx, *rnti)) else {
+                    if let Some(e) = self.ues.get_mut(ue) {
+                        e.rnti = None;
+                    }
+                    return;
+                };
+                let Ok(tgt_idx) = self.agent_idx(pending.target_enb) else {
+                    return;
+                };
+                let (slice, group) = self
+                    .ues
+                    .get(ue)
+                    .map(|e| (e.slice, e.group))
+                    .unwrap_or((SliceId::MNO, 0));
+                let now = self.now;
+                if let Ok(new_rnti) = self.agents[tgt_idx].enb_mut().admit_ue(
+                    pending.target_cell,
+                    *ue,
+                    slice,
+                    group,
+                    *forwarded_bytes,
+                    now,
+                ) {
+                    self.rnti_maps[tgt_idx].insert((pending.target_cell, new_rnti), *ue);
+                    if let Some(e) = self.ues.get_mut(ue) {
+                        e.agent_idx = tgt_idx;
+                        e.cell = pending.target_cell;
+                        e.rnti = Some(new_rnti);
+                        if let Some(site) = pending.target_site {
+                            e.serving_site = Some(site);
+                        }
+                    }
+                    if let Some(site) = pending.target_site {
+                        self.radio.set_serving_site(*ue, site);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Run `n` TTIs.
+    pub fn run(&mut self, n: u64) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+}
+
+/// The agent-less baseline (vanilla OAI stand-in, Fig. 6): the same data
+/// plane driven directly by embedded schedulers.
+pub struct VanillaHarness {
+    pub enb: Enb,
+    dl: Box<dyn DlScheduler>,
+    ul: Box<dyn UlScheduler>,
+    radio: RadioEnvironment,
+    rnti_map: BTreeMap<(CellId, Rnti), UeId>,
+    now: Tti,
+}
+
+impl VanillaHarness {
+    pub fn new(config: EnbConfig, params: EnbParams) -> Self {
+        VanillaHarness {
+            enb: Enb::new(config, params).expect("valid config"),
+            dl: Box::new(RoundRobinScheduler::new()),
+            ul: Box::new(UlRoundRobinScheduler::new()),
+            radio: RadioEnvironment::new(),
+            rnti_map: BTreeMap::new(),
+            now: Tti::ZERO,
+        }
+    }
+
+    pub fn now(&self) -> Tti {
+        self.now
+    }
+
+    pub fn add_ue(&mut self, cell: CellId, radio: UeRadioSpec) -> (UeId, Rnti) {
+        static NEXT: std::sync::atomic::AtomicU32 = std::sync::atomic::AtomicU32::new(1);
+        let ue = UeId(NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed));
+        let ue_radio = match radio {
+            UeRadioSpec::FixedCqi(c) => UeRadio::Process(Box::new(FixedCqi(Cqi::new_clamped(c)))),
+            UeRadioSpec::FixedSinrDb(s) => UeRadio::Process(Box::new(FixedSinr(s))),
+            UeRadioSpec::CqiSquareWave(hi, lo, half) => UeRadio::Process(Box::new(
+                CqiSquareWave::new(Cqi::new_clamped(hi), Cqi::new_clamped(lo), half),
+            )),
+            UeRadioSpec::Fading(m, s, r, seed) => {
+                UeRadio::Process(Box::new(GaussMarkovFading::new(m, s, r, seed)))
+            }
+            UeRadioSpec::Custom(p) => UeRadio::Process(p),
+            UeRadioSpec::Geo(..) => panic!("geometry mode needs SimHarness"),
+        };
+        self.radio.register_ue(ue, ue_radio);
+        let rnti = self
+            .enb
+            .rach(cell, ue, SliceId::MNO, 0, self.now)
+            .expect("cell exists");
+        self.rnti_map.insert((cell, rnti), ue);
+        (ue, rnti)
+    }
+
+    /// One TTI with the embedded schedulers.
+    pub fn step(&mut self) {
+        self.now = self.now.next();
+        let now = self.now;
+        let mut phy = PhyAdapter {
+            radio: &mut self.radio,
+            rnti_map: &self.rnti_map,
+        };
+        self.enb.begin_tti(now, &mut phy);
+        for cell in self.enb.cell_ids() {
+            if let Ok(input) = self.enb.dl_scheduler_input(cell, now, now) {
+                let out = self.dl.schedule_dl(&input);
+                if !out.dcis.is_empty() {
+                    let _ = self.enb.submit_dl_decision(
+                        DlSchedulingDecision {
+                            cell,
+                            target: now,
+                            dcis: out.dcis,
+                        },
+                        now,
+                    );
+                }
+            }
+            if let Ok(input) = self.enb.ul_scheduler_input(cell, now, now) {
+                let out = self.ul.schedule_ul(&input);
+                if !out.grants.is_empty() {
+                    let _ = self.enb.submit_ul_decision(
+                        UlSchedulingDecision {
+                            cell,
+                            target: now,
+                            grants: out.grants,
+                        },
+                        now,
+                    );
+                }
+            }
+        }
+        let mut phy = PhyAdapter {
+            radio: &mut self.radio,
+            rnti_map: &self.rnti_map,
+        };
+        self.enb.finish_tti(now, &mut phy);
+        for ev in self.enb.take_events() {
+            if let EnbEvent::UeAttached { cell, rnti, ue, .. }
+            | EnbEvent::RachAttempt { cell, rnti, ue, .. } = ev
+            {
+                self.rnti_map.insert((cell, rnti), ue);
+            }
+        }
+    }
+
+    pub fn run(&mut self, n: u64) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexran_sim::traffic::{CbrSource, FullBufferSource};
+    use flexran_types::units::BitRate;
+
+    #[test]
+    fn ue_attaches_and_receives_cbr_traffic() {
+        let mut sim = SimHarness::new(SimConfig::default());
+        let enb = sim.add_enb(EnbConfig::single_cell(EnbId(1)), AgentConfig::default());
+        let ue = sim.add_ue(enb, CellId(0), SliceId::MNO, 0, UeRadioSpec::FixedCqi(12));
+        sim.set_dl_traffic(ue, Box::new(CbrSource::new(BitRate::from_mbps(2))));
+        sim.run(2000);
+        let stats = sim.ue_stats(ue).expect("attached");
+        assert!(stats.connected);
+        let mbps = stats.dl_delivered_bits as f64 / 2000.0 / 1000.0;
+        assert!((1.7..=2.2).contains(&mbps), "CBR delivered {mbps} Mb/s");
+    }
+
+    #[test]
+    fn vanilla_matches_agent_throughput() {
+        // The Fig. 6b claim: FlexRAN is transparent to the UE.
+        let mut vanilla =
+            VanillaHarness::new(EnbConfig::single_cell(EnbId(1)), EnbParams::default());
+        let (ue_v, rnti_v) = vanilla.add_ue(CellId(0), UeRadioSpec::FixedCqi(14));
+        let mut sim = SimHarness::new(SimConfig::default());
+        let enb = sim.add_enb(EnbConfig::single_cell(EnbId(2)), AgentConfig::default());
+        let ue_f = sim.add_ue(enb, CellId(0), SliceId::MNO, 0, UeRadioSpec::FixedCqi(14));
+        sim.set_dl_traffic(ue_f, Box::new(FullBufferSource::default()));
+        // Drive vanilla's traffic by hand.
+        for _ in 0..3000u64 {
+            let queue = vanilla
+                .enb
+                .ue_stat(CellId(0), rnti_v)
+                .map(|s| s.dl_queue_bytes)
+                .unwrap_or(Bytes::ZERO);
+            if queue.as_u64() < 500_000 {
+                let now = vanilla.now();
+                let _ = vanilla.enb.inject_dl_traffic(
+                    CellId(0),
+                    rnti_v,
+                    Bytes(500_000 - queue.as_u64()),
+                    now,
+                );
+            }
+            vanilla.step();
+            sim.step();
+        }
+        let v = vanilla.enb.ue_stat(CellId(0), rnti_v).unwrap();
+        let f = sim.ue_stats(ue_f).unwrap();
+        let v_mbps = v.dl_delivered_bits as f64 / 3000.0 / 1000.0;
+        let f_mbps = f.dl_delivered_bits as f64 / 3000.0 / 1000.0;
+        assert!(v_mbps > 10.0, "vanilla {v_mbps}");
+        let ratio = f_mbps / v_mbps;
+        assert!(
+            (0.95..=1.05).contains(&ratio),
+            "transparency: vanilla {v_mbps} vs flexran {f_mbps}"
+        );
+        let _ = ue_v;
+    }
+
+    #[test]
+    fn control_channel_latency_delays_commands() {
+        // With a 20 ms one-way link, agent events take 20 ms to reach the
+        // master's RIB.
+        let cfg = SimConfig {
+            uplink: LinkConfig::with_one_way_ms(20),
+            downlink: LinkConfig::with_one_way_ms(20),
+            ..SimConfig::default()
+        };
+        let mut sim = SimHarness::new(cfg);
+        let enb = sim.add_enb(EnbConfig::single_cell(EnbId(1)), AgentConfig::default());
+        sim.add_ue(enb, CellId(0), SliceId::MNO, 0, UeRadioSpec::FixedCqi(10));
+        sim.run(10);
+        assert!(
+            sim.master().rib().agent(EnbId(1)).is_none(),
+            "hello in flight"
+        );
+        sim.run(15);
+        assert!(sim.master().rib().agent(EnbId(1)).is_some(), "hello landed");
+    }
+}

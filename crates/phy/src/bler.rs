@@ -1,0 +1,122 @@
+//! Block-error-rate model.
+//!
+//! Transport blocks scheduled with an MCS whose operating point exceeds the
+//! instantaneous SINR fail with increasing probability; HARQ then triggers
+//! retransmissions. This is the mechanism through which *stale* CQI (Fig. 9:
+//! high control-channel RTT → outdated RIB → over-aggressive MCS) costs
+//! throughput.
+
+use crate::link_adaptation::{cqi_from_sinr, mcs_for_cqi, mcs_operating_sinr_db, Mcs};
+
+/// A per-MCS waterfall BLER curve.
+///
+/// Modeled as a logistic in SINR around the MCS's ~10 % BLER operating
+/// point, with the waterfall steepness typical of turbo-coded LTE blocks
+/// (a couple of dB from BLER≈0.9 to BLER≈0.01).
+#[derive(Debug, Clone, Copy)]
+pub struct BlerModel {
+    /// Logistic steepness in 1/dB. Larger = sharper waterfall.
+    pub steepness: f64,
+    /// BLER at the exact operating point (standard link adaptation targets
+    /// 10 %).
+    pub target_bler: f64,
+}
+
+impl Default for BlerModel {
+    fn default() -> Self {
+        BlerModel {
+            steepness: 1.6,
+            target_bler: 0.1,
+        }
+    }
+}
+
+impl BlerModel {
+    /// The SINR operating point (dB) of an MCS (its ~10 % BLER point).
+    pub fn operating_point_db(mcs: Mcs) -> f64 {
+        mcs_operating_sinr_db(mcs)
+    }
+
+    /// Block error probability for a transport block sent with `mcs` while
+    /// the channel is at `sinr_db`.
+    pub fn bler(&self, mcs: Mcs, sinr_db: f64) -> f64 {
+        let op = Self::operating_point_db(mcs);
+        // Logistic anchored so bler(op) == target_bler.
+        let x0 = op - (1.0 / self.steepness) * ((1.0 - self.target_bler) / self.target_bler).ln();
+        1.0 / (1.0 + ((sinr_db - x0) * self.steepness).exp())
+    }
+
+    /// Convenience: whether a transmission succeeds, given a uniform draw
+    /// in `[0,1)`.
+    pub fn success(&self, mcs: Mcs, sinr_db: f64, uniform_draw: f64) -> bool {
+        uniform_draw >= self.bler(mcs, sinr_db)
+    }
+}
+
+/// BLER when the scheduler follows the standard rule at a *fresh* CQI:
+/// by construction this sits at or below the target BLER.
+pub fn bler_at_fresh_cqi(model: &BlerModel, sinr_db: f64) -> f64 {
+    let cqi = cqi_from_sinr(sinr_db);
+    let mcs = mcs_for_cqi(cqi);
+    model.bler(mcs, sinr_db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link_adaptation::Cqi;
+
+    #[test]
+    fn bler_decreases_with_sinr() {
+        let m = BlerModel::default();
+        let mut prev = 1.0;
+        let mut s = -10.0;
+        while s <= 30.0 {
+            let b = m.bler(Mcs(15), s);
+            assert!(b <= prev + 1e-12);
+            prev = b;
+            s += 0.5;
+        }
+    }
+
+    #[test]
+    fn bler_increases_with_mcs_at_fixed_sinr() {
+        let m = BlerModel::default();
+        for mcs in 0..28u8 {
+            assert!(
+                m.bler(Mcs(mcs + 1), 10.0) >= m.bler(Mcs(mcs), 10.0) - 1e-12,
+                "MCS {mcs}"
+            );
+        }
+    }
+
+    #[test]
+    fn operating_point_hits_target() {
+        let m = BlerModel::default();
+        for mcs in [Mcs(0), Mcs(5), Mcs(10), Mcs(20), Mcs(28)] {
+            let op = BlerModel::operating_point_db(mcs);
+            let b = m.bler(mcs, op);
+            assert!((b - m.target_bler).abs() < 1e-6, "MCS {mcs:?}: {b}");
+        }
+    }
+
+    #[test]
+    fn fresh_cqi_meets_target() {
+        let m = BlerModel::default();
+        for c in 1..=15u8 {
+            let s = crate::link_adaptation::sinr_for_cqi(Cqi(c));
+            let b = bler_at_fresh_cqi(&m, s);
+            assert!(b <= m.target_bler + 1e-6, "CQI {c}: BLER {b}");
+        }
+    }
+
+    #[test]
+    fn stale_overshoot_is_punished() {
+        // Channel dropped from CQI 10 to CQI 4 but the scheduler still uses
+        // the CQI-10 MCS: the block should almost surely fail.
+        let m = BlerModel::default();
+        let stale_mcs = mcs_for_cqi(Cqi(10));
+        let actual_sinr = crate::link_adaptation::sinr_for_cqi(Cqi(4));
+        assert!(m.bler(stale_mcs, actual_sinr) > 0.95);
+    }
+}

@@ -1,0 +1,212 @@
+//! Radio geometry: positions, path loss, noise, and multi-cell SINR.
+//!
+//! The interference-management use case (paper §6.1) hinges on the SINR of
+//! a small-cell UE improving when the macro cell is muted during an
+//! almost-blank subframe. [`Environment::sinr_db`] computes per-subframe
+//! SINR from the set of cells actually transmitting, which is exactly the
+//! coupling the eICIC experiment needs.
+
+use flexran_types::units::{Db, Dbm};
+
+/// A point in a 2-D deployment plane, metres.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Position {
+    pub x: f64,
+    pub y: f64,
+}
+
+impl Position {
+    pub const fn new(x: f64, y: f64) -> Self {
+        Position { x, y }
+    }
+
+    pub fn distance_to(self, other: Position) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+}
+
+/// Distance-dependent path-loss models.
+#[derive(Debug, Clone, Copy)]
+pub enum PathLossModel {
+    /// 3GPP TR 36.814 macro-cell NLOS model:
+    /// `PL(dB) = 128.1 + 37.6 log10(d_km)`.
+    UrbanMacro,
+    /// 3GPP TR 36.814 pico/small-cell model:
+    /// `PL(dB) = 140.7 + 36.7 log10(d_km)`.
+    SmallCell,
+    /// Free-space path loss at 850 MHz (band 5).
+    FreeSpace,
+}
+
+impl PathLossModel {
+    /// Path loss in dB at distance `d` metres (clamped to ≥ 10 m so the
+    /// near field does not produce absurd gains).
+    pub fn loss_db(self, d_m: f64) -> Db {
+        let d_km = (d_m.max(10.0)) / 1000.0;
+        let db = match self {
+            PathLossModel::UrbanMacro => 128.1 + 37.6 * d_km.log10(),
+            PathLossModel::SmallCell => 140.7 + 36.7 * d_km.log10(),
+            PathLossModel::FreeSpace => {
+                // FSPL = 20 log10(d_m) + 20 log10(f_MHz) - 27.55, f = 850.
+                20.0 * d_m.max(10.0).log10() + 20.0 * 850f64.log10() - 27.55
+            }
+        };
+        Db(db)
+    }
+}
+
+/// Thermal noise power over `bandwidth_hz` at a 9 dB UE noise figure.
+pub fn noise_power_dbm(bandwidth_hz: u64) -> Dbm {
+    // -174 dBm/Hz + 10 log10(BW) + NF.
+    Dbm(-174.0 + 10.0 * (bandwidth_hz as f64).log10() + 9.0)
+}
+
+/// One transmitter the environment knows about.
+#[derive(Debug, Clone, Copy)]
+pub struct TxSite {
+    pub position: Position,
+    pub tx_power: Dbm,
+    pub path_loss: PathLossModel,
+}
+
+/// A static radio environment: a set of transmitter sites and a noise
+/// floor. SINR is evaluated per subframe against whichever subset of sites
+/// is transmitting in that subframe.
+#[derive(Debug, Clone)]
+pub struct Environment {
+    sites: Vec<TxSite>,
+    noise_dbm: Dbm,
+}
+
+impl Environment {
+    /// Environment over `bandwidth_hz` with no sites yet.
+    pub fn new(bandwidth_hz: u64) -> Self {
+        Environment {
+            sites: Vec::new(),
+            noise_dbm: noise_power_dbm(bandwidth_hz),
+        }
+    }
+
+    /// Add a transmitter site, returning its index (used as the cell key in
+    /// [`Environment::sinr_db`]).
+    pub fn add_site(&mut self, site: TxSite) -> usize {
+        self.sites.push(site);
+        self.sites.len() - 1
+    }
+
+    pub fn site(&self, idx: usize) -> Option<&TxSite> {
+        self.sites.get(idx)
+    }
+
+    pub fn n_sites(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Received power at `ue_pos` from site `idx` (no fast fading).
+    pub fn rx_power_dbm(&self, idx: usize, ue_pos: Position) -> Dbm {
+        let s = &self.sites[idx];
+        s.tx_power - s.path_loss.loss_db(s.position.distance_to(ue_pos))
+    }
+
+    /// Reference-signal received power proxy used by measurement reports.
+    pub fn rsrp_dbm(&self, idx: usize, ue_pos: Position) -> Dbm {
+        self.rx_power_dbm(idx, ue_pos)
+    }
+
+    /// SINR (dB) at a UE served by `serving`, with `active` listing the
+    /// site indices transmitting in this subframe (the serving site is
+    /// counted as signal whether or not it appears in `active`; all other
+    /// active sites are interference).
+    pub fn sinr_db(&self, serving: usize, ue_pos: Position, active: &[usize]) -> f64 {
+        let signal_mw = self.rx_power_dbm(serving, ue_pos).to_mw();
+        let mut denom_mw = self.noise_dbm.to_mw();
+        for &i in active {
+            if i != serving && i < self.sites.len() {
+                denom_mw += self.rx_power_dbm(i, ue_pos).to_mw();
+            }
+        }
+        10.0 * (signal_mw / denom_mw).log10()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env_macro_small() -> (Environment, usize, usize) {
+        let mut env = Environment::new(10_000_000);
+        let macro_ = env.add_site(TxSite {
+            position: Position::new(0.0, 0.0),
+            tx_power: Dbm(43.0),
+            path_loss: PathLossModel::UrbanMacro,
+        });
+        let small = env.add_site(TxSite {
+            position: Position::new(400.0, 0.0),
+            tx_power: Dbm(30.0),
+            path_loss: PathLossModel::SmallCell,
+        });
+        (env, macro_, small)
+    }
+
+    #[test]
+    fn pathloss_increases_with_distance() {
+        for m in [
+            PathLossModel::UrbanMacro,
+            PathLossModel::SmallCell,
+            PathLossModel::FreeSpace,
+        ] {
+            assert!(m.loss_db(1000.0).0 > m.loss_db(100.0).0);
+            // Near-field clamp.
+            assert_eq!(m.loss_db(1.0).0, m.loss_db(10.0).0);
+        }
+    }
+
+    #[test]
+    fn noise_scales_with_bandwidth() {
+        let n10 = noise_power_dbm(10_000_000);
+        let n20 = noise_power_dbm(20_000_000);
+        assert!((n20.0 - n10.0 - 3.0103).abs() < 0.01);
+        // 10 MHz: -174 + 70 + 9 = -95 dBm.
+        assert!((n10.0 - (-95.0)).abs() < 0.01);
+    }
+
+    #[test]
+    fn muting_the_macro_raises_small_cell_ue_sinr() {
+        // The eICIC premise: a UE near the small cell sees much better SINR
+        // in an almost-blank subframe (macro silent).
+        let (env, macro_, small) = env_macro_small();
+        let ue = Position::new(420.0, 0.0); // 20 m from small cell
+        let with_macro = env.sinr_db(small, ue, &[macro_, small]);
+        let abs_subframe = env.sinr_db(small, ue, &[small]);
+        assert!(
+            abs_subframe > with_macro + 5.0,
+            "ABS {abs_subframe:.1} dB vs non-ABS {with_macro:.1} dB"
+        );
+    }
+
+    #[test]
+    fn serving_site_never_self_interferes() {
+        let (env, macro_, _) = env_macro_small();
+        let ue = Position::new(100.0, 0.0);
+        let a = env.sinr_db(macro_, ue, &[]);
+        let b = env.sinr_db(macro_, ue, &[macro_]);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn closer_ue_gets_better_sinr() {
+        let (env, macro_, small) = env_macro_small();
+        let near = env.sinr_db(macro_, Position::new(50.0, 0.0), &[small]);
+        let far = env.sinr_db(macro_, Position::new(350.0, 0.0), &[small]);
+        assert!(near > far);
+    }
+
+    #[test]
+    fn rsrp_ordering_flips_between_cells() {
+        let (env, macro_, small) = env_macro_small();
+        let near_macro = Position::new(50.0, 0.0);
+        let near_small = Position::new(398.0, 0.0);
+        assert!(env.rsrp_dbm(macro_, near_macro).0 > env.rsrp_dbm(small, near_macro).0);
+        assert!(env.rsrp_dbm(small, near_small).0 > env.rsrp_dbm(macro_, near_small).0);
+    }
+}

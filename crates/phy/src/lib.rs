@@ -1,0 +1,38 @@
+//! # flexran-phy
+//!
+//! The physical-layer abstraction underneath the FlexRAN data plane.
+//!
+//! The paper runs its scalability experiments with OAI's PHY *abstracted*
+//! ("operations occurring above the PHY were unaffected by the emulation");
+//! this crate is the equivalent abstraction, built from scratch:
+//!
+//! * [`tables`] — 3GPP TS 36.213-style lookup tables: the exact CQI table
+//!   (7.2.3-1), the exact MCS → modulation/I_TBS mapping (7.1.7.1-1), and a
+//!   transport-block-size function constructed from the standard's
+//!   spectral-efficiency targets (anchored against known table values).
+//! * [`link_adaptation`] — CQI → MCS selection and SINR → CQI reporting.
+//! * [`bler`] — a block-error-rate model per MCS as a function of SINR.
+//! * [`geometry`] — positions, path loss, shadowing, thermal noise, and
+//!   multi-cell SINR computation (this is what makes the eICIC use case
+//!   meaningful: a small-cell UE's SINR depends on whether the macro cell
+//!   is transmitting in the same subframe).
+//! * [`channel`] — per-UE channel processes: fixed, square-wave (the MEC
+//!   use case's emulated CQI fluctuation), trace-driven, and AR(1) fading.
+//! * [`mobility`] — simple mobility models feeding the geometry.
+
+pub mod bler;
+pub mod channel;
+pub mod geometry;
+pub mod link_adaptation;
+pub mod mobility;
+pub mod tables;
+
+pub use bler::BlerModel;
+pub use channel::{
+    ChannelProcess, CqiSquareWave, FixedCqi, FixedSinr, GaussMarkovFading, TraceChannel,
+};
+pub use geometry::{Environment, PathLossModel, Position};
+pub use link_adaptation::{cqi_from_sinr, mcs_for_cqi, sinr_threshold_for_cqi, Cqi, Mcs};
+pub use tables::{
+    itbs_for_mcs, modulation_for_mcs, tbs_bits, CqiTableEntry, Modulation, CQI_TABLE,
+};

@@ -1,0 +1,188 @@
+//! UE mobility models.
+//!
+//! The mobility-management use case (paper §7.1) needs UEs whose serving
+//! signal degrades over time so the controller's handover application has
+//! something to react to. These models drive [`crate::geometry::Position`]
+//! updates at a configurable tick.
+
+use flexran_types::time::Tti;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::geometry::Position;
+
+/// A mobility model updating a UE position over time.
+pub trait MobilityModel: Send {
+    /// Position at `tti`.
+    fn position(&mut self, tti: Tti) -> Position;
+}
+
+/// A UE that never moves.
+#[derive(Debug, Clone, Copy)]
+pub struct Stationary(pub Position);
+
+impl MobilityModel for Stationary {
+    fn position(&mut self, _tti: Tti) -> Position {
+        self.0
+    }
+}
+
+/// Straight-line motion at constant speed from a start point along a
+/// heading (radians).
+#[derive(Debug, Clone, Copy)]
+pub struct LinearMotion {
+    pub start: Position,
+    pub speed_mps: f64,
+    pub heading_rad: f64,
+}
+
+impl MobilityModel for LinearMotion {
+    fn position(&mut self, tti: Tti) -> Position {
+        let t_s = tti.as_secs_f64();
+        Position::new(
+            self.start.x + self.speed_mps * t_s * self.heading_rad.cos(),
+            self.start.y + self.speed_mps * t_s * self.heading_rad.sin(),
+        )
+    }
+}
+
+/// Random-waypoint motion inside a rectangular region: pick a waypoint
+/// uniformly, walk to it at the configured speed, repeat.
+#[derive(Debug)]
+pub struct RandomWaypoint {
+    region_min: Position,
+    region_max: Position,
+    speed_mps: f64,
+    current: Position,
+    waypoint: Position,
+    last_tti: Tti,
+    rng: StdRng,
+}
+
+impl RandomWaypoint {
+    pub fn new(
+        region_min: Position,
+        region_max: Position,
+        speed_mps: f64,
+        seed: u64,
+    ) -> flexran_types::Result<Self> {
+        if region_max.x <= region_min.x || region_max.y <= region_min.y {
+            return Err(flexran_types::FlexError::InvalidConfig(
+                "random-waypoint region must have positive area".into(),
+            ));
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let draw = |min: f64, max: f64, rng: &mut StdRng| min + rng.random::<f64>() * (max - min);
+        let current = Position::new(
+            draw(region_min.x, region_max.x, &mut rng),
+            draw(region_min.y, region_max.y, &mut rng),
+        );
+        let waypoint = Position::new(
+            draw(region_min.x, region_max.x, &mut rng),
+            draw(region_min.y, region_max.y, &mut rng),
+        );
+        Ok(RandomWaypoint {
+            region_min,
+            region_max,
+            speed_mps,
+            current,
+            waypoint,
+            last_tti: Tti::ZERO,
+            rng,
+        })
+    }
+
+    fn pick_waypoint(&mut self) {
+        self.waypoint = Position::new(
+            self.region_min.x + self.rng.random::<f64>() * (self.region_max.x - self.region_min.x),
+            self.region_min.y + self.rng.random::<f64>() * (self.region_max.y - self.region_min.y),
+        );
+    }
+}
+
+impl MobilityModel for RandomWaypoint {
+    fn position(&mut self, tti: Tti) -> Position {
+        let elapsed_s = tti.saturating_since(self.last_tti) as f64 / 1000.0;
+        self.last_tti = tti;
+        let mut budget = self.speed_mps * elapsed_s;
+        while budget > 0.0 {
+            let d = self.current.distance_to(self.waypoint);
+            if d <= budget {
+                self.current = self.waypoint;
+                budget -= d;
+                self.pick_waypoint();
+                if d == 0.0 {
+                    break;
+                }
+            } else {
+                let f = budget / d;
+                self.current = Position::new(
+                    self.current.x + (self.waypoint.x - self.current.x) * f,
+                    self.current.y + (self.waypoint.y - self.current.y) * f,
+                );
+                budget = 0.0;
+            }
+        }
+        self.current
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stationary_never_moves() {
+        let mut m = Stationary(Position::new(5.0, 5.0));
+        assert_eq!(m.position(Tti(0)), m.position(Tti(100_000)));
+    }
+
+    #[test]
+    fn linear_motion_covers_expected_distance() {
+        let mut m = LinearMotion {
+            start: Position::new(0.0, 0.0),
+            speed_mps: 10.0,
+            heading_rad: 0.0,
+        };
+        let p = m.position(Tti(5000)); // 5 s at 10 m/s
+        assert!((p.x - 50.0).abs() < 1e-9);
+        assert!(p.y.abs() < 1e-9);
+    }
+
+    #[test]
+    fn random_waypoint_stays_in_region() {
+        let min = Position::new(0.0, 0.0);
+        let max = Position::new(100.0, 100.0);
+        let mut m = RandomWaypoint::new(min, max, 30.0, 3).unwrap();
+        for t in (0..60_000).step_by(100) {
+            let p = m.position(Tti(t));
+            assert!(p.x >= -1e-9 && p.x <= 100.0 + 1e-9);
+            assert!(p.y >= -1e-9 && p.y <= 100.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn random_waypoint_respects_speed() {
+        let mut m = RandomWaypoint::new(
+            Position::new(0.0, 0.0),
+            Position::new(1000.0, 1000.0),
+            10.0,
+            4,
+        )
+        .unwrap();
+        let mut prev = m.position(Tti(0));
+        for t in (100..10_000).step_by(100) {
+            let p = m.position(Tti(t));
+            // 100 ms at 10 m/s = at most 1 m (+ epsilon).
+            assert!(prev.distance_to(p) <= 1.0 + 1e-6);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn degenerate_region_rejected() {
+        assert!(
+            RandomWaypoint::new(Position::new(0.0, 0.0), Position::new(0.0, 10.0), 1.0, 1).is_err()
+        );
+    }
+}

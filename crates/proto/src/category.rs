@@ -1,0 +1,158 @@
+//! Message categories and byte accounting.
+//!
+//! The signalling-overhead evaluation (paper Fig. 7) breaks the
+//! master↔agent traffic down into *agent management*, *master-agent sync*
+//! and *stats reporting* in one direction, and *agent management* and
+//! *master commands* in the other. Every [`crate::FlexranMessage`] maps to
+//! one of these categories, and transports count serialized bytes per
+//! category so the experiment can print exactly the paper's series.
+
+use std::fmt;
+
+/// Traffic category of a FlexRAN protocol message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MessageCategory {
+    /// Session liveness, configuration exchange, report subscriptions.
+    AgentManagement,
+    /// Per-TTI subframe synchronization (agent → master).
+    Sync,
+    /// Statistics reports (agent → master).
+    StatsReporting,
+    /// Control commands (master → agent): scheduling decisions, handover,
+    /// DRX, ABS patterns.
+    Commands,
+    /// Control delegation: VSF pushes and policy reconfigurations.
+    Delegation,
+    /// Asynchronous event notifications (agent → master).
+    Events,
+}
+
+impl MessageCategory {
+    pub const ALL: [MessageCategory; 6] = [
+        MessageCategory::AgentManagement,
+        MessageCategory::Sync,
+        MessageCategory::StatsReporting,
+        MessageCategory::Commands,
+        MessageCategory::Delegation,
+        MessageCategory::Events,
+    ];
+
+    pub fn index(self) -> usize {
+        match self {
+            MessageCategory::AgentManagement => 0,
+            MessageCategory::Sync => 1,
+            MessageCategory::StatsReporting => 2,
+            MessageCategory::Commands => 3,
+            MessageCategory::Delegation => 4,
+            MessageCategory::Events => 5,
+        }
+    }
+}
+
+impl fmt::Display for MessageCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MessageCategory::AgentManagement => "agent-management",
+            MessageCategory::Sync => "master-agent-sync",
+            MessageCategory::StatsReporting => "stats-reporting",
+            MessageCategory::Commands => "master-commands",
+            MessageCategory::Delegation => "control-delegation",
+            MessageCategory::Events => "event-notifications",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Per-category byte and message counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ByteCounters {
+    bytes: [u64; 6],
+    messages: [u64; 6],
+}
+
+impl ByteCounters {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one serialized message of `bytes` (wire size incl. framing).
+    pub fn add(&mut self, cat: MessageCategory, bytes: u64) {
+        self.bytes[cat.index()] += bytes;
+        self.messages[cat.index()] += 1;
+    }
+
+    pub fn bytes(&self, cat: MessageCategory) -> u64 {
+        self.bytes[cat.index()]
+    }
+
+    pub fn messages(&self, cat: MessageCategory) -> u64 {
+        self.messages[cat.index()]
+    }
+
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.iter().sum()
+    }
+
+    /// Average rate over a window, in Mb/s.
+    pub fn mbps(&self, cat: MessageCategory, window_ms: u64) -> f64 {
+        if window_ms == 0 {
+            return 0.0;
+        }
+        self.bytes(cat) as f64 * 8.0 / window_ms as f64 / 1000.0
+    }
+
+    /// Counters accumulated since `earlier` (for windowed measurements).
+    pub fn since(&self, earlier: &ByteCounters) -> ByteCounters {
+        let mut out = ByteCounters::default();
+        for i in 0..6 {
+            out.bytes[i] = self.bytes[i] - earlier.bytes[i];
+            out.messages[i] = self.messages[i] - earlier.messages[i];
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accounting_accumulates_per_category() {
+        let mut c = ByteCounters::new();
+        c.add(MessageCategory::Sync, 20);
+        c.add(MessageCategory::Sync, 22);
+        c.add(MessageCategory::Commands, 100);
+        assert_eq!(c.bytes(MessageCategory::Sync), 42);
+        assert_eq!(c.messages(MessageCategory::Sync), 2);
+        assert_eq!(c.total_bytes(), 142);
+    }
+
+    #[test]
+    fn mbps_math() {
+        let mut c = ByteCounters::new();
+        // 12_500 bytes over 1 ms = 100 Mb/s.
+        c.add(MessageCategory::StatsReporting, 12_500);
+        assert!((c.mbps(MessageCategory::StatsReporting, 1) - 100.0).abs() < 1e-9);
+        assert_eq!(c.mbps(MessageCategory::StatsReporting, 0), 0.0);
+    }
+
+    #[test]
+    fn windowed_difference() {
+        let mut c = ByteCounters::new();
+        c.add(MessageCategory::Events, 10);
+        let snapshot = c;
+        c.add(MessageCategory::Events, 5);
+        let d = c.since(&snapshot);
+        assert_eq!(d.bytes(MessageCategory::Events), 5);
+        assert_eq!(d.messages(MessageCategory::Events), 1);
+    }
+
+    #[test]
+    fn indices_are_bijective() {
+        let mut seen = std::collections::HashSet::new();
+        for cat in MessageCategory::ALL {
+            assert!(seen.insert(cat.index()));
+            assert!(cat.index() < 6);
+        }
+    }
+}

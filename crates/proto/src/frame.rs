@@ -1,0 +1,139 @@
+//! Length-delimited framing for stream transports.
+//!
+//! The FlexRAN protocol runs over TCP in the paper's implementation; TCP
+//! gives a byte stream, so each protobuf message is prefixed with a 4-byte
+//! big-endian length. The codec below is incremental (feed bytes, pop
+//! frames) so it works with non-blocking sockets.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use flexran_types::{FlexError, Result};
+
+/// Hard cap on a single frame: a full statistics report for hundreds of
+/// UEs is tens of kilobytes; anything near this limit is corruption.
+pub const MAX_FRAME_BYTES: usize = 16 * 1024 * 1024;
+
+/// Prefix `payload` with its 4-byte length.
+pub fn encode_frame(payload: &[u8]) -> Result<Bytes> {
+    if payload.len() > MAX_FRAME_BYTES {
+        return Err(FlexError::Codec(format!(
+            "frame of {} bytes exceeds the {MAX_FRAME_BYTES}-byte cap",
+            payload.len()
+        )));
+    }
+    let mut buf = BytesMut::with_capacity(4 + payload.len());
+    buf.put_u32(payload.len() as u32);
+    buf.put_slice(payload);
+    Ok(buf.freeze())
+}
+
+/// Incremental frame decoder.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: BytesMut,
+}
+
+impl FrameDecoder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feed raw bytes received from the stream.
+    pub fn extend(&mut self, data: &[u8]) {
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Pop the next complete frame, if one is buffered.
+    pub fn next_frame(&mut self) -> Result<Option<Bytes>> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_be_bytes(self.buf[..4].try_into().expect("4 bytes")) as usize;
+        if len > MAX_FRAME_BYTES {
+            return Err(FlexError::Transport(format!(
+                "peer announced a {len}-byte frame (cap {MAX_FRAME_BYTES}); stream corrupt"
+            )));
+        }
+        if self.buf.len() < 4 + len {
+            return Ok(None);
+        }
+        self.buf.advance(4);
+        Ok(Some(self.buf.split_to(len).freeze()))
+    }
+
+    /// Bytes currently buffered (diagnostics).
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn roundtrip_single_frame() {
+        let frame = encode_frame(b"hello").unwrap();
+        let mut d = FrameDecoder::new();
+        d.extend(&frame);
+        assert_eq!(d.next_frame().unwrap().unwrap().as_ref(), b"hello");
+        assert!(d.next_frame().unwrap().is_none());
+    }
+
+    #[test]
+    fn handles_partial_delivery() {
+        let frame = encode_frame(b"flexran").unwrap();
+        let mut d = FrameDecoder::new();
+        d.extend(&frame[..3]);
+        assert!(d.next_frame().unwrap().is_none());
+        d.extend(&frame[3..6]);
+        assert!(d.next_frame().unwrap().is_none());
+        d.extend(&frame[6..]);
+        assert_eq!(d.next_frame().unwrap().unwrap().as_ref(), b"flexran");
+    }
+
+    #[test]
+    fn handles_coalesced_frames() {
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&encode_frame(b"a").unwrap());
+        stream.extend_from_slice(&encode_frame(b"bb").unwrap());
+        stream.extend_from_slice(&encode_frame(b"").unwrap());
+        let mut d = FrameDecoder::new();
+        d.extend(&stream);
+        assert_eq!(d.next_frame().unwrap().unwrap().as_ref(), b"a");
+        assert_eq!(d.next_frame().unwrap().unwrap().as_ref(), b"bb");
+        assert_eq!(d.next_frame().unwrap().unwrap().as_ref(), b"");
+        assert!(d.next_frame().unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_frames_rejected() {
+        let mut d = FrameDecoder::new();
+        d.extend(&(u32::MAX).to_be_bytes());
+        assert!(d.next_frame().is_err());
+        assert!(encode_frame(&vec![0u8; MAX_FRAME_BYTES + 1]).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_many_frames_any_chunking(
+            frames in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..200), 1..10),
+            chunk in 1usize..64,
+        ) {
+            let mut stream = Vec::new();
+            for f in &frames {
+                stream.extend_from_slice(&encode_frame(f).unwrap());
+            }
+            let mut d = FrameDecoder::new();
+            let mut out = Vec::new();
+            for c in stream.chunks(chunk) {
+                d.extend(c);
+                while let Some(f) = d.next_frame().unwrap() {
+                    out.push(f.to_vec());
+                }
+            }
+            prop_assert_eq!(out, frames);
+            prop_assert_eq!(d.buffered(), 0);
+        }
+    }
+}

@@ -1,0 +1,476 @@
+//! The FlexRAN protocol messages.
+//!
+//! One module per call type of the FlexRAN Agent API (paper Table 1):
+//!
+//! * [`config`] — configuration get/set (synchronous).
+//! * [`stats`] — statistics request/reply (asynchronous).
+//! * [`commands`] — control commands (synchronous).
+//! * [`events`] — event triggers (asynchronous) and subframe sync.
+//! * [`delegation`] — control delegation: VSF push & policy
+//!   reconfiguration (synchronous).
+//!
+//! plus the session-management messages ([`Hello`], [`Echo`]) and the
+//! envelope ([`FlexranMessage`]) that frames them all with a [`Header`].
+
+pub mod commands;
+pub mod config;
+pub mod delegation;
+pub mod events;
+pub mod stats;
+
+use bytes::Bytes;
+use flexran_types::ids::EnbId;
+use flexran_types::{FlexError, Result};
+
+use crate::category::MessageCategory;
+use crate::wire::{WireReader, WireWriter};
+
+pub use commands::{
+    AbsCommand, DlSchedulingCommand, DrxCommand, HandoverCommand, ScellCommand, UlSchedulingCommand,
+};
+pub use config::{ConfigReply, ConfigRequest};
+pub use delegation::{DelegationAck, PolicyReconfiguration, VsfArtifact, VsfPush};
+pub use events::{EventNotification, SubframeTrigger};
+pub use stats::{
+    CellReport, ReportConfig, ReportFlags, ReportType, StatsReply, StatsRequest, UeReport,
+};
+
+/// Protocol version spoken by this implementation.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Envelope header carried by every message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Header {
+    pub version: u32,
+    /// Transaction id correlating requests and replies.
+    pub xid: u32,
+}
+
+impl Default for Header {
+    fn default() -> Self {
+        Header {
+            version: PROTOCOL_VERSION,
+            xid: 0,
+        }
+    }
+}
+
+impl Header {
+    pub fn with_xid(xid: u32) -> Self {
+        Header {
+            version: PROTOCOL_VERSION,
+            xid,
+        }
+    }
+
+    fn encode(&self, w: &mut WireWriter) {
+        w.uint(1, self.version as u64);
+        w.uint(2, self.xid as u64);
+    }
+
+    fn decode(data: &[u8]) -> Result<Header> {
+        let mut h = Header { version: 0, xid: 0 };
+        let mut r = WireReader::new(data);
+        while let Some((f, v)) = r.next_field()? {
+            match f {
+                1 => h.version = v.as_u32()?,
+                2 => h.xid = v.as_u32()?,
+                _ => {}
+            }
+        }
+        Ok(h)
+    }
+}
+
+/// Agent hello: announces the eNodeB and its capabilities when the session
+/// is established.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Hello {
+    pub enb_id: EnbId,
+    pub n_cells: u32,
+    /// Capability strings (e.g. `"dl_scheduling"`, `"vsf_dsl"`).
+    pub capabilities: Vec<String>,
+}
+
+impl Hello {
+    fn encode(&self, w: &mut WireWriter) {
+        w.uint(1, self.enb_id.0 as u64);
+        w.uint(2, self.n_cells as u64);
+        for c in &self.capabilities {
+            w.string(3, c);
+        }
+    }
+
+    fn decode(data: &[u8]) -> Result<Hello> {
+        let mut m = Hello::default();
+        let mut r = WireReader::new(data);
+        while let Some((f, v)) = r.next_field()? {
+            match f {
+                1 => m.enb_id = EnbId(v.as_u32()?),
+                2 => m.n_cells = v.as_u32()?,
+                3 => m.capabilities.push(v.as_str()?.to_string()),
+                _ => {}
+            }
+        }
+        Ok(m)
+    }
+}
+
+/// Echo request/reply payload (liveness and RTT measurement).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Echo {
+    /// Sender timestamp in microseconds (opaque to the peer).
+    pub timestamp_us: u64,
+    pub payload: Vec<u8>,
+}
+
+impl Echo {
+    fn encode(&self, w: &mut WireWriter) {
+        w.uint(1, self.timestamp_us);
+        w.bytes_field(2, &self.payload);
+    }
+
+    fn decode(data: &[u8]) -> Result<Echo> {
+        let mut m = Echo::default();
+        let mut r = WireReader::new(data);
+        while let Some((f, v)) = r.next_field()? {
+            match f {
+                1 => m.timestamp_us = v.as_u64()?,
+                2 => m.payload = v.as_bytes()?.to_vec(),
+                _ => {}
+            }
+        }
+        Ok(m)
+    }
+}
+
+/// Every message the FlexRAN protocol can carry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlexranMessage {
+    Hello(Hello),
+    EchoRequest(Echo),
+    EchoReply(Echo),
+    ConfigRequest(ConfigRequest),
+    ConfigReply(ConfigReply),
+    StatsRequest(StatsRequest),
+    SubframeTrigger(SubframeTrigger),
+    StatsReply(StatsReply),
+    EventNotification(EventNotification),
+    DlSchedulingCommand(DlSchedulingCommand),
+    UlSchedulingCommand(UlSchedulingCommand),
+    HandoverCommand(HandoverCommand),
+    DrxCommand(DrxCommand),
+    AbsCommand(AbsCommand),
+    ScellCommand(ScellCommand),
+    VsfPush(VsfPush),
+    PolicyReconfiguration(PolicyReconfiguration),
+    DelegationAck(DelegationAck),
+}
+
+/// Envelope field numbers (protobuf `oneof` style).
+const F_HEADER: u32 = 1;
+const F_HELLO: u32 = 10;
+const F_ECHO_REQ: u32 = 11;
+const F_ECHO_REP: u32 = 12;
+const F_CONFIG_REQ: u32 = 13;
+const F_CONFIG_REP: u32 = 14;
+const F_STATS_REQ: u32 = 15;
+const F_SF_TRIGGER: u32 = 16;
+const F_STATS_REP: u32 = 17;
+const F_EVENT: u32 = 18;
+const F_DL_SCHED: u32 = 19;
+const F_UL_SCHED: u32 = 20;
+const F_HANDOVER: u32 = 21;
+const F_DRX: u32 = 22;
+const F_ABS: u32 = 23;
+const F_VSF_PUSH: u32 = 24;
+const F_POLICY: u32 = 25;
+const F_DELEG_ACK: u32 = 26;
+const F_SCELL: u32 = 27;
+
+impl FlexranMessage {
+    /// Serialize with the given header. The result is protobuf-wire
+    /// compatible and is what transports frame and count.
+    pub fn encode(&self, header: Header) -> Bytes {
+        let mut w = WireWriter::new();
+        w.message(F_HEADER, |m| header.encode(m));
+        match self {
+            FlexranMessage::Hello(b) => w.message(F_HELLO, |m| b.encode(m)),
+            FlexranMessage::EchoRequest(b) => w.message(F_ECHO_REQ, |m| b.encode(m)),
+            FlexranMessage::EchoReply(b) => w.message(F_ECHO_REP, |m| b.encode(m)),
+            FlexranMessage::ConfigRequest(b) => w.message(F_CONFIG_REQ, |m| b.encode(m)),
+            FlexranMessage::ConfigReply(b) => w.message(F_CONFIG_REP, |m| b.encode(m)),
+            FlexranMessage::StatsRequest(b) => w.message(F_STATS_REQ, |m| b.encode(m)),
+            FlexranMessage::SubframeTrigger(b) => w.message(F_SF_TRIGGER, |m| b.encode(m)),
+            FlexranMessage::StatsReply(b) => w.message(F_STATS_REP, |m| b.encode(m)),
+            FlexranMessage::EventNotification(b) => w.message(F_EVENT, |m| b.encode(m)),
+            FlexranMessage::DlSchedulingCommand(b) => w.message(F_DL_SCHED, |m| b.encode(m)),
+            FlexranMessage::UlSchedulingCommand(b) => w.message(F_UL_SCHED, |m| b.encode(m)),
+            FlexranMessage::HandoverCommand(b) => w.message(F_HANDOVER, |m| b.encode(m)),
+            FlexranMessage::DrxCommand(b) => w.message(F_DRX, |m| b.encode(m)),
+            FlexranMessage::AbsCommand(b) => w.message(F_ABS, |m| b.encode(m)),
+            FlexranMessage::ScellCommand(b) => w.message(F_SCELL, |m| b.encode(m)),
+            FlexranMessage::VsfPush(b) => w.message(F_VSF_PUSH, |m| b.encode(m)),
+            FlexranMessage::PolicyReconfiguration(b) => w.message(F_POLICY, |m| b.encode(m)),
+            FlexranMessage::DelegationAck(b) => w.message(F_DELEG_ACK, |m| b.encode(m)),
+        }
+        w.finish()
+    }
+
+    /// Parse an envelope. Unknown body fields fail loudly (the envelope is
+    /// the one place where "I don't know this message" must be surfaced);
+    /// unknown fields *inside* known messages are skipped.
+    pub fn decode(data: &[u8]) -> Result<(Header, FlexranMessage)> {
+        let mut header: Option<Header> = None;
+        let mut body: Option<FlexranMessage> = None;
+        let mut r = WireReader::new(data);
+        while let Some((f, v)) = r.next_field()? {
+            match f {
+                F_HEADER => header = Some(Header::decode(v.as_bytes()?)?),
+                F_HELLO => body = Some(FlexranMessage::Hello(Hello::decode(v.as_bytes()?)?)),
+                F_ECHO_REQ => {
+                    body = Some(FlexranMessage::EchoRequest(Echo::decode(v.as_bytes()?)?))
+                }
+                F_ECHO_REP => body = Some(FlexranMessage::EchoReply(Echo::decode(v.as_bytes()?)?)),
+                F_CONFIG_REQ => {
+                    body = Some(FlexranMessage::ConfigRequest(ConfigRequest::decode(
+                        v.as_bytes()?,
+                    )?))
+                }
+                F_CONFIG_REP => {
+                    body = Some(FlexranMessage::ConfigReply(ConfigReply::decode(
+                        v.as_bytes()?,
+                    )?))
+                }
+                F_STATS_REQ => {
+                    body = Some(FlexranMessage::StatsRequest(StatsRequest::decode(
+                        v.as_bytes()?,
+                    )?))
+                }
+                F_SF_TRIGGER => {
+                    body = Some(FlexranMessage::SubframeTrigger(SubframeTrigger::decode(
+                        v.as_bytes()?,
+                    )?))
+                }
+                F_STATS_REP => {
+                    body = Some(FlexranMessage::StatsReply(StatsReply::decode(
+                        v.as_bytes()?,
+                    )?))
+                }
+                F_EVENT => {
+                    body = Some(FlexranMessage::EventNotification(
+                        EventNotification::decode(v.as_bytes()?)?,
+                    ))
+                }
+                F_DL_SCHED => {
+                    body = Some(FlexranMessage::DlSchedulingCommand(
+                        DlSchedulingCommand::decode(v.as_bytes()?)?,
+                    ))
+                }
+                F_UL_SCHED => {
+                    body = Some(FlexranMessage::UlSchedulingCommand(
+                        UlSchedulingCommand::decode(v.as_bytes()?)?,
+                    ))
+                }
+                F_HANDOVER => {
+                    body = Some(FlexranMessage::HandoverCommand(HandoverCommand::decode(
+                        v.as_bytes()?,
+                    )?))
+                }
+                F_DRX => {
+                    body = Some(FlexranMessage::DrxCommand(DrxCommand::decode(
+                        v.as_bytes()?,
+                    )?))
+                }
+                F_ABS => {
+                    body = Some(FlexranMessage::AbsCommand(AbsCommand::decode(
+                        v.as_bytes()?,
+                    )?))
+                }
+                F_SCELL => {
+                    body = Some(FlexranMessage::ScellCommand(ScellCommand::decode(
+                        v.as_bytes()?,
+                    )?))
+                }
+                F_VSF_PUSH => body = Some(FlexranMessage::VsfPush(VsfPush::decode(v.as_bytes()?)?)),
+                F_POLICY => {
+                    body = Some(FlexranMessage::PolicyReconfiguration(
+                        PolicyReconfiguration::decode(v.as_bytes()?)?,
+                    ))
+                }
+                F_DELEG_ACK => {
+                    body = Some(FlexranMessage::DelegationAck(DelegationAck::decode(
+                        v.as_bytes()?,
+                    )?))
+                }
+                other => return Err(FlexError::Codec(format!("unknown envelope field {other}"))),
+            }
+        }
+        let header = header.ok_or_else(|| FlexError::Codec("envelope missing header".into()))?;
+        let body = body.ok_or_else(|| FlexError::Codec("envelope missing body".into()))?;
+        Ok((header, body))
+    }
+
+    /// Traffic category for overhead accounting (Fig. 7).
+    pub fn category(&self) -> MessageCategory {
+        match self {
+            FlexranMessage::Hello(_)
+            | FlexranMessage::EchoRequest(_)
+            | FlexranMessage::EchoReply(_)
+            | FlexranMessage::ConfigRequest(_)
+            | FlexranMessage::ConfigReply(_)
+            | FlexranMessage::StatsRequest(_) => MessageCategory::AgentManagement,
+            FlexranMessage::SubframeTrigger(_) => MessageCategory::Sync,
+            FlexranMessage::StatsReply(_) => MessageCategory::StatsReporting,
+            FlexranMessage::EventNotification(_) => MessageCategory::Events,
+            FlexranMessage::DlSchedulingCommand(_)
+            | FlexranMessage::UlSchedulingCommand(_)
+            | FlexranMessage::HandoverCommand(_)
+            | FlexranMessage::DrxCommand(_)
+            | FlexranMessage::AbsCommand(_)
+            | FlexranMessage::ScellCommand(_) => MessageCategory::Commands,
+            FlexranMessage::VsfPush(_)
+            | FlexranMessage::PolicyReconfiguration(_)
+            | FlexranMessage::DelegationAck(_) => MessageCategory::Delegation,
+        }
+    }
+
+    /// Short stable name for logs and counters.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            FlexranMessage::Hello(_) => "hello",
+            FlexranMessage::EchoRequest(_) => "echo-request",
+            FlexranMessage::EchoReply(_) => "echo-reply",
+            FlexranMessage::ConfigRequest(_) => "config-request",
+            FlexranMessage::ConfigReply(_) => "config-reply",
+            FlexranMessage::StatsRequest(_) => "stats-request",
+            FlexranMessage::SubframeTrigger(_) => "subframe-trigger",
+            FlexranMessage::StatsReply(_) => "stats-reply",
+            FlexranMessage::EventNotification(_) => "event",
+            FlexranMessage::DlSchedulingCommand(_) => "dl-scheduling",
+            FlexranMessage::UlSchedulingCommand(_) => "ul-scheduling",
+            FlexranMessage::HandoverCommand(_) => "handover",
+            FlexranMessage::DrxCommand(_) => "drx",
+            FlexranMessage::AbsCommand(_) => "abs",
+            FlexranMessage::ScellCommand(_) => "scell",
+            FlexranMessage::VsfPush(_) => "vsf-push",
+            FlexranMessage::PolicyReconfiguration(_) => "policy-reconfiguration",
+            FlexranMessage::DelegationAck(_) => "delegation-ack",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn hello_roundtrip() {
+        let msg = FlexranMessage::Hello(Hello {
+            enb_id: EnbId(7),
+            n_cells: 2,
+            capabilities: vec!["dl_scheduling".into(), "vsf_dsl".into()],
+        });
+        let bytes = msg.encode(Header::with_xid(99));
+        let (h, got) = FlexranMessage::decode(&bytes).unwrap();
+        assert_eq!(h.xid, 99);
+        assert_eq!(h.version, PROTOCOL_VERSION);
+        assert_eq!(got, msg);
+        assert_eq!(got.category(), MessageCategory::AgentManagement);
+    }
+
+    #[test]
+    fn echo_roundtrip() {
+        let msg = FlexranMessage::EchoRequest(Echo {
+            timestamp_us: 123456,
+            payload: vec![1, 2, 3],
+        });
+        let bytes = msg.encode(Header::default());
+        let (_, got) = FlexranMessage::decode(&bytes).unwrap();
+        assert_eq!(got, msg);
+    }
+
+    #[test]
+    fn envelope_requires_header_and_body() {
+        // Body-only.
+        let mut w = WireWriter::new();
+        w.message(F_HELLO, |m| Hello::default().encode(m));
+        assert!(FlexranMessage::decode(&w.finish()).is_err());
+        // Header-only.
+        let mut w = WireWriter::new();
+        w.message(F_HEADER, |m| Header::default().encode(m));
+        assert!(FlexranMessage::decode(&w.finish()).is_err());
+        // Unknown envelope field.
+        let mut w = WireWriter::new();
+        w.message(F_HEADER, |m| Header::default().encode(m));
+        w.message(200, |m| m.uint(1, 1));
+        assert!(FlexranMessage::decode(&w.finish()).is_err());
+    }
+
+    #[test]
+    fn sync_message_is_tiny() {
+        // Per-TTI sync must stay a few tens of bytes or the Fig. 7 sync
+        // series would be wrong by construction.
+        let msg = FlexranMessage::SubframeTrigger(SubframeTrigger {
+            enb_id: EnbId(1),
+            sfn: 1023,
+            sf: 9,
+            tti: u32::MAX as u64,
+        });
+        let bytes = msg.encode(Header::with_xid(u32::MAX));
+        assert!(bytes.len() <= 40, "sync message is {} bytes", bytes.len());
+    }
+
+    proptest! {
+        /// Hostile input safety: arbitrary bytes must produce an error or
+        /// a message — never a panic (agents parse what the network
+        /// delivers).
+        #[test]
+        fn decode_never_panics(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+            let _ = FlexranMessage::decode(&data);
+        }
+
+        /// Envelope roundtrip for randomized echo payloads and xids.
+        #[test]
+        fn echo_roundtrip_random(
+            xid in any::<u32>(),
+            ts in any::<u64>(),
+            payload in proptest::collection::vec(any::<u8>(), 0..256),
+        ) {
+            let msg = FlexranMessage::EchoRequest(Echo { timestamp_us: ts, payload });
+            let bytes = msg.encode(Header::with_xid(xid));
+            let (h, got) = FlexranMessage::decode(&bytes).unwrap();
+            prop_assert_eq!(h.xid, xid);
+            prop_assert_eq!(got, msg);
+        }
+    }
+
+    #[test]
+    fn categories_cover_all_kinds() {
+        use MessageCategory as C;
+        let samples: Vec<(FlexranMessage, C)> = vec![
+            (FlexranMessage::Hello(Hello::default()), C::AgentManagement),
+            (
+                FlexranMessage::SubframeTrigger(SubframeTrigger::default()),
+                C::Sync,
+            ),
+            (
+                FlexranMessage::StatsReply(StatsReply::default()),
+                C::StatsReporting,
+            ),
+            (
+                FlexranMessage::EventNotification(EventNotification::default()),
+                C::Events,
+            ),
+            (
+                FlexranMessage::DlSchedulingCommand(DlSchedulingCommand::default()),
+                C::Commands,
+            ),
+            (FlexranMessage::VsfPush(VsfPush::default()), C::Delegation),
+        ];
+        for (msg, cat) in samples {
+            assert_eq!(msg.category(), cat, "{}", msg.kind());
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! The shared virtual clock.
+//!
+//! All simulated components — the data planes, the control-channel link,
+//! the traffic models — read the same clock, advanced once per TTI by the
+//! harness. Sharing happens through an `Arc`, with the tick stored
+//! atomically so link endpoints on either side of a transport can read it
+//! without locking.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use flexran_types::time::Tti;
+
+/// A monotonically advancing virtual clock (1 tick = 1 TTI = 1 ms).
+#[derive(Debug, Default)]
+pub struct VirtualClock {
+    now: AtomicU64,
+}
+
+impl VirtualClock {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Tti {
+        Tti(self.now.load(Ordering::Acquire))
+    }
+
+    /// Advance to `tti`. Panics if time would move backwards — that is
+    /// always a harness bug worth failing loudly on.
+    pub fn advance_to(&self, tti: Tti) {
+        let prev = self.now.swap(tti.0, Ordering::AcqRel);
+        assert!(
+            prev <= tti.0,
+            "virtual clock moved backwards: {prev} -> {}",
+            tti.0
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advances_and_reads() {
+        let c = VirtualClock::new();
+        assert_eq!(c.now(), Tti(0));
+        c.advance_to(Tti(5));
+        assert_eq!(c.now(), Tti(5));
+        c.advance_to(Tti(5)); // idempotent
+        assert_eq!(c.now(), Tti(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn rejects_time_travel() {
+        let c = VirtualClock::new();
+        c.advance_to(Tti(5));
+        c.advance_to(Tti(4));
+    }
+}

@@ -1,0 +1,355 @@
+//! The control-channel emulator: a virtual-time `netem`.
+//!
+//! The paper studies the impact of the master↔agent channel with the
+//! Linux `netem` tool (Fig. 9: RTT 0–60 ms) and measures the signalling
+//! load over it (Fig. 7). [`SimTransport`] reproduces both: it carries
+//! FlexRAN protocol messages with configurable one-way latency, jitter,
+//! serialization rate and loss — all in virtual time, so runs are exactly
+//! repeatable — and counts bytes per message category.
+//!
+//! FIFO ordering is preserved even under jitter (the real channel is TCP,
+//! which never reorders).
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use flexran_proto::category::ByteCounters;
+use flexran_proto::messages::{FlexranMessage, Header};
+use flexran_proto::transport::{Transport, FRAME_OVERHEAD_BYTES};
+use flexran_types::time::Tti;
+use flexran_types::units::BitRate;
+use flexran_types::{FlexError, Result};
+
+use crate::clock::VirtualClock;
+
+/// One direction's channel characteristics.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkConfig {
+    /// One-way propagation delay in ms.
+    pub latency_ms: u64,
+    /// Uniform jitter added on top, `0..=jitter_ms` ms.
+    pub jitter_ms: u64,
+    /// Serialization rate; `None` = infinite (the paper's GbE baseline is
+    /// effectively rate-unconstrained for this protocol).
+    pub rate: Option<BitRate>,
+    /// Independent per-message loss probability (TCP would retransmit;
+    /// modeled as an extra full RTT of delay instead of disappearance).
+    pub loss: f64,
+    pub seed: u64,
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        LinkConfig {
+            latency_ms: 0,
+            jitter_ms: 0,
+            rate: None,
+            loss: 0.0,
+            seed: 0xF1E8,
+        }
+    }
+}
+
+impl LinkConfig {
+    /// An ideal link (dedicated fiber / same-host deployment).
+    pub fn ideal() -> Self {
+        Self::default()
+    }
+
+    /// A symmetric-delay link: `rtt_ms / 2` each way.
+    pub fn with_one_way_ms(latency_ms: u64) -> Self {
+        LinkConfig {
+            latency_ms,
+            ..Self::default()
+        }
+    }
+}
+
+struct InTransit {
+    arrival: Tti,
+    payload: Vec<u8>,
+}
+
+/// The shared directed queue between two endpoints.
+struct Direction {
+    config: LinkConfig,
+    queue: VecDeque<InTransit>,
+    /// Departure horizon for rate limiting.
+    next_free: Tti,
+    /// Last scheduled arrival (FIFO enforcement under jitter).
+    last_arrival: Tti,
+    rng: StdRng,
+}
+
+impl Direction {
+    fn new(config: LinkConfig) -> Self {
+        Direction {
+            config,
+            queue: VecDeque::new(),
+            next_free: Tti::ZERO,
+            last_arrival: Tti::ZERO,
+            rng: StdRng::seed_from_u64(config.seed),
+        }
+    }
+
+    fn push(&mut self, now: Tti, payload: Vec<u8>) {
+        let bytes = payload.len() as u64 + FRAME_OVERHEAD_BYTES;
+        // Serialization delay under a rate limit.
+        let start = now.max(self.next_free);
+        let tx_ms = match self.config.rate {
+            None => 0,
+            Some(r) if r.as_bps() == 0 => 0,
+            Some(r) => (bytes * 8 * 1000).div_ceil(r.as_bps()),
+        };
+        self.next_free = start + tx_ms;
+        let jitter = if self.config.jitter_ms > 0 {
+            self.rng.random_range(0..=self.config.jitter_ms)
+        } else {
+            0
+        };
+        // A "lost" message costs an extra round trip (TCP retransmission).
+        let loss_penalty = if self.config.loss > 0.0 && self.rng.random::<f64>() < self.config.loss
+        {
+            2 * self.config.latency_ms.max(1)
+        } else {
+            0
+        };
+        let mut arrival = self.next_free + self.config.latency_ms + jitter + loss_penalty;
+        if arrival < self.last_arrival {
+            arrival = self.last_arrival; // FIFO: never overtake
+        }
+        self.last_arrival = arrival;
+        self.queue.push_back(InTransit { arrival, payload });
+    }
+
+    fn pop_due(&mut self, now: Tti) -> Option<Vec<u8>> {
+        if self
+            .queue
+            .front()
+            .map(|m| m.arrival <= now)
+            .unwrap_or(false)
+        {
+            Some(self.queue.pop_front().expect("checked front").payload)
+        } else {
+            None
+        }
+    }
+}
+
+/// One endpoint of a simulated link.
+pub struct SimTransport {
+    clock: Arc<VirtualClock>,
+    /// Queue this endpoint sends into.
+    out: Arc<Mutex<Direction>>,
+    /// Queue this endpoint receives from.
+    inc: Arc<Mutex<Direction>>,
+    tx_counters: ByteCounters,
+    rx_counters: ByteCounters,
+}
+
+/// Create a connected pair `(a, b)`; `a_to_b` configures the a→b
+/// direction, `b_to_a` the reverse.
+pub fn sim_link_pair(
+    clock: Arc<VirtualClock>,
+    a_to_b: LinkConfig,
+    b_to_a: LinkConfig,
+) -> (SimTransport, SimTransport) {
+    let ab = Arc::new(Mutex::new(Direction::new(a_to_b)));
+    let ba = Arc::new(Mutex::new(Direction::new(b_to_a)));
+    (
+        SimTransport {
+            clock: clock.clone(),
+            out: ab.clone(),
+            inc: ba.clone(),
+            tx_counters: ByteCounters::new(),
+            rx_counters: ByteCounters::new(),
+        },
+        SimTransport {
+            clock,
+            out: ba,
+            inc: ab,
+            tx_counters: ByteCounters::new(),
+            rx_counters: ByteCounters::new(),
+        },
+    )
+}
+
+impl SimTransport {
+    /// Messages queued towards this endpoint but not yet due.
+    pub fn in_flight_towards(&self) -> usize {
+        self.inc.lock().queue.len()
+    }
+}
+
+impl Transport for SimTransport {
+    fn send(&mut self, header: Header, msg: &FlexranMessage) -> Result<()> {
+        let bytes = msg.encode(header);
+        self.tx_counters
+            .add(msg.category(), bytes.len() as u64 + FRAME_OVERHEAD_BYTES);
+        self.out.lock().push(self.clock.now(), bytes.to_vec());
+        Ok(())
+    }
+
+    fn try_recv(&mut self) -> Result<Option<(Header, FlexranMessage)>> {
+        let Some(payload) = self.inc.lock().pop_due(self.clock.now()) else {
+            return Ok(None);
+        };
+        let (header, msg) = FlexranMessage::decode(&payload)
+            .map_err(|e| FlexError::Transport(format!("undecodable frame on sim link: {e}")))?;
+        self.rx_counters
+            .add(msg.category(), payload.len() as u64 + FRAME_OVERHEAD_BYTES);
+        Ok(Some((header, msg)))
+    }
+
+    fn tx_counters(&self) -> ByteCounters {
+        self.tx_counters
+    }
+
+    fn rx_counters(&self) -> ByteCounters {
+        self.rx_counters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexran_proto::messages::{Echo, Hello};
+    use flexran_types::ids::EnbId;
+
+    fn msg(n: u32) -> FlexranMessage {
+        FlexranMessage::Hello(Hello {
+            enb_id: EnbId(n),
+            n_cells: 1,
+            capabilities: vec![],
+        })
+    }
+
+    fn clocked() -> Arc<VirtualClock> {
+        Arc::new(VirtualClock::new())
+    }
+
+    #[test]
+    fn zero_latency_delivers_same_tti() {
+        let clock = clocked();
+        let (mut a, mut b) = sim_link_pair(clock.clone(), LinkConfig::ideal(), LinkConfig::ideal());
+        a.send(Header::default(), &msg(1)).unwrap();
+        let (_, m) = b.try_recv().unwrap().unwrap();
+        assert_eq!(m, msg(1));
+    }
+
+    #[test]
+    fn latency_holds_messages() {
+        let clock = clocked();
+        let (mut a, mut b) = sim_link_pair(
+            clock.clone(),
+            LinkConfig::with_one_way_ms(10),
+            LinkConfig::ideal(),
+        );
+        a.send(Header::default(), &msg(1)).unwrap();
+        for t in 0..10 {
+            clock.advance_to(Tti(t));
+            assert!(b.try_recv().unwrap().is_none(), "early at {t}");
+        }
+        clock.advance_to(Tti(10));
+        assert!(b.try_recv().unwrap().is_some());
+    }
+
+    #[test]
+    fn fifo_preserved_under_jitter() {
+        let clock = clocked();
+        let cfg = LinkConfig {
+            latency_ms: 5,
+            jitter_ms: 10,
+            ..LinkConfig::default()
+        };
+        let (mut a, mut b) = sim_link_pair(clock.clone(), cfg, LinkConfig::ideal());
+        for i in 0..50u32 {
+            a.send(Header::with_xid(i), &msg(i)).unwrap();
+        }
+        clock.advance_to(Tti(100));
+        let mut prev = None;
+        let mut n = 0;
+        while let Some((h, _)) = b.try_recv().unwrap() {
+            if let Some(p) = prev {
+                assert!(h.xid > p, "reordered: {p} then {}", h.xid);
+            }
+            prev = Some(h.xid);
+            n += 1;
+        }
+        assert_eq!(n, 50);
+    }
+
+    #[test]
+    fn rate_limit_spreads_deliveries() {
+        let clock = clocked();
+        // ~1 kB messages over an 80 kb/s link: 100+ ms serialization each.
+        let cfg = LinkConfig {
+            rate: Some(BitRate::from_kbps(80)),
+            ..LinkConfig::default()
+        };
+        let (mut a, mut b) = sim_link_pair(clock.clone(), cfg, LinkConfig::ideal());
+        let big = FlexranMessage::EchoRequest(Echo {
+            timestamp_us: 0,
+            payload: vec![0u8; 1000],
+        });
+        a.send(Header::default(), &big).unwrap();
+        a.send(Header::default(), &big).unwrap();
+        clock.advance_to(Tti(95));
+        assert!(b.try_recv().unwrap().is_none(), "still serializing");
+        clock.advance_to(Tti(110));
+        assert!(b.try_recv().unwrap().is_some(), "first after ~100 ms");
+        assert!(b.try_recv().unwrap().is_none(), "second still serializing");
+        clock.advance_to(Tti(220));
+        assert!(b.try_recv().unwrap().is_some());
+    }
+
+    #[test]
+    fn loss_adds_rtt_penalty_not_disappearance() {
+        let clock = clocked();
+        let cfg = LinkConfig {
+            latency_ms: 10,
+            loss: 1.0, // every message "lost" once
+            ..LinkConfig::default()
+        };
+        let (mut a, mut b) = sim_link_pair(clock.clone(), cfg, LinkConfig::ideal());
+        a.send(Header::default(), &msg(1)).unwrap();
+        clock.advance_to(Tti(10));
+        assert!(b.try_recv().unwrap().is_none(), "lost copy delayed");
+        clock.advance_to(Tti(30)); // +2*latency penalty
+        assert!(b.try_recv().unwrap().is_some(), "TCP retransmit arrives");
+    }
+
+    #[test]
+    fn directions_are_independent() {
+        let clock = clocked();
+        let (mut a, mut b) = sim_link_pair(
+            clock.clone(),
+            LinkConfig::with_one_way_ms(50),
+            LinkConfig::ideal(),
+        );
+        b.send(Header::default(), &msg(2)).unwrap();
+        // b→a is ideal even though a→b is slow.
+        assert!(a.try_recv().unwrap().is_some());
+    }
+
+    #[test]
+    fn counters_track_categories() {
+        let clock = clocked();
+        let (mut a, mut b) = sim_link_pair(clock.clone(), LinkConfig::ideal(), LinkConfig::ideal());
+        a.send(Header::default(), &msg(1)).unwrap();
+        let _ = b.try_recv().unwrap();
+        use flexran_proto::category::MessageCategory;
+        assert_eq!(
+            a.tx_counters().messages(MessageCategory::AgentManagement),
+            1
+        );
+        assert_eq!(
+            b.rx_counters().bytes(MessageCategory::AgentManagement),
+            a.tx_counters().bytes(MessageCategory::AgentManagement)
+        );
+    }
+}

@@ -1,0 +1,303 @@
+//! A NewReno-style TCP download model over the LTE bearer.
+//!
+//! Table 2 of the paper measures "maximum achievable TCP throughput" per
+//! CQI, and the MEC use case's DASH player lives on top of TCP whose
+//! congestion behaviour (overshoot → queue overflow → back-off) produces
+//! the reference player's buffer freezes. This model captures exactly
+//! those dynamics:
+//!
+//! * slow start / congestion avoidance on a byte-counted window,
+//! * losses signalled by bearer-queue overflow (drop-tail at the eNodeB),
+//! * NewReno-style recovery (one window halving per loss episode),
+//! * ACK clocking driven by the bytes the radio actually delivered,
+//!   delayed by the uplink/core path.
+//!
+//! The flow conserves bytes by construction: `in_flight = injected −
+//! acked`, with ACKs generated from the UE's cumulative delivery counter.
+
+use std::collections::VecDeque;
+
+use flexran_types::time::Tti;
+use flexran_types::units::Bytes;
+
+/// TCP model parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TcpParams {
+    pub mss: u64,
+    /// Initial window (RFC 6928: 10 segments).
+    pub initial_window_segments: u64,
+    /// eNodeB per-bearer buffer: injections beyond this are dropped
+    /// (drop-tail) and signal loss.
+    pub bearer_buffer: Bytes,
+    /// Delay from radio delivery to ACK arrival at the sender (uplink +
+    /// core network), ms.
+    pub ack_delay_ms: u64,
+    /// Per-TTI injection cap (sender pacing; keeps the model from dumping
+    /// a whole window into one TTI).
+    pub max_burst_per_tti: Bytes,
+}
+
+impl Default for TcpParams {
+    fn default() -> Self {
+        TcpParams {
+            mss: 1400,
+            initial_window_segments: 10,
+            bearer_buffer: Bytes(150_000),
+            ack_delay_ms: 16,
+            max_burst_per_tti: Bytes(64_000),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    SlowStart,
+    CongestionAvoidance,
+}
+
+/// One greedy (always-backlogged) TCP download towards a UE.
+#[derive(Debug)]
+pub struct TcpFlow {
+    params: TcpParams,
+    cwnd: f64,
+    ssthresh: f64,
+    phase: Phase,
+    injected: u64,
+    acked: u64,
+    /// Last observed cumulative delivery counter (bits).
+    last_delivered_bits: u64,
+    /// Deliveries waiting to come back as ACKs: `(due, bytes)`.
+    ack_pipe: VecDeque<(Tti, u64)>,
+    /// NewReno: recovery ends once everything outstanding at the loss is
+    /// acked.
+    recovery_exit: Option<u64>,
+    /// Counters.
+    pub losses: u64,
+    pub injected_total: Bytes,
+}
+
+impl TcpFlow {
+    pub fn new(params: TcpParams) -> Self {
+        let iw = (params.initial_window_segments * params.mss) as f64;
+        TcpFlow {
+            params,
+            cwnd: iw,
+            ssthresh: f64::INFINITY,
+            phase: Phase::SlowStart,
+            injected: 0,
+            acked: 0,
+            last_delivered_bits: 0,
+            ack_pipe: VecDeque::new(),
+            recovery_exit: None,
+            losses: 0,
+            injected_total: Bytes::ZERO,
+        }
+    }
+
+    pub fn cwnd_bytes(&self) -> u64 {
+        self.cwnd as u64
+    }
+
+    pub fn in_flight(&self) -> u64 {
+        self.injected.saturating_sub(self.acked)
+    }
+
+    fn on_ack(&mut self, bytes: u64) {
+        self.acked += bytes;
+        if let Some(exit) = self.recovery_exit {
+            if self.acked >= exit {
+                self.recovery_exit = None;
+            } else {
+                return; // no window growth during recovery
+            }
+        }
+        match self.phase {
+            Phase::SlowStart => {
+                self.cwnd += bytes as f64;
+                if self.cwnd >= self.ssthresh {
+                    self.phase = Phase::CongestionAvoidance;
+                }
+            }
+            Phase::CongestionAvoidance => {
+                self.cwnd += self.params.mss as f64 * bytes as f64 / self.cwnd.max(1.0);
+            }
+        }
+    }
+
+    fn on_loss(&mut self) {
+        if self.recovery_exit.is_some() {
+            return; // one reaction per loss episode
+        }
+        self.losses += 1;
+        self.ssthresh = (self.in_flight() as f64 / 2.0).max(2.0 * self.params.mss as f64);
+        self.cwnd = self.ssthresh;
+        self.phase = Phase::CongestionAvoidance;
+        self.recovery_exit = Some(self.injected);
+    }
+
+    /// Advance one TTI.
+    ///
+    /// * `queue_bytes` — current bearer-queue occupancy at the eNodeB,
+    /// * `delivered_cum_bits` — the UE's cumulative goodput counter,
+    /// * `active` — whether the application wants to send (a paused DASH
+    ///   client keeps the flow alive but injects nothing).
+    ///
+    /// Returns the bytes to inject into the bearer this TTI.
+    pub fn on_tti(
+        &mut self,
+        tti: Tti,
+        queue_bytes: Bytes,
+        delivered_cum_bits: u64,
+        active: bool,
+    ) -> Bytes {
+        // 1. Turn new radio deliveries into future ACKs.
+        let delivered_bytes = delivered_cum_bits.saturating_sub(self.last_delivered_bits) / 8;
+        if delivered_bytes > 0 {
+            self.last_delivered_bits = delivered_cum_bits;
+            self.ack_pipe
+                .push_back((tti + self.params.ack_delay_ms, delivered_bytes));
+        }
+        // 2. Process due ACKs.
+        while let Some(&(due, bytes)) = self.ack_pipe.front() {
+            if due <= tti {
+                self.ack_pipe.pop_front();
+                self.on_ack(bytes);
+            } else {
+                break;
+            }
+        }
+        if !active {
+            return Bytes::ZERO;
+        }
+        // 3. Inject up to the window, the pacing cap and the buffer space.
+        let window_room = (self.cwnd as u64).saturating_sub(self.in_flight());
+        let want = window_room.min(self.params.max_burst_per_tti.as_u64());
+        let space = self
+            .params
+            .bearer_buffer
+            .as_u64()
+            .saturating_sub(queue_bytes.as_u64());
+        let inject = want.min(space);
+        if want > space {
+            // Drop-tail at the bearer queue: congestion signal.
+            self.on_loss();
+        }
+        self.injected += inject;
+        self.injected_total += Bytes(inject);
+        Bytes(inject)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A bearer that drains at a fixed rate, standing in for the radio.
+    struct FakeBearer {
+        queue: u64,
+        delivered_bits: u64,
+        drain_per_tti: u64,
+    }
+
+    impl FakeBearer {
+        fn step(&mut self) {
+            let tx = self.queue.min(self.drain_per_tti);
+            self.queue -= tx;
+            self.delivered_bits += tx * 8;
+        }
+    }
+
+    fn run(drain_bytes_per_tti: u64, ttis: u64) -> (TcpFlow, FakeBearer) {
+        let mut tcp = TcpFlow::new(TcpParams::default());
+        let mut bearer = FakeBearer {
+            queue: 0,
+            delivered_bits: 0,
+            drain_per_tti: drain_bytes_per_tti,
+        };
+        for t in 0..ttis {
+            let inj = tcp.on_tti(Tti(t), Bytes(bearer.queue), bearer.delivered_bits, true);
+            bearer.queue += inj.as_u64();
+            bearer.step();
+        }
+        (tcp, bearer)
+    }
+
+    #[test]
+    fn saturates_the_bottleneck() {
+        // 2 Mb/s bottleneck (250 B/TTI * 8): TCP should achieve >85 % of it.
+        let (_tcp, bearer) = run(250, 20_000);
+        let mbps = bearer.delivered_bits as f64 / 20_000.0 / 1000.0;
+        assert!(mbps > 1.7, "achieved {mbps} Mb/s of 2 Mb/s");
+        // And at a faster link it scales up.
+        let (_tcp, fast) = run(2500, 20_000);
+        let fast_mbps = fast.delivered_bits as f64 / 20_000.0 / 1000.0;
+        assert!(fast_mbps > 17.0, "achieved {fast_mbps} Mb/s of 20 Mb/s");
+    }
+
+    #[test]
+    fn slow_start_grows_exponentially_then_backs_off() {
+        let tcp = TcpFlow::new(TcpParams::default());
+        let initial = tcp.cwnd_bytes();
+        let (tcp_after, _) = run(1250, 5_000);
+        assert!(tcp_after.cwnd_bytes() > initial);
+        assert!(tcp_after.losses >= 1, "buffer overflow must signal loss");
+    }
+
+    #[test]
+    fn window_halves_once_per_episode() {
+        let mut tcp = TcpFlow::new(TcpParams::default());
+        tcp.injected = 100_000;
+        tcp.cwnd = 100_000.0;
+        tcp.on_loss();
+        let after_first = tcp.cwnd;
+        tcp.on_loss(); // same episode: ignored
+        assert_eq!(tcp.cwnd, after_first);
+        assert_eq!(tcp.losses, 1);
+        // Episode ends once the outstanding data is acked.
+        tcp.on_ack(100_000);
+        tcp.on_loss();
+        assert_eq!(tcp.losses, 2);
+    }
+
+    #[test]
+    fn inactive_flow_injects_nothing_but_keeps_acking() {
+        let mut tcp = TcpFlow::new(TcpParams::default());
+        let inj = tcp.on_tti(Tti(0), Bytes(0), 0, true);
+        assert!(inj.as_u64() > 0);
+        let inflight_before = tcp.in_flight();
+        // Radio delivers everything; flow is paused.
+        let delivered_bits = inj.as_u64() * 8;
+        assert_eq!(
+            tcp.on_tti(Tti(1), Bytes(0), delivered_bits, false),
+            Bytes::ZERO
+        );
+        // After the ACK delay the in-flight drains even while paused.
+        let mut t = 2;
+        while tcp.in_flight() > 0 && t < 100 {
+            tcp.on_tti(Tti(t), Bytes(0), delivered_bits, false);
+            t += 1;
+        }
+        assert_eq!(tcp.in_flight(), 0);
+        assert!(inflight_before > 0);
+    }
+
+    #[test]
+    fn conservation_invariant() {
+        let mut tcp = TcpFlow::new(TcpParams::default());
+        let mut bearer = FakeBearer {
+            queue: 0,
+            delivered_bits: 0,
+            drain_per_tti: 800,
+        };
+        for t in 0..5000 {
+            let inj = tcp.on_tti(Tti(t), Bytes(bearer.queue), bearer.delivered_bits, true);
+            bearer.queue += inj.as_u64();
+            bearer.step();
+            // injected == acked + in_flight at all times.
+            assert_eq!(tcp.injected, tcp.acked + tcp.in_flight());
+            // in-flight covers at least the queue (the rest is riding the
+            // ACK pipe).
+            assert!(tcp.in_flight() >= bearer.queue);
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! EPC-side traffic generators.
+//!
+//! The paper's experiments drive the RAN with "uniform downlink UDP
+//! traffic" (Figs. 7, 10, 12), full-buffer "speedtest" flows (Figs. 6, 9,
+//! §5.4) and application-paced flows (TCP/DASH, modeled in [`crate::tcp`]
+//! and [`crate::dash`]). A [`TrafficSource`] is polled once per TTI and
+//! answers how many new bytes the core network delivers for one bearer.
+
+use flexran_types::time::Tti;
+use flexran_types::units::{BitRate, Bytes};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A per-bearer downlink (or uplink) traffic generator.
+pub trait TrafficSource: Send {
+    /// New bytes arriving during `tti`. `queue_depth` is the bearer's
+    /// current transmission-queue occupancy, letting closed-loop sources
+    /// (full-buffer) top the queue up instead of growing it unboundedly.
+    fn bytes_due(&mut self, tti: Tti, queue_depth: Bytes) -> Bytes;
+}
+
+/// Constant-bit-rate (uniform UDP) traffic.
+#[derive(Debug, Clone)]
+pub struct CbrSource {
+    rate: BitRate,
+    /// Accumulator in milli-bits so fractional per-TTI amounts add up
+    /// exactly (1 TTI delivers `rate_bps / 1000` bits on average).
+    acc_millibits: u64,
+    /// Whole bits not yet forming a full byte.
+    carry_bits: u64,
+}
+
+impl CbrSource {
+    pub fn new(rate: BitRate) -> Self {
+        CbrSource {
+            rate,
+            acc_millibits: 0,
+            carry_bits: 0,
+        }
+    }
+
+    pub fn rate(&self) -> BitRate {
+        self.rate
+    }
+}
+
+impl TrafficSource for CbrSource {
+    fn bytes_due(&mut self, _tti: Tti, _queue: Bytes) -> Bytes {
+        self.acc_millibits += self.rate.as_bps();
+        let bits = self.carry_bits + self.acc_millibits / 1000;
+        self.acc_millibits %= 1000;
+        self.carry_bits = bits % 8;
+        Bytes(bits / 8)
+    }
+}
+
+/// Poisson packet arrivals of fixed-size packets.
+#[derive(Debug)]
+pub struct PoissonSource {
+    /// Mean packets per TTI.
+    lambda: f64,
+    packet_bytes: u64,
+    rng: StdRng,
+}
+
+impl PoissonSource {
+    /// `rate` average bit rate delivered in `packet_bytes` packets.
+    pub fn new(rate: BitRate, packet_bytes: u64, seed: u64) -> Self {
+        let lambda = rate.as_bps() as f64 / 1000.0 / 8.0 / packet_bytes as f64;
+        PoissonSource {
+            lambda,
+            packet_bytes,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Knuth's algorithm — fine for the λ ≤ ~20 this simulator needs.
+    fn draw_poisson(&mut self) -> u64 {
+        let l = (-self.lambda).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= self.rng.random::<f64>();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+            if k > 10_000 {
+                return k; // guard against λ misconfiguration
+            }
+        }
+    }
+}
+
+impl TrafficSource for PoissonSource {
+    fn bytes_due(&mut self, _tti: Tti, _queue: Bytes) -> Bytes {
+        Bytes(self.draw_poisson() * self.packet_bytes)
+    }
+}
+
+/// Full-buffer ("speedtest") traffic: keeps the bearer queue topped up to
+/// a target depth so the scheduler always has data.
+#[derive(Debug, Clone, Copy)]
+pub struct FullBufferSource {
+    pub target_queue: Bytes,
+}
+
+impl Default for FullBufferSource {
+    fn default() -> Self {
+        FullBufferSource {
+            target_queue: Bytes(500_000),
+        }
+    }
+}
+
+impl TrafficSource for FullBufferSource {
+    fn bytes_due(&mut self, _tti: Tti, queue: Bytes) -> Bytes {
+        self.target_queue.saturating_sub(queue)
+    }
+}
+
+/// On-off (bursty) traffic: CBR at `rate` for `on_ms`, silent for
+/// `off_ms`, repeating.
+#[derive(Debug, Clone)]
+pub struct OnOffSource {
+    inner: CbrSource,
+    on_ms: u64,
+    off_ms: u64,
+}
+
+impl OnOffSource {
+    pub fn new(rate: BitRate, on_ms: u64, off_ms: u64) -> Self {
+        OnOffSource {
+            inner: CbrSource::new(rate),
+            on_ms: on_ms.max(1),
+            off_ms,
+        }
+    }
+}
+
+impl TrafficSource for OnOffSource {
+    fn bytes_due(&mut self, tti: Tti, queue: Bytes) -> Bytes {
+        let phase = tti.0 % (self.on_ms + self.off_ms);
+        if phase < self.on_ms {
+            self.inner.bytes_due(tti, queue)
+        } else {
+            Bytes::ZERO
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cbr_delivers_exact_rate_over_time() {
+        let mut s = CbrSource::new(BitRate::from_mbps(2));
+        let mut total = Bytes::ZERO;
+        for t in 0..1000 {
+            total += s.bytes_due(Tti(t), Bytes::ZERO);
+        }
+        // 2 Mb/s over 1 s = 250 000 bytes.
+        assert_eq!(total, Bytes(250_000));
+    }
+
+    #[test]
+    fn cbr_fractional_rates_accumulate() {
+        // 380 kb/s = 47.5 B/ms: the carry must not lose the half byte.
+        let mut s = CbrSource::new(BitRate::from_kbps(380));
+        let mut total = Bytes::ZERO;
+        for t in 0..1000 {
+            total += s.bytes_due(Tti(t), Bytes::ZERO);
+        }
+        let expect = 380_000 / 8;
+        assert!(
+            (total.as_u64() as i64 - expect as i64).abs() <= 1,
+            "{total} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn poisson_mean_matches_rate() {
+        let mut s = PoissonSource::new(BitRate::from_mbps(1), 1250, 7);
+        let mut total = 0u64;
+        let n = 20_000;
+        for t in 0..n {
+            total += s.bytes_due(Tti(t), Bytes::ZERO).as_u64();
+        }
+        let rate_bps = total as f64 * 8.0 * 1000.0 / n as f64;
+        assert!(
+            (rate_bps - 1e6).abs() / 1e6 < 0.05,
+            "empirical rate {rate_bps}"
+        );
+    }
+
+    #[test]
+    fn full_buffer_tops_up() {
+        let mut s = FullBufferSource {
+            target_queue: Bytes(1000),
+        };
+        assert_eq!(s.bytes_due(Tti(0), Bytes(0)), Bytes(1000));
+        assert_eq!(s.bytes_due(Tti(1), Bytes(400)), Bytes(600));
+        assert_eq!(s.bytes_due(Tti(2), Bytes(1000)), Bytes(0));
+        assert_eq!(s.bytes_due(Tti(3), Bytes(2000)), Bytes(0));
+    }
+
+    #[test]
+    fn on_off_is_silent_in_off_phase() {
+        let mut s = OnOffSource::new(BitRate::from_mbps(8), 10, 10);
+        let mut on_bytes = Bytes::ZERO;
+        let mut off_bytes = Bytes::ZERO;
+        for t in 0..100 {
+            let b = s.bytes_due(Tti(t), Bytes::ZERO);
+            if t % 20 < 10 {
+                on_bytes += b;
+            } else {
+                off_bytes += b;
+            }
+        }
+        assert_eq!(off_bytes, Bytes::ZERO);
+        assert!(on_bytes > Bytes::ZERO);
+    }
+}

@@ -1,0 +1,122 @@
+//! Data-plane events.
+//!
+//! These are the raw events the eNodeB emits as it executes; the FlexRAN
+//! agent's Reports & Events manager turns them into the *event-trigger*
+//! messages of the FlexRAN protocol ("UE attachment, random access
+//! attempt, scheduling requests" — paper Table 1).
+
+use flexran_types::ids::{CellId, Rnti, UeId};
+use flexran_types::time::Tti;
+use flexran_types::units::Bytes;
+
+/// An event produced by the eNodeB data plane during one TTI.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EnbEvent {
+    /// A random-access attempt was received.
+    RachAttempt {
+        cell: CellId,
+        rnti: Rnti,
+        ue: UeId,
+        at: Tti,
+    },
+    /// A UE completed attachment and is now connected.
+    UeAttached {
+        cell: CellId,
+        rnti: Rnti,
+        ue: UeId,
+        at: Tti,
+    },
+    /// An attach procedure missed one of its deadlines.
+    AttachFailed {
+        cell: CellId,
+        rnti: Rnti,
+        ue: UeId,
+        at: Tti,
+        /// Which stage timed out ("rar", "setup").
+        stage: &'static str,
+    },
+    /// A UE was detached (explicitly or by handover execution).
+    UeDetached {
+        cell: CellId,
+        rnti: Rnti,
+        ue: UeId,
+        at: Tti,
+    },
+    /// A UE signalled uplink data waiting (scheduling request).
+    SchedulingRequest { cell: CellId, rnti: Rnti, at: Tti },
+    /// A measurement report was received from a UE.
+    MeasurementReport {
+        cell: CellId,
+        rnti: Rnti,
+        at: Tti,
+        serving_rsrp_dbm: f64,
+        /// `(neighbour site key, RSRP dBm)` pairs.
+        neighbours: Vec<(u32, f64)>,
+    },
+    /// The handover command was delivered; the UE has left this eNodeB.
+    /// The remaining downlink backlog is surfaced so it can be forwarded
+    /// to the target eNodeB.
+    HandoverExecuted {
+        cell: CellId,
+        rnti: Rnti,
+        ue: UeId,
+        at: Tti,
+        forwarded_bytes: Bytes,
+    },
+    /// A scheduling decision arrived after its target subframe and was
+    /// dropped (the Fig. 9 deadline-miss path).
+    DecisionMissedDeadline { cell: CellId, target: Tti, at: Tti },
+}
+
+impl EnbEvent {
+    /// The TTI the event occurred in.
+    pub fn at(&self) -> Tti {
+        match self {
+            EnbEvent::RachAttempt { at, .. }
+            | EnbEvent::UeAttached { at, .. }
+            | EnbEvent::AttachFailed { at, .. }
+            | EnbEvent::UeDetached { at, .. }
+            | EnbEvent::SchedulingRequest { at, .. }
+            | EnbEvent::MeasurementReport { at, .. }
+            | EnbEvent::HandoverExecuted { at, .. }
+            | EnbEvent::DecisionMissedDeadline { at, .. } => *at,
+        }
+    }
+
+    /// Short stable label for counters and protocol encoding.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            EnbEvent::RachAttempt { .. } => "rach",
+            EnbEvent::UeAttached { .. } => "attach",
+            EnbEvent::AttachFailed { .. } => "attach-failed",
+            EnbEvent::UeDetached { .. } => "detach",
+            EnbEvent::SchedulingRequest { .. } => "sr",
+            EnbEvent::MeasurementReport { .. } => "meas",
+            EnbEvent::HandoverExecuted { .. } => "handover",
+            EnbEvent::DecisionMissedDeadline { .. } => "missed-deadline",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_and_at_accessors() {
+        let e = EnbEvent::RachAttempt {
+            cell: CellId(0),
+            rnti: Rnti(0x100),
+            ue: UeId(7),
+            at: Tti(42),
+        };
+        assert_eq!(e.kind(), "rach");
+        assert_eq!(e.at(), Tti(42));
+        let e = EnbEvent::DecisionMissedDeadline {
+            cell: CellId(0),
+            target: Tti(10),
+            at: Tti(12),
+        };
+        assert_eq!(e.kind(), "missed-deadline");
+    }
+}

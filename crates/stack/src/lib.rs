@@ -1,0 +1,45 @@
+//! # flexran-stack
+//!
+//! The LTE layer-2 data plane underneath the FlexRAN agent — the
+//! from-scratch replacement for the OpenAirInterface eNodeB that the paper
+//! builds on (see `DESIGN.md` for the substitution argument).
+//!
+//! Following the paper's control/data separation, this crate contains only
+//! the *action* part of the access-stratum protocols: queues, HARQ,
+//! transport-block delivery, RRC procedure execution. All *decisions*
+//! (which UE to schedule, when to hand over) enter from outside through
+//! [`enb::Enb::submit_dl_decision`] / [`enb::Enb::submit_ul_decision`] and
+//! the RRC command methods — in a full FlexRAN deployment those calls are
+//! made by the FlexRAN agent's control modules (crate `flexran-agent`),
+//! which in turn may be driven locally (delegated VSFs) or remotely (the
+//! master controller).
+//!
+//! Module map:
+//!
+//! * [`pdcp`] — per-bearer sequence numbering and header overhead.
+//! * [`rlc`] — transmission queues, segmentation, buffer status.
+//! * [`mac`] — DCIs, transport-block building, HARQ, BSR quantization,
+//!   the scheduler traits, and the baseline schedulers (round-robin,
+//!   proportional-fair, max-CQI).
+//! * [`rrc`] — UE state machines: RACH/attach, measurement, handover.
+//! * [`enb`] — the eNodeB: cells, per-TTI step pipeline, statistics,
+//!   event emission.
+//! * [`events`] — data-plane events consumed by the FlexRAN agent.
+//! * [`stats`] — the counters exposed through the Agent API.
+
+pub mod enb;
+pub mod events;
+pub mod mac;
+pub mod pdcp;
+pub mod rlc;
+pub mod rrc;
+pub mod stats;
+
+pub use enb::{Enb, PhyView, StaticPhyView};
+pub use events::EnbEvent;
+pub use mac::dci::{DlDci, DlSchedulingDecision, UlGrant, UlSchedulingDecision};
+pub use mac::scheduler::{
+    DlScheduler, DlSchedulerInput, DlSchedulerOutput, MaxCqiScheduler, ParamValue,
+    ProportionalFairScheduler, RetxInfo, RoundRobinScheduler, UeSchedInfo, UlScheduler,
+    UlSchedulerInput, UlSchedulerOutput,
+};

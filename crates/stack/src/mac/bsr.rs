@@ -1,0 +1,150 @@
+//! Buffer status report quantization (3GPP TS 36.321 Table 6.1.3.1-1).
+//!
+//! Uplink queue sizes are not reported to the eNodeB byte-exact: the UE
+//! quantizes them into one of 64 levels. The quantization matters to the
+//! platform because the statistics the FlexRAN agent forwards to the
+//! master for uplink scheduling carry exactly this fidelity.
+
+/// Upper edge (bytes) of each BSR index per TS 36.321 Table 6.1.3.1-1.
+/// Index 0 means "buffer = 0"; index 63 means "> 150 000 bytes".
+pub const BSR_TABLE_BYTES: [u32; 64] = [
+    0,
+    10,
+    12,
+    14,
+    17,
+    19,
+    22,
+    26,
+    31,
+    36,
+    42,
+    49,
+    57,
+    67,
+    78,
+    91,
+    107,
+    125,
+    146,
+    171,
+    200,
+    234,
+    274,
+    321,
+    376,
+    440,
+    515,
+    603,
+    706,
+    826,
+    967,
+    1132,
+    1326,
+    1552,
+    1817,
+    2127,
+    2490,
+    2915,
+    3413,
+    3995,
+    4677,
+    5476,
+    6411,
+    7505,
+    8787,
+    10287,
+    12043,
+    14099,
+    16507,
+    19325,
+    22624,
+    26487,
+    31009,
+    36304,
+    42502,
+    49759,
+    58255,
+    68201,
+    79846,
+    93479,
+    109439,
+    128125,
+    150000,
+    u32::MAX,
+];
+
+/// Quantize a buffer occupancy into its BSR index: the smallest index
+/// whose upper edge is ≥ the occupancy.
+pub fn bsr_index(buffer_bytes: u64) -> u8 {
+    if buffer_bytes == 0 {
+        return 0;
+    }
+    for (i, edge) in BSR_TABLE_BYTES.iter().enumerate().skip(1) {
+        if buffer_bytes <= *edge as u64 {
+            return i as u8;
+        }
+    }
+    63
+}
+
+/// The buffer size the eNodeB assumes for a BSR index (the upper edge —
+/// the conservative choice real schedulers make so queues drain).
+pub fn bsr_upper_edge_bytes(index: u8) -> u64 {
+    let i = index.min(63) as usize;
+    if i == 63 {
+        // "> 150000": assume a large but finite backlog.
+        300_000
+    } else {
+        BSR_TABLE_BYTES[i] as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zero_maps_to_zero() {
+        assert_eq!(bsr_index(0), 0);
+        assert_eq!(bsr_upper_edge_bytes(0), 0);
+    }
+
+    #[test]
+    fn standard_edges() {
+        assert_eq!(bsr_index(10), 1);
+        assert_eq!(bsr_index(11), 2);
+        assert_eq!(bsr_index(150_000), 62);
+        assert_eq!(bsr_index(150_001), 63);
+    }
+
+    #[test]
+    fn table_is_strictly_increasing() {
+        for w in BSR_TABLE_BYTES.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    proptest! {
+        /// Quantization never under-reports by more than one level and the
+        /// assumed size is always an upper bound below the table maximum.
+        #[test]
+        fn quantization_bounds(bytes in 0u64..200_000) {
+            let idx = bsr_index(bytes);
+            let assumed = bsr_upper_edge_bytes(idx);
+            prop_assert!(assumed >= bytes.min(150_001));
+            if idx > 0 {
+                // The previous level would have been too small.
+                prop_assert!(bsr_upper_edge_bytes(idx - 1) < bytes);
+            }
+        }
+
+        #[test]
+        fn index_is_monotone(a in 0u64..200_000, b in 0u64..200_000) {
+            if a <= b {
+                prop_assert!(bsr_index(a) <= bsr_index(b));
+            }
+        }
+    }
+}

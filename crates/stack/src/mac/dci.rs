@@ -1,0 +1,159 @@
+//! Downlink control information and scheduling decisions.
+//!
+//! A [`DlSchedulingDecision`] is the unit the FlexRAN protocol carries from
+//! a centralized scheduler to an agent ("calls for applying MAC scheduling
+//! decisions", paper Table 1) and the unit a local scheduling VSF hands to
+//! the data plane. Each decision targets one cell and one subframe; the
+//! data plane refuses decisions that arrive after their target subframe —
+//! the deadline-miss behaviour at the heart of the Fig. 9 experiment.
+
+use flexran_phy::link_adaptation::Mcs;
+use flexran_types::ids::{CellId, Rnti};
+use flexran_types::time::Tti;
+
+/// One downlink assignment within a subframe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DlDci {
+    pub rnti: Rnti,
+    /// Number of PRBs granted (the model tracks counts, not positions:
+    /// nothing in the platform depends on frequency placement).
+    pub n_prb: u8,
+    pub mcs: Mcs,
+}
+
+/// A full downlink scheduling decision for one cell × subframe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DlSchedulingDecision {
+    pub cell: CellId,
+    /// The subframe the assignments must be applied in.
+    pub target: Tti,
+    pub dcis: Vec<DlDci>,
+}
+
+impl DlSchedulingDecision {
+    /// Total PRBs claimed by the decision.
+    pub fn total_prbs(&self) -> u32 {
+        self.dcis.iter().map(|d| d.n_prb as u32).sum()
+    }
+
+    /// Validate against a cell's PRB and DCI budgets.
+    pub fn validate(&self, n_prb: u8, max_dcis: u8) -> flexran_types::Result<()> {
+        if self.dcis.len() > max_dcis as usize {
+            return Err(flexran_types::FlexError::InvalidConfig(format!(
+                "{} DCIs exceeds the cell budget of {max_dcis}",
+                self.dcis.len()
+            )));
+        }
+        if self.total_prbs() > n_prb as u32 {
+            return Err(flexran_types::FlexError::InvalidConfig(format!(
+                "{} PRBs exceeds the cell bandwidth of {n_prb}",
+                self.total_prbs()
+            )));
+        }
+        let mut seen = std::collections::HashSet::new();
+        for d in &self.dcis {
+            if d.n_prb == 0 {
+                return Err(flexran_types::FlexError::InvalidConfig(format!(
+                    "zero-PRB DCI for {}",
+                    d.rnti
+                )));
+            }
+            if !seen.insert(d.rnti) {
+                return Err(flexran_types::FlexError::Conflict(format!(
+                    "duplicate DCI for {} in one subframe",
+                    d.rnti
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One uplink grant within a subframe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UlGrant {
+    pub rnti: Rnti,
+    pub n_prb: u8,
+    pub mcs: Mcs,
+}
+
+/// A full uplink scheduling decision for one cell × subframe. The grant is
+/// signalled at `target` and the UE transmits at `target + 4` (FDD timing).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UlSchedulingDecision {
+    pub cell: CellId,
+    pub target: Tti,
+    pub grants: Vec<UlGrant>,
+}
+
+impl UlSchedulingDecision {
+    pub fn total_prbs(&self) -> u32 {
+        self.grants.iter().map(|g| g.n_prb as u32).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dci(rnti: u16, prb: u8) -> DlDci {
+        DlDci {
+            rnti: Rnti(rnti),
+            n_prb: prb,
+            mcs: Mcs(10),
+        }
+    }
+
+    #[test]
+    fn valid_decision_passes() {
+        let d = DlSchedulingDecision {
+            cell: CellId(0),
+            target: Tti(10),
+            dcis: vec![dci(0x100, 25), dci(0x101, 25)],
+        };
+        d.validate(50, 10).unwrap();
+        assert_eq!(d.total_prbs(), 50);
+    }
+
+    #[test]
+    fn overcommitted_prbs_rejected() {
+        let d = DlSchedulingDecision {
+            cell: CellId(0),
+            target: Tti(10),
+            dcis: vec![dci(0x100, 30), dci(0x101, 30)],
+        };
+        assert!(d.validate(50, 10).is_err());
+    }
+
+    #[test]
+    fn dci_budget_enforced() {
+        let dcis: Vec<_> = (0..11).map(|i| dci(0x100 + i, 1)).collect();
+        let d = DlSchedulingDecision {
+            cell: CellId(0),
+            target: Tti(10),
+            dcis,
+        };
+        assert!(d.validate(50, 10).is_err());
+    }
+
+    #[test]
+    fn duplicate_rnti_is_a_conflict() {
+        let d = DlSchedulingDecision {
+            cell: CellId(0),
+            target: Tti(10),
+            dcis: vec![dci(0x100, 10), dci(0x100, 10)],
+        };
+        let err = d.validate(50, 10).unwrap_err();
+        assert_eq!(err.category(), "conflict");
+    }
+
+    #[test]
+    fn zero_prb_rejected() {
+        let d = DlSchedulingDecision {
+            cell: CellId(0),
+            target: Tti(10),
+            dcis: vec![dci(0x100, 0)],
+        };
+        assert!(d.validate(50, 10).is_err());
+    }
+}

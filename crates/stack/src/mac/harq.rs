@@ -1,0 +1,291 @@
+//! Downlink HARQ: 8 stop-and-wait processes per UE (FDD).
+//!
+//! The data plane runs *non-adaptive* HARQ autonomously: a NACKed block is
+//! retransmitted with its original MCS/PRB allocation at the synchronous
+//! retransmission opportunity, pre-empting scheduler allocations for those
+//! PRBs. This keeps retransmissions below the control plane's granularity
+//! — which matches the paper's setup, where the centralized scheduler
+//! issues new-data decisions and "make\[s\] assumptions about the outcome of
+//! previous transmissions for which it has not yet received any feedback"
+//! (§5.3).
+//!
+//! Chase combining is modeled as an SINR gain of `10·log10(k)` dB on the
+//! k-th transmission attempt.
+
+use flexran_phy::link_adaptation::Mcs;
+use flexran_types::time::Tti;
+use flexran_types::units::Bytes;
+
+use super::{HARQ_MAX_ATTEMPTS, HARQ_RTT};
+
+/// State of one HARQ process.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ProcessState {
+    Idle,
+    /// Transmitted, waiting for feedback.
+    InFlight {
+        sent: Tti,
+    },
+    /// NACKed, waiting for the retransmission opportunity.
+    PendingRetx {
+        ready_at: Tti,
+    },
+}
+
+/// One HARQ process: the in-flight transport block and its allocation.
+#[derive(Debug, Clone)]
+pub struct HarqProcess {
+    pub state: ProcessState,
+    /// RLC payload bytes carried (what must be recovered on failure).
+    pub payload: Bytes,
+    pub mcs: Mcs,
+    pub n_prb: u8,
+    pub attempts: u8,
+}
+
+impl Default for HarqProcess {
+    fn default() -> Self {
+        HarqProcess {
+            state: ProcessState::Idle,
+            payload: Bytes::ZERO,
+            mcs: Mcs(0),
+            n_prb: 0,
+            attempts: 0,
+        }
+    }
+}
+
+/// The outcome the entity reports when feedback is processed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FeedbackOutcome {
+    Acked {
+        payload: Bytes,
+    },
+    WillRetransmit,
+    /// Retries exhausted; payload handed back for higher-layer recovery.
+    Exhausted {
+        payload: Bytes,
+    },
+}
+
+/// Per-UE downlink HARQ entity.
+#[derive(Debug, Clone, Default)]
+pub struct HarqEntity {
+    processes: [HarqProcess; 8],
+    /// Cumulative counters for statistics reports.
+    pub tx_new: u64,
+    pub tx_retx: u64,
+    pub acked: u64,
+    pub exhausted: u64,
+}
+
+impl HarqEntity {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An idle process id, if any (with 8 processes and 4 ms feedback
+    /// there is one in every realistic schedule).
+    pub fn idle_process(&self) -> Option<u8> {
+        self.processes
+            .iter()
+            .position(|p| p.state == ProcessState::Idle)
+            .map(|i| i as u8)
+    }
+
+    /// Record a new-data transmission on `pid` at `now`.
+    pub fn start(&mut self, pid: u8, payload: Bytes, mcs: Mcs, n_prb: u8, now: Tti) {
+        let p = &mut self.processes[pid as usize % 8];
+        debug_assert_eq!(p.state, ProcessState::Idle, "process reuse while busy");
+        *p = HarqProcess {
+            state: ProcessState::InFlight { sent: now },
+            payload,
+            mcs,
+            n_prb,
+            attempts: 1,
+        };
+        self.tx_new += 1;
+    }
+
+    /// Process decoder feedback for the transmission sent from `pid`.
+    pub fn feedback(&mut self, pid: u8, ack: bool, now: Tti) -> FeedbackOutcome {
+        let p = &mut self.processes[pid as usize % 8];
+        match p.state {
+            ProcessState::InFlight { sent } => {
+                if ack {
+                    let payload = p.payload;
+                    *p = HarqProcess::default();
+                    self.acked += 1;
+                    FeedbackOutcome::Acked { payload }
+                } else if p.attempts >= HARQ_MAX_ATTEMPTS {
+                    let payload = p.payload;
+                    *p = HarqProcess::default();
+                    self.exhausted += 1;
+                    FeedbackOutcome::Exhausted { payload }
+                } else {
+                    p.state = ProcessState::PendingRetx {
+                        ready_at: Tti(sent.0 + HARQ_RTT).max(now),
+                    };
+                    FeedbackOutcome::WillRetransmit
+                }
+            }
+            _ => {
+                debug_assert!(false, "feedback for a process not in flight");
+                FeedbackOutcome::WillRetransmit
+            }
+        }
+    }
+
+    /// Retransmissions due at `now`: marks them in flight again and
+    /// returns `(pid, n_prb, mcs, attempt_number)` per block.
+    pub fn take_due_retx(&mut self, now: Tti) -> Vec<(u8, u8, Mcs, u8)> {
+        let mut due = Vec::new();
+        for (i, p) in self.processes.iter_mut().enumerate() {
+            if let ProcessState::PendingRetx { ready_at } = p.state {
+                if ready_at <= now {
+                    p.attempts += 1;
+                    p.state = ProcessState::InFlight { sent: now };
+                    self.tx_retx += 1;
+                    due.push((i as u8, p.n_prb, p.mcs, p.attempts));
+                }
+            }
+        }
+        due
+    }
+
+    /// SINR gain from chase combining at the given attempt (1-based).
+    pub fn combining_gain_db(attempt: u8) -> f64 {
+        10.0 * (attempt.max(1) as f64).log10()
+    }
+
+    /// Transmissions awaiting feedback sent at exactly `sent` (used by the
+    /// data plane to evaluate feedback arriving `HARQ_FEEDBACK_DELAY`
+    /// later).
+    pub fn in_flight_sent_at(&self, sent: Tti) -> Vec<(u8, Mcs, u8, u8)> {
+        self.processes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| match p.state {
+                ProcessState::InFlight { sent: s } if s == sent => {
+                    Some((i as u8, p.mcs, p.n_prb, p.attempts))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Whether every process is idle (used on detach and by tests).
+    pub fn all_idle(&self) -> bool {
+        self.processes.iter().all(|p| p.state == ProcessState::Idle)
+    }
+
+    /// Total payload bytes currently tied up in HARQ.
+    pub fn outstanding(&self) -> Bytes {
+        Bytes(
+            self.processes
+                .iter()
+                .filter(|p| p.state != ProcessState::Idle)
+                .map(|p| p.payload.as_u64())
+                .sum(),
+        )
+    }
+
+    /// Drop all state (UE detach).
+    pub fn reset(&mut self) {
+        for p in &mut self.processes {
+            *p = HarqProcess::default();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ack_frees_the_process() {
+        let mut h = HarqEntity::new();
+        let pid = h.idle_process().unwrap();
+        h.start(pid, Bytes(1000), Mcs(10), 10, Tti(5));
+        assert!(!h.all_idle());
+        let out = h.feedback(pid, true, Tti(9));
+        assert_eq!(
+            out,
+            FeedbackOutcome::Acked {
+                payload: Bytes(1000)
+            }
+        );
+        assert!(h.all_idle());
+        assert_eq!(h.acked, 1);
+    }
+
+    #[test]
+    fn nack_schedules_synchronous_retx() {
+        let mut h = HarqEntity::new();
+        h.start(0, Bytes(500), Mcs(12), 8, Tti(10));
+        assert_eq!(
+            h.feedback(0, false, Tti(14)),
+            FeedbackOutcome::WillRetransmit
+        );
+        assert!(h.take_due_retx(Tti(17)).is_empty(), "not yet at n+8");
+        let due = h.take_due_retx(Tti(18));
+        assert_eq!(due, vec![(0, 8, Mcs(12), 2)]);
+        // Second NACK at 18+4, retx at 18+8.
+        assert_eq!(
+            h.feedback(0, false, Tti(22)),
+            FeedbackOutcome::WillRetransmit
+        );
+        assert_eq!(h.take_due_retx(Tti(26)), vec![(0, 8, Mcs(12), 3)]);
+    }
+
+    #[test]
+    fn exhaustion_returns_payload() {
+        let mut h = HarqEntity::new();
+        h.start(0, Bytes(640), Mcs(5), 4, Tti(0));
+        for k in 0..(HARQ_MAX_ATTEMPTS - 1) {
+            assert_eq!(
+                h.feedback(0, false, Tti(4 + 8 * k as u64)),
+                FeedbackOutcome::WillRetransmit
+            );
+            assert_eq!(h.take_due_retx(Tti(8 + 8 * k as u64)).len(), 1);
+        }
+        let out = h.feedback(0, false, Tti(100));
+        assert_eq!(
+            out,
+            FeedbackOutcome::Exhausted {
+                payload: Bytes(640)
+            }
+        );
+        assert!(h.all_idle());
+        assert_eq!(h.exhausted, 1);
+    }
+
+    #[test]
+    fn eight_processes_available() {
+        let mut h = HarqEntity::new();
+        for i in 0..8 {
+            let pid = h.idle_process().expect("process available");
+            h.start(pid, Bytes(1), Mcs(0), 1, Tti(i));
+        }
+        assert!(h.idle_process().is_none());
+        assert_eq!(h.outstanding(), Bytes(8));
+    }
+
+    #[test]
+    fn combining_gain_grows() {
+        assert_eq!(HarqEntity::combining_gain_db(1), 0.0);
+        assert!((HarqEntity::combining_gain_db(2) - 3.0103).abs() < 0.01);
+        assert!(HarqEntity::combining_gain_db(4) > HarqEntity::combining_gain_db(2));
+    }
+
+    #[test]
+    fn in_flight_lookup_by_send_time() {
+        let mut h = HarqEntity::new();
+        h.start(0, Bytes(10), Mcs(3), 2, Tti(40));
+        h.start(1, Bytes(20), Mcs(4), 3, Tti(41));
+        let hits = h.in_flight_sent_at(Tti(40));
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].0, 0);
+        assert!(h.in_flight_sent_at(Tti(39)).is_empty());
+    }
+}

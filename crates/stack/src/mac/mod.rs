@@ -1,0 +1,29 @@
+//! MAC: scheduling interfaces, DCIs, HARQ, transport-block building and
+//! buffer-status quantization.
+//!
+//! The MAC is the layer the paper's evaluation stresses hardest: its
+//! control part (the scheduler) is exactly what FlexRAN detaches into a
+//! VSF — runnable at the agent or at the master — while its action part
+//! (everything in this module) stays in the data plane.
+
+pub mod bsr;
+pub mod dci;
+pub mod harq;
+pub mod scheduler;
+
+/// MAC PDU fixed header/subheader overhead per transport block (3 bytes:
+/// one subheader plus padding indication — the value OAI charges for a
+/// single-LC transport block).
+pub const MAC_HEADER_BYTES: u64 = 3;
+
+/// HARQ feedback delay in TTIs (FDD: ACK/NACK for subframe `n` is
+/// available to the eNodeB at `n + 4`).
+pub const HARQ_FEEDBACK_DELAY: u64 = 4;
+
+/// Earliest retransmission opportunity after the original transmission
+/// (FDD synchronous timing: `n + 8`).
+pub const HARQ_RTT: u64 = 8;
+
+/// Maximum HARQ transmission attempts before the block is handed to
+/// higher-layer recovery.
+pub const HARQ_MAX_ATTEMPTS: u8 = 4;

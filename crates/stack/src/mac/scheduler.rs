@@ -1,0 +1,629 @@
+//! Scheduler interfaces and the baseline schedulers.
+//!
+//! [`DlScheduler`] / [`UlScheduler`] are the *control* interfaces that
+//! FlexRAN detaches from the data plane: implementations are registered as
+//! VSFs in the agent's MAC control module, swapped at runtime through
+//! policy reconfiguration, or bypassed entirely when the master controller
+//! runs a centralized scheduler and pushes [`super::dci`] decisions over
+//! the FlexRAN protocol.
+//!
+//! Every scheduler exposes a runtime parameter API ([`DlScheduler::set_param`])
+//! — the "parameters section \[that\] acts as a public API that the
+//! controller can modify" in the paper's policy reconfiguration messages.
+//!
+//! Three baselines ship with the data plane: round-robin,
+//! proportional-fair and max-CQI.
+
+use flexran_phy::link_adaptation::{mcs_for_cqi, Cqi, Mcs};
+use flexran_phy::tables::{itbs_for_mcs, tbs_bits};
+use flexran_types::ids::{CellId, Rnti, SliceId};
+use flexran_types::time::Tti;
+use flexran_types::units::Bytes;
+use flexran_types::{FlexError, Result};
+
+use super::dci::{DlDci, UlGrant};
+
+/// A runtime-settable scheduler parameter value, as carried by policy
+/// reconfiguration messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParamValue {
+    I64(i64),
+    F64(f64),
+    Str(String),
+    /// A sequence of values (e.g. per-slice resource shares).
+    List(Vec<f64>),
+}
+
+impl ParamValue {
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            ParamValue::I64(v) => Some(*v),
+            ParamValue::F64(v) => Some(*v as i64),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            ParamValue::I64(v) => Some(*v as f64),
+            ParamValue::F64(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+/// What the scheduler knows about one schedulable UE.
+#[derive(Debug, Clone)]
+pub struct UeSchedInfo {
+    pub rnti: Rnti,
+    /// Last reported wideband CQI.
+    pub cqi: Cqi,
+    /// Data-bearer backlog (bytes awaiting transmission).
+    pub queue_bytes: Bytes,
+    /// Signalling backlog (RRC messages — RAR, connection setup, handover
+    /// commands). Schedulers must drain these with priority: attach
+    /// deadlines depend on it.
+    pub srb_bytes: Bytes,
+    /// Exponentially averaged served rate in bits/s (proportional-fair
+    /// denominator).
+    pub avg_rate_bps: f64,
+    pub slice: SliceId,
+    /// Intra-slice priority group (0 = highest; the RAN-sharing use case's
+    /// premium/secondary split).
+    pub priority_group: u8,
+    /// Head-of-line delay of the data queue, in ms.
+    pub hol_delay_ms: u64,
+}
+
+/// A pending HARQ retransmission (informational: the data plane has
+/// already reserved the PRBs; `available_prb` excludes them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetxInfo {
+    pub rnti: Rnti,
+    pub n_prb: u8,
+}
+
+/// Everything a downlink scheduler sees for one cell × subframe.
+#[derive(Debug, Clone)]
+pub struct DlSchedulerInput {
+    pub cell: CellId,
+    /// When the decision is being computed.
+    pub now: Tti,
+    /// The subframe the decision is for (equals `now` for local
+    /// scheduling; `now + n` for a remote scheduler working ahead).
+    pub target: Tti,
+    /// PRBs left after HARQ retransmissions were reserved.
+    pub available_prb: u8,
+    /// DCI budget left for this subframe.
+    pub max_dcis: u8,
+    pub ues: Vec<UeSchedInfo>,
+    pub retx: Vec<RetxInfo>,
+}
+
+/// A downlink scheduling output: the assignments for the target subframe.
+#[derive(Debug, Clone, Default)]
+pub struct DlSchedulerOutput {
+    pub dcis: Vec<DlDci>,
+}
+
+/// The downlink scheduler interface (the MAC control module's
+/// UE-specific-DL-scheduling VSF signature).
+pub trait DlScheduler: Send {
+    /// Stable name used by VSF caches and policy reconfiguration.
+    fn name(&self) -> &str;
+
+    /// Compute the assignments for `input.target`.
+    fn schedule_dl(&mut self, input: &DlSchedulerInput) -> DlSchedulerOutput;
+
+    /// Set a runtime parameter. The default implementation knows none.
+    fn set_param(&mut self, key: &str, _value: ParamValue) -> Result<()> {
+        Err(FlexError::NotFound(format!(
+            "scheduler '{}' has no parameter '{key}'",
+            self.name()
+        )))
+    }
+
+    /// The current parameter values (introspection for the northbound API).
+    fn params(&self) -> Vec<(String, ParamValue)> {
+        Vec::new()
+    }
+}
+
+/// Everything an uplink scheduler sees for one cell × subframe.
+#[derive(Debug, Clone)]
+pub struct UlSchedulerInput {
+    pub cell: CellId,
+    pub now: Tti,
+    pub target: Tti,
+    pub available_prb: u8,
+    pub max_grants: u8,
+    /// `(rnti, bsr-implied backlog bytes, cqi, per-UE PRB cap)`.
+    pub ues: Vec<UlUeInfo>,
+}
+
+/// Uplink per-UE scheduling information.
+#[derive(Debug, Clone)]
+pub struct UlUeInfo {
+    pub rnti: Rnti,
+    /// Backlog the eNodeB assumes from the last BSR.
+    pub bsr_bytes: Bytes,
+    pub cqi: Cqi,
+    /// Power-headroom-derived cap on PRBs this UE can drive.
+    pub prb_cap: u8,
+}
+
+/// Uplink scheduling output.
+#[derive(Debug, Clone, Default)]
+pub struct UlSchedulerOutput {
+    pub grants: Vec<UlGrant>,
+}
+
+/// The uplink scheduler interface.
+pub trait UlScheduler: Send {
+    fn name(&self) -> &str;
+    fn schedule_ul(&mut self, input: &UlSchedulerInput) -> UlSchedulerOutput;
+}
+
+/// Minimum PRBs at `mcs` whose transport block covers `bytes`
+/// (clamped to `max_prb`; at least 1).
+pub fn prbs_for_bytes(mcs: Mcs, bytes: Bytes, max_prb: u8) -> u8 {
+    let need_bits = bytes.bits();
+    for p in 1..=max_prb {
+        if tbs_bits(itbs_for_mcs(mcs.0), p) as u64 >= need_bits {
+            return p;
+        }
+    }
+    max_prb.max(1)
+}
+
+/// Shared helper: give every UE with signalling backlog a small
+/// high-priority allocation first. Returns the PRBs left.
+pub fn allocate_srbs(input: &DlSchedulerInput, dcis: &mut Vec<DlDci>, mut prb_left: u8) -> u8 {
+    for ue in &input.ues {
+        if dcis.len() >= input.max_dcis as usize || prb_left == 0 {
+            break;
+        }
+        if ue.srb_bytes.is_zero() {
+            continue;
+        }
+        // Signalling goes out at a robust MCS so it survives poor channels.
+        let mcs = Mcs(mcs_for_cqi(ue.cqi).0.min(5));
+        let want = prbs_for_bytes(
+            mcs,
+            Bytes(ue.srb_bytes.as_u64() + super::MAC_HEADER_BYTES + crate::rlc::RLC_HEADER_BYTES),
+            prb_left,
+        );
+        dcis.push(DlDci {
+            rnti: ue.rnti,
+            n_prb: want,
+            mcs,
+        });
+        prb_left -= want;
+    }
+    prb_left
+}
+
+fn backlogged<'a>(input: &'a DlSchedulerInput, dcis: &[DlDci]) -> Vec<&'a UeSchedInfo> {
+    input
+        .ues
+        .iter()
+        .filter(|u| {
+            !u.queue_bytes.is_zero() && u.cqi.0 > 0 && !dcis.iter().any(|d| d.rnti == u.rnti)
+        })
+        .collect()
+}
+
+/// Round-robin: equal PRB shares for backlogged UEs, rotating the starting
+/// UE each subframe so short allocations even out.
+#[derive(Debug, Default)]
+pub struct RoundRobinScheduler {
+    rotation: usize,
+}
+
+impl RoundRobinScheduler {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl DlScheduler for RoundRobinScheduler {
+    fn name(&self) -> &str {
+        "round-robin"
+    }
+
+    fn schedule_dl(&mut self, input: &DlSchedulerInput) -> DlSchedulerOutput {
+        let mut dcis = Vec::new();
+        let mut prb_left = allocate_srbs(input, &mut dcis, input.available_prb);
+        let mut cands = backlogged(input, &dcis);
+        if cands.is_empty() || prb_left == 0 {
+            return DlSchedulerOutput { dcis };
+        }
+        cands.sort_by_key(|u| u.rnti);
+        let n = cands
+            .len()
+            .min((input.max_dcis as usize).saturating_sub(dcis.len()));
+        if n == 0 {
+            return DlSchedulerOutput { dcis };
+        }
+        self.rotation = (self.rotation + 1) % cands.len();
+        let share = (prb_left as usize / n).max(1) as u8;
+        for i in 0..n {
+            if prb_left == 0 {
+                break;
+            }
+            let ue = cands[(self.rotation + i) % cands.len()];
+            let mcs = mcs_for_cqi(ue.cqi);
+            let want = prbs_for_bytes(mcs, Bytes(ue.queue_bytes.as_u64() + 8), share.min(prb_left));
+            dcis.push(DlDci {
+                rnti: ue.rnti,
+                n_prb: want,
+                mcs,
+            });
+            prb_left -= want;
+        }
+        DlSchedulerOutput { dcis }
+    }
+}
+
+/// Proportional fair: rank by achievable-rate / average-rate, then grant
+/// greedily until PRBs or DCIs run out.
+#[derive(Debug)]
+pub struct ProportionalFairScheduler {
+    /// Fairness exponent on the average-rate denominator (1.0 = classic
+    /// PF; 0.0 degenerates to max-rate). Runtime-reconfigurable.
+    pub fairness_exponent: f64,
+}
+
+impl Default for ProportionalFairScheduler {
+    fn default() -> Self {
+        ProportionalFairScheduler {
+            fairness_exponent: 1.0,
+        }
+    }
+}
+
+impl ProportionalFairScheduler {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn metric(&self, ue: &UeSchedInfo) -> f64 {
+        let mcs = mcs_for_cqi(ue.cqi);
+        let rate = tbs_bits(itbs_for_mcs(mcs.0), 50) as f64; // per-TTI at full band
+        rate / ue.avg_rate_bps.max(1.0).powf(self.fairness_exponent)
+    }
+}
+
+impl DlScheduler for ProportionalFairScheduler {
+    fn name(&self) -> &str {
+        "proportional-fair"
+    }
+
+    fn schedule_dl(&mut self, input: &DlSchedulerInput) -> DlSchedulerOutput {
+        let mut dcis = Vec::new();
+        let mut prb_left = allocate_srbs(input, &mut dcis, input.available_prb);
+        let mut cands = backlogged(input, &dcis);
+        cands.sort_by(|a, b| {
+            self.metric(b)
+                .partial_cmp(&self.metric(a))
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.rnti.cmp(&b.rnti))
+        });
+        for ue in cands {
+            if prb_left == 0 || dcis.len() >= input.max_dcis as usize {
+                break;
+            }
+            let mcs = mcs_for_cqi(ue.cqi);
+            let want = prbs_for_bytes(mcs, Bytes(ue.queue_bytes.as_u64() + 8), prb_left);
+            dcis.push(DlDci {
+                rnti: ue.rnti,
+                n_prb: want,
+                mcs,
+            });
+            prb_left -= want;
+        }
+        DlSchedulerOutput { dcis }
+    }
+
+    fn set_param(&mut self, key: &str, value: ParamValue) -> Result<()> {
+        match key {
+            "fairness_exponent" => {
+                let v = value
+                    .as_f64()
+                    .ok_or_else(|| FlexError::Policy("fairness_exponent must be numeric".into()))?;
+                if !(0.0..=2.0).contains(&v) {
+                    return Err(FlexError::Policy(format!(
+                        "fairness_exponent {v} outside 0..=2"
+                    )));
+                }
+                self.fairness_exponent = v;
+                Ok(())
+            }
+            _ => Err(FlexError::NotFound(format!(
+                "proportional-fair has no parameter '{key}'"
+            ))),
+        }
+    }
+
+    fn params(&self) -> Vec<(String, ParamValue)> {
+        vec![(
+            "fairness_exponent".into(),
+            ParamValue::F64(self.fairness_exponent),
+        )]
+    }
+}
+
+/// Max-CQI: always serve the best channels first (throughput-optimal,
+/// starvation-prone — the textbook baseline).
+#[derive(Debug, Default)]
+pub struct MaxCqiScheduler;
+
+impl MaxCqiScheduler {
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl DlScheduler for MaxCqiScheduler {
+    fn name(&self) -> &str {
+        "max-cqi"
+    }
+
+    fn schedule_dl(&mut self, input: &DlSchedulerInput) -> DlSchedulerOutput {
+        let mut dcis = Vec::new();
+        let mut prb_left = allocate_srbs(input, &mut dcis, input.available_prb);
+        let mut cands = backlogged(input, &dcis);
+        cands.sort_by(|a, b| b.cqi.cmp(&a.cqi).then(a.rnti.cmp(&b.rnti)));
+        for ue in cands {
+            if prb_left == 0 || dcis.len() >= input.max_dcis as usize {
+                break;
+            }
+            let mcs = mcs_for_cqi(ue.cqi);
+            let want = prbs_for_bytes(mcs, Bytes(ue.queue_bytes.as_u64() + 8), prb_left);
+            dcis.push(DlDci {
+                rnti: ue.rnti,
+                n_prb: want,
+                mcs,
+            });
+            prb_left -= want;
+        }
+        DlSchedulerOutput { dcis }
+    }
+}
+
+/// Round-robin uplink scheduler (the only UL policy the experiments need;
+/// the trait exists so UL scheduling is delegable like DL).
+#[derive(Debug, Default)]
+pub struct UlRoundRobinScheduler {
+    rotation: usize,
+}
+
+impl UlRoundRobinScheduler {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl UlScheduler for UlRoundRobinScheduler {
+    fn name(&self) -> &str {
+        "ul-round-robin"
+    }
+
+    fn schedule_ul(&mut self, input: &UlSchedulerInput) -> UlSchedulerOutput {
+        let mut grants = Vec::new();
+        let mut cands: Vec<_> = input
+            .ues
+            .iter()
+            .filter(|u| !u.bsr_bytes.is_zero() && u.cqi.0 > 0)
+            .collect();
+        if cands.is_empty() {
+            return UlSchedulerOutput { grants };
+        }
+        cands.sort_by_key(|u| u.rnti);
+        self.rotation = (self.rotation + 1) % cands.len();
+        let n = cands.len().min(input.max_grants as usize);
+        let share = (input.available_prb as usize / n.max(1)).max(1) as u8;
+        let mut prb_left = input.available_prb;
+        for i in 0..n {
+            if prb_left == 0 {
+                break;
+            }
+            let ue = cands[(self.rotation + i) % cands.len()];
+            // UL link adaptation: cap at 16QAM (MCS 16) as UE power limits
+            // bite before 64QAM in the uplink.
+            let mcs = Mcs(mcs_for_cqi(ue.cqi).0.min(16));
+            let want = prbs_for_bytes(mcs, Bytes(ue.bsr_bytes.as_u64() + 8), share)
+                .min(ue.prb_cap)
+                .min(prb_left);
+            if want == 0 {
+                continue;
+            }
+            grants.push(UlGrant {
+                rnti: ue.rnti,
+                n_prb: want,
+                mcs,
+            });
+            prb_left -= want;
+        }
+        UlSchedulerOutput { grants }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ue(rnti: u16, cqi: u8, queue: u64) -> UeSchedInfo {
+        UeSchedInfo {
+            rnti: Rnti(rnti),
+            cqi: Cqi(cqi),
+            queue_bytes: Bytes(queue),
+            srb_bytes: Bytes::ZERO,
+            avg_rate_bps: 1.0,
+            slice: SliceId::MNO,
+            priority_group: 0,
+            hol_delay_ms: 0,
+        }
+    }
+
+    fn input(ues: Vec<UeSchedInfo>) -> DlSchedulerInput {
+        DlSchedulerInput {
+            cell: CellId(0),
+            now: Tti(100),
+            target: Tti(100),
+            available_prb: 50,
+            max_dcis: 10,
+            ues,
+            retx: vec![],
+        }
+    }
+
+    fn total_prbs(out: &DlSchedulerOutput) -> u32 {
+        out.dcis.iter().map(|d| d.n_prb as u32).sum()
+    }
+
+    #[test]
+    fn prbs_for_bytes_covers_request() {
+        for cqi in 1..=15u8 {
+            let mcs = mcs_for_cqi(Cqi(cqi));
+            let p = prbs_for_bytes(mcs, Bytes(500), 50);
+            assert!(tbs_bits(itbs_for_mcs(mcs.0), p) as u64 >= 4000 || p == 50);
+        }
+        assert_eq!(prbs_for_bytes(Mcs(0), Bytes(0), 50), 1);
+    }
+
+    #[test]
+    fn rr_splits_evenly_among_backlogged() {
+        let mut s = RoundRobinScheduler::new();
+        let out = s.schedule_dl(&input(vec![
+            ue(0x100, 10, 1_000_000),
+            ue(0x101, 10, 1_000_000),
+            ue(0x102, 10, 0), // no backlog -> not scheduled
+        ]));
+        assert_eq!(out.dcis.len(), 2);
+        for d in &out.dcis {
+            assert_eq!(d.n_prb, 25);
+        }
+    }
+
+    #[test]
+    fn rr_never_overcommits() {
+        let mut s = RoundRobinScheduler::new();
+        for n_ues in 1..30u16 {
+            let ues = (0..n_ues).map(|i| ue(0x100 + i, 7, 10_000)).collect();
+            let out = s.schedule_dl(&input(ues));
+            assert!(total_prbs(&out) <= 50);
+            assert!(out.dcis.len() <= 10);
+        }
+    }
+
+    #[test]
+    fn rr_rotation_spreads_service() {
+        // 20 backlogged UEs, 10 DCIs per TTI: over 20 TTIs all UEs served.
+        let mut s = RoundRobinScheduler::new();
+        let ues: Vec<_> = (0..20).map(|i| ue(0x100 + i, 7, 50_000)).collect();
+        let mut served = std::collections::HashSet::new();
+        for _ in 0..20 {
+            let out = s.schedule_dl(&input(ues.clone()));
+            for d in out.dcis {
+                served.insert(d.rnti);
+            }
+        }
+        assert_eq!(served.len(), 20, "rotation must reach every UE");
+    }
+
+    #[test]
+    fn pf_prefers_under_served_ue() {
+        let mut s = ProportionalFairScheduler::new();
+        let mut hungry = ue(0x100, 10, 1_000_000);
+        hungry.avg_rate_bps = 1_000.0;
+        let mut fed = ue(0x101, 10, 1_000_000);
+        fed.avg_rate_bps = 10_000_000.0;
+        let out = s.schedule_dl(&input(vec![fed, hungry]));
+        assert_eq!(out.dcis[0].rnti, Rnti(0x100), "starved UE first");
+    }
+
+    #[test]
+    fn pf_param_api() {
+        let mut s = ProportionalFairScheduler::new();
+        s.set_param("fairness_exponent", ParamValue::F64(0.5))
+            .unwrap();
+        assert_eq!(s.fairness_exponent, 0.5);
+        assert!(s
+            .set_param("fairness_exponent", ParamValue::F64(9.0))
+            .is_err());
+        assert!(s.set_param("bogus", ParamValue::I64(1)).is_err());
+        assert_eq!(
+            s.params(),
+            vec![("fairness_exponent".to_string(), ParamValue::F64(0.5))]
+        );
+    }
+
+    #[test]
+    fn max_cqi_serves_best_channel_first() {
+        let mut s = MaxCqiScheduler::new();
+        let out = s.schedule_dl(&input(vec![
+            ue(0x100, 5, 1_000_000),
+            ue(0x101, 15, 1_000_000),
+        ]));
+        assert_eq!(out.dcis[0].rnti, Rnti(0x101));
+        // Full-buffer best UE hogs the band.
+        assert_eq!(out.dcis[0].n_prb, 50);
+        assert_eq!(out.dcis.len(), 1);
+    }
+
+    #[test]
+    fn srb_traffic_preempts_data() {
+        let mut s = MaxCqiScheduler::new();
+        let mut attaching = ue(0x200, 3, 0);
+        attaching.srb_bytes = Bytes(50);
+        let out = s.schedule_dl(&input(vec![ue(0x100, 15, 1_000_000), attaching]));
+        assert_eq!(out.dcis[0].rnti, Rnti(0x200), "SRB first");
+        assert!(out.dcis[0].mcs.0 <= 5, "signalling at robust MCS");
+        assert!(total_prbs(&out) <= 50);
+    }
+
+    #[test]
+    fn cqi_zero_ue_not_scheduled() {
+        let mut s = RoundRobinScheduler::new();
+        let out = s.schedule_dl(&input(vec![ue(0x100, 0, 10_000)]));
+        assert!(out.dcis.is_empty());
+    }
+
+    #[test]
+    fn ul_rr_respects_caps() {
+        let mut s = UlRoundRobinScheduler::new();
+        let out = s.schedule_ul(&UlSchedulerInput {
+            cell: CellId(0),
+            now: Tti(0),
+            target: Tti(0),
+            available_prb: 50,
+            max_grants: 8,
+            ues: vec![UlUeInfo {
+                rnti: Rnti(0x100),
+                bsr_bytes: Bytes(1_000_000),
+                cqi: Cqi(15),
+                prb_cap: 24,
+            }],
+        });
+        assert_eq!(out.grants.len(), 1);
+        assert!(out.grants[0].n_prb <= 24, "power-headroom cap");
+        assert!(out.grants[0].mcs.0 <= 16, "UL modulation cap");
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let mut rr = RoundRobinScheduler::new();
+        assert!(rr.schedule_dl(&input(vec![])).dcis.is_empty());
+        let mut ul = UlRoundRobinScheduler::new();
+        let out = ul.schedule_ul(&UlSchedulerInput {
+            cell: CellId(0),
+            now: Tti(0),
+            target: Tti(0),
+            available_prb: 50,
+            max_grants: 8,
+            ues: vec![],
+        });
+        assert!(out.grants.is_empty());
+    }
+}

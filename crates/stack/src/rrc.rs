@@ -1,0 +1,123 @@
+//! RRC procedure state (the *action* part of RRC — decisions like "when
+//! to hand over" come from the control plane).
+//!
+//! The attach procedure is modeled at the granularity the platform's
+//! experiments observe it: every downlink RRC message (random-access
+//! response, connection setup, handover command) is an SRB SDU that must
+//! be *scheduled* like any other downlink data — so when scheduling is
+//! centralized and the control channel is too slow for the configured
+//! schedule-ahead, these messages miss their RRC deadlines and "the UE
+//! \[is\] unable to complete network attachment" (paper Fig. 9's lower
+//! triangle).
+//!
+//! Timeline (defaults in [`RrcTimers`]):
+//!
+//! ```text
+//! RACH ──► RAR + Msg3 (automatic: common-channel scheduling is MAC-
+//!          internal, below FlexRAN's delegation granularity)
+//!      ──► RRC Connection Setup on SRB (deadline: T300-like setup timer)
+//!      ──► Connected
+//! ```
+
+use flexran_types::time::Tti;
+
+/// Sizes of the modeled RRC messages, bytes.
+pub const CONN_SETUP_BYTES: u64 = 120;
+pub const HO_COMMAND_BYTES: u64 = 60;
+
+/// RRC procedure timers (TTIs).
+#[derive(Debug, Clone, Copy)]
+pub struct RrcTimers {
+    /// RACH preamble → Msg3 completion (RAR and the Msg3 grant are
+    /// common-channel scheduling, executed by the MAC autonomously).
+    pub msg3_delay: u64,
+    /// T300-like timer: the connection setup must be delivered this many
+    /// TTIs after Msg3.
+    pub setup_deadline: u64,
+    /// Backoff before a failed attach is retried.
+    pub attach_backoff: u64,
+    /// The handover command must be delivered this many TTIs after the
+    /// procedure starts.
+    pub ho_deadline: u64,
+}
+
+impl Default for RrcTimers {
+    fn default() -> Self {
+        RrcTimers {
+            msg3_delay: 6,
+            setup_deadline: 200,
+            attach_backoff: 20,
+            ho_deadline: 100,
+        }
+    }
+}
+
+/// Per-UE RRC state at the eNodeB.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RrcState {
+    /// RACH received; RAR/Msg3 complete automatically at `at`.
+    AwaitMsg3 { at: Tti },
+    /// Connection setup queued on the SRB; waiting for its delivery.
+    AwaitSetup { deadline: Tti },
+    /// Attached and schedulable for data.
+    Connected,
+    /// Handover command queued on the SRB; waiting for its delivery.
+    HandoverPrep { deadline: Tti },
+}
+
+impl RrcState {
+    /// Whether the UE may receive data-bearer traffic.
+    pub fn is_connected(self) -> bool {
+        matches!(self, RrcState::Connected | RrcState::HandoverPrep { .. })
+    }
+
+    /// The stage name reported when a deadline expires.
+    pub fn stage(self) -> &'static str {
+        match self {
+            RrcState::AwaitMsg3 { .. } => "msg3",
+            RrcState::AwaitSetup { .. } => "setup",
+            RrcState::Connected => "connected",
+            RrcState::HandoverPrep { .. } => "handover",
+        }
+    }
+
+    /// The deadline this state is waiting on, if any.
+    pub fn deadline(self) -> Option<Tti> {
+        match self {
+            RrcState::AwaitSetup { deadline } | RrcState::HandoverPrep { deadline } => {
+                Some(deadline)
+            }
+            RrcState::AwaitMsg3 { .. } | RrcState::Connected => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn connectivity_by_state() {
+        assert!(RrcState::Connected.is_connected());
+        assert!(RrcState::HandoverPrep { deadline: Tti(1) }.is_connected());
+        assert!(!RrcState::AwaitMsg3 { at: Tti(1) }.is_connected());
+        assert!(!RrcState::AwaitSetup { deadline: Tti(1) }.is_connected());
+    }
+
+    #[test]
+    fn deadlines_exposed() {
+        assert_eq!(
+            RrcState::AwaitSetup { deadline: Tti(9) }.deadline(),
+            Some(Tti(9))
+        );
+        assert_eq!(RrcState::Connected.deadline(), None);
+        assert_eq!(RrcState::AwaitMsg3 { at: Tti(3) }.deadline(), None);
+    }
+
+    #[test]
+    fn default_timers_are_sane() {
+        let t = RrcTimers::default();
+        assert!(t.setup_deadline > t.msg3_delay);
+        assert!(t.ho_deadline > 0);
+    }
+}

@@ -1,0 +1,109 @@
+//! The workspace-wide error type.
+
+use std::fmt;
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, FlexError>;
+
+/// Errors surfaced by the FlexRAN platform.
+///
+/// The platform spans a codec, two transports, a data-plane simulator and a
+/// controller; a single error enum keeps `?` usable across crate boundaries
+/// without a proliferation of conversion impls.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlexError {
+    /// A protocol message could not be encoded or decoded.
+    Codec(String),
+    /// A transport-level failure (connection lost, framing violation, ...).
+    Transport(String),
+    /// A referenced entity (agent, cell, UE, VSF, parameter) does not exist.
+    NotFound(String),
+    /// A configuration value violates an invariant.
+    InvalidConfig(String),
+    /// A control-delegation operation failed (unknown VSF, bad artifact,
+    /// signature rejected, DSL compile error).
+    Delegation(String),
+    /// A policy reconfiguration message could not be parsed or applied.
+    Policy(String),
+    /// Two applications issued conflicting control decisions (paper §7.3).
+    Conflict(String),
+    /// An I/O error (carried as a string so the enum stays `Clone + Eq`).
+    Io(String),
+    /// An operation arrived too late to meet its real-time deadline.
+    Deadline(String),
+}
+
+impl FlexError {
+    /// Short machine-readable category name (used in logs and counters).
+    pub fn category(&self) -> &'static str {
+        match self {
+            FlexError::Codec(_) => "codec",
+            FlexError::Transport(_) => "transport",
+            FlexError::NotFound(_) => "not-found",
+            FlexError::InvalidConfig(_) => "invalid-config",
+            FlexError::Delegation(_) => "delegation",
+            FlexError::Policy(_) => "policy",
+            FlexError::Conflict(_) => "conflict",
+            FlexError::Io(_) => "io",
+            FlexError::Deadline(_) => "deadline",
+        }
+    }
+}
+
+impl fmt::Display for FlexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlexError::Codec(m) => write!(f, "codec error: {m}"),
+            FlexError::Transport(m) => write!(f, "transport error: {m}"),
+            FlexError::NotFound(m) => write!(f, "not found: {m}"),
+            FlexError::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
+            FlexError::Delegation(m) => write!(f, "control delegation error: {m}"),
+            FlexError::Policy(m) => write!(f, "policy reconfiguration error: {m}"),
+            FlexError::Conflict(m) => write!(f, "control conflict: {m}"),
+            FlexError::Io(m) => write!(f, "i/o error: {m}"),
+            FlexError::Deadline(m) => write!(f, "deadline missed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FlexError {}
+
+impl From<std::io::Error> for FlexError {
+    fn from(e: std::io::Error) -> Self {
+        FlexError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_message() {
+        let e = FlexError::NotFound("ue7".into());
+        assert_eq!(e.to_string(), "not found: ue7");
+        assert_eq!(e.category(), "not-found");
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::BrokenPipe, "pipe");
+        let e: FlexError = io.into();
+        assert_eq!(e.category(), "io");
+        assert!(e.to_string().contains("pipe"));
+    }
+
+    #[test]
+    fn categories_are_stable() {
+        for (e, cat) in [
+            (FlexError::Codec(String::new()), "codec"),
+            (FlexError::Transport(String::new()), "transport"),
+            (FlexError::Delegation(String::new()), "delegation"),
+            (FlexError::Policy(String::new()), "policy"),
+            (FlexError::Conflict(String::new()), "conflict"),
+            (FlexError::Deadline(String::new()), "deadline"),
+        ] {
+            assert_eq!(e.category(), cat);
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Identifiers for the entities managed by the FlexRAN platform.
+//!
+//! The identifier space mirrors the paper's RAN Information Base forest:
+//! agents/eNodeBs at the root, cells below them, UEs as leaves. Radio-level
+//! identities (RNTI, LCID, HARQ process id) follow the LTE standard ranges
+//! and are validated on construction where the standard constrains them.
+
+use std::fmt;
+
+/// Identity of an eNodeB (and therefore of the FlexRAN agent attached to it).
+///
+/// In LTE this corresponds to the 20-bit macro eNB id; we keep the full
+/// `u32` for simulation convenience.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct EnbId(pub u32);
+
+impl fmt::Display for EnbId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "enb{}", self.0)
+    }
+}
+
+/// Identity of a cell, local to its eNodeB (an eNodeB may serve several
+/// cells, e.g. one per sector or per component carrier).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct CellId(pub u16);
+
+impl fmt::Display for CellId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cell{}", self.0)
+    }
+}
+
+/// Globally unique cell identity: `(eNodeB, local cell)`.
+///
+/// This is what the master controller uses as a key in the RIB, where cells
+/// from different agents must not collide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct GlobalCellId {
+    pub enb: EnbId,
+    pub cell: CellId,
+}
+
+impl GlobalCellId {
+    pub const fn new(enb: EnbId, cell: CellId) -> Self {
+        Self { enb, cell }
+    }
+}
+
+impl fmt::Display for GlobalCellId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.enb, self.cell)
+    }
+}
+
+/// Radio Network Temporary Identifier of a UE within a cell.
+///
+/// LTE reserves parts of the 16-bit space; C-RNTIs assigned to connected
+/// UEs live in `0x003D..=0xFFF3`. [`Rnti::new_crnti`] enforces that range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Rnti(pub u16);
+
+impl Rnti {
+    /// First valid C-RNTI value.
+    pub const CRNTI_MIN: u16 = 0x003D;
+    /// Last valid C-RNTI value.
+    pub const CRNTI_MAX: u16 = 0xFFF3;
+    /// Paging RNTI (fixed by the standard).
+    pub const P_RNTI: Rnti = Rnti(0xFFFE);
+    /// System information RNTI (fixed by the standard).
+    pub const SI_RNTI: Rnti = Rnti(0xFFFF);
+
+    /// Construct a C-RNTI, checking the standard range.
+    pub fn new_crnti(value: u16) -> crate::error::Result<Self> {
+        if (Self::CRNTI_MIN..=Self::CRNTI_MAX).contains(&value) {
+            Ok(Rnti(value))
+        } else {
+            Err(crate::error::FlexError::InvalidConfig(format!(
+                "C-RNTI {value:#06x} outside valid range"
+            )))
+        }
+    }
+
+    /// Whether this value lies in the C-RNTI range.
+    pub fn is_crnti(self) -> bool {
+        (Self::CRNTI_MIN..=Self::CRNTI_MAX).contains(&self.0)
+    }
+}
+
+impl fmt::Display for Rnti {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rnti:{:#06x}", self.0)
+    }
+}
+
+/// Simulation-global UE identity (stable across handovers, unlike [`Rnti`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct UeId(pub u32);
+
+impl fmt::Display for UeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ue{}", self.0)
+    }
+}
+
+/// Logical channel id (0..=10 used for DRBs/SRBs in LTE).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Lcid(pub u8);
+
+impl Lcid {
+    /// SRB0 (CCCH).
+    pub const SRB0: Lcid = Lcid(0);
+    /// SRB1 (DCCH).
+    pub const SRB1: Lcid = Lcid(1);
+    /// First data radio bearer LCID.
+    pub const DRB_FIRST: Lcid = Lcid(3);
+}
+
+/// Logical channel group id (0..=3), used by buffer status reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Lcgid(pub u8);
+
+impl Lcgid {
+    /// Construct, validating the 2-bit range.
+    pub fn new(value: u8) -> crate::error::Result<Self> {
+        if value < 4 {
+            Ok(Lcgid(value))
+        } else {
+            Err(crate::error::FlexError::InvalidConfig(format!(
+                "LCG id {value} outside 0..=3"
+            )))
+        }
+    }
+}
+
+/// Radio bearer id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct BearerId(pub u8);
+
+/// HARQ process id. LTE FDD uses 8 downlink HARQ processes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct HarqPid(pub u8);
+
+impl HarqPid {
+    /// Number of HARQ processes per UE in FDD.
+    pub const NUM_FDD: u8 = 8;
+
+    /// Construct, validating against the FDD process count.
+    pub fn new(value: u8) -> crate::error::Result<Self> {
+        if value < Self::NUM_FDD {
+            Ok(HarqPid(value))
+        } else {
+            Err(crate::error::FlexError::InvalidConfig(format!(
+                "HARQ pid {value} outside 0..={}",
+                Self::NUM_FDD - 1
+            )))
+        }
+    }
+}
+
+/// Identity of a network slice / virtual operator (MNO, MVNOs) sharing a
+/// cell, as used by the RAN-sharing use case (paper §6.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct SliceId(pub u8);
+
+impl SliceId {
+    /// The hosting operator's slice (owner of left-over resources).
+    pub const MNO: SliceId = SliceId(0);
+}
+
+impl fmt::Display for SliceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "slice{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crnti_range_enforced() {
+        assert!(Rnti::new_crnti(0x003C).is_err());
+        assert!(Rnti::new_crnti(0x003D).is_ok());
+        assert!(Rnti::new_crnti(0xFFF3).is_ok());
+        assert!(Rnti::new_crnti(0xFFF4).is_err());
+    }
+
+    #[test]
+    fn reserved_rntis_are_not_crntis() {
+        assert!(!Rnti::P_RNTI.is_crnti());
+        assert!(!Rnti::SI_RNTI.is_crnti());
+        assert!(Rnti(0x0100).is_crnti());
+    }
+
+    #[test]
+    fn lcg_validation() {
+        assert!(Lcgid::new(3).is_ok());
+        assert!(Lcgid::new(4).is_err());
+    }
+
+    #[test]
+    fn harq_pid_validation() {
+        assert!(HarqPid::new(7).is_ok());
+        assert!(HarqPid::new(8).is_err());
+    }
+
+    #[test]
+    fn global_cell_display_and_ordering() {
+        let a = GlobalCellId::new(EnbId(1), CellId(0));
+        let b = GlobalCellId::new(EnbId(1), CellId(1));
+        let c = GlobalCellId::new(EnbId(2), CellId(0));
+        assert!(a < b && b < c);
+        assert_eq!(a.to_string(), "enb1/cell0");
+    }
+}

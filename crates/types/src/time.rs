@@ -1,0 +1,181 @@
+//! The LTE time base.
+//!
+//! Everything in the RAN is paced by the Transmission Time Interval (TTI),
+//! which in LTE is one subframe = 1 ms. The air interface additionally
+//! counts time in System Frame Number (SFN, 0..=1023) × subframe (0..=9)
+//! pairs that wrap every 10.24 s. The master controller and the agents
+//! exchange [`SfnSf`] values in synchronization messages, while simulation
+//! code uses the monotonically increasing [`Tti`] counter.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A monotonically increasing TTI counter (1 TTI = 1 subframe = 1 ms).
+///
+/// `Tti` is the simulation's master clock: it never wraps, so durations can
+/// be computed by plain subtraction. Use [`Tti::sfn_sf`] to obtain the
+/// wrapped on-air representation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Tti(pub u64);
+
+impl Tti {
+    pub const ZERO: Tti = Tti(0);
+    /// Number of subframes per radio frame.
+    pub const SUBFRAMES_PER_FRAME: u64 = 10;
+    /// SFN wraps at 1024 frames (10.24 s).
+    pub const SFN_MODULUS: u64 = 1024;
+
+    /// The wrapped `(SFN, subframe)` on-air representation of this TTI.
+    pub fn sfn_sf(self) -> SfnSf {
+        let frames = self.0 / Self::SUBFRAMES_PER_FRAME;
+        SfnSf {
+            sfn: (frames % Self::SFN_MODULUS) as u16,
+            sf: (self.0 % Self::SUBFRAMES_PER_FRAME) as u8,
+        }
+    }
+
+    /// Milliseconds since simulation start (1 TTI = 1 ms).
+    pub fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Whole seconds since simulation start.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+
+    /// The next TTI.
+    #[must_use]
+    pub fn next(self) -> Tti {
+        Tti(self.0 + 1)
+    }
+
+    /// Saturating difference in TTIs (`self - earlier`), 0 if `earlier` is
+    /// in the future.
+    pub fn saturating_since(self, earlier: Tti) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl Add<u64> for Tti {
+    type Output = Tti;
+    fn add(self, rhs: u64) -> Tti {
+        Tti(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for Tti {
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<Tti> for Tti {
+    type Output = u64;
+    fn sub(self, rhs: Tti) -> u64 {
+        self.0
+            .checked_sub(rhs.0)
+            .expect("TTI subtraction went negative")
+    }
+}
+
+impl fmt::Display for Tti {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tti{}", self.0)
+    }
+}
+
+/// Wrapped on-air time: System Frame Number and subframe index.
+///
+/// This is the representation carried in FlexRAN protocol synchronization
+/// messages (the agent reports its current subframe to the master every
+/// TTI when per-TTI sync is enabled).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct SfnSf {
+    /// System frame number, `0..=1023`.
+    pub sfn: u16,
+    /// Subframe within the frame, `0..=9`.
+    pub sf: u8,
+}
+
+impl SfnSf {
+    /// Construct with range validation.
+    pub fn new(sfn: u16, sf: u8) -> crate::error::Result<Self> {
+        if sfn >= Tti::SFN_MODULUS as u16 {
+            return Err(crate::error::FlexError::InvalidConfig(format!(
+                "SFN {sfn} outside 0..=1023"
+            )));
+        }
+        if sf >= Tti::SUBFRAMES_PER_FRAME as u8 {
+            return Err(crate::error::FlexError::InvalidConfig(format!(
+                "subframe {sf} outside 0..=9"
+            )));
+        }
+        Ok(SfnSf { sfn, sf })
+    }
+
+    /// Flatten into a subframe count within the 10.24 s hyperperiod.
+    pub fn to_subframe_index(self) -> u64 {
+        self.sfn as u64 * Tti::SUBFRAMES_PER_FRAME + self.sf as u64
+    }
+
+    /// Number of subframes from `self` to `other`, moving forward and
+    /// wrapping at the 10.24 s hyperperiod boundary.
+    pub fn subframes_until(self, other: SfnSf) -> u64 {
+        const HYPER: u64 = Tti::SFN_MODULUS * Tti::SUBFRAMES_PER_FRAME;
+        (other.to_subframe_index() + HYPER - self.to_subframe_index()) % HYPER
+    }
+}
+
+impl fmt::Display for SfnSf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sfn{}.{}", self.sfn, self.sf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tti_to_sfnsf_wraps() {
+        assert_eq!(Tti(0).sfn_sf(), SfnSf { sfn: 0, sf: 0 });
+        assert_eq!(Tti(9).sfn_sf(), SfnSf { sfn: 0, sf: 9 });
+        assert_eq!(Tti(10).sfn_sf(), SfnSf { sfn: 1, sf: 0 });
+        // 1024 frames * 10 subframes = hyperperiod.
+        assert_eq!(Tti(10240).sfn_sf(), SfnSf { sfn: 0, sf: 0 });
+        assert_eq!(Tti(10241).sfn_sf(), SfnSf { sfn: 0, sf: 1 });
+    }
+
+    #[test]
+    fn sfnsf_validation() {
+        assert!(SfnSf::new(1023, 9).is_ok());
+        assert!(SfnSf::new(1024, 0).is_err());
+        assert!(SfnSf::new(0, 10).is_err());
+    }
+
+    #[test]
+    fn subframes_until_wraps_forward() {
+        let a = SfnSf::new(1023, 9).unwrap();
+        let b = SfnSf::new(0, 0).unwrap();
+        assert_eq!(a.subframes_until(b), 1);
+        assert_eq!(b.subframes_until(a), 10239);
+        assert_eq!(a.subframes_until(a), 0);
+    }
+
+    #[test]
+    fn tti_arithmetic() {
+        let t = Tti(41);
+        assert_eq!(t + 1, Tti(42));
+        assert_eq!(Tti(42) - Tti(40), 2);
+        assert_eq!(Tti(42).saturating_since(Tti(50)), 0);
+        assert_eq!(t.next(), Tti(42));
+        assert_eq!(Tti(1500).as_secs_f64(), 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn tti_subtraction_underflow_panics() {
+        let _ = Tti(1) - Tti(2);
+    }
+}

@@ -1,0 +1,95 @@
+//! Mobile edge computing (paper §6.2): DASH adaptive streaming with and
+//! without RAN assistance. The channel swings between CQI 10 and CQI 4;
+//! the reference player overshoots and freezes, the FlexRAN-assisted
+//! player follows the MEC application's CQI-derived bitrate hints.
+//!
+//! ```sh
+//! cargo run --release --example mec_dash
+//! ```
+
+use flexran::agent::AgentConfig;
+use flexran::apps::MecDashApp;
+use flexran::harness::{SimConfig, SimHarness, UeRadioSpec};
+use flexran::prelude::*;
+use flexran::sim::dash::{AssistedAbr, DashClient, DashConfig, ReferenceAbr};
+
+fn run_player(assisted: bool, seconds: u64) -> DashClient {
+    let mut sim = SimHarness::new(SimConfig::default());
+    let enb = sim.add_enb(EnbConfig::single_cell(EnbId(1)), AgentConfig::default());
+    // The paper's high-variability case: CQI 10 ↔ 4 every 20 s.
+    let ue = sim.add_ue(
+        enb,
+        CellId(0),
+        SliceId::MNO,
+        0,
+        UeRadioSpec::CqiSquareWave(10, 4, 20_000),
+    );
+    let app = MecDashApp::new();
+    let hints = app.hint_channel();
+    sim.master_mut().register_app(Box::new(app));
+    sim.run(3);
+    let _ = sim.master_mut().request_stats(
+        enb,
+        flexran::proto::ReportConfig {
+            report_type: flexran::proto::ReportType::Periodic { period: 10 },
+            flags: flexran::proto::ReportFlags::ALL,
+        },
+    );
+    sim.run(100); // attach
+
+    let cfg = DashConfig::paper_4k_ladder();
+    let abr: Box<dyn flexran::sim::dash::Abr> = if assisted {
+        Box::new(AssistedAbr)
+    } else {
+        Box::new(ReferenceAbr::default())
+    };
+    let mut client = DashClient::new(cfg, abr);
+    let rnti = sim.ue_stats(ue).unwrap().rnti;
+    for _ in 0..seconds * 1000 {
+        let stats = sim.ue_stats(ue).expect("attached");
+        if assisted {
+            if let Some(hint) = hints.read().get(&(EnbId(1), rnti)) {
+                client.set_hint(*hint);
+            }
+        }
+        let inject = client.on_tti(sim.now(), stats.dl_queue_bytes, stats.dl_delivered_bits);
+        if !inject.is_zero() {
+            sim.inject_dl(ue, inject).unwrap();
+        }
+        sim.step();
+    }
+    client
+}
+
+fn main() {
+    let seconds = 120;
+    println!("DASH over a CQI 10 ↔ 4 channel, {seconds} s of streaming\n");
+    for assisted in [false, true] {
+        let label = if assisted {
+            "FlexRAN-assisted"
+        } else {
+            "reference (dash.js-style)"
+        };
+        let client = run_player(assisted, seconds);
+        let mean_bitrate: f64 = client.bitrate_series.iter().map(|p| p.1).sum::<f64>()
+            / client.bitrate_series.len().max(1) as f64;
+        let max_bitrate = client
+            .bitrate_series
+            .iter()
+            .map(|p| p.1)
+            .fold(0.0f64, f64::max);
+        println!("--- {label} ---");
+        println!("  segments completed : {}", client.segments_completed);
+        println!("  mean bitrate       : {mean_bitrate:.2} Mb/s");
+        println!("  max bitrate chosen : {max_bitrate:.1} Mb/s");
+        println!("  rebuffer events    : {}", client.rebuffer_events);
+        println!(
+            "  rebuffer time      : {:.1} s",
+            client.rebuffer_ms as f64 / 1000.0
+        );
+        println!();
+    }
+    println!("Expected shape (paper Fig. 11b): the reference player rides at or");
+    println!("above the channel's capacity and freezes when the CQI drops; the");
+    println!("assisted player holds a sustainable level with zero freezes.");
+}

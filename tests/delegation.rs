@@ -1,0 +1,219 @@
+//! Control-delegation integration: VSF updation, policy reconfiguration
+//! and runtime scheduler swaps, end to end through master → protocol →
+//! agent (paper §4.3.1 and §5.4).
+
+use flexran::agent::{AgentConfig, PolicyDoc};
+use flexran::apps::CentralizedScheduler;
+use flexran::harness::{SimConfig, SimHarness, UeRadioSpec};
+use flexran::prelude::*;
+use flexran::proto::{VsfArtifact, VsfPush};
+use flexran::sim::traffic::FullBufferSource;
+use flexran::stack::mac::scheduler::{ParamValue, RoundRobinScheduler};
+
+fn sim_one_enb(agent_config: AgentConfig) -> (SimHarness, EnbId) {
+    let mut sim = SimHarness::new(SimConfig::default());
+    let enb = sim.add_enb(EnbConfig::single_cell(EnbId(1)), agent_config);
+    sim.run(2); // hello lands
+    (sim, enb)
+}
+
+#[test]
+fn dsl_vsf_push_activate_and_observe_behavior() {
+    let (mut sim, enb) = sim_one_enb(AgentConfig::default());
+    // Two UEs: CQI 12 and CQI 5. The pushed policy serves only CQI >= 10.
+    let good = sim.add_ue(enb, CellId(0), SliceId::MNO, 0, UeRadioSpec::FixedCqi(12));
+    let bad = sim.add_ue(enb, CellId(0), SliceId::MNO, 0, UeRadioSpec::FixedCqi(5));
+    sim.set_dl_traffic(good, Box::new(FullBufferSource::default()));
+    sim.set_dl_traffic(bad, Box::new(FullBufferSource::default()));
+    sim.run(100); // both attach under round-robin
+
+    sim.master_mut()
+        .push_vsf(
+            enb,
+            VsfPush {
+                module: "mac".into(),
+                vsf: "dl_ue_scheduler".into(),
+                name: "cqi-gate".into(),
+                artifact: VsfArtifact::Dsl {
+                    source: "priority = step(cqi - 9)\n".into(),
+                },
+                signature: vec![],
+            },
+            true,
+        )
+        .unwrap();
+    sim.master_mut()
+        .reconfigure(
+            enb,
+            PolicyDoc::single("mac", "dl_ue_scheduler", Some("cqi-gate"), vec![]).to_yaml(),
+        )
+        .unwrap();
+    sim.run(10);
+    assert_eq!(
+        sim.agent(enb).unwrap().mac.dl.active_name(),
+        Some("cqi-gate")
+    );
+    let before_good = sim.ue_stats(good).unwrap().dl_delivered_bits;
+    let before_bad = sim.ue_stats(bad).unwrap().dl_delivered_bits;
+    sim.run(1000);
+    let delta_good = sim.ue_stats(good).unwrap().dl_delivered_bits - before_good;
+    let delta_bad = sim.ue_stats(bad).unwrap().dl_delivered_bits - before_bad;
+    assert!(delta_good > 10_000_000, "gated-in UE served: {delta_good}");
+    assert_eq!(delta_bad, 0, "gated-out UE starved under the pushed policy");
+}
+
+#[test]
+fn unsigned_push_is_rejected_end_to_end() {
+    let (mut sim, enb) = sim_one_enb(AgentConfig::default());
+    sim.master_mut()
+        .push_vsf(
+            enb,
+            VsfPush {
+                module: "mac".into(),
+                vsf: "dl_ue_scheduler".into(),
+                name: "evil".into(),
+                artifact: VsfArtifact::Registry {
+                    key: "max-cqi".into(),
+                },
+                signature: vec![1, 2, 3],
+            },
+            false, // do NOT sign
+        )
+        .unwrap();
+    sim.run(5);
+    let agent = sim.agent(enb).unwrap();
+    assert_eq!(agent.counters().pushes_rejected, 1);
+    assert!(!agent.mac.dl.names().contains(&"evil"));
+}
+
+#[test]
+fn runtime_swap_preserves_service_continuity() {
+    // The §5.4 experiment: swap local and remote schedulers repeatedly;
+    // throughput must not dip.
+    let agent_config = AgentConfig {
+        sync_period: 1,
+        ..AgentConfig::default()
+    };
+    let (mut sim, enb) = sim_one_enb(agent_config);
+    let ue = sim.add_ue(enb, CellId(0), SliceId::MNO, 0, UeRadioSpec::FixedCqi(14));
+    sim.set_dl_traffic(ue, Box::new(FullBufferSource::default()));
+    sim.master_mut()
+        .register_app(Box::new(CentralizedScheduler::new(
+            2,
+            Box::new(RoundRobinScheduler::new()),
+        )));
+    let _ = sim.master_mut().request_stats(
+        enb,
+        flexran::proto::ReportConfig {
+            report_type: flexran::proto::ReportType::Periodic { period: 1 },
+            flags: flexran::proto::ReportFlags::ALL,
+        },
+    );
+    sim.run(200); // attach and warm up under the local scheduler
+    let mut window_rates = Vec::new();
+    let mut last_bits = sim.ue_stats(ue).unwrap().dl_delivered_bits;
+    let mut local = true;
+    for _round in 0..20 {
+        // Swap every 100 ms.
+        let behavior = if local { "remote-stub" } else { "round-robin" };
+        local = !local;
+        sim.master_mut()
+            .reconfigure(
+                enb,
+                PolicyDoc::single("mac", "dl_ue_scheduler", Some(behavior), vec![]).to_yaml(),
+            )
+            .unwrap();
+        sim.run(100);
+        let bits = sim.ue_stats(ue).unwrap().dl_delivered_bits;
+        window_rates.push((bits - last_bits) as f64 / 100.0 / 1000.0); // Mb/s
+        last_bits = bits;
+    }
+    let mean = window_rates.iter().sum::<f64>() / window_rates.len() as f64;
+    let min = window_rates.iter().cloned().fold(f64::INFINITY, f64::min);
+    assert!(mean > 20.0, "mean throughput across swaps {mean:.1} Mb/s");
+    assert!(
+        min > mean * 0.7,
+        "no service interruption across swaps: min {min:.1} vs mean {mean:.1}"
+    );
+}
+
+#[test]
+fn parameter_reconfiguration_reaches_running_scheduler() {
+    let (mut sim, enb) = sim_one_enb(AgentConfig::default());
+    // Activate the slicing scheduler and retune its shares at runtime.
+    sim.master_mut()
+        .reconfigure(
+            enb,
+            PolicyDoc::single(
+                "mac",
+                "dl_ue_scheduler",
+                Some("slice-scheduler"),
+                vec![
+                    ("slice_shares".into(), ParamValue::List(vec![0.7, 0.3])),
+                    ("policies".into(), ParamValue::Str("fair,fair".into())),
+                ],
+            )
+            .to_yaml(),
+        )
+        .unwrap();
+    sim.run(5);
+    {
+        let agent = sim.agent_mut(enb).unwrap();
+        assert_eq!(agent.mac.dl.active_name(), Some("slice-scheduler"));
+        let params = agent.mac.dl.active_mut().unwrap().params();
+        assert!(params
+            .iter()
+            .any(|(k, v)| k == "slice_shares" && *v == ParamValue::List(vec![0.7, 0.3])));
+    }
+    // Retune.
+    sim.master_mut()
+        .reconfigure(
+            enb,
+            PolicyDoc::single(
+                "mac",
+                "dl_ue_scheduler",
+                None,
+                vec![("slice_shares".into(), ParamValue::List(vec![0.2, 0.8]))],
+            )
+            .to_yaml(),
+        )
+        .unwrap();
+    sim.run(5);
+    let agent = sim.agent_mut(enb).unwrap();
+    let params = agent.mac.dl.active_mut().unwrap().params();
+    assert!(params
+        .iter()
+        .any(|(k, v)| k == "slice_shares" && *v == ParamValue::List(vec![0.2, 0.8])));
+    assert_eq!(agent.counters().policies_applied, 2);
+    assert_eq!(agent.counters().policy_errors, 0);
+}
+
+#[test]
+fn sync_period_is_remotely_tunable() {
+    use flexran::proto::{MessageCategory, Transport};
+    let (mut sim, enb) = sim_one_enb(AgentConfig::default());
+    let syncs_at = |sim: &SimHarness| {
+        sim.agent(enb)
+            .unwrap()
+            .transport()
+            .tx_counters()
+            .messages(MessageCategory::Sync)
+    };
+    sim.run(50);
+    assert_eq!(syncs_at(&sim), 0, "sync disabled by default");
+    sim.master_mut()
+        .reconfigure(
+            enb,
+            PolicyDoc::single(
+                "agent",
+                "sync",
+                None,
+                vec![("period".into(), ParamValue::I64(2))],
+            )
+            .to_yaml(),
+        )
+        .unwrap();
+    sim.run(100);
+    let n = syncs_at(&sim);
+    assert!((45..=55).contains(&n), "period-2 sync over 100 TTIs: {n}");
+}

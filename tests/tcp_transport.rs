@@ -1,0 +1,125 @@
+//! Deployment-mode integration: master and agent speaking the FlexRAN
+//! protocol over a real TCP socket (localhost), as in the paper's testbed
+//! (dedicated Ethernet between controller and eNodeB machines).
+//!
+//! Both endpoints are driven from one thread — the transports are
+//! non-blocking — so the test stays deterministic apart from socket
+//! scheduling, which only affects *when* messages land, not what happens.
+
+use flexran::agent::{AgentConfig, FlexranAgent, PolicyDoc, VsfRegistry};
+use flexran::apps::CentralizedScheduler;
+use flexran::controller::{MasterController, TaskManagerConfig};
+use flexran::prelude::*;
+use flexran::proto::{ReportConfig, ReportFlags, ReportType, TcpTransport};
+use flexran::stack::enb::{Enb, EnbParams, StaticPhyView};
+use flexran::stack::mac::scheduler::RoundRobinScheduler;
+use flexran::types::units::Bytes;
+
+fn tcp_pair() -> (TcpTransport, TcpTransport) {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().unwrap();
+    let client = std::thread::spawn(move || TcpTransport::connect(&addr.to_string()).unwrap());
+    let (server_stream, _) = listener.accept().unwrap();
+    let server = TcpTransport::from_stream(server_stream).unwrap();
+    (client.join().unwrap(), server)
+}
+
+#[test]
+fn master_and_agent_over_real_tcp() {
+    let (agent_side, master_side) = tcp_pair();
+    let enb = Enb::new(EnbConfig::single_cell(EnbId(1)), EnbParams::default()).unwrap();
+    let mut agent = FlexranAgent::new(
+        enb,
+        agent_side,
+        VsfRegistry::with_builtins(),
+        AgentConfig {
+            sync_period: 1,
+            ..AgentConfig::default()
+        },
+    );
+    let mut master = MasterController::new(TaskManagerConfig::default());
+    master.add_agent(Box::new(master_side));
+    master.register_app(Box::new(CentralizedScheduler::new(
+        4,
+        Box::new(RoundRobinScheduler::new()),
+    )));
+
+    let mut phy = StaticPhyView(22.0);
+    let rnti = agent
+        .enb_mut()
+        .rach(CellId(0), UeId(1), SliceId::MNO, 0, Tti(0))
+        .unwrap();
+
+    let mut subscribed = false;
+    let mut reconfigured = false;
+    for t in 1..3000u64 {
+        let tti = Tti(t);
+        agent.run_tti(tti, &mut phy);
+        master.run_cycle(tti);
+        if !subscribed && master.rib().agent(EnbId(1)).is_some() {
+            master
+                .request_stats(
+                    EnbId(1),
+                    ReportConfig {
+                        report_type: ReportType::Periodic { period: 1 },
+                        flags: ReportFlags::ALL,
+                    },
+                )
+                .unwrap();
+            subscribed = true;
+        }
+        // Once attached, switch the agent to pure remote scheduling.
+        if subscribed && !reconfigured {
+            if let Ok(s) = agent.enb().ue_stat(CellId(0), rnti) {
+                if s.connected {
+                    master
+                        .reconfigure(
+                            EnbId(1),
+                            PolicyDoc::single(
+                                "mac",
+                                "dl_ue_scheduler",
+                                Some("remote-stub"),
+                                vec![],
+                            )
+                            .to_yaml(),
+                        )
+                        .unwrap();
+                    reconfigured = true;
+                }
+            }
+        }
+        if reconfigured {
+            // Keep the downlink saturated.
+            let queue = agent
+                .enb()
+                .ue_stat(CellId(0), rnti)
+                .map(|s| s.dl_queue_bytes.as_u64())
+                .unwrap_or(0);
+            if queue < 200_000 {
+                let _ =
+                    agent
+                        .enb_mut()
+                        .inject_dl_traffic(CellId(0), rnti, Bytes(200_000 - queue), tti);
+            }
+        }
+    }
+
+    assert!(subscribed, "hello reached the master over TCP");
+    assert!(reconfigured, "UE attached and the policy swap applied");
+    // The RIB mirrors the UE through real-TCP stats reports.
+    let rib_ue = master
+        .rib()
+        .agent(EnbId(1))
+        .and_then(|a| a.cells.get(&CellId(0)))
+        .and_then(|c| c.ues.get(&rnti));
+    assert!(rib_ue.is_some(), "UE visible in the RIB");
+    // Remote decisions flowed back and moved real data.
+    let stats = agent.enb().ue_stat(CellId(0), rnti).unwrap();
+    assert!(
+        stats.dl_delivered_bits > 10_000_000,
+        "remote-scheduled goodput over TCP: {} bits",
+        stats.dl_delivered_bits
+    );
+    assert_eq!(agent.counters().transport_errors, 0);
+    assert_eq!(agent.counters().policy_errors, 0);
+}

@@ -1,0 +1,502 @@
+//! The paper's use cases (§6) end to end: interference management,
+//! RAN sharing, MEC assistance and mobility management.
+
+use std::collections::BTreeMap;
+
+use flexran::agent::{AgentConfig, PolicyDoc};
+use flexran::apps::eicic::{standard_abs_pattern, AbsAwareScheduler, OptimizedEicicApp};
+use flexran::apps::{MecDashApp, MobilityManagerApp};
+use flexran::harness::{SimConfig, SimHarness, UeRadioSpec};
+use flexran::phy::geometry::{Environment, PathLossModel, Position, TxSite};
+use flexran::phy::mobility::LinearMotion;
+use flexran::prelude::*;
+use flexran::sim::radio::RadioEnvironment;
+use flexran::sim::traffic::{CbrSource, OnOffSource};
+use flexran::stack::mac::scheduler::ParamValue;
+use flexran::types::units::Dbm;
+
+const MACRO: EnbId = EnbId(1);
+const SMALL: EnbId = EnbId(2);
+const CELL: CellId = CellId(0);
+
+/// Build the HetNet of §6.1: one macro cell, one small cell, three macro
+/// UEs (two of them in the small cell's interference zone) and one
+/// protected small-cell UE.
+fn hetnet(mode: &str) -> (SimHarness, Vec<UeId>, UeId) {
+    let mut env = Environment::new(10_000_000);
+    let macro_site = env.add_site(TxSite {
+        position: Position::new(0.0, 0.0),
+        tx_power: Dbm(43.0),
+        path_loss: PathLossModel::UrbanMacro,
+    });
+    let small_site = env.add_site(TxSite {
+        position: Position::new(400.0, 0.0),
+        tx_power: Dbm(30.0),
+        path_loss: PathLossModel::SmallCell,
+    });
+    let radio = RadioEnvironment::with_geometry(env);
+    let mut sim = SimHarness::with_radio(SimConfig::default(), radio);
+
+    let pattern = standard_abs_pattern(8);
+    let (macro_sched, small_sched, coordinated) = match mode {
+        "uncoordinated" => ("round-robin", "round-robin", false),
+        "eicic" => ("macro-eicic", "small-eicic", true),
+        "optimized" => ("macro-eicic", "small-eicic", true),
+        other => panic!("unknown mode {other}"),
+    };
+    let macro_agent_cfg = AgentConfig {
+        initial_dl_scheduler: Some("round-robin".into()),
+        sync_period: if mode == "optimized" { 1 } else { 0 },
+        ..AgentConfig::default()
+    };
+    sim.add_enb(EnbConfig::single_cell(MACRO), macro_agent_cfg);
+    let mut small_cfg = EnbConfig::single_cell(SMALL);
+    small_cfg.cells[0] = CellConfig::small_cell(CELL);
+    sim.add_enb(small_cfg, AgentConfig::default());
+    sim.map_cell_to_site(MACRO, CELL, macro_site);
+    sim.map_cell_to_site(SMALL, CELL, small_site);
+    if coordinated {
+        // Custom 8-ABS schedulers, pre-staged in the caches (the bench
+        // harness pushes them over the wire; here we stage directly).
+        sim.agent_mut(MACRO).unwrap().mac.dl.insert(
+            "macro-eicic8",
+            Box::new(AbsAwareScheduler::macro_side(pattern)),
+        );
+        sim.agent_mut(SMALL).unwrap().mac.dl.insert(
+            "small-eicic8",
+            Box::new(AbsAwareScheduler::small_side(pattern)),
+        );
+        sim.agent_mut(MACRO)
+            .unwrap()
+            .mac
+            .dl
+            .activate("macro-eicic8")
+            .unwrap();
+        sim.agent_mut(SMALL)
+            .unwrap()
+            .mac
+            .dl
+            .activate("small-eicic8")
+            .unwrap();
+        sim.set_site_activity_pattern(macro_site, pattern, false);
+        sim.set_site_activity_pattern(small_site, pattern, true);
+        let _ = (macro_sched, small_sched);
+    }
+
+    // Macro UEs: one clean, two in the small cell's interference zone.
+    let mut macro_ues = Vec::new();
+    for x in [150.0, 350.0, 370.0] {
+        let ue = sim.add_ue(
+            MACRO,
+            CELL,
+            SliceId::MNO,
+            0,
+            UeRadioSpec::Geo(
+                Box::new(flexran::phy::mobility::Stationary(Position::new(x, 0.0))),
+                macro_site,
+            ),
+        );
+        sim.set_dl_traffic(ue, Box::new(CbrSource::new(BitRate::from_mbps(12))));
+        macro_ues.push(ue);
+    }
+    // Small-cell UE at the small cell's edge (interference-limited
+    // without eICIC).
+    let small_ue = sim.add_ue(
+        SMALL,
+        CELL,
+        SliceId::MNO,
+        0,
+        UeRadioSpec::Geo(
+            Box::new(flexran::phy::mobility::Stationary(Position::new(
+                330.0, 0.0,
+            ))),
+            small_site,
+        ),
+    );
+    // Bursty small-cell traffic: the optimized coordinator exploits the
+    // OFF periods (paper: "periods of inactivity of the small-cells").
+    sim.set_dl_traffic(
+        small_ue,
+        Box::new(OnOffSource::new(BitRate::from_mbps(4), 1000, 1000)),
+    );
+
+    if mode == "optimized" {
+        sim.master_mut()
+            .register_app(Box::new(OptimizedEicicApp::new(
+                MACRO,
+                0,
+                vec![(SMALL, 0)],
+                pattern,
+                6,
+            )));
+        sim.run(3);
+        for enb in [MACRO, SMALL] {
+            let _ = sim.master_mut().request_stats(
+                enb,
+                flexran::proto::ReportConfig {
+                    report_type: flexran::proto::ReportType::Periodic { period: 1 },
+                    flags: flexran::proto::ReportFlags::ALL,
+                },
+            );
+        }
+    }
+    (sim, macro_ues, small_ue)
+}
+
+fn run_hetnet(mode: &str, ttis: u64) -> (f64, f64) {
+    let (mut sim, macro_ues, small_ue) = hetnet(mode);
+    sim.run(ttis);
+    let macro_mbps: f64 = macro_ues
+        .iter()
+        .map(|ue| {
+            sim.ue_stats(*ue)
+                .map(|s| s.dl_delivered_bits as f64 / ttis as f64 / 1000.0)
+                .unwrap_or(0.0)
+        })
+        .sum();
+    let small_mbps = sim
+        .ue_stats(small_ue)
+        .map(|s| s.dl_delivered_bits as f64 / ttis as f64 / 1000.0)
+        .unwrap_or(0.0);
+    (macro_mbps, small_mbps)
+}
+
+#[test]
+fn eicic_ordering_matches_paper() {
+    let ttis = 6000;
+    let (macro_u, small_u) = run_hetnet("uncoordinated", ttis);
+    let (macro_e, small_e) = run_hetnet("eicic", ttis);
+    let (macro_o, small_o) = run_hetnet("optimized", ttis);
+    let total_u = macro_u + small_u;
+    let total_e = macro_e + small_e;
+    let total_o = macro_o + small_o;
+    // Fig. 10a ordering: optimized > eICIC > uncoordinated.
+    assert!(
+        total_e > total_u * 1.3,
+        "eICIC {total_e:.1} vs uncoordinated {total_u:.1} Mb/s"
+    );
+    assert!(
+        total_o > total_e * 1.02,
+        "optimized {total_o:.1} vs eICIC {total_e:.1} Mb/s"
+    );
+    // Fig. 10b: the small cell keeps its throughput; the macro gains.
+    assert!(
+        (small_o - small_e).abs() < 0.35 * small_e.max(0.5),
+        "small cell equal: {small_e:.2} vs {small_o:.2}"
+    );
+    assert!(
+        macro_o > macro_e,
+        "macro gains the idle ABS: {macro_e:.1} vs {macro_o:.1}"
+    );
+}
+
+#[test]
+fn slicing_shares_steer_throughput_dynamically() {
+    // Fig. 12a in miniature: 70/30 → 40/60 mid-run.
+    let mut sim = SimHarness::new(SimConfig::default());
+    let enb = sim.add_enb(EnbConfig::single_cell(EnbId(1)), AgentConfig::default());
+    sim.run(2);
+    sim.master_mut()
+        .reconfigure(
+            enb,
+            PolicyDoc::single(
+                "mac",
+                "dl_ue_scheduler",
+                Some("slice-scheduler"),
+                vec![
+                    ("slice_shares".into(), ParamValue::List(vec![0.7, 0.3])),
+                    ("policies".into(), ParamValue::Str("fair,fair".into())),
+                ],
+            )
+            .to_yaml(),
+        )
+        .unwrap();
+    let mut ues = Vec::new();
+    for i in 0..10 {
+        let slice = SliceId((i % 2) as u8);
+        let ue = sim.add_ue(enb, CELL, slice, 0, UeRadioSpec::FixedCqi(10));
+        sim.set_dl_traffic(ue, Box::new(CbrSource::new(BitRate::from_mbps(4))));
+        ues.push((ue, slice));
+    }
+    sim.run(3000);
+    let bits_at_phase1: Vec<u64> = ues
+        .iter()
+        .map(|(ue, _)| sim.ue_stats(*ue).map(|s| s.dl_delivered_bits).unwrap_or(0))
+        .collect();
+    let slice_rate = |bits: &[u64], prev: &[u64], slice: SliceId| -> f64 {
+        ues.iter()
+            .zip(bits.iter().zip(prev.iter()))
+            .filter(|((_, s), _)| *s == slice)
+            .map(|(_, (b, p))| (*b - *p) as f64)
+            .sum::<f64>()
+            / 3000.0
+            / 1000.0
+    };
+    let zeros = vec![0u64; ues.len()];
+    let mno_1 = slice_rate(&bits_at_phase1, &zeros, SliceId(0));
+    let mvno_1 = slice_rate(&bits_at_phase1, &zeros, SliceId(1));
+    assert!(
+        mno_1 > mvno_1 * 1.6,
+        "70/30 phase: MNO {mno_1:.1} vs MVNO {mvno_1:.1} Mb/s"
+    );
+    // Reconfigure to 40/60.
+    sim.master_mut()
+        .reconfigure(
+            enb,
+            PolicyDoc::single(
+                "mac",
+                "dl_ue_scheduler",
+                None,
+                vec![("slice_shares".into(), ParamValue::List(vec![0.4, 0.6]))],
+            )
+            .to_yaml(),
+        )
+        .unwrap();
+    sim.run(3000);
+    let bits_at_phase2: Vec<u64> = ues
+        .iter()
+        .map(|(ue, _)| sim.ue_stats(*ue).map(|s| s.dl_delivered_bits).unwrap_or(0))
+        .collect();
+    let mno_2 = slice_rate(&bits_at_phase2, &bits_at_phase1, SliceId(0));
+    let mvno_2 = slice_rate(&bits_at_phase2, &bits_at_phase1, SliceId(1));
+    assert!(
+        mvno_2 > mno_2 * 1.2,
+        "40/60 phase: MNO {mno_2:.1} vs MVNO {mvno_2:.1} Mb/s"
+    );
+}
+
+#[test]
+fn mec_hints_track_the_channel() {
+    let mut sim = SimHarness::new(SimConfig::default());
+    let enb = sim.add_enb(EnbConfig::single_cell(EnbId(1)), AgentConfig::default());
+    // CQI toggles 10 ↔ 4 every 2 s, as in the paper's second MEC case.
+    let ue = sim.add_ue(
+        enb,
+        CELL,
+        SliceId::MNO,
+        0,
+        UeRadioSpec::CqiSquareWave(10, 4, 2000),
+    );
+    let app = MecDashApp::new();
+    let hints = app.hint_channel();
+    sim.master_mut().register_app(Box::new(app));
+    sim.run(3);
+    let _ = sim.master_mut().request_stats(
+        enb,
+        flexran::proto::ReportConfig {
+            report_type: flexran::proto::ReportType::Periodic { period: 10 },
+            flags: flexran::proto::ReportFlags::ALL,
+        },
+    );
+    // High phase.
+    sim.run(1800);
+    let rnti = sim.ue_stats(ue).unwrap().rnti;
+    let high = hints.read()[&(EnbId(1), rnti)];
+    assert!(high.as_mbps_f64() > 8.0, "high-CQI hint {high}");
+    // Low phase (plus EMA settling).
+    sim.run(2000);
+    let low = hints.read()[&(EnbId(1), rnti)];
+    assert!(low.as_mbps_f64() < 5.0, "low-CQI hint {low}");
+    assert!(low < high);
+}
+
+#[test]
+fn mobility_manager_hands_over_a_moving_ue() {
+    // Two macro sites 1 km apart; the UE drives from one to the other.
+    let mut env = Environment::new(10_000_000);
+    let site_a = env.add_site(TxSite {
+        position: Position::new(0.0, 0.0),
+        tx_power: Dbm(43.0),
+        path_loss: PathLossModel::UrbanMacro,
+    });
+    let site_b = env.add_site(TxSite {
+        position: Position::new(1000.0, 0.0),
+        tx_power: Dbm(43.0),
+        path_loss: PathLossModel::UrbanMacro,
+    });
+    let radio = RadioEnvironment::with_geometry(env);
+    let mut sim = SimHarness::with_radio(SimConfig::default(), radio);
+    let enb_a = sim.add_enb(EnbConfig::single_cell(EnbId(1)), AgentConfig::default());
+    let enb_b = sim.add_enb(EnbConfig::single_cell(EnbId(2)), AgentConfig::default());
+    sim.map_cell_to_site(enb_a, CELL, site_a);
+    sim.map_cell_to_site(enb_b, CELL, site_b);
+    let mut site_map = BTreeMap::new();
+    site_map.insert(site_a as u32, (enb_a, CELL));
+    site_map.insert(site_b as u32, (enb_b, CELL));
+    sim.master_mut()
+        .register_app(Box::new(MobilityManagerApp::new(site_map)));
+
+    let ue = sim.add_ue(
+        enb_a,
+        CELL,
+        SliceId::MNO,
+        0,
+        UeRadioSpec::Geo(
+            Box::new(LinearMotion {
+                start: Position::new(200.0, 0.0),
+                speed_mps: 120.0,
+                heading_rad: 0.0,
+            }),
+            site_a,
+        ),
+    );
+    sim.set_dl_traffic(ue, Box::new(CbrSource::new(BitRate::from_mbps(1))));
+    sim.enable_measurements(ue, 200);
+    assert_eq!(sim.serving_enb(ue), Some(enb_a));
+    sim.run(6000); // 6 s at 120 m/s: 200 m → 920 m
+    assert_eq!(
+        sim.serving_enb(ue),
+        Some(enb_b),
+        "the UE should have been handed over to the closer cell"
+    );
+    let stats = sim.ue_stats(ue).expect("served at target");
+    assert!(stats.connected);
+    // Service continued at the target: bytes flowed after the handover.
+    let before = stats.dl_delivered_bits;
+    sim.run(1000);
+    assert!(sim.ue_stats(ue).unwrap().dl_delivered_bits > before);
+}
+
+#[test]
+fn conflict_guard_arbitrates_between_scheduler_apps() {
+    // Two centralized schedulers scoped to the SAME cell: the conflict
+    // guard must let exactly one of them own each subframe (paper §7.3's
+    // conflict-resolution extension).
+    use flexran::apps::CentralizedScheduler;
+    use flexran::stack::mac::scheduler::{MaxCqiScheduler, RoundRobinScheduler};
+
+    let mut sim = SimHarness::new(SimConfig::default());
+    let enb = sim.add_enb(
+        EnbConfig::single_cell(EnbId(1)),
+        AgentConfig {
+            initial_dl_scheduler: Some("remote-stub".into()),
+            sync_period: 1,
+            ..AgentConfig::default()
+        },
+    );
+    let ue = sim.add_ue(enb, CELL, SliceId::MNO, 0, UeRadioSpec::FixedCqi(12));
+    sim.set_dl_traffic(
+        ue,
+        Box::new(flexran::sim::traffic::FullBufferSource::default()),
+    );
+    sim.master_mut()
+        .register_app(Box::new(CentralizedScheduler::new(
+            2,
+            Box::new(RoundRobinScheduler::new()),
+        )));
+    sim.master_mut()
+        .register_app(Box::new(CentralizedScheduler::new(
+            2,
+            Box::new(MaxCqiScheduler::new()),
+        )));
+    sim.run(5);
+    let _ = sim.master_mut().request_stats(
+        enb,
+        flexran::proto::ReportConfig {
+            report_type: flexran::proto::ReportType::Periodic { period: 1 },
+            flags: flexran::proto::ReportFlags::ALL,
+        },
+    );
+    sim.run(2000);
+    // The second app's claims were refused at the master...
+    assert!(
+        sim.master().conflicts() > 500,
+        "conflicts detected: {}",
+        sim.master().conflicts()
+    );
+    // ...so the agent saw a consistent decision stream and served the UE.
+    let stats = sim.ue_stats(ue).expect("attached");
+    assert!(stats.connected);
+    assert!(stats.dl_delivered_bits > 10_000_000);
+    assert_eq!(
+        sim.agent(enb)
+            .unwrap()
+            .enb()
+            .cell_stats(CELL)
+            .unwrap()
+            .missed_deadlines,
+        0,
+        "no duplicate/garbled decisions reached the data plane"
+    );
+}
+
+#[test]
+fn drx_command_over_the_wire_gates_scheduling() {
+    use flexran::proto::DrxCommand;
+    let mut sim = SimHarness::new(SimConfig::default());
+    let enb = sim.add_enb(EnbConfig::single_cell(EnbId(1)), AgentConfig::default());
+    let ue = sim.add_ue(enb, CELL, SliceId::MNO, 0, UeRadioSpec::FixedCqi(12));
+    sim.set_dl_traffic(
+        ue,
+        Box::new(flexran::sim::traffic::FullBufferSource::default()),
+    );
+    sim.run(500);
+    let full_rate = {
+        let s = sim.ue_stats(ue).unwrap();
+        s.dl_delivered_bits as f64 / 500.0
+    };
+    // Master configures a 25 % DRX duty cycle (cycle 40, on 10).
+    let rnti = sim.ue_stats(ue).unwrap().rnti;
+    sim.master_mut()
+        .send_to(
+            enb,
+            flexran::proto::FlexranMessage::DrxCommand(DrxCommand {
+                cell: 0,
+                rnti: rnti.0,
+                cycle_ttis: 40,
+                on_duration_ttis: 10,
+            }),
+        )
+        .unwrap();
+    let before = sim.ue_stats(ue).unwrap().dl_delivered_bits;
+    sim.run(2000);
+    let drx_rate = (sim.ue_stats(ue).unwrap().dl_delivered_bits - before) as f64 / 2000.0;
+    assert!(
+        drx_rate < full_rate * 0.45,
+        "DRX must cut throughput to ~the duty cycle: {:.0} vs {:.0} kb/s",
+        drx_rate,
+        full_rate
+    );
+    assert!(
+        drx_rate > full_rate * 0.10,
+        "but the on-duration still serves"
+    );
+}
+
+#[test]
+fn centralized_uplink_scheduling_over_the_wire() {
+    use flexran::apps::CentralizedScheduler;
+    use flexran::stack::mac::scheduler::{RoundRobinScheduler, UlRoundRobinScheduler};
+    let mut sim = SimHarness::new(SimConfig::default());
+    let enb = sim.add_enb(
+        EnbConfig::single_cell(EnbId(1)),
+        AgentConfig {
+            initial_dl_scheduler: Some("remote-stub".into()),
+            initial_ul_scheduler: None, // uplink fully centralized too
+            sync_period: 1,
+            ..AgentConfig::default()
+        },
+    );
+    let ue = sim.add_ue(enb, CELL, SliceId::MNO, 0, UeRadioSpec::FixedCqi(12));
+    sim.set_ul_traffic(ue, Box::new(CbrSource::new(BitRate::from_mbps(2))));
+    sim.master_mut().register_app(Box::new(
+        CentralizedScheduler::new(2, Box::new(RoundRobinScheduler::new()))
+            .with_uplink(Box::new(UlRoundRobinScheduler::new())),
+    ));
+    sim.run(5);
+    let _ = sim.master_mut().request_stats(
+        enb,
+        flexran::proto::ReportConfig {
+            report_type: flexran::proto::ReportType::Periodic { period: 1 },
+            flags: flexran::proto::ReportFlags::ALL,
+        },
+    );
+    sim.run(4000);
+    let stats = sim.ue_stats(ue).expect("attached");
+    assert!(stats.connected);
+    let ul_mbps = stats.ul_delivered_bits as f64 / 4000.0 / 1000.0;
+    assert!(
+        (1.2..=2.2).contains(&ul_mbps),
+        "remotely granted uplink delivered {ul_mbps} Mb/s of the 2 Mb/s offered"
+    );
+}
