@@ -47,6 +47,7 @@ pub struct HandoverRequest {
 use crate::cmi::{
     MacControlModule, RrcControlModule, MAC_DL_SCHEDULER, MAC_UL_SCHEDULER, RRC_HANDOVER,
 };
+use crate::liveness::{FailoverState, LivenessConfig, LivenessCounters, LivenessTracker};
 use crate::policy::PolicyDoc;
 use crate::reports::ReportsManager;
 use crate::vsf::{verify_push, VsfImpl, VsfRegistry};
@@ -62,6 +63,8 @@ pub struct AgentConfig {
     /// the centralized-scheduling experiments run with 1).
     pub sync_period: u64,
     pub capabilities: Vec<String>,
+    /// Heartbeat/failover knobs (default: liveness tracking disabled).
+    pub liveness: LivenessConfig,
 }
 
 impl Default for AgentConfig {
@@ -71,6 +74,7 @@ impl Default for AgentConfig {
             initial_ul_scheduler: Some("ul-round-robin".into()),
             sync_period: 0,
             capabilities: vec!["dl_scheduling".into(), "vsf_dsl".into()],
+            liveness: LivenessConfig::default(),
         }
     }
 }
@@ -97,6 +101,10 @@ pub struct FlexranAgent<T: Transport> {
     registry: VsfRegistry,
     config: AgentConfig,
     counters: AgentCounters,
+    liveness: LivenessTracker,
+    /// DL scheduler that was active when failover swapped in the
+    /// fallback; restored when the session rejoins.
+    pre_failover_dl: Option<String>,
     hello_sent: bool,
     outbox_acks: Vec<DelegationAck>,
     handover_requests: Vec<HandoverRequest>,
@@ -128,6 +136,7 @@ impl<T: Transport> FlexranAgent<T> {
                 .activate(k)
                 .expect("initial UL scheduler in registry");
         }
+        let liveness = LivenessTracker::new(config.liveness.clone());
         FlexranAgent {
             enb,
             transport,
@@ -137,6 +146,8 @@ impl<T: Transport> FlexranAgent<T> {
             registry,
             config,
             counters: AgentCounters::default(),
+            liveness,
+            pre_failover_dl: None,
             hello_sent: false,
             outbox_acks: Vec::new(),
             handover_requests: Vec::new(),
@@ -161,6 +172,15 @@ impl<T: Transport> FlexranAgent<T> {
 
     pub fn config(&self) -> &AgentConfig {
         &self.config
+    }
+
+    /// Where the control-plane session currently stands.
+    pub fn failover_state(&self) -> FailoverState {
+        self.liveness.state()
+    }
+
+    pub fn liveness_counters(&self) -> LivenessCounters {
+        self.liveness.counters()
     }
 
     /// Approximate heap footprint of the agent layer on top of the data
@@ -198,6 +218,11 @@ impl<T: Transport> FlexranAgent<T> {
             match self.transport.try_recv() {
                 Ok(Some((header, msg))) => {
                     self.counters.rx_messages += 1;
+                    if self.liveness.on_rx(tti) {
+                        // LocalControl → Rejoining: re-introduce ourselves
+                        // so the master replays delegated state.
+                        self.hello_sent = false;
+                    }
                     self.handle_message(header, msg, tti);
                 }
                 Ok(None) => break,
@@ -205,6 +230,25 @@ impl<T: Transport> FlexranAgent<T> {
                     self.counters.transport_errors += 1;
                     break;
                 }
+            }
+        }
+        // Liveness bookkeeping: probe the master, and on a declared
+        // outage swap the DL scheduler to the cached local fallback (the
+        // §5.4 pointer swap, driven by missed heartbeats).
+        let tick = self.liveness.tick(tti);
+        if let Some(seq) = tick.probe {
+            let probe = flexran_proto::messages::Heartbeat { seq, tti: tti.0 };
+            let _ = self
+                .transport
+                .send(Header::default(), &FlexranMessage::Heartbeat(probe));
+        }
+        if tick.entered_local_control {
+            let fallback = self.liveness.config().fallback_dl_scheduler.clone();
+            if self.mac.dl.active_name() != Some(fallback.as_str()) {
+                self.pre_failover_dl = self.mac.dl.active_name().map(String::from);
+            }
+            if self.mac.dl.activate(&fallback).is_err() {
+                self.counters.command_errors += 1;
             }
         }
         // Local scheduling through the active VSFs.
@@ -317,6 +361,27 @@ impl<T: Transport> FlexranAgent<T> {
         match msg {
             FlexranMessage::EchoRequest(e) => {
                 let _ = self.transport.send(header, &FlexranMessage::EchoReply(e));
+            }
+            FlexranMessage::Heartbeat(h) => {
+                // Master-originated probe: mirror it back.
+                let _ = self
+                    .transport
+                    .send(header, &FlexranMessage::HeartbeatAck(h));
+            }
+            FlexranMessage::HeartbeatAck(h) => {
+                if self.liveness.on_ack(h.seq) {
+                    // Session healthy again: swap the fallback out for the
+                    // scheduler that ran before the outage — unless a
+                    // replayed policy already changed the active VSF.
+                    let fallback = self.liveness.config().fallback_dl_scheduler.clone();
+                    if self.mac.dl.active_name() == Some(fallback.as_str()) {
+                        if let Some(prev) = self.pre_failover_dl.take() {
+                            if self.mac.dl.activate(&prev).is_err() {
+                                self.counters.command_errors += 1;
+                            }
+                        }
+                    }
+                }
             }
             FlexranMessage::StatsRequest(req) => {
                 self.reports.register(header.xid, req.config);
@@ -924,6 +989,163 @@ mod tests {
             .active_scells
             .is_empty());
         assert_eq!(agent.counters().command_errors, 1);
+    }
+
+    fn liveness_agent(
+        period: u64,
+        timeout: u64,
+    ) -> (FlexranAgent<ChannelTransport>, ChannelTransport) {
+        let (a_side, m_side) = channel_pair();
+        let enb = Enb::new(EnbConfig::single_cell(EnbId(1)), EnbParams::default()).unwrap();
+        let agent = FlexranAgent::new(
+            enb,
+            a_side,
+            VsfRegistry::with_builtins(),
+            AgentConfig {
+                liveness: crate::liveness::LivenessConfig {
+                    heartbeat_period: period,
+                    liveness_timeout: timeout,
+                    ..Default::default()
+                },
+                ..AgentConfig::default()
+            },
+        );
+        (agent, m_side)
+    }
+
+    #[test]
+    fn heartbeats_flow_and_master_probes_are_acked() {
+        let (mut agent, mut master) = liveness_agent(5, 100);
+        let mut phy = StaticPhyView(20.0);
+        master
+            .send(
+                Header::default(),
+                &FlexranMessage::Heartbeat(flexran_proto::messages::Heartbeat { seq: 9, tti: 0 }),
+            )
+            .unwrap();
+        for t in 0..12 {
+            agent.run_tti(Tti(t), &mut phy);
+        }
+        let msgs = drain(&mut master);
+        let probes = msgs
+            .iter()
+            .filter(|m| matches!(m, FlexranMessage::Heartbeat(_)))
+            .count();
+        assert_eq!(probes, 3, "t=0,5,10");
+        assert!(msgs
+            .iter()
+            .any(|m| matches!(m, FlexranMessage::HeartbeatAck(a) if a.seq == 9)));
+        assert_eq!(agent.liveness_counters().heartbeats_sent, 3);
+    }
+
+    #[test]
+    fn silent_master_triggers_local_control_failover_and_rejoin() {
+        let (mut agent, mut master) = liveness_agent(5, 40);
+        let mut phy = StaticPhyView(20.0);
+        // The master switches the agent to remote control, then goes dark.
+        master
+            .send(
+                Header::with_xid(1),
+                &FlexranMessage::PolicyReconfiguration(PolicyReconfiguration {
+                    yaml: "mac:\n  dl_ue_scheduler:\n    behavior: remote-stub\n".into(),
+                }),
+            )
+            .unwrap();
+        agent.run_tti(Tti(0), &mut phy);
+        assert_eq!(agent.mac.dl.active_name(), Some("remote-stub"));
+        assert_eq!(agent.failover_state(), FailoverState::Connected);
+        // Silence long enough to blow the timeout.
+        for t in 1..=45 {
+            agent.run_tti(Tti(t), &mut phy);
+        }
+        assert_eq!(agent.failover_state(), FailoverState::LocalControl);
+        assert_eq!(
+            agent.mac.dl.active_name(),
+            Some("round-robin"),
+            "failover swapped to the cached local policy"
+        );
+        assert_eq!(agent.liveness_counters().failovers, 1);
+        drain(&mut master);
+        // The master returns: ack every probe the agent sends.
+        let mut rejoined_hello = 0;
+        master
+            .send(
+                Header::default(),
+                &FlexranMessage::EchoRequest(flexran_proto::messages::Echo {
+                    timestamp_us: 1,
+                    payload: vec![],
+                }),
+            )
+            .unwrap();
+        for t in 46..=70 {
+            agent.run_tti(Tti(t), &mut phy);
+            for m in drain(&mut master) {
+                match m {
+                    FlexranMessage::Heartbeat(h) => {
+                        master
+                            .send(Header::default(), &FlexranMessage::HeartbeatAck(h))
+                            .unwrap();
+                    }
+                    FlexranMessage::Hello(_) => rejoined_hello += 1,
+                    _ => {}
+                }
+            }
+        }
+        assert_eq!(agent.failover_state(), FailoverState::Connected);
+        assert_eq!(agent.liveness_counters().rejoins, 1);
+        assert_eq!(rejoined_hello, 1, "agent re-sent Hello while rejoining");
+        assert_eq!(
+            agent.mac.dl.active_name(),
+            Some("remote-stub"),
+            "rejoin restored the pre-failover scheduler, so remote \
+             commands are not double-scheduled against the fallback"
+        );
+    }
+
+    #[test]
+    fn rejoin_keeps_replayed_policy_over_stale_restore() {
+        let (mut agent, mut master) = liveness_agent(5, 40);
+        let mut phy = StaticPhyView(20.0);
+        master
+            .send(
+                Header::with_xid(1),
+                &FlexranMessage::PolicyReconfiguration(PolicyReconfiguration {
+                    yaml: "mac:\n  dl_ue_scheduler:\n    behavior: remote-stub\n".into(),
+                }),
+            )
+            .unwrap();
+        agent.run_tti(Tti(0), &mut phy);
+        for t in 1..=45 {
+            agent.run_tti(Tti(t), &mut phy);
+        }
+        assert_eq!(agent.failover_state(), FailoverState::LocalControl);
+        drain(&mut master);
+        // The master returns and, during the rejoin handshake, replays a
+        // *different* policy than the one active before the outage.
+        master
+            .send(
+                Header::with_xid(2),
+                &FlexranMessage::PolicyReconfiguration(PolicyReconfiguration {
+                    yaml: "mac:\n  dl_ue_scheduler:\n    behavior: proportional-fair\n".into(),
+                }),
+            )
+            .unwrap();
+        for t in 46..=70 {
+            agent.run_tti(Tti(t), &mut phy);
+            for m in drain(&mut master) {
+                if let FlexranMessage::Heartbeat(h) = m {
+                    master
+                        .send(Header::default(), &FlexranMessage::HeartbeatAck(h))
+                        .unwrap();
+                }
+            }
+        }
+        assert_eq!(agent.failover_state(), FailoverState::Connected);
+        assert_eq!(
+            agent.mac.dl.active_name(),
+            Some("proportional-fair"),
+            "a policy replayed during rejoin wins over the stale restore"
+        );
     }
 
     #[test]

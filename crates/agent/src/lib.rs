@@ -11,6 +11,8 @@
 //! * [`agent`] — [`FlexranAgent`]: the per-TTI engine.
 //! * [`cmi`] — control modules and their interfaces (MAC, RRC, PDCP).
 //! * [`vsf`] — VSF cache/slots, registry, signing.
+//! * [`liveness`] — heartbeat tracking and the local-control failover
+//!   state machine (built on the §5.4 runtime VSF swap).
 //! * [`dsl`] — the pushable scheduling-policy language (§7.3 future work).
 //! * [`policy`] — the YAML-subset policy-reconfiguration documents
 //!   (paper Fig. 3).
@@ -19,11 +21,13 @@
 pub mod agent;
 pub mod cmi;
 pub mod dsl;
+pub mod liveness;
 pub mod policy;
 pub mod reports;
 pub mod vsf;
 
 pub use agent::{AgentConfig, AgentCounters, FlexranAgent, HandoverRequest};
+pub use liveness::{FailoverState, LivenessConfig, LivenessCounters, LivenessTracker};
 pub use cmi::{
     A3HandoverVsf, HandoverVsf, MacControlModule, RrcControlModule, MAC_DL_SCHEDULER,
     MAC_UL_SCHEDULER, RRC_HANDOVER,

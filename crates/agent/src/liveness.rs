@@ -1,0 +1,394 @@
+//! Agent-side control-plane liveness tracking and local-control failover.
+//!
+//! The paper (§5.4) shows that switching a VSF between a delegated
+//! (remote) and a locally cached implementation is a runtime pointer
+//! swap. This module drives that swap from *session liveness*: the agent
+//! probes the master with heartbeats, watches for silence, and when the
+//! master is declared dead falls back to a VSF-cached local policy so
+//! the data plane keeps scheduling through the outage.
+//!
+//! The state machine:
+//!
+//! ```text
+//!   Connected ──silence ≥ degraded_after──▶ Degraded
+//!      ▲                                       │
+//!      │ rx                         silence ≥ liveness_timeout
+//!      │                                       ▼
+//!   Rejoining ◀──────rx from master────── LocalControl
+//!      │  ▲                                    ▲
+//!  ack of a post-rejoin probe       silence ≥ liveness_timeout
+//!      ▼  └────────────────────────────────────┘
+//!   Connected
+//! ```
+//!
+//! * `Connected → Degraded` is a warning level: the master has been
+//!   silent long enough to worry but not to act.
+//! * `Degraded → LocalControl` is the failover edge. The tracker emits
+//!   [`TickOutcome::entered_local_control`] exactly once per entry; the
+//!   agent reacts by activating the configured fallback DL scheduler.
+//! * `LocalControl → Rejoining` fires on the first message received from
+//!   the master after the outage. The agent re-sends its `Hello` so the
+//!   master can replay delegated state (paper §4.3.2: the RIB is
+//!   rebuilt, policies re-pushed).
+//! * `Rejoining → Connected` requires a `HeartbeatAck` for a probe sent
+//!   *after* the rejoin began — one full round trip on the healed
+//!   channel — so a single stale packet cannot flip the session healthy.
+//!
+//! The tracker is a pure state machine over TTI timestamps: it performs
+//! no I/O and owns no transport, which keeps it unit-testable and lets
+//! the proptest suite drive it with adversarial loss/reorder schedules.
+
+use flexran_types::time::Tti;
+
+/// Where the agent's control plane currently stands (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FailoverState {
+    /// Master traffic within bounds; delegated control operates normally.
+    Connected,
+    /// Master silent for `degraded_after` TTIs; not yet acting on it.
+    Degraded,
+    /// Master declared dead; a locally cached policy is scheduling.
+    LocalControl,
+    /// Master traffic resumed; waiting for a round-trip confirmation
+    /// before declaring the session healthy again.
+    Rejoining,
+}
+
+impl FailoverState {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FailoverState::Connected => "connected",
+            FailoverState::Degraded => "degraded",
+            FailoverState::LocalControl => "local-control",
+            FailoverState::Rejoining => "rejoining",
+        }
+    }
+}
+
+impl std::fmt::Display for FailoverState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Liveness knobs of one agent. All periods are in TTIs (= ms at LTE
+/// numerology). The default disables tracking entirely, so existing
+/// deployments and tests see no behaviour change.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LivenessConfig {
+    /// Period between heartbeat probes towards the master
+    /// (0 = send no probes).
+    pub heartbeat_period: u64,
+    /// TTIs of master silence before failing over to local control
+    /// (0 = liveness tracking disabled).
+    pub liveness_timeout: u64,
+    /// TTIs of silence before entering [`FailoverState::Degraded`]
+    /// (0 = half of `liveness_timeout`).
+    pub degraded_after: u64,
+    /// Registry key of the cached DL scheduler activated on failover.
+    pub fallback_dl_scheduler: String,
+}
+
+impl Default for LivenessConfig {
+    fn default() -> Self {
+        LivenessConfig {
+            heartbeat_period: 0,
+            liveness_timeout: 0,
+            degraded_after: 0,
+            fallback_dl_scheduler: "round-robin".into(),
+        }
+    }
+}
+
+impl LivenessConfig {
+    /// Typical production shape: probe every `period`, declare the master
+    /// dead after four silent probe intervals.
+    pub fn probing(period: u64) -> Self {
+        LivenessConfig {
+            heartbeat_period: period,
+            liveness_timeout: period * 4,
+            ..LivenessConfig::default()
+        }
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.liveness_timeout > 0
+    }
+
+    fn degraded_threshold(&self) -> u64 {
+        if self.degraded_after > 0 {
+            self.degraded_after
+        } else {
+            (self.liveness_timeout / 2).max(1)
+        }
+    }
+}
+
+/// Observability counters of the failover machinery.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LivenessCounters {
+    pub heartbeats_sent: u64,
+    pub acks_received: u64,
+    /// Entries into [`FailoverState::LocalControl`].
+    pub failovers: u64,
+    /// Completed rejoins (back to [`FailoverState::Connected`]).
+    pub rejoins: u64,
+}
+
+/// What a [`LivenessTracker::tick`] asks the agent to do this TTI.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TickOutcome {
+    /// Send a heartbeat probe with this sequence number.
+    pub probe: Option<u64>,
+    /// The failover edge fired: activate the fallback scheduler.
+    /// Emitted exactly once per `LocalControl` entry.
+    pub entered_local_control: bool,
+}
+
+/// The agent's liveness tracker (see module docs).
+#[derive(Debug, Clone)]
+pub struct LivenessTracker {
+    config: LivenessConfig,
+    state: FailoverState,
+    last_rx: u64,
+    next_probe: u64,
+    next_seq: u64,
+    /// During `Rejoining`: acks below this sequence predate the rejoin
+    /// and do not confirm the healed channel.
+    min_confirming_seq: u64,
+    counters: LivenessCounters,
+}
+
+impl LivenessTracker {
+    pub fn new(config: LivenessConfig) -> Self {
+        LivenessTracker {
+            config,
+            state: FailoverState::Connected,
+            last_rx: 0,
+            next_probe: 0,
+            next_seq: 0,
+            min_confirming_seq: 0,
+            counters: LivenessCounters::default(),
+        }
+    }
+
+    pub fn config(&self) -> &LivenessConfig {
+        &self.config
+    }
+
+    pub fn state(&self) -> FailoverState {
+        self.state
+    }
+
+    pub fn counters(&self) -> LivenessCounters {
+        self.counters
+    }
+
+    /// TTIs since the last message from the master.
+    pub fn silence(&self, now: Tti) -> u64 {
+        now.0.saturating_sub(self.last_rx)
+    }
+
+    /// Advance the clock: evaluate silence-driven transitions and probe
+    /// scheduling. Call once per TTI *after* draining the transport.
+    pub fn tick(&mut self, now: Tti) -> TickOutcome {
+        let mut out = TickOutcome::default();
+        if self.config.enabled() {
+            let silence = self.silence(now);
+            if self.state == FailoverState::Connected
+                && silence >= self.config.degraded_threshold()
+            {
+                self.state = FailoverState::Degraded;
+            }
+            // A second look: Degraded (possibly just entered) may already
+            // be past the hard timeout, e.g. with degraded_after == timeout.
+            if matches!(
+                self.state,
+                FailoverState::Degraded | FailoverState::Rejoining
+            ) && silence >= self.config.liveness_timeout
+            {
+                self.state = FailoverState::LocalControl;
+                self.counters.failovers += 1;
+                out.entered_local_control = true;
+            }
+        }
+        if self.config.heartbeat_period > 0 && now.0 >= self.next_probe {
+            self.next_probe = now.0 + self.config.heartbeat_period;
+            out.probe = Some(self.next_seq);
+            self.next_seq += 1;
+            self.counters.heartbeats_sent += 1;
+        }
+        out
+    }
+
+    /// Record any message received from the master. Returns `true` when
+    /// this message starts a rejoin (the agent should re-send `Hello`).
+    pub fn on_rx(&mut self, now: Tti) -> bool {
+        self.last_rx = self.last_rx.max(now.0);
+        if !self.config.enabled() {
+            return false;
+        }
+        match self.state {
+            FailoverState::Degraded => {
+                self.state = FailoverState::Connected;
+                false
+            }
+            FailoverState::LocalControl => {
+                self.state = FailoverState::Rejoining;
+                // Only probes sent from here on confirm the channel.
+                self.min_confirming_seq = self.next_seq;
+                true
+            }
+            FailoverState::Connected | FailoverState::Rejoining => false,
+        }
+    }
+
+    /// Record a `HeartbeatAck`. Returns `true` when it completes a rejoin.
+    pub fn on_ack(&mut self, seq: u64) -> bool {
+        self.counters.acks_received += 1;
+        if self.state == FailoverState::Rejoining && seq >= self.min_confirming_seq {
+            self.state = FailoverState::Connected;
+            self.counters.rejoins += 1;
+            return true;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(period: u64, timeout: u64) -> LivenessConfig {
+        LivenessConfig {
+            heartbeat_period: period,
+            liveness_timeout: timeout,
+            ..LivenessConfig::default()
+        }
+    }
+
+    #[test]
+    fn disabled_tracker_never_leaves_connected() {
+        let mut t = LivenessTracker::new(LivenessConfig::default());
+        for now in 0..10_000 {
+            let out = t.tick(Tti(now));
+            assert_eq!(out, TickOutcome::default());
+        }
+        assert_eq!(t.state(), FailoverState::Connected);
+        assert_eq!(t.counters(), LivenessCounters::default());
+    }
+
+    #[test]
+    fn probes_follow_the_period() {
+        let mut t = LivenessTracker::new(cfg(10, 0));
+        let mut seqs = Vec::new();
+        for now in 0..35 {
+            t.on_rx(Tti(now)); // keep the session healthy
+            if let Some(s) = t.tick(Tti(now)).probe {
+                seqs.push((now, s));
+            }
+        }
+        assert_eq!(seqs, vec![(0, 0), (10, 1), (20, 2), (30, 3)]);
+        assert_eq!(t.counters().heartbeats_sent, 4);
+    }
+
+    #[test]
+    fn silence_degrades_then_fails_over_exactly_once() {
+        let mut t = LivenessTracker::new(cfg(10, 40));
+        let mut activations = 0;
+        for now in 0..100 {
+            let out = t.tick(Tti(now));
+            if out.entered_local_control {
+                activations += 1;
+                assert_eq!(now, 40, "failover at the configured timeout");
+            }
+            if now < 20 {
+                assert_eq!(t.state(), FailoverState::Connected);
+            } else if now < 40 {
+                assert_eq!(t.state(), FailoverState::Degraded);
+            } else {
+                assert_eq!(t.state(), FailoverState::LocalControl);
+            }
+        }
+        assert_eq!(activations, 1, "fallback activated exactly once");
+        assert_eq!(t.counters().failovers, 1);
+    }
+
+    #[test]
+    fn rx_in_degraded_recovers_without_failover() {
+        let mut t = LivenessTracker::new(cfg(0, 40));
+        t.tick(Tti(25));
+        assert_eq!(t.state(), FailoverState::Degraded);
+        assert!(!t.on_rx(Tti(26)));
+        assert_eq!(t.state(), FailoverState::Connected);
+        assert_eq!(t.counters().failovers, 0);
+    }
+
+    #[test]
+    fn full_outage_cycle_requires_post_rejoin_ack() {
+        let mut t = LivenessTracker::new(cfg(10, 40));
+        // Healthy until 100.
+        for now in 0..=100 {
+            t.on_rx(Tti(now));
+            t.tick(Tti(now));
+        }
+        // Outage: silence 101..=141.
+        for now in 101..=141 {
+            t.tick(Tti(now));
+        }
+        assert_eq!(t.state(), FailoverState::LocalControl);
+        // Master comes back.
+        assert!(t.on_rx(Tti(142)), "first rx starts a rejoin");
+        assert_eq!(t.state(), FailoverState::Rejoining);
+        // A stale ack (from a probe sent during the outage) must not
+        // confirm the session.
+        assert!(!t.on_ack(3));
+        assert_eq!(t.state(), FailoverState::Rejoining);
+        // A fresh probe goes out, its ack completes the rejoin.
+        let mut now = 143;
+        let probe = loop {
+            if let Some(s) = t.tick(Tti(now)).probe {
+                break s;
+            }
+            now += 1;
+            assert!(now < 200, "a probe must be due within one period");
+        };
+        assert!(!t.on_ack(probe - 1), "pre-rejoin seq still ignored");
+        assert!(t.on_ack(probe));
+        assert_eq!(t.state(), FailoverState::Connected);
+        assert_eq!(t.counters().rejoins, 1);
+    }
+
+    #[test]
+    fn rejoin_that_stalls_falls_back_again() {
+        let mut t = LivenessTracker::new(cfg(10, 40));
+        for now in 0..=50 {
+            t.tick(Tti(now));
+        }
+        assert_eq!(t.state(), FailoverState::LocalControl);
+        t.on_rx(Tti(51));
+        assert_eq!(t.state(), FailoverState::Rejoining);
+        // The master dies again before any ack arrives.
+        let mut second_entry = false;
+        for now in 52..=120 {
+            if t.tick(Tti(now)).entered_local_control {
+                second_entry = true;
+            }
+        }
+        assert!(second_entry);
+        assert_eq!(t.state(), FailoverState::LocalControl);
+        assert_eq!(t.counters().failovers, 2);
+        assert_eq!(t.counters().rejoins, 0);
+    }
+
+    #[test]
+    fn degraded_threshold_defaults_to_half_timeout() {
+        assert_eq!(cfg(0, 40).degraded_threshold(), 20);
+        let explicit = LivenessConfig {
+            degraded_after: 5,
+            ..cfg(0, 40)
+        };
+        assert_eq!(explicit.degraded_threshold(), 5);
+        assert_eq!(LivenessConfig::probing(25).liveness_timeout, 100);
+    }
+}

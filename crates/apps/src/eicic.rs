@@ -19,7 +19,7 @@
 
 use std::collections::BTreeMap;
 
-use flexran_controller::northbound::{App, AppContext};
+use flexran_controller::northbound::{App, ControlHandle, RibView};
 use flexran_proto::messages::DlSchedulingCommand;
 use flexran_stack::enb::AbsPattern;
 use flexran_stack::mac::dci::DlSchedulingDecision;
@@ -144,9 +144,9 @@ impl OptimizedEicicApp {
         }
     }
 
-    fn small_cells_idle(&self, ctx: &AppContext<'_>) -> bool {
+    fn small_cells_idle(&self, rib: &RibView<'_>) -> bool {
         for (enb, cell) in &self.small_cells {
-            let Some(cell_node) = ctx.rib.cell(*enb, CellId(*cell)) else {
+            let Some(cell_node) = rib.rib().cell(*enb, CellId(*cell)) else {
                 continue;
             };
             let queued: u64 = cell_node
@@ -173,8 +173,8 @@ impl App for OptimizedEicicApp {
         200
     }
 
-    fn on_cycle(&mut self, ctx: &mut AppContext<'_>) {
-        let Some(sync) = ctx.synced_subframe(self.macro_enb) else {
+    fn on_cycle(&mut self, rib: &RibView<'_>, ctl: &mut ControlHandle<'_>) {
+        let Some(sync) = rib.synced_subframe(self.macro_enb) else {
             return;
         };
         let horizon = sync.0 + self.schedule_ahead;
@@ -186,13 +186,13 @@ impl App for OptimizedEicicApp {
             if !is_abs(&self.pattern, Tti(target)) {
                 continue; // non-ABS: the macro's local scheduler owns it
             }
-            if !self.small_cells_idle(ctx) {
+            if !self.small_cells_idle(rib) {
                 continue; // the protected cells need this ABS
             }
-            let Some(cell) = ctx.rib.cell(self.macro_enb, CellId(self.macro_cell)) else {
+            let Some(cell) = rib.rib().cell(self.macro_enb, CellId(self.macro_cell)) else {
                 continue;
             };
-            let input = scheduler_input_from_rib(cell, ctx.now, Tti(target), &BTreeMap::new());
+            let input = scheduler_input_from_rib(cell, rib.now(), Tti(target), &BTreeMap::new());
             let out = self.policy.schedule_dl(&input);
             if out.dcis.is_empty() {
                 continue;
@@ -205,7 +205,7 @@ impl App for OptimizedEicicApp {
                     dcis: out.dcis,
                 },
             );
-            if ctx.schedule_dl(self.macro_enb, cmd).is_ok() {
+            if ctl.schedule_dl(self.macro_enb, cmd).is_ok() {
                 self.reassigned += 1;
             }
         }

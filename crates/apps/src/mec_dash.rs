@@ -15,7 +15,7 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 
-use flexran_controller::northbound::{App, AppContext};
+use flexran_controller::northbound::{App, ControlHandle, RibView};
 use flexran_phy::link_adaptation::{mcs_for_cqi, Cqi};
 use flexran_phy::tables::{itbs_for_mcs, tbs_bits};
 use flexran_sim::dash::Ema;
@@ -74,9 +74,9 @@ impl App for MecDashApp {
         50 // responsive but not TTI-critical
     }
 
-    fn on_cycle(&mut self, ctx: &mut AppContext<'_>) {
+    fn on_cycle(&mut self, rib: &RibView<'_>, _ctl: &mut ControlHandle<'_>) {
         let mut hints = self.hints.write();
-        for (enb, _cell, ue) in ctx.rib.all_ues() {
+        for (enb, _cell, ue) in rib.rib().all_ues() {
             if !ue.report.connected || ue.report.wideband_cqi == 0 {
                 continue;
             }
@@ -147,8 +147,9 @@ mod tests {
 
         let rib = rib_with_cqi(10);
         for t in 0..20u64 {
-            let mut ctx = AppContext::new(Tti(t), &rib, &mut outbox, &mut guard, &mut xid);
-            app.on_cycle(&mut ctx);
+            let view = RibView::new(Tti(t), &rib);
+            let mut ctl = ControlHandle::new(&mut outbox, &mut guard, &mut xid);
+            app.on_cycle(&view, &mut ctl);
         }
         let high = hints.read()[&(EnbId(1), Rnti(0x100))];
         assert!(high.as_mbps_f64() > 8.0, "{high}");
@@ -157,8 +158,9 @@ mod tests {
         // cycles).
         let rib = rib_with_cqi(4);
         for t in 20..60u64 {
-            let mut ctx = AppContext::new(Tti(t), &rib, &mut outbox, &mut guard, &mut xid);
-            app.on_cycle(&mut ctx);
+            let view = RibView::new(Tti(t), &rib);
+            let mut ctl = ControlHandle::new(&mut outbox, &mut guard, &mut xid);
+            app.on_cycle(&view, &mut ctl);
         }
         let low = hints.read()[&(EnbId(1), Rnti(0x100))];
         assert!(low < high);
@@ -174,8 +176,9 @@ mod tests {
         let mut outbox = Vec::new();
         let mut guard = ConflictGuard::new();
         let mut xid = 0;
-        let mut ctx = AppContext::new(Tti(0), &rib, &mut outbox, &mut guard, &mut xid);
-        app.on_cycle(&mut ctx);
+        let view = RibView::new(Tti(0), &rib);
+        let mut ctl = ControlHandle::new(&mut outbox, &mut guard, &mut xid);
+        app.on_cycle(&view, &mut ctl);
         assert!(hints.read().is_empty());
     }
 }

@@ -10,7 +10,7 @@
 
 use std::collections::BTreeMap;
 
-use flexran_controller::northbound::{App, AppContext};
+use flexran_controller::northbound::{App, ControlHandle, RibView};
 use flexran_controller::updater::NotifiedEvent;
 use flexran_proto::messages::events::EventKind;
 use flexran_proto::messages::{FlexranMessage, HandoverCommand};
@@ -46,8 +46,8 @@ impl MobilityManagerApp {
         }
     }
 
-    fn cell_load(&self, ctx: &AppContext<'_>, enb: EnbId, cell: CellId) -> usize {
-        ctx.rib.cell(enb, cell).map(|c| c.ues.len()).unwrap_or(0)
+    fn cell_load(&self, rib: &RibView<'_>, enb: EnbId, cell: CellId) -> usize {
+        rib.rib().cell(enb, cell).map(|c| c.ues.len()).unwrap_or(0)
     }
 }
 
@@ -60,20 +60,20 @@ impl App for MobilityManagerApp {
         100
     }
 
-    fn on_cycle(&mut self, _ctx: &mut AppContext<'_>) {}
+    fn on_cycle(&mut self, _rib: &RibView<'_>, _ctl: &mut ControlHandle<'_>) {}
 
-    fn on_event(&mut self, event: &NotifiedEvent, ctx: &mut AppContext<'_>) {
+    fn on_event(&mut self, event: &NotifiedEvent, rib: &RibView<'_>, ctl: &mut ControlHandle<'_>) {
         let n = &event.notification;
         if n.kind != EventKind::MeasurementReport {
             return;
         }
         // Rate-limit per UE.
         if let Some(last) = self.last_handover.get(&(event.enb, n.rnti)) {
-            if ctx.now.0.saturating_sub(*last) < self.min_interval_ms {
+            if rib.now().0.saturating_sub(*last) < self.min_interval_ms {
                 return;
             }
         }
-        let serving_load = self.cell_load(ctx, event.enb, CellId(n.cell));
+        let serving_load = self.cell_load(rib, event.enb, CellId(n.cell));
         let serving_score =
             n.serving_rsrp_decidbm as f64 / 10.0 - self.load_penalty_db * serving_load as f64;
         let mut best: Option<(f64, EnbId, CellId)> = None;
@@ -84,7 +84,7 @@ impl App for MobilityManagerApp {
             if *enb == event.enb && cell.0 == n.cell {
                 continue; // serving itself
             }
-            let load = self.cell_load(ctx, *enb, *cell);
+            let load = self.cell_load(rib, *enb, *cell);
             let score = rsrp - self.load_penalty_db * load as f64;
             if best.map(|(s, _, _)| score > s).unwrap_or(true) {
                 best = Some((score, *enb, *cell));
@@ -94,7 +94,7 @@ impl App for MobilityManagerApp {
             return;
         };
         if score > serving_score + self.hysteresis_db {
-            ctx.send(
+            ctl.send(
                 event.enb,
                 FlexranMessage::HandoverCommand(HandoverCommand {
                     cell: n.cell,
@@ -103,7 +103,7 @@ impl App for MobilityManagerApp {
                     target_cell: target_cell.0,
                 }),
             );
-            self.last_handover.insert((event.enb, n.rnti), ctx.now.0);
+            self.last_handover.insert((event.enb, n.rnti), rib.now().0);
             self.handovers += 1;
         }
     }
@@ -152,8 +152,9 @@ mod tests {
         let mut outbox = Vec::new();
         let mut guard = ConflictGuard::new();
         let mut xid = 0;
-        let mut ctx = AppContext::new(Tti(10), &rib, &mut outbox, &mut guard, &mut xid);
-        app.on_event(&meas_event(-950, &[(1, -85.0)]), &mut ctx);
+        let view = RibView::new(Tti(10), &rib);
+        let mut ctl = ControlHandle::new(&mut outbox, &mut guard, &mut xid);
+        app.on_event(&meas_event(-950, &[(1, -85.0)]), &view, &mut ctl);
         assert_eq!(app.handovers, 1);
         assert!(matches!(
             &outbox[0].2,
@@ -168,9 +169,10 @@ mod tests {
         let mut outbox = Vec::new();
         let mut guard = ConflictGuard::new();
         let mut xid = 0;
-        let mut ctx = AppContext::new(Tti(10), &rib, &mut outbox, &mut guard, &mut xid);
+        let view = RibView::new(Tti(10), &rib);
+        let mut ctl = ControlHandle::new(&mut outbox, &mut guard, &mut xid);
         // Neighbour only 1 dB better (hysteresis is 3 dB).
-        app.on_event(&meas_event(-900, &[(1, -89.0)]), &mut ctx);
+        app.on_event(&meas_event(-900, &[(1, -89.0)]), &view, &mut ctl);
         assert_eq!(app.handovers, 0);
         assert!(outbox.is_empty());
     }
@@ -192,9 +194,10 @@ mod tests {
         let mut outbox = Vec::new();
         let mut guard = ConflictGuard::new();
         let mut xid = 0;
-        let mut ctx = AppContext::new(Tti(10), &rib, &mut outbox, &mut guard, &mut xid);
+        let view = RibView::new(Tti(10), &rib);
+        let mut ctl = ControlHandle::new(&mut outbox, &mut guard, &mut xid);
         // 6 dB RSRP advantage, but load penalty (10 dB) eats it.
-        app.on_event(&meas_event(-900, &[(1, -84.0)]), &mut ctx);
+        app.on_event(&meas_event(-900, &[(1, -84.0)]), &view, &mut ctl);
         assert_eq!(app.handovers, 0);
     }
 
@@ -207,14 +210,16 @@ mod tests {
         let mut xid = 0;
         let ev = meas_event(-950, &[(1, -85.0)]);
         {
-            let mut ctx = AppContext::new(Tti(10), &rib, &mut outbox, &mut guard, &mut xid);
-            app.on_event(&ev, &mut ctx);
-            app.on_event(&ev, &mut ctx);
+            let view = RibView::new(Tti(10), &rib);
+            let mut ctl = ControlHandle::new(&mut outbox, &mut guard, &mut xid);
+            app.on_event(&ev, &view, &mut ctl);
+            app.on_event(&ev, &view, &mut ctl);
         }
         assert_eq!(app.handovers, 1, "second HO suppressed by interval");
         {
-            let mut ctx = AppContext::new(Tti(2000), &rib, &mut outbox, &mut guard, &mut xid);
-            app.on_event(&ev, &mut ctx);
+            let view = RibView::new(Tti(2000), &rib);
+            let mut ctl = ControlHandle::new(&mut outbox, &mut guard, &mut xid);
+            app.on_event(&ev, &view, &mut ctl);
         }
         assert_eq!(app.handovers, 2, "allowed after the interval");
     }
@@ -226,8 +231,9 @@ mod tests {
         let mut outbox = Vec::new();
         let mut guard = ConflictGuard::new();
         let mut xid = 0;
-        let mut ctx = AppContext::new(Tti(10), &rib, &mut outbox, &mut guard, &mut xid);
-        app.on_event(&meas_event(-950, &[(99, -50.0)]), &mut ctx);
+        let view = RibView::new(Tti(10), &rib);
+        let mut ctl = ControlHandle::new(&mut outbox, &mut guard, &mut xid);
+        app.on_event(&meas_event(-950, &[(99, -50.0)]), &view, &mut ctl);
         assert_eq!(app.handovers, 0);
     }
 }

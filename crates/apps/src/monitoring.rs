@@ -11,7 +11,7 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 
-use flexran_controller::northbound::{App, AppContext};
+use flexran_controller::northbound::{App, ControlHandle, RibView};
 use flexran_proto::messages::stats::{ReportConfig, ReportFlags, ReportType, StatsRequest};
 use flexran_proto::messages::{ConfigRequest, FlexranMessage};
 use flexran_types::ids::{EnbId, Rnti};
@@ -75,16 +75,16 @@ impl App for MonitoringApp {
         10 // non-time-critical (paper §4.3.3)
     }
 
-    fn on_cycle(&mut self, ctx: &mut AppContext<'_>) {
+    fn on_cycle(&mut self, rib: &RibView<'_>, ctl: &mut ControlHandle<'_>) {
         // Subscribe to agents we have not seen before.
-        let new_agents: Vec<EnbId> = ctx
-            .rib
+        let new_agents: Vec<EnbId> = rib
+            .rib()
             .agents()
             .map(|a| a.enb_id)
             .filter(|id| !self.subscribed.contains(id))
             .collect();
         for enb in new_agents {
-            ctx.send(
+            ctl.send(
                 enb,
                 FlexranMessage::StatsRequest(StatsRequest {
                     config: self.report,
@@ -93,15 +93,15 @@ impl App for MonitoringApp {
             // Also pull the static configuration so the RIB's cell
             // records (bandwidths, DCI budgets) are populated for other
             // applications (e.g. the centralized scheduler).
-            ctx.send(enb, FlexranMessage::ConfigRequest(ConfigRequest::default()));
+            ctl.send(enb, FlexranMessage::ConfigRequest(ConfigRequest::default()));
             self.subscribed.push(enb);
         }
         // Refresh the shared snapshot from the RIB.
         let mut snap = self.snapshot.write();
-        snap.updated = ctx.now;
+        snap.updated = rib.now();
         snap.total_dl_bits = 0;
         snap.ues.clear();
-        for (enb, _cell, ue) in ctx.rib.all_ues() {
+        for (enb, _cell, ue) in rib.rib().all_ues() {
             snap.total_dl_bits += ue.report.dl_tbs_bits_total;
             snap.ues.insert(
                 (enb, ue.rnti),

@@ -15,7 +15,7 @@
 
 use std::collections::BTreeMap;
 
-use flexran_controller::northbound::{App, AppContext};
+use flexran_controller::northbound::{App, ControlHandle, RibView};
 use flexran_controller::rib::CellNode;
 use flexran_phy::link_adaptation::Cqi;
 use flexran_proto::messages::{DlSchedulingCommand, FlexranMessage, UlSchedulingCommand};
@@ -170,13 +170,17 @@ impl App for CentralizedScheduler {
         200 // time-critical (paper §4.3.3)
     }
 
-    fn on_cycle(&mut self, ctx: &mut AppContext<'_>) {
-        let agents: Vec<EnbId> = ctx.rib.agents().map(|a| a.enb_id).collect();
+    fn on_cycle(&mut self, rib: &RibView<'_>, ctl: &mut ControlHandle<'_>) {
+        let agents: Vec<EnbId> = rib.rib().agents().map(|a| a.enb_id).collect();
         for enb in agents {
-            let Some(sync) = ctx.synced_subframe(enb) else {
+            if rib.is_stale(enb) {
+                continue; // session down: the RIB subtree is a pre-outage
+                          // snapshot and the agent runs local control
+            }
+            let Some(sync) = rib.synced_subframe(enb) else {
                 continue; // agent not syncing: cannot schedule remotely
             };
-            let agent = ctx.rib.agent(enb).expect("listed agent");
+            let agent = rib.agent(enb).expect("listed agent");
             let cells: Vec<u16> = agent.cells.keys().map(|c| c.0).collect();
             for cell_id in cells {
                 if !self.in_scope(enb, cell_id) {
@@ -198,13 +202,13 @@ impl App for CentralizedScheduler {
                 let mut discount: BTreeMap<u16, u64> = BTreeMap::new();
                 for target in from..=horizon {
                     let cell = agent.cells.get(&CellId(cell_id)).expect("listed cell");
-                    let input = scheduler_input_from_rib(cell, ctx.now, Tti(target), &discount);
+                    let input = scheduler_input_from_rib(cell, rib.now(), Tti(target), &discount);
                     let out = self.policy.schedule_dl(&input);
                     self.last_target.insert((enb, cell_id), target);
                     // Uplink grants for the same target, if centralized
                     // (independent of whether the downlink has work).
                     if let Some(ul) = self.ul_policy.as_mut() {
-                        let input = ul_scheduler_input_from_rib(cell, ctx.now, Tti(target));
+                        let input = ul_scheduler_input_from_rib(cell, rib.now(), Tti(target));
                         let ul_out = ul.schedule_ul(&input);
                         if !ul_out.grants.is_empty() {
                             let cmd = UlSchedulingCommand::from_decision(
@@ -215,7 +219,7 @@ impl App for CentralizedScheduler {
                                     grants: ul_out.grants,
                                 },
                             );
-                            ctx.send(enb, FlexranMessage::UlSchedulingCommand(cmd));
+                            ctl.send(enb, FlexranMessage::UlSchedulingCommand(cmd));
                             self.commands_sent += 1;
                         }
                     }
@@ -238,7 +242,7 @@ impl App for CentralizedScheduler {
                             dcis: out.dcis,
                         },
                     );
-                    if ctx.schedule_dl(enb, cmd).is_ok() {
+                    if ctl.schedule_dl(enb, cmd).is_ok() {
                         self.commands_sent += 1;
                     }
                 }
@@ -390,9 +394,61 @@ mod tests {
         let mut outbox = Vec::new();
         let mut guard = ConflictGuard::new();
         let mut xid = 0;
-        let mut ctx = AppContext::new(Tti(5), &rib, &mut outbox, &mut guard, &mut xid);
-        sched.on_cycle(&mut ctx);
+        let view = RibView::new(Tti(5), &rib);
+        let mut ctl = ControlHandle::new(&mut outbox, &mut guard, &mut xid);
+        sched.on_cycle(&view, &mut ctl);
         assert!(outbox.is_empty());
         assert_eq!(sched.commands_sent, 0);
+    }
+
+    #[test]
+    fn stale_agents_are_skipped() {
+        let mut sched = CentralizedScheduler::new(6, Box::new(RoundRobinScheduler::new()));
+        let mut rib = Rib::new();
+        {
+            let agent = rib.agent_mut(EnbId(1));
+            agent.last_sync = Some((Tti(100), Tti(101)));
+            let cell = agent.cells.entry(CellId(0)).or_default();
+            cell.cell_id = CellId(0);
+            cell.ues.insert(
+                Rnti(0x100),
+                UeNode {
+                    rnti: Rnti(0x100),
+                    report: UeReport {
+                        rnti: 0x100,
+                        connected: true,
+                        wideband_cqi: 12,
+                        rlc: vec![RlcReport {
+                            lcid: 3,
+                            tx_queue_bytes: 100_000,
+                            ..Default::default()
+                        }],
+                        ..Default::default()
+                    },
+                    ..Default::default()
+                },
+            );
+            agent.mark_stale(Tti(105));
+        }
+        let mut outbox = Vec::new();
+        let mut guard = ConflictGuard::new();
+        let mut xid = 0;
+        {
+            let view = RibView::new(Tti(106), &rib);
+            let mut ctl = ControlHandle::new(&mut outbox, &mut guard, &mut xid);
+            sched.on_cycle(&view, &mut ctl);
+        }
+        assert!(
+            outbox.is_empty(),
+            "no commands toward a down session's pre-outage snapshot"
+        );
+        // Session restored: the same RIB state now yields commands.
+        rib.agent_mut(EnbId(1)).mark_fresh();
+        {
+            let view = RibView::new(Tti(107), &rib);
+            let mut ctl = ControlHandle::new(&mut outbox, &mut guard, &mut xid);
+            sched.on_cycle(&view, &mut ctl);
+        }
+        assert!(!outbox.is_empty(), "commands resume after mark_fresh");
     }
 }

@@ -8,6 +8,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod outage;
 pub mod sec54;
 pub mod table2;
 
@@ -38,6 +39,7 @@ pub const ALL: &[&str] = &[
     "ablation-reporting",
     "ablation-dci-budget",
     "ablation-bler-target",
+    "outage",
 ];
 
 /// Run one experiment id (some ids share a runner and return together).
@@ -58,6 +60,7 @@ pub fn run(id: &str, ctx: &ExpContext) -> Vec<ExpResult> {
         "ablation-reporting" => vec![ablations::ablation_reporting(ctx)],
         "ablation-dci-budget" => vec![ablations::ablation_dci_budget(ctx)],
         "ablation-bler-target" => vec![ablations::ablation_bler_target(ctx)],
+        "outage" => vec![outage::outage(ctx)],
         other => panic!("unknown experiment id '{other}' (available: {ALL:?})"),
     }
 }

@@ -1,0 +1,253 @@
+//! Control-plane outage and recovery — the resilience experiment.
+//!
+//! One full-buffer UE is served by the *remote* centralized scheduler
+//! over a short-RTT control channel. Mid-run, the control link is
+//! partitioned for a scripted window (the master "crashes"), then heals:
+//!
+//! * the agent's heartbeat tracker must detect the outage within the
+//!   liveness timeout and pointer-swap to the cached local fallback
+//!   scheduler (§5.4), holding throughput at the local baseline,
+//! * the master must mark the agent's RIB subtree stale (the centralized
+//!   scheduler stops issuing commands at a dead session),
+//! * on heal, the agent rejoins, the master replays delegated state, and
+//!   remote scheduling resumes.
+//!
+//! Everything runs in seeded virtual time, so the emitted `outage.csv`
+//! time series is deterministic run-to-run.
+
+use flexran::agent::AgentConfig;
+use flexran::harness::UeRadioSpec;
+use flexran::prelude::*;
+use flexran::sim::link::{FaultHandle, LinkConfig};
+use flexran::sim::traffic::FullBufferSource;
+use flexran::stack::mac::scheduler::RoundRobinScheduler;
+use flexran::Platform;
+
+use crate::experiments::{mbps, remote_agent_config, subscribe_stats};
+use crate::{csv, f2, ExpContext, ExpResult};
+
+const HEARTBEAT_PERIOD: u64 = 10;
+const LIVENESS_TIMEOUT: u64 = 40;
+const ONE_WAY_MS: u64 = 2;
+const SCHEDULE_AHEAD: u64 = 8;
+const BUCKET: u64 = 100;
+
+fn resilient_platform() -> Platform {
+    Platform::new()
+        .heartbeat_period(HEARTBEAT_PERIOD)
+        .liveness_timeout(LIVENESS_TIMEOUT)
+        .links(
+            LinkConfig::with_one_way_ms(ONE_WAY_MS),
+            LinkConfig::with_one_way_ms(ONE_WAY_MS),
+        )
+}
+
+/// Local-control baseline: same UE, same radio, round-robin at the agent
+/// from the start, no remote scheduler anywhere.
+fn local_baseline(warmup: u64, window: u64) -> f64 {
+    let mut sim = resilient_platform().build_sim();
+    let enb = sim.add_enb(EnbConfig::single_cell(EnbId(1)), AgentConfig::default());
+    let ue = sim.add_ue(enb, CellId(0), SliceId::MNO, 0, UeRadioSpec::FixedCqi(12));
+    sim.set_dl_traffic(ue, Box::new(FullBufferSource::default()));
+    sim.run(warmup);
+    let start = sim.ue_stats(ue).map(|s| s.dl_delivered_bits).unwrap_or(0);
+    sim.run(window);
+    let end = sim
+        .ue_stats(ue)
+        .map(|s| s.dl_delivered_bits)
+        .unwrap_or(start);
+    mbps(end.saturating_sub(start), window)
+}
+
+pub fn outage(ctx: &ExpContext) -> ExpResult {
+    let warmup = ctx.ttis(1_000, 500);
+    let phase_len = ctx.ttis(3_000, 1_200);
+
+    let platform = resilient_platform();
+    let faults = FaultHandle::new(7);
+    let mut sim = platform.build_sim();
+    let agent_cfg = AgentConfig {
+        liveness: platform.build_agent_config().liveness,
+        ..remote_agent_config()
+    };
+    let enb = sim.add_enb_with_faults(
+        EnbConfig::single_cell(EnbId(1)),
+        agent_cfg,
+        EnbParams::default(),
+        None,
+        faults.clone(),
+    );
+    let ue = sim.add_ue(enb, CellId(0), SliceId::MNO, 0, UeRadioSpec::FixedCqi(12));
+    sim.set_dl_traffic(ue, Box::new(FullBufferSource::default()));
+    sim.master_mut()
+        .register_app(Box::new(flexran::apps::CentralizedScheduler::new(
+            SCHEDULE_AHEAD,
+            Box::new(RoundRobinScheduler::new()),
+        )));
+    sim.run(5 + 2 * ONE_WAY_MS);
+    subscribe_stats(&mut sim, enb, 1);
+    sim.run(warmup);
+
+    let outage_from = warmup + phase_len + 5 + 2 * ONE_WAY_MS;
+    let outage_until = outage_from + phase_len;
+    faults.partition_between(Tti(outage_from), Tti(outage_until));
+
+    let bits = |sim: &flexran::harness::SimHarness| {
+        sim.ue_stats(ue).map(|s| s.dl_delivered_bits).unwrap_or(0)
+    };
+
+    let mut series: Vec<Vec<String>> = Vec::new();
+    let mut bucket_start_bits = bits(&sim);
+    let mut attach_losses = 0u64;
+    let mut agent_detected_at: Option<u64> = None;
+    let mut master_detected_at: Option<u64> = None;
+    let mut reconnected_at: Option<u64> = None;
+    let mut detect_bits = 0u64;
+    let mut heal_bits = 0u64;
+    let mut reconnect_bits = 0u64;
+    // Last TTI either side heard from its peer before the partition bit:
+    // in-flight messages still land for ONE_WAY_MS after it opens, so
+    // detection latency is counted from when silence actually began.
+    let mut last_rx_count = sim.agent(enb).expect("enb").counters().rx_messages;
+    let mut silence_started = sim.now().0;
+
+    let pre_start_bits = bits(&sim);
+    let loop_start = sim.now().0;
+    let total = 3 * phase_len;
+    for _ in 0..total {
+        sim.step();
+        let now = sim.now().0;
+        let rx = sim.agent(enb).expect("enb").counters().rx_messages;
+        if rx > last_rx_count && agent_detected_at.is_none() {
+            last_rx_count = rx;
+            silence_started = now;
+        }
+        for (_, ev) in &sim.last_events {
+            use flexran::stack::events::EnbEvent;
+            if matches!(
+                ev,
+                EnbEvent::AttachFailed { .. } | EnbEvent::UeDetached { .. }
+            ) {
+                attach_losses += 1;
+            }
+        }
+        let state = sim.agent(enb).expect("enb").failover_state();
+        let in_outage = now >= outage_from && now < outage_until;
+        if in_outage {
+            if agent_detected_at.is_none()
+                && state == flexran::agent::FailoverState::LocalControl
+            {
+                agent_detected_at = Some(now);
+                detect_bits = bits(&sim);
+            }
+            if master_detected_at.is_none() && !sim.master().downed_agents().is_empty() {
+                master_detected_at = Some(now);
+            }
+        } else if now >= outage_until {
+            if heal_bits == 0 {
+                heal_bits = bits(&sim);
+            }
+            if reconnected_at.is_none() && state == flexran::agent::FailoverState::Connected {
+                reconnected_at = Some(now);
+                reconnect_bits = bits(&sim);
+            }
+        }
+        if now.is_multiple_of(BUCKET) {
+            let b = bits(&sim);
+            let phase = if now < outage_from {
+                "pre"
+            } else if in_outage {
+                "outage"
+            } else {
+                "post"
+            };
+            series.push(vec![
+                now.to_string(),
+                phase.to_string(),
+                f2(mbps(b.saturating_sub(bucket_start_bits), BUCKET)),
+                state.to_string(),
+                (sim.master().rib().agent(enb).is_some_and(|a| a.is_stale()) as u8).to_string(),
+            ]);
+            bucket_start_bits = b;
+        }
+    }
+    let end_bits = bits(&sim);
+    ctx.write_csv(
+        "outage",
+        &csv(&["tti", "phase", "mbps", "agent_state", "rib_stale"], &series),
+    );
+
+    // Phase throughputs.
+    let pre_mbps = mbps(
+        detect_bits.saturating_sub(pre_start_bits),
+        agent_detected_at.unwrap_or(outage_from) - loop_start,
+    );
+    let during_mbps = match agent_detected_at {
+        Some(t) => mbps(heal_bits.saturating_sub(detect_bits), outage_until - t),
+        None => 0.0,
+    };
+    let post_mbps = match reconnected_at {
+        Some(t) => mbps(end_bits.saturating_sub(reconnect_bits), loop_start + total - t),
+        None => 0.0,
+    };
+    let baseline_mbps = local_baseline(warmup, phase_len);
+
+    // Latency from when each side's inbound silence actually began: the
+    // fault model drops at send time, so messages already in flight when
+    // the partition opens still deliver ~ONE_WAY_MS later. Both directions
+    // carry per-TTI traffic, so the last delivery lands at the same TTI on
+    // both sides.
+    let agent_latency = agent_detected_at.map(|t| t - silence_started);
+    let master_latency = master_detected_at.map(|t| t - silence_started);
+    let rejoin_latency = reconnected_at.map(|t| t - outage_until);
+    let lc = sim.agent(enb).expect("enb").liveness_counters();
+    let sls = sim.master().liveness_stats();
+
+    let mut r = ExpResult::new(
+        "outage",
+        "remote scheduling through a control-plane outage (heartbeats, failover, rejoin)",
+        &["phase", "Mb/s", "detail"],
+    );
+    r.row(vec![
+        "pre (remote)".into(),
+        f2(pre_mbps),
+        format!("centralized scheduler, ahead={SCHEDULE_AHEAD}"),
+    ]);
+    r.row(vec![
+        "outage (local control)".into(),
+        f2(during_mbps),
+        format!(
+            "agent failover after {} ms (timeout {LIVENESS_TIMEOUT} ms)",
+            agent_latency.map_or("∞".into(), |l| l.to_string())
+        ),
+    ]);
+    r.row(vec![
+        "post (remote again)".into(),
+        f2(post_mbps),
+        format!(
+            "rejoined {} ms after heal; state replayed",
+            rejoin_latency.map_or("∞".into(), |l| l.to_string())
+        ),
+    ]);
+    r.row(vec![
+        "local baseline".into(),
+        f2(baseline_mbps),
+        "round-robin at the agent, no master".into(),
+    ]);
+
+    let within = baseline_mbps > 0.0 && (during_mbps / baseline_mbps - 1.0).abs() <= 0.05;
+    r.note(format!(
+        "during-outage throughput within 5% of local baseline: {within} ({} vs {})",
+        f2(during_mbps),
+        f2(baseline_mbps)
+    ));
+    r.note(format!(
+        "detection latency: agent {:?} ms, master {:?} ms (liveness timeout {LIVENESS_TIMEOUT} ms, heartbeat period {HEARTBEAT_PERIOD} ms)",
+        agent_latency, master_latency
+    ));
+    r.note(format!(
+        "attach losses during the whole run: {attach_losses}; failovers {}, rejoins {}; master downs {}, ups {}",
+        lc.failovers, lc.rejoins, sls.downs, sls.ups
+    ));
+    r
+}

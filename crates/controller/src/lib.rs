@@ -7,19 +7,23 @@
 //!   cells → UEs) of raw reported state.
 //! * [`updater`] — the single-writer RIB Updater plus the event funnel
 //!   for the Event Notification Service.
-//! * [`northbound`] — the application API: [`northbound::App`],
-//!   [`northbound::AppContext`], the Registry Service, and the
-//!   conflict-resolution guard (§7.3 extension).
-//! * [`master`] — agent sessions, the TTI-cycled Task Manager with
-//!   per-slot wall-clock accounting (Fig. 8's instrumentation), and
-//!   real-time pacing for TCP deployments.
+//! * [`northbound`] — the application API: [`northbound::App`] with its
+//!   capability-split context ([`northbound::RibView`] to read,
+//!   [`northbound::ControlHandle`] to stage commands), the Registry
+//!   Service, and the conflict-resolution guard (§7.3 extension).
+//! * [`master`] — agent sessions with heartbeat/liveness tracking and
+//!   delegated-state replay, the TTI-cycled Task Manager with per-slot
+//!   wall-clock accounting (Fig. 8's instrumentation), and real-time
+//!   pacing for TCP deployments.
 
 pub mod master;
 pub mod northbound;
 pub mod rib;
 pub mod updater;
 
-pub use master::{CycleAccounting, CycleStats, MasterController, TaskManagerConfig};
-pub use northbound::{App, AppContext, AppRegistry, ConflictGuard, Priority};
+pub use master::{
+    CycleAccounting, CycleStats, MasterController, SessionLivenessStats, TaskManagerConfig,
+};
+pub use northbound::{App, AppRegistry, ConflictGuard, ControlHandle, Priority, RibView};
 pub use rib::{AgentNode, CellNode, Rib, UeNode};
 pub use updater::{NotifiedEvent, RibUpdater};

@@ -18,14 +18,15 @@
 use std::time::{Duration, Instant};
 
 use flexran_proto::messages::delegation::VsfPush;
+use flexran_proto::messages::events::EventKind;
 use flexran_proto::messages::stats::{ReportConfig, StatsRequest};
-use flexran_proto::messages::{FlexranMessage, Header};
+use flexran_proto::messages::{EventNotification, FlexranMessage, Header};
 use flexran_proto::transport::Transport;
 use flexran_types::ids::EnbId;
 use flexran_types::time::Tti;
 use flexran_types::{FlexError, Result};
 
-use crate::northbound::{App, AppContext, AppRegistry, ConflictGuard};
+use crate::northbound::{App, AppRegistry, ConflictGuard, ControlHandle, RibView};
 use crate::rib::Rib;
 use crate::updater::{NotifiedEvent, RibUpdater};
 
@@ -36,6 +37,13 @@ pub struct TaskManagerConfig {
     pub tti_duration: Duration,
     /// Fraction of the cycle budgeted to the RIB Updater slot.
     pub rib_slot_fraction: f64,
+    /// Master TTIs of session silence before an agent is declared down
+    /// (0 = session liveness tracking disabled). On the down edge the
+    /// agent's RIB subtree is marked stale and an `AgentDown` event is
+    /// delivered to applications; on the first message after it, the
+    /// subtree is marked fresh, delegated state (report subscriptions,
+    /// VSF pushes, policies) is replayed, and `AgentUp` is delivered.
+    pub liveness_timeout: u64,
 }
 
 impl Default for TaskManagerConfig {
@@ -43,8 +51,27 @@ impl Default for TaskManagerConfig {
         TaskManagerConfig {
             tti_duration: Duration::from_millis(1),
             rib_slot_fraction: 0.2,
+            liveness_timeout: 0,
         }
     }
+}
+
+/// Counters of the master's session-liveness tracker.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionLivenessStats {
+    /// `AgentDown` edges detected.
+    pub downs: u64,
+    /// `AgentUp` edges (rejoins, including the replay of delegated state).
+    pub ups: u64,
+}
+
+/// Delegated state the master replays to a rejoining agent, in original
+/// order (paper §4.3.2: the master, not the agent, owns policy intent).
+#[derive(Debug, Clone)]
+enum ReplayOp {
+    Stats(ReportConfig),
+    Vsf(VsfPush),
+    Policy(String),
 }
 
 /// Wall-clock accounting of one cycle.
@@ -88,6 +115,13 @@ impl CycleAccounting {
 struct Session {
     transport: Box<dyn Transport>,
     enb_id: Option<EnbId>,
+    /// Master time of the last message from this agent (None = silent so
+    /// far; the timeout clock starts at the first message).
+    last_rx: Option<Tti>,
+    /// Session currently considered dead.
+    down: bool,
+    /// Delegated-state log replayed on rejoin.
+    replay: Vec<ReplayOp>,
 }
 
 /// The master controller.
@@ -99,6 +133,7 @@ pub struct MasterController {
     apps: AppRegistry,
     guard: ConflictGuard,
     accounting: CycleAccounting,
+    liveness: SessionLivenessStats,
     xid: u32,
     now: Tti,
 }
@@ -113,6 +148,7 @@ impl MasterController {
             apps: AppRegistry::new(),
             guard: ConflictGuard::new(),
             accounting: CycleAccounting::default(),
+            liveness: SessionLivenessStats::default(),
             xid: 0,
             now: Tti::ZERO,
         }
@@ -123,6 +159,9 @@ impl MasterController {
         self.sessions.push(Session {
             transport,
             enb_id: None,
+            last_rx: None,
+            down: false,
+            replay: Vec::new(),
         });
         self.sessions.len() - 1
     }
@@ -153,6 +192,19 @@ impl MasterController {
         self.sessions.iter().filter_map(|s| s.enb_id).collect()
     }
 
+    /// Agents whose sessions are currently considered down.
+    pub fn downed_agents(&self) -> Vec<EnbId> {
+        self.sessions
+            .iter()
+            .filter(|s| s.down)
+            .filter_map(|s| s.enb_id)
+            .collect()
+    }
+
+    pub fn liveness_stats(&self) -> SessionLivenessStats {
+        self.liveness
+    }
+
     fn next_xid(&mut self) -> u32 {
         self.xid = self.xid.wrapping_add(1);
         self.xid
@@ -170,9 +222,17 @@ impl MasterController {
         Ok(xid)
     }
 
+    fn record_replay(&mut self, enb: EnbId, op: ReplayOp) {
+        if let Some(session) = self.sessions.iter_mut().find(|s| s.enb_id == Some(enb)) {
+            session.replay.push(op);
+        }
+    }
+
     /// Subscribe to statistics from an agent.
     pub fn request_stats(&mut self, enb: EnbId, config: ReportConfig) -> Result<u32> {
-        self.send_to(enb, FlexranMessage::StatsRequest(StatsRequest { config }))
+        let xid = self.send_to(enb, FlexranMessage::StatsRequest(StatsRequest { config }))?;
+        self.record_replay(enb, ReplayOp::Stats(config));
+        Ok(xid)
     }
 
     /// Push a VSF (signing it as the trusted authority would).
@@ -181,17 +241,34 @@ impl MasterController {
             // The master holds the signing key in this model.
             sign_push_compat(&mut push);
         }
-        self.send_to(enb, FlexranMessage::VsfPush(push))
+        let xid = self.send_to(enb, FlexranMessage::VsfPush(push.clone()))?;
+        self.record_replay(enb, ReplayOp::Vsf(push));
+        Ok(xid)
     }
 
     /// Send a policy reconfiguration document.
     pub fn reconfigure(&mut self, enb: EnbId, yaml: String) -> Result<u32> {
-        self.send_to(
+        let xid = self.send_to(
             enb,
             FlexranMessage::PolicyReconfiguration(flexran_proto::messages::PolicyReconfiguration {
-                yaml,
+                yaml: yaml.clone(),
             }),
-        )
+        )?;
+        self.record_replay(enb, ReplayOp::Policy(yaml));
+        Ok(xid)
+    }
+
+    fn liveness_event(enb: EnbId, kind: EventKind, now: Tti) -> NotifiedEvent {
+        NotifiedEvent {
+            enb,
+            notification: EventNotification {
+                enb_id: enb,
+                kind,
+                tti: now.0,
+                ..EventNotification::default()
+            },
+            received: now,
+        }
     }
 
     /// Run one Task Manager cycle at master time `now`.
@@ -200,10 +277,23 @@ impl MasterController {
         // --------------------------- RIB slot ---------------------------
         let rib_start = Instant::now();
         let mut events: Vec<NotifiedEvent> = Vec::new();
-        for session in &mut self.sessions {
+        let mut rejoined: Vec<usize> = Vec::new();
+        for (idx, session) in self.sessions.iter_mut().enumerate() {
             loop {
                 match session.transport.try_recv() {
-                    Ok(Some((_, msg))) => {
+                    Ok(Some((header, msg))) => {
+                        session.last_rx = Some(now);
+                        if session.down {
+                            session.down = false;
+                            rejoined.push(idx);
+                        }
+                        if let FlexranMessage::Heartbeat(h) = &msg {
+                            // Session-level probe: mirror it back even
+                            // before the agent has introduced itself.
+                            let _ = session
+                                .transport
+                                .send(header, &FlexranMessage::HeartbeatAck(*h));
+                        }
                         if let FlexranMessage::Hello(h) = &msg {
                             session.enb_id = Some(h.enb_id);
                         }
@@ -219,23 +309,59 @@ impl MasterController {
                 }
             }
         }
+        // Rejoins: mark the subtree fresh again and replay delegated
+        // state so the agent converges back to the pre-outage policy.
+        for idx in rejoined {
+            let Some(enb) = self.sessions[idx].enb_id else {
+                continue;
+            };
+            self.rib.agent_mut(enb).mark_fresh();
+            self.liveness.ups += 1;
+            events.push(Self::liveness_event(enb, EventKind::AgentUp, now));
+            for op in self.sessions[idx].replay.clone() {
+                self.xid = self.xid.wrapping_add(1);
+                let header = Header::with_xid(self.xid);
+                let msg = match op {
+                    ReplayOp::Stats(config) => {
+                        FlexranMessage::StatsRequest(StatsRequest { config })
+                    }
+                    ReplayOp::Vsf(push) => FlexranMessage::VsfPush(push),
+                    ReplayOp::Policy(yaml) => FlexranMessage::PolicyReconfiguration(
+                        flexran_proto::messages::PolicyReconfiguration { yaml },
+                    ),
+                };
+                let _ = self.sessions[idx].transport.send(header, &msg);
+            }
+        }
+        // Down detection: sessions silent past the timeout get their RIB
+        // subtree marked stale (a timestamped epoch — not deleted) and an
+        // AgentDown event.
+        if self.config.liveness_timeout > 0 {
+            for session in &mut self.sessions {
+                let (Some(enb), Some(last_rx)) = (session.enb_id, session.last_rx) else {
+                    continue;
+                };
+                if !session.down && now.0.saturating_sub(last_rx.0) >= self.config.liveness_timeout
+                {
+                    session.down = true;
+                    self.rib.agent_mut(enb).mark_stale(now);
+                    self.liveness.downs += 1;
+                    events.push(Self::liveness_event(enb, EventKind::AgentDown, now));
+                }
+            }
+        }
         let rib_slot = rib_start.elapsed();
 
         // --------------------------- Apps slot --------------------------
         let apps_start = Instant::now();
         let mut outbox: Vec<(EnbId, Header, FlexranMessage)> = Vec::new();
         for app in self.apps.iter_mut() {
-            let mut ctx = AppContext {
-                now,
-                rib: &self.rib,
-                outbox: &mut outbox,
-                guard: &mut self.guard,
-                xid: &mut self.xid,
-            };
+            let view = RibView::new(now, &self.rib);
+            let mut ctl = ControlHandle::new(&mut outbox, &mut self.guard, &mut self.xid);
             for ev in &events {
-                app.on_event(ev, &mut ctx);
+                app.on_event(ev, &view, &mut ctl);
             }
-            app.on_cycle(&mut ctx);
+            app.on_cycle(&view, &mut ctl);
         }
         // Dispatch staged commands.
         for (enb, header, msg) in outbox {
@@ -360,11 +486,16 @@ mod tests {
         fn name(&self) -> &str {
             "counting"
         }
-        fn on_cycle(&mut self, _ctx: &mut AppContext<'_>) {
+        fn on_cycle(&mut self, _rib: &RibView<'_>, _ctl: &mut ControlHandle<'_>) {
             self.cycles
                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         }
-        fn on_event(&mut self, _ev: &NotifiedEvent, _ctx: &mut AppContext<'_>) {
+        fn on_event(
+            &mut self,
+            _ev: &NotifiedEvent,
+            _rib: &RibView<'_>,
+            _ctl: &mut ControlHandle<'_>,
+        ) {
             self.events
                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         }
@@ -408,6 +539,73 @@ mod tests {
         }
         assert_eq!(cycles.load(Ordering::Relaxed), 5);
         assert_eq!(events.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn session_timeout_marks_stale_and_rejoin_replays() {
+        let mut master = MasterController::new(TaskManagerConfig {
+            liveness_timeout: 20,
+            ..TaskManagerConfig::default()
+        });
+        let (mut agent_side, master_side) = channel_pair();
+        master.add_agent(Box::new(master_side));
+        agent_side
+            .send(
+                Header::default(),
+                &FlexranMessage::Hello(Hello {
+                    enb_id: EnbId(3),
+                    n_cells: 1,
+                    capabilities: vec![],
+                }),
+            )
+            .unwrap();
+        master.run_cycle(Tti(0));
+        // Delegate state that must survive the outage.
+        master
+            .request_stats(
+                EnbId(3),
+                flexran_proto::messages::stats::ReportConfig::default(),
+            )
+            .unwrap();
+        master
+            .reconfigure(
+                EnbId(3),
+                "mac:\n  dl_ue_scheduler:\n    behavior: remote-stub\n".into(),
+            )
+            .unwrap();
+        while agent_side.try_recv().unwrap().is_some() {}
+        // Silence past the timeout → down edge, stale subtree.
+        for t in 1..=25 {
+            master.run_cycle(Tti(t));
+        }
+        assert_eq!(master.downed_agents(), vec![EnbId(3)]);
+        assert_eq!(master.liveness_stats().downs, 1);
+        let agent = master.rib().agent(EnbId(3)).unwrap();
+        assert!(agent.is_stale());
+        assert_eq!(agent.stale_since, Some(Tti(20)));
+        // A heartbeat from the agent → up edge, ack, and state replay.
+        agent_side
+            .send(
+                Header::with_xid(1),
+                &FlexranMessage::Heartbeat(flexran_proto::messages::Heartbeat {
+                    seq: 4,
+                    tti: 26,
+                }),
+            )
+            .unwrap();
+        master.run_cycle(Tti(26));
+        assert!(master.downed_agents().is_empty());
+        assert_eq!(master.liveness_stats().ups, 1);
+        assert!(!master.rib().agent(EnbId(3)).unwrap().is_stale());
+        let mut kinds = Vec::new();
+        while let Ok(Some((_, m))) = agent_side.try_recv() {
+            kinds.push(m.kind().to_string());
+        }
+        assert_eq!(
+            kinds,
+            vec!["heartbeat-ack", "stats-request", "policy-reconfiguration"],
+            "ack plus the delegated state, replayed in order"
+        );
     }
 
     #[test]

@@ -2,18 +2,24 @@
 //!
 //! RAN applications "monitor the infrastructure through the information
 //! obtained from the RIB and apply their control decisions through the
-//! agent control modules". They never write the RIB directly: an
-//! [`AppContext`] gives read access plus a staged command sink that the
-//! master dispatches after the application slot.
+//! agent control modules". They never write the RIB directly. The API
+//! splits those two capabilities into separate handles:
+//!
+//! * [`RibView`] — the read capability: master time plus the RIB forest,
+//!   including per-agent session-staleness signals. Everything on it is
+//!   `&self`; an application holding only a `RibView` provably cannot
+//!   emit commands.
+//! * [`ControlHandle`] — the write capability: a staged command sink the
+//!   master dispatches after the application slot. Scheduling commands
+//!   go through [`ControlHandle::schedule_dl`], which claims the
+//!   cell × subframe slot in the **conflict guard** (§7.3 future work)
+//!   internally — applications cannot bypass or observe other apps'
+//!   claims.
 //!
 //! Two execution patterns (paper: periodic and event-based) map to the
 //! two trait hooks: [`App::on_cycle`] runs every master TTI cycle;
 //! [`App::on_event`] runs when the Event Notification Service delivers an
 //! agent event. An application may use both.
-//!
-//! The context also hosts the **conflict guard** — the §7.3 future-work
-//! item: two applications issuing scheduling decisions for the same
-//! cell × subframe is detected and the second is refused.
 
 use std::collections::HashSet;
 
@@ -22,7 +28,7 @@ use flexran_types::ids::EnbId;
 use flexran_types::time::Tti;
 use flexran_types::{FlexError, Result};
 
-use crate::rib::Rib;
+use crate::rib::{AgentNode, Rib};
 use crate::updater::NotifiedEvent;
 
 /// Application priority: higher runs earlier within the apps slot (the
@@ -41,10 +47,16 @@ pub trait App: Send {
     }
 
     /// Periodic hook: once per master TTI cycle.
-    fn on_cycle(&mut self, ctx: &mut AppContext<'_>);
+    fn on_cycle(&mut self, rib: &RibView<'_>, ctl: &mut ControlHandle<'_>);
 
     /// Event hook: agent events delivered by the notification service.
-    fn on_event(&mut self, _event: &NotifiedEvent, _ctx: &mut AppContext<'_>) {}
+    fn on_event(
+        &mut self,
+        _event: &NotifiedEvent,
+        _rib: &RibView<'_>,
+        _ctl: &mut ControlHandle<'_>,
+    ) {
+    }
 }
 
 /// Claims on cell × subframe scheduling slots, preventing two apps from
@@ -84,34 +96,65 @@ impl ConflictGuard {
     }
 }
 
-/// What an application sees during one hook invocation.
-pub struct AppContext<'a> {
-    /// Master time.
-    pub now: Tti,
-    /// Read-only RIB view.
-    pub rib: &'a Rib,
-    pub(crate) outbox: &'a mut Vec<(EnbId, Header, FlexranMessage)>,
-    pub(crate) guard: &'a mut ConflictGuard,
-    pub(crate) xid: &'a mut u32,
+/// The read capability handed to applications: master time plus the RIB.
+///
+/// Copyable and `&self`-only — an application can fan it out to helper
+/// functions freely, and holding one grants no way to emit commands.
+#[derive(Clone, Copy)]
+pub struct RibView<'a> {
+    now: Tti,
+    rib: &'a Rib,
 }
 
-impl<'a> AppContext<'a> {
-    /// Construct a context manually — used by the master's Task Manager
+impl<'a> RibView<'a> {
+    pub fn new(now: Tti, rib: &'a Rib) -> Self {
+        RibView { now, rib }
+    }
+
+    /// Master time of this cycle.
+    pub fn now(&self) -> Tti {
+        self.now
+    }
+
+    /// The full RIB forest, for traversals beyond the conveniences below.
+    pub fn rib(&self) -> &'a Rib {
+        self.rib
+    }
+
+    pub fn agent(&self, enb: EnbId) -> Option<&'a AgentNode> {
+        self.rib.agent(enb)
+    }
+
+    /// The agent's freshest synced subframe, if it syncs.
+    pub fn synced_subframe(&self, enb: EnbId) -> Option<Tti> {
+        self.rib.agent(enb)?.synced_subframe()
+    }
+
+    /// Whether the agent's session is currently considered down, i.e. its
+    /// RIB subtree is a snapshot from before the outage. Applications
+    /// should not base control decisions on stale subtrees.
+    pub fn is_stale(&self, enb: EnbId) -> bool {
+        self.rib.agent(enb).is_some_and(|a| a.is_stale())
+    }
+}
+
+/// The write capability handed to applications: a staged command sink.
+/// Commands are dispatched by the master after the application slot.
+pub struct ControlHandle<'a> {
+    outbox: &'a mut Vec<(EnbId, Header, FlexranMessage)>,
+    guard: &'a mut ConflictGuard,
+    xid: &'a mut u32,
+}
+
+impl<'a> ControlHandle<'a> {
+    /// Construct a handle manually — used by the master's Task Manager
     /// and by harnesses/tests driving an [`App`] directly.
     pub fn new(
-        now: Tti,
-        rib: &'a Rib,
         outbox: &'a mut Vec<(EnbId, Header, FlexranMessage)>,
         guard: &'a mut ConflictGuard,
         xid: &'a mut u32,
     ) -> Self {
-        AppContext {
-            now,
-            rib,
-            outbox,
-            guard,
-            xid,
-        }
+        ControlHandle { outbox, guard, xid }
     }
 
     fn next_xid(&mut self) -> u32 {
@@ -126,15 +169,17 @@ impl<'a> AppContext<'a> {
         xid
     }
 
-    /// Stage a downlink scheduling command, enforcing the conflict guard.
+    /// Stage a downlink scheduling command. The cell × subframe slot is
+    /// claimed in the conflict guard internally; a second application
+    /// targeting the same slot gets `Err(Conflict)` and nothing is staged.
     pub fn schedule_dl(&mut self, enb: EnbId, cmd: DlSchedulingCommand) -> Result<u32> {
         self.guard.claim(enb, cmd.cell, cmd.target_tti)?;
         Ok(self.send(enb, FlexranMessage::DlSchedulingCommand(cmd)))
     }
 
-    /// The agent's freshest synced subframe, if it syncs.
-    pub fn synced_subframe(&self, enb: EnbId) -> Option<Tti> {
-        self.rib.agent(enb)?.synced_subframe()
+    /// Commands staged so far this slot (observability for tests).
+    pub fn n_staged(&self) -> usize {
+        self.outbox.len()
     }
 }
 
@@ -187,7 +232,7 @@ mod tests {
         fn priority(&self) -> Priority {
             self.1
         }
-        fn on_cycle(&mut self, _ctx: &mut AppContext<'_>) {}
+        fn on_cycle(&mut self, _rib: &RibView<'_>, _ctl: &mut ControlHandle<'_>) {}
     }
 
     #[test]
@@ -227,29 +272,39 @@ mod tests {
     }
 
     #[test]
-    fn context_stages_and_guards() {
-        let rib = Rib::new();
+    fn control_handle_stages_and_guards() {
         let mut outbox = Vec::new();
         let mut guard = ConflictGuard::new();
         let mut xid = 0;
-        let mut ctx = AppContext {
-            now: Tti(5),
-            rib: &rib,
-            outbox: &mut outbox,
-            guard: &mut guard,
-            xid: &mut xid,
-        };
+        let mut ctl = ControlHandle::new(&mut outbox, &mut guard, &mut xid);
         let cmd = DlSchedulingCommand {
             enb_id: EnbId(1),
             cell: 0,
             target_tti: 10,
             dcis: vec![],
         };
-        ctx.schedule_dl(EnbId(1), cmd.clone()).unwrap();
+        ctl.schedule_dl(EnbId(1), cmd.clone()).unwrap();
         assert!(
-            ctx.schedule_dl(EnbId(1), cmd).is_err(),
+            ctl.schedule_dl(EnbId(1), cmd).is_err(),
             "second app refused"
         );
+        assert_eq!(ctl.n_staged(), 1);
         assert_eq!(outbox.len(), 1);
+    }
+
+    #[test]
+    fn rib_view_reads_and_staleness() {
+        let mut rib = Rib::new();
+        rib.agent_mut(EnbId(1)).last_sync = Some((Tti(90), Tti(95)));
+        let view = RibView::new(Tti(100), &rib);
+        assert_eq!(view.now(), Tti(100));
+        assert_eq!(view.synced_subframe(EnbId(1)), Some(Tti(90)));
+        assert!(!view.is_stale(EnbId(1)));
+        assert!(!view.is_stale(EnbId(9)), "unknown agent is not 'stale'");
+        rib.agent_mut(EnbId(1)).mark_stale(Tti(120));
+        let view = RibView::new(Tti(121), &rib);
+        assert!(view.is_stale(EnbId(1)));
+        // The subtree survives the outage as a snapshot.
+        assert_eq!(view.synced_subframe(EnbId(1)), Some(Tti(90)));
     }
 }

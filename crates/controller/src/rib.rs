@@ -49,6 +49,11 @@ pub struct AgentNode {
     /// agent view is stale by the one-way control-channel delay — exactly
     /// the offset the schedule-ahead parameter must absorb (paper §5.3).
     pub last_sync: Option<(Tti, Tti)>,
+    /// Master time the agent's session was declared dead, if it currently
+    /// is. While set, the whole subtree is a pre-outage snapshot: it is
+    /// kept (the topology has not changed, and the rejoining agent will
+    /// refresh it) but readers must not treat it as live state.
+    pub stale_since: Option<Tti>,
     pub cells: BTreeMap<CellId, CellNode>,
 }
 
@@ -56,6 +61,21 @@ impl AgentNode {
     /// The newest subframe the master knows the agent has reached.
     pub fn synced_subframe(&self) -> Option<Tti> {
         self.last_sync.map(|(agent_tti, _)| agent_tti)
+    }
+
+    /// Start a staleness epoch (agent session declared dead). Keeps the
+    /// first epoch start if called repeatedly during one outage.
+    pub fn mark_stale(&mut self, now: Tti) {
+        self.stale_since.get_or_insert(now);
+    }
+
+    /// End the staleness epoch (agent session restored).
+    pub fn mark_fresh(&mut self) {
+        self.stale_since = None;
+    }
+
+    pub fn is_stale(&self) -> bool {
+        self.stale_since.is_some()
     }
 }
 
@@ -84,9 +104,19 @@ impl Rib {
         })
     }
 
-    /// Remove an agent (session loss).
+    /// Remove an agent (permanent departure). Transient session loss
+    /// should use [`AgentNode::mark_stale`] instead, which preserves the
+    /// subtree for the agent's return.
     pub fn remove_agent(&mut self, enb: EnbId) {
         self.agents.remove(&enb);
+    }
+
+    /// Agents whose sessions are currently down, with their epoch starts.
+    pub fn stale_agents(&self) -> Vec<(EnbId, Tti)> {
+        self.agents
+            .values()
+            .filter_map(|a| a.stale_since.map(|t| (a.enb_id, t)))
+            .collect()
     }
 
     pub fn agents(&self) -> impl Iterator<Item = &AgentNode> {
@@ -201,6 +231,27 @@ mod tests {
             cell.ues.insert(Rnti(0x100 + i), node);
         }
         assert!(rib.heap_bytes() > empty + 16 * 100);
+    }
+
+    #[test]
+    fn staleness_epoch_preserves_subtree() {
+        let mut rib = Rib::new();
+        {
+            let agent = rib.agent_mut(EnbId(1));
+            let cell = agent.cells.entry(CellId(0)).or_default();
+            cell.ues.insert(Rnti(0x100), UeNode::default());
+        }
+        assert!(rib.stale_agents().is_empty());
+        rib.agent_mut(EnbId(1)).mark_stale(Tti(500));
+        // Repeated marking keeps the original epoch start.
+        rib.agent_mut(EnbId(1)).mark_stale(Tti(900));
+        assert_eq!(rib.stale_agents(), vec![(EnbId(1), Tti(500))]);
+        assert!(rib.agent(EnbId(1)).unwrap().is_stale());
+        // The subtree is a snapshot, not deleted.
+        assert!(rib.ue(EnbId(1), CellId(0), Rnti(0x100)).is_some());
+        rib.agent_mut(EnbId(1)).mark_fresh();
+        assert!(!rib.agent(EnbId(1)).unwrap().is_stale());
+        assert!(rib.stale_agents().is_empty());
     }
 
     #[test]

@@ -117,9 +117,13 @@ impl RibUpdater {
                     | EventKind::HandoverExecuted => {
                         cell.ues.remove(&Rnti(n.rnti));
                     }
+                    // Liveness edges are synthesized master-side, not
+                    // received from agents; nothing to fold into the RIB.
                     EventKind::SchedulingRequest
                     | EventKind::MeasurementReport
-                    | EventKind::DecisionMissedDeadline => {}
+                    | EventKind::DecisionMissedDeadline
+                    | EventKind::AgentDown
+                    | EventKind::AgentUp => {}
                 }
                 Some(NotifiedEvent {
                     enb,

@@ -28,7 +28,9 @@ use flexran_controller::{MasterController, TaskManagerConfig};
 use flexran_phy::channel::{ChannelProcess, CqiSquareWave, FixedCqi, FixedSinr, GaussMarkovFading};
 use flexran_phy::link_adaptation::Cqi;
 use flexran_sim::clock::VirtualClock;
-use flexran_sim::link::{sim_link_pair, LinkConfig, SimTransport};
+use flexran_sim::link::{
+    sim_link_pair, sim_link_pair_with_faults, FaultHandle, LinkConfig, SimTransport,
+};
 use flexran_sim::radio::{PhyAdapter, RadioEnvironment, UeRadio};
 use flexran_sim::traffic::TrafficSource;
 use flexran_stack::enb::{Enb, EnbParams};
@@ -158,9 +160,37 @@ impl SimHarness {
         enb_params: EnbParams,
         links: Option<(LinkConfig, LinkConfig)>,
     ) -> EnbId {
+        self.add_enb_inner(config, agent_config, enb_params, links, None)
+    }
+
+    /// Like [`SimHarness::add_enb_with`], with a fault model steering the
+    /// control links (partitions, drops, bursts) — the outage experiments
+    /// script the handle while the simulation runs.
+    pub fn add_enb_with_faults(
+        &mut self,
+        config: EnbConfig,
+        agent_config: AgentConfig,
+        enb_params: EnbParams,
+        links: Option<(LinkConfig, LinkConfig)>,
+        faults: FaultHandle,
+    ) -> EnbId {
+        self.add_enb_inner(config, agent_config, enb_params, links, Some(faults))
+    }
+
+    fn add_enb_inner(
+        &mut self,
+        config: EnbConfig,
+        agent_config: AgentConfig,
+        enb_params: EnbParams,
+        links: Option<(LinkConfig, LinkConfig)>,
+        faults: Option<FaultHandle>,
+    ) -> EnbId {
         let enb_id = config.enb_id;
         let (up, down) = links.unwrap_or((self.config.uplink, self.config.downlink));
-        let (agent_side, master_side) = sim_link_pair(self.clock.clone(), up, down);
+        let (agent_side, master_side) = match faults {
+            Some(f) => sim_link_pair_with_faults(self.clock.clone(), up, down, f),
+            None => sim_link_pair(self.clock.clone(), up, down),
+        };
         let mut registry = VsfRegistry::with_builtins();
         flexran_apps::register_app_vsfs(&mut registry);
         let enb = Enb::new(config, enb_params).expect("valid eNodeB config");

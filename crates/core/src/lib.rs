@@ -36,6 +36,9 @@
 //! ```
 
 pub mod harness;
+pub mod platform;
+
+pub use platform::Platform;
 
 /// The FlexRAN agent.
 pub use flexran_agent as agent;
@@ -56,8 +59,12 @@ pub use flexran_types as types;
 
 /// Commonly needed names in one import.
 pub mod prelude {
-    pub use flexran_agent::{AgentConfig, FlexranAgent, PolicyDoc, VsfRegistry};
-    pub use flexran_controller::{App, AppContext, MasterController, TaskManagerConfig};
+    pub use flexran_agent::{
+        AgentConfig, FailoverState, FlexranAgent, LivenessConfig, PolicyDoc, VsfRegistry,
+    };
+    pub use flexran_controller::{
+        App, ControlHandle, MasterController, RibView, SessionLivenessStats, TaskManagerConfig,
+    };
     pub use flexran_phy::link_adaptation::{Cqi, Mcs};
     pub use flexran_proto::messages::FlexranMessage;
     pub use flexran_stack::enb::{Enb, EnbParams};

@@ -25,16 +25,19 @@ pub enum MessageCategory {
     Delegation,
     /// Asynchronous event notifications (agent → master).
     Events,
+    /// Session liveness probes: heartbeats and echo RTT measurements.
+    Liveness,
 }
 
 impl MessageCategory {
-    pub const ALL: [MessageCategory; 6] = [
+    pub const ALL: [MessageCategory; 7] = [
         MessageCategory::AgentManagement,
         MessageCategory::Sync,
         MessageCategory::StatsReporting,
         MessageCategory::Commands,
         MessageCategory::Delegation,
         MessageCategory::Events,
+        MessageCategory::Liveness,
     ];
 
     pub fn index(self) -> usize {
@@ -45,6 +48,7 @@ impl MessageCategory {
             MessageCategory::Commands => 3,
             MessageCategory::Delegation => 4,
             MessageCategory::Events => 5,
+            MessageCategory::Liveness => 6,
         }
     }
 }
@@ -58,6 +62,7 @@ impl fmt::Display for MessageCategory {
             MessageCategory::Commands => "master-commands",
             MessageCategory::Delegation => "control-delegation",
             MessageCategory::Events => "event-notifications",
+            MessageCategory::Liveness => "liveness",
         };
         f.write_str(s)
     }
@@ -66,8 +71,8 @@ impl fmt::Display for MessageCategory {
 /// Per-category byte and message counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ByteCounters {
-    bytes: [u64; 6],
-    messages: [u64; 6],
+    bytes: [u64; 7],
+    messages: [u64; 7],
 }
 
 impl ByteCounters {
@@ -101,10 +106,19 @@ impl ByteCounters {
         self.bytes(cat) as f64 * 8.0 / window_ms as f64 / 1000.0
     }
 
+    /// Fold another counter set into this one. Used by reconnecting
+    /// transports to carry Fig. 7 accounting across connection epochs.
+    pub fn merge(&mut self, other: &ByteCounters) {
+        for i in 0..7 {
+            self.bytes[i] += other.bytes[i];
+            self.messages[i] += other.messages[i];
+        }
+    }
+
     /// Counters accumulated since `earlier` (for windowed measurements).
     pub fn since(&self, earlier: &ByteCounters) -> ByteCounters {
         let mut out = ByteCounters::default();
-        for i in 0..6 {
+        for i in 0..7 {
             out.bytes[i] = self.bytes[i] - earlier.bytes[i];
             out.messages[i] = self.messages[i] - earlier.messages[i];
         }
@@ -137,6 +151,19 @@ mod tests {
     }
 
     #[test]
+    fn merge_accumulates_across_epochs() {
+        let mut total = ByteCounters::new();
+        total.add(MessageCategory::Liveness, 30);
+        let mut epoch = ByteCounters::new();
+        epoch.add(MessageCategory::Liveness, 12);
+        epoch.add(MessageCategory::Sync, 20);
+        total.merge(&epoch);
+        assert_eq!(total.bytes(MessageCategory::Liveness), 42);
+        assert_eq!(total.messages(MessageCategory::Liveness), 2);
+        assert_eq!(total.bytes(MessageCategory::Sync), 20);
+    }
+
+    #[test]
     fn windowed_difference() {
         let mut c = ByteCounters::new();
         c.add(MessageCategory::Events, 10);
@@ -152,7 +179,7 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         for cat in MessageCategory::ALL {
             assert!(seen.insert(cat.index()));
-            assert!(cat.index() < 6);
+            assert!(cat.index() < 7);
         }
     }
 }

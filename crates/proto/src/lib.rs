@@ -30,4 +30,7 @@ pub use messages::{
     ReportConfig, ReportFlags, ReportType, StatsReply, StatsRequest, SubframeTrigger, UeReport,
     UlSchedulingCommand, VsfArtifact, VsfPush, PROTOCOL_VERSION,
 };
-pub use transport::{channel_pair, ChannelTransport, TcpTransport, Transport};
+pub use transport::{
+    channel_pair, BackoffConfig, ChannelTransport, ReconnectingTcpTransport, TcpTransport,
+    Transport,
+};

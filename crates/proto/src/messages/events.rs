@@ -62,6 +62,11 @@ pub enum EventKind {
     MeasurementReport,
     HandoverExecuted,
     DecisionMissedDeadline,
+    /// Synthesized by the master's liveness tracker when an agent session
+    /// stops responding; the agent's RIB subtree is marked stale.
+    AgentDown,
+    /// Synthesized when a lost agent session resumes (rejoin complete).
+    AgentUp,
 }
 
 impl EventKind {
@@ -75,6 +80,8 @@ impl EventKind {
             EventKind::MeasurementReport => 5,
             EventKind::HandoverExecuted => 6,
             EventKind::DecisionMissedDeadline => 7,
+            EventKind::AgentDown => 8,
+            EventKind::AgentUp => 9,
         }
     }
 
@@ -87,6 +94,8 @@ impl EventKind {
             5 => EventKind::MeasurementReport,
             6 => EventKind::HandoverExecuted,
             7 => EventKind::DecisionMissedDeadline,
+            8 => EventKind::AgentDown,
+            9 => EventKind::AgentUp,
             _ => EventKind::RachAttempt,
         }
     }

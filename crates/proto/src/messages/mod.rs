@@ -144,12 +144,46 @@ impl Echo {
     }
 }
 
+/// Heartbeat probe/acknowledgement payload. The agent sends a probe every
+/// `heartbeat_period` TTIs; the master acks with the same sequence number.
+/// Missed acks drive the agent's failover state machine, missed probes the
+/// master's per-session staleness marking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Heartbeat {
+    /// Monotonic per-session sequence number.
+    pub seq: u64,
+    /// Sender's current TTI when the probe/ack was emitted.
+    pub tti: u64,
+}
+
+impl Heartbeat {
+    fn encode(&self, w: &mut WireWriter) {
+        w.uint(1, self.seq);
+        w.uint(2, self.tti);
+    }
+
+    fn decode(data: &[u8]) -> Result<Heartbeat> {
+        let mut m = Heartbeat::default();
+        let mut r = WireReader::new(data);
+        while let Some((f, v)) = r.next_field()? {
+            match f {
+                1 => m.seq = v.as_u64()?,
+                2 => m.tti = v.as_u64()?,
+                _ => {}
+            }
+        }
+        Ok(m)
+    }
+}
+
 /// Every message the FlexRAN protocol can carry.
 #[derive(Debug, Clone, PartialEq)]
 pub enum FlexranMessage {
     Hello(Hello),
     EchoRequest(Echo),
     EchoReply(Echo),
+    Heartbeat(Heartbeat),
+    HeartbeatAck(Heartbeat),
     ConfigRequest(ConfigRequest),
     ConfigReply(ConfigReply),
     StatsRequest(StatsRequest),
@@ -187,6 +221,8 @@ const F_VSF_PUSH: u32 = 24;
 const F_POLICY: u32 = 25;
 const F_DELEG_ACK: u32 = 26;
 const F_SCELL: u32 = 27;
+const F_HEARTBEAT: u32 = 28;
+const F_HEARTBEAT_ACK: u32 = 29;
 
 impl FlexranMessage {
     /// Serialize with the given header. The result is protobuf-wire
@@ -198,6 +234,8 @@ impl FlexranMessage {
             FlexranMessage::Hello(b) => w.message(F_HELLO, |m| b.encode(m)),
             FlexranMessage::EchoRequest(b) => w.message(F_ECHO_REQ, |m| b.encode(m)),
             FlexranMessage::EchoReply(b) => w.message(F_ECHO_REP, |m| b.encode(m)),
+            FlexranMessage::Heartbeat(b) => w.message(F_HEARTBEAT, |m| b.encode(m)),
+            FlexranMessage::HeartbeatAck(b) => w.message(F_HEARTBEAT_ACK, |m| b.encode(m)),
             FlexranMessage::ConfigRequest(b) => w.message(F_CONFIG_REQ, |m| b.encode(m)),
             FlexranMessage::ConfigReply(b) => w.message(F_CONFIG_REP, |m| b.encode(m)),
             FlexranMessage::StatsRequest(b) => w.message(F_STATS_REQ, |m| b.encode(m)),
@@ -232,6 +270,14 @@ impl FlexranMessage {
                     body = Some(FlexranMessage::EchoRequest(Echo::decode(v.as_bytes()?)?))
                 }
                 F_ECHO_REP => body = Some(FlexranMessage::EchoReply(Echo::decode(v.as_bytes()?)?)),
+                F_HEARTBEAT => {
+                    body = Some(FlexranMessage::Heartbeat(Heartbeat::decode(v.as_bytes()?)?))
+                }
+                F_HEARTBEAT_ACK => {
+                    body = Some(FlexranMessage::HeartbeatAck(Heartbeat::decode(
+                        v.as_bytes()?,
+                    )?))
+                }
                 F_CONFIG_REQ => {
                     body = Some(FlexranMessage::ConfigRequest(ConfigRequest::decode(
                         v.as_bytes()?,
@@ -315,11 +361,13 @@ impl FlexranMessage {
     pub fn category(&self) -> MessageCategory {
         match self {
             FlexranMessage::Hello(_)
-            | FlexranMessage::EchoRequest(_)
-            | FlexranMessage::EchoReply(_)
             | FlexranMessage::ConfigRequest(_)
             | FlexranMessage::ConfigReply(_)
             | FlexranMessage::StatsRequest(_) => MessageCategory::AgentManagement,
+            FlexranMessage::EchoRequest(_)
+            | FlexranMessage::EchoReply(_)
+            | FlexranMessage::Heartbeat(_)
+            | FlexranMessage::HeartbeatAck(_) => MessageCategory::Liveness,
             FlexranMessage::SubframeTrigger(_) => MessageCategory::Sync,
             FlexranMessage::StatsReply(_) => MessageCategory::StatsReporting,
             FlexranMessage::EventNotification(_) => MessageCategory::Events,
@@ -341,6 +389,8 @@ impl FlexranMessage {
             FlexranMessage::Hello(_) => "hello",
             FlexranMessage::EchoRequest(_) => "echo-request",
             FlexranMessage::EchoReply(_) => "echo-reply",
+            FlexranMessage::Heartbeat(_) => "heartbeat",
+            FlexranMessage::HeartbeatAck(_) => "heartbeat-ack",
             FlexranMessage::ConfigRequest(_) => "config-request",
             FlexranMessage::ConfigReply(_) => "config-reply",
             FlexranMessage::StatsRequest(_) => "stats-request",
@@ -468,9 +518,30 @@ mod tests {
                 C::Commands,
             ),
             (FlexranMessage::VsfPush(VsfPush::default()), C::Delegation),
+            (FlexranMessage::Heartbeat(Heartbeat::default()), C::Liveness),
+            (
+                FlexranMessage::HeartbeatAck(Heartbeat::default()),
+                C::Liveness,
+            ),
+            (FlexranMessage::EchoRequest(Echo::default()), C::Liveness),
         ];
         for (msg, cat) in samples {
             assert_eq!(msg.category(), cat, "{}", msg.kind());
         }
+    }
+
+    #[test]
+    fn heartbeat_roundtrip_and_size() {
+        let msg = FlexranMessage::Heartbeat(Heartbeat { seq: 42, tti: 9001 });
+        let bytes = msg.encode(Header::with_xid(7));
+        let (h, got) = FlexranMessage::decode(&bytes).unwrap();
+        assert_eq!(h.xid, 7);
+        assert_eq!(got, msg);
+        // Liveness probes ride the control channel every heartbeat period;
+        // they must stay tiny so Fig. 7's overhead accounting is honest.
+        assert!(bytes.len() <= 24, "heartbeat is {} bytes", bytes.len());
+        let ack = FlexranMessage::HeartbeatAck(Heartbeat { seq: 42, tti: 9001 });
+        let (_, got) = FlexranMessage::decode(&ack.encode(Header::with_xid(8))).unwrap();
+        assert_eq!(got, ack);
     }
 }

@@ -9,6 +9,11 @@
 //! * [`TcpTransport`] — real sockets (`std::net`), non-blocking reads,
 //!   length-delimited frames. Used by the deployment-mode examples and
 //!   integration tests.
+//! * [`ReconnectingTcpTransport`] — wraps [`TcpTransport`] with automatic
+//!   redial on connection loss (exponential backoff with deterministic
+//!   jitter). A dead connection surfaces as *silence*, not as a transport
+//!   error, so the owning agent keeps cycling under local control while
+//!   the session heals.
 //! * [`channel_pair`] — in-process queues (for unit tests and same-process
 //!   deployments with no emulated latency).
 //! * `flexran-sim`'s virtual-time link — deterministic latency/jitter
@@ -228,6 +233,202 @@ impl Transport for TcpTransport {
     }
 }
 
+// ----------------------------------------------------------------------
+// Reconnecting TCP transport
+// ----------------------------------------------------------------------
+
+/// Reconnect backoff schedule: exponential growth from `initial_ms` to
+/// `max_ms`, with a deterministic ±`jitter_frac` spread so a fleet of
+/// agents redialling a restarted master does not stampede in lockstep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BackoffConfig {
+    /// Delay before the first redial attempt (milliseconds).
+    pub initial_ms: u64,
+    /// Ceiling on the delay between attempts (milliseconds).
+    pub max_ms: u64,
+    /// Growth factor applied after each failed attempt.
+    pub multiplier: f64,
+    /// Jitter as a fraction of the delay (0.2 → delay × [0.8, 1.2)).
+    pub jitter_frac: f64,
+    /// Seed for the jitter stream — same seed, same schedule.
+    pub seed: u64,
+}
+
+impl Default for BackoffConfig {
+    fn default() -> Self {
+        BackoffConfig {
+            initial_ms: 50,
+            max_ms: 5_000,
+            multiplier: 2.0,
+            jitter_frac: 0.2,
+            seed: 1,
+        }
+    }
+}
+
+/// A [`TcpTransport`] that redials on connection loss.
+///
+/// Any socket-level failure (refused connect, peer close, reset) drops
+/// the current connection, folds its byte counters into the lifetime
+/// totals, and schedules a reconnect per [`BackoffConfig`]. While
+/// disconnected, [`Transport::try_recv`] returns `Ok(None)` and
+/// [`Transport::send`] returns a transport error — the caller's liveness
+/// machinery (not the transport) decides what the outage means.
+pub struct ReconnectingTcpTransport {
+    addr: String,
+    backoff: BackoffConfig,
+    inner: Option<TcpTransport>,
+    /// Counters from connections that have already died.
+    closed_tx: ByteCounters,
+    closed_rx: ByteCounters,
+    delay_ms: u64,
+    next_attempt: std::time::Instant,
+    reconnects: u64,
+    ever_connected: bool,
+    rng: u64,
+}
+
+impl ReconnectingTcpTransport {
+    /// Create the endpoint and attempt an immediate first connect. A
+    /// refused first dial is not an error — the transport starts in the
+    /// disconnected state and retries on the backoff schedule.
+    pub fn connect(addr: impl Into<String>, backoff: BackoffConfig) -> Self {
+        let mut t = ReconnectingTcpTransport {
+            addr: addr.into(),
+            backoff,
+            inner: None,
+            closed_tx: ByteCounters::new(),
+            closed_rx: ByteCounters::new(),
+            delay_ms: backoff.initial_ms,
+            next_attempt: std::time::Instant::now(),
+            reconnects: 0,
+            ever_connected: false,
+            rng: backoff.seed.max(1),
+        };
+        t.try_reconnect();
+        t
+    }
+
+    /// Whether a live connection currently exists.
+    pub fn is_connected(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Successful redials after the initial connect.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    /// The delay the next failed attempt would schedule (milliseconds).
+    pub fn current_backoff_ms(&self) -> u64 {
+        self.delay_ms
+    }
+
+    fn next_jitter(&mut self) -> f64 {
+        // xorshift64 — proto carries no RNG dependency, and the jitter
+        // stream must be reproducible from the seed.
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        (x >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn drop_connection(&mut self) {
+        if let Some(inner) = self.inner.take() {
+            self.closed_tx.merge(&inner.tx_counters());
+            self.closed_rx.merge(&inner.rx_counters());
+        }
+        self.schedule_retry();
+    }
+
+    fn schedule_retry(&mut self) {
+        let jitter = 1.0 + self.backoff.jitter_frac * (2.0 * self.next_jitter() - 1.0);
+        let wait_ms = (self.delay_ms as f64 * jitter).max(0.0) as u64;
+        self.next_attempt = std::time::Instant::now() + std::time::Duration::from_millis(wait_ms);
+        self.delay_ms = ((self.delay_ms as f64 * self.backoff.multiplier) as u64)
+            .clamp(self.backoff.initial_ms.max(1), self.backoff.max_ms.max(1));
+    }
+
+    /// Attempt a redial if disconnected and the backoff window has
+    /// elapsed. Returns whether a connection now exists.
+    fn try_reconnect(&mut self) -> bool {
+        if self.inner.is_some() {
+            return true;
+        }
+        if std::time::Instant::now() < self.next_attempt {
+            return false;
+        }
+        match TcpTransport::connect(&self.addr) {
+            Ok(t) => {
+                self.inner = Some(t);
+                self.delay_ms = self.backoff.initial_ms;
+                if self.ever_connected {
+                    self.reconnects += 1;
+                }
+                self.ever_connected = true;
+                true
+            }
+            Err(_) => {
+                self.schedule_retry();
+                false
+            }
+        }
+    }
+}
+
+impl Transport for ReconnectingTcpTransport {
+    fn send(&mut self, header: Header, msg: &FlexranMessage) -> Result<()> {
+        if !self.try_reconnect() {
+            return Err(FlexError::Transport(format!(
+                "disconnected from {} (redialling)",
+                self.addr
+            )));
+        }
+        let inner = self.inner.as_mut().expect("connected");
+        match inner.send(header, msg) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.drop_connection();
+                Err(e)
+            }
+        }
+    }
+
+    fn try_recv(&mut self) -> Result<Option<(Header, FlexranMessage)>> {
+        if !self.try_reconnect() {
+            return Ok(None);
+        }
+        let inner = self.inner.as_mut().expect("connected");
+        match inner.try_recv() {
+            Ok(m) => Ok(m),
+            Err(_) => {
+                // Peer close / reset: become silent and redial, rather
+                // than surfacing a fatal error to the polling loop.
+                self.drop_connection();
+                Ok(None)
+            }
+        }
+    }
+
+    fn tx_counters(&self) -> ByteCounters {
+        let mut total = self.closed_tx;
+        if let Some(inner) = &self.inner {
+            total.merge(&inner.tx_counters());
+        }
+        total
+    }
+
+    fn rx_counters(&self) -> ByteCounters {
+        let mut total = self.closed_rx;
+        if let Some(inner) = &self.inner {
+            total.merge(&inner.rx_counters());
+        }
+        total
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -311,6 +512,147 @@ mod tests {
         assert_eq!(echoed[1], big);
         assert_eq!(server.join().unwrap(), vec!["hello", "echo-request"]);
         assert!(c.tx_counters().total_bytes() > 100_000);
+    }
+
+    fn fast_backoff() -> BackoffConfig {
+        BackoffConfig {
+            initial_ms: 1,
+            max_ms: 10,
+            multiplier: 2.0,
+            jitter_frac: 0.2,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn reconnecting_transport_survives_master_restart() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+
+        let mut c = ReconnectingTcpTransport::connect(addr.to_string(), fast_backoff());
+        assert!(c.is_connected());
+        assert_eq!(c.reconnects(), 0);
+
+        // First master incarnation: echo one message, then die.
+        let (stream, _) = listener.accept().unwrap();
+        let mut server = TcpTransport::from_stream(stream).unwrap();
+        c.send(Header::with_xid(1), &hello(1)).unwrap();
+        loop {
+            if let Some((h, m)) = server.try_recv().unwrap() {
+                server.send(h, &m).unwrap();
+                break;
+            }
+            std::thread::yield_now();
+        }
+        let echoed = loop {
+            if let Some((_, m)) = c.try_recv().unwrap() {
+                break m;
+            }
+            std::thread::yield_now();
+        };
+        assert_eq!(echoed, hello(1));
+        let bytes_before_crash = c.tx_counters().total_bytes();
+        drop(server);
+        drop(listener);
+
+        // The outage is silence, not an error; sends fail softly.
+        let dead = std::time::Instant::now();
+        while c.is_connected() {
+            assert!(c.try_recv().unwrap().is_none());
+            assert!(dead.elapsed() < std::time::Duration::from_secs(5));
+        }
+        assert!(c.send(Header::default(), &hello(2)).is_err());
+
+        // Master restarts on the same port (retry the bind: the OS may
+        // not release it instantly).
+        let listener = loop {
+            match std::net::TcpListener::bind(addr) {
+                Ok(l) => break l,
+                Err(_) => std::thread::sleep(std::time::Duration::from_millis(5)),
+            }
+        };
+        let redialled = std::time::Instant::now();
+        loop {
+            let _ = c.try_recv().unwrap(); // drives the redial
+            if c.is_connected() {
+                break;
+            }
+            assert!(
+                redialled.elapsed() < std::time::Duration::from_secs(10),
+                "redial never succeeded"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(c.reconnects(), 1);
+        let (stream, _) = listener.accept().unwrap();
+        let mut server = TcpTransport::from_stream(stream).unwrap();
+
+        // Traffic flows again and lifetime counters span both epochs.
+        c.send(Header::with_xid(2), &hello(3)).unwrap();
+        let got = loop {
+            if let Some((_, m)) = server.try_recv().unwrap() {
+                break m;
+            }
+            std::thread::yield_now();
+        };
+        assert_eq!(got, hello(3));
+        assert!(c.tx_counters().total_bytes() > bytes_before_crash);
+        assert_eq!(
+            c.tx_counters().messages(MessageCategory::AgentManagement),
+            2,
+            "counters accumulate across connection epochs"
+        );
+    }
+
+    #[test]
+    fn backoff_schedule_grows_and_caps() {
+        // Nothing listens on a reserved-then-closed port: every dial fails.
+        let addr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let mut c = ReconnectingTcpTransport::connect(
+            addr.to_string(),
+            BackoffConfig {
+                initial_ms: 4,
+                max_ms: 32,
+                multiplier: 2.0,
+                jitter_frac: 0.0,
+                seed: 1,
+            },
+        );
+        assert!(!c.is_connected());
+        // The failed initial dial already doubled the delay once.
+        let mut seen = vec![c.current_backoff_ms()];
+        for _ in 0..5 {
+            // Force the next attempt immediately regardless of wall clock.
+            c.next_attempt = std::time::Instant::now();
+            let _ = c.try_recv().unwrap();
+            seen.push(c.current_backoff_ms());
+        }
+        assert_eq!(seen, vec![8, 16, 32, 32, 32, 32], "doubles then caps");
+    }
+
+    #[test]
+    fn jitter_stream_is_deterministic() {
+        let mk = || ReconnectingTcpTransport {
+            addr: "127.0.0.1:1".into(),
+            backoff: BackoffConfig::default(),
+            inner: None,
+            closed_tx: ByteCounters::new(),
+            closed_rx: ByteCounters::new(),
+            delay_ms: 50,
+            next_attempt: std::time::Instant::now(),
+            reconnects: 0,
+            ever_connected: false,
+            rng: 42,
+        };
+        let (mut a, mut b) = (mk(), mk());
+        for _ in 0..100 {
+            let (ja, jb) = (a.next_jitter(), b.next_jitter());
+            assert_eq!(ja, jb);
+            assert!((0.0..1.0).contains(&ja));
+        }
     }
 
     #[test]

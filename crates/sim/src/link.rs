@@ -26,6 +26,152 @@ use flexran_types::{FlexError, Result};
 
 use crate::clock::VirtualClock;
 
+/// Probabilistic fault model applied on top of a link's base
+/// characteristics. All draws come from the fault handle's own seeded
+/// RNG, so failure runs are exactly replayable.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FaultConfig {
+    /// Independent per-message hard-drop probability. Unlike
+    /// [`LinkConfig::loss`] (modeled as a TCP retransmit delay), a fault
+    /// drop makes the message disappear — the silence a liveness tracker
+    /// must detect.
+    pub drop_prob: f64,
+    /// Gilbert-Elliott burst loss: probability of entering the bad state
+    /// (per message) and of leaving it again. While in the bad state,
+    /// every message is dropped.
+    pub burst: Option<BurstLoss>,
+    /// Probability of a jitter spike on a delivered message.
+    pub jitter_spike_prob: f64,
+    /// Extra one-way delay (ms) added by a jitter spike.
+    pub jitter_spike_ms: u64,
+}
+
+/// Two-state (good/bad) burst-loss Markov chain parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct BurstLoss {
+    /// Per-message probability of the chain flipping good → bad.
+    pub enter_prob: f64,
+    /// Per-message probability of the chain flipping bad → good.
+    pub exit_prob: f64,
+}
+
+#[derive(Debug)]
+struct FaultState {
+    config: FaultConfig,
+    /// Scripted partition windows `[from, until)` in virtual time.
+    partitions: Vec<(Tti, Tti)>,
+    /// Manual partition toggle (for open-ended outages).
+    manual_partition: bool,
+    in_burst: bool,
+    rng: StdRng,
+    dropped: u64,
+    delivered: u64,
+}
+
+/// Verdict of the fault model for one message.
+enum FaultVerdict {
+    Deliver { extra_delay_ms: u64 },
+    Drop,
+}
+
+impl FaultState {
+    fn judge(&mut self, now: Tti) -> FaultVerdict {
+        if self.manual_partition
+            || self
+                .partitions
+                .iter()
+                .any(|(from, until)| *from <= now && now < *until)
+        {
+            self.dropped += 1;
+            return FaultVerdict::Drop;
+        }
+        if let Some(burst) = self.config.burst {
+            let flip = if self.in_burst {
+                burst.exit_prob
+            } else {
+                burst.enter_prob
+            };
+            if self.rng.random::<f64>() < flip {
+                self.in_burst = !self.in_burst;
+            }
+            if self.in_burst {
+                self.dropped += 1;
+                return FaultVerdict::Drop;
+            }
+        }
+        if self.config.drop_prob > 0.0 && self.rng.random::<f64>() < self.config.drop_prob {
+            self.dropped += 1;
+            return FaultVerdict::Drop;
+        }
+        let extra_delay_ms = if self.config.jitter_spike_prob > 0.0
+            && self.rng.random::<f64>() < self.config.jitter_spike_prob
+        {
+            self.config.jitter_spike_ms
+        } else {
+            0
+        };
+        self.delivered += 1;
+        FaultVerdict::Deliver { extra_delay_ms }
+    }
+}
+
+/// Shared, cloneable handle steering a link's fault model. Both
+/// directions of a link pair consult the same handle, so a partition
+/// silences the channel symmetrically — the failure mode of paper-style
+/// master outages.
+#[derive(Debug, Clone)]
+pub struct FaultHandle(Arc<Mutex<FaultState>>);
+
+impl FaultHandle {
+    pub fn new(seed: u64) -> Self {
+        FaultHandle(Arc::new(Mutex::new(FaultState {
+            config: FaultConfig::default(),
+            partitions: Vec::new(),
+            manual_partition: false,
+            in_burst: false,
+            rng: StdRng::seed_from_u64(seed ^ 0xFA_17),
+            dropped: 0,
+            delivered: 0,
+        })))
+    }
+
+    /// Replace the probabilistic fault parameters.
+    pub fn set_config(&self, config: FaultConfig) {
+        self.0.lock().config = config;
+    }
+
+    /// Script a partition window `[from, until)`: every message pushed in
+    /// that window, in either direction, is silently dropped.
+    pub fn partition_between(&self, from: Tti, until: Tti) {
+        self.0.lock().partitions.push((from, until));
+    }
+
+    /// Toggle an open-ended manual partition.
+    pub fn set_partitioned(&self, on: bool) {
+        self.0.lock().manual_partition = on;
+    }
+
+    /// Whether the link drops everything at `now`.
+    pub fn is_partitioned(&self, now: Tti) -> bool {
+        let st = self.0.lock();
+        st.manual_partition
+            || st
+                .partitions
+                .iter()
+                .any(|(from, until)| *from <= now && now < *until)
+    }
+
+    /// Messages swallowed by the fault model so far.
+    pub fn dropped(&self) -> u64 {
+        self.0.lock().dropped
+    }
+
+    /// Messages that passed the fault model so far.
+    pub fn delivered(&self) -> u64 {
+        self.0.lock().delivered
+    }
+}
+
 /// One direction's channel characteristics.
 #[derive(Debug, Clone, Copy)]
 pub struct LinkConfig {
@@ -83,6 +229,8 @@ struct Direction {
     /// Last scheduled arrival (FIFO enforcement under jitter).
     last_arrival: Tti,
     rng: StdRng,
+    /// Optional shared fault model (drops, bursts, partitions, spikes).
+    faults: Option<FaultHandle>,
 }
 
 impl Direction {
@@ -93,10 +241,18 @@ impl Direction {
             next_free: Tti::ZERO,
             last_arrival: Tti::ZERO,
             rng: StdRng::seed_from_u64(config.seed),
+            faults: None,
         }
     }
 
     fn push(&mut self, now: Tti, payload: Vec<u8>) {
+        let fault_delay_ms = match &self.faults {
+            Some(handle) => match handle.0.lock().judge(now) {
+                FaultVerdict::Drop => return,
+                FaultVerdict::Deliver { extra_delay_ms } => extra_delay_ms,
+            },
+            None => 0,
+        };
         let bytes = payload.len() as u64 + FRAME_OVERHEAD_BYTES;
         // Serialization delay under a rate limit.
         let start = now.max(self.next_free);
@@ -118,7 +274,8 @@ impl Direction {
         } else {
             0
         };
-        let mut arrival = self.next_free + self.config.latency_ms + jitter + loss_penalty;
+        let mut arrival =
+            self.next_free + self.config.latency_ms + jitter + loss_penalty + fault_delay_ms;
         if arrival < self.last_arrival {
             arrival = self.last_arrival; // FIFO: never overtake
         }
@@ -158,8 +315,33 @@ pub fn sim_link_pair(
     a_to_b: LinkConfig,
     b_to_a: LinkConfig,
 ) -> (SimTransport, SimTransport) {
-    let ab = Arc::new(Mutex::new(Direction::new(a_to_b)));
-    let ba = Arc::new(Mutex::new(Direction::new(b_to_a)));
+    sim_link_pair_inner(clock, a_to_b, b_to_a, None)
+}
+
+/// Like [`sim_link_pair`], with a shared fault model steering both
+/// directions (partitions, probabilistic drops, burst loss, jitter
+/// spikes).
+pub fn sim_link_pair_with_faults(
+    clock: Arc<VirtualClock>,
+    a_to_b: LinkConfig,
+    b_to_a: LinkConfig,
+    faults: FaultHandle,
+) -> (SimTransport, SimTransport) {
+    sim_link_pair_inner(clock, a_to_b, b_to_a, Some(faults))
+}
+
+fn sim_link_pair_inner(
+    clock: Arc<VirtualClock>,
+    a_to_b: LinkConfig,
+    b_to_a: LinkConfig,
+    faults: Option<FaultHandle>,
+) -> (SimTransport, SimTransport) {
+    let mut dir_ab = Direction::new(a_to_b);
+    dir_ab.faults = faults.clone();
+    let mut dir_ba = Direction::new(b_to_a);
+    dir_ba.faults = faults;
+    let ab = Arc::new(Mutex::new(dir_ab));
+    let ba = Arc::new(Mutex::new(dir_ba));
     (
         SimTransport {
             clock: clock.clone(),
@@ -334,6 +516,143 @@ mod tests {
         b.send(Header::default(), &msg(2)).unwrap();
         // b→a is ideal even though a→b is slow.
         assert!(a.try_recv().unwrap().is_some());
+    }
+
+    #[test]
+    fn partition_window_silences_both_directions() {
+        let clock = clocked();
+        let faults = FaultHandle::new(1);
+        faults.partition_between(Tti(10), Tti(20));
+        let (mut a, mut b) = sim_link_pair_with_faults(
+            clock.clone(),
+            LinkConfig::ideal(),
+            LinkConfig::ideal(),
+            faults.clone(),
+        );
+        // Before the window: delivery works.
+        a.send(Header::default(), &msg(1)).unwrap();
+        assert!(b.try_recv().unwrap().is_some());
+        // Inside the window: both directions black-hole.
+        clock.advance_to(Tti(15));
+        assert!(faults.is_partitioned(Tti(15)));
+        a.send(Header::default(), &msg(2)).unwrap();
+        b.send(Header::default(), &msg(3)).unwrap();
+        clock.advance_to(Tti(19));
+        assert!(b.try_recv().unwrap().is_none());
+        assert!(a.try_recv().unwrap().is_none());
+        assert_eq!(faults.dropped(), 2);
+        // After the window: healed.
+        clock.advance_to(Tti(20));
+        assert!(!faults.is_partitioned(Tti(20)));
+        a.send(Header::default(), &msg(4)).unwrap();
+        let (_, m) = b.try_recv().unwrap().unwrap();
+        assert_eq!(m, msg(4));
+    }
+
+    #[test]
+    fn manual_partition_toggles() {
+        let clock = clocked();
+        let faults = FaultHandle::new(2);
+        let (mut a, mut b) = sim_link_pair_with_faults(
+            clock.clone(),
+            LinkConfig::ideal(),
+            LinkConfig::ideal(),
+            faults.clone(),
+        );
+        faults.set_partitioned(true);
+        a.send(Header::default(), &msg(1)).unwrap();
+        assert!(b.try_recv().unwrap().is_none());
+        faults.set_partitioned(false);
+        a.send(Header::default(), &msg(2)).unwrap();
+        assert!(b.try_recv().unwrap().is_some());
+    }
+
+    #[test]
+    fn probabilistic_drops_are_deterministic_per_seed() {
+        let run = |seed: u64| -> (u64, u64) {
+            let clock = clocked();
+            let faults = FaultHandle::new(seed);
+            faults.set_config(FaultConfig {
+                drop_prob: 0.4,
+                ..FaultConfig::default()
+            });
+            let (mut a, mut b) = sim_link_pair_with_faults(
+                clock.clone(),
+                LinkConfig::ideal(),
+                LinkConfig::ideal(),
+                faults.clone(),
+            );
+            let mut received = 0;
+            for i in 0..200u32 {
+                a.send(Header::with_xid(i), &msg(i)).unwrap();
+                if b.try_recv().unwrap().is_some() {
+                    received += 1;
+                }
+            }
+            (received, faults.dropped())
+        };
+        let (recv_a, drop_a) = run(77);
+        let (recv_b, drop_b) = run(77);
+        assert_eq!((recv_a, drop_a), (recv_b, drop_b), "replay must match");
+        assert_eq!(recv_a + drop_a, 200);
+        assert!(drop_a > 40 && drop_a < 140, "drop count {drop_a}");
+        let (recv_c, _) = run(78);
+        assert_ne!(recv_a, recv_c, "different seeds diverge");
+    }
+
+    #[test]
+    fn burst_loss_drops_runs_of_messages() {
+        let clock = clocked();
+        let faults = FaultHandle::new(5);
+        faults.set_config(FaultConfig {
+            burst: Some(BurstLoss {
+                enter_prob: 0.05,
+                exit_prob: 0.2,
+            }),
+            ..FaultConfig::default()
+        });
+        let (mut a, mut b) = sim_link_pair_with_faults(
+            clock.clone(),
+            LinkConfig::ideal(),
+            LinkConfig::ideal(),
+            faults.clone(),
+        );
+        // Track the longest run of consecutive losses; bursts make runs.
+        let mut longest_run = 0;
+        let mut run = 0;
+        for i in 0..500u32 {
+            a.send(Header::with_xid(i), &msg(i)).unwrap();
+            if b.try_recv().unwrap().is_none() {
+                run += 1;
+                longest_run = longest_run.max(run);
+            } else {
+                run = 0;
+            }
+        }
+        assert!(faults.dropped() > 0, "some loss expected");
+        assert!(longest_run >= 2, "burst model should produce loss runs");
+    }
+
+    #[test]
+    fn jitter_spikes_delay_but_deliver() {
+        let clock = clocked();
+        let faults = FaultHandle::new(9);
+        faults.set_config(FaultConfig {
+            jitter_spike_prob: 1.0,
+            jitter_spike_ms: 25,
+            ..FaultConfig::default()
+        });
+        let (mut a, mut b) = sim_link_pair_with_faults(
+            clock.clone(),
+            LinkConfig::with_one_way_ms(5),
+            LinkConfig::ideal(),
+            faults,
+        );
+        a.send(Header::default(), &msg(1)).unwrap();
+        clock.advance_to(Tti(29));
+        assert!(b.try_recv().unwrap().is_none(), "spike defers delivery");
+        clock.advance_to(Tti(30));
+        assert!(b.try_recv().unwrap().is_some());
     }
 
     #[test]

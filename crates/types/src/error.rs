@@ -3,15 +3,19 @@
 use std::fmt;
 
 /// Convenience alias used across the workspace.
-pub type Result<T> = std::result::Result<T, FlexError>;
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Historical name of [`Error`], kept so call sites can use either.
+pub type FlexError = Error;
 
 /// Errors surfaced by the FlexRAN platform.
 ///
 /// The platform spans a codec, two transports, a data-plane simulator and a
-/// controller; a single error enum keeps `?` usable across crate boundaries
-/// without a proliferation of conversion impls.
+/// controller; a single structured enum keeps `?` usable across crate
+/// boundaries without a proliferation of conversion impls, and lets
+/// resilience code branch on [`Error::kind`] instead of matching strings.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub enum FlexError {
+pub enum Error {
     /// A protocol message could not be encoded or decoded.
     Codec(String),
     /// A transport-level failure (connection lost, framing violation, ...).
@@ -31,46 +35,122 @@ pub enum FlexError {
     Io(String),
     /// An operation arrived too late to meet its real-time deadline.
     Deadline(String),
+    /// A control-plane liveness failure: missed heartbeats, a session
+    /// declared dead, or an operation refused because the peer is not in
+    /// a connected state.
+    Liveness(String),
 }
 
-impl FlexError {
+/// Discriminant-only view of [`Error`], for `match`ing on failure class
+/// without caring about the message (e.g. failover code reacting to
+/// `Transport`/`Liveness` but propagating everything else).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorKind {
+    Codec,
+    Transport,
+    NotFound,
+    InvalidConfig,
+    Delegation,
+    Policy,
+    Conflict,
+    Io,
+    Deadline,
+    Liveness,
+}
+
+impl Error {
+    /// The failure class, independent of the message.
+    pub fn kind(&self) -> ErrorKind {
+        match self {
+            Error::Codec(_) => ErrorKind::Codec,
+            Error::Transport(_) => ErrorKind::Transport,
+            Error::NotFound(_) => ErrorKind::NotFound,
+            Error::InvalidConfig(_) => ErrorKind::InvalidConfig,
+            Error::Delegation(_) => ErrorKind::Delegation,
+            Error::Policy(_) => ErrorKind::Policy,
+            Error::Conflict(_) => ErrorKind::Conflict,
+            Error::Io(_) => ErrorKind::Io,
+            Error::Deadline(_) => ErrorKind::Deadline,
+            Error::Liveness(_) => ErrorKind::Liveness,
+        }
+    }
+
     /// Short machine-readable category name (used in logs and counters).
     pub fn category(&self) -> &'static str {
+        self.kind().as_str()
+    }
+
+    /// The human-readable message carried by the error.
+    pub fn message(&self) -> &str {
         match self {
-            FlexError::Codec(_) => "codec",
-            FlexError::Transport(_) => "transport",
-            FlexError::NotFound(_) => "not-found",
-            FlexError::InvalidConfig(_) => "invalid-config",
-            FlexError::Delegation(_) => "delegation",
-            FlexError::Policy(_) => "policy",
-            FlexError::Conflict(_) => "conflict",
-            FlexError::Io(_) => "io",
-            FlexError::Deadline(_) => "deadline",
+            Error::Codec(m)
+            | Error::Transport(m)
+            | Error::NotFound(m)
+            | Error::InvalidConfig(m)
+            | Error::Delegation(m)
+            | Error::Policy(m)
+            | Error::Conflict(m)
+            | Error::Io(m)
+            | Error::Deadline(m)
+            | Error::Liveness(m) => m,
+        }
+    }
+
+    /// Whether the failure concerns the control channel itself (transport
+    /// I/O or liveness) — the class a failover state machine reacts to.
+    pub fn is_connectivity(&self) -> bool {
+        matches!(
+            self.kind(),
+            ErrorKind::Transport | ErrorKind::Io | ErrorKind::Liveness
+        )
+    }
+}
+
+impl ErrorKind {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorKind::Codec => "codec",
+            ErrorKind::Transport => "transport",
+            ErrorKind::NotFound => "not-found",
+            ErrorKind::InvalidConfig => "invalid-config",
+            ErrorKind::Delegation => "delegation",
+            ErrorKind::Policy => "policy",
+            ErrorKind::Conflict => "conflict",
+            ErrorKind::Io => "io",
+            ErrorKind::Deadline => "deadline",
+            ErrorKind::Liveness => "liveness",
         }
     }
 }
 
-impl fmt::Display for FlexError {
+impl fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            FlexError::Codec(m) => write!(f, "codec error: {m}"),
-            FlexError::Transport(m) => write!(f, "transport error: {m}"),
-            FlexError::NotFound(m) => write!(f, "not found: {m}"),
-            FlexError::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
-            FlexError::Delegation(m) => write!(f, "control delegation error: {m}"),
-            FlexError::Policy(m) => write!(f, "policy reconfiguration error: {m}"),
-            FlexError::Conflict(m) => write!(f, "control conflict: {m}"),
-            FlexError::Io(m) => write!(f, "i/o error: {m}"),
-            FlexError::Deadline(m) => write!(f, "deadline missed: {m}"),
+            Error::Codec(m) => write!(f, "codec error: {m}"),
+            Error::Transport(m) => write!(f, "transport error: {m}"),
+            Error::NotFound(m) => write!(f, "not found: {m}"),
+            Error::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
+            Error::Delegation(m) => write!(f, "control delegation error: {m}"),
+            Error::Policy(m) => write!(f, "policy reconfiguration error: {m}"),
+            Error::Conflict(m) => write!(f, "control conflict: {m}"),
+            Error::Io(m) => write!(f, "i/o error: {m}"),
+            Error::Deadline(m) => write!(f, "deadline missed: {m}"),
+            Error::Liveness(m) => write!(f, "liveness failure: {m}"),
         }
     }
 }
 
-impl std::error::Error for FlexError {}
+impl std::error::Error for Error {}
 
-impl From<std::io::Error> for FlexError {
+impl From<std::io::Error> for Error {
     fn from(e: std::io::Error) -> Self {
-        FlexError::Io(e.to_string())
+        Error::Io(e.to_string())
     }
 }
 
@@ -83,6 +163,7 @@ mod tests {
         let e = FlexError::NotFound("ue7".into());
         assert_eq!(e.to_string(), "not found: ue7");
         assert_eq!(e.category(), "not-found");
+        assert_eq!(e.message(), "ue7");
     }
 
     #[test]
@@ -91,19 +172,36 @@ mod tests {
         let e: FlexError = io.into();
         assert_eq!(e.category(), "io");
         assert!(e.to_string().contains("pipe"));
+        assert!(e.is_connectivity());
+    }
+
+    #[test]
+    fn kinds_are_matchable() {
+        let e = Error::Liveness("3 heartbeats missed".into());
+        assert_eq!(e.kind(), ErrorKind::Liveness);
+        assert!(e.is_connectivity());
+        assert!(!Error::Policy("bad yaml".into()).is_connectivity());
+        // A failover loop matches on kind, not message text:
+        let action = match e.kind() {
+            ErrorKind::Transport | ErrorKind::Liveness => "failover",
+            _ => "propagate",
+        };
+        assert_eq!(action, "failover");
     }
 
     #[test]
     fn categories_are_stable() {
         for (e, cat) in [
-            (FlexError::Codec(String::new()), "codec"),
-            (FlexError::Transport(String::new()), "transport"),
-            (FlexError::Delegation(String::new()), "delegation"),
-            (FlexError::Policy(String::new()), "policy"),
-            (FlexError::Conflict(String::new()), "conflict"),
-            (FlexError::Deadline(String::new()), "deadline"),
+            (Error::Codec(String::new()), "codec"),
+            (Error::Transport(String::new()), "transport"),
+            (Error::Delegation(String::new()), "delegation"),
+            (Error::Policy(String::new()), "policy"),
+            (Error::Conflict(String::new()), "conflict"),
+            (Error::Deadline(String::new()), "deadline"),
+            (Error::Liveness(String::new()), "liveness"),
         ] {
             assert_eq!(e.category(), cat);
+            assert_eq!(e.kind().to_string(), cat);
         }
     }
 }

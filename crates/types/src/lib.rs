@@ -17,7 +17,7 @@ pub mod time;
 pub mod units;
 
 pub use config::{Bandwidth, CellConfig, DuplexMode, EnbConfig, TransmissionMode, UeConfig};
-pub use error::{FlexError, Result};
+pub use error::{Error, ErrorKind, FlexError, Result};
 pub use ids::{BearerId, CellId, EnbId, GlobalCellId, HarqPid, Lcgid, Lcid, Rnti, SliceId, UeId};
 pub use time::{SfnSf, Tti};
 pub use units::{BitRate, Bytes, Db, Dbm};

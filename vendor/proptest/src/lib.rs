@@ -1,0 +1,600 @@
+//! Offline stand-in for `proptest`: a miniature property-testing harness
+//! covering the strategy combinators and macros this workspace uses —
+//! `any`, integer/float range strategies, a regex-subset string strategy
+//! for `&'static str` patterns, tuples, `collection::vec`, `option::of`,
+//! `prop_oneof!`, `prop_map`, and the `proptest!` block macro with
+//! optional `#![proptest_config(...)]`.
+//!
+//! Differences from the real crate: no shrinking (a failing case panics
+//! with the generated inputs unreduced), and the per-test RNG is seeded
+//! deterministically from the test name, so failures reproduce exactly.
+
+use std::ops::Range;
+
+// ----------------------------------------------------------------------
+// RNG
+// ----------------------------------------------------------------------
+
+/// The harness RNG (xoshiro256++), seeded from the test's name so every
+/// run of a given test sees the same case sequence.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    pub fn deterministic(name: &str) -> Self {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in name.as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            h = h.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = h;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            *slot = z ^ (z >> 31);
+        }
+        TestRng { s }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform value in `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        self.next_u64() % bound
+    }
+}
+
+// ----------------------------------------------------------------------
+// Strategy core
+// ----------------------------------------------------------------------
+
+/// A generator of test-case values.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (**self).generate(rng)
+    }
+}
+
+/// `prop_map` combinator.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+// ----------------------------------------------------------------------
+// any::<T>() and ranges
+// ----------------------------------------------------------------------
+
+/// Types with a full-domain default strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Finite full-range doubles (no NaN/inf — matches proptest's
+        // default f64 strategy in spirit).
+        let v = f64::from_bits(rng.next_u64());
+        if v.is_finite() {
+            v
+        } else {
+            rng.unit_f64() * 1e12 - 0.5e12
+        }
+    }
+}
+
+/// The default strategy for `T`.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+// ----------------------------------------------------------------------
+// Tuples
+// ----------------------------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+
+// ----------------------------------------------------------------------
+// Collections / option
+// ----------------------------------------------------------------------
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `proptest::collection::vec(element, len_range)`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    pub struct OptionStrategy<S>(S);
+
+    /// `proptest::option::of(inner)` — `Some` three times out of four.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// prop_oneof! support
+// ----------------------------------------------------------------------
+
+/// Uniform choice among boxed strategies of one value type.
+pub struct Union<V> {
+    arms: Vec<Box<dyn Strategy<Value = V>>>,
+}
+
+impl<V> Union<V> {
+    pub fn new(arms: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = rng.below(self.arms.len() as u64) as usize;
+        self.arms[i].generate(rng)
+    }
+}
+
+/// Helper used by `prop_oneof!` to erase arm types.
+pub fn boxed_strategy<S: Strategy + 'static>(s: S) -> Box<dyn Strategy<Value = S::Value>> {
+    Box::new(s)
+}
+
+// ----------------------------------------------------------------------
+// Regex-subset string strategy for `&'static str` patterns
+// ----------------------------------------------------------------------
+
+/// One pattern atom: a set of character ranges plus a repetition count.
+struct Atom {
+    ranges: Vec<(char, char)>,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pat: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pat.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let ranges = match chars[i] {
+            '[' => {
+                i += 1;
+                let mut set = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    let c = if chars[i] == '\\' {
+                        i += 1;
+                        unescape(chars.get(i).copied().unwrap_or('\\'))
+                    } else {
+                        chars[i]
+                    };
+                    // `a-z` range (a `-` directly before `]` is literal).
+                    if chars.get(i + 1) == Some(&'-') && chars.get(i + 2).is_some_and(|c| *c != ']')
+                    {
+                        let hi = if chars[i + 2] == '\\' {
+                            i += 1;
+                            unescape(chars.get(i + 2).copied().unwrap_or('\\'))
+                        } else {
+                            chars[i + 2]
+                        };
+                        set.push((c, hi));
+                        i += 3;
+                    } else {
+                        set.push((c, c));
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated char class in '{pat}'");
+                i += 1; // consume ']'
+                set
+            }
+            '\\' => {
+                i += 1;
+                match chars.get(i) {
+                    // `\PC` — "not category C (control)": printable chars,
+                    // ASCII plus a slice of Latin-1 and Greek.
+                    Some('P') if chars.get(i + 1) == Some(&'C') => {
+                        i += 2;
+                        vec![(' ', '~'), ('\u{A1}', '\u{FF}'), ('α', 'ω')]
+                    }
+                    Some(c) => {
+                        let c = unescape(*c);
+                        i += 1;
+                        vec![(c, c)]
+                    }
+                    None => panic!("dangling backslash in '{pat}'"),
+                }
+            }
+            '.' => {
+                i += 1;
+                vec![(' ', '~')]
+            }
+            c => {
+                i += 1;
+                vec![(c, c)]
+            }
+        };
+        // Optional repetition.
+        let (min, max) = match chars.get(i) {
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|c| *c == '}')
+                    .unwrap_or_else(|| panic!("unterminated repetition in '{pat}'"));
+                let body: String = chars[i + 1..i + close].iter().collect();
+                i += close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => {
+                        let lo = lo.trim().parse().expect("repetition lower bound");
+                        let hi = if hi.trim().is_empty() {
+                            lo + 8
+                        } else {
+                            hi.trim().parse().expect("repetition upper bound")
+                        };
+                        (lo, hi)
+                    }
+                    None => {
+                        let n = body.trim().parse().expect("repetition count");
+                        (n, n)
+                    }
+                }
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            Some('*') => {
+                i += 1;
+                (0, 8)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 8)
+            }
+            _ => (1, 1),
+        };
+        atoms.push(Atom { ranges, min, max });
+    }
+    atoms
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        '0' => '\0',
+        other => other,
+    }
+}
+
+fn sample_char(ranges: &[(char, char)], rng: &mut TestRng) -> char {
+    let total: u64 = ranges
+        .iter()
+        .map(|(lo, hi)| (*hi as u64).saturating_sub(*lo as u64) + 1)
+        .sum();
+    let mut pick = rng.below(total.max(1));
+    for (lo, hi) in ranges {
+        let span = (*hi as u64) - (*lo as u64) + 1;
+        if pick < span {
+            return char::from_u32(*lo as u32 + pick as u32).unwrap_or(*lo);
+        }
+        pick -= span;
+    }
+    ranges.first().map(|(lo, _)| *lo).unwrap_or('a')
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for atom in parse_pattern(self) {
+            let span = (atom.max - atom.min) as u64 + 1;
+            let count = atom.min + rng.below(span) as usize;
+            for _ in 0..count {
+                out.push(sample_char(&atom.ranges, rng));
+            }
+        }
+        out
+    }
+}
+
+// ----------------------------------------------------------------------
+// Config + macros
+// ----------------------------------------------------------------------
+
+/// Per-block configuration; only `cases` is honored.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!(($cfg); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_fns {
+    (($cfg:expr);) => {};
+    (($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            let mut __rng = $crate::TestRng::deterministic(stringify!($name));
+            for _case in 0..__config.cases {
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_fns!(($cfg); $($rest)*);
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tokens:tt)*) => { assert_ne!($($tokens)*) };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::boxed_strategy($arm)),+])
+    };
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+// ----------------------------------------------------------------------
+// Self-tests
+// ----------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::TestRng;
+
+    #[test]
+    fn regex_subset_shapes() {
+        let mut rng = TestRng::deterministic("regex_subset_shapes");
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-z][a-z0-9_]{0,12}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 13, "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+
+            let soup = Strategy::generate(&"[a-z0-9_+*/()^=,. \\n-]{0,120}", &mut rng);
+            assert!(soup.len() <= 120);
+            assert!(soup
+                .chars()
+                .all(|c| c.is_ascii_lowercase()
+                    || c.is_ascii_digit()
+                    || "_+*/()^=,. \n-".contains(c)));
+
+            let free = Strategy::generate(&"\\PC{0,200}", &mut rng);
+            assert!(free.chars().count() <= 200);
+            assert!(free.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(50))]
+        /// The harness's own plumbing: ranges stay in bounds, tuples and
+        /// collections compose, oneof picks valid arms.
+        #[test]
+        fn strategies_stay_in_bounds(
+            v in 10u64..20,
+            f in -1.5f64..2.5,
+            pair in (0u32..5, 1usize..4),
+            items in crate::collection::vec(0i64..100, 0..10),
+            opt in crate::option::of(5u8..9),
+            choice in prop_oneof![
+                (0u64..3).prop_map(|v| v as i64),
+                10i64..13,
+            ],
+        ) {
+            prop_assert!((10..20).contains(&v));
+            prop_assert!((-1.5..2.5).contains(&f));
+            prop_assert!(pair.0 < 5 && (1..4).contains(&pair.1));
+            prop_assert!(items.len() < 10);
+            prop_assert!(items.iter().all(|i| (0..100).contains(i)));
+            if let Some(x) = opt {
+                prop_assert!((5..9).contains(&x));
+            }
+            prop_assert!((0..3).contains(&choice) || (10..13).contains(&choice));
+        }
+    }
+}

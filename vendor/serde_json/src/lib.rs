@@ -1,0 +1,352 @@
+//! Offline stand-in for `serde_json`, covering what the bench crate
+//! uses: the `Value` tree, a `json!` macro for flat object/array
+//! literals with Rust expressions as values, and `to_string_pretty`.
+//! Object keys keep insertion order (the real crate's `preserve_order`
+//! feature), which keeps report files diffable.
+
+use std::fmt;
+
+/// A JSON document tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Int(i64),
+    UInt(u64),
+    Float(f64),
+    String(String),
+    Array(Vec<Value>),
+    Object(Vec<(String, Value)>),
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::String(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::String(v)
+    }
+}
+
+impl From<&String> for Value {
+    fn from(v: &String) -> Self {
+        Value::String(v.clone())
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Self {
+        Value::Float(v as f64)
+    }
+}
+
+macro_rules! impl_from_signed {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Self { Value::Int(v as i64) }
+        }
+    )*};
+}
+
+macro_rules! impl_from_unsigned {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Self { Value::UInt(v as u64) }
+        }
+    )*};
+}
+
+impl_from_signed!(i8, i16, i32, i64, isize);
+impl_from_unsigned!(u8, u16, u32, u64, usize);
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Self {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Clone + Into<Value>> From<&Vec<T>> for Value {
+    fn from(v: &Vec<T>) -> Self {
+        Value::Array(v.iter().cloned().map(Into::into).collect())
+    }
+}
+
+impl<T: Clone + Into<Value>> From<&[T]> for Value {
+    fn from(v: &[T]) -> Self {
+        Value::Array(v.iter().cloned().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Self {
+        v.map(Into::into).unwrap_or(Value::Null)
+    }
+}
+
+const NULL: Value = Value::Null;
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        match self {
+            Value::Object(fields) => fields
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(items) => items.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        matches!(self, Value::String(s) if s == other)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self == *other
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self == other.as_str()
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        matches!(self, Value::Bool(b) if b == other)
+    }
+}
+
+impl PartialEq<f64> for Value {
+    fn eq(&self, other: &f64) -> bool {
+        matches!(self, Value::Float(v) if v == other)
+    }
+}
+
+impl PartialEq<i64> for Value {
+    fn eq(&self, other: &i64) -> bool {
+        match self {
+            Value::Int(v) => v == other,
+            Value::UInt(v) => i64::try_from(*v).is_ok_and(|v| v == *other),
+            _ => false,
+        }
+    }
+}
+
+impl PartialEq<u64> for Value {
+    fn eq(&self, other: &u64) -> bool {
+        match self {
+            Value::UInt(v) => v == other,
+            Value::Int(v) => u64::try_from(*v).is_ok_and(|v| v == *other),
+            _ => false,
+        }
+    }
+}
+
+/// By-reference conversion used by `json!` (the real macro serializes
+/// through `&T: Serialize`, so field expressions must not be moved).
+pub trait ToValue {
+    fn to_value(&self) -> Value;
+}
+
+impl<T: Clone + Into<Value>> ToValue for T {
+    fn to_value(&self) -> Value {
+        self.clone().into()
+    }
+}
+
+pub fn to_value<T: ToValue>(v: &T) -> Value {
+    v.to_value()
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl Value {
+    fn write(&self, out: &mut String, indent: usize, pretty: bool) {
+        let pad = |out: &mut String, n: usize| {
+            if pretty {
+                out.push('\n');
+                out.push_str(&"  ".repeat(n));
+            }
+        };
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Int(v) => out.push_str(&v.to_string()),
+            Value::UInt(v) => out.push_str(&v.to_string()),
+            Value::Float(v) => {
+                if v.is_finite() {
+                    // Match serde_json: integral floats keep a ".0".
+                    if v.fract() == 0.0 && v.abs() < 1e15 {
+                        out.push_str(&format!("{v:.1}"));
+                    } else {
+                        out.push_str(&format!("{v}"));
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Value::String(s) => escape_into(s, out),
+            Value::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    pad(out, indent + 1);
+                    item.write(out, indent + 1, pretty);
+                }
+                pad(out, indent);
+                out.push(']');
+            }
+            Value::Object(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    pad(out, indent + 1);
+                    escape_into(k, out);
+                    out.push(':');
+                    if pretty {
+                        out.push(' ');
+                    }
+                    v.write(out, indent + 1, pretty);
+                }
+                pad(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        self.write(&mut s, 0, false);
+        f.write_str(&s)
+    }
+}
+
+/// Serialization error (the stub's serializer is infallible, the type
+/// exists for signature compatibility).
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("serde_json stub error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub fn to_string(value: &Value) -> Result<String, Error> {
+    Ok(value.to_string())
+}
+
+pub fn to_string_pretty(value: &Value) -> Result<String, Error> {
+    let mut s = String::new();
+    value.write(&mut s, 0, true);
+    Ok(s)
+}
+
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($key:literal : $value:expr),* $(,)? }) => {
+        $crate::Value::Object(vec![
+            $( ($key.to_string(), $crate::to_value(&$value)) ),*
+        ])
+    };
+    ([ $($value:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::to_value(&$value) ),* ])
+    };
+    ($value:expr) => { $crate::to_value(&$value) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_roundtrip_and_escaping() {
+        let v = json!({
+            "id": "fig7a",
+            "rows": vec![vec!["1".to_string(), "a\"b".to_string()]],
+            "quick": true,
+            "count": 3u64,
+        });
+        let compact = v.to_string();
+        assert_eq!(
+            compact,
+            r#"{"id":"fig7a","rows":[["1","a\"b"]],"quick":true,"count":3}"#
+        );
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains("\n  \"id\": \"fig7a\""));
+        assert!(pretty.ends_with('}'));
+    }
+
+    #[test]
+    fn nested_values_and_numbers() {
+        let inner = json!({"x": 1.5});
+        let v = json!({ "results": vec![inner.clone(), inner], "n": -2 });
+        assert_eq!(v.to_string(), r#"{"results":[{"x":1.5},{"x":1.5}],"n":-2}"#);
+        assert_eq!(json!(2.0).to_string(), "2.0");
+    }
+}
