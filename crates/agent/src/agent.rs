@@ -27,6 +27,9 @@ use flexran_proto::transport::Transport;
 use flexran_stack::enb::{Enb, PhyView};
 use flexran_stack::events::EnbEvent;
 use flexran_stack::mac::dci::{DlSchedulingDecision, UlSchedulingDecision};
+use flexran_stack::mac::scheduler::{
+    DlSchedulerInput, DlSchedulerOutput, UlSchedulerInput, UlSchedulerOutput,
+};
 use flexran_types::ids::{CellId, Rnti};
 use flexran_types::time::Tti;
 use flexran_types::{FlexError, Result};
@@ -108,6 +111,18 @@ pub struct FlexranAgent<T: Transport> {
     hello_sent: bool,
     outbox_acks: Vec<DelegationAck>,
     handover_requests: Vec<HandoverRequest>,
+    /// Reusable scheduler input/output buffers: phase A refills these in
+    /// place every TTI instead of allocating fresh ones (the hot path's
+    /// no-steady-state-allocation contract).
+    sched_scratch: SchedScratch,
+}
+
+#[derive(Default)]
+struct SchedScratch {
+    dl_in: DlSchedulerInput,
+    dl_out: DlSchedulerOutput,
+    ul_in: UlSchedulerInput,
+    ul_out: UlSchedulerOutput,
 }
 
 impl<T: Transport> FlexranAgent<T> {
@@ -151,6 +166,7 @@ impl<T: Transport> FlexranAgent<T> {
             hello_sent: false,
             outbox_acks: Vec::new(),
             handover_requests: Vec::new(),
+            sched_scratch: SchedScratch::default(),
         }
     }
 
@@ -251,16 +267,24 @@ impl<T: Transport> FlexranAgent<T> {
                 self.counters.command_errors += 1;
             }
         }
-        // Local scheduling through the active VSFs.
-        for cell in self.enb.cell_ids() {
+        // Local scheduling through the active VSFs. Inputs and outputs
+        // are refilled in place (`SchedScratch`); only a non-empty
+        // decision hands its DCI vector off to the data plane.
+        for ci in 0..self.enb.n_cells() {
+            let cell = self.enb.cell_id_at(ci);
+            let scratch = &mut self.sched_scratch;
             if let Some(sched) = self.mac.dl.active_mut() {
-                if let Ok(input) = self.enb.dl_scheduler_input(cell, tti, tti) {
-                    let out = sched.schedule_dl(&input);
-                    if !out.dcis.is_empty() {
+                if self
+                    .enb
+                    .dl_scheduler_input_into(cell, tti, tti, &mut scratch.dl_in)
+                    .is_ok()
+                {
+                    sched.schedule_dl_into(&scratch.dl_in, &mut scratch.dl_out);
+                    if !scratch.dl_out.dcis.is_empty() {
                         let d = DlSchedulingDecision {
                             cell,
                             target: tti,
-                            dcis: out.dcis,
+                            dcis: std::mem::take(&mut scratch.dl_out.dcis),
                         };
                         if self.enb.submit_dl_decision(d, tti).is_err() {
                             self.counters.command_errors += 1;
@@ -269,13 +293,17 @@ impl<T: Transport> FlexranAgent<T> {
                 }
             }
             if let Some(sched) = self.mac.ul.active_mut() {
-                if let Ok(input) = self.enb.ul_scheduler_input(cell, tti, tti) {
-                    let out = sched.schedule_ul(&input);
-                    if !out.grants.is_empty() {
+                if self
+                    .enb
+                    .ul_scheduler_input_into(cell, tti, tti, &mut scratch.ul_in)
+                    .is_ok()
+                {
+                    sched.schedule_ul_into(&scratch.ul_in, &mut scratch.ul_out);
+                    if !scratch.ul_out.grants.is_empty() {
                         let d = UlSchedulingDecision {
                             cell,
                             target: tti,
-                            grants: out.grants,
+                            grants: std::mem::take(&mut scratch.ul_out.grants),
                         };
                         if self.enb.submit_ul_decision(d, tti).is_err() {
                             self.counters.command_errors += 1;

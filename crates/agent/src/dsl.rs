@@ -509,6 +509,9 @@ impl Program {
 pub struct DslScheduler {
     program: Program,
     source: String,
+    /// Candidate scratch `(index into input.ues, priority)`, reused
+    /// across TTIs.
+    ranked: Vec<(usize, f64)>,
 }
 
 impl DslScheduler {
@@ -516,6 +519,7 @@ impl DslScheduler {
         Ok(DslScheduler {
             program: Program::compile(source)?,
             source: source.to_string(),
+            ranked: Vec::new(),
         })
     }
 
@@ -529,27 +533,33 @@ impl DlScheduler for DslScheduler {
         "dsl"
     }
 
-    fn schedule_dl(&mut self, input: &DlSchedulerInput) -> DlSchedulerOutput {
-        let mut dcis = Vec::new();
-        let mut prb_left = allocate_srbs(input, &mut dcis, input.available_prb);
+    fn schedule_dl_into(&mut self, input: &DlSchedulerInput, out: &mut DlSchedulerOutput) {
+        out.dcis.clear();
+        let mut prb_left = allocate_srbs(input, &mut out.dcis, input.available_prb);
         let prb_total = input.available_prb;
-        let mut ranked: Vec<(&UeSchedInfo, f64)> = input
-            .ues
-            .iter()
-            .filter(|u| !u.queue_bytes.is_zero() && u.cqi.0 > 0)
-            .filter(|u| !dcis.iter().any(|d| d.rnti == u.rnti))
-            .map(|u| (u, self.program.eval(&self.program.priority, u, prb_total)))
-            .filter(|(_, p)| *p > 0.0)
-            .collect();
-        ranked.sort_by(|a, b| {
+        self.ranked.clear();
+        for (i, u) in input.ues.iter().enumerate() {
+            if u.queue_bytes.is_zero()
+                || u.cqi.0 == 0
+                || out.dcis.iter().any(|d| d.rnti == u.rnti)
+            {
+                continue;
+            }
+            let p = self.program.eval(&self.program.priority, u, prb_total);
+            if p > 0.0 {
+                self.ranked.push((i, p));
+            }
+        }
+        self.ranked.sort_unstable_by(|a, b| {
             b.1.partial_cmp(&a.1)
                 .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.0.rnti.cmp(&b.0.rnti))
+                .then(input.ues[a.0].rnti.cmp(&input.ues[b.0].rnti))
         });
-        for (ue, _) in ranked {
-            if prb_left == 0 || dcis.len() >= input.max_dcis as usize {
+        for &(i, _) in &self.ranked {
+            if prb_left == 0 || out.dcis.len() >= input.max_dcis as usize {
                 break;
             }
+            let ue = &input.ues[i];
             let mut mcs = mcs_for_cqi(ue.cqi);
             if let Some(cap_expr) = &self.program.mcs_cap {
                 let cap = self.program.eval(cap_expr, ue, prb_total).max(0.0) as u8;
@@ -561,14 +571,13 @@ impl DlScheduler for DslScheduler {
                 cap = cap.min(c.max(1));
             }
             let want = prbs_for_bytes(mcs, Bytes(ue.queue_bytes.as_u64() + 8), cap);
-            dcis.push(DlDci {
+            out.dcis.push(DlDci {
                 rnti: ue.rnti,
                 n_prb: want,
                 mcs,
             });
             prb_left -= want;
         }
-        DlSchedulerOutput { dcis }
     }
 
     fn set_param(&mut self, key: &str, value: ParamValue) -> Result<()> {

@@ -11,6 +11,7 @@
 
 use flexran_proto::messages::stats::{ReportConfig, ReportType, StatsReply, UeReport};
 use flexran_proto::messages::CellReport;
+use flexran_proto::wire::WireWriter;
 use flexran_stack::enb::Enb;
 use flexran_types::time::Tti;
 
@@ -24,9 +25,18 @@ struct Subscription {
 }
 
 /// Registered statistics subscriptions for one agent.
+///
+/// The tick path is delta-aware and allocation-free in steady state: the
+/// candidate reply and the hash encoding live in reusable buffers, and
+/// heap traffic only happens when a report actually fires (the reply is
+/// handed to the caller by `mem::take`).
 #[derive(Debug, Default)]
 pub struct ReportsManager {
     subs: Vec<Subscription>,
+    /// Reusable reply — refilled in place each tick a subscription looks.
+    reply_buf: StatsReply,
+    /// Reusable encode buffer for content hashing.
+    hash_buf: WireWriter,
 }
 
 fn fnv(data: &[u8]) -> u64 {
@@ -40,14 +50,20 @@ fn fnv(data: &[u8]) -> u64 {
 
 /// Compose a statistics reply for the whole eNodeB.
 pub fn compose_reply(enb: &Enb, tti: Tti, config: ReportConfig) -> StatsReply {
-    let enb_id = enb.config().enb_id;
-    let mut reply = StatsReply {
-        enb_id,
-        tti: tti.0,
-        cells: Vec::new(),
-        ues: Vec::new(),
-    };
-    for cell in enb.cell_ids() {
+    let mut reply = StatsReply::default();
+    compose_reply_into(enb, tti, config, &mut reply);
+    reply
+}
+
+/// In-place variant of [`compose_reply`]: refills `reply`, reusing its
+/// `cells`/`ues` buffers.
+pub fn compose_reply_into(enb: &Enb, tti: Tti, config: ReportConfig, reply: &mut StatsReply) {
+    reply.enb_id = enb.config().enb_id;
+    reply.tti = tti.0;
+    reply.cells.clear();
+    reply.ues.clear();
+    for ci in 0..enb.n_cells() {
+        let cell = enb.cell_id_at(ci);
         let stats = enb.cell_stats(cell).expect("own cell");
         if config
             .flags
@@ -64,23 +80,24 @@ pub fn compose_reply(enb: &Enb, tti: Tti, config: ReportConfig) -> StatsReply {
                 missed_deadlines: stats.missed_deadlines,
             });
         }
-        for ue in enb.ue_stats(cell).expect("own cell") {
+        for ue in enb.ue_stats_iter(cell).expect("own cell") {
             reply
                 .ues
                 .push(UeReport::from_stats(&ue, cell, config.flags));
         }
     }
-    reply
 }
 
 /// Content hash of a reply, excluding the timestamp (so a triggered report
-/// fires on *content* changes, not on the clock).
-fn content_hash(reply: &StatsReply) -> u64 {
-    let mut clone = reply.clone();
-    clone.tti = 0;
-    let bytes = flexran_proto::messages::FlexranMessage::StatsReply(clone)
-        .encode(flexran_proto::messages::Header::default());
-    fnv(&bytes)
+/// fires on *content* changes, not on the clock). Encodes the reply body
+/// into `scratch` in place — no clone, no fresh buffer.
+fn content_hash(reply: &mut StatsReply, scratch: &mut WireWriter) -> u64 {
+    let tti = reply.tti;
+    reply.tti = 0;
+    reply.encode_body_into(scratch);
+    let h = fnv(scratch.as_slice());
+    reply.tti = tti;
+    h
 }
 
 impl ReportsManager {
@@ -110,6 +127,11 @@ impl ReportsManager {
     }
 
     /// Replies due at `tti`, with the xid to reply under.
+    ///
+    /// Candidate replies are composed into the manager's reusable buffer;
+    /// only a reply that actually fires is moved out (`mem::take`), so a
+    /// quiet tick — the steady state of a triggered subscription — does
+    /// not touch the heap.
     pub fn due(&mut self, tti: Tti, enb: &Enb) -> Vec<(u32, StatsReply)> {
         let mut out = Vec::new();
         for sub in &mut self.subs {
@@ -118,7 +140,8 @@ impl ReportsManager {
             }
             match sub.config.report_type {
                 ReportType::OneOff => {
-                    out.push((sub.xid, compose_reply(enb, tti, sub.config)));
+                    compose_reply_into(enb, tti, sub.config, &mut self.reply_buf);
+                    out.push((sub.xid, std::mem::take(&mut self.reply_buf)));
                     sub.done = true;
                 }
                 ReportType::Periodic { period } => {
@@ -127,17 +150,18 @@ impl ReportsManager {
                         Some(last) => tti.saturating_since(last) >= period as u64,
                     };
                     if due {
-                        out.push((sub.xid, compose_reply(enb, tti, sub.config)));
+                        compose_reply_into(enb, tti, sub.config, &mut self.reply_buf);
+                        out.push((sub.xid, std::mem::take(&mut self.reply_buf)));
                         sub.last_sent = Some(tti);
                     }
                 }
                 ReportType::Triggered => {
-                    let reply = compose_reply(enb, tti, sub.config);
-                    let h = content_hash(&reply);
+                    compose_reply_into(enb, tti, sub.config, &mut self.reply_buf);
+                    let h = content_hash(&mut self.reply_buf, &mut self.hash_buf);
                     if h != sub.last_hash {
                         sub.last_hash = h;
                         sub.last_sent = Some(tti);
-                        out.push((sub.xid, reply));
+                        out.push((sub.xid, std::mem::take(&mut self.reply_buf)));
                     }
                 }
             }

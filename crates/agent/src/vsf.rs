@@ -193,11 +193,12 @@ impl DlScheduler for RemoteStubScheduler {
         "remote-stub"
     }
 
-    fn schedule_dl(
+    fn schedule_dl_into(
         &mut self,
         _input: &flexran_stack::mac::scheduler::DlSchedulerInput,
-    ) -> flexran_stack::mac::scheduler::DlSchedulerOutput {
-        flexran_stack::mac::scheduler::DlSchedulerOutput::default()
+        out: &mut flexran_stack::mac::scheduler::DlSchedulerOutput,
+    ) {
+        out.dcis.clear();
     }
 }
 

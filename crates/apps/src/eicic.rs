@@ -94,11 +94,12 @@ impl DlScheduler for AbsAwareScheduler {
         self.label
     }
 
-    fn schedule_dl(&mut self, input: &DlSchedulerInput) -> DlSchedulerOutput {
+    fn schedule_dl_into(&mut self, input: &DlSchedulerInput, out: &mut DlSchedulerOutput) {
         if is_abs(&self.pattern, input.target) != self.transmit_in_abs {
-            return DlSchedulerOutput::default();
+            out.dcis.clear();
+            return;
         }
-        self.inner.schedule_dl(input)
+        self.inner.schedule_dl_into(input, out);
     }
 }
 

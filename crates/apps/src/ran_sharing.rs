@@ -43,6 +43,10 @@ pub struct SliceScheduler {
     /// Per-(slice, group) rotation cursors — each candidate set rotates
     /// independently so DCI pressure starves nobody.
     rotations: std::collections::BTreeMap<(usize, u8), usize>,
+    /// Candidate index scratch (into `input.ues`), reused across TTIs.
+    cand: Vec<usize>,
+    premium: Vec<usize>,
+    secondary: Vec<usize>,
 }
 
 impl Default for SliceScheduler {
@@ -52,6 +56,9 @@ impl Default for SliceScheduler {
             policies: vec![SlicePolicy::Fair],
             premium_share: 0.7,
             rotations: std::collections::BTreeMap::new(),
+            cand: Vec::new(),
+            premium: Vec::new(),
+            secondary: Vec::new(),
         }
     }
 }
@@ -72,14 +79,16 @@ impl SliceScheduler {
             .unwrap_or(SlicePolicy::Fair)
     }
 
-    /// Allocate `budget` PRBs among `cands` with equal shares, adding at
-    /// most `max_new` DCIs and rotating the start index so DCI-budget
-    /// pressure is spread over TTIs rather than starving whoever comes
-    /// last.
+    /// Allocate `budget` PRBs among the UEs at `cands` (indices into
+    /// `ues`) with equal shares, adding at most `max_new` DCIs and
+    /// rotating the start index so DCI-budget pressure is spread over
+    /// TTIs rather than starving whoever comes last.
+    #[allow(clippy::too_many_arguments)]
     fn allocate_equal(
-        &mut self,
+        rotations: &mut std::collections::BTreeMap<(usize, u8), usize>,
         key: (usize, u8),
-        cands: &[&UeSchedInfo],
+        ues: &[UeSchedInfo],
+        cands: &[usize],
         budget: u8,
         dcis: &mut Vec<DlDci>,
         max_new: usize,
@@ -88,7 +97,7 @@ impl SliceScheduler {
             return;
         }
         let n_served = cands.len().min(max_new);
-        let rotation = self.rotations.entry(key).or_insert(0);
+        let rotation = rotations.entry(key).or_insert(0);
         *rotation = rotation.wrapping_add(1);
         let rotation = *rotation;
         let share = ((budget as usize) / n_served).max(1) as u8;
@@ -97,7 +106,7 @@ impl SliceScheduler {
             if left == 0 {
                 break;
             }
-            let ue = cands[(rotation + i) % cands.len()];
+            let ue = &ues[cands[(rotation + i) % cands.len()]];
             let mcs = mcs_for_cqi(ue.cqi);
             let want = prbs_for_bytes(mcs, Bytes(ue.queue_bytes.as_u64() + 8), share.min(left));
             dcis.push(DlDci {
@@ -115,9 +124,10 @@ impl DlScheduler for SliceScheduler {
         "slice-scheduler"
     }
 
-    fn schedule_dl(&mut self, input: &DlSchedulerInput) -> DlSchedulerOutput {
-        let mut dcis = Vec::new();
-        let prb_left = allocate_srbs(input, &mut dcis, input.available_prb);
+    fn schedule_dl_into(&mut self, input: &DlSchedulerInput, out: &mut DlSchedulerOutput) {
+        out.dcis.clear();
+        let dcis = &mut out.dcis;
+        let prb_left = allocate_srbs(input, dcis, input.available_prb);
         let max_dcis = input.max_dcis as usize;
         let total_share: f64 = self.shares.iter().sum::<f64>().max(1e-9);
         let n_slices = self.shares.len().max(1);
@@ -131,17 +141,16 @@ impl DlScheduler for SliceScheduler {
             if budget == 0 {
                 continue;
             }
-            let cands: Vec<&UeSchedInfo> = input
-                .ues
-                .iter()
-                .filter(|u| {
-                    u.slice.0 as usize == slice
+            self.cand.clear();
+            self.cand
+                .extend(input.ues.iter().enumerate().filter_map(|(i, u)| {
+                    let want = u.slice.0 as usize == slice
                         && !u.queue_bytes.is_zero()
                         && u.cqi.0 > 0
-                        && !dcis.iter().any(|d| d.rnti == u.rnti)
-                })
-                .collect();
-            if cands.is_empty() {
+                        && !dcis.iter().any(|d| d.rnti == u.rnti);
+                    want.then_some(i)
+                }));
+            if self.cand.is_empty() {
                 continue;
             }
             // The PDCCH DCI budget is sliced proportionally too, so late
@@ -152,45 +161,55 @@ impl DlScheduler for SliceScheduler {
                 .min(max_dcis.saturating_sub(dcis.len()));
             match self.policy_of(slice) {
                 SlicePolicy::Fair => {
-                    self.allocate_equal((slice, 0), &cands, budget, &mut dcis, slice_dcis);
+                    Self::allocate_equal(
+                        &mut self.rotations,
+                        (slice, 0),
+                        &input.ues,
+                        &self.cand,
+                        budget,
+                        dcis,
+                        slice_dcis,
+                    );
                 }
                 SlicePolicy::GroupBased => {
-                    let premium: Vec<&UeSchedInfo> = cands
-                        .iter()
-                        .copied()
-                        .filter(|u| u.priority_group == 0)
-                        .collect();
-                    let secondary: Vec<&UeSchedInfo> = cands
-                        .iter()
-                        .copied()
-                        .filter(|u| u.priority_group != 0)
-                        .collect();
+                    self.premium.clear();
+                    self.secondary.clear();
+                    for &i in &self.cand {
+                        if input.ues[i].priority_group == 0 {
+                            self.premium.push(i);
+                        } else {
+                            self.secondary.push(i);
+                        }
+                    }
                     let premium_budget =
                         (budget as f64 * self.premium_share.clamp(0.0, 1.0)).round() as u8;
-                    let premium_dcis = if secondary.is_empty() {
+                    let premium_dcis = if self.secondary.is_empty() {
                         slice_dcis
                     } else {
                         ((slice_dcis as f64 * self.premium_share).ceil() as usize)
                             .min(slice_dcis.saturating_sub(1))
                     };
-                    self.allocate_equal(
+                    Self::allocate_equal(
+                        &mut self.rotations,
                         (slice, 0),
-                        &premium,
+                        &input.ues,
+                        &self.premium,
                         premium_budget,
-                        &mut dcis,
+                        dcis,
                         premium_dcis,
                     );
-                    self.allocate_equal(
+                    Self::allocate_equal(
+                        &mut self.rotations,
                         (slice, 1),
-                        &secondary,
+                        &input.ues,
+                        &self.secondary,
                         budget.saturating_sub(premium_budget),
-                        &mut dcis,
+                        dcis,
                         slice_dcis.saturating_sub(premium_dcis),
                     );
                 }
             }
         }
-        DlSchedulerOutput { dcis }
     }
 
     fn set_param(&mut self, key: &str, value: ParamValue) -> Result<()> {

@@ -9,6 +9,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod outage;
+pub mod scale;
 pub mod sec54;
 pub mod table2;
 
@@ -40,6 +41,7 @@ pub const ALL: &[&str] = &[
     "ablation-dci-budget",
     "ablation-bler-target",
     "outage",
+    "scale",
 ];
 
 /// Run one experiment id (some ids share a runner and return together).
@@ -61,6 +63,7 @@ pub fn run(id: &str, ctx: &ExpContext) -> Vec<ExpResult> {
         "ablation-dci-budget" => vec![ablations::ablation_dci_budget(ctx)],
         "ablation-bler-target" => vec![ablations::ablation_bler_target(ctx)],
         "outage" => vec![outage::outage(ctx)],
+        "scale" => vec![scale::scale(ctx)],
         other => panic!("unknown experiment id '{other}' (available: {ALL:?})"),
     }
 }

@@ -1,0 +1,330 @@
+//! scale — the parallel multi-eNB TTI engine's perf trajectory.
+//!
+//! Not a paper figure: this experiment records the platform's own
+//! scaling baseline so perf regressions are visible in review. It runs
+//! the same multi-eNodeB simulation serially and fanned out over worker
+//! threads (`SimConfig::workers`), across a grid of eNodeB and UE
+//! counts, and reports:
+//!
+//! * TTIs/second and the per-phase wall-clock split (serial front,
+//!   phase A, interference coupling, phase B, merge),
+//! * heap allocations per TTI (the whole `step`, via this crate's
+//!   counting allocator),
+//! * a digest of the end-state observables, asserting the determinism
+//!   contract: serial and parallel runs must be bit-identical,
+//! * a steady-state allocation probe of the MAC schedulers, asserting
+//!   their zero-allocation hot-path contract.
+//!
+//! Output: `scale.csv` plus machine-readable `BENCH_scale.json`
+//! (`scripts/bench.sh` snapshots the latter to the repository root).
+
+use std::time::Instant;
+
+use flexran::agent::AgentConfig;
+use flexran::harness::{SimConfig, SimHarness, UeRadioSpec};
+use flexran::prelude::*;
+use flexran::sim::traffic::FullBufferSource;
+
+use crate::{alloc_counter, csv, f2, ExpContext, ExpResult};
+
+/// One grid point's measurements.
+struct Sample {
+    enbs: usize,
+    ues_per_enb: usize,
+    workers: usize,
+    ttis: u64,
+    ttis_per_sec: f64,
+    serial_front_ns: u64,
+    phase_a_ns: u64,
+    coupling_ns: u64,
+    phase_b_ns: u64,
+    merge_ns: u64,
+    allocs_per_tti: f64,
+    digest: u64,
+}
+
+fn fnv(h: &mut u64, v: u64) {
+    for b in v.to_le_bytes() {
+        *h ^= b as u64;
+        *h = h.wrapping_mul(0x100000001b3);
+    }
+}
+
+fn build(n_enbs: usize, ues_per_enb: usize, workers: Option<usize>, seed: u64) -> SimHarness {
+    let mut sim = SimHarness::new(SimConfig {
+        seed,
+        workers,
+        ..SimConfig::default()
+    });
+    for e in 0..n_enbs {
+        let enb = EnbId(e as u32 + 1);
+        sim.add_enb(EnbConfig::single_cell(enb), AgentConfig::default());
+        for u in 0..ues_per_enb {
+            let ue_seed = seed ^ ((e as u64) << 32) ^ u as u64;
+            let ue = sim.add_ue(
+                enb,
+                CellId(0),
+                SliceId::MNO,
+                0,
+                UeRadioSpec::Fading(15.0, 4.0, 0.95, ue_seed),
+            );
+            sim.set_dl_traffic(ue, Box::new(FullBufferSource::default()));
+        }
+    }
+    sim
+}
+
+/// Digest of the end-state observables: every UE's delivered-bit
+/// counters and queue state, in UE-id order.
+fn digest(sim: &SimHarness, n_enbs: usize, ues_per_enb: usize) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for id in 1..=(n_enbs * ues_per_enb) as u32 {
+        let Some(s) = sim.ue_stats(UeId(id)) else {
+            fnv(&mut h, u64::MAX);
+            continue;
+        };
+        fnv(&mut h, s.dl_delivered_bits);
+        fnv(&mut h, s.ul_delivered_bits);
+        fnv(&mut h, s.dl_queue_bytes.as_u64());
+        fnv(&mut h, s.cqi.0 as u64);
+        fnv(&mut h, s.harq_tx + s.harq_retx);
+    }
+    h
+}
+
+fn run_point(n_enbs: usize, ues_per_enb: usize, workers: Option<usize>, ttis: u64) -> Sample {
+    let mut sim = build(n_enbs, ues_per_enb, workers, 7);
+    sim.run(100); // attach + warm-up (buffers reach steady state)
+    let t0_timings = sim.phase_timings();
+    let t0 = Instant::now();
+    let (_, allocs, _) = alloc_counter::measure(|| sim.run(ttis));
+    let wall = t0.elapsed();
+    let t = sim.phase_timings();
+    Sample {
+        enbs: n_enbs,
+        ues_per_enb,
+        workers: workers.unwrap_or(1),
+        ttis,
+        ttis_per_sec: ttis as f64 / wall.as_secs_f64(),
+        serial_front_ns: t.serial_front_ns - t0_timings.serial_front_ns,
+        phase_a_ns: t.phase_a_ns - t0_timings.phase_a_ns,
+        coupling_ns: t.coupling_ns - t0_timings.coupling_ns,
+        phase_b_ns: t.phase_b_ns - t0_timings.phase_b_ns,
+        merge_ns: t.merge_ns - t0_timings.merge_ns,
+        allocs_per_tti: allocs as f64 / ttis as f64,
+        digest: digest(&sim, n_enbs, ues_per_enb),
+    }
+}
+
+/// Steady-state allocation probe of the built-in MAC schedulers: after a
+/// warm-up call, repeated `schedule_dl_into`/`schedule_ul_into` with
+/// reused buffers must not touch the heap at all.
+fn sched_alloc_probe() -> Vec<(&'static str, u64)> {
+    use flexran::phy::link_adaptation::Cqi;
+    use flexran::stack::mac::scheduler::{
+        DlScheduler, DlSchedulerInput, DlSchedulerOutput, MaxCqiScheduler,
+        ProportionalFairScheduler, RoundRobinScheduler, UeSchedInfo, UlRoundRobinScheduler,
+        UlScheduler, UlSchedulerInput, UlSchedulerOutput, UlUeInfo,
+    };
+    use flexran::types::units::Bytes;
+
+    let mut dl_in = DlSchedulerInput {
+        cell: CellId(0),
+        now: Tti(1),
+        target: Tti(1),
+        available_prb: 50,
+        max_dcis: 8,
+        ues: (0..64)
+            .map(|i| UeSchedInfo {
+                rnti: Rnti(0x100 + i as u16),
+                cqi: Cqi(((i % 14) + 1) as u8),
+                queue_bytes: Bytes(10_000 + i as u64),
+                srb_bytes: Bytes::ZERO,
+                avg_rate_bps: 1.0 + i as f64,
+                slice: SliceId::MNO,
+                priority_group: (i % 2) as u8,
+                hol_delay_ms: i as u64,
+            })
+            .collect(),
+        retx: vec![],
+    };
+    let ul_in = UlSchedulerInput {
+        cell: CellId(0),
+        now: Tti(1),
+        target: Tti(1),
+        available_prb: 50,
+        max_grants: 8,
+        ues: (0..64)
+            .map(|i| UlUeInfo {
+                rnti: Rnti(0x100 + i as u16),
+                bsr_bytes: Bytes(5_000),
+                cqi: Cqi(((i % 14) + 1) as u8),
+                prb_cap: 16,
+            })
+            .collect(),
+    };
+
+    const ITERS: u64 = 1_000;
+    let mut out = Vec::new();
+    let mut dl_out = DlSchedulerOutput::default();
+    let mut probe_dl = |name: &'static str, s: &mut dyn DlScheduler| {
+        // Warm-up grows the scratch buffers to their steady-state size.
+        for t in 0..4u64 {
+            dl_in.now = Tti(t);
+            dl_in.target = Tti(t);
+            s.schedule_dl_into(&dl_in, &mut dl_out);
+        }
+        let (_, allocs, _) = alloc_counter::measure(|| {
+            for t in 0..ITERS {
+                dl_in.now = Tti(t);
+                dl_in.target = Tti(t);
+                s.schedule_dl_into(&dl_in, &mut dl_out);
+            }
+        });
+        out.push((name, allocs));
+    };
+    probe_dl("round-robin", &mut RoundRobinScheduler::new());
+    probe_dl("proportional-fair", &mut ProportionalFairScheduler::new());
+    probe_dl("max-cqi", &mut MaxCqiScheduler::new());
+
+    let mut ul = UlRoundRobinScheduler::new();
+    let mut ul_out = UlSchedulerOutput::default();
+    for _ in 0..4 {
+        ul.schedule_ul_into(&ul_in, &mut ul_out);
+    }
+    let (_, allocs, _) = alloc_counter::measure(|| {
+        for _ in 0..ITERS {
+            ul.schedule_ul_into(&ul_in, &mut ul_out);
+        }
+    });
+    out.push(("ul-round-robin", allocs));
+    out
+}
+
+/// The scaling experiment: serial vs parallel TTI engine.
+pub fn scale(ctx: &ExpContext) -> ExpResult {
+    let ttis = ctx.ttis(2_000, 300);
+    let parallel_workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let grid: &[(usize, usize)] = &[(1, 16), (2, 32), (4, 64), (8, 16), (8, 64)];
+
+    let mut r = ExpResult::new(
+        "scale",
+        "parallel TTI engine: serial vs worker-pool scaling",
+        &[
+            "eNBs",
+            "UEs/eNB",
+            "workers",
+            "TTIs/s",
+            "phaseA ms",
+            "phaseB ms",
+            "serial-front ms",
+            "allocs/TTI",
+            "identical",
+        ],
+    );
+    let mut rows = Vec::new();
+    let mut json_series = Vec::new();
+    let mut speedup_8x64 = 0.0;
+    let mut all_identical = true;
+    for &(enbs, ues) in grid {
+        let serial = run_point(enbs, ues, None, ttis);
+        let parallel = run_point(enbs, ues, Some(parallel_workers), ttis);
+        let identical = serial.digest == parallel.digest;
+        all_identical &= identical;
+        if (enbs, ues) == (8, 64) {
+            speedup_8x64 = parallel.ttis_per_sec / serial.ttis_per_sec.max(1e-9);
+        }
+        for s in [&serial, &parallel] {
+            let cells = vec![
+                s.enbs.to_string(),
+                s.ues_per_enb.to_string(),
+                s.workers.to_string(),
+                format!("{:.0}", s.ttis_per_sec),
+                f2(s.phase_a_ns as f64 / 1e6),
+                f2(s.phase_b_ns as f64 / 1e6),
+                f2(s.serial_front_ns as f64 / 1e6),
+                f2(s.allocs_per_tti),
+                identical.to_string(),
+            ];
+            r.row(cells.clone());
+            rows.push(cells);
+            json_series.push(serde_json::json!({
+                "enbs": s.enbs,
+                "ues_per_enb": s.ues_per_enb,
+                "workers": s.workers,
+                "ttis": s.ttis,
+                "ttis_per_sec": s.ttis_per_sec,
+                "serial_front_ns": s.serial_front_ns,
+                "phase_a_ns": s.phase_a_ns,
+                "coupling_ns": s.coupling_ns,
+                "phase_b_ns": s.phase_b_ns,
+                "merge_ns": s.merge_ns,
+                "allocs_per_tti": s.allocs_per_tti,
+                "digest": format!("{:016x}", s.digest),
+            }));
+        }
+    }
+    ctx.write_csv(
+        "scale",
+        &csv(
+            &[
+                "enbs",
+                "ues_per_enb",
+                "workers",
+                "ttis_per_sec",
+                "phase_a_ms",
+                "phase_b_ms",
+                "serial_front_ms",
+                "allocs_per_tti",
+                "identical",
+            ],
+            &rows,
+        ),
+    );
+
+    let probe = sched_alloc_probe();
+    let probe_json: Vec<_> = probe
+        .iter()
+        .map(|(name, allocs)| serde_json::json!({ "scheduler": *name, "allocs": *allocs }))
+        .collect();
+    let json = serde_json::json!({
+        "bench": "scale",
+        "quick": ctx.quick,
+        "ttis_per_point": ttis,
+        "parallel_workers": parallel_workers,
+        "series": json_series,
+        "sched_alloc_probe": probe_json,
+        "speedup_8x64": speedup_8x64,
+        "deterministic": all_identical,
+        "note": if parallel_workers <= 1 {
+            "recorded on a single-CPU machine: the worker pool degenerates to \
+             one thread, so parallel speedup is ~1.0x by construction; the \
+             determinism and allocation contracts are still fully exercised"
+        } else {
+            "multi-core machine: speedup_8x64 compares the worker pool against \
+             the serial engine on identical workloads"
+        },
+    });
+    std::fs::write(
+        ctx.out_dir.join("BENCH_scale.json"),
+        serde_json::to_string_pretty(&json).expect("serialize"),
+    )
+    .expect("write BENCH_scale.json");
+
+    r.note(format!(
+        "speedup at 8 eNBs × 64 UEs: {:.2}× with {} workers; observables bit-identical: {}",
+        speedup_8x64, parallel_workers, all_identical
+    ));
+    for (name, allocs) in &probe {
+        r.note(format!(
+            "scheduler '{name}': {allocs} allocations over 1000 steady-state calls"
+        ));
+    }
+    assert!(
+        all_identical,
+        "parallel run diverged from serial (determinism contract broken)"
+    );
+    r
+}

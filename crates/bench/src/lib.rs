@@ -18,6 +18,63 @@ pub mod experiments;
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
+/// Heap-traffic accounting for the perf experiments: every binary and
+/// test in this crate runs under a counting wrapper around the system
+/// allocator, so `experiments scale` can report allocations per TTI and
+/// assert the schedulers' zero-steady-state-allocation contract.
+pub mod alloc_counter {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static ALLOCS: AtomicU64 = AtomicU64::new(0);
+    static BYTES: AtomicU64 = AtomicU64::new(0);
+
+    /// The counting allocator. Counts `alloc`/`realloc` calls and bytes;
+    /// frees are not tracked (the experiments care about allocation
+    /// *churn*, not footprint).
+    pub struct CountingAllocator;
+
+    // SAFETY: delegates every operation to `System`; the counters are
+    // plain relaxed atomics with no allocation of their own.
+    unsafe impl GlobalAlloc for CountingAllocator {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+            unsafe { System.alloc(layout) }
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            unsafe { System.dealloc(ptr, layout) }
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+            unsafe { System.realloc(ptr, layout, new_size) }
+        }
+    }
+
+    /// Allocation calls since process start.
+    pub fn allocations() -> u64 {
+        ALLOCS.load(Ordering::Relaxed)
+    }
+
+    /// Bytes requested since process start.
+    pub fn allocated_bytes() -> u64 {
+        BYTES.load(Ordering::Relaxed)
+    }
+
+    /// Allocation calls and bytes spent running `f`.
+    pub fn measure<R>(f: impl FnOnce() -> R) -> (R, u64, u64) {
+        let (a0, b0) = (allocations(), allocated_bytes());
+        let r = f();
+        (r, allocations() - a0, allocated_bytes() - b0)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: alloc_counter::CountingAllocator = alloc_counter::CountingAllocator;
+
 /// Shared experiment context: scaling and output sinks.
 pub struct ExpContext {
     /// Shrink durations (smoke mode).

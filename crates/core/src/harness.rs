@@ -37,7 +37,8 @@ use flexran_stack::enb::{Enb, EnbParams};
 use flexran_stack::events::EnbEvent;
 use flexran_stack::mac::dci::{DlSchedulingDecision, UlSchedulingDecision};
 use flexran_stack::mac::scheduler::{
-    DlScheduler, RoundRobinScheduler, UlRoundRobinScheduler, UlScheduler,
+    DlScheduler, DlSchedulerInput, DlSchedulerOutput, RoundRobinScheduler, UlRoundRobinScheduler,
+    UlScheduler, UlSchedulerInput, UlSchedulerOutput,
 };
 use flexran_stack::stats::UeStats;
 use flexran_types::config::EnbConfig;
@@ -55,6 +56,12 @@ pub struct SimConfig {
     pub downlink: LinkConfig,
     pub master: TaskManagerConfig,
     pub seed: u64,
+    /// Worker threads for the per-agent TTI phases. `None` (the
+    /// default) runs every agent serially on the calling thread;
+    /// `Some(n)` fans phase A and phase B out over `n` scoped worker
+    /// threads. Observables are bit-identical either way — see
+    /// DESIGN.md §"Simulation engine" for the determinism contract.
+    pub workers: Option<usize>,
 }
 
 impl Default for SimConfig {
@@ -64,8 +71,74 @@ impl Default for SimConfig {
             downlink: LinkConfig::ideal(),
             master: TaskManagerConfig::default(),
             seed: 1,
+            workers: None,
         }
     }
+}
+
+/// Cumulative wall-clock spent in each part of [`SimHarness::step`],
+/// for the perf-trajectory experiments (`experiments scale`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseTimings {
+    /// Number of `step` calls accumulated.
+    pub steps: u64,
+    /// Master cycle + traffic/measurement injection (serial).
+    pub serial_front_ns: u64,
+    /// Phase A across all agents (parallel when `workers` is set).
+    pub phase_a_ns: u64,
+    /// Interference-coupling barrier (serial).
+    pub coupling_ns: u64,
+    /// Phase B across all agents (parallel when `workers` is set).
+    pub phase_b_ns: u64,
+    /// Event/handover merge in agent-index order (serial).
+    pub merge_ns: u64,
+}
+
+/// Per-agent output of phase B, collected before the serial merge so
+/// the application order is agent-index order regardless of which
+/// worker thread ran which agent.
+#[derive(Default)]
+struct PhaseBOut {
+    events: Vec<EnbEvent>,
+    handovers: Vec<flexran_agent::HandoverRequest>,
+}
+
+/// Run `f(i, &mut items[i])` for every item, writing the result into
+/// `out[i]`. With `workers > 1` the index space is split into
+/// contiguous chunks, one scoped thread per chunk; each thread touches
+/// a disjoint `&mut` slice of items and outputs, so the only
+/// synchronization is the scope join and the index-addressed outputs
+/// give callers a deterministic merge order.
+fn fan_out<T, R, F>(items: &mut [T], out: &mut Vec<R>, workers: usize, f: F)
+where
+    T: Send,
+    R: Send + Default,
+    F: Fn(usize, &mut T) -> R + Sync,
+{
+    out.clear();
+    out.resize_with(items.len(), R::default);
+    let workers = workers.clamp(1, items.len().max(1));
+    if workers <= 1 {
+        for (i, (item, slot)) in items.iter_mut().zip(out.iter_mut()).enumerate() {
+            *slot = f(i, item);
+        }
+        return;
+    }
+    let chunk = items.len().div_ceil(workers);
+    std::thread::scope(|s| {
+        let f = &f;
+        for (ci, (item_chunk, out_chunk)) in
+            items.chunks_mut(chunk).zip(out.chunks_mut(chunk)).enumerate()
+        {
+            s.spawn(move || {
+                for (j, (item, slot)) in
+                    item_chunk.iter_mut().zip(out_chunk.iter_mut()).enumerate()
+                {
+                    *slot = f(ci * chunk + j, item);
+                }
+            });
+        }
+    });
 }
 
 /// How a UE's radio is specified when added to the harness.
@@ -120,6 +193,11 @@ pub struct SimHarness {
     pending_handovers: BTreeMap<(usize, Rnti), PendingHandover>,
     /// Events of the last step, for callers that inspect them.
     pub last_events: Vec<(EnbId, EnbEvent)>,
+    /// Phase-B scratch, reused every TTI.
+    phase_b_out: Vec<PhaseBOut>,
+    /// Traffic-loop scratch, reused every TTI.
+    ue_id_scratch: Vec<UeId>,
+    timings: PhaseTimings,
     config: SimConfig,
 }
 
@@ -143,6 +221,9 @@ impl SimHarness {
             pending_handovers: BTreeMap::new(),
             last_events: Vec::new(),
             site_activity: BTreeMap::new(),
+            phase_b_out: Vec::new(),
+            ue_id_scratch: Vec::new(),
+            timings: PhaseTimings::default(),
             config,
         }
     }
@@ -378,8 +459,14 @@ impl SimHarness {
             .inject_dl_traffic(e.cell, rnti, bytes, now)
     }
 
+    /// Cumulative per-phase wall-clock of every `step` so far.
+    pub fn phase_timings(&self) -> PhaseTimings {
+        self.timings
+    }
+
     /// Advance one TTI.
     pub fn step(&mut self) {
+        let t_start = std::time::Instant::now();
         self.now = self.now.next();
         let now = self.now;
         self.clock.advance_to(now);
@@ -388,8 +475,10 @@ impl SimHarness {
         self.master.run_cycle(now);
 
         // 2. Traffic sources and measurement reports.
-        let ue_ids: Vec<UeId> = self.ues.keys().copied().collect();
-        for ue in ue_ids {
+        let mut ue_ids = std::mem::take(&mut self.ue_id_scratch);
+        ue_ids.clear();
+        ue_ids.extend(self.ues.keys().copied());
+        for ue in ue_ids.iter().copied() {
             let Some(entry) = self.ues.get_mut(&ue) else {
                 continue;
             };
@@ -400,8 +489,7 @@ impl SimHarness {
             if entry.dl_source.is_some() {
                 let queue = self.agents[idx]
                     .enb()
-                    .ue_stat(cell, rnti)
-                    .map(|s| s.dl_queue_bytes)
+                    .dl_queue_bytes(cell, rnti)
                     .unwrap_or(Bytes::ZERO);
                 let entry = self.ues.get_mut(&ue).expect("present");
                 let due = entry
@@ -453,23 +541,39 @@ impl SimHarness {
             }
         }
 
-        // 3. Phase A on every agent. Measurements in this phase use the
+        self.ue_id_scratch = ue_ids;
+
+        let t_front = std::time::Instant::now();
+        self.timings.serial_front_ns += (t_front - t_start).as_nanos() as u64;
+
+        // 3. Phase A on every agent (fanned out over the worker pool
+        //    when configured). Measurements in this phase use the
         //    declared activity hints (restricted measurements).
+        let workers = self.config.workers.unwrap_or(1).max(1);
         let hint = self.measurement_active_sites(now);
         self.radio.set_active_sites(hint);
-        for (i, agent) in self.agents.iter_mut().enumerate() {
-            let mut phy = PhyAdapter {
-                radio: &mut self.radio,
-                rnti_map: &self.rnti_maps[i],
-            };
-            agent.phase_a(now, &mut phy);
+        {
+            let radio = &self.radio;
+            let maps = &self.rnti_maps;
+            let mut unit: Vec<()> = Vec::new();
+            fan_out(&mut self.agents, &mut unit, workers, |i, agent| {
+                let mut phy = PhyAdapter {
+                    radio,
+                    rnti_map: &maps[i],
+                };
+                agent.phase_a(now, &mut phy);
+            });
         }
+        let t_a = std::time::Instant::now();
+        self.timings.phase_a_ns += (t_a - t_front).as_nanos() as u64;
 
         // 4. Interference coupling: which sites put energy on the air.
+        //    This is the serial barrier between the two phases.
         let mut active = Vec::new();
         for agent in &self.agents {
             let enb_id = agent.enb().config().enb_id;
-            for cell in agent.enb().cell_ids() {
+            for ci in 0..agent.enb().n_cells() {
+                let cell = agent.enb().cell_id_at(ci);
                 if agent.enb().will_transmit_dl(cell, now) {
                     if let Some(site) = self.cell_sites.get(&(enb_id, cell)) {
                         active.push(*site);
@@ -478,25 +582,41 @@ impl SimHarness {
             }
         }
         self.radio.set_active_sites(active);
+        let t_couple = std::time::Instant::now();
+        self.timings.coupling_ns += (t_couple - t_a).as_nanos() as u64;
 
-        // 5. Phase B + bookkeeping.
-        self.last_events.clear();
-        for i in 0..self.agents.len() {
-            let enb_id = self.agents[i].enb().config().enb_id;
-            let events = {
-                let (agents, radio, maps) = (&mut self.agents, &mut self.radio, &self.rnti_maps);
+        // 5. Phase B on every agent, outputs collected per agent index.
+        //    The serial and parallel paths share this collect-then-merge
+        //    shape, so the merge below sees the same inputs in the same
+        //    order either way.
+        let mut outs = std::mem::take(&mut self.phase_b_out);
+        {
+            let radio = &self.radio;
+            let maps = &self.rnti_maps;
+            fan_out(&mut self.agents, &mut outs, workers, |i, agent| {
                 let mut phy = PhyAdapter {
                     radio,
                     rnti_map: &maps[i],
                 };
-                agents[i].phase_b(now, &mut phy)
-            };
-            for ev in &events {
+                let events = agent.phase_b(now, &mut phy);
+                let handovers = agent.take_handover_requests();
+                PhaseBOut { events, handovers }
+            });
+        }
+        let t_b = std::time::Instant::now();
+        self.timings.phase_b_ns += (t_b - t_couple).as_nanos() as u64;
+
+        // 6. Merge in agent-index order: attach bookkeeping and X2-style
+        //    handover admission (the stand-in for the X2 interface).
+        self.last_events.clear();
+        for (i, out) in outs.iter().enumerate() {
+            let enb_id = self.agents[i].enb().config().enb_id;
+            for ev in &out.events {
                 self.last_events.push((enb_id, ev.clone()));
                 self.apply_event(i, ev);
             }
             // X2 stand-in: remember where each starting handover goes.
-            for req in self.agents[i].take_handover_requests() {
+            for req in &out.handovers {
                 let target =
                     self.resolve_handover_target(req.target_site, req.target_enb, req.target_cell);
                 if let Some((target_enb, target_cell, target_site)) = target {
@@ -511,6 +631,9 @@ impl SimHarness {
                 }
             }
         }
+        self.phase_b_out = outs;
+        self.timings.merge_ns += t_b.elapsed().as_nanos() as u64;
+        self.timings.steps += 1;
     }
 
     fn resolve_handover_target(
@@ -628,6 +751,10 @@ pub struct VanillaHarness {
     radio: RadioEnvironment,
     rnti_map: BTreeMap<(CellId, Rnti), UeId>,
     now: Tti,
+    dl_in: DlSchedulerInput,
+    dl_out: DlSchedulerOutput,
+    ul_in: UlSchedulerInput,
+    ul_out: UlSchedulerOutput,
 }
 
 impl VanillaHarness {
@@ -639,6 +766,10 @@ impl VanillaHarness {
             radio: RadioEnvironment::new(),
             rnti_map: BTreeMap::new(),
             now: Tti::ZERO,
+            dl_in: DlSchedulerInput::default(),
+            dl_out: DlSchedulerOutput::default(),
+            ul_in: UlSchedulerInput::default(),
+            ul_out: UlSchedulerOutput::default(),
         }
     }
 
@@ -675,32 +806,41 @@ impl VanillaHarness {
         self.now = self.now.next();
         let now = self.now;
         let mut phy = PhyAdapter {
-            radio: &mut self.radio,
+            radio: &self.radio,
             rnti_map: &self.rnti_map,
         };
         self.enb.begin_tti(now, &mut phy);
-        for cell in self.enb.cell_ids() {
-            if let Ok(input) = self.enb.dl_scheduler_input(cell, now, now) {
-                let out = self.dl.schedule_dl(&input);
-                if !out.dcis.is_empty() {
+        for ci in 0..self.enb.n_cells() {
+            let cell = self.enb.cell_id_at(ci);
+            if self
+                .enb
+                .dl_scheduler_input_into(cell, now, now, &mut self.dl_in)
+                .is_ok()
+            {
+                self.dl.schedule_dl_into(&self.dl_in, &mut self.dl_out);
+                if !self.dl_out.dcis.is_empty() {
                     let _ = self.enb.submit_dl_decision(
                         DlSchedulingDecision {
                             cell,
                             target: now,
-                            dcis: out.dcis,
+                            dcis: std::mem::take(&mut self.dl_out.dcis),
                         },
                         now,
                     );
                 }
             }
-            if let Ok(input) = self.enb.ul_scheduler_input(cell, now, now) {
-                let out = self.ul.schedule_ul(&input);
-                if !out.grants.is_empty() {
+            if self
+                .enb
+                .ul_scheduler_input_into(cell, now, now, &mut self.ul_in)
+                .is_ok()
+            {
+                self.ul.schedule_ul_into(&self.ul_in, &mut self.ul_out);
+                if !self.ul_out.grants.is_empty() {
                     let _ = self.enb.submit_ul_decision(
                         UlSchedulingDecision {
                             cell,
                             target: now,
-                            grants: out.grants,
+                            grants: std::mem::take(&mut self.ul_out.grants),
                         },
                         now,
                     );
@@ -708,7 +848,7 @@ impl VanillaHarness {
             }
         }
         let mut phy = PhyAdapter {
-            radio: &mut self.radio,
+            radio: &self.radio,
             rnti_map: &self.rnti_map,
         };
         self.enb.finish_tti(now, &mut phy);

@@ -31,6 +31,7 @@ pub struct Platform {
     uplink: LinkConfig,
     downlink: LinkConfig,
     seed: u64,
+    workers: Option<usize>,
 }
 
 impl Default for Platform {
@@ -52,6 +53,7 @@ impl Platform {
             uplink: LinkConfig::ideal(),
             downlink: LinkConfig::ideal(),
             seed: 1,
+            workers: None,
         }
     }
 
@@ -113,6 +115,13 @@ impl Platform {
         self
     }
 
+    /// Worker threads for the harness's per-agent TTI phases. `None`
+    /// (default) is fully serial; results are bit-identical either way.
+    pub fn workers(mut self, workers: Option<usize>) -> Self {
+        self.workers = workers;
+        self
+    }
+
     /// The derived master configuration.
     pub fn build_master_config(&self) -> TaskManagerConfig {
         TaskManagerConfig {
@@ -149,6 +158,7 @@ impl Platform {
             downlink: self.downlink,
             master: self.build_master_config(),
             seed: self.seed,
+            workers: self.workers,
         })
     }
 }

@@ -26,6 +26,23 @@ pub fn encode_frame(payload: &[u8]) -> Result<Bytes> {
     Ok(buf.freeze())
 }
 
+/// Like [`encode_frame`], but into a caller-provided buffer (cleared
+/// first) — the allocation-free path for transports that keep one frame
+/// buffer across sends.
+pub fn encode_frame_into(payload: &[u8], buf: &mut BytesMut) -> Result<()> {
+    if payload.len() > MAX_FRAME_BYTES {
+        return Err(FlexError::Codec(format!(
+            "frame of {} bytes exceeds the {MAX_FRAME_BYTES}-byte cap",
+            payload.len()
+        )));
+    }
+    buf.clear();
+    buf.reserve(4 + payload.len());
+    buf.put_u32(payload.len() as u32);
+    buf.put_slice(payload);
+    Ok(())
+}
+
 /// Incremental frame decoder.
 #[derive(Debug, Default)]
 pub struct FrameDecoder {

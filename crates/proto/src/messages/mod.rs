@@ -229,6 +229,15 @@ impl FlexranMessage {
     /// compatible and is what transports frame and count.
     pub fn encode(&self, header: Header) -> Bytes {
         let mut w = WireWriter::new();
+        self.encode_into(header, &mut w);
+        w.finish()
+    }
+
+    /// Serialize into a caller-provided writer (cleared first) —
+    /// the allocation-free path for transports that keep one writer
+    /// across sends.
+    pub fn encode_into(&self, header: Header, w: &mut WireWriter) {
+        w.clear();
         w.message(F_HEADER, |m| header.encode(m));
         match self {
             FlexranMessage::Hello(b) => w.message(F_HELLO, |m| b.encode(m)),
@@ -252,7 +261,6 @@ impl FlexranMessage {
             FlexranMessage::PolicyReconfiguration(b) => w.message(F_POLICY, |m| b.encode(m)),
             FlexranMessage::DelegationAck(b) => w.message(F_DELEG_ACK, |m| b.encode(m)),
         }
-        w.finish()
     }
 
     /// Parse an envelope. Unknown body fields fail loudly (the envelope is

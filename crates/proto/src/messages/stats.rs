@@ -423,6 +423,14 @@ pub struct StatsReply {
 }
 
 impl StatsReply {
+    /// Encode just the reply body into `w` (cleared first). The agent's
+    /// delta-aware report path hashes this to detect unchanged content
+    /// without cloning or re-allocating the reply.
+    pub fn encode_body_into(&self, w: &mut WireWriter) {
+        w.clear();
+        self.encode(w);
+    }
+
     pub(crate) fn encode(&self, w: &mut WireWriter) {
         w.uint(1, self.enb_id.0 as u64);
         w.uint(2, self.tti);

@@ -28,11 +28,13 @@ use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::sync::mpsc;
 
+use bytes::BytesMut;
 use flexran_types::{FlexError, Result};
 
 use crate::category::ByteCounters;
-use crate::frame::{encode_frame, FrameDecoder};
+use crate::frame::{encode_frame_into, FrameDecoder};
 use crate::messages::{FlexranMessage, Header};
+use crate::wire::WireWriter;
 
 /// A bidirectional, non-blocking message channel.
 pub trait Transport: Send {
@@ -61,6 +63,8 @@ pub struct ChannelTransport {
     tx: mpsc::Sender<Vec<u8>>,
     rx: mpsc::Receiver<Vec<u8>>,
     queue: VecDeque<Vec<u8>>,
+    /// Encode scratch, reused across sends.
+    scratch: WireWriter,
     tx_counters: ByteCounters,
     rx_counters: ByteCounters,
 }
@@ -74,6 +78,7 @@ pub fn channel_pair() -> (ChannelTransport, ChannelTransport) {
             tx: a_tx,
             rx: a_rx,
             queue: VecDeque::new(),
+            scratch: WireWriter::new(),
             tx_counters: ByteCounters::new(),
             rx_counters: ByteCounters::new(),
         },
@@ -81,6 +86,7 @@ pub fn channel_pair() -> (ChannelTransport, ChannelTransport) {
             tx: b_tx,
             rx: b_rx,
             queue: VecDeque::new(),
+            scratch: WireWriter::new(),
             tx_counters: ByteCounters::new(),
             rx_counters: ByteCounters::new(),
         },
@@ -89,11 +95,13 @@ pub fn channel_pair() -> (ChannelTransport, ChannelTransport) {
 
 impl Transport for ChannelTransport {
     fn send(&mut self, header: Header, msg: &FlexranMessage) -> Result<()> {
-        let bytes = msg.encode(header);
-        self.tx_counters
-            .add(msg.category(), bytes.len() as u64 + FRAME_OVERHEAD_BYTES);
+        msg.encode_into(header, &mut self.scratch);
+        self.tx_counters.add(
+            msg.category(),
+            self.scratch.len() as u64 + FRAME_OVERHEAD_BYTES,
+        );
         self.tx
-            .send(bytes.to_vec())
+            .send(self.scratch.as_slice().to_vec())
             .map_err(|_| FlexError::Transport("peer endpoint dropped".into()))
     }
 
@@ -128,13 +136,17 @@ impl Transport for ChannelTransport {
 /// FlexRAN protocol endpoint over a TCP stream.
 ///
 /// Reads are non-blocking (poll with [`Transport::try_recv`] from the
-/// owner's loop); writes spin briefly on a full socket buffer, which for
-/// the protocol's message sizes (tens of bytes to tens of kilobytes)
-/// resolves within microseconds.
+/// owner's loop); writes spin briefly on a full socket buffer (which for
+/// the protocol's message sizes resolves within microseconds), then fall
+/// back to a parked wait with a bounded, escalating timeout.
 pub struct TcpTransport {
     stream: TcpStream,
     decoder: FrameDecoder,
     read_buf: Vec<u8>,
+    /// Encode scratch, reused across sends.
+    scratch: WireWriter,
+    /// Framed-bytes scratch, reused across sends.
+    frame_buf: BytesMut,
     tx_counters: ByteCounters,
     rx_counters: ByteCounters,
     peer_closed: bool,
@@ -160,6 +172,8 @@ impl TcpTransport {
             stream,
             decoder: FrameDecoder::new(),
             read_buf: vec![0u8; 64 * 1024],
+            scratch: WireWriter::new(),
+            frame_buf: BytesMut::new(),
             tx_counters: ByteCounters::new(),
             rx_counters: ByteCounters::new(),
             peer_closed: false,
@@ -192,21 +206,37 @@ impl TcpTransport {
 
 impl Transport for TcpTransport {
     fn send(&mut self, header: Header, msg: &FlexranMessage) -> Result<()> {
-        let payload = msg.encode(header);
-        let frame = encode_frame(&payload)?;
+        msg.encode_into(header, &mut self.scratch);
+        encode_frame_into(self.scratch.as_slice(), &mut self.frame_buf)?;
         let mut off = 0usize;
-        while off < frame.len() {
-            match self.stream.write(&frame[off..]) {
+        let mut stalls = 0u64;
+        while off < self.frame_buf.len() {
+            match self.stream.write(&self.frame_buf[off..]) {
                 Ok(0) => return Err(FlexError::Transport("socket closed mid-write".into())),
-                Ok(n) => off += n,
+                Ok(n) => {
+                    off += n;
+                    stalls = 0;
+                }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    std::thread::yield_now();
+                    // A full socket buffer normally drains within
+                    // microseconds, so spin briefly; past that, park
+                    // with an escalating (bounded) timeout so a stalled
+                    // peer doesn't cost a busy core. A spurious unpark
+                    // just retries the write.
+                    stalls += 1;
+                    if stalls <= 64 {
+                        std::thread::yield_now();
+                    } else {
+                        let wait = std::time::Duration::from_micros(stalls.min(1_000));
+                        std::thread::park_timeout(wait);
+                    }
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
                 Err(e) => return Err(FlexError::Transport(format!("write: {e}"))),
             }
         }
-        self.tx_counters.add(msg.category(), frame.len() as u64);
+        self.tx_counters
+            .add(msg.category(), self.frame_buf.len() as u64);
         Ok(())
     }
 

@@ -178,27 +178,47 @@ impl WireWriter {
     }
 
     /// `repeated uint` as a packed field (protobuf packed encoding —
-    /// what makes per-subband CQI arrays cheap on the wire).
+    /// what makes per-subband CQI arrays cheap on the wire). The payload
+    /// length is summed up front, so no intermediate buffer is needed.
     pub fn packed_uints(&mut self, field: u32, vs: &[u64]) {
         if vs.is_empty() {
             return;
         }
-        let mut inner = BytesMut::new();
-        for v in vs {
-            put_uvarint(&mut inner, *v);
-        }
+        let payload: usize = vs.iter().map(|v| uvarint_len(*v)).sum();
         self.tag(field, WireType::LengthDelimited);
-        put_uvarint(&mut self.buf, inner.len() as u64);
-        self.buf.put_slice(&inner);
+        put_uvarint(&mut self.buf, payload as u64);
+        for v in vs {
+            put_uvarint(&mut self.buf, *v);
+        }
     }
 
     /// Nested message field: the closure writes the submessage.
+    ///
+    /// Encodes in place: the submessage is written directly into this
+    /// writer's buffer after a one-byte length placeholder, which is
+    /// patched (shifting the payload only when the length needs a
+    /// multi-byte varint, i.e. ≥ 128 bytes). No per-submessage
+    /// allocation, and the bytes stay canonical protobuf — sizes still
+    /// match a real implementation, which Fig. 7 depends on.
     pub fn message<F: FnOnce(&mut WireWriter)>(&mut self, field: u32, f: F) {
-        let mut inner = WireWriter::new();
-        f(&mut inner);
         self.tag(field, WireType::LengthDelimited);
-        put_uvarint(&mut self.buf, inner.buf.len() as u64);
-        self.buf.put_slice(&inner.buf);
+        let len_pos = self.buf.len();
+        self.buf.put_u8(0); // length placeholder
+        f(self);
+        let payload = self.buf.len() - len_pos - 1;
+        let len_bytes = uvarint_len(payload as u64);
+        if len_bytes > 1 {
+            // Shift the payload right to make room for the longer varint.
+            let end = self.buf.len();
+            self.buf.resize(end + len_bytes - 1, 0);
+            self.buf.copy_within(len_pos + 1..end, len_pos + len_bytes);
+        }
+        let mut v = payload as u64;
+        for i in 0..len_bytes {
+            let byte = (v & 0x7F) as u8;
+            v >>= 7;
+            self.buf[len_pos + i] = if v == 0 { byte } else { byte | 0x80 };
+        }
     }
 
     /// Bytes written so far.
@@ -208,6 +228,17 @@ impl WireWriter {
 
     pub fn is_empty(&self) -> bool {
         self.buf.is_empty()
+    }
+
+    /// The encoded bytes so far (borrowing accessor for pooled writers
+    /// that are cleared and reused instead of consumed).
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Reset for reuse, keeping the underlying allocation.
+    pub fn clear(&mut self) {
+        self.buf.clear();
     }
 
     /// Finish, yielding the encoded bytes.
@@ -435,6 +466,34 @@ mod tests {
             }
         }
         assert_eq!(seen, 8);
+    }
+
+    #[test]
+    fn long_nested_message_shifts_for_multibyte_length() {
+        // Payload ≥ 128 bytes forces the in-place encoder to widen the
+        // one-byte length placeholder; nesting inside the long message
+        // checks the shift composes with recursion.
+        let mut w = WireWriter::new();
+        w.message(1, |m| {
+            m.bytes_field(2, &[0xAB; 300]);
+            m.message(3, |inner| inner.uint(1, 7));
+        });
+        let bytes = w.finish();
+        let mut r = WireReader::new(&bytes);
+        let (field, value) = r.next_field().unwrap().unwrap();
+        assert_eq!(field, 1);
+        let payload = value.as_bytes().unwrap();
+        assert!(payload.len() > 300);
+        let mut inner = WireReader::new(payload);
+        let (f2, v2) = inner.next_field().unwrap().unwrap();
+        assert_eq!(f2, 2);
+        assert_eq!(v2.as_bytes().unwrap(), &[0xAB; 300][..]);
+        let (f3, v3) = inner.next_field().unwrap().unwrap();
+        assert_eq!(f3, 3);
+        let mut r3 = WireReader::new(v3.as_bytes().unwrap());
+        let (f, v) = r3.next_field().unwrap().unwrap();
+        assert_eq!((f, v.as_u64().unwrap()), (1, 7));
+        assert!(r.next_field().unwrap().is_none());
     }
 
     #[test]

@@ -20,6 +20,7 @@ use rand::{Rng, SeedableRng};
 use flexran_proto::category::ByteCounters;
 use flexran_proto::messages::{FlexranMessage, Header};
 use flexran_proto::transport::{Transport, FRAME_OVERHEAD_BYTES};
+use flexran_proto::wire::WireWriter;
 use flexran_types::time::Tti;
 use flexran_types::units::BitRate;
 use flexran_types::{FlexError, Result};
@@ -304,6 +305,8 @@ pub struct SimTransport {
     out: Arc<Mutex<Direction>>,
     /// Queue this endpoint receives from.
     inc: Arc<Mutex<Direction>>,
+    /// Encode scratch, reused across sends.
+    scratch: WireWriter,
     tx_counters: ByteCounters,
     rx_counters: ByteCounters,
 }
@@ -347,6 +350,7 @@ fn sim_link_pair_inner(
             clock: clock.clone(),
             out: ab.clone(),
             inc: ba.clone(),
+            scratch: WireWriter::new(),
             tx_counters: ByteCounters::new(),
             rx_counters: ByteCounters::new(),
         },
@@ -354,6 +358,7 @@ fn sim_link_pair_inner(
             clock,
             out: ba,
             inc: ab,
+            scratch: WireWriter::new(),
             tx_counters: ByteCounters::new(),
             rx_counters: ByteCounters::new(),
         },
@@ -369,10 +374,14 @@ impl SimTransport {
 
 impl Transport for SimTransport {
     fn send(&mut self, header: Header, msg: &FlexranMessage) -> Result<()> {
-        let bytes = msg.encode(header);
-        self.tx_counters
-            .add(msg.category(), bytes.len() as u64 + FRAME_OVERHEAD_BYTES);
-        self.out.lock().push(self.clock.now(), bytes.to_vec());
+        msg.encode_into(header, &mut self.scratch);
+        self.tx_counters.add(
+            msg.category(),
+            self.scratch.len() as u64 + FRAME_OVERHEAD_BYTES,
+        );
+        self.out
+            .lock()
+            .push(self.clock.now(), self.scratch.as_slice().to_vec());
         Ok(())
     }
 

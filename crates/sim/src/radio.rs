@@ -22,6 +22,7 @@ use flexran_phy::mobility::MobilityModel;
 use flexran_stack::enb::PhyView;
 use flexran_types::ids::{CellId, Rnti, UeId};
 use flexran_types::time::Tti;
+use parking_lot::Mutex;
 
 /// How one UE's radio conditions are produced.
 pub enum UeRadio {
@@ -34,9 +35,17 @@ pub enum UeRadio {
 }
 
 /// The simulation-global radio state.
+///
+/// Channel queries ([`RadioEnvironment::sinr_db`],
+/// [`RadioEnvironment::rsrp_all_sites`]) take `&self`: each UE's
+/// (stateful) channel sits behind its own mutex, so a parallel harness
+/// can drive many eNodeBs against one shared environment. Every UE is
+/// only ever queried by its serving eNodeB, so the locks are
+/// uncontended and the per-UE query order — hence every RNG draw — is
+/// independent of thread interleaving.
 pub struct RadioEnvironment {
     env: Option<Environment>,
-    ues: BTreeMap<UeId, UeRadio>,
+    ues: BTreeMap<UeId, Mutex<UeRadio>>,
     /// Sites transmitting in the current subframe (geometry mode).
     active_sites: Vec<usize>,
     /// SINR for UEs nobody registered (harness bugs surface as terrible
@@ -72,13 +81,15 @@ impl RadioEnvironment {
     }
 
     pub fn register_ue(&mut self, ue: UeId, radio: UeRadio) {
-        self.ues.insert(ue, radio);
+        self.ues.insert(ue, Mutex::new(radio));
     }
 
     /// Re-home a geometry-mode UE after handover.
-    pub fn set_serving_site(&mut self, ue: UeId, site: usize) {
-        if let Some(UeRadio::Geo { serving_site, .. }) = self.ues.get_mut(&ue) {
-            *serving_site = site;
+    pub fn set_serving_site(&self, ue: UeId, site: usize) {
+        if let Some(radio) = self.ues.get(&ue) {
+            if let UeRadio::Geo { serving_site, .. } = &mut *radio.lock() {
+                *serving_site = site;
+            }
         }
     }
 
@@ -89,28 +100,33 @@ impl RadioEnvironment {
     }
 
     /// SINR for a UE at `tti`.
-    pub fn sinr_db(&mut self, ue: UeId, tti: Tti) -> f64 {
-        match self.ues.get_mut(&ue) {
+    pub fn sinr_db(&self, ue: UeId, tti: Tti) -> f64 {
+        match self.ues.get(&ue) {
             None => self.default_sinr_db,
-            Some(UeRadio::Process(p)) => p.sinr_db(tti),
-            Some(UeRadio::Geo {
-                mobility,
-                serving_site,
-            }) => {
-                let pos = mobility.position(tti);
-                match &self.env {
-                    None => self.default_sinr_db,
-                    Some(env) => env.sinr_db(*serving_site, pos, &self.active_sites),
+            Some(radio) => match &mut *radio.lock() {
+                UeRadio::Process(p) => p.sinr_db(tti),
+                UeRadio::Geo {
+                    mobility,
+                    serving_site,
+                } => {
+                    let pos = mobility.position(tti);
+                    match &self.env {
+                        None => self.default_sinr_db,
+                        Some(env) => env.sinr_db(*serving_site, pos, &self.active_sites),
+                    }
                 }
-            }
+            },
         }
     }
 
     /// RSRP of every site at the UE's current position (geometry mode;
     /// feeds measurement reports for the mobility manager). Empty in
     /// process mode.
-    pub fn rsrp_all_sites(&mut self, ue: UeId, tti: Tti) -> Vec<(usize, f64)> {
-        let Some(UeRadio::Geo { mobility, .. }) = self.ues.get_mut(&ue) else {
+    pub fn rsrp_all_sites(&self, ue: UeId, tti: Tti) -> Vec<(usize, f64)> {
+        let Some(radio) = self.ues.get(&ue) else {
+            return Vec::new();
+        };
+        let UeRadio::Geo { mobility, .. } = &mut *radio.lock() else {
             return Vec::new();
         };
         let pos = mobility.position(tti);
@@ -129,8 +145,11 @@ impl RadioEnvironment {
 }
 
 /// [`PhyView`] for one eNodeB, backed by the global radio environment.
+///
+/// Holds the environment by shared reference so one environment can
+/// serve many eNodeBs concurrently (see [`RadioEnvironment`]).
 pub struct PhyAdapter<'a> {
-    pub radio: &'a mut RadioEnvironment,
+    pub radio: &'a RadioEnvironment,
     /// `(cell, rnti)` → simulation-global UE for this eNodeB.
     pub rnti_map: &'a BTreeMap<(CellId, Rnti), UeId>,
 }
@@ -163,7 +182,7 @@ mod tests {
 
     #[test]
     fn unknown_ue_gets_default() {
-        let mut radio = RadioEnvironment::new();
+        let radio = RadioEnvironment::new();
         assert_eq!(radio.sinr_db(UeId(9), Tti(0)), -20.0);
     }
 
@@ -202,7 +221,7 @@ mod tests {
         let mut map = BTreeMap::new();
         map.insert((CellId(0), Rnti(0x100)), UeId(1));
         let mut phy = PhyAdapter {
-            radio: &mut radio,
+            radio: &radio,
             rnti_map: &map,
         };
         let good = phy.sinr_db(CellId(0), Rnti(0x100), Tti(0));

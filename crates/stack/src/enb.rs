@@ -158,6 +158,29 @@ impl UeContext {
         }
     }
 
+    fn stats(&self) -> UeStats {
+        UeStats {
+            rnti: self.rnti,
+            ue: self.ue_tag,
+            slice: self.slice,
+            priority_group: self.priority_group,
+            connected: self.state.is_connected(),
+            cqi: self.last_cqi,
+            cqi_updated: self.cqi_updated,
+            sinr_db: self.sinr_db,
+            dl_queue_bytes: self.drb.buffer_occupancy(),
+            srb_queue_bytes: self.srb.buffer_occupancy(),
+            ul_bsr_bytes: Bytes(self.ul_bsr),
+            dl_delivered_bits: self.dl_delivered_bits,
+            ul_delivered_bits: self.ul_delivered_bits,
+            avg_rate_bps: self.avg_rate_bps,
+            harq_tx: self.harq.tx_new,
+            harq_retx: self.harq.tx_retx,
+            hol_delay_ms: self.drb.hol_delay(Tti(self.cqi_updated.0)),
+            active_scells: self.active_scells.iter().copied().collect(),
+        }
+    }
+
     fn is_schedulable(&self, tti: Tti) -> bool {
         match self.drx {
             None => true,
@@ -543,6 +566,20 @@ impl Enb {
         now: Tti,
         target: Tti,
     ) -> Result<DlSchedulerInput> {
+        let mut input = DlSchedulerInput::default();
+        self.dl_scheduler_input_into(cell, now, target, &mut input)?;
+        Ok(input)
+    }
+
+    /// In-place variant of [`Enb::dl_scheduler_input`]: refills `input`,
+    /// reusing its `ues`/`retx` buffers (the per-TTI hot path).
+    pub fn dl_scheduler_input_into(
+        &self,
+        cell: CellId,
+        now: Tti,
+        target: Tti,
+        input: &mut DlSchedulerInput,
+    ) -> Result<()> {
         let c = self.cell_ref(cell)?;
         let current = target == now;
         let n_prb = c.config.dl_bandwidth.n_prb();
@@ -562,38 +599,33 @@ impl Enb {
         } else {
             c.config.max_dl_dcis_per_tti
         };
-        let ues = c
-            .ues
-            .values()
-            .filter(|u| u.is_schedulable(target))
-            .map(|u| UeSchedInfo {
-                rnti: u.rnti,
-                cqi: u.last_cqi,
-                queue_bytes: u.drb.buffer_occupancy(),
-                srb_bytes: u.srb.buffer_occupancy(),
-                avg_rate_bps: u.avg_rate_bps,
-                slice: u.slice,
-                priority_group: u.priority_group,
-                hol_delay_ms: u.drb.hol_delay(now),
-            })
-            .collect();
-        let retx = c
-            .current_retx
-            .iter()
-            .map(|r| RetxInfo {
-                rnti: r.rnti,
-                n_prb: r.n_prb,
-            })
-            .collect();
-        Ok(DlSchedulerInput {
-            cell,
-            now,
-            target,
-            available_prb: available,
-            max_dcis,
-            ues,
-            retx,
-        })
+        input.cell = cell;
+        input.now = now;
+        input.target = target;
+        input.available_prb = available;
+        input.max_dcis = max_dcis;
+        input.ues.clear();
+        input.ues.extend(
+            c.ues
+                .values()
+                .filter(|u| u.is_schedulable(target))
+                .map(|u| UeSchedInfo {
+                    rnti: u.rnti,
+                    cqi: u.last_cqi,
+                    queue_bytes: u.drb.buffer_occupancy(),
+                    srb_bytes: u.srb.buffer_occupancy(),
+                    avg_rate_bps: u.avg_rate_bps,
+                    slice: u.slice,
+                    priority_group: u.priority_group,
+                    hol_delay_ms: u.drb.hol_delay(now),
+                }),
+        );
+        input.retx.clear();
+        input.retx.extend(c.current_retx.iter().map(|r| RetxInfo {
+            rnti: r.rnti,
+            n_prb: r.n_prb,
+        }));
+        Ok(())
     }
 
     /// Describe the subframe for an uplink scheduler.
@@ -603,26 +635,38 @@ impl Enb {
         now: Tti,
         target: Tti,
     ) -> Result<UlSchedulerInput> {
+        let mut input = UlSchedulerInput::default();
+        self.ul_scheduler_input_into(cell, now, target, &mut input)?;
+        Ok(input)
+    }
+
+    /// In-place variant of [`Enb::ul_scheduler_input`], reusing `input.ues`.
+    pub fn ul_scheduler_input_into(
+        &self,
+        cell: CellId,
+        now: Tti,
+        target: Tti,
+        input: &mut UlSchedulerInput,
+    ) -> Result<()> {
         let c = self.cell_ref(cell)?;
-        let ues = c
-            .ues
-            .values()
-            .filter(|u| u.state.is_connected())
-            .map(|u| UlUeInfo {
-                rnti: u.rnti,
-                bsr_bytes: Bytes(u.ul_bsr),
-                cqi: u.last_cqi,
-                prb_cap: self.params.ul_prb_cap,
-            })
-            .collect();
-        Ok(UlSchedulerInput {
-            cell,
-            now,
-            target,
-            available_prb: c.config.ul_bandwidth.n_prb(),
-            max_grants: c.config.max_ul_grants_per_tti,
-            ues,
-        })
+        input.cell = cell;
+        input.now = now;
+        input.target = target;
+        input.available_prb = c.config.ul_bandwidth.n_prb();
+        input.max_grants = c.config.max_ul_grants_per_tti;
+        input.ues.clear();
+        input.ues.extend(
+            c.ues
+                .values()
+                .filter(|u| u.state.is_connected())
+                .map(|u| UlUeInfo {
+                    rnti: u.rnti,
+                    bsr_bytes: Bytes(u.ul_bsr),
+                    cqi: u.last_cqi,
+                    prb_cap: self.params.ul_prb_cap,
+                }),
+        );
+        Ok(())
     }
 
     /// Submit a downlink scheduling decision. Rejected (and counted) if
@@ -1027,6 +1071,16 @@ impl Enb {
         self.cells.iter().map(|c| c.config.cell_id).collect()
     }
 
+    /// Number of cells (allocation-free companion to [`Enb::cell_ids`]).
+    pub fn n_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// The id of the `idx`-th cell (same order as [`Enb::cell_ids`]).
+    pub fn cell_id_at(&self, idx: usize) -> CellId {
+        self.cells[idx].config.cell_id
+    }
+
     /// A cell's configuration.
     pub fn cell_config(&self, cell: CellId) -> Result<&CellConfig> {
         Ok(&self.cell_ref(cell)?.config)
@@ -1034,38 +1088,34 @@ impl Enb {
 
     /// Per-UE statistics for a cell.
     pub fn ue_stats(&self, cell: CellId) -> Result<Vec<UeStats>> {
-        let c = self.cell_ref(cell)?;
-        Ok(c.ues
-            .values()
-            .map(|u| UeStats {
-                rnti: u.rnti,
-                ue: u.ue_tag,
-                slice: u.slice,
-                priority_group: u.priority_group,
-                connected: u.state.is_connected(),
-                cqi: u.last_cqi,
-                cqi_updated: u.cqi_updated,
-                sinr_db: u.sinr_db,
-                dl_queue_bytes: u.drb.buffer_occupancy(),
-                srb_queue_bytes: u.srb.buffer_occupancy(),
-                ul_bsr_bytes: Bytes(u.ul_bsr),
-                dl_delivered_bits: u.dl_delivered_bits,
-                ul_delivered_bits: u.ul_delivered_bits,
-                avg_rate_bps: u.avg_rate_bps,
-                harq_tx: u.harq.tx_new,
-                harq_retx: u.harq.tx_retx,
-                hol_delay_ms: u.drb.hol_delay(Tti(u.cqi_updated.0)),
-                active_scells: u.active_scells.iter().copied().collect(),
-            })
-            .collect())
+        Ok(self.ue_stats_iter(cell)?.collect())
     }
 
-    /// A single UE's statistics.
+    /// Allocation-free variant of [`Enb::ue_stats`]: stream the per-UE
+    /// statistics (the per-TTI reports hot path).
+    pub fn ue_stats_iter(&self, cell: CellId) -> Result<impl Iterator<Item = UeStats> + '_> {
+        let c = self.cell_ref(cell)?;
+        Ok(c.ues.values().map(|u| u.stats()))
+    }
+
+    /// A single UE's statistics (direct map lookup, not a scan).
     pub fn ue_stat(&self, cell: CellId, rnti: Rnti) -> Result<UeStats> {
-        self.ue_stats(cell)?
-            .into_iter()
-            .find(|u| u.rnti == rnti)
+        let c = self.cell_ref(cell)?;
+        c.ues
+            .get(&rnti)
+            .map(|u| u.stats())
             .ok_or_else(|| FlexError::NotFound(format!("{rnti}")))
+    }
+
+    /// A UE's downlink queue occupancy — the cheap accessor the per-TTI
+    /// traffic pacing loop needs (no [`UeStats`] construction).
+    pub fn dl_queue_bytes(&self, cell: CellId, rnti: Rnti) -> Result<Bytes> {
+        let c = self.cell_ref(cell)?;
+        let u = c
+            .ues
+            .get(&rnti)
+            .ok_or_else(|| FlexError::NotFound(format!("{rnti}")))?;
+        Ok(u.drb.buffer_occupancy())
     }
 
     /// Cell-level statistics.

@@ -100,6 +100,20 @@ pub struct DlSchedulerInput {
     pub retx: Vec<RetxInfo>,
 }
 
+impl Default for DlSchedulerInput {
+    fn default() -> Self {
+        DlSchedulerInput {
+            cell: CellId(0),
+            now: Tti(0),
+            target: Tti(0),
+            available_prb: 0,
+            max_dcis: 0,
+            ues: Vec::new(),
+            retx: Vec::new(),
+        }
+    }
+}
+
 /// A downlink scheduling output: the assignments for the target subframe.
 #[derive(Debug, Clone, Default)]
 pub struct DlSchedulerOutput {
@@ -112,8 +126,19 @@ pub trait DlScheduler: Send {
     /// Stable name used by VSF caches and policy reconfiguration.
     fn name(&self) -> &str;
 
-    /// Compute the assignments for `input.target`.
-    fn schedule_dl(&mut self, input: &DlSchedulerInput) -> DlSchedulerOutput;
+    /// Compute the assignments for `input.target` into `out` (cleared
+    /// first). This is the hot path: implementations must not allocate
+    /// in steady state — keep candidate scratch in `self` and reuse
+    /// `out.dcis`'s capacity.
+    fn schedule_dl_into(&mut self, input: &DlSchedulerInput, out: &mut DlSchedulerOutput);
+
+    /// Allocating convenience wrapper around
+    /// [`DlScheduler::schedule_dl_into`].
+    fn schedule_dl(&mut self, input: &DlSchedulerInput) -> DlSchedulerOutput {
+        let mut out = DlSchedulerOutput::default();
+        self.schedule_dl_into(input, &mut out);
+        out
+    }
 
     /// Set a runtime parameter. The default implementation knows none.
     fn set_param(&mut self, key: &str, _value: ParamValue) -> Result<()> {
@@ -141,6 +166,19 @@ pub struct UlSchedulerInput {
     pub ues: Vec<UlUeInfo>,
 }
 
+impl Default for UlSchedulerInput {
+    fn default() -> Self {
+        UlSchedulerInput {
+            cell: CellId(0),
+            now: Tti(0),
+            target: Tti(0),
+            available_prb: 0,
+            max_grants: 0,
+            ues: Vec::new(),
+        }
+    }
+}
+
 /// Uplink per-UE scheduling information.
 #[derive(Debug, Clone)]
 pub struct UlUeInfo {
@@ -161,7 +199,18 @@ pub struct UlSchedulerOutput {
 /// The uplink scheduler interface.
 pub trait UlScheduler: Send {
     fn name(&self) -> &str;
-    fn schedule_ul(&mut self, input: &UlSchedulerInput) -> UlSchedulerOutput;
+
+    /// Compute the grants for `input.target` into `out` (cleared
+    /// first). Hot path — same no-steady-state-allocation contract as
+    /// [`DlScheduler::schedule_dl_into`].
+    fn schedule_ul_into(&mut self, input: &UlSchedulerInput, out: &mut UlSchedulerOutput);
+
+    /// Allocating convenience wrapper.
+    fn schedule_ul(&mut self, input: &UlSchedulerInput) -> UlSchedulerOutput {
+        let mut out = UlSchedulerOutput::default();
+        self.schedule_ul_into(input, &mut out);
+        out
+    }
 }
 
 /// Minimum PRBs at `mcs` whose transport block covers `bytes`
@@ -203,14 +252,17 @@ pub fn allocate_srbs(input: &DlSchedulerInput, dcis: &mut Vec<DlDci>, mut prb_le
     prb_left
 }
 
-fn backlogged<'a>(input: &'a DlSchedulerInput, dcis: &[DlDci]) -> Vec<&'a UeSchedInfo> {
-    input
-        .ues
-        .iter()
-        .filter(|u| {
-            !u.queue_bytes.is_zero() && u.cqi.0 > 0 && !dcis.iter().any(|d| d.rnti == u.rnti)
-        })
-        .collect()
+/// Shared helper: fill `cand` with the indices (into `input.ues`) of
+/// UEs with data backlog, a usable channel, and no DCI yet. Index-based
+/// so schedulers can keep one scratch `Vec<usize>` across TTIs instead
+/// of collecting a fresh reference `Vec` every subframe.
+pub fn backlogged_into(input: &DlSchedulerInput, dcis: &[DlDci], cand: &mut Vec<usize>) {
+    cand.clear();
+    cand.extend(input.ues.iter().enumerate().filter_map(|(i, u)| {
+        let want =
+            !u.queue_bytes.is_zero() && u.cqi.0 > 0 && !dcis.iter().any(|d| d.rnti == u.rnti);
+        want.then_some(i)
+    }));
 }
 
 /// Round-robin: equal PRB shares for backlogged UEs, rotating the starting
@@ -218,6 +270,7 @@ fn backlogged<'a>(input: &'a DlSchedulerInput, dcis: &[DlDci]) -> Vec<&'a UeSche
 #[derive(Debug, Default)]
 pub struct RoundRobinScheduler {
     rotation: usize,
+    cand: Vec<usize>,
 }
 
 impl RoundRobinScheduler {
@@ -231,37 +284,37 @@ impl DlScheduler for RoundRobinScheduler {
         "round-robin"
     }
 
-    fn schedule_dl(&mut self, input: &DlSchedulerInput) -> DlSchedulerOutput {
-        let mut dcis = Vec::new();
-        let mut prb_left = allocate_srbs(input, &mut dcis, input.available_prb);
-        let mut cands = backlogged(input, &dcis);
-        if cands.is_empty() || prb_left == 0 {
-            return DlSchedulerOutput { dcis };
+    fn schedule_dl_into(&mut self, input: &DlSchedulerInput, out: &mut DlSchedulerOutput) {
+        out.dcis.clear();
+        let mut prb_left = allocate_srbs(input, &mut out.dcis, input.available_prb);
+        backlogged_into(input, &out.dcis, &mut self.cand);
+        if self.cand.is_empty() || prb_left == 0 {
+            return;
         }
-        cands.sort_by_key(|u| u.rnti);
-        let n = cands
+        self.cand.sort_unstable_by_key(|&i| input.ues[i].rnti);
+        let n = self
+            .cand
             .len()
-            .min((input.max_dcis as usize).saturating_sub(dcis.len()));
+            .min((input.max_dcis as usize).saturating_sub(out.dcis.len()));
         if n == 0 {
-            return DlSchedulerOutput { dcis };
+            return;
         }
-        self.rotation = (self.rotation + 1) % cands.len();
+        self.rotation = (self.rotation + 1) % self.cand.len();
         let share = (prb_left as usize / n).max(1) as u8;
         for i in 0..n {
             if prb_left == 0 {
                 break;
             }
-            let ue = cands[(self.rotation + i) % cands.len()];
+            let ue = &input.ues[self.cand[(self.rotation + i) % self.cand.len()]];
             let mcs = mcs_for_cqi(ue.cqi);
             let want = prbs_for_bytes(mcs, Bytes(ue.queue_bytes.as_u64() + 8), share.min(prb_left));
-            dcis.push(DlDci {
+            out.dcis.push(DlDci {
                 rnti: ue.rnti,
                 n_prb: want,
                 mcs,
             });
             prb_left -= want;
         }
-        DlSchedulerOutput { dcis }
     }
 }
 
@@ -272,12 +325,14 @@ pub struct ProportionalFairScheduler {
     /// Fairness exponent on the average-rate denominator (1.0 = classic
     /// PF; 0.0 degenerates to max-rate). Runtime-reconfigurable.
     pub fairness_exponent: f64,
+    cand: Vec<usize>,
 }
 
 impl Default for ProportionalFairScheduler {
     fn default() -> Self {
         ProportionalFairScheduler {
             fairness_exponent: 1.0,
+            cand: Vec::new(),
         }
     }
 }
@@ -299,30 +354,33 @@ impl DlScheduler for ProportionalFairScheduler {
         "proportional-fair"
     }
 
-    fn schedule_dl(&mut self, input: &DlSchedulerInput) -> DlSchedulerOutput {
-        let mut dcis = Vec::new();
-        let mut prb_left = allocate_srbs(input, &mut dcis, input.available_prb);
-        let mut cands = backlogged(input, &dcis);
-        cands.sort_by(|a, b| {
+    fn schedule_dl_into(&mut self, input: &DlSchedulerInput, out: &mut DlSchedulerOutput) {
+        out.dcis.clear();
+        let mut prb_left = allocate_srbs(input, &mut out.dcis, input.available_prb);
+        let mut cand = std::mem::take(&mut self.cand);
+        backlogged_into(input, &out.dcis, &mut cand);
+        cand.sort_unstable_by(|&a, &b| {
+            let (a, b) = (&input.ues[a], &input.ues[b]);
             self.metric(b)
                 .partial_cmp(&self.metric(a))
                 .unwrap_or(std::cmp::Ordering::Equal)
                 .then(a.rnti.cmp(&b.rnti))
         });
-        for ue in cands {
-            if prb_left == 0 || dcis.len() >= input.max_dcis as usize {
+        for &i in &cand {
+            if prb_left == 0 || out.dcis.len() >= input.max_dcis as usize {
                 break;
             }
+            let ue = &input.ues[i];
             let mcs = mcs_for_cqi(ue.cqi);
             let want = prbs_for_bytes(mcs, Bytes(ue.queue_bytes.as_u64() + 8), prb_left);
-            dcis.push(DlDci {
+            out.dcis.push(DlDci {
                 rnti: ue.rnti,
                 n_prb: want,
                 mcs,
             });
             prb_left -= want;
         }
-        DlSchedulerOutput { dcis }
+        self.cand = cand;
     }
 
     fn set_param(&mut self, key: &str, value: ParamValue) -> Result<()> {
@@ -356,11 +414,13 @@ impl DlScheduler for ProportionalFairScheduler {
 /// Max-CQI: always serve the best channels first (throughput-optimal,
 /// starvation-prone — the textbook baseline).
 #[derive(Debug, Default)]
-pub struct MaxCqiScheduler;
+pub struct MaxCqiScheduler {
+    cand: Vec<usize>,
+}
 
 impl MaxCqiScheduler {
     pub fn new() -> Self {
-        Self
+        Self::default()
     }
 }
 
@@ -369,25 +429,28 @@ impl DlScheduler for MaxCqiScheduler {
         "max-cqi"
     }
 
-    fn schedule_dl(&mut self, input: &DlSchedulerInput) -> DlSchedulerOutput {
-        let mut dcis = Vec::new();
-        let mut prb_left = allocate_srbs(input, &mut dcis, input.available_prb);
-        let mut cands = backlogged(input, &dcis);
-        cands.sort_by(|a, b| b.cqi.cmp(&a.cqi).then(a.rnti.cmp(&b.rnti)));
-        for ue in cands {
-            if prb_left == 0 || dcis.len() >= input.max_dcis as usize {
+    fn schedule_dl_into(&mut self, input: &DlSchedulerInput, out: &mut DlSchedulerOutput) {
+        out.dcis.clear();
+        let mut prb_left = allocate_srbs(input, &mut out.dcis, input.available_prb);
+        backlogged_into(input, &out.dcis, &mut self.cand);
+        self.cand.sort_unstable_by(|&a, &b| {
+            let (a, b) = (&input.ues[a], &input.ues[b]);
+            b.cqi.cmp(&a.cqi).then(a.rnti.cmp(&b.rnti))
+        });
+        for &i in &self.cand {
+            if prb_left == 0 || out.dcis.len() >= input.max_dcis as usize {
                 break;
             }
+            let ue = &input.ues[i];
             let mcs = mcs_for_cqi(ue.cqi);
             let want = prbs_for_bytes(mcs, Bytes(ue.queue_bytes.as_u64() + 8), prb_left);
-            dcis.push(DlDci {
+            out.dcis.push(DlDci {
                 rnti: ue.rnti,
                 n_prb: want,
                 mcs,
             });
             prb_left -= want;
         }
-        DlSchedulerOutput { dcis }
     }
 }
 
@@ -396,6 +459,7 @@ impl DlScheduler for MaxCqiScheduler {
 #[derive(Debug, Default)]
 pub struct UlRoundRobinScheduler {
     rotation: usize,
+    cand: Vec<usize>,
 }
 
 impl UlRoundRobinScheduler {
@@ -409,26 +473,29 @@ impl UlScheduler for UlRoundRobinScheduler {
         "ul-round-robin"
     }
 
-    fn schedule_ul(&mut self, input: &UlSchedulerInput) -> UlSchedulerOutput {
-        let mut grants = Vec::new();
-        let mut cands: Vec<_> = input
-            .ues
-            .iter()
-            .filter(|u| !u.bsr_bytes.is_zero() && u.cqi.0 > 0)
-            .collect();
-        if cands.is_empty() {
-            return UlSchedulerOutput { grants };
+    fn schedule_ul_into(&mut self, input: &UlSchedulerInput, out: &mut UlSchedulerOutput) {
+        out.grants.clear();
+        self.cand.clear();
+        self.cand.extend(
+            input
+                .ues
+                .iter()
+                .enumerate()
+                .filter_map(|(i, u)| (!u.bsr_bytes.is_zero() && u.cqi.0 > 0).then_some(i)),
+        );
+        if self.cand.is_empty() {
+            return;
         }
-        cands.sort_by_key(|u| u.rnti);
-        self.rotation = (self.rotation + 1) % cands.len();
-        let n = cands.len().min(input.max_grants as usize);
+        self.cand.sort_unstable_by_key(|&i| input.ues[i].rnti);
+        self.rotation = (self.rotation + 1) % self.cand.len();
+        let n = self.cand.len().min(input.max_grants as usize);
         let share = (input.available_prb as usize / n.max(1)).max(1) as u8;
         let mut prb_left = input.available_prb;
         for i in 0..n {
             if prb_left == 0 {
                 break;
             }
-            let ue = cands[(self.rotation + i) % cands.len()];
+            let ue = &input.ues[self.cand[(self.rotation + i) % self.cand.len()]];
             // UL link adaptation: cap at 16QAM (MCS 16) as UE power limits
             // bite before 64QAM in the uplink.
             let mcs = Mcs(mcs_for_cqi(ue.cqi).0.min(16));
@@ -438,14 +505,13 @@ impl UlScheduler for UlRoundRobinScheduler {
             if want == 0 {
                 continue;
             }
-            grants.push(UlGrant {
+            out.grants.push(UlGrant {
                 rnti: ue.rnti,
                 n_prb: want,
                 mcs,
             });
             prb_left -= want;
         }
-        UlSchedulerOutput { grants }
     }
 }
 

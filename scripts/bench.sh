@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Record the platform's perf baseline.
+#
+# Runs the `scale` experiment (serial vs parallel TTI engine, pinned
+# seed, full durations) plus the criterion micro-benchmarks, and
+# snapshots the machine-readable artifacts to the repository root:
+#
+#   BENCH_scale.json      — TTIs/s, per-phase wall-time, allocs/TTI,
+#                           scheduler zero-alloc probe, determinism check
+#
+# Usage: scripts/bench.sh [--quick]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MODE=()
+if [[ "${1:-}" == "--quick" ]]; then
+  MODE=(--quick)
+fi
+
+OUT=target/experiments
+cargo build --release -p flexran-bench
+cargo run --release -p flexran-bench --bin experiments -- scale "${MODE[@]}" --out "$OUT"
+cp "$OUT/BENCH_scale.json" BENCH_scale.json
+
+# Micro-benchmarks (median/p95 per op, JSON at target/criterion/).
+cargo bench -p flexran-bench --bench micro
+
+echo
+echo "wrote $(pwd)/BENCH_scale.json"

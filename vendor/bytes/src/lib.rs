@@ -103,12 +103,31 @@ impl BytesMut {
     pub fn clear(&mut self) {
         self.data.clear();
     }
+
+    /// Grow (zero-filled) or shrink to exactly `len` bytes.
+    pub fn resize(&mut self, len: usize, value: u8) {
+        self.data.resize(len, value);
+    }
+
+    pub fn truncate(&mut self, len: usize) {
+        self.data.truncate(len);
+    }
+
+    pub fn reserve(&mut self, additional: usize) {
+        self.data.reserve(additional);
+    }
 }
 
 impl Deref for BytesMut {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
         &self.data
+    }
+}
+
+impl std::ops::DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
     }
 }
 

@@ -1,7 +1,11 @@
 //! Offline stand-in for `criterion`: same `criterion_group!` /
 //! `criterion_main!` / `bench_function` / `Bencher::iter` shape, but the
-//! measurement is a plain adaptive wall-clock loop (no statistics, no
-//! HTML reports). Good enough to keep `cargo bench` meaningful offline.
+//! measurement is a plain adaptive wall-clock loop (no HTML reports).
+//! Each benchmark takes `sample_size` timed samples and reports the
+//! median and p95 ns/iter; when the `Criterion` instance drops, a
+//! machine-readable summary (same shape as the repo's `BENCH_*.json`
+//! artifacts) is written to `target/criterion/BENCH_criterion.json`
+//! (override with the `CRITERION_JSON` env var).
 
 use std::time::{Duration, Instant};
 
@@ -9,16 +13,36 @@ pub struct Criterion {
     sample_size: usize,
     measurement_time: Duration,
     warm_up_time: Duration,
+    results: Vec<BenchRecord>,
+}
+
+struct BenchRecord {
+    id: String,
+    mean_ns: f64,
+    median_ns: f64,
+    p95_ns: f64,
+    samples: usize,
+    iters: u64,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
         Criterion {
-            sample_size: 100,
+            sample_size: 20,
             measurement_time: Duration::from_millis(200),
             warm_up_time: Duration::from_millis(20),
+            results: Vec::new(),
         }
     }
+}
+
+/// `p` in [0, 100] over an ascending-sorted slice (nearest-rank).
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
 }
 
 impl Criterion {
@@ -51,19 +75,90 @@ impl Criterion {
             elapsed: Duration::ZERO,
         };
         f(&mut b); // warm-up
-        b.budget = self.measurement_time / (self.sample_size.max(1) as u32).max(1);
-        b.budget = b.budget.max(Duration::from_millis(5));
-        f(&mut b);
-        let per_iter = if b.iters > 0 {
-            b.elapsed.as_nanos() as f64 / b.iters as f64
-        } else {
-            f64::NAN
-        };
-        println!("{id:<40} {per_iter:>12.1} ns/iter ({} iters)", b.iters);
+        b.budget = (self.measurement_time / self.sample_size.max(1) as u32)
+            .max(Duration::from_millis(1));
+        let mut samples = Vec::with_capacity(self.sample_size);
+        let mut iters_total = 0u64;
+        for _ in 0..self.sample_size {
+            f(&mut b);
+            if b.iters > 0 {
+                samples.push(b.elapsed.as_nanos() as f64 / b.iters as f64);
+                iters_total += b.iters;
+            }
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let mean = samples.iter().sum::<f64>() / samples.len().max(1) as f64;
+        let median = percentile(&samples, 50.0);
+        let p95 = percentile(&samples, 95.0);
+        println!(
+            "{id:<40} median {median:>12.1} ns/iter  p95 {p95:>12.1} ns/iter ({} samples, {iters_total} iters)",
+            samples.len()
+        );
+        self.results.push(BenchRecord {
+            id: id.to_string(),
+            mean_ns: mean,
+            median_ns: median,
+            p95_ns: p95,
+            samples: samples.len(),
+            iters: iters_total,
+        });
         self
     }
 
-    pub fn final_summary(&mut self) {}
+    pub fn final_summary(&mut self) {
+        self.write_json();
+        self.results.clear();
+    }
+
+    fn write_json(&self) {
+        if self.results.is_empty() {
+            return;
+        }
+        let path = std::env::var("CRITERION_JSON")
+            .map(std::path::PathBuf::from)
+            .unwrap_or_else(|_| default_json_path());
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        let mut s = String::from("{\n  \"bench\": \"criterion\",\n  \"results\": [\n");
+        for (i, r) in self.results.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"id\": {:?}, \"mean_ns\": {:.1}, \"median_ns\": {:.1}, \"p95_ns\": {:.1}, \"samples\": {}, \"iters\": {}}}{}\n",
+                r.id,
+                r.mean_ns,
+                r.median_ns,
+                r.p95_ns,
+                r.samples,
+                r.iters,
+                if i + 1 < self.results.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        if let Err(e) = std::fs::write(&path, s) {
+            eprintln!("criterion: could not write {}: {e}", path.display());
+        }
+    }
+}
+
+/// `<cargo target dir>/criterion/BENCH_criterion.json`, located from the
+/// running bench executable (cargo sets the bench cwd to the *package*
+/// root, which is not where artifacts belong in a workspace).
+fn default_json_path() -> std::path::PathBuf {
+    if let Ok(exe) = std::env::current_exe() {
+        if let Some(target) = exe
+            .ancestors()
+            .find(|p| p.file_name() == Some(std::ffi::OsStr::new("target")))
+        {
+            return target.join("criterion").join("BENCH_criterion.json");
+        }
+    }
+    std::path::PathBuf::from("target/criterion/BENCH_criterion.json")
+}
+
+impl Drop for Criterion {
+    fn drop(&mut self) {
+        self.write_json();
+    }
 }
 
 pub struct Bencher {
@@ -103,6 +198,7 @@ macro_rules! criterion_group {
         pub fn $name() {
             let mut criterion = $config;
             $( $target(&mut criterion); )+
+            criterion.final_summary();
         }
     };
     ($name:ident, $($target:path),+ $(,)?) => {
@@ -141,5 +237,18 @@ mod tests {
         let mut count = 0u64;
         c.bench_function("noop", |b| b.iter(|| count += 1));
         assert!(count > 0);
+        assert_eq!(c.results.len(), 1);
+        let r = &c.results[0];
+        assert!(r.median_ns.is_finite() && r.p95_ns >= r.median_ns);
+        c.results.clear(); // don't write JSON from the test
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&v, 50.0), 3.0);
+        assert_eq!(percentile(&v, 95.0), 5.0);
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert!(percentile(&[], 50.0).is_nan());
     }
 }
