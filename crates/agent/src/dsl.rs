@@ -539,9 +539,7 @@ impl DlScheduler for DslScheduler {
         let prb_total = input.available_prb;
         self.ranked.clear();
         for (i, u) in input.ues.iter().enumerate() {
-            if u.queue_bytes.is_zero()
-                || u.cqi.0 == 0
-                || out.dcis.iter().any(|d| d.rnti == u.rnti)
+            if u.queue_bytes.is_zero() || u.cqi.0 == 0 || out.dcis.iter().any(|d| d.rnti == u.rnti)
             {
                 continue;
             }

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # flexran-agent
 //!
 //! The FlexRAN agent (paper §4.3.1): the per-eNodeB half of the FlexRAN
@@ -27,12 +28,12 @@ pub mod reports;
 pub mod vsf;
 
 pub use agent::{AgentConfig, AgentCounters, FlexranAgent, HandoverRequest};
-pub use liveness::{FailoverState, LivenessConfig, LivenessCounters, LivenessTracker};
 pub use cmi::{
     A3HandoverVsf, HandoverVsf, MacControlModule, RrcControlModule, MAC_DL_SCHEDULER,
     MAC_UL_SCHEDULER, RRC_HANDOVER,
 };
 pub use dsl::DslScheduler;
+pub use liveness::{FailoverState, LivenessConfig, LivenessCounters, LivenessTracker};
 pub use policy::{ModulePolicy, PolicyDoc, VsfPolicy};
 pub use reports::{compose_reply, ReportsManager};
 pub use vsf::{sign_push, verify_push, RemoteStubScheduler, VsfImpl, VsfRegistry, VsfSlot};

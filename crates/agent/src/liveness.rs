@@ -195,8 +195,7 @@ impl LivenessTracker {
         let mut out = TickOutcome::default();
         if self.config.enabled() {
             let silence = self.silence(now);
-            if self.state == FailoverState::Connected
-                && silence >= self.config.degraded_threshold()
+            if self.state == FailoverState::Connected && silence >= self.config.degraded_threshold()
             {
                 self.state = FailoverState::Degraded;
             }

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # flexran-apps
 //!
 //! RAN control and management applications over the FlexRAN northbound

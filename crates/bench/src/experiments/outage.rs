@@ -134,9 +134,7 @@ pub fn outage(ctx: &ExpContext) -> ExpResult {
         let state = sim.agent(enb).expect("enb").failover_state();
         let in_outage = now >= outage_from && now < outage_until;
         if in_outage {
-            if agent_detected_at.is_none()
-                && state == flexran::agent::FailoverState::LocalControl
-            {
+            if agent_detected_at.is_none() && state == flexran::agent::FailoverState::LocalControl {
                 agent_detected_at = Some(now);
                 detect_bits = bits(&sim);
             }
@@ -174,7 +172,10 @@ pub fn outage(ctx: &ExpContext) -> ExpResult {
     let end_bits = bits(&sim);
     ctx.write_csv(
         "outage",
-        &csv(&["tti", "phase", "mbps", "agent_state", "rib_stale"], &series),
+        &csv(
+            &["tti", "phase", "mbps", "agent_state", "rib_stale"],
+            &series,
+        ),
     );
 
     // Phase throughputs.
@@ -187,7 +188,10 @@ pub fn outage(ctx: &ExpContext) -> ExpResult {
         None => 0.0,
     };
     let post_mbps = match reconnected_at {
-        Some(t) => mbps(end_bits.saturating_sub(reconnect_bits), loop_start + total - t),
+        Some(t) => mbps(
+            end_bits.saturating_sub(reconnect_bits),
+            loop_start + total - t,
+        ),
         None => 0.0,
     };
     let baseline_mbps = local_baseline(warmup, phase_len);

@@ -37,19 +37,28 @@ pub mod alloc_counter {
     // SAFETY: delegates every operation to `System`; the counters are
     // plain relaxed atomics with no allocation of their own.
     unsafe impl GlobalAlloc for CountingAllocator {
+        // SAFETY: same contract as the caller's — `layout` is passed
+        // through to `System.alloc` unchanged.
         unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
             BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+            // SAFETY: forwarding the caller's obligations verbatim.
             unsafe { System.alloc(layout) }
         }
 
+        // SAFETY: `ptr`/`layout` come from a prior `alloc` on `System`
+        // (every path above delegates there), so the pair is valid.
         unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            // SAFETY: forwarding the caller's obligations verbatim.
             unsafe { System.dealloc(ptr, layout) }
         }
 
+        // SAFETY: same contract as the caller's — all arguments are
+        // passed through to `System.realloc` unchanged.
         unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
             BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+            // SAFETY: forwarding the caller's obligations verbatim.
             unsafe { System.realloc(ptr, layout, new_size) }
         }
     }

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # flexran-controller
 //!
 //! The FlexRAN master controller (paper §4.3.3): the brain of the FlexRAN

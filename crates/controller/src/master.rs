@@ -275,7 +275,11 @@ impl MasterController {
     pub fn run_cycle(&mut self, now: Tti) -> CycleStats {
         self.now = now;
         // --------------------------- RIB slot ---------------------------
+        // Wall-clock here only *measures* the slot (Fig. 8 accounting);
+        // it never influences scheduling decisions.
+        // lint:allow(wall-clock)
         let rib_start = Instant::now();
+        self.rib.open_write_cycle(now);
         let mut events: Vec<NotifiedEvent> = Vec::new();
         let mut rejoined: Vec<usize> = Vec::new();
         for (idx, session) in self.sessions.iter_mut().enumerate() {
@@ -312,13 +316,20 @@ impl MasterController {
         // Rejoins: mark the subtree fresh again and replay delegated
         // state so the agent converges back to the pre-outage policy.
         for idx in rejoined {
-            let Some(enb) = self.sessions[idx].enb_id else {
+            let Some((enb, replay)) = self
+                .sessions
+                .get(idx)
+                .and_then(|s| s.enb_id.map(|enb| (enb, s.replay.clone())))
+            else {
                 continue;
             };
-            self.rib.agent_mut(enb).mark_fresh();
+            self.updater.agent_rejoined(&mut self.rib, enb);
             self.liveness.ups += 1;
             events.push(Self::liveness_event(enb, EventKind::AgentUp, now));
-            for op in self.sessions[idx].replay.clone() {
+            let Some(session) = self.sessions.get_mut(idx) else {
+                continue;
+            };
+            for op in replay {
                 self.xid = self.xid.wrapping_add(1);
                 let header = Header::with_xid(self.xid);
                 let msg = match op {
@@ -330,7 +341,7 @@ impl MasterController {
                         flexran_proto::messages::PolicyReconfiguration { yaml },
                     ),
                 };
-                let _ = self.sessions[idx].transport.send(header, &msg);
+                let _ = session.transport.send(header, &msg);
             }
         }
         // Down detection: sessions silent past the timeout get their RIB
@@ -344,15 +355,19 @@ impl MasterController {
                 if !session.down && now.0.saturating_sub(last_rx.0) >= self.config.liveness_timeout
                 {
                     session.down = true;
-                    self.rib.agent_mut(enb).mark_stale(now);
+                    self.updater.agent_down(&mut self.rib, enb, now);
                     self.liveness.downs += 1;
                     events.push(Self::liveness_event(enb, EventKind::AgentDown, now));
                 }
             }
         }
+        // The RIB slot is over: the single writer's window closes, and
+        // (under `debug-invariants`) any app-slot mutation now asserts.
+        self.rib.close_write_cycle();
         let rib_slot = rib_start.elapsed();
 
         // --------------------------- Apps slot --------------------------
+        // Measurement only, as above. lint:allow(wall-clock)
         let apps_start = Instant::now();
         let mut outbox: Vec<(EnbId, Header, FlexranMessage)> = Vec::new();
         for app in self.apps.iter_mut() {
@@ -385,9 +400,13 @@ impl MasterController {
     /// Real-time mode: run cycles paced at the configured TTI duration
     /// for `duration`, sleeping out each cycle's idle time.
     pub fn run_realtime(&mut self, duration: Duration) {
+        // Real-time mode paces cycles by the wall clock by definition;
+        // deterministic runs use `run_cycle` under a virtual clock.
+        // lint:allow(wall-clock)
         let start = Instant::now();
         let mut tti = self.now;
         while start.elapsed() < duration {
+            // Pacing, as above. lint:allow(wall-clock)
             let cycle_start = Instant::now();
             tti += 1;
             self.run_cycle(tti);
@@ -587,10 +606,7 @@ mod tests {
         agent_side
             .send(
                 Header::with_xid(1),
-                &FlexranMessage::Heartbeat(flexran_proto::messages::Heartbeat {
-                    seq: 4,
-                    tti: 26,
-                }),
+                &FlexranMessage::Heartbeat(flexran_proto::messages::Heartbeat { seq: 4, tti: 26 }),
             )
             .unwrap();
         master.run_cycle(Tti(26));

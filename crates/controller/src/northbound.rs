@@ -21,7 +21,7 @@
 //! [`App::on_event`] runs when the Event Notification Service delivers an
 //! agent event. An application may use both.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use flexran_proto::messages::{DlSchedulingCommand, FlexranMessage, Header};
 use flexran_types::ids::EnbId;
@@ -63,7 +63,9 @@ pub trait App: Send {
 /// both scheduling the same resources.
 #[derive(Debug, Default)]
 pub struct ConflictGuard {
-    claims: HashSet<(EnbId, u16, u64)>,
+    /// Ordered so any iteration (diagnostics, future introspection) is
+    /// deterministic — per-TTI controller state must never hash-iterate.
+    claims: BTreeSet<(EnbId, u16, u64)>,
     /// Conflicts refused so far.
     pub conflicts: u64,
 }

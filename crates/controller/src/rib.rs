@@ -79,15 +79,72 @@ impl AgentNode {
     }
 }
 
+/// `debug-invariants` bookkeeping: the master opens the write window at
+/// the start of each RIB slot and closes it before the apps slot; any
+/// mutation while closed, or a non-monotonic cycle epoch, asserts.
+#[cfg(feature = "debug-invariants")]
+#[derive(Debug, Clone, Default)]
+struct WriteGuard {
+    /// Writes are currently forbidden (apps slot / between cycles, once
+    /// a cycle has ever been opened).
+    locked: bool,
+    /// Epoch of the last opened write cycle — must advance strictly.
+    last_cycle: Option<Tti>,
+}
+
 /// The RAN Information Base.
 #[derive(Debug, Clone, Default)]
 pub struct Rib {
     agents: BTreeMap<EnbId, AgentNode>,
+    #[cfg(feature = "debug-invariants")]
+    write_guard: WriteGuard,
 }
 
 impl Rib {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Open the write window for cycle `now`. Under `debug-invariants`
+    /// this asserts the cycle epoch advances strictly monotonically and
+    /// re-enables mutation; without the feature it is a no-op. A freshly
+    /// constructed RIB is writable (standalone fixtures never open
+    /// cycles), so the discipline only engages once a Task Manager does.
+    pub fn open_write_cycle(&mut self, now: Tti) {
+        #[cfg(feature = "debug-invariants")]
+        {
+            if let Some(last) = self.write_guard.last_cycle {
+                assert!(
+                    now > last,
+                    "RIB write-cycle epoch must be strictly monotonic: \
+                     opened {now:?} after {last:?}"
+                );
+            }
+            self.write_guard.last_cycle = Some(now);
+            self.write_guard.locked = false;
+        }
+        #[cfg(not(feature = "debug-invariants"))]
+        let _ = now;
+    }
+
+    /// Close the write window (the apps slot begins). Under
+    /// `debug-invariants`, RIB mutation until the next
+    /// [`Rib::open_write_cycle`] asserts; a no-op otherwise.
+    pub fn close_write_cycle(&mut self) {
+        #[cfg(feature = "debug-invariants")]
+        {
+            self.write_guard.locked = true;
+        }
+    }
+
+    #[cfg(feature = "debug-invariants")]
+    fn assert_writable(&self) {
+        assert!(
+            !self.write_guard.locked,
+            "RIB mutated outside the RIB slot: the single-writer \
+             discipline (paper Fig. 5) allows writes only between \
+             open_write_cycle and close_write_cycle"
+        );
     }
 
     pub fn agent(&self, enb: EnbId) -> Option<&AgentNode> {
@@ -98,6 +155,8 @@ impl Rib {
     /// RIB Updater (and test/bench harnesses constructing RIB fixtures)
     /// should call this — applications read.
     pub fn agent_mut(&mut self, enb: EnbId) -> &mut AgentNode {
+        #[cfg(feature = "debug-invariants")]
+        self.assert_writable();
         self.agents.entry(enb).or_insert_with(|| AgentNode {
             enb_id: enb,
             ..AgentNode::default()
@@ -108,6 +167,8 @@ impl Rib {
     /// should use [`AgentNode::mark_stale`] instead, which preserves the
     /// subtree for the agent's return.
     pub fn remove_agent(&mut self, enb: EnbId) {
+        #[cfg(feature = "debug-invariants")]
+        self.assert_writable();
         self.agents.remove(&enb);
     }
 
@@ -252,6 +313,37 @@ mod tests {
         rib.agent_mut(EnbId(1)).mark_fresh();
         assert!(!rib.agent(EnbId(1)).unwrap().is_stale());
         assert!(rib.stale_agents().is_empty());
+    }
+
+    #[cfg(feature = "debug-invariants")]
+    #[test]
+    #[should_panic(expected = "single-writer")]
+    fn locked_rib_rejects_writes() {
+        let mut rib = Rib::new();
+        rib.open_write_cycle(Tti(1));
+        rib.close_write_cycle();
+        rib.agent_mut(EnbId(1));
+    }
+
+    #[cfg(feature = "debug-invariants")]
+    #[test]
+    #[should_panic(expected = "monotonic")]
+    fn write_cycle_epoch_must_advance() {
+        let mut rib = Rib::new();
+        rib.open_write_cycle(Tti(5));
+        rib.open_write_cycle(Tti(5));
+    }
+
+    #[cfg(feature = "debug-invariants")]
+    #[test]
+    fn reopened_cycle_restores_writability() {
+        let mut rib = Rib::new();
+        rib.open_write_cycle(Tti(1));
+        rib.agent_mut(EnbId(1));
+        rib.close_write_cycle();
+        rib.open_write_cycle(Tti(2));
+        rib.agent_mut(EnbId(2));
+        assert_eq!(rib.n_agents(), 2);
     }
 
     #[test]

@@ -36,6 +36,18 @@ impl RibUpdater {
         Self::default()
     }
 
+    /// Agent session declared dead: open the subtree's staleness epoch.
+    /// Liveness tracking funnels its RIB writes through the single
+    /// writer, like every other mutation.
+    pub fn agent_down(&mut self, rib: &mut Rib, enb: EnbId, now: Tti) {
+        rib.agent_mut(enb).mark_stale(now);
+    }
+
+    /// Agent session restored: end the staleness epoch.
+    pub fn agent_rejoined(&mut self, rib: &mut Rib, enb: EnbId) {
+        rib.agent_mut(enb).mark_fresh();
+    }
+
     /// Apply one agent message to the RIB. Returns an event to notify
     /// applications about, when the message is an event trigger.
     pub fn apply(

@@ -127,12 +127,13 @@ where
     let chunk = items.len().div_ceil(workers);
     std::thread::scope(|s| {
         let f = &f;
-        for (ci, (item_chunk, out_chunk)) in
-            items.chunks_mut(chunk).zip(out.chunks_mut(chunk)).enumerate()
+        for (ci, (item_chunk, out_chunk)) in items
+            .chunks_mut(chunk)
+            .zip(out.chunks_mut(chunk))
+            .enumerate()
         {
             s.spawn(move || {
-                for (j, (item, slot)) in
-                    item_chunk.iter_mut().zip(out_chunk.iter_mut()).enumerate()
+                for (j, (item, slot)) in item_chunk.iter_mut().zip(out_chunk.iter_mut()).enumerate()
                 {
                     *slot = f(ci * chunk + j, item);
                 }
@@ -466,6 +467,10 @@ impl SimHarness {
 
     /// Advance one TTI.
     pub fn step(&mut self) {
+        // The Instant reads in this function only feed `PhaseTimings`
+        // (profiling counters); no scheduling decision ever depends on
+        // them, so simulation results stay bit-identical regardless of
+        // wall-clock behaviour. lint:allow(wall-clock)
         let t_start = std::time::Instant::now();
         self.now = self.now.next();
         let now = self.now;
@@ -543,6 +548,7 @@ impl SimHarness {
 
         self.ue_id_scratch = ue_ids;
 
+        // Profiling only, as above. lint:allow(wall-clock)
         let t_front = std::time::Instant::now();
         self.timings.serial_front_ns += (t_front - t_start).as_nanos() as u64;
 
@@ -564,6 +570,7 @@ impl SimHarness {
                 agent.phase_a(now, &mut phy);
             });
         }
+        // Profiling only, as above. lint:allow(wall-clock)
         let t_a = std::time::Instant::now();
         self.timings.phase_a_ns += (t_a - t_front).as_nanos() as u64;
 
@@ -582,6 +589,7 @@ impl SimHarness {
             }
         }
         self.radio.set_active_sites(active);
+        // Profiling only, as above. lint:allow(wall-clock)
         let t_couple = std::time::Instant::now();
         self.timings.coupling_ns += (t_couple - t_a).as_nanos() as u64;
 
@@ -603,6 +611,7 @@ impl SimHarness {
                 PhaseBOut { events, handovers }
             });
         }
+        // Profiling only, as above. lint:allow(wall-clock)
         let t_b = std::time::Instant::now();
         self.timings.phase_b_ns += (t_b - t_couple).as_nanos() as u64;
 

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # flexran
 //!
 //! A from-scratch Rust reproduction of **FlexRAN: A Flexible and

@@ -1,0 +1,225 @@
+//! The checked-in violation baseline (`lint-baseline.toml`).
+//!
+//! Pre-existing violations are frozen as per-`(file, lint)` *counts*
+//! rather than line numbers, so unrelated edits that shift lines do not
+//! invalidate the baseline, while any *new* violation in a file pushes
+//! its count past the frozen allowance and fails CI. Fixing sites makes
+//! the baseline stale (actual < allowed); the tool reports that as a
+//! warning nudging a `--update-baseline` ratchet, never as a failure.
+//!
+//! The format is a plain TOML array-of-tables subset, parsed by hand —
+//! this tool deliberately carries zero dependencies:
+//!
+//! ```toml
+//! [[entry]]
+//! file = "crates/proto/src/wire.rs"
+//! lint = "P1"
+//! count = 12
+//! ```
+
+use std::collections::BTreeMap;
+
+use crate::lints::{Diagnostic, LintId};
+
+/// Frozen allowances, keyed by `(file, lint)`.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Baseline {
+    pub entries: BTreeMap<(String, LintId), u32>,
+}
+
+/// Result of gating diagnostics against a baseline.
+#[derive(Debug, Default)]
+pub struct Gated {
+    /// Violations beyond the frozen allowance — these fail CI. Within a
+    /// `(file, lint)` group the *last* sites in line order are reported
+    /// as new (the frozen allowance covers the first `allowed` ones; any
+    /// edit that adds a site anywhere in the file trips the count).
+    pub new: Vec<Diagnostic>,
+    /// Violations covered by the baseline.
+    pub baselined: Vec<Diagnostic>,
+    /// `(file, lint, allowed, actual)` where actual < allowed.
+    pub stale: Vec<(String, LintId, u32, u32)>,
+}
+
+impl Baseline {
+    /// Parse the baseline file contents. Unknown keys are ignored;
+    /// malformed entries are an error (a corrupt baseline must not
+    /// silently gate nothing).
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut entries = BTreeMap::new();
+        let mut cur: Option<(Option<String>, Option<LintId>, Option<u32>)> = None;
+        let mut flush = |cur: &mut Option<(Option<String>, Option<LintId>, Option<u32>)>|
+         -> Result<(), String> {
+            if let Some((file, lint, count)) = cur.take() {
+                match (file, lint, count) {
+                    (Some(f), Some(l), Some(c)) => {
+                        entries.insert((f, l), c);
+                        Ok(())
+                    }
+                    parts => Err(format!("incomplete [[entry]]: {parts:?}")),
+                }
+            } else {
+                Ok(())
+            }
+        };
+        for (ln, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "[[entry]]" {
+                flush(&mut cur)?;
+                cur = Some((None, None, None));
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!("line {}: expected `key = value`", ln + 1));
+            };
+            let (key, value) = (key.trim(), value.trim());
+            let Some(slot) = cur.as_mut() else {
+                return Err(format!("line {}: `{key}` outside [[entry]]", ln + 1));
+            };
+            match key {
+                "file" => slot.0 = Some(unquote(value)?),
+                "lint" => {
+                    let id = unquote(value)?;
+                    slot.1 = Some(
+                        LintId::from_id(&id)
+                            .ok_or_else(|| format!("line {}: unknown lint `{id}`", ln + 1))?,
+                    );
+                }
+                "count" => {
+                    slot.2 = Some(
+                        value
+                            .parse()
+                            .map_err(|_| format!("line {}: bad count `{value}`", ln + 1))?,
+                    );
+                }
+                _ => {}
+            }
+        }
+        flush(&mut cur)?;
+        Ok(Baseline { entries })
+    }
+
+    /// Serialize in the canonical (sorted, commented) form.
+    pub fn serialize(&self) -> String {
+        let mut out = String::from(
+            "# flexran-lint baseline — pre-existing violations frozen per (file, lint).\n\
+             # New violations fail CI; burn entries down and regenerate with\n\
+             # `cargo run -p flexran-lint -- --update-baseline`.\n",
+        );
+        for ((file, lint), count) in &self.entries {
+            out.push_str("\n[[entry]]\n");
+            out.push_str(&format!("file = \"{file}\"\n"));
+            out.push_str(&format!("lint = \"{}\"\n", lint.id()));
+            out.push_str(&format!("count = {count}\n"));
+        }
+        out
+    }
+
+    /// Build a baseline that freezes exactly `diags`.
+    pub fn from_diagnostics(diags: &[Diagnostic]) -> Baseline {
+        let mut entries: BTreeMap<(String, LintId), u32> = BTreeMap::new();
+        for d in diags {
+            *entries.entry((d.file.clone(), d.lint)).or_insert(0) += 1;
+        }
+        Baseline { entries }
+    }
+
+    /// Split `diags` into baselined and new, and detect stale entries.
+    pub fn gate(&self, diags: &[Diagnostic]) -> Gated {
+        let mut groups: BTreeMap<(String, LintId), Vec<Diagnostic>> = BTreeMap::new();
+        for d in diags {
+            groups
+                .entry((d.file.clone(), d.lint))
+                .or_default()
+                .push(d.clone());
+        }
+        let mut gated = Gated::default();
+        for (key, group) in &groups {
+            let allowed = self.entries.get(key).copied().unwrap_or(0) as usize;
+            for (i, d) in group.iter().enumerate() {
+                if i < allowed {
+                    gated.baselined.push(d.clone());
+                } else {
+                    gated.new.push(d.clone());
+                }
+            }
+        }
+        for ((file, lint), allowed) in &self.entries {
+            let actual = groups
+                .get(&(file.clone(), *lint))
+                .map(|g| g.len() as u32)
+                .unwrap_or(0);
+            if actual < *allowed {
+                gated.stale.push((file.clone(), *lint, *allowed, actual));
+            }
+        }
+        gated
+    }
+}
+
+fn unquote(v: &str) -> Result<String, String> {
+    let v = v.trim();
+    if v.len() >= 2 && v.starts_with('"') && v.ends_with('"') {
+        Ok(v[1..v.len() - 1].to_string())
+    } else {
+        Err(format!("expected quoted string, got `{v}`"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(file: &str, lint: LintId, line: u32) -> Diagnostic {
+        Diagnostic {
+            lint,
+            file: file.into(),
+            line,
+            message: "m".into(),
+        }
+    }
+
+    #[test]
+    fn parse_serialize_roundtrip() {
+        let b = Baseline::from_diagnostics(&[
+            diag("a.rs", LintId::P1, 1),
+            diag("a.rs", LintId::P1, 2),
+            diag("b.rs", LintId::D2, 9),
+        ]);
+        let text = b.serialize();
+        let parsed = Baseline::parse(&text).unwrap();
+        assert_eq!(parsed, b);
+        assert_eq!(parsed.entries[&("a.rs".into(), LintId::P1)], 2);
+    }
+
+    #[test]
+    fn gate_splits_new_from_baselined() {
+        let b = Baseline::from_diagnostics(&[diag("a.rs", LintId::P1, 1)]);
+        // Same file gains a second P1: one baselined, one new.
+        let gated = b.gate(&[diag("a.rs", LintId::P1, 1), diag("a.rs", LintId::P1, 5)]);
+        assert_eq!(gated.baselined.len(), 1);
+        assert_eq!(gated.new.len(), 1);
+        assert_eq!(gated.new[0].line, 5);
+        assert!(gated.stale.is_empty());
+    }
+
+    #[test]
+    fn gate_detects_stale_entries() {
+        let b =
+            Baseline::from_diagnostics(&[diag("a.rs", LintId::P1, 1), diag("a.rs", LintId::P1, 2)]);
+        let gated = b.gate(&[diag("a.rs", LintId::P1, 1)]);
+        assert!(gated.new.is_empty());
+        assert_eq!(gated.stale, vec![("a.rs".into(), LintId::P1, 2, 1)]);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Baseline::parse("[[entry]]\nfile = \"x\"\n").is_err());
+        assert!(Baseline::parse("count = 3\n").is_err());
+        assert!(Baseline::parse("[[entry]]\nfile = \"x\"\nlint = \"Z9\"\ncount = 1\n").is_err());
+        assert!(Baseline::parse("").unwrap().entries.is_empty());
+    }
+}

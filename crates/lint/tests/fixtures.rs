@@ -1,0 +1,175 @@
+//! Fixture tests: every lint id fires on its positive fixture with the
+//! exact expected diagnostics, and is suppressed by its allow / exempt /
+//! baseline mechanism on the negative one.
+
+use flexran_lint::baseline::Baseline;
+use flexran_lint::lints::{analyze_source, LintId};
+
+fn fixture(name: &str) -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures");
+    std::fs::read_to_string(format!("{path}/{name}")).expect("fixture exists")
+}
+
+/// `(lint id, line)` pairs for a fixture analyzed as crate `krate`,
+/// reported under `file`.
+fn diags(krate: &str, file: &str, name: &str) -> Vec<(&'static str, u32)> {
+    analyze_source(krate, file, &fixture(name))
+        .into_iter()
+        .map(|d| (d.lint.id(), d.line))
+        .collect()
+}
+
+#[test]
+fn d1_fires_on_wall_clock() {
+    assert_eq!(
+        diags("sim", "crates/sim/src/x.rs", "d1_fires.rs"),
+        vec![("D1", 3)]
+    );
+}
+
+#[test]
+fn d1_suppressed_by_allow() {
+    assert_eq!(diags("sim", "crates/sim/src/x.rs", "d1_allowed.rs"), vec![]);
+}
+
+#[test]
+fn d2_fires_on_hash_collections() {
+    assert_eq!(
+        diags("stack", "crates/stack/src/x.rs", "d2_fires.rs"),
+        vec![("D2", 3)]
+    );
+}
+
+#[test]
+fn d2_suppressed_by_allow() {
+    assert_eq!(
+        diags("stack", "crates/stack/src/x.rs", "d2_allowed.rs"),
+        vec![]
+    );
+}
+
+#[test]
+fn p1_fires_on_unwrap_and_indexing() {
+    assert_eq!(
+        diags("proto", "crates/proto/src/x.rs", "p1_fires.rs"),
+        vec![("P1", 3), ("P1", 4)]
+    );
+}
+
+#[test]
+fn p1_suppressed_by_allow_and_test_code() {
+    assert_eq!(
+        diags("proto", "crates/proto/src/x.rs", "p1_allowed.rs"),
+        vec![]
+    );
+}
+
+#[test]
+fn p1_inactive_outside_control_plane_crates() {
+    // The same source in a crate without P1 produces nothing.
+    assert_eq!(
+        diags("stack", "crates/stack/src/x.rs", "p1_fires.rs"),
+        vec![]
+    );
+}
+
+#[test]
+fn r1_fires_outside_the_updater() {
+    assert_eq!(
+        diags(
+            "controller",
+            "crates/controller/src/master.rs",
+            "r1_fires.rs"
+        ),
+        vec![("R1", 4)]
+    );
+}
+
+#[test]
+fn r1_exempts_updater_and_honours_allow() {
+    // Same mutation methods, analyzed as the designated updater module.
+    assert_eq!(
+        diags(
+            "controller",
+            "crates/controller/src/updater.rs",
+            "r1_allowed.rs"
+        ),
+        vec![]
+    );
+    // And in a non-exempt module, only the annotated call is suppressed.
+    assert_eq!(
+        diags(
+            "controller",
+            "crates/controller/src/master.rs",
+            "r1_allowed.rs"
+        ),
+        vec![("R1", 5)]
+    );
+}
+
+#[test]
+fn a1_fires_inside_into_bodies() {
+    assert_eq!(
+        diags("proto", "crates/proto/src/x.rs", "a1_fires.rs"),
+        vec![("A1", 3)]
+    );
+}
+
+#[test]
+fn a1_scoped_to_into_bodies_and_allows() {
+    assert_eq!(
+        diags("proto", "crates/proto/src/x.rs", "a1_allowed.rs"),
+        vec![]
+    );
+}
+
+#[test]
+fn u1_fires_without_safety_comment() {
+    assert_eq!(
+        diags("phy", "crates/phy/src/x.rs", "u1_fires.rs"),
+        vec![("U1", 2), ("U1", 3)]
+    );
+}
+
+#[test]
+fn u1_satisfied_by_safety_comments() {
+    assert_eq!(diags("phy", "crates/phy/src/x.rs", "u1_allowed.rs"), vec![]);
+}
+
+#[test]
+fn diagnostics_carry_file_and_message() {
+    let d = analyze_source("sim", "crates/sim/src/x.rs", &fixture("d1_fires.rs"));
+    assert_eq!(d.len(), 1);
+    assert_eq!(d[0].file, "crates/sim/src/x.rs");
+    assert!(d[0].message.contains("Instant::now"));
+    assert!(d[0].message.contains("lint:allow(wall-clock)"));
+}
+
+#[test]
+fn baseline_suppresses_frozen_violations_but_not_new_ones() {
+    let old = analyze_source("stack", "crates/stack/src/x.rs", &fixture("d2_fires.rs"));
+    assert_eq!(old.len(), 1);
+    let baseline = Baseline::from_diagnostics(&old);
+
+    // The frozen violation gates clean.
+    let gated = baseline.gate(&old);
+    assert!(gated.new.is_empty());
+    assert_eq!(gated.baselined.len(), 1);
+
+    // Seeding a second HashMap into the same file trips the count.
+    let grown = format!(
+        "{}\npub fn more() {{ let _ = std::collections::HashMap::<u32, u32>::new(); }}\n",
+        fixture("d2_fires.rs")
+    );
+    let now = analyze_source("stack", "crates/stack/src/x.rs", &grown);
+    assert_eq!(now.len(), 2);
+    let gated = baseline.gate(&now);
+    assert_eq!(gated.new.len(), 1, "the new violation is not absorbed");
+    assert_eq!(gated.baselined.len(), 1);
+
+    // Fixing the original site makes the entry stale, not a failure.
+    let gated = baseline.gate(&[]);
+    assert!(gated.new.is_empty());
+    assert_eq!(gated.stale.len(), 1);
+    assert_eq!(gated.stale[0].1, LintId::D2);
+}

@@ -1,0 +1,16 @@
+// Fixture: A1 is scoped to `*_into` bodies and honours the annotation.
+pub fn encode_into(out: &mut Vec<u8>, n: u32) {
+    out.extend_from_slice(&n.to_be_bytes());
+}
+
+pub fn encode(n: u32) -> Vec<u8> {
+    // Not a `*_into` function: allocating is fine here.
+    let mut out = Vec::new();
+    out.extend_from_slice(&n.to_be_bytes());
+    out
+}
+
+pub fn error_path_into(out: &mut String, n: u32) {
+    // Cold path, runs once per failure. lint:allow(hot-alloc)
+    out.push_str(&format!("{n}"));
+}

@@ -1,0 +1,5 @@
+// Fixture: A1 must fire on allocation inside a `*_into` hot path.
+pub fn encode_into(out: &mut Vec<u8>, n: u32) {
+    let s = format!("{n}");
+    out.extend_from_slice(s.as_bytes());
+}

@@ -1,0 +1,5 @@
+// Fixture: a justified annotation suppresses D1.
+pub fn deadline() -> std::time::Instant {
+    // Redial backoff is real-time by nature. lint:allow(wall-clock)
+    std::time::Instant::now()
+}

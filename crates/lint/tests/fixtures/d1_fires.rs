@@ -1,0 +1,5 @@
+// Fixture: D1 must fire on wall-clock reads in deterministic code.
+pub fn stamp() -> u128 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_millis()
+}

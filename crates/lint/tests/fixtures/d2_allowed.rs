@@ -1,0 +1,6 @@
+// Fixture: the annotation suppresses D2 on the next line.
+pub fn scratch() {
+    // Never iterated, only membership-tested. lint:allow(nondet-iter)
+    let mut m = std::collections::HashMap::new();
+    m.insert(1u32, 2u32);
+}

@@ -1,0 +1,5 @@
+// Fixture: D2 must fire on hash collections in per-TTI modules.
+pub fn scratch() {
+    let mut m = std::collections::HashMap::new();
+    m.insert(1u32, 2u32);
+}

@@ -1,0 +1,16 @@
+// Fixture: annotations and test code suppress P1.
+pub fn checked(xs: &[u32]) -> u32 {
+    // Caller guarantees non-empty. lint:allow(panic)
+    xs[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let xs = [1u32, 2];
+        assert_eq!(xs.first().copied().unwrap(), checked(&xs));
+    }
+}

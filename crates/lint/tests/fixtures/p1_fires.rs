@@ -1,0 +1,5 @@
+// Fixture: P1 must fire on unwrap and slice indexing in runtime code.
+pub fn first(xs: &[u32]) -> u32 {
+    let head = xs.first().unwrap();
+    xs[0] + *head
+}

@@ -1,0 +1,11 @@
+// Fixture: the same mutation is legal inside the designated updater
+// module (the integration test passes this file as `updater.rs`), and an
+// explicit annotation covers deliberate exceptions elsewhere.
+pub fn writer(rib: &mut Rib, enb: EnbId) {
+    rib.remove_agent(enb);
+}
+
+pub fn annotated(rib: &mut Rib, enb: EnbId) {
+    // Fixture of the explicit escape hatch. lint:allow(rib-write)
+    rib.remove_agent(enb);
+}

@@ -1,0 +1,5 @@
+// Fixture: R1 must fire when a non-updater controller module names a
+// RIB mutation method.
+pub fn rogue(rib: &mut Rib, enb: EnbId) {
+    rib.remove_agent(enb);
+}

@@ -1,0 +1,5 @@
+// SAFETY: caller guarantees `p` is valid, aligned and readable.
+pub unsafe fn raw_read(p: *const u32) -> u32 {
+    // SAFETY: as documented on the function.
+    unsafe { *p }
+}

@@ -1,0 +1,4 @@
+// Fixture: U1 must fire on `unsafe` without a SAFETY comment.
+pub unsafe fn raw_read(p: *const u32) -> u32 {
+    unsafe { *p }
+}

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # flexran-phy
 //!
 //! The physical-layer abstraction underneath the FlexRAN data plane.

@@ -82,15 +82,20 @@ impl ByteCounters {
 
     /// Record one serialized message of `bytes` (wire size incl. framing).
     pub fn add(&mut self, cat: MessageCategory, bytes: u64) {
-        self.bytes[cat.index()] += bytes;
-        self.messages[cat.index()] += 1;
+        let i = cat.index();
+        // lint:allow(panic) — `index()` < 7, proven by the bijection test.
+        self.bytes[i] += bytes;
+        // lint:allow(panic) — as above.
+        self.messages[i] += 1;
     }
 
     pub fn bytes(&self, cat: MessageCategory) -> u64 {
+        // lint:allow(panic) — `index()` < 7, proven by the bijection test.
         self.bytes[cat.index()]
     }
 
     pub fn messages(&self, cat: MessageCategory) -> u64 {
+        // lint:allow(panic) — `index()` < 7, proven by the bijection test.
         self.messages[cat.index()]
     }
 
@@ -109,18 +114,27 @@ impl ByteCounters {
     /// Fold another counter set into this one. Used by reconnecting
     /// transports to carry Fig. 7 accounting across connection epochs.
     pub fn merge(&mut self, other: &ByteCounters) {
-        for i in 0..7 {
-            self.bytes[i] += other.bytes[i];
-            self.messages[i] += other.messages[i];
+        for (b, o) in self.bytes.iter_mut().zip(other.bytes) {
+            *b += o;
+        }
+        for (m, o) in self.messages.iter_mut().zip(other.messages) {
+            *m += o;
         }
     }
 
     /// Counters accumulated since `earlier` (for windowed measurements).
     pub fn since(&self, earlier: &ByteCounters) -> ByteCounters {
         let mut out = ByteCounters::default();
-        for i in 0..7 {
-            out.bytes[i] = self.bytes[i] - earlier.bytes[i];
-            out.messages[i] = self.messages[i] - earlier.messages[i];
+        for ((o, s), e) in out.bytes.iter_mut().zip(self.bytes).zip(earlier.bytes) {
+            *o = s - e;
+        }
+        for ((o, s), e) in out
+            .messages
+            .iter_mut()
+            .zip(self.messages)
+            .zip(earlier.messages)
+        {
+            *o = s - e;
         }
         out
     }

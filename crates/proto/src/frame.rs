@@ -12,13 +12,19 @@ use flexran_types::{FlexError, Result};
 /// UEs is tens of kilobytes; anything near this limit is corruption.
 pub const MAX_FRAME_BYTES: usize = 16 * 1024 * 1024;
 
+/// Oversize-frame error, out of line so the `*_into` hot path stays
+/// free of allocation sites (the message only materializes on failure).
+#[cold]
+fn oversize(len: usize) -> FlexError {
+    FlexError::Codec(format!(
+        "frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"
+    ))
+}
+
 /// Prefix `payload` with its 4-byte length.
 pub fn encode_frame(payload: &[u8]) -> Result<Bytes> {
     if payload.len() > MAX_FRAME_BYTES {
-        return Err(FlexError::Codec(format!(
-            "frame of {} bytes exceeds the {MAX_FRAME_BYTES}-byte cap",
-            payload.len()
-        )));
+        return Err(oversize(payload.len()));
     }
     let mut buf = BytesMut::with_capacity(4 + payload.len());
     buf.put_u32(payload.len() as u32);
@@ -31,10 +37,7 @@ pub fn encode_frame(payload: &[u8]) -> Result<Bytes> {
 /// buffer across sends.
 pub fn encode_frame_into(payload: &[u8], buf: &mut BytesMut) -> Result<()> {
     if payload.len() > MAX_FRAME_BYTES {
-        return Err(FlexError::Codec(format!(
-            "frame of {} bytes exceeds the {MAX_FRAME_BYTES}-byte cap",
-            payload.len()
-        )));
+        return Err(oversize(payload.len()));
     }
     buf.clear();
     buf.reserve(4 + payload.len());
@@ -61,10 +64,10 @@ impl FrameDecoder {
 
     /// Pop the next complete frame, if one is buffered.
     pub fn next_frame(&mut self) -> Result<Option<Bytes>> {
-        if self.buf.len() < 4 {
+        let Some(header) = self.buf.first_chunk::<4>() else {
             return Ok(None);
-        }
-        let len = u32::from_be_bytes(self.buf[..4].try_into().expect("4 bytes")) as usize;
+        };
+        let len = u32::from_be_bytes(*header) as usize;
         if len > MAX_FRAME_BYTES {
             return Err(FlexError::Transport(format!(
                 "peer announced a {len}-byte frame (cap {MAX_FRAME_BYTES}); stream corrupt"

@@ -389,6 +389,7 @@ impl AbsCommand {
                 let mut b = vec![0u8; 5];
                 for (i, muted) in p.iter().enumerate() {
                     if *muted {
+                        // lint:allow(panic) — `i < 40` so `i / 8 < 5 == b.len()`.
                         b[i / 8] |= 1 << (i % 8);
                     }
                 }

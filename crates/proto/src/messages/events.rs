@@ -201,6 +201,7 @@ impl EventNotification {
     pub fn neighbours(&self) -> Vec<(u32, f64)> {
         self.neighbours_packed
             .chunks_exact(2)
+            // lint:allow(panic) — `chunks_exact(2)` yields 2-long chunks.
             .map(|c| (c[0] as u32, (c[1] as i64 - 2000) as f64 / 10.0))
             .collect()
     }

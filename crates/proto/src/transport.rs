@@ -194,6 +194,7 @@ impl TcpTransport {
                 }
                 Ok(n) => {
                     let (decoder, buf) = (&mut self.decoder, &self.read_buf);
+                    // lint:allow(panic) — `n <= buf.len()` per the Read contract.
                     decoder.extend(&buf[..n]);
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok(()),
@@ -211,6 +212,7 @@ impl Transport for TcpTransport {
         let mut off = 0usize;
         let mut stalls = 0u64;
         while off < self.frame_buf.len() {
+            // lint:allow(panic) — `off < len` is the loop condition.
             match self.stream.write(&self.frame_buf[off..]) {
                 Ok(0) => return Err(FlexError::Transport("socket closed mid-write".into())),
                 Ok(n) => {
@@ -243,8 +245,17 @@ impl Transport for TcpTransport {
     fn try_recv(&mut self) -> Result<Option<(Header, FlexranMessage)>> {
         self.fill_from_socket()?;
         let Some(frame) = self.decoder.next_frame()? else {
-            if self.peer_closed && self.decoder.buffered() == 0 {
-                return Err(FlexError::Transport("connection closed by peer".into()));
+            // Once the peer has closed, no further bytes can ever arrive,
+            // so surface an error whether the decoder is empty or holds a
+            // truncated frame — returning `Ok(None)` with leftover bytes
+            // would make the owner poll silence forever.
+            if self.peer_closed {
+                let truncated = self.decoder.buffered();
+                return Err(FlexError::Transport(if truncated == 0 {
+                    "connection closed by peer".into()
+                } else {
+                    format!("connection closed by peer mid-frame ({truncated} bytes truncated)")
+                }));
             }
             return Ok(None);
         };
@@ -330,6 +341,9 @@ impl ReconnectingTcpTransport {
             closed_tx: ByteCounters::new(),
             closed_rx: ByteCounters::new(),
             delay_ms: backoff.initial_ms,
+            // Redial pacing is real-time by nature; deterministic runs
+            // use the sim-link transport instead of this one.
+            // lint:allow(wall-clock)
             next_attempt: std::time::Instant::now(),
             reconnects: 0,
             ever_connected: false,
@@ -376,6 +390,7 @@ impl ReconnectingTcpTransport {
     fn schedule_retry(&mut self) {
         let jitter = 1.0 + self.backoff.jitter_frac * (2.0 * self.next_jitter() - 1.0);
         let wait_ms = (self.delay_ms as f64 * jitter).max(0.0) as u64;
+        // lint:allow(wall-clock) — backoff windows are real-time spans.
         self.next_attempt = std::time::Instant::now() + std::time::Duration::from_millis(wait_ms);
         self.delay_ms = ((self.delay_ms as f64 * self.backoff.multiplier) as u64)
             .clamp(self.backoff.initial_ms.max(1), self.backoff.max_ms.max(1));
@@ -387,6 +402,7 @@ impl ReconnectingTcpTransport {
         if self.inner.is_some() {
             return true;
         }
+        // lint:allow(wall-clock) — compares against the real-time window.
         if std::time::Instant::now() < self.next_attempt {
             return false;
         }
@@ -410,13 +426,18 @@ impl ReconnectingTcpTransport {
 
 impl Transport for ReconnectingTcpTransport {
     fn send(&mut self, header: Header, msg: &FlexranMessage) -> Result<()> {
-        if !self.try_reconnect() {
+        // `try_reconnect() == true` guarantees `inner` is populated, but
+        // propagate the disconnected error rather than panic regardless.
+        let Some(inner) = (if self.try_reconnect() {
+            self.inner.as_mut()
+        } else {
+            None
+        }) else {
             return Err(FlexError::Transport(format!(
                 "disconnected from {} (redialling)",
                 self.addr
             )));
-        }
-        let inner = self.inner.as_mut().expect("connected");
+        };
         match inner.send(header, msg) {
             Ok(()) => Ok(()),
             Err(e) => {
@@ -430,7 +451,9 @@ impl Transport for ReconnectingTcpTransport {
         if !self.try_reconnect() {
             return Ok(None);
         }
-        let inner = self.inner.as_mut().expect("connected");
+        let Some(inner) = self.inner.as_mut() else {
+            return Ok(None);
+        };
         match inner.try_recv() {
             Ok(m) => Ok(m),
             Err(_) => {
@@ -714,5 +737,36 @@ mod tests {
             }
         };
         assert_eq!(err.category(), "transport");
+    }
+
+    #[test]
+    fn tcp_peer_close_mid_frame_is_an_error() {
+        // Regression: a peer dying after delivering only part of a frame
+        // used to leave `try_recv` returning `Ok(None)` forever — the
+        // decoder held the truncated bytes, `buffered() != 0` suppressed
+        // the close error, and the owner polled silence for eternity.
+        use std::io::Write as _;
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let t = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            // Announce an 8-byte frame, deliver 3 payload bytes, die.
+            stream.write_all(&8u32.to_be_bytes()).unwrap();
+            stream.write_all(&[1, 2, 3]).unwrap();
+        });
+        let mut c = TcpTransport::connect(&addr.to_string()).unwrap();
+        t.join().unwrap();
+        let err = loop {
+            match c.try_recv() {
+                Ok(Some(_)) => panic!("truncated frame must not decode"),
+                Ok(None) => std::thread::yield_now(),
+                Err(e) => break e,
+            }
+        };
+        assert_eq!(err.category(), "transport");
+        assert!(
+            err.to_string().contains("truncated"),
+            "error should say bytes were truncated: {err}"
+        );
     }
 }

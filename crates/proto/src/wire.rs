@@ -73,6 +73,15 @@ pub fn get_uvarint(data: &[u8]) -> Result<(u64, usize)> {
     Err(FlexError::Codec("truncated varint".into()))
 }
 
+/// Split a varint off the front of `data`, returning `(value, rest)` —
+/// the panic-free slicing primitive every decode path below builds on.
+pub fn split_uvarint(data: &[u8]) -> Result<(u64, &[u8])> {
+    let (v, n) = get_uvarint(data)?;
+    // `get_uvarint` consumed `n <= data.len()` bytes, so the tail always
+    // exists; the `unwrap_or` is unreachable but keeps this panic-free.
+    Ok((v, data.get(n..).unwrap_or(&[])))
+}
+
 /// ZigZag-encode a signed value (protobuf `sint64`).
 pub fn zigzag_encode(v: i64) -> u64 {
     ((v << 1) ^ (v >> 63)) as u64
@@ -214,10 +223,10 @@ impl WireWriter {
             self.buf.copy_within(len_pos + 1..end, len_pos + len_bytes);
         }
         let mut v = payload as u64;
-        for i in 0..len_bytes {
+        for slot in self.buf.iter_mut().skip(len_pos).take(len_bytes) {
             let byte = (v & 0x7F) as u8;
             v >>= 7;
-            self.buf[len_pos + i] = if v == 0 { byte } else { byte | 0x80 };
+            *slot = if v == 0 { byte } else { byte | 0x80 };
         }
     }
 
@@ -298,9 +307,9 @@ impl<'a> WireValue<'a> {
         let mut data = self.as_bytes()?;
         let mut out = Vec::new();
         while !data.is_empty() {
-            let (v, n) = get_uvarint(data)?;
+            let (v, rest) = split_uvarint(data)?;
             out.push(v);
-            data = &data[n..];
+            data = rest;
         }
         Ok(out)
     }
@@ -322,44 +331,40 @@ impl<'a> WireReader<'a> {
         if self.data.is_empty() {
             return Ok(None);
         }
-        let (key, n) = get_uvarint(self.data)?;
-        self.data = &self.data[n..];
+        let (key, rest) = split_uvarint(self.data)?;
+        self.data = rest;
         let field = (key >> 3) as u32;
         if field == 0 {
             return Err(FlexError::Codec("field number 0 is invalid".into()));
         }
         let value = match WireType::from_bits(key & 0x7)? {
             WireType::Varint => {
-                let (v, n) = get_uvarint(self.data)?;
-                self.data = &self.data[n..];
+                let (v, rest) = split_uvarint(self.data)?;
+                self.data = rest;
                 WireValue::Varint(v)
             }
             WireType::Fixed64 => {
-                if self.data.len() < 8 {
+                let Some((bytes, rest)) = self.data.split_first_chunk::<8>() else {
                     return Err(FlexError::Codec("truncated fixed64".into()));
-                }
-                let v = u64::from_le_bytes(self.data[..8].try_into().expect("8 bytes"));
-                self.data = &self.data[8..];
-                WireValue::Fixed64(v)
+                };
+                self.data = rest;
+                WireValue::Fixed64(u64::from_le_bytes(*bytes))
             }
             WireType::LengthDelimited => {
-                let (len, n) = get_uvarint(self.data)?;
-                self.data = &self.data[n..];
-                let len = len as usize;
-                if self.data.len() < len {
+                let (len, rest) = split_uvarint(self.data)?;
+                self.data = rest;
+                let Some((v, rest)) = self.data.split_at_checked(len as usize) else {
                     return Err(FlexError::Codec("truncated length-delimited field".into()));
-                }
-                let v = &self.data[..len];
-                self.data = &self.data[len..];
+                };
+                self.data = rest;
                 WireValue::Bytes(v)
             }
             WireType::Fixed32 => {
-                if self.data.len() < 4 {
+                let Some((bytes, rest)) = self.data.split_first_chunk::<4>() else {
                     return Err(FlexError::Codec("truncated fixed32".into()));
-                }
-                let v = u32::from_le_bytes(self.data[..4].try_into().expect("4 bytes"));
-                self.data = &self.data[4..];
-                WireValue::Fixed32(v)
+                };
+                self.data = rest;
+                WireValue::Fixed32(u32::from_le_bytes(*bytes))
             }
         };
         Ok(Some((field, value)))

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # flexran-sim
 //!
 //! The virtual-time simulation substrate for the FlexRAN platform — the

@@ -198,6 +198,8 @@ impl Stopwatch {
 
     /// Time one execution of `f`.
     pub fn time<T>(&mut self, f: impl FnOnce() -> T) -> T {
+        // A stopwatch measures wall clock by definition; its readings
+        // feed reports only, never scheduling. lint:allow(wall-clock)
         let start = Instant::now();
         let out = f();
         let d = start.elapsed();

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # flexran-stack
 //!
 //! The LTE layer-2 data plane underneath the FlexRAN agent — the

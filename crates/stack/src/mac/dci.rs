@@ -50,7 +50,7 @@ impl DlSchedulingDecision {
                 self.total_prbs()
             )));
         }
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for d in &self.dcis {
             if d.n_prb == 0 {
                 return Err(flexran_types::FlexError::InvalidConfig(format!(

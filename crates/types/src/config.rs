@@ -197,7 +197,7 @@ impl EnbConfig {
                 "eNodeB must serve at least one cell".into(),
             ));
         }
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for c in &self.cells {
             c.validate()?;
             if !seen.insert(c.cell_id) {

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # flexran-types
 //!
 //! Foundation types shared by every crate in the FlexRAN workspace:

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# One-stop local CI: formatting, clippy, the workspace invariant checker,
+# and the full test suite (including the determinism run with RIB
+# single-writer/epoch assertions compiled in).
+#
+# Usage: scripts/check.sh          # from anywhere inside the repo
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Our packages only — `--all` would also reformat the vendored deps,
+# which we keep byte-identical to their upstream snapshots.
+OWN_PKGS=()
+for manifest in crates/*/Cargo.toml; do
+    OWN_PKGS+=(-p "$(sed -n 's/^name = "\(.*\)"/\1/p' "$manifest" | head -n1)")
+done
+
+echo "==> cargo fmt --check"
+cargo fmt "${OWN_PKGS[@]}" -- --check
+
+echo "==> cargo clippy (all targets, warnings are errors)"
+cargo clippy --workspace --all-targets --quiet -- -D warnings
+
+echo "==> flexran-lint (gated against lint-baseline.toml)"
+cargo run --quiet -p flexran-lint
+
+echo "==> cargo test (workspace)"
+cargo test --quiet --workspace
+
+echo "==> determinism test with debug-invariants assertions"
+cargo test --quiet --release -p flexran --features debug-invariants --test determinism
+
+echo "All checks passed."

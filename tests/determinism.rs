@@ -73,7 +73,10 @@ fn build(workers: Option<usize>) -> (SimHarness, Vec<UeId>) {
                 EnbConfig::single_cell(enb_id),
                 AgentConfig::default(),
                 EnbParams::default(),
-                Some((LinkConfig::with_one_way_ms(2), LinkConfig::with_one_way_ms(2))),
+                Some((
+                    LinkConfig::with_one_way_ms(2),
+                    LinkConfig::with_one_way_ms(2),
+                )),
                 faults,
             )
         } else {
