@@ -20,6 +20,7 @@
 //! interference coupling (which cells transmit) between the two phases.
 
 use flexran_proto::messages::delegation::{DelegationAck, VsfArtifact, VsfPush};
+use flexran_proto::messages::stats::{ReportConfig, ReportFlags, ReportType};
 use flexran_proto::messages::{
     ConfigReply, EventNotification, FlexranMessage, Header, SubframeTrigger,
 };
@@ -109,6 +110,10 @@ pub struct FlexranAgent<T: Transport> {
     /// fallback; restored when the session rejoins.
     pre_failover_dl: Option<String>,
     hello_sent: bool,
+    /// Chaos hook: while `true`, the control thread is over its TTI
+    /// budget — subframes still commit but intake/liveness/scheduling
+    /// are suspended (see [`FlexranAgent::set_stalled`]).
+    stalled: bool,
     outbox_acks: Vec<DelegationAck>,
     handover_requests: Vec<HandoverRequest>,
     /// Reusable scheduler input/output buffers: phase A refills these in
@@ -125,6 +130,41 @@ struct SchedScratch {
     ul_out: UlSchedulerOutput,
 }
 
+/// Preload all registry built-ins into fresh module caches and activate
+/// the configured initial schedulers — the "hardcoded policies" baseline
+/// of §4.3.1. Shared by construction and crash-restart so a restarted
+/// agent comes back with exactly the state a freshly booted one has.
+fn preload_modules(
+    registry: &VsfRegistry,
+    config: &AgentConfig,
+) -> (MacControlModule, RrcControlModule) {
+    let mut mac = MacControlModule::new();
+    let mut rrc = RrcControlModule::new();
+    for key in registry.keys() {
+        // lint:allow(panic): keys() only lists instantiable entries.
+        match registry.instantiate(key).expect("listed key") {
+            VsfImpl::DlScheduler(s) => mac.dl.insert(key, s),
+            VsfImpl::UlScheduler(s) => mac.ul.insert(key, s),
+            VsfImpl::Handover(h) => rrc.handover.insert(key, h),
+        }
+    }
+    if let Some(k) = &config.initial_dl_scheduler {
+        // A misconfigured initial scheduler is a boot-time programming
+        // error, caught by every test topology.
+        mac.dl
+            .activate(k)
+            // lint:allow(panic): boot-time contract, see above.
+            .expect("initial DL scheduler in registry");
+    }
+    if let Some(k) = &config.initial_ul_scheduler {
+        mac.ul
+            .activate(k)
+            // lint:allow(panic): same boot-time contract as the DL slot.
+            .expect("initial UL scheduler in registry");
+    }
+    (mac, rrc)
+}
+
 impl<T: Transport> FlexranAgent<T> {
     /// Build an agent over a data plane and a transport to the master.
     ///
@@ -132,25 +172,7 @@ impl<T: Transport> FlexranAgent<T> {
     /// "hardcoded policies" baseline of §4.3.1); new behaviour arrives
     /// through VSF pushes.
     pub fn new(enb: Enb, transport: T, registry: VsfRegistry, config: AgentConfig) -> Self {
-        let mut mac = MacControlModule::new();
-        let mut rrc = RrcControlModule::new();
-        for key in registry.keys() {
-            match registry.instantiate(key).expect("listed key") {
-                VsfImpl::DlScheduler(s) => mac.dl.insert(key, s),
-                VsfImpl::UlScheduler(s) => mac.ul.insert(key, s),
-                VsfImpl::Handover(h) => rrc.handover.insert(key, h),
-            }
-        }
-        if let Some(k) = &config.initial_dl_scheduler {
-            mac.dl
-                .activate(k)
-                .expect("initial DL scheduler in registry");
-        }
-        if let Some(k) = &config.initial_ul_scheduler {
-            mac.ul
-                .activate(k)
-                .expect("initial UL scheduler in registry");
-        }
+        let (mac, rrc) = preload_modules(&registry, &config);
         let liveness = LivenessTracker::new(config.liveness.clone());
         FlexranAgent {
             enb,
@@ -164,10 +186,50 @@ impl<T: Transport> FlexranAgent<T> {
             liveness,
             pre_failover_dl: None,
             hello_sent: false,
+            stalled: false,
             outbox_acks: Vec::new(),
             handover_requests: Vec::new(),
             sched_scratch: SchedScratch::default(),
         }
+    }
+
+    /// Simulate an agent *process* crash followed by a supervisor
+    /// restart: every piece of soft control-plane state is lost — VSF
+    /// caches fall back to the registry built-ins and the configured
+    /// initial schedulers, report subscriptions, liveness history,
+    /// pending acks and in-flight handover requests vanish — while the
+    /// data plane (the eNodeB itself) keeps running, because the radio
+    /// hardware does not reboot with the agent process.
+    ///
+    /// The restarted agent re-introduces itself with a `Hello` on its
+    /// next TTI, which is what lets the master replay delegated state.
+    pub fn crash_restart(&mut self) {
+        let (mac, rrc) = preload_modules(&self.registry, &self.config);
+        self.mac = mac;
+        self.rrc = rrc;
+        self.reports = ReportsManager::new();
+        self.counters = AgentCounters::default();
+        self.liveness = LivenessTracker::new(self.config.liveness.clone());
+        self.pre_failover_dl = None;
+        self.hello_sent = false;
+        self.stalled = false;
+        self.outbox_acks.clear();
+        self.handover_requests.clear();
+        self.sched_scratch = SchedScratch::default();
+    }
+
+    /// Chaos hook: mark the agent's control thread as over (or back
+    /// under) its TTI budget. While stalled, subframes still commit —
+    /// the data-plane pipeline is hardware-driven — but protocol intake,
+    /// liveness probing and local VSF scheduling are suspended, so
+    /// inbound traffic piles up in the transport and the master sees the
+    /// session go quiet.
+    pub fn set_stalled(&mut self, stalled: bool) {
+        self.stalled = stalled;
+    }
+
+    pub fn is_stalled(&self) -> bool {
+        self.stalled
     }
 
     pub fn enb(&self) -> &Enb {
@@ -180,6 +242,10 @@ impl<T: Transport> FlexranAgent<T> {
 
     pub fn transport(&self) -> &T {
         &self.transport
+    }
+
+    pub fn transport_mut(&mut self) -> &mut T {
+        &mut self.transport
     }
 
     pub fn counters(&self) -> AgentCounters {
@@ -219,14 +285,14 @@ impl<T: Transport> FlexranAgent<T> {
 
     /// Phase 1 of the TTI (see module docs).
     pub fn phase_a(&mut self, tti: Tti, phy: &mut dyn PhyView) {
+        if self.stalled {
+            // The data plane is hardware-driven: the subframe opens even
+            // when the control thread has blown its budget.
+            self.enb.begin_tti(tti, phy);
+            return;
+        }
         if !self.hello_sent {
-            let hello = FlexranMessage::Hello(flexran_proto::messages::Hello {
-                enb_id: self.enb.config().enb_id,
-                n_cells: self.enb.cell_ids().len() as u32,
-                capabilities: self.config.capabilities.clone(),
-            });
-            let _ = self.transport.send(Header::default(), &hello);
-            self.hello_sent = true;
+            self.send_hello();
         }
         self.enb.begin_tti(tti, phy);
         // Protocol intake.
@@ -319,6 +385,11 @@ impl<T: Transport> FlexranAgent<T> {
     pub fn phase_b(&mut self, tti: Tti, phy: &mut dyn PhyView) -> Vec<EnbEvent> {
         self.enb.finish_tti(tti, phy);
         let events = self.enb.take_events();
+        if self.stalled {
+            // Subframe committed, but the control thread never got to
+            // run: no events, syncs or reports reach the master this TTI.
+            return events;
+        }
         let enb_id = self.enb.config().enb_id;
         for ev in &events {
             // Local handover policy reacts to measurement reports.
@@ -415,32 +486,28 @@ impl<T: Transport> FlexranAgent<T> {
                 self.reports.register(header.xid, req.config);
             }
             FlexranMessage::ConfigRequest(_) => {
-                let mut reply = ConfigReply {
-                    enb_id: self.enb.config().enb_id,
-                    cells: Vec::new(),
-                    ues: Vec::new(),
-                };
-                for cell in self.enb.cell_ids() {
-                    if let Ok(cfg) = self.enb.cell_config(cell) {
-                        reply.cells.push(
-                            flexran_proto::messages::config::CellConfigPb::from_config(cfg),
-                        );
-                    }
-                    if let Ok(ues) = self.enb.ue_stats(cell) {
-                        for u in ues {
-                            reply.ues.push(flexran_proto::messages::config::UeConfigPb {
-                                rnti: u.rnti.0,
-                                pcell: cell.0,
-                                transmission_mode: 1,
-                                slice: u.slice.0,
-                                ue_category: 4,
-                            });
-                        }
-                    }
-                }
+                self.send_config_reply(header);
+            }
+            FlexranMessage::ResyncRequest(_) => {
+                // A recovered master asks for a full state re-sync: we
+                // re-introduce ourselves *first* (so the session is
+                // adopted before state lands), then stream the complete
+                // picture — cell/UE configuration plus an ALL-flags
+                // statistics report — so the rebuilt RIB reconverges
+                // without waiting for the next periodic report.
+                self.send_hello();
+                self.send_config_reply(Header::default());
+                let reply = crate::reports::compose_reply(
+                    &self.enb,
+                    tti,
+                    ReportConfig {
+                        report_type: ReportType::OneOff,
+                        flags: ReportFlags::ALL,
+                    },
+                );
                 let _ = self
                     .transport
-                    .send(header, &FlexranMessage::ConfigReply(reply));
+                    .send(Header::default(), &FlexranMessage::StatsReply(reply));
             }
             FlexranMessage::DlSchedulingCommand(cmd) => {
                 if self.enb.submit_dl_decision(cmd.to_decision(), tti).is_err() {
@@ -539,6 +606,47 @@ impl<T: Transport> FlexranAgent<T> {
             | FlexranMessage::EventNotification(_)
             | FlexranMessage::DelegationAck(_) => {}
         }
+    }
+
+    fn send_hello(&mut self) {
+        let hello = FlexranMessage::Hello(flexran_proto::messages::Hello {
+            enb_id: self.enb.config().enb_id,
+            n_cells: self.enb.cell_ids().len() as u32,
+            capabilities: self.config.capabilities.clone(),
+        });
+        let _ = self.transport.send(Header::default(), &hello);
+        self.hello_sent = true;
+    }
+
+    fn send_config_reply(&mut self, header: Header) {
+        let mut reply = ConfigReply {
+            enb_id: self.enb.config().enb_id,
+            cells: Vec::new(),
+            ues: Vec::new(),
+        };
+        for cell in self.enb.cell_ids() {
+            if let Ok(cfg) = self.enb.cell_config(cell) {
+                reply
+                    .cells
+                    .push(flexran_proto::messages::config::CellConfigPb::from_config(
+                        cfg,
+                    ));
+            }
+            if let Ok(ues) = self.enb.ue_stats(cell) {
+                for u in ues {
+                    reply.ues.push(flexran_proto::messages::config::UeConfigPb {
+                        rnti: u.rnti.0,
+                        pcell: cell.0,
+                        transmission_mode: 1,
+                        slice: u.slice.0,
+                        ue_category: 4,
+                    });
+                }
+            }
+        }
+        let _ = self
+            .transport
+            .send(header, &FlexranMessage::ConfigReply(reply));
     }
 
     /// VSF updation: verify, build, cache.
@@ -1174,6 +1282,135 @@ mod tests {
             Some("proportional-fair"),
             "a policy replayed during rejoin wins over the stale restore"
         );
+    }
+
+    #[test]
+    fn resync_request_draws_hello_config_and_full_stats() {
+        let (mut agent, mut master) = agent_and_master();
+        let mut phy = StaticPhyView(20.0);
+        agent
+            .enb_mut()
+            .rach(CELL, UeId(1), SliceId::MNO, 0, Tti(0))
+            .unwrap();
+        for t in 0..80 {
+            agent.run_tti(Tti(t), &mut phy);
+        }
+        drain(&mut master);
+        master
+            .send(
+                Header::default(),
+                &FlexranMessage::ResyncRequest(flexran_proto::messages::ResyncRequest {
+                    enb_id: EnbId(1),
+                    since_tti: 0,
+                }),
+            )
+            .unwrap();
+        agent.run_tti(Tti(80), &mut phy);
+        let msgs = drain(&mut master);
+        let hello = msgs
+            .iter()
+            .position(|m| matches!(m, FlexranMessage::Hello(_)))
+            .expect("re-hello");
+        let config = msgs
+            .iter()
+            .position(|m| matches!(m, FlexranMessage::ConfigReply(c) if !c.ues.is_empty()))
+            .expect("config reply with the attached UE");
+        let stats = msgs
+            .iter()
+            .position(|m| matches!(m, FlexranMessage::StatsReply(s) if !s.ues.is_empty()))
+            .expect("full stats reply");
+        assert!(
+            hello < config && config < stats,
+            "session re-introduction must precede the state dump"
+        );
+    }
+
+    #[test]
+    fn crash_restart_loses_soft_state_but_keeps_the_data_plane() {
+        let (mut agent, mut master) = agent_and_master();
+        let mut phy = StaticPhyView(20.0);
+        let rnti = agent
+            .enb_mut()
+            .rach(CELL, UeId(1), SliceId::MNO, 0, Tti(0))
+            .unwrap();
+        master
+            .send(
+                Header::with_xid(4),
+                &FlexranMessage::StatsRequest(StatsRequest {
+                    config: ReportConfig {
+                        report_type: ReportType::Periodic { period: 5 },
+                        flags: ReportFlags::ALL,
+                    },
+                }),
+            )
+            .unwrap();
+        master
+            .send(
+                Header::with_xid(5),
+                &FlexranMessage::PolicyReconfiguration(PolicyReconfiguration {
+                    yaml: "mac:\n  dl_ue_scheduler:\n    behavior: proportional-fair\n".into(),
+                }),
+            )
+            .unwrap();
+        for t in 0..80 {
+            agent.run_tti(Tti(t), &mut phy);
+        }
+        assert_eq!(agent.mac.dl.active_name(), Some("proportional-fair"));
+        drain(&mut master);
+        agent.crash_restart();
+        // Soft state is gone: scheduler back to the configured initial,
+        // the periodic subscription no longer fires, counters reset.
+        assert_eq!(agent.mac.dl.active_name(), Some("round-robin"));
+        assert_eq!(agent.counters(), AgentCounters::default());
+        for t in 80..95 {
+            agent.run_tti(Tti(t), &mut phy);
+        }
+        let msgs = drain(&mut master);
+        assert!(
+            msgs.iter().any(|m| matches!(m, FlexranMessage::Hello(_))),
+            "restarted agent re-introduces itself"
+        );
+        assert!(
+            !msgs
+                .iter()
+                .any(|m| matches!(m, FlexranMessage::StatsReply(_))),
+            "crash wiped the report subscription"
+        );
+        // The data plane survived: the UE is still attached.
+        assert!(agent.enb().ue_stat(CELL, rnti).is_ok());
+    }
+
+    #[test]
+    fn stalled_agent_commits_subframes_but_goes_silent() {
+        let (mut agent, mut master) = liveness_agent(5, 100);
+        let mut phy = StaticPhyView(20.0);
+        agent.run_tti(Tti(0), &mut phy);
+        drain(&mut master);
+        agent.set_stalled(true);
+        // Messages sent to a stalled agent are not consumed…
+        master
+            .send(
+                Header::with_xid(9),
+                &FlexranMessage::StatsRequest(StatsRequest {
+                    config: ReportConfig {
+                        report_type: ReportType::OneOff,
+                        flags: ReportFlags::ALL,
+                    },
+                }),
+            )
+            .unwrap();
+        for t in 1..=20 {
+            agent.run_tti(Tti(t), &mut phy);
+        }
+        assert!(drain(&mut master).is_empty(), "no probes, syncs or replies");
+        assert_eq!(agent.counters().rx_messages, 0);
+        // …but are processed once the stall clears.
+        agent.set_stalled(false);
+        agent.run_tti(Tti(21), &mut phy);
+        let msgs = drain(&mut master);
+        assert!(msgs
+            .iter()
+            .any(|m| matches!(m, FlexranMessage::StatsReply(_))));
     }
 
     #[test]

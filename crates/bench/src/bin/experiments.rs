@@ -16,18 +16,35 @@ use flexran_bench::ExpContext;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let out_dir = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-        .unwrap_or_else(|| "target/experiments".to_string());
-    let mut ids: Vec<String> = args
-        .iter()
-        .filter(|a| !a.starts_with("--") && *a != &out_dir)
-        .cloned()
-        .collect();
+    let mut quick = false;
+    let mut out_dir = "target/experiments".to_string();
+    let mut seeds_override = None;
+    let mut ttis_override = None;
+    let mut ids: Vec<String> = Vec::new();
+    // A proper little parser: flags that take a value consume it, so a
+    // value like "8" is never mistaken for an experiment id.
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{flag} requires a value"))
+                .clone()
+        };
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => out_dir = value("--out"),
+            "--seeds" => {
+                seeds_override = Some(value("--seeds").parse().expect("--seeds takes a number"))
+            }
+            "--ttis" => {
+                ttis_override = Some(value("--ttis").parse().expect("--ttis takes a number"))
+            }
+            other if other.starts_with("--") => {
+                panic!("unknown flag '{other}' (flags: --quick --out DIR --seeds N --ttis N)")
+            }
+            id => ids.push(id.to_string()),
+        }
+    }
     if ids.is_empty() || ids.iter().any(|i| i == "all") {
         ids = ALL.iter().map(|s| s.to_string()).collect();
     }
@@ -41,7 +58,9 @@ fn main() {
     };
     let mut seen_runners = std::collections::HashSet::new();
 
-    let ctx = ExpContext::new(quick, &out_dir);
+    let mut ctx = ExpContext::new(quick, &out_dir);
+    ctx.seeds_override = seeds_override;
+    ctx.ttis_override = ttis_override;
     println!(
         "FlexRAN experiment suite — mode: {}, output: {out_dir}/",
         if quick { "quick" } else { "full" }

@@ -1,0 +1,75 @@
+//! The chaos gate: seeded fault schedules vs. the invariant oracles.
+//!
+//! Runs `--seeds` independent chaos schedules of `--ttis` TTIs each
+//! (defaults: 32×5000 full, 4×1500 quick) and tolerates **zero**
+//! invariant violations. On a violation the runner prints every
+//! offending oracle report — each pins the exact seed and TTI for a
+//! bit-identical replay — and aborts with a failure, so `scripts/check.sh`
+//! can use this experiment as its chaos smoke gate.
+
+use flexran_chaos::{run_chaos, ChaosConfig};
+
+use crate::{csv, ExpContext, ExpResult};
+
+pub fn chaos(ctx: &ExpContext) -> ExpResult {
+    let seeds = ctx.seeds_override.unwrap_or(if ctx.quick { 4 } else { 32 });
+    let ttis = ctx.ttis_override.unwrap_or(ctx.ttis(5_000, 1_500));
+    let mut res = ExpResult::new(
+        "chaos",
+        "Chaos soak: multi-layer fault schedules vs invariant oracles",
+        &[
+            "seed",
+            "ttis",
+            "agent crashes",
+            "master crashes/recoveries",
+            "stalls",
+            "wire windows",
+            "delegations",
+            "violations",
+        ],
+    );
+    let mut failures: Vec<String> = Vec::new();
+    for seed in 0..seeds {
+        let report = run_chaos(&ChaosConfig {
+            seed,
+            ttis,
+            ..ChaosConfig::default()
+        });
+        res.row(vec![
+            seed.to_string(),
+            ttis.to_string(),
+            report.faults.agent_crashes.to_string(),
+            format!(
+                "{}/{}",
+                report.faults.master_crashes, report.faults.master_restarts
+            ),
+            report.faults.stalls.to_string(),
+            report.faults.wire_windows.to_string(),
+            report.faults.delegations.to_string(),
+            report.violations_total.to_string(),
+        ]);
+        failures.extend(report.violations.iter().map(|v| v.to_string()));
+    }
+    res.note(format!(
+        "{seeds} seeds × {ttis} TTIs, zero tolerated violations. Oracles: failover \
+         legality, PRB capacity, HARQ monotonicity, RIB↔stack consistency, command \
+         conservation, decision sanity. Any violation pins (seed, TTI) for exact replay."
+    ));
+    ctx.write_csv(
+        "chaos",
+        &csv(
+            &res.headers.iter().map(String::as_str).collect::<Vec<_>>(),
+            &res.rows,
+        ),
+    );
+    if !failures.is_empty() {
+        for line in &failures {
+            eprintln!("{line}");
+        }
+        panic!(
+            "chaos gate failed: {} invariant violation(s) across {seeds} seeds",
+            failures.len()
+        );
+    }
+    res
+}

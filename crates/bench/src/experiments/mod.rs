@@ -1,6 +1,7 @@
 //! The experiment registry: every table and figure of the paper, by id.
 
 pub mod ablations;
+pub mod chaos;
 pub mod fig10;
 pub mod fig11;
 pub mod fig12;
@@ -42,6 +43,7 @@ pub const ALL: &[&str] = &[
     "ablation-bler-target",
     "outage",
     "scale",
+    "chaos",
 ];
 
 /// Run one experiment id (some ids share a runner and return together).
@@ -64,6 +66,7 @@ pub fn run(id: &str, ctx: &ExpContext) -> Vec<ExpResult> {
         "ablation-bler-target" => vec![ablations::ablation_bler_target(ctx)],
         "outage" => vec![outage::outage(ctx)],
         "scale" => vec![scale::scale(ctx)],
+        "chaos" => vec![chaos::chaos(ctx)],
         other => panic!("unknown experiment id '{other}' (available: {ALL:?})"),
     }
 }

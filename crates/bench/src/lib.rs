@@ -89,13 +89,22 @@ pub struct ExpContext {
     /// Shrink durations (smoke mode).
     pub quick: bool,
     pub out_dir: PathBuf,
+    /// CLI override for seed-sweep experiments (`--seeds N`).
+    pub seeds_override: Option<u64>,
+    /// CLI override for run length (`--ttis N`).
+    pub ttis_override: Option<u64>,
 }
 
 impl ExpContext {
     pub fn new(quick: bool, out_dir: impl Into<PathBuf>) -> Self {
         let out_dir = out_dir.into();
         std::fs::create_dir_all(&out_dir).expect("create output directory");
-        ExpContext { quick, out_dir }
+        ExpContext {
+            quick,
+            out_dir,
+            seeds_override: None,
+            ttis_override: None,
+        }
     }
 
     /// Pick a duration by mode.

@@ -1,0 +1,366 @@
+//! Invariant oracles evaluated every TTI of a chaos run.
+//!
+//! Each oracle states a property that must hold *regardless of the fault
+//! schedule* — crashed processes, corrupted frames and stalled agents
+//! are allowed to delay convergence, never to break these:
+//!
+//! 1. **failover-legality** — an agent's [`FailoverState`] only moves
+//!    along the edges of the liveness state machine (sampled at TTI
+//!    granularity, so one-TTI composites of legal edges are legal too).
+//! 2. **prb-capacity** — a cell never spends more PRBs in one subframe
+//!    than its bandwidth allows (new data plus the retransmissions
+//!    reserved from one earlier subframe).
+//! 3. **harq-consistency** — per-UE HARQ counters are monotonic; the
+//!    data plane never un-transmits.
+//! 4. **rib-stack-consistency** — once a quiesce window has passed since
+//!    the last fault touching an agent, the master's RIB subtree for it
+//!    is fresh and its UE leaves match the eNodeB stack exactly (no
+//!    phantom UEs, no lost UEs).
+//! 5. **command-conservation** — non-sheddable traffic is never shed by
+//!    the bounded link queues; on a loss-free link every scheduling
+//!    command the master sent is at the agent or still in flight, and on
+//!    a lossy link the agent never *receives* more commands than were
+//!    sent plus duplicated/corrupted frames can explain.
+//! 6. **decision-sanity** — at most one downlink scheduling decision is
+//!    applied per cell per TTI (the stack rejects duplicates, e.g. from
+//!    a duplicated wire frame, with a `Conflict` error — never applies
+//!    them twice).
+//!
+//! A violation records the run seed and the exact TTI, so any failure
+//! replays bit-identically from the seed alone.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use flexran::agent::FailoverState;
+use flexran::harness::SimHarness;
+use flexran::proto::transport::Transport;
+use flexran::proto::MessageCategory;
+use flexran::types::ids::{CellId, EnbId, Rnti};
+
+/// Cap on violation records kept per run; the total is always counted.
+const MAX_RECORDED: usize = 64;
+
+/// One invariant violation, pinned to the (seed, TTI) that reproduces it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    pub seed: u64,
+    pub tti: u64,
+    pub oracle: &'static str,
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "invariant violated: oracle={} seed={} tti={} — {} \
+             (replay: experiments chaos --seed {})",
+            self.oracle, self.seed, self.tti, self.detail, self.seed
+        )
+    }
+}
+
+#[derive(Clone, Copy)]
+struct CellCounters {
+    dl_prbs: u64,
+    ul_prbs: u64,
+    decisions: u64,
+}
+
+/// The oracle battery: carries last-TTI observations per agent so each
+/// check is a per-TTI delta, and accumulates [`Violation`]s.
+pub struct Oracles {
+    seed: u64,
+    grace: u64,
+    /// Negative control: from this TTI on, the PRB oracle pretends the
+    /// cell has zero capacity until it has fired exactly once.
+    inject_at: Option<u64>,
+    injected: bool,
+    prev_failover: Vec<FailoverState>,
+    prev_cell: Vec<BTreeMap<CellId, CellCounters>>,
+    prev_harq: Vec<BTreeMap<(CellId, Rnti), (u64, u64)>>,
+    pub violations: Vec<Violation>,
+    pub total: u64,
+}
+
+/// Legal `FailoverState` moves at TTI granularity. Within one TTI the
+/// agent first drains the transport (rx/ack edges) and then ticks the
+/// silence clock, so the observable one-TTI composites are:
+/// `C→{C,D,L}`, `D→{D,C,L}`, `L→{L,R,C}`, `R→{R,C,L}` — an agent crash
+/// resets the tracker to `Connected`, which is `*→C`, also in the set.
+fn legal(prev: FailoverState, cur: FailoverState) -> bool {
+    use FailoverState::*;
+    !matches!(
+        (prev, cur),
+        (Connected, Rejoining)
+            | (Degraded, Rejoining)
+            | (LocalControl, Degraded)
+            | (Rejoining, Degraded)
+    )
+}
+
+impl Oracles {
+    pub fn new(seed: u64, grace: u64, inject_at: Option<u64>, n_enbs: usize) -> Self {
+        Oracles {
+            seed,
+            grace,
+            inject_at,
+            injected: false,
+            prev_failover: vec![FailoverState::Connected; n_enbs],
+            prev_cell: vec![BTreeMap::new(); n_enbs],
+            prev_harq: vec![BTreeMap::new(); n_enbs],
+            violations: Vec::new(),
+            total: 0,
+        }
+    }
+
+    fn record(&mut self, tti: u64, oracle: &'static str, detail: String) {
+        self.total += 1;
+        if self.violations.len() < MAX_RECORDED {
+            self.violations.push(Violation {
+                seed: self.seed,
+                tti,
+                oracle,
+                detail,
+            });
+        }
+    }
+
+    /// Evaluate every oracle against the post-step state of `sim`.
+    ///
+    /// `disturb[i]` is the last TTI a fault was active on agent `i`
+    /// (gates the convergence-dependent RIB check); `lossless[i]` is
+    /// whether agent `i`'s link has been loss-free for the whole run
+    /// (gates the exact conservation equation).
+    pub fn check(&mut self, sim: &SimHarness, enbs: &[EnbId], disturb: &[u64], lossless: &[bool]) {
+        let now = sim.now().0;
+        let master_down = sim.master_down();
+        for (i, &enb) in enbs.iter().enumerate() {
+            let agent = sim.agent(enb).expect("chaos agents are never removed");
+
+            // 1. Failover state-machine legality.
+            let cur = agent.failover_state();
+            let prev = self.prev_failover[i];
+            self.prev_failover[i] = cur;
+            if !legal(prev, cur) {
+                self.record(
+                    now,
+                    "failover-legality",
+                    format!("{enb}: illegal transition {prev} → {cur}"),
+                );
+            }
+
+            // 2 + 6. Per-cell deltas: PRB spend and decision application.
+            for cell in agent.enb().cell_ids() {
+                let stats = agent.enb().cell_stats(cell).expect("cell exists");
+                let cfg = agent.enb().cell_config(cell).expect("cell exists");
+                let cur = CellCounters {
+                    dl_prbs: stats.dl_prbs_used,
+                    ul_prbs: stats.ul_prbs_used,
+                    decisions: stats.decisions_applied,
+                };
+                let prev = *self.prev_cell[i].entry(cell).or_insert(cur);
+                self.prev_cell[i].insert(cell, cur);
+                if cur.dl_prbs < prev.dl_prbs
+                    || cur.ul_prbs < prev.ul_prbs
+                    || cur.decisions < prev.decisions
+                {
+                    self.record(
+                        now,
+                        "prb-capacity",
+                        format!("{enb}/{cell}: cumulative cell counters went backwards"),
+                    );
+                    continue;
+                }
+                // Schedule-ahead decisions are sized against the full
+                // bandwidth and retransmissions from one earlier
+                // subframe are reserved on top, so one subframe can
+                // legitimately spend up to 2×n_prb downlink.
+                let inject = !self.injected && self.inject_at.is_some_and(|at| now >= at);
+                let dl_cap = if inject {
+                    0
+                } else {
+                    2 * cfg.dl_bandwidth.n_prb() as u64
+                };
+                let dl_delta = cur.dl_prbs - prev.dl_prbs;
+                if dl_delta > dl_cap {
+                    self.injected |= inject;
+                    let tag = if inject { " [negative control]" } else { "" };
+                    self.record(
+                        now,
+                        "prb-capacity",
+                        format!("{enb}/{cell}: {dl_delta} DL PRBs in one TTI, cap {dl_cap}{tag}"),
+                    );
+                }
+                let ul_cap = cfg.ul_bandwidth.n_prb() as u64;
+                let ul_delta = cur.ul_prbs - prev.ul_prbs;
+                if ul_delta > ul_cap {
+                    self.record(
+                        now,
+                        "prb-capacity",
+                        format!("{enb}/{cell}: {ul_delta} UL PRBs in one TTI, cap {ul_cap}"),
+                    );
+                }
+                if cur.decisions - prev.decisions > 1 {
+                    self.record(
+                        now,
+                        "decision-sanity",
+                        format!(
+                            "{enb}/{cell}: {} DL decisions applied in one TTI",
+                            cur.decisions - prev.decisions
+                        ),
+                    );
+                }
+            }
+
+            // 3. HARQ counters are monotonic.
+            for cell in agent.enb().cell_ids() {
+                for ue in agent.enb().ue_stats(cell).expect("cell exists") {
+                    let key = (cell, ue.rnti);
+                    let cur = (ue.harq_tx, ue.harq_retx);
+                    let prev = *self.prev_harq[i].entry(key).or_insert(cur);
+                    self.prev_harq[i].insert(key, cur);
+                    if cur.0 < prev.0 || cur.1 < prev.1 {
+                        self.record(
+                            now,
+                            "harq-consistency",
+                            format!(
+                                "{enb}/{cell}/{}: HARQ counters went backwards \
+                                 ({},{}) → ({},{})",
+                                ue.rnti, prev.0, prev.1, cur.0, cur.1
+                            ),
+                        );
+                    }
+                }
+            }
+
+            // 4. RIB ↔ stack consistency after the quiesce window.
+            if !master_down && now.saturating_sub(disturb[i]) > self.grace {
+                self.check_rib_consistency(sim, enb, now);
+            }
+
+            // 5. Command conservation.
+            self.check_conservation(sim, enb, now, master_down, lossless[i]);
+        }
+    }
+
+    fn check_rib_consistency(&mut self, sim: &SimHarness, enb: EnbId, now: u64) {
+        let agent = sim.agent(enb).expect("present");
+        let rib = sim.master().rib();
+        let Some(node) = rib.agent(enb) else {
+            self.record(
+                now,
+                "rib-stack-consistency",
+                format!(
+                    "{enb}: no RIB subtree {} TTIs after the last fault",
+                    self.grace
+                ),
+            );
+            return;
+        };
+        if node.is_stale() {
+            self.record(
+                now,
+                "rib-stack-consistency",
+                format!(
+                    "{enb}: RIB still stale {} TTIs after the last fault",
+                    self.grace
+                ),
+            );
+            return;
+        }
+        let rib_set: BTreeSet<(CellId, Rnti)> = node
+            .cells
+            .iter()
+            .flat_map(|(cell, cn)| cn.ues.keys().map(move |rnti| (*cell, *rnti)))
+            .collect();
+        let mut stack_set: BTreeSet<(CellId, Rnti)> = BTreeSet::new();
+        for cell in agent.enb().cell_ids() {
+            for ue in agent.enb().ue_stats(cell).expect("cell exists") {
+                stack_set.insert((cell, ue.rnti));
+            }
+        }
+        if rib_set != stack_set {
+            let lost: Vec<String> = stack_set
+                .difference(&rib_set)
+                .map(|(c, r)| format!("{c}/{r}"))
+                .collect();
+            let phantom: Vec<String> = rib_set
+                .difference(&stack_set)
+                .map(|(c, r)| format!("{c}/{r}"))
+                .collect();
+            self.record(
+                now,
+                "rib-stack-consistency",
+                format!(
+                    "{enb}: RIB diverges from the stack — lost [{}], phantom [{}]",
+                    lost.join(" "),
+                    phantom.join(" ")
+                ),
+            );
+        }
+    }
+
+    fn check_conservation(
+        &mut self,
+        sim: &SimHarness,
+        enb: EnbId,
+        now: u64,
+        master_down: bool,
+        lossless: bool,
+    ) {
+        let transport = sim.agent(enb).expect("present").transport();
+        // Priority shedding must never touch anything but stats replies.
+        for cat in MessageCategory::ALL {
+            if cat.sheddable() {
+                continue;
+            }
+            let shed =
+                transport.shed_towards_by_category(cat) + transport.shed_from_by_category(cat);
+            if shed > 0 {
+                self.record(
+                    now,
+                    "command-conservation",
+                    format!("{enb}: {shed} non-sheddable {cat} message(s) shed"),
+                );
+            }
+        }
+        let cmds = MessageCategory::Commands;
+        let rx = transport.rx_counters().messages(cmds);
+        if master_down {
+            return; // tx counter unreachable while the process is down
+        }
+        let Some(tx) = sim.master().session_tx_messages(enb, cmds) else {
+            return; // session not (re-)identified yet
+        };
+        let in_flight = transport.in_flight_towards_by_category(cmds) as u64;
+        if lossless {
+            // Loss-free link: every command is at the agent or on the wire.
+            if tx != rx + in_flight {
+                self.record(
+                    now,
+                    "command-conservation",
+                    format!("{enb}: commands tx={tx} ≠ rx={rx} + in-flight={in_flight}"),
+                );
+            }
+        } else if let Some(handle) = sim.fault_handle(enb) {
+            // Lossy link: receiving more than sent is only explicable by
+            // duplicated frames (or corrupted frames decoding as another
+            // category); anything beyond that is fabrication.
+            let dup = handle.duplicated_by_category(cmds);
+            let corrupted: u64 = MessageCategory::ALL
+                .iter()
+                .map(|c| handle.corrupted_by_category(*c))
+                .sum();
+            if rx > tx + dup + corrupted {
+                self.record(
+                    now,
+                    "command-conservation",
+                    format!(
+                        "{enb}: commands rx={rx} exceeds tx={tx} + dup={dup} + corrupt={corrupted}"
+                    ),
+                );
+            }
+        }
+    }
+}

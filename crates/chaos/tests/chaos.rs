@@ -1,0 +1,105 @@
+//! Chaos-engine acceptance: clean soaks, bit-identical replay-by-seed,
+//! and the negative control (an injected violation must reproduce with
+//! the exact same seed and TTI on every run).
+
+use flexran_chaos::{run_chaos, ChaosConfig};
+
+fn quick(seed: u64) -> ChaosConfig {
+    ChaosConfig {
+        seed,
+        ttis: 1_200,
+        ..ChaosConfig::default()
+    }
+}
+
+#[test]
+fn quick_soak_is_clean_and_actually_injects_faults() {
+    let mut faults = flexran_chaos::FaultLog::default();
+    for seed in 0..4 {
+        let report = run_chaos(&quick(seed));
+        assert!(
+            report.pass(),
+            "seed {seed} violated invariants:\n{}",
+            report
+                .violations
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        faults.agent_crashes += report.faults.agent_crashes;
+        faults.master_crashes += report.faults.master_crashes;
+        faults.stalls += report.faults.stalls;
+        faults.wire_windows += report.faults.wire_windows;
+        faults.delegations += report.faults.delegations;
+    }
+    // The clean verdict must come from surviving faults, not dodging them.
+    assert!(faults.agent_crashes > 0, "no agent crashes injected");
+    assert!(faults.master_crashes > 0, "no master crashes injected");
+    assert!(faults.stalls > 0, "no stalls injected");
+    assert!(faults.wire_windows > 0, "no wire-fault windows injected");
+    assert!(faults.delegations > 0, "no delegation pushes injected");
+}
+
+#[test]
+fn replay_by_seed_is_bit_identical() {
+    let a = run_chaos(&quick(42));
+    let b = run_chaos(&quick(42));
+    assert_eq!(a, b, "same seed must reproduce the identical report");
+    let c = run_chaos(&quick(43));
+    assert_ne!(
+        a.faults, c.faults,
+        "different seeds should draw different schedules"
+    );
+}
+
+#[test]
+fn negative_control_reproduces_seed_and_tti_exactly() {
+    let cfg = ChaosConfig {
+        inject_violation_at: Some(600),
+        ..quick(7)
+    };
+    let a = run_chaos(&cfg);
+    assert!(!a.pass(), "the injected violation must be detected");
+    let first = &a.violations[0];
+    assert_eq!(first.oracle, "prb-capacity");
+    assert!(
+        first.tti >= 600,
+        "violation fired at {} before the injection point",
+        first.tti
+    );
+    assert!(first.detail.contains("negative control"));
+    // The whole point: the violation replays bit-identically from the
+    // seed — same TTI, same oracle, same detail.
+    let b = run_chaos(&cfg);
+    assert_eq!(a.violations, b.violations);
+    assert_eq!(a.violations_total, b.violations_total);
+}
+
+#[test]
+fn lossless_schedule_holds_exact_command_conservation() {
+    // No crashes and no wire faults: the exact conservation equation
+    // (tx == rx + in-flight) is checked every single TTI, under stalls
+    // and delegation churn.
+    let cfg = ChaosConfig {
+        agent_crash_prob: 0.0,
+        master_crash_prob: 0.0,
+        wire_prob: 0.0,
+        stall_prob: 0.004,
+        delegation_prob: 0.01,
+        ..quick(11)
+    };
+    let report = run_chaos(&cfg);
+    assert!(
+        report.pass(),
+        "lossless run violated invariants:\n{}",
+        report
+            .violations
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(report.faults.stalls > 0);
+    assert_eq!(report.faults.master_crashes, 0);
+}

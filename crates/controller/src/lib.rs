@@ -16,12 +16,17 @@
 //!   delegated-state replay, the TTI-cycled Task Manager with per-slot
 //!   wall-clock accounting (Fig. 8's instrumentation), and real-time
 //!   pacing for TCP deployments.
+//! * [`journal`] — RIB durability: a snapshot + delta journal written at
+//!   each write cycle, and the recovery path that lets a restarted
+//!   master rebuild the RIB and reconcile via agent re-sync.
 
+pub mod journal;
 pub mod master;
 pub mod northbound;
 pub mod rib;
 pub mod updater;
 
+pub use journal::{RecoveredState, RibJournal};
 pub use master::{
     CycleAccounting, CycleStats, MasterController, SessionLivenessStats, TaskManagerConfig,
 };

@@ -15,17 +15,20 @@
 //! * **real time** — [`MasterController::run_realtime`] paces cycles at
 //!   wall-clock 1 ms, for deployments over real TCP transports.
 
+use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
 use flexran_proto::messages::delegation::VsfPush;
 use flexran_proto::messages::events::EventKind;
 use flexran_proto::messages::stats::{ReportConfig, StatsRequest};
-use flexran_proto::messages::{EventNotification, FlexranMessage, Header};
+use flexran_proto::messages::{EventNotification, FlexranMessage, Header, ResyncRequest};
 use flexran_proto::transport::Transport;
+use flexran_proto::MessageCategory;
 use flexran_types::ids::EnbId;
 use flexran_types::time::Tti;
 use flexran_types::{FlexError, Result};
 
+use crate::journal::{mutates_rib, RibJournal};
 use crate::northbound::{App, AppRegistry, ConflictGuard, ControlHandle, RibView};
 use crate::rib::Rib;
 use crate::updater::{NotifiedEvent, RibUpdater};
@@ -44,6 +47,11 @@ pub struct TaskManagerConfig {
     /// subtree is marked fresh, delegated state (report subscriptions,
     /// VSF pushes, policies) is replayed, and `AgentUp` is delivered.
     pub liveness_timeout: u64,
+    /// Write cycles between RIB journal snapshot rewrites (0 = journaling
+    /// disabled). With journaling on, every RIB-mutating agent message and
+    /// every delegated-state send is appended to the journal, and
+    /// [`MasterController::recover`] can rebuild the RIB after a crash.
+    pub journal_snapshot_every: u64,
 }
 
 impl Default for TaskManagerConfig {
@@ -52,6 +60,7 @@ impl Default for TaskManagerConfig {
             tti_duration: Duration::from_millis(1),
             rib_slot_fraction: 0.2,
             liveness_timeout: 0,
+            journal_snapshot_every: 0,
         }
     }
 }
@@ -72,6 +81,33 @@ enum ReplayOp {
     Stats(ReportConfig),
     Vsf(VsfPush),
     Policy(String),
+}
+
+impl ReplayOp {
+    fn to_message(&self) -> FlexranMessage {
+        match self {
+            ReplayOp::Stats(config) => {
+                FlexranMessage::StatsRequest(StatsRequest { config: *config })
+            }
+            ReplayOp::Vsf(push) => FlexranMessage::VsfPush(push.clone()),
+            ReplayOp::Policy(yaml) => FlexranMessage::PolicyReconfiguration(
+                flexran_proto::messages::PolicyReconfiguration { yaml: yaml.clone() },
+            ),
+        }
+    }
+
+    /// Inverse of [`ReplayOp::to_message`] — journal recovery turns the
+    /// persisted replay section back into ops. Non-delegation kinds in
+    /// the section are ignored (a corrupt-but-decodable journal must not
+    /// inject arbitrary commands).
+    fn from_message(msg: &FlexranMessage) -> Option<ReplayOp> {
+        match msg {
+            FlexranMessage::StatsRequest(r) => Some(ReplayOp::Stats(r.config)),
+            FlexranMessage::VsfPush(p) => Some(ReplayOp::Vsf(p.clone())),
+            FlexranMessage::PolicyReconfiguration(p) => Some(ReplayOp::Policy(p.yaml.clone())),
+            _ => None,
+        }
+    }
 }
 
 /// Wall-clock accounting of one cycle.
@@ -122,6 +158,12 @@ struct Session {
     down: bool,
     /// Delegated-state log replayed on rejoin.
     replay: Vec<ReplayOp>,
+    /// Recovered-master sessions don't know which agent is on the other
+    /// end until a `Hello` arrives; the first pre-hello traffic triggers
+    /// one `ResyncRequest` nudge so agents that never noticed the outage
+    /// (shorter than their degraded threshold) still re-introduce
+    /// themselves and push full state.
+    needs_resync_nudge: bool,
 }
 
 /// The master controller.
@@ -136,6 +178,14 @@ pub struct MasterController {
     liveness: SessionLivenessStats,
     xid: u32,
     now: Tti,
+    /// RIB durability (None when `journal_snapshot_every` is 0).
+    journal: Option<RibJournal>,
+    /// Delegated state recovered from the journal, owed to agents that
+    /// have not re-introduced themselves since the restart. Adopted into
+    /// the session (and replayed) when the agent's `Hello` arrives.
+    pending_replay: BTreeMap<EnbId, Vec<ReplayOp>>,
+    /// This incarnation was built by [`MasterController::recover`].
+    recovered: bool,
 }
 
 impl MasterController {
@@ -151,7 +201,67 @@ impl MasterController {
             liveness: SessionLivenessStats::default(),
             xid: 0,
             now: Tti::ZERO,
+            journal: (config.journal_snapshot_every > 0)
+                .then(|| RibJournal::new(config.journal_snapshot_every)),
+            pending_replay: BTreeMap::new(),
+            recovered: false,
         }
+    }
+
+    /// Rebuild a master from its journal after a crash. The snapshot and
+    /// delta records are replayed through the RIB Updater (the same
+    /// single writer that built the state originally), every recovered
+    /// agent subtree is marked stale at `now` — the data is a pre-crash
+    /// epoch until the agent re-syncs — and the persisted delegated state
+    /// is held pending, to be replayed when each agent's `Hello` arrives.
+    /// Agent transports must be re-attached via
+    /// [`MasterController::add_agent`]; sessions re-learn their identity
+    /// from the agents' hellos.
+    pub fn recover(config: TaskManagerConfig, journal_bytes: &[u8], now: Tti) -> Result<Self> {
+        let state = RibJournal::parse(journal_bytes)?;
+        let mut master = MasterController::new(config);
+        master.now = now;
+        master.recovered = true;
+        for r in &state.rib_records {
+            // A fresh RIB is writable until the first open_write_cycle,
+            // so replay needs no cycle bracketing (and recovery-time TTIs
+            // would violate the monotonic-epoch assertion anyway).
+            master.updater.apply(&mut master.rib, r.enb, &r.msg, r.tti);
+        }
+        let recovered_agents: Vec<EnbId> = master.rib.agents().map(|a| a.enb_id).collect();
+        for enb in recovered_agents {
+            master.updater.agent_down(&mut master.rib, enb, now);
+        }
+        for (enb, msgs) in &state.replay {
+            let ops: Vec<ReplayOp> = msgs.iter().filter_map(ReplayOp::from_message).collect();
+            if !ops.is_empty() {
+                master.pending_replay.insert(*enb, ops);
+            }
+        }
+        if let Some(journal) = master.journal.as_mut() {
+            journal.seed_replay(&state);
+            journal.compact(&master.rib);
+        }
+        Ok(master)
+    }
+
+    /// Serialized journal of this incarnation, if journaling is on (what
+    /// a deployment would keep fsynced; the sim harness carries it across
+    /// a simulated crash).
+    pub fn journal_bytes(&self) -> Option<Vec<u8>> {
+        self.journal.as_ref().map(|j| j.bytes())
+    }
+
+    /// Journal compaction count (diagnostics / tests).
+    pub fn journal_compactions(&self) -> Option<u64> {
+        self.journal.as_ref().map(|j| j.compactions())
+    }
+
+    /// Detach all session transports, in session order. Used by crash
+    /// harnesses: the links outlive the master process, the sessions do
+    /// not.
+    pub fn take_transports(&mut self) -> Vec<Box<dyn Transport>> {
+        self.sessions.drain(..).map(|s| s.transport).collect()
     }
 
     /// Attach an agent session (any transport).
@@ -162,6 +272,7 @@ impl MasterController {
             last_rx: None,
             down: false,
             replay: Vec::new(),
+            needs_resync_nudge: self.recovered,
         });
         self.sessions.len() - 1
     }
@@ -205,6 +316,18 @@ impl MasterController {
         self.liveness
     }
 
+    /// Messages of one category sent so far on the session towards
+    /// `enb`, as counted by the session transport. `None` when no
+    /// session has identified itself as `enb` yet. Used by external
+    /// conservation checks ("every command the master sent is accounted
+    /// for at the agent"), e.g. the chaos-engine oracles.
+    pub fn session_tx_messages(&self, enb: EnbId, cat: MessageCategory) -> Option<u64> {
+        self.sessions
+            .iter()
+            .find(|s| s.enb_id == Some(enb))
+            .map(|s| s.transport.tx_counters().messages(cat))
+    }
+
     fn next_xid(&mut self) -> u32 {
         self.xid = self.xid.wrapping_add(1);
         self.xid
@@ -223,6 +346,9 @@ impl MasterController {
     }
 
     fn record_replay(&mut self, enb: EnbId, op: ReplayOp) {
+        if let Some(journal) = self.journal.as_mut() {
+            journal.record_replay(enb, &op.to_message());
+        }
         if let Some(session) = self.sessions.iter_mut().find(|s| s.enb_id == Some(enb)) {
             session.replay.push(op);
         }
@@ -300,12 +426,45 @@ impl MasterController {
                         }
                         if let FlexranMessage::Hello(h) = &msg {
                             session.enb_id = Some(h.enb_id);
+                            session.needs_resync_nudge = false;
+                            // A recovered master owes this agent its
+                            // pre-crash delegated state: adopt it into
+                            // the session and run the rejoin path, which
+                            // also clears the staleness epoch recovery
+                            // opened.
+                            if let Some(ops) = self.pending_replay.remove(&h.enb_id) {
+                                session.replay = ops;
+                                if !rejoined.contains(&idx) {
+                                    rejoined.push(idx);
+                                }
+                            }
                         }
                         let Some(enb) = session.enb_id else {
-                            continue; // ignore pre-hello traffic
+                            // Pre-hello traffic carries no identity; it is
+                            // not folded into the RIB. On a recovered
+                            // master it still proves an agent is on this
+                            // transport, so nudge it (once) to
+                            // re-introduce itself and push full state.
+                            if session.needs_resync_nudge {
+                                session.needs_resync_nudge = false;
+                                self.xid = self.xid.wrapping_add(1);
+                                let _ = session.transport.send(
+                                    Header::with_xid(self.xid),
+                                    &FlexranMessage::ResyncRequest(ResyncRequest {
+                                        enb_id: EnbId(0),
+                                        since_tti: 0,
+                                    }),
+                                );
+                            }
+                            continue;
                         };
                         if let Some(ev) = self.updater.apply(&mut self.rib, enb, &msg, now) {
                             events.push(ev);
+                        }
+                        if let Some(journal) = self.journal.as_mut() {
+                            if mutates_rib(&msg) {
+                                journal.record_delta(enb, now, &msg);
+                            }
                         }
                     }
                     Ok(None) => break,
@@ -323,25 +482,35 @@ impl MasterController {
             else {
                 continue;
             };
+            // The master's view of the agent predates the outage: ask for
+            // a full state re-sync (fresh ConfigReply + all-flags
+            // StatsReply) before replaying delegated state, so both sides
+            // converge from a known-good base. After a master crash this
+            // is the reconciliation leg of recovery.
+            let since_tti = self
+                .rib
+                .agent(enb)
+                .and_then(|a| a.synced_subframe())
+                .map(|t| t.0)
+                .unwrap_or(0);
             self.updater.agent_rejoined(&mut self.rib, enb);
             self.liveness.ups += 1;
             events.push(Self::liveness_event(enb, EventKind::AgentUp, now));
             let Some(session) = self.sessions.get_mut(idx) else {
                 continue;
             };
+            self.xid = self.xid.wrapping_add(1);
+            let _ = session.transport.send(
+                Header::with_xid(self.xid),
+                &FlexranMessage::ResyncRequest(ResyncRequest {
+                    enb_id: enb,
+                    since_tti,
+                }),
+            );
             for op in replay {
                 self.xid = self.xid.wrapping_add(1);
                 let header = Header::with_xid(self.xid);
-                let msg = match op {
-                    ReplayOp::Stats(config) => {
-                        FlexranMessage::StatsRequest(StatsRequest { config })
-                    }
-                    ReplayOp::Vsf(push) => FlexranMessage::VsfPush(push),
-                    ReplayOp::Policy(yaml) => FlexranMessage::PolicyReconfiguration(
-                        flexran_proto::messages::PolicyReconfiguration { yaml },
-                    ),
-                };
-                let _ = session.transport.send(header, &msg);
+                let _ = session.transport.send(header, &op.to_message());
             }
         }
         // Down detection: sessions silent past the timeout get their RIB
@@ -360,6 +529,12 @@ impl MasterController {
                     events.push(Self::liveness_event(enb, EventKind::AgentDown, now));
                 }
             }
+        }
+        // Durability point: the write cycle's deltas are already
+        // journaled; rewrite the snapshot on the compaction schedule so
+        // journal memory stays bounded by RIB size.
+        if let Some(journal) = self.journal.as_mut() {
+            journal.on_write_cycle(&self.rib);
         }
         // The RIB slot is over: the single writer's window closes, and
         // (under `debug-invariants`) any app-slot mutation now asserts.
@@ -619,9 +794,149 @@ mod tests {
         }
         assert_eq!(
             kinds,
-            vec!["heartbeat-ack", "stats-request", "policy-reconfiguration"],
-            "ack plus the delegated state, replayed in order"
+            vec![
+                "heartbeat-ack",
+                "resync-request",
+                "stats-request",
+                "policy-reconfiguration"
+            ],
+            "ack, then the re-sync solicitation, then the delegated state in order"
         );
+    }
+
+    #[test]
+    fn master_recovers_rib_and_replays_delegated_state_from_journal() {
+        let config = TaskManagerConfig {
+            liveness_timeout: 20,
+            journal_snapshot_every: 4,
+            ..TaskManagerConfig::default()
+        };
+        let mut master = MasterController::new(config);
+        let (mut agent_side, master_side) = channel_pair();
+        master.add_agent(Box::new(master_side));
+        agent_side
+            .send(
+                Header::default(),
+                &FlexranMessage::Hello(Hello {
+                    enb_id: EnbId(5),
+                    n_cells: 1,
+                    capabilities: vec!["dl_scheduling".into()],
+                }),
+            )
+            .unwrap();
+        agent_side
+            .send(
+                Header::default(),
+                &FlexranMessage::StatsReply(flexran_proto::messages::StatsReply {
+                    enb_id: EnbId(5),
+                    tti: 1,
+                    cells: vec![],
+                    ues: vec![flexran_proto::messages::UeReport {
+                        rnti: 0x100,
+                        cell: 0,
+                        connected: true,
+                        wideband_cqi: 13,
+                        ..Default::default()
+                    }],
+                }),
+            )
+            .unwrap();
+        master.run_cycle(Tti(0));
+        master
+            .request_stats(
+                EnbId(5),
+                flexran_proto::messages::stats::ReportConfig::default(),
+            )
+            .unwrap();
+        // Enough cycles to force at least one snapshot compaction, so the
+        // recovery path exercises snapshot + deltas, not deltas alone.
+        for t in 1..=6 {
+            master.run_cycle(Tti(t));
+        }
+        assert!(master.journal_compactions().unwrap() >= 1);
+        let pre_crash_rib = master.rib().clone();
+        let journal = master.journal_bytes().unwrap();
+        let transports = master.take_transports();
+        drop(master); // the crash
+
+        let mut master = MasterController::recover(config, &journal, Tti(50)).unwrap();
+        for t in transports {
+            master.add_agent(t);
+        }
+        // The forest is back, but stale: it is a pre-crash epoch.
+        assert_eq!(master.rib().n_ues(), 1);
+        let agent = master.rib().agent(EnbId(5)).unwrap();
+        assert!(agent.is_stale());
+        assert_eq!(agent.stale_since, Some(Tti(50)));
+        assert_eq!(
+            master
+                .rib()
+                .ue(
+                    EnbId(5),
+                    flexran_types::ids::CellId(0),
+                    flexran_types::ids::Rnti(0x100)
+                )
+                .unwrap()
+                .report
+                .wideband_cqi,
+            13
+        );
+        {
+            let mut recovered = master.rib().clone();
+            recovered.agent_mut(EnbId(5)).mark_fresh();
+            assert_eq!(
+                recovered, pre_crash_rib,
+                "journal round-trip must reproduce the RIB exactly (modulo the recovery staleness epoch)"
+            );
+        }
+        while agent_side.try_recv().unwrap().is_some() {}
+        // Pre-hello traffic on a recovered master draws the resync nudge.
+        agent_side
+            .send(
+                Header::with_xid(1),
+                &FlexranMessage::Heartbeat(flexran_proto::messages::Heartbeat { seq: 1, tti: 51 }),
+            )
+            .unwrap();
+        master.run_cycle(Tti(51));
+        let mut kinds = Vec::new();
+        while let Ok(Some((_, m))) = agent_side.try_recv() {
+            kinds.push(m.kind().to_string());
+        }
+        assert_eq!(kinds, vec!["heartbeat-ack", "resync-request"]);
+        // The agent re-introduces itself: staleness clears and the
+        // delegated state recovered from the journal is replayed.
+        agent_side
+            .send(
+                Header::default(),
+                &FlexranMessage::Hello(Hello {
+                    enb_id: EnbId(5),
+                    n_cells: 1,
+                    capabilities: vec!["dl_scheduling".into()],
+                }),
+            )
+            .unwrap();
+        master.run_cycle(Tti(52));
+        assert!(!master.rib().agent(EnbId(5)).unwrap().is_stale());
+        assert_eq!(master.liveness_stats().ups, 1);
+        let mut kinds = Vec::new();
+        while let Ok(Some((_, m))) = agent_side.try_recv() {
+            kinds.push(m.kind().to_string());
+        }
+        assert_eq!(
+            kinds,
+            vec!["resync-request", "stats-request"],
+            "rejoin re-sync plus the journal-recovered subscription"
+        );
+    }
+
+    #[test]
+    fn recover_rejects_corrupt_journals() {
+        let config = TaskManagerConfig {
+            journal_snapshot_every: 1,
+            ..TaskManagerConfig::default()
+        };
+        assert!(MasterController::recover(config, b"not a journal", Tti(0)).is_err());
+        assert!(MasterController::recover(config, &[], Tti(0)).is_err());
     }
 
     #[test]

@@ -19,7 +19,7 @@ use flexran_types::ids::{CellId, EnbId, Rnti, UeId};
 use flexran_types::time::Tti;
 
 /// Leaf: one UE's last-known state.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct UeNode {
     pub rnti: Rnti,
     pub ue_tag: UeId,
@@ -30,7 +30,7 @@ pub struct UeNode {
 }
 
 /// Second level: one cell.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct CellNode {
     pub cell_id: CellId,
     pub config: Option<CellConfigPb>,
@@ -40,10 +40,15 @@ pub struct CellNode {
 }
 
 /// Root: one agent / eNodeB.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct AgentNode {
     pub enb_id: EnbId,
     pub capabilities: Vec<String>,
+    /// Cell count the agent declared in its `Hello`. The RIB Updater
+    /// rejects reports and events for cell ids outside `0..n_cells` —
+    /// they can only come from a corrupted or misbehaving agent, and
+    /// folding them in would grow phantom subtrees nothing ever prunes.
+    pub n_cells: u32,
     pub connected_at: Tti,
     /// Last subframe sync: `(agent TTI, master time when received)`. The
     /// agent view is stale by the one-way control-channel delay — exactly
@@ -98,6 +103,15 @@ pub struct Rib {
     agents: BTreeMap<EnbId, AgentNode>,
     #[cfg(feature = "debug-invariants")]
     write_guard: WriteGuard,
+}
+
+/// Forest equality — write-guard bookkeeping is deliberately excluded so
+/// a recovered RIB (which never opened a cycle yet) can compare equal to
+/// the pre-crash original (journal round-trip golden tests).
+impl PartialEq for Rib {
+    fn eq(&self, other: &Self) -> bool {
+        self.agents == other.agents
+    }
 }
 
 impl Rib {

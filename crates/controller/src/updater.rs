@@ -29,6 +29,12 @@ pub struct RibUpdater {
     pub stats_updates: u64,
     pub sync_updates: u64,
     pub event_updates: u64,
+    /// Reports and events rejected by semantic validation: a cell id
+    /// outside the agent's `Hello`-declared range, or an RNTI of 0 (never
+    /// a valid C-RNTI). The wire's integrity trailer makes these
+    /// unreachable from channel corruption; this layer guards the RIB
+    /// against a misbehaving agent implementation itself.
+    pub rejected_updates: u64,
 }
 
 impl RibUpdater {
@@ -62,12 +68,17 @@ impl RibUpdater {
                 let agent = rib.agent_mut(enb);
                 agent.enb_id = h.enb_id;
                 agent.capabilities = h.capabilities.clone();
+                agent.n_cells = h.n_cells;
                 agent.connected_at = now;
                 None
             }
             FlexranMessage::ConfigReply(rep) => {
                 let agent = rib.agent_mut(enb);
                 for c in &rep.cells {
+                    if u32::from(c.cell_id) >= agent.n_cells {
+                        self.rejected_updates += 1;
+                        continue;
+                    }
                     let node = agent.cells.entry(CellId(c.cell_id)).or_default();
                     node.cell_id = CellId(c.cell_id);
                     node.config = Some(c.clone());
@@ -83,13 +94,22 @@ impl RibUpdater {
             FlexranMessage::StatsReply(rep) => {
                 self.stats_updates += 1;
                 let agent = rib.agent_mut(enb);
+                let declared = agent.n_cells;
                 for c in &rep.cells {
+                    if u32::from(c.cell_id) >= declared {
+                        self.rejected_updates += 1;
+                        continue;
+                    }
                     let node = agent.cells.entry(CellId(c.cell_id)).or_default();
                     node.cell_id = CellId(c.cell_id);
                     node.last_report = Some(*c);
                     node.updated = now;
                 }
                 for u in &rep.ues {
+                    if u32::from(u.cell) >= declared || u.rnti == 0 {
+                        self.rejected_updates += 1;
+                        continue;
+                    }
                     let cell = agent.cells.entry(CellId(u.cell)).or_default();
                     cell.cell_id = CellId(u.cell);
                     let node = cell.ues.entry(Rnti(u.rnti)).or_insert_with(|| UeNode {
@@ -104,30 +124,41 @@ impl RibUpdater {
             FlexranMessage::EventNotification(n) => {
                 self.event_updates += 1;
                 let agent = rib.agent_mut(enb);
-                let cell = agent.cells.entry(CellId(n.cell)).or_default();
-                cell.cell_id = CellId(n.cell);
                 match n.kind {
-                    EventKind::RachAttempt => {
+                    EventKind::RachAttempt | EventKind::UeAttached => {
+                        if u32::from(n.cell) >= agent.n_cells || n.rnti == 0 {
+                            self.rejected_updates += 1;
+                            return None;
+                        }
+                        let cell = agent.cells.entry(CellId(n.cell)).or_default();
+                        cell.cell_id = CellId(n.cell);
                         let node = cell.ues.entry(Rnti(n.rnti)).or_insert_with(|| UeNode {
                             rnti: Rnti(n.rnti),
                             ..UeNode::default()
                         });
                         node.ue_tag = UeId(n.ue_tag);
-                        node.updated = now;
-                    }
-                    EventKind::UeAttached => {
-                        let node = cell.ues.entry(Rnti(n.rnti)).or_insert_with(|| UeNode {
-                            rnti: Rnti(n.rnti),
-                            ..UeNode::default()
-                        });
-                        node.ue_tag = UeId(n.ue_tag);
-                        node.report.connected = true;
+                        if n.kind == EventKind::UeAttached {
+                            node.report.connected = true;
+                        }
                         node.updated = now;
                     }
                     EventKind::AttachFailed
                     | EventKind::UeDetached
                     | EventKind::HandoverExecuted => {
-                        cell.ues.remove(&Rnti(n.rnti));
+                        if let Some(cell) = agent.cells.get_mut(&CellId(n.cell)) {
+                            cell.ues.remove(&Rnti(n.rnti));
+                            // A cell node that existed only to hold this
+                            // UE (no config, no report) is reclaimed —
+                            // hostile attach/detach churn must not grow
+                            // the forest, and the journal snapshot has no
+                            // message that could recreate a bare cell.
+                            if cell.ues.is_empty()
+                                && cell.config.is_none()
+                                && cell.last_report.is_none()
+                            {
+                                agent.cells.remove(&CellId(n.cell));
+                            }
+                        }
                     }
                     // Liveness edges are synthesized master-side, not
                     // received from agents; nothing to fold into the RIB.
@@ -226,6 +257,7 @@ mod tests {
     fn attach_detach_events_manage_leaves() {
         let mut rib = Rib::new();
         let mut up = RibUpdater::new();
+        up.apply(&mut rib, EnbId(1), &hello(), Tti(0));
         let mut attach = EventNotification {
             enb_id: EnbId(1),
             kind: EventKind::UeAttached,
@@ -258,6 +290,61 @@ mod tests {
             Tti(60),
         );
         assert!(rib.ue(EnbId(1), CellId(0), Rnti(0x100)).is_none());
+    }
+
+    #[test]
+    fn undeclared_cells_and_null_rntis_rejected() {
+        let mut rib = Rib::new();
+        let mut up = RibUpdater::new();
+        up.apply(&mut rib, EnbId(1), &hello(), Tti(0)); // declares 1 cell
+        let reply = StatsReply {
+            enb_id: EnbId(1),
+            tti: 10,
+            cells: vec![],
+            ues: vec![
+                // Cell id outside the declared range: a phantom subtree
+                // nothing would ever prune.
+                UeReport {
+                    rnti: 0x100,
+                    cell: 620,
+                    ..UeReport::default()
+                },
+                // RNTI 0 is never a valid C-RNTI.
+                UeReport {
+                    rnti: 0,
+                    cell: 0,
+                    ..UeReport::default()
+                },
+            ],
+        };
+        up.apply(
+            &mut rib,
+            EnbId(1),
+            &FlexranMessage::StatsReply(reply),
+            Tti(11),
+        );
+        assert_eq!(up.rejected_updates, 2);
+        let agent = rib.agent(EnbId(1)).unwrap();
+        assert!(agent.cells.is_empty(), "phantom state folded into the RIB");
+        // Same guard on the event path.
+        let ev = EventNotification {
+            enb_id: EnbId(1),
+            kind: EventKind::UeAttached,
+            cell: 1144,
+            rnti: 0x200,
+            tti: 12,
+            ..EventNotification::default()
+        };
+        assert!(up
+            .apply(
+                &mut rib,
+                EnbId(1),
+                &FlexranMessage::EventNotification(ev),
+                Tti(12),
+            )
+            .is_none());
+        assert_eq!(up.rejected_updates, 3);
+        assert!(rib.agent(EnbId(1)).unwrap().cells.is_empty());
     }
 
     #[test]

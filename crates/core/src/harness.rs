@@ -27,6 +27,7 @@ use flexran_agent::{AgentConfig, FlexranAgent, VsfRegistry};
 use flexran_controller::{MasterController, TaskManagerConfig};
 use flexran_phy::channel::{ChannelProcess, CqiSquareWave, FixedCqi, FixedSinr, GaussMarkovFading};
 use flexran_phy::link_adaptation::Cqi;
+use flexran_proto::transport::Transport;
 use flexran_sim::clock::VirtualClock;
 use flexran_sim::link::{
     sim_link_pair, sim_link_pair_with_faults, FaultHandle, LinkConfig, SimTransport,
@@ -200,6 +201,17 @@ pub struct SimHarness {
     ue_id_scratch: Vec<UeId>,
     timings: PhaseTimings,
     config: SimConfig,
+    /// Per-agent fault handle (same order as `agents`), where one was
+    /// attached.
+    fault_handles: Vec<Option<FaultHandle>>,
+    /// Master crash state: while `true`, no Task Manager cycles run and
+    /// everything the agents send evaporates at the (dead) master side.
+    master_down: bool,
+    /// Links survive a master crash — the processes die, the network
+    /// does not. Parked here between kill and restart, in session order.
+    parked_transports: Vec<Box<dyn Transport>>,
+    /// The journal "on disk" at the moment of the crash.
+    parked_journal: Option<Vec<u8>>,
 }
 
 impl SimHarness {
@@ -226,6 +238,10 @@ impl SimHarness {
             ue_id_scratch: Vec::new(),
             timings: PhaseTimings::default(),
             config,
+            fault_handles: Vec::new(),
+            master_down: false,
+            parked_transports: Vec::new(),
+            parked_journal: None,
         }
     }
 
@@ -269,10 +285,11 @@ impl SimHarness {
     ) -> EnbId {
         let enb_id = config.enb_id;
         let (up, down) = links.unwrap_or((self.config.uplink, self.config.downlink));
-        let (agent_side, master_side) = match faults {
-            Some(f) => sim_link_pair_with_faults(self.clock.clone(), up, down, f),
+        let (agent_side, master_side) = match &faults {
+            Some(f) => sim_link_pair_with_faults(self.clock.clone(), up, down, f.clone()),
             None => sim_link_pair(self.clock.clone(), up, down),
         };
+        self.fault_handles.push(faults);
         let mut registry = VsfRegistry::with_builtins();
         flexran_apps::register_app_vsfs(&mut registry);
         let enb = Enb::new(config, enb_params).expect("valid eNodeB config");
@@ -306,6 +323,79 @@ impl SimHarness {
 
     pub fn master_mut(&mut self) -> &mut MasterController {
         &mut self.master
+    }
+
+    /// Whether the master is currently crashed (between
+    /// [`SimHarness::kill_master`] and [`SimHarness::restart_master`]).
+    pub fn master_down(&self) -> bool {
+        self.master_down
+    }
+
+    /// eNodeB ids, in agent-index order.
+    pub fn enb_ids(&self) -> Vec<EnbId> {
+        self.agents
+            .iter()
+            .map(|a| a.enb().config().enb_id)
+            .collect()
+    }
+
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// The fault handle attached to an eNodeB's control link, if any.
+    pub fn fault_handle(&self, enb: EnbId) -> Option<FaultHandle> {
+        let i = self.agent_idx(enb).ok()?;
+        self.fault_handles[i].clone()
+    }
+
+    /// Crash the master process. Its journal survives "on disk"; the
+    /// control links survive too (the network outlives the process), but
+    /// everything queued towards the master — and everything the agents
+    /// send while it is down — is lost with its sockets. No Task Manager
+    /// cycles run until [`SimHarness::restart_master`]. Idempotent.
+    pub fn kill_master(&mut self) {
+        if self.master_down {
+            return;
+        }
+        self.parked_journal = self.master.journal_bytes();
+        self.parked_transports = self.master.take_transports();
+        for t in &mut self.parked_transports {
+            let _ = t.purge_inbound();
+        }
+        self.master_down = true;
+    }
+
+    /// Restart the master: recover the RIB from the crash-time journal
+    /// (fresh controller if journaling was off), re-attach the surviving
+    /// links in session order, and resume Task Manager cycles. Apps are
+    /// *not* carried over — a restarted process re-registers its apps;
+    /// do that via [`SimHarness::master_mut`] after this returns.
+    pub fn restart_master(&mut self) -> Result<()> {
+        if !self.master_down {
+            return Err(FlexError::Liveness("master is not down".into()));
+        }
+        let mut master = match self.parked_journal.take() {
+            Some(journal) => MasterController::recover(self.config.master, &journal, self.now)?,
+            None => MasterController::new(self.config.master),
+        };
+        for t in self.parked_transports.drain(..) {
+            master.add_agent(t);
+        }
+        self.master = master;
+        self.master_down = false;
+        Ok(())
+    }
+
+    /// Crash and immediately restart an agent *process*: all soft
+    /// control-plane state is lost ([`FlexranAgent::crash_restart`]) and
+    /// so is everything queued towards the agent — the dead process's
+    /// socket buffers. The data plane keeps running.
+    pub fn crash_agent(&mut self, enb: EnbId) -> Result<()> {
+        let i = self.agent_idx(enb)?;
+        self.agents[i].crash_restart();
+        let _ = self.agents[i].transport_mut().purge_inbound();
+        Ok(())
     }
 
     pub fn radio_mut(&mut self) -> &mut RadioEnvironment {
@@ -476,8 +566,16 @@ impl SimHarness {
         let now = self.now;
         self.clock.advance_to(now);
 
-        // 1. Master cycle (commands ride the links this TTI).
-        self.master.run_cycle(now);
+        // 1. Master cycle (commands ride the links this TTI). A crashed
+        //    master runs nothing, and its dead sockets swallow whatever
+        //    the agents send.
+        if self.master_down {
+            for t in &mut self.parked_transports {
+                let _ = t.purge_inbound();
+            }
+        } else {
+            self.master.run_cycle(now);
+        }
 
         // 2. Traffic sources and measurement reports.
         let mut ue_ids = std::mem::take(&mut self.ue_id_scratch);

@@ -40,6 +40,16 @@ impl MessageCategory {
         MessageCategory::Liveness,
     ];
 
+    /// Whether messages of this category may be shed when a bounded
+    /// transport queue overflows. Periodic stats reports are the only
+    /// sheddable traffic: the next report supersedes a dropped one.
+    /// Liveness, commands, delegation, events and session management must
+    /// never be dropped by the shedder — losing them changes control-plane
+    /// state (missed failover edges, lost scheduling decisions).
+    pub fn sheddable(self) -> bool {
+        matches!(self, MessageCategory::StatsReporting)
+    }
+
     pub fn index(self) -> usize {
         match self {
             MessageCategory::AgentManagement => 0,

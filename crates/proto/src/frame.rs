@@ -46,10 +46,36 @@ pub fn encode_frame_into(payload: &[u8], buf: &mut BytesMut) -> Result<()> {
     Ok(())
 }
 
+/// Hard cap on bytes the decoder will buffer before declaring the stream
+/// corrupt. A well-formed stream never needs more than one frame plus its
+/// header between `next_frame` calls per `extend`; the factor of two
+/// absorbs coalesced delivery without letting a hostile peer grow the
+/// buffer without bound.
+pub const MAX_BUFFERED_BYTES: usize = 2 * (4 + MAX_FRAME_BYTES);
+
+/// Corrupt-stream error, out of line like [`oversize`].
+#[cold]
+fn corrupt(reason: &'static str) -> FlexError {
+    FlexError::Transport(format!("frame stream corrupt: {reason}"))
+}
+
 /// Incremental frame decoder.
+///
+/// Once a corrupt header is seen the stream is *poisoned*: there is no way
+/// to re-synchronize a length-prefixed stream after a bad length, so the
+/// decoder drops everything buffered, discards all further input, and
+/// returns the same structured error from every subsequent `next_frame`
+/// call. This keeps memory bounded on an adversarial stream and guarantees
+/// the error is surfaced on every poll instead of only once — callers that
+/// swallow one error still see the stream as dead, never as silently
+/// desynced.
 #[derive(Debug, Default)]
 pub struct FrameDecoder {
     buf: BytesMut,
+    /// Why the stream was declared corrupt, if it was.
+    poisoned: Option<&'static str>,
+    /// Bytes discarded after poisoning (diagnostics).
+    discarded: u64,
 }
 
 impl FrameDecoder {
@@ -57,21 +83,33 @@ impl FrameDecoder {
         Self::default()
     }
 
-    /// Feed raw bytes received from the stream.
+    /// Feed raw bytes received from the stream. Input past a poisoned
+    /// header or past [`MAX_BUFFERED_BYTES`] is discarded, not buffered.
     pub fn extend(&mut self, data: &[u8]) {
+        if self.poisoned.is_some() {
+            self.discarded += data.len() as u64;
+            return;
+        }
+        if self.buf.len().saturating_add(data.len()) > MAX_BUFFERED_BYTES {
+            self.poison("receive buffer overflow");
+            self.discarded += data.len() as u64;
+            return;
+        }
         self.buf.extend_from_slice(data);
     }
 
     /// Pop the next complete frame, if one is buffered.
     pub fn next_frame(&mut self) -> Result<Option<Bytes>> {
+        if let Some(reason) = self.poisoned {
+            return Err(corrupt(reason));
+        }
         let Some(header) = self.buf.first_chunk::<4>() else {
             return Ok(None);
         };
         let len = u32::from_be_bytes(*header) as usize;
         if len > MAX_FRAME_BYTES {
-            return Err(FlexError::Transport(format!(
-                "peer announced a {len}-byte frame (cap {MAX_FRAME_BYTES}); stream corrupt"
-            )));
+            self.poison("announced frame length exceeds cap");
+            return Err(corrupt("announced frame length exceeds cap"));
         }
         if self.buf.len() < 4 + len {
             return Ok(None);
@@ -80,9 +118,33 @@ impl FrameDecoder {
         Ok(Some(self.buf.split_to(len).freeze()))
     }
 
+    #[cold]
+    fn poison(&mut self, reason: &'static str) {
+        self.poisoned = Some(reason);
+        self.discarded += self.buf.len() as u64;
+        self.buf = BytesMut::new(); // drop the backing allocation too
+    }
+
+    /// Whether a corrupt header has permanently poisoned this stream.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.is_some()
+    }
+
+    /// Bytes discarded due to poisoning (diagnostics).
+    pub fn discarded(&self) -> u64 {
+        self.discarded
+    }
+
     /// Bytes currently buffered (diagnostics).
     pub fn buffered(&self) -> usize {
         self.buf.len()
+    }
+
+    /// Forget all buffered state, including poisoning. For transports that
+    /// reconnect: a fresh connection is a fresh stream.
+    pub fn reset(&mut self) {
+        self.buf.clear();
+        self.poisoned = None;
     }
 }
 
@@ -132,6 +194,93 @@ mod tests {
         d.extend(&(u32::MAX).to_be_bytes());
         assert!(d.next_frame().is_err());
         assert!(encode_frame(&vec![0u8; MAX_FRAME_BYTES + 1]).is_err());
+    }
+
+    #[test]
+    fn corrupt_header_poisons_the_stream() {
+        // A 4 GiB announced length must not allocate, must surface a
+        // structured error, and must keep erroring (not silently desync)
+        // while discarding all further input.
+        let mut d = FrameDecoder::new();
+        d.extend(&(u32::MAX).to_be_bytes());
+        d.extend(b"trailing garbage");
+        assert!(matches!(d.next_frame(), Err(FlexError::Transport(_))));
+        assert!(d.is_poisoned());
+        assert_eq!(d.buffered(), 0);
+        // The error repeats on every poll; new input is discarded.
+        d.extend(&encode_frame(b"valid").unwrap());
+        assert!(matches!(d.next_frame(), Err(FlexError::Transport(_))));
+        assert_eq!(d.buffered(), 0);
+        assert!(d.discarded() > 0);
+        // A reconnect resets the stream.
+        d.reset();
+        assert!(!d.is_poisoned());
+        d.extend(&encode_frame(b"valid").unwrap());
+        assert_eq!(d.next_frame().unwrap().unwrap().as_ref(), b"valid");
+    }
+
+    #[test]
+    fn buffering_is_bounded() {
+        // Feeding more than MAX_BUFFERED_BYTES without a complete frame
+        // poisons the stream instead of growing without bound.
+        let mut d = FrameDecoder::new();
+        // Announce a maximal frame but never complete it, then keep
+        // stuffing bytes.
+        d.extend(&(MAX_FRAME_BYTES as u32).to_be_bytes());
+        let chunk = vec![0u8; 1024 * 1024];
+        for _ in 0..2 * (MAX_FRAME_BYTES / chunk.len()) + 2 {
+            d.extend(&chunk);
+        }
+        assert!(d.is_poisoned());
+        assert!(d.buffered() <= MAX_BUFFERED_BYTES);
+        assert!(matches!(d.next_frame(), Err(FlexError::Transport(_))));
+    }
+
+    proptest! {
+        /// Adversarial-stream safety: random byte mutations (flip,
+        /// truncate, duplicate, insert) applied to a valid framed stream
+        /// must never panic, never hang, and never buffer more than the
+        /// cap — decode errors and poisoning are the only acceptable
+        /// outcomes.
+        #[test]
+        fn mutated_streams_never_panic_or_grow(
+            frames in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..64), 1..6),
+            mutation in 0u8..4,
+            pos_seed in any::<usize>(),
+            byte in any::<u8>(),
+            chunk in 1usize..32,
+        ) {
+            let mut stream = Vec::new();
+            for f in &frames {
+                stream.extend_from_slice(&encode_frame(f).unwrap());
+            }
+            let pos = pos_seed % stream.len().max(1);
+            match mutation {
+                0 => { // flip
+                    if let Some(b) = stream.get_mut(pos) { *b ^= byte | 1; }
+                }
+                1 => stream.truncate(pos),          // truncate
+                2 => { // duplicate a slice
+                    let dup: Vec<u8> = stream[pos..].to_vec();
+                    stream.extend_from_slice(&dup);
+                }
+                _ => stream.insert(pos.min(stream.len()), byte), // insert
+            }
+            let mut d = FrameDecoder::new();
+            for c in stream.chunks(chunk.max(1)) {
+                d.extend(c);
+                // Bounded loop: each iteration either yields a frame
+                // (consuming ≥4 bytes) or stops — no hang possible.
+                loop {
+                    match d.next_frame() {
+                        Ok(Some(f)) => prop_assert!(f.len() <= MAX_FRAME_BYTES),
+                        Ok(None) => break,
+                        Err(_) => break,
+                    }
+                }
+                prop_assert!(d.buffered() <= MAX_BUFFERED_BYTES);
+            }
+        }
     }
 
     proptest! {

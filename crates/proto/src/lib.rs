@@ -28,8 +28,8 @@ pub use category::{ByteCounters, MessageCategory};
 pub use messages::{
     AbsCommand, CellReport, ConfigReply, ConfigRequest, DelegationAck, DlSchedulingCommand,
     DrxCommand, EventNotification, FlexranMessage, HandoverCommand, Header, PolicyReconfiguration,
-    ReportConfig, ReportFlags, ReportType, StatsReply, StatsRequest, SubframeTrigger, UeReport,
-    UlSchedulingCommand, VsfArtifact, VsfPush, PROTOCOL_VERSION,
+    ReportConfig, ReportFlags, ReportType, ResyncRequest, StatsReply, StatsRequest,
+    SubframeTrigger, UeReport, UlSchedulingCommand, VsfArtifact, VsfPush, PROTOCOL_VERSION,
 };
 pub use transport::{
     channel_pair, BackoffConfig, ChannelTransport, ReconnectingTcpTransport, TcpTransport,

@@ -23,7 +23,7 @@ use flexran_types::ids::EnbId;
 use flexran_types::{FlexError, Result};
 
 use crate::category::MessageCategory;
-use crate::wire::{WireReader, WireWriter};
+use crate::wire::{crc32, WireReader, WireWriter};
 
 pub use commands::{
     AbsCommand, DlSchedulingCommand, DrxCommand, HandoverCommand, ScellCommand, UlSchedulingCommand,
@@ -176,6 +176,40 @@ impl Heartbeat {
     }
 }
 
+/// Full-state re-sync request (master → agent). Sent when the master's
+/// view of an agent is stale beyond repair — most importantly after a
+/// master crash, where the RIB was rebuilt from the snapshot + journal and
+/// every epoch was marked stale. The agent answers with a fresh
+/// `ConfigReply` plus a full `StatsReply` (all flags), closing the
+/// recovery loop that PR 1's replay protocol opened in the other
+/// direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ResyncRequest {
+    pub enb_id: EnbId,
+    /// Master TTI of the last state it still trusts (0 = nothing).
+    pub since_tti: u64,
+}
+
+impl ResyncRequest {
+    fn encode(&self, w: &mut WireWriter) {
+        w.uint(1, self.enb_id.0 as u64);
+        w.uint(2, self.since_tti);
+    }
+
+    fn decode(data: &[u8]) -> Result<ResyncRequest> {
+        let mut m = ResyncRequest::default();
+        let mut r = WireReader::new(data);
+        while let Some((f, v)) = r.next_field()? {
+            match f {
+                1 => m.enb_id = EnbId(v.as_u32()?),
+                2 => m.since_tti = v.as_u64()?,
+                _ => {}
+            }
+        }
+        Ok(m)
+    }
+}
+
 /// Every message the FlexRAN protocol can carry.
 #[derive(Debug, Clone, PartialEq)]
 pub enum FlexranMessage {
@@ -199,10 +233,24 @@ pub enum FlexranMessage {
     VsfPush(VsfPush),
     PolicyReconfiguration(PolicyReconfiguration),
     DelegationAck(DelegationAck),
+    ResyncRequest(ResyncRequest),
 }
 
 /// Envelope field numbers (protobuf `oneof` style).
 const F_HEADER: u32 = 1;
+/// Envelope integrity trailer: a CRC-32 of everything before it, always
+/// the final five bytes of an encoded envelope (one tag byte + fixed32).
+/// TCP's 16-bit ones-complement checksum is too weak to protect
+/// control-plane state; a flipped bit that slipped through it would
+/// otherwise decode into a structurally valid message and poison the RIB
+/// with phantom cells and UEs. The fixed-width trailer also makes
+/// truncation self-evident: a shortened envelope no longer ends in a
+/// trailer at all.
+const F_INTEGRITY: u32 = 2;
+/// Encoded tag byte of [`F_INTEGRITY`]: field 2, wire type fixed32.
+const INTEGRITY_KEY: u8 = (F_INTEGRITY << 3) as u8 | 5;
+/// Tag byte + 4 checksum bytes.
+const INTEGRITY_TRAILER_LEN: usize = 5;
 const F_HELLO: u32 = 10;
 const F_ECHO_REQ: u32 = 11;
 const F_ECHO_REP: u32 = 12;
@@ -223,6 +271,7 @@ const F_DELEG_ACK: u32 = 26;
 const F_SCELL: u32 = 27;
 const F_HEARTBEAT: u32 = 28;
 const F_HEARTBEAT_ACK: u32 = 29;
+const F_RESYNC_REQ: u32 = 30;
 
 impl FlexranMessage {
     /// Serialize with the given header. The result is protobuf-wire
@@ -260,13 +309,43 @@ impl FlexranMessage {
             FlexranMessage::VsfPush(b) => w.message(F_VSF_PUSH, |m| b.encode(m)),
             FlexranMessage::PolicyReconfiguration(b) => w.message(F_POLICY, |m| b.encode(m)),
             FlexranMessage::DelegationAck(b) => w.message(F_DELEG_ACK, |m| b.encode(m)),
+            FlexranMessage::ResyncRequest(b) => w.message(F_RESYNC_REQ, |m| b.encode(m)),
         }
+        let crc = crc32(w.as_slice());
+        w.fixed32_always(F_INTEGRITY, crc);
     }
 
-    /// Parse an envelope. Unknown body fields fail loudly (the envelope is
-    /// the one place where "I don't know this message" must be surfaced);
-    /// unknown fields *inside* known messages are skipped.
+    /// Parse an envelope. The integrity trailer is verified first: a
+    /// missing trailer (truncation, garbage) or a CRC mismatch (bit
+    /// corruption) rejects the whole envelope before any field is looked
+    /// at. Unknown body fields fail loudly (the envelope is the one place
+    /// where "I don't know this message" must be surfaced); unknown
+    /// fields *inside* known messages are skipped.
     pub fn decode(data: &[u8]) -> Result<(Header, FlexranMessage)> {
+        let Some(body_len) = data.len().checked_sub(INTEGRITY_TRAILER_LEN) else {
+            return Err(FlexError::Codec(
+                "envelope shorter than its integrity trailer".into(),
+            ));
+        };
+        // lint:allow(panic): body_len = len - TRAILER_LEN ≤ len.
+        let (data, trailer) = data.split_at(body_len);
+        let &[key, c0, c1, c2, c3] = trailer else {
+            return Err(FlexError::Codec(
+                "envelope integrity trailer missing (truncated or garbage frame)".into(),
+            ));
+        };
+        if key != INTEGRITY_KEY {
+            return Err(FlexError::Codec(
+                "envelope integrity trailer missing (truncated or garbage frame)".into(),
+            ));
+        }
+        let want = u32::from_le_bytes([c0, c1, c2, c3]);
+        let got = crc32(data);
+        if got != want {
+            return Err(FlexError::Codec(format!(
+                "envelope integrity check failed: crc {got:#010x}, trailer says {want:#010x}"
+            )));
+        }
         let mut header: Option<Header> = None;
         let mut body: Option<FlexranMessage> = None;
         let mut r = WireReader::new(data);
@@ -357,6 +436,11 @@ impl FlexranMessage {
                         v.as_bytes()?,
                     )?))
                 }
+                F_RESYNC_REQ => {
+                    body = Some(FlexranMessage::ResyncRequest(ResyncRequest::decode(
+                        v.as_bytes()?,
+                    )?))
+                }
                 other => return Err(FlexError::Codec(format!("unknown envelope field {other}"))),
             }
         }
@@ -371,7 +455,8 @@ impl FlexranMessage {
             FlexranMessage::Hello(_)
             | FlexranMessage::ConfigRequest(_)
             | FlexranMessage::ConfigReply(_)
-            | FlexranMessage::StatsRequest(_) => MessageCategory::AgentManagement,
+            | FlexranMessage::StatsRequest(_)
+            | FlexranMessage::ResyncRequest(_) => MessageCategory::AgentManagement,
             FlexranMessage::EchoRequest(_)
             | FlexranMessage::EchoReply(_)
             | FlexranMessage::Heartbeat(_)
@@ -414,6 +499,7 @@ impl FlexranMessage {
             FlexranMessage::VsfPush(_) => "vsf-push",
             FlexranMessage::PolicyReconfiguration(_) => "policy-reconfiguration",
             FlexranMessage::DelegationAck(_) => "delegation-ack",
+            FlexranMessage::ResyncRequest(_) => "resync-request",
         }
     }
 }
@@ -449,21 +535,64 @@ mod tests {
         assert_eq!(got, msg);
     }
 
+    /// Append a valid integrity trailer to a hand-crafted envelope, so
+    /// the tests below exercise the field-level checks rather than
+    /// tripping on the trailer.
+    fn sealed(mut w: WireWriter) -> Bytes {
+        let crc = crc32(w.as_slice());
+        w.fixed32_always(F_INTEGRITY, crc);
+        w.finish()
+    }
+
     #[test]
     fn envelope_requires_header_and_body() {
         // Body-only.
         let mut w = WireWriter::new();
         w.message(F_HELLO, |m| Hello::default().encode(m));
-        assert!(FlexranMessage::decode(&w.finish()).is_err());
+        assert!(FlexranMessage::decode(&sealed(w)).is_err());
         // Header-only.
         let mut w = WireWriter::new();
         w.message(F_HEADER, |m| Header::default().encode(m));
-        assert!(FlexranMessage::decode(&w.finish()).is_err());
+        assert!(FlexranMessage::decode(&sealed(w)).is_err());
         // Unknown envelope field.
         let mut w = WireWriter::new();
         w.message(F_HEADER, |m| Header::default().encode(m));
         w.message(200, |m| m.uint(1, 1));
-        assert!(FlexranMessage::decode(&w.finish()).is_err());
+        assert!(FlexranMessage::decode(&sealed(w)).is_err());
+    }
+
+    #[test]
+    fn integrity_trailer_catches_every_single_bit_flip() {
+        let msg = FlexranMessage::Hello(Hello {
+            enb_id: EnbId(7),
+            n_cells: 2,
+            capabilities: vec!["dl_scheduling".into()],
+        });
+        let bytes = msg.encode(Header::with_xid(9)).to_vec();
+        // Flip each bit of the envelope in turn — body, trailer key and
+        // checksum alike — and demand a decode error every time. This is
+        // the guarantee the chaos engine's wire-corruption fault leans
+        // on: a mangled frame must never fold into the RIB.
+        for byte in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut mutated = bytes.clone();
+                mutated[byte] ^= 1 << bit;
+                assert!(
+                    FlexranMessage::decode(&mutated).is_err(),
+                    "bit {bit} of byte {byte} flipped undetected"
+                );
+            }
+        }
+        // Truncation at any length is equally fatal.
+        for keep in 0..bytes.len() {
+            assert!(
+                FlexranMessage::decode(&bytes[..keep]).is_err(),
+                "truncation to {keep} bytes went undetected"
+            );
+        }
+        // And the pristine envelope still decodes.
+        let (_, got) = FlexranMessage::decode(&bytes).unwrap();
+        assert_eq!(got, msg);
     }
 
     #[test]
@@ -536,6 +665,20 @@ mod tests {
         for (msg, cat) in samples {
             assert_eq!(msg.category(), cat, "{}", msg.kind());
         }
+    }
+
+    #[test]
+    fn resync_request_roundtrip() {
+        let msg = FlexranMessage::ResyncRequest(ResyncRequest {
+            enb_id: EnbId(3),
+            since_tti: 4242,
+        });
+        let bytes = msg.encode(Header::with_xid(5));
+        let (h, got) = FlexranMessage::decode(&bytes).unwrap();
+        assert_eq!(h.xid, 5);
+        assert_eq!(got, msg);
+        assert_eq!(got.category(), MessageCategory::AgentManagement);
+        assert_eq!(got.kind(), "resync-request");
     }
 
     #[test]

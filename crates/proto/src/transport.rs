@@ -49,6 +49,16 @@ pub trait Transport: Send {
 
     /// Bytes received so far, by category.
     fn rx_counters(&self) -> ByteCounters;
+
+    /// Drop inbound data that has arrived but not yet been delivered via
+    /// [`Transport::try_recv`], returning how many messages were lost.
+    /// Models a process crash: bytes addressed to a dead process vanish
+    /// with its socket. The default is a no-op — real sockets lose their
+    /// kernel buffers when the process dies, so only transports that queue
+    /// in user space (the sim link) have anything to purge.
+    fn purge_inbound(&mut self) -> usize {
+        0
+    }
 }
 
 /// Frame overhead added per message by stream transports.

@@ -38,6 +38,42 @@ impl WireType {
     }
 }
 
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) lookup table,
+/// built at compile time.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        // lint:allow(panic): i < 256 by the loop bound, at compile time.
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) of `data`. Used as the envelope integrity check: unlike
+/// a plain sum, CRC-32 is guaranteed to detect every single-bit error and
+/// every burst error up to 32 bits — the failure modes a corrupted
+/// control channel actually produces.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in data {
+        // lint:allow(panic): the index is masked to 0xFF, table len 256.
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
 /// Append a base-128 varint.
 pub fn put_uvarint(buf: &mut BytesMut, mut v: u64) {
     loop {
@@ -162,6 +198,14 @@ impl WireWriter {
         if v == 0 {
             return;
         }
+        self.tag(field, WireType::Fixed32);
+        self.buf.put_u32_le(v);
+    }
+
+    /// Like [`WireWriter::fixed32`] but always emitted — for fields whose
+    /// presence is structural (the envelope integrity trailer must occupy
+    /// its five bytes even when the checksum happens to be 0).
+    pub fn fixed32_always(&mut self, field: u32, v: u32) {
         self.tag(field, WireType::Fixed32);
         self.buf.put_u32_le(v);
     }

@@ -7,12 +7,17 @@
 //! representative message per category; any encoder change that moves a
 //! field number, wire type or encoding detail fails here and must be a
 //! deliberate, reviewed protocol revision (update the hex only then).
+//!
+//! Protocol revision: every envelope now ends in a five-byte integrity
+//! trailer (envelope field 2, fixed32 CRC-32 of the preceding bytes), so
+//! corrupted or truncated frames are rejected at decode instead of
+//! folding phantom state into the RIB.
 
 use flexran_proto::messages::commands::DciPb;
 use flexran_proto::messages::events::EventKind;
 use flexran_proto::messages::{
-    CellReport, DlSchedulingCommand, EventNotification, FlexranMessage, Header, Hello, StatsReply,
-    UeReport,
+    CellReport, DlSchedulingCommand, EventNotification, FlexranMessage, Header, Hello,
+    ResyncRequest, StatsReply, UeReport,
 };
 use flexran_types::ids::EnbId;
 
@@ -44,7 +49,7 @@ fn hello_snapshot() {
     roundtrip(&msg);
     assert_eq!(
         snapshot(&msg),
-        "0a0408011007521d082a10021a0d646c5f7363686564756c696e671a0868616e646f766572"
+        "0a0408011007521d082a10021a0d646c5f7363686564756c696e671a0868616e646f766572151cc70442"
     );
 }
 
@@ -72,7 +77,7 @@ fn stats_reply_snapshot() {
         }],
     });
     roundtrip(&msg);
-    assert_eq!(snapshot(&msg), "0a04080110078a0129080110e8071a0b080110a5101832200c280122150880021001280c32030b0c0d3a0400070000800201");
+    assert_eq!(snapshot(&msg), "0a04080110078a0129080110e8071a0b080110a5101832200c280122150880021001280c32030b0c0d3a0400070000800201155c793008");
 }
 
 #[test]
@@ -98,8 +103,20 @@ fn dl_scheduling_command_snapshot() {
     roundtrip(&msg);
     assert_eq!(
         snapshot(&msg),
-        "0a04080110079a012108031001188010221808810210191810200328013001480450a08f015dffff0100"
+        "0a04080110079a012108031001188010221808810210191810200328013001480450a08f015dffff010015c902efbe"
     );
+}
+
+#[test]
+fn resync_request_snapshot() {
+    // Added for master crash-recovery: envelope field 30. New message —
+    // existing field numbers are untouched.
+    let msg = FlexranMessage::ResyncRequest(ResyncRequest {
+        enb_id: EnbId(9),
+        since_tti: 500,
+    });
+    roundtrip(&msg);
+    assert_eq!(snapshot(&msg), "0a0408011007f20105080910f40315ddd70bb4");
 }
 
 #[test]
@@ -116,6 +133,6 @@ fn event_notification_snapshot() {
     roundtrip(&msg);
     assert_eq!(
         snapshot(&msg),
-        "0a040801100792010e080510011801208202280a308906"
+        "0a040801100792010e080510011801208202280a30890615a5fabd99"
     );
 }

@@ -17,7 +17,7 @@ use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use flexran_proto::category::ByteCounters;
+use flexran_proto::category::{ByteCounters, MessageCategory};
 use flexran_proto::messages::{FlexranMessage, Header};
 use flexran_proto::transport::{Transport, FRAME_OVERHEAD_BYTES};
 use flexran_proto::wire::WireWriter;
@@ -45,6 +45,26 @@ pub struct FaultConfig {
     pub jitter_spike_prob: f64,
     /// Extra one-way delay (ms) added by a jitter spike.
     pub jitter_spike_ms: u64,
+    /// Byte-level wire faults applied to delivered messages (corruption,
+    /// truncation, duplication, garbage insertion).
+    pub wire: Option<WireFaults>,
+}
+
+/// Byte-level wire-fault probabilities. Each delivered message draws at
+/// most one of these (mutually exclusive, checked in order): a corrupted
+/// or truncated frame reaches the receiver but fails to decode there, a
+/// duplicated frame arrives twice, an insertion delivers one extra frame
+/// of guaranteed-undecodable garbage right behind the real one.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WireFaults {
+    /// Probability of flipping one random bit of the payload.
+    pub corrupt_prob: f64,
+    /// Probability of truncating the payload at a random offset.
+    pub truncate_prob: f64,
+    /// Probability of delivering the frame twice.
+    pub duplicate_prob: f64,
+    /// Probability of inserting a garbage frame behind this one.
+    pub insert_prob: f64,
 }
 
 /// Two-state (good/bad) burst-loss Markov chain parameters.
@@ -67,16 +87,41 @@ struct FaultState {
     rng: StdRng,
     dropped: u64,
     delivered: u64,
+    dropped_by_cat: [u64; 7],
+    corrupted_by_cat: [u64; 7],
+    duplicated_by_cat: [u64; 7],
+    injected: u64,
 }
 
 /// Verdict of the fault model for one message.
 enum FaultVerdict {
-    Deliver { extra_delay_ms: u64 },
+    Deliver { extra_delay_ms: u64, mangle: Mangle },
     Drop,
 }
 
+/// Byte-level mangling decision for one delivered message. Positions are
+/// drawn inside the fault handle so the whole fault stream replays from
+/// one seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mangle {
+    None,
+    /// Flip bit `bit` of byte `at`.
+    Corrupt {
+        at: usize,
+        bit: u8,
+    },
+    /// Keep only the first `keep` bytes.
+    Truncate {
+        keep: usize,
+    },
+    /// Deliver the frame twice.
+    Duplicate,
+    /// Deliver one garbage frame right behind the real one.
+    Insert,
+}
+
 impl FaultState {
-    fn judge(&mut self, now: Tti) -> FaultVerdict {
+    fn judge(&mut self, now: Tti, category: MessageCategory, payload_len: usize) -> FaultVerdict {
         if self.manual_partition
             || self
                 .partitions
@@ -84,6 +129,7 @@ impl FaultState {
                 .any(|(from, until)| *from <= now && now < *until)
         {
             self.dropped += 1;
+            self.dropped_by_cat[category.index()] += 1;
             return FaultVerdict::Drop;
         }
         if let Some(burst) = self.config.burst {
@@ -97,11 +143,13 @@ impl FaultState {
             }
             if self.in_burst {
                 self.dropped += 1;
+                self.dropped_by_cat[category.index()] += 1;
                 return FaultVerdict::Drop;
             }
         }
         if self.config.drop_prob > 0.0 && self.rng.random::<f64>() < self.config.drop_prob {
             self.dropped += 1;
+            self.dropped_by_cat[category.index()] += 1;
             return FaultVerdict::Drop;
         }
         let extra_delay_ms = if self.config.jitter_spike_prob > 0.0
@@ -111,8 +159,40 @@ impl FaultState {
         } else {
             0
         };
+        let mangle = self.draw_mangle(category, payload_len);
         self.delivered += 1;
-        FaultVerdict::Deliver { extra_delay_ms }
+        FaultVerdict::Deliver {
+            extra_delay_ms,
+            mangle,
+        }
+    }
+
+    fn draw_mangle(&mut self, category: MessageCategory, payload_len: usize) -> Mangle {
+        let Some(w) = self.config.wire else {
+            return Mangle::None;
+        };
+        if payload_len > 0 && w.corrupt_prob > 0.0 && self.rng.random::<f64>() < w.corrupt_prob {
+            self.corrupted_by_cat[category.index()] += 1;
+            return Mangle::Corrupt {
+                at: self.rng.random_range(0..payload_len),
+                bit: self.rng.random_range(0..8),
+            };
+        }
+        if payload_len > 0 && w.truncate_prob > 0.0 && self.rng.random::<f64>() < w.truncate_prob {
+            self.corrupted_by_cat[category.index()] += 1;
+            return Mangle::Truncate {
+                keep: self.rng.random_range(0..payload_len),
+            };
+        }
+        if w.duplicate_prob > 0.0 && self.rng.random::<f64>() < w.duplicate_prob {
+            self.duplicated_by_cat[category.index()] += 1;
+            return Mangle::Duplicate;
+        }
+        if w.insert_prob > 0.0 && self.rng.random::<f64>() < w.insert_prob {
+            self.injected += 1;
+            return Mangle::Insert;
+        }
+        Mangle::None
     }
 }
 
@@ -133,6 +213,10 @@ impl FaultHandle {
             rng: StdRng::seed_from_u64(seed ^ 0xFA_17),
             dropped: 0,
             delivered: 0,
+            dropped_by_cat: [0; 7],
+            corrupted_by_cat: [0; 7],
+            duplicated_by_cat: [0; 7],
+            injected: 0,
         })))
     }
 
@@ -171,6 +255,27 @@ impl FaultHandle {
     pub fn delivered(&self) -> u64 {
         self.0.lock().delivered
     }
+
+    /// Messages of `cat` swallowed by drops, bursts or partitions.
+    pub fn dropped_by_category(&self, cat: MessageCategory) -> u64 {
+        self.0.lock().dropped_by_cat[cat.index()]
+    }
+
+    /// Messages of `cat` delivered corrupted or truncated (the receiver
+    /// sees a decode error instead of the message).
+    pub fn corrupted_by_category(&self, cat: MessageCategory) -> u64 {
+        self.0.lock().corrupted_by_cat[cat.index()]
+    }
+
+    /// Messages of `cat` delivered twice.
+    pub fn duplicated_by_category(&self, cat: MessageCategory) -> u64 {
+        self.0.lock().duplicated_by_cat[cat.index()]
+    }
+
+    /// Garbage frames inserted into the stream.
+    pub fn injected_frames(&self) -> u64 {
+        self.0.lock().injected
+    }
 }
 
 /// One direction's channel characteristics.
@@ -187,6 +292,13 @@ pub struct LinkConfig {
     /// modeled as an extra full RTT of delay instead of disappearance).
     pub loss: f64,
     pub seed: u64,
+    /// Bound on the number of in-transit messages (a socket buffer /
+    /// outbound queue); `0` = unbounded. At capacity the queue sheds the
+    /// *oldest sheddable* message (stats reports — see
+    /// [`MessageCategory::sheddable`]); liveness, commands and the other
+    /// control traffic are never shed, so a full queue of stats cannot
+    /// starve a heartbeat.
+    pub queue_cap: usize,
 }
 
 impl Default for LinkConfig {
@@ -197,6 +309,7 @@ impl Default for LinkConfig {
             rate: None,
             loss: 0.0,
             seed: 0xF1E8,
+            queue_cap: 0,
         }
     }
 }
@@ -219,7 +332,12 @@ impl LinkConfig {
 struct InTransit {
     arrival: Tti,
     payload: Vec<u8>,
+    category: MessageCategory,
 }
+
+/// A guaranteed-undecodable frame (no valid integrity trailer, and the
+/// bytes are not even protobuf), used for fault insertion.
+const GARBAGE_FRAME: [u8; 16] = [0xFF; 16];
 
 /// The shared directed queue between two endpoints.
 struct Direction {
@@ -230,8 +348,11 @@ struct Direction {
     /// Last scheduled arrival (FIFO enforcement under jitter).
     last_arrival: Tti,
     rng: StdRng,
-    /// Optional shared fault model (drops, bursts, partitions, spikes).
+    /// Optional shared fault model (drops, bursts, partitions, spikes,
+    /// wire-level mangling).
     faults: Option<FaultHandle>,
+    /// Messages removed by the bounded-queue shedder, per category.
+    shed_by_cat: [u64; 7],
 }
 
 impl Direction {
@@ -243,17 +364,26 @@ impl Direction {
             last_arrival: Tti::ZERO,
             rng: StdRng::seed_from_u64(config.seed),
             faults: None,
+            shed_by_cat: [0; 7],
         }
     }
 
-    fn push(&mut self, now: Tti, payload: Vec<u8>) {
-        let fault_delay_ms = match &self.faults {
-            Some(handle) => match handle.0.lock().judge(now) {
+    fn push(&mut self, now: Tti, mut payload: Vec<u8>, category: MessageCategory) {
+        let (fault_delay_ms, mangle) = match &self.faults {
+            Some(handle) => match handle.0.lock().judge(now, category, payload.len()) {
                 FaultVerdict::Drop => return,
-                FaultVerdict::Deliver { extra_delay_ms } => extra_delay_ms,
+                FaultVerdict::Deliver {
+                    extra_delay_ms,
+                    mangle,
+                } => (extra_delay_ms, mangle),
             },
-            None => 0,
+            None => (0, Mangle::None),
         };
+        match mangle {
+            Mangle::Corrupt { at, bit } => payload[at] ^= 1 << bit,
+            Mangle::Truncate { keep } => payload.truncate(keep),
+            Mangle::None | Mangle::Duplicate | Mangle::Insert => {}
+        }
         let bytes = payload.len() as u64 + FRAME_OVERHEAD_BYTES;
         // Serialization delay under a rate limit.
         let start = now.max(self.next_free);
@@ -281,7 +411,46 @@ impl Direction {
             arrival = self.last_arrival; // FIFO: never overtake
         }
         self.last_arrival = arrival;
-        self.queue.push_back(InTransit { arrival, payload });
+        if mangle == Mangle::Duplicate {
+            self.enqueue(InTransit {
+                arrival,
+                payload: payload.clone(),
+                category,
+            });
+        }
+        let insert = mangle == Mangle::Insert;
+        self.enqueue(InTransit {
+            arrival,
+            payload,
+            category,
+        });
+        if insert {
+            self.enqueue(InTransit {
+                arrival,
+                payload: GARBAGE_FRAME.to_vec(),
+                category,
+            });
+        }
+    }
+
+    /// Enqueue with bounded-queue shedding: at capacity, the oldest
+    /// sheddable in-transit message makes room; if the newcomer itself is
+    /// sheddable and nothing older can go, the newcomer is shed. Traffic
+    /// that is not sheddable is never dropped here — the queue grows past
+    /// the cap instead (the bound protects against stats floods, not
+    /// against control traffic, which is low-rate by construction).
+    fn enqueue(&mut self, msg: InTransit) {
+        let cap = self.config.queue_cap;
+        if cap > 0 && self.queue.len() >= cap {
+            if let Some(pos) = self.queue.iter().position(|m| m.category.sheddable()) {
+                self.shed_by_cat[self.queue[pos].category.index()] += 1;
+                self.queue.remove(pos);
+            } else if msg.category.sheddable() {
+                self.shed_by_cat[msg.category.index()] += 1;
+                return;
+            }
+        }
+        self.queue.push_back(msg);
     }
 
     fn pop_due(&mut self, now: Tti) -> Option<Vec<u8>> {
@@ -370,6 +539,38 @@ impl SimTransport {
     pub fn in_flight_towards(&self) -> usize {
         self.inc.lock().queue.len()
     }
+
+    /// Messages of `cat` queued towards this endpoint but not yet due.
+    pub fn in_flight_towards_by_category(&self, cat: MessageCategory) -> usize {
+        self.inc
+            .lock()
+            .queue
+            .iter()
+            .filter(|m| m.category == cat)
+            .count()
+    }
+
+    /// Messages of `cat` queued away from this endpoint but not yet due.
+    pub fn in_flight_from_by_category(&self, cat: MessageCategory) -> usize {
+        self.out
+            .lock()
+            .queue
+            .iter()
+            .filter(|m| m.category == cat)
+            .count()
+    }
+
+    /// Messages of `cat` shed by the bounded queue flowing *towards*
+    /// this endpoint (i.e. the peer sent them, the queue dropped them).
+    pub fn shed_towards_by_category(&self, cat: MessageCategory) -> u64 {
+        self.inc.lock().shed_by_cat[cat.index()]
+    }
+
+    /// Messages of `cat` shed by the bounded queue this endpoint sends
+    /// into.
+    pub fn shed_from_by_category(&self, cat: MessageCategory) -> u64 {
+        self.out.lock().shed_by_cat[cat.index()]
+    }
 }
 
 impl Transport for SimTransport {
@@ -379,9 +580,11 @@ impl Transport for SimTransport {
             msg.category(),
             self.scratch.len() as u64 + FRAME_OVERHEAD_BYTES,
         );
-        self.out
-            .lock()
-            .push(self.clock.now(), self.scratch.as_slice().to_vec());
+        self.out.lock().push(
+            self.clock.now(),
+            self.scratch.as_slice().to_vec(),
+            msg.category(),
+        );
         Ok(())
     }
 
@@ -402,6 +605,16 @@ impl Transport for SimTransport {
 
     fn rx_counters(&self) -> ByteCounters {
         self.rx_counters
+    }
+
+    /// Models a process crash: everything queued towards this endpoint —
+    /// due or not — is discarded, exactly like the kernel dropping a dead
+    /// process's socket buffers.
+    fn purge_inbound(&mut self) -> usize {
+        let mut inc = self.inc.lock();
+        let n = inc.queue.len();
+        inc.queue.clear();
+        n
     }
 }
 
@@ -662,6 +875,138 @@ mod tests {
         assert!(b.try_recv().unwrap().is_none(), "spike defers delivery");
         clock.advance_to(Tti(30));
         assert!(b.try_recv().unwrap().is_some());
+    }
+
+    #[test]
+    fn wire_corruption_surfaces_as_transport_errors() {
+        let clock = clocked();
+        let faults = FaultHandle::new(11);
+        faults.set_config(FaultConfig {
+            wire: Some(WireFaults {
+                corrupt_prob: 0.5,
+                truncate_prob: 0.25,
+                ..WireFaults::default()
+            }),
+            ..FaultConfig::default()
+        });
+        let (mut a, mut b) = sim_link_pair_with_faults(
+            clock.clone(),
+            LinkConfig::ideal(),
+            LinkConfig::ideal(),
+            faults.clone(),
+        );
+        let (mut ok, mut err) = (0u64, 0u64);
+        for i in 0..300u32 {
+            a.send(Header::with_xid(i), &msg(i)).unwrap();
+            match b.try_recv() {
+                Ok(Some(_)) => ok += 1,
+                Ok(None) => {}
+                Err(_) => err += 1,
+            }
+        }
+        use flexran_proto::category::MessageCategory;
+        let corrupted = faults.corrupted_by_category(MessageCategory::AgentManagement);
+        assert!(corrupted > 0, "mangling must have happened");
+        // Corruption may still leave a decodable frame (a bit flip in a
+        // string, say), so errors are a lower bound — but every mangled
+        // message was still *delivered* as exactly one frame.
+        assert!(err > 0, "some frames must fail to decode");
+        assert_eq!(ok + err, 300);
+    }
+
+    #[test]
+    fn wire_duplication_and_insertion_add_frames() {
+        let clock = clocked();
+        let faults = FaultHandle::new(12);
+        faults.set_config(FaultConfig {
+            wire: Some(WireFaults {
+                duplicate_prob: 0.3,
+                insert_prob: 0.3,
+                ..WireFaults::default()
+            }),
+            ..FaultConfig::default()
+        });
+        let (mut a, mut b) = sim_link_pair_with_faults(
+            clock.clone(),
+            LinkConfig::ideal(),
+            LinkConfig::ideal(),
+            faults.clone(),
+        );
+        for i in 0..200u32 {
+            a.send(Header::with_xid(i), &msg(i)).unwrap();
+        }
+        let (mut ok, mut err) = (0u64, 0u64);
+        loop {
+            match b.try_recv() {
+                Ok(Some(_)) => ok += 1,
+                Ok(None) => break,
+                Err(_) => err += 1,
+            }
+        }
+        use flexran_proto::category::MessageCategory;
+        let dup = faults.duplicated_by_category(MessageCategory::AgentManagement);
+        let inj = faults.injected_frames();
+        assert!(dup > 0 && inj > 0);
+        assert_eq!(ok, 200 + dup, "duplicates decode fine and arrive twice");
+        assert_eq!(err, inj, "every injected garbage frame fails decode");
+    }
+
+    #[test]
+    fn bounded_queue_sheds_oldest_stats_but_never_liveness() {
+        use flexran_proto::category::MessageCategory;
+        use flexran_proto::messages::stats::StatsReply;
+        let clock = clocked();
+        let cfg = LinkConfig {
+            latency_ms: 50, // keep everything in flight
+            queue_cap: 4,
+            ..LinkConfig::default()
+        };
+        let (mut a, b) = sim_link_pair(clock.clone(), cfg, LinkConfig::ideal());
+        let stats = FlexranMessage::StatsReply(StatsReply {
+            enb_id: EnbId(1),
+            ..StatsReply::default()
+        });
+        let beat = FlexranMessage::Heartbeat(flexran_proto::messages::Heartbeat { seq: 1, tti: 0 });
+        for i in 0..6u32 {
+            a.send(Header::with_xid(i), &stats).unwrap();
+        }
+        // Stats overflow: the two oldest stats replies were shed.
+        assert_eq!(b.in_flight_towards(), 4);
+        assert_eq!(
+            b.shed_towards_by_category(MessageCategory::StatsReporting),
+            2
+        );
+        // Liveness pushes past the cap rather than being shed, and sheds
+        // older stats to make room.
+        for _ in 0..6 {
+            a.send(Header::default(), &beat).unwrap();
+        }
+        assert_eq!(b.shed_towards_by_category(MessageCategory::Liveness), 0);
+        assert_eq!(
+            b.in_flight_towards_by_category(MessageCategory::Liveness),
+            6,
+            "no heartbeat lost"
+        );
+        assert_eq!(
+            b.shed_towards_by_category(MessageCategory::StatsReporting),
+            6,
+            "all remaining stats shed to make room"
+        );
+    }
+
+    #[test]
+    fn purge_inbound_models_a_crash() {
+        let clock = clocked();
+        let cfg = LinkConfig {
+            latency_ms: 10,
+            ..LinkConfig::default()
+        };
+        let (mut a, mut b) = sim_link_pair(clock.clone(), cfg, LinkConfig::ideal());
+        a.send(Header::default(), &msg(1)).unwrap();
+        a.send(Header::default(), &msg(2)).unwrap();
+        assert_eq!(b.purge_inbound(), 2);
+        clock.advance_to(Tti(20));
+        assert!(b.try_recv().unwrap().is_none(), "crash lost the messages");
     }
 
     #[test]

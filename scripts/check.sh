@@ -26,7 +26,12 @@ cargo run --quiet -p flexran-lint
 echo "==> cargo test (workspace)"
 cargo test --quiet --workspace
 
-echo "==> determinism test with debug-invariants assertions"
+echo "==> determinism + master-recovery tests with debug-invariants assertions"
 cargo test --quiet --release -p flexran --features debug-invariants --test determinism
+cargo test --quiet --release -p flexran --features debug-invariants --test master_recovery
+
+echo "==> chaos smoke gate (8 seeds x 2000 TTIs, zero tolerated violations)"
+cargo run --quiet --release -p flexran-bench --bin experiments -- \
+    chaos --seeds 8 --ttis 2000 --out target/check-chaos
 
 echo "All checks passed."
