@@ -147,7 +147,7 @@ impl OptimizedEicicApp {
 
     fn small_cells_idle(&self, rib: &RibView<'_>) -> bool {
         for (enb, cell) in &self.small_cells {
-            let Some(cell_node) = rib.rib().cell(*enb, CellId(*cell)) else {
+            let Some(cell_node) = rib.cell(*enb, CellId(*cell)) else {
                 continue;
             };
             let queued: u64 = cell_node
@@ -190,7 +190,7 @@ impl App for OptimizedEicicApp {
             if !self.small_cells_idle(rib) {
                 continue; // the protected cells need this ABS
             }
-            let Some(cell) = rib.rib().cell(self.macro_enb, CellId(self.macro_cell)) else {
+            let Some(cell) = rib.cell(self.macro_enb, CellId(self.macro_cell)) else {
                 continue;
             };
             let input = scheduler_input_from_rib(cell, rib.now(), Tti(target), &BTreeMap::new());

@@ -76,7 +76,7 @@ impl App for MecDashApp {
 
     fn on_cycle(&mut self, rib: &RibView<'_>, _ctl: &mut ControlHandle<'_>) {
         let mut hints = self.hints.write();
-        for (enb, _cell, ue) in rib.rib().all_ues() {
+        for (enb, _cell, ue) in rib.all_ues() {
             if !ue.report.connected || ue.report.wideband_cqi == 0 {
                 continue;
             }
@@ -94,7 +94,7 @@ impl App for MecDashApp {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use flexran_controller::northbound::ConflictGuard;
+    use flexran_controller::northbound::Northbound;
     use flexran_controller::rib::{Rib, UeNode};
     use flexran_proto::messages::UeReport;
     use flexran_types::ids::CellId;
@@ -141,14 +141,12 @@ mod tests {
         let mut app = MecDashApp::new();
         app.alpha = 0.5; // fast for the test
         let hints = app.hint_channel();
-        let mut outbox = Vec::new();
-        let mut guard = ConflictGuard::new();
-        let mut xid = 0;
+        let mut nb = Northbound::new();
 
         let rib = rib_with_cqi(10);
         for t in 0..20u64 {
-            let view = RibView::new(Tti(t), &rib);
-            let mut ctl = ControlHandle::new(&mut outbox, &mut guard, &mut xid);
+            let view = RibView::over(Tti(t), &rib);
+            let mut ctl = nb.control();
             app.on_cycle(&view, &mut ctl);
         }
         let high = hints.read()[&(EnbId(1), Rnti(0x100))];
@@ -158,14 +156,14 @@ mod tests {
         // cycles).
         let rib = rib_with_cqi(4);
         for t in 20..60u64 {
-            let view = RibView::new(Tti(t), &rib);
-            let mut ctl = ControlHandle::new(&mut outbox, &mut guard, &mut xid);
+            let view = RibView::over(Tti(t), &rib);
+            let mut ctl = nb.control();
             app.on_cycle(&view, &mut ctl);
         }
         let low = hints.read()[&(EnbId(1), Rnti(0x100))];
         assert!(low < high);
         assert!(low.as_mbps_f64() < 5.0, "{low}");
-        assert!(outbox.is_empty(), "the MEC app sends no RAN commands");
+        assert!(nb.staged().is_empty(), "the MEC app sends no RAN commands");
     }
 
     #[test]
@@ -173,11 +171,9 @@ mod tests {
         let mut app = MecDashApp::new();
         let hints = app.hint_channel();
         let rib = rib_with_cqi(0); // CQI 0 = out of range
-        let mut outbox = Vec::new();
-        let mut guard = ConflictGuard::new();
-        let mut xid = 0;
-        let view = RibView::new(Tti(0), &rib);
-        let mut ctl = ControlHandle::new(&mut outbox, &mut guard, &mut xid);
+        let mut nb = Northbound::new();
+        let view = RibView::over(Tti(0), &rib);
+        let mut ctl = nb.control();
         app.on_cycle(&view, &mut ctl);
         assert!(hints.read().is_empty());
     }

@@ -47,7 +47,7 @@ impl MobilityManagerApp {
     }
 
     fn cell_load(&self, rib: &RibView<'_>, enb: EnbId, cell: CellId) -> usize {
-        rib.rib().cell(enb, cell).map(|c| c.ues.len()).unwrap_or(0)
+        rib.cell(enb, cell).map(|c| c.ues.len()).unwrap_or(0)
     }
 }
 
@@ -112,7 +112,7 @@ impl App for MobilityManagerApp {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use flexran_controller::northbound::ConflictGuard;
+    use flexran_controller::northbound::Northbound;
     use flexran_controller::rib::Rib;
     use flexran_proto::messages::EventNotification;
     use flexran_types::time::Tti;
@@ -149,15 +149,13 @@ mod tests {
     fn strong_neighbour_triggers_handover() {
         let mut app = MobilityManagerApp::new(site_map());
         let rib = Rib::new();
-        let mut outbox = Vec::new();
-        let mut guard = ConflictGuard::new();
-        let mut xid = 0;
-        let view = RibView::new(Tti(10), &rib);
-        let mut ctl = ControlHandle::new(&mut outbox, &mut guard, &mut xid);
+        let mut nb = Northbound::new();
+        let view = RibView::over(Tti(10), &rib);
+        let mut ctl = nb.control();
         app.on_event(&meas_event(-950, &[(1, -85.0)]), &view, &mut ctl);
         assert_eq!(app.handovers, 1);
         assert!(matches!(
-            &outbox[0].2,
+            &nb.staged()[0].2,
             FlexranMessage::HandoverCommand(c) if c.target_enb == 2 && c.rnti == 0x100
         ));
     }
@@ -166,15 +164,13 @@ mod tests {
     fn hysteresis_blocks_marginal_gain() {
         let mut app = MobilityManagerApp::new(site_map());
         let rib = Rib::new();
-        let mut outbox = Vec::new();
-        let mut guard = ConflictGuard::new();
-        let mut xid = 0;
-        let view = RibView::new(Tti(10), &rib);
-        let mut ctl = ControlHandle::new(&mut outbox, &mut guard, &mut xid);
+        let mut nb = Northbound::new();
+        let view = RibView::over(Tti(10), &rib);
+        let mut ctl = nb.control();
         // Neighbour only 1 dB better (hysteresis is 3 dB).
         app.on_event(&meas_event(-900, &[(1, -89.0)]), &view, &mut ctl);
         assert_eq!(app.handovers, 0);
-        assert!(outbox.is_empty());
+        assert!(nb.staged().is_empty());
     }
 
     #[test]
@@ -191,11 +187,9 @@ mod tests {
                     .insert(flexran_types::ids::Rnti(0x200 + i), Default::default());
             }
         }
-        let mut outbox = Vec::new();
-        let mut guard = ConflictGuard::new();
-        let mut xid = 0;
-        let view = RibView::new(Tti(10), &rib);
-        let mut ctl = ControlHandle::new(&mut outbox, &mut guard, &mut xid);
+        let mut nb = Northbound::new();
+        let view = RibView::over(Tti(10), &rib);
+        let mut ctl = nb.control();
         // 6 dB RSRP advantage, but load penalty (10 dB) eats it.
         app.on_event(&meas_event(-900, &[(1, -84.0)]), &view, &mut ctl);
         assert_eq!(app.handovers, 0);
@@ -205,20 +199,18 @@ mod tests {
     fn rate_limited_per_ue() {
         let mut app = MobilityManagerApp::new(site_map());
         let rib = Rib::new();
-        let mut outbox = Vec::new();
-        let mut guard = ConflictGuard::new();
-        let mut xid = 0;
+        let mut nb = Northbound::new();
         let ev = meas_event(-950, &[(1, -85.0)]);
         {
-            let view = RibView::new(Tti(10), &rib);
-            let mut ctl = ControlHandle::new(&mut outbox, &mut guard, &mut xid);
+            let view = RibView::over(Tti(10), &rib);
+            let mut ctl = nb.control();
             app.on_event(&ev, &view, &mut ctl);
             app.on_event(&ev, &view, &mut ctl);
         }
         assert_eq!(app.handovers, 1, "second HO suppressed by interval");
         {
-            let view = RibView::new(Tti(2000), &rib);
-            let mut ctl = ControlHandle::new(&mut outbox, &mut guard, &mut xid);
+            let view = RibView::over(Tti(2000), &rib);
+            let mut ctl = nb.control();
             app.on_event(&ev, &view, &mut ctl);
         }
         assert_eq!(app.handovers, 2, "allowed after the interval");
@@ -228,11 +220,9 @@ mod tests {
     fn unknown_sites_ignored() {
         let mut app = MobilityManagerApp::new(site_map());
         let rib = Rib::new();
-        let mut outbox = Vec::new();
-        let mut guard = ConflictGuard::new();
-        let mut xid = 0;
-        let view = RibView::new(Tti(10), &rib);
-        let mut ctl = ControlHandle::new(&mut outbox, &mut guard, &mut xid);
+        let mut nb = Northbound::new();
+        let view = RibView::over(Tti(10), &rib);
+        let mut ctl = nb.control();
         app.on_event(&meas_event(-950, &[(99, -50.0)]), &view, &mut ctl);
         assert_eq!(app.handovers, 0);
     }

@@ -78,8 +78,8 @@ impl App for MonitoringApp {
     fn on_cycle(&mut self, rib: &RibView<'_>, ctl: &mut ControlHandle<'_>) {
         // Subscribe to agents we have not seen before.
         let new_agents: Vec<EnbId> = rib
-            .rib()
             .agents()
+            .into_iter()
             .map(|a| a.enb_id)
             .filter(|id| !self.subscribed.contains(id))
             .collect();
@@ -101,7 +101,7 @@ impl App for MonitoringApp {
         snap.updated = rib.now();
         snap.total_dl_bits = 0;
         snap.ues.clear();
-        for (enb, _cell, ue) in rib.rib().all_ues() {
+        for (enb, _cell, ue) in rib.all_ues() {
             snap.total_dl_bits += ue.report.dl_tbs_bits_total;
             snap.ues.insert(
                 (enb, ue.rnti),

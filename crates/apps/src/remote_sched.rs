@@ -171,7 +171,7 @@ impl App for CentralizedScheduler {
     }
 
     fn on_cycle(&mut self, rib: &RibView<'_>, ctl: &mut ControlHandle<'_>) {
-        let agents: Vec<EnbId> = rib.rib().agents().map(|a| a.enb_id).collect();
+        let agents: Vec<EnbId> = rib.agents().into_iter().map(|a| a.enb_id).collect();
         for enb in agents {
             if rib.is_stale(enb) {
                 continue; // session down: the RIB subtree is a pre-outage
@@ -255,7 +255,7 @@ impl App for CentralizedScheduler {
 mod tests {
     use super::*;
     use flexran_controller::rib::{Rib, UeNode};
-    use flexran_controller::{ConflictGuard, MasterController, TaskManagerConfig};
+    use flexran_controller::{MasterController, Northbound, TaskManagerConfig};
     use flexran_proto::messages::stats::RlcReport;
     use flexran_proto::messages::{FlexranMessage, Header, Hello, SubframeTrigger, UeReport};
     use flexran_proto::transport::{channel_pair, Transport};
@@ -391,13 +391,11 @@ mod tests {
     fn no_sync_no_commands() {
         let mut sched = CentralizedScheduler::new(6, Box::new(RoundRobinScheduler::new()));
         let rib = Rib::new();
-        let mut outbox = Vec::new();
-        let mut guard = ConflictGuard::new();
-        let mut xid = 0;
-        let view = RibView::new(Tti(5), &rib);
-        let mut ctl = ControlHandle::new(&mut outbox, &mut guard, &mut xid);
+        let mut nb = Northbound::new();
+        let view = RibView::over(Tti(5), &rib);
+        let mut ctl = nb.control();
         sched.on_cycle(&view, &mut ctl);
-        assert!(outbox.is_empty());
+        assert!(nb.staged().is_empty());
         assert_eq!(sched.commands_sent, 0);
     }
 
@@ -430,25 +428,23 @@ mod tests {
             );
             agent.mark_stale(Tti(105));
         }
-        let mut outbox = Vec::new();
-        let mut guard = ConflictGuard::new();
-        let mut xid = 0;
+        let mut nb = Northbound::new();
         {
-            let view = RibView::new(Tti(106), &rib);
-            let mut ctl = ControlHandle::new(&mut outbox, &mut guard, &mut xid);
+            let view = RibView::over(Tti(106), &rib);
+            let mut ctl = nb.control();
             sched.on_cycle(&view, &mut ctl);
         }
         assert!(
-            outbox.is_empty(),
+            nb.staged().is_empty(),
             "no commands toward a down session's pre-outage snapshot"
         );
         // Session restored: the same RIB state now yields commands.
         rib.agent_mut(EnbId(1)).mark_fresh();
         {
-            let view = RibView::new(Tti(107), &rib);
-            let mut ctl = ControlHandle::new(&mut outbox, &mut guard, &mut xid);
+            let view = RibView::over(Tti(107), &rib);
+            let mut ctl = nb.control();
             sched.on_cycle(&view, &mut ctl);
         }
-        assert!(!outbox.is_empty(), "commands resume after mark_fresh");
+        assert!(!nb.staged().is_empty(), "commands resume after mark_fresh");
     }
 }

@@ -7,6 +7,7 @@
 //! bit-identical replay — and aborts with a failure, so `scripts/check.sh`
 //! can use this experiment as its chaos smoke gate.
 
+use flexran::prelude::ShardSpec;
 use flexran_chaos::{run_chaos, ChaosConfig};
 
 use crate::{csv, ExpContext, ExpResult};
@@ -14,6 +15,11 @@ use crate::{csv, ExpContext, ExpResult};
 pub fn chaos(ctx: &ExpContext) -> ExpResult {
     let seeds = ctx.seeds_override.unwrap_or(if ctx.quick { 4 } else { 32 });
     let ttis = ctx.ttis_override.unwrap_or(ctx.ttis(5_000, 1_500));
+    let shards = match ctx.shards_override {
+        None => ShardSpec::Auto,
+        Some(0) => ShardSpec::PerAgent,
+        Some(n) => ShardSpec::Fixed(n),
+    };
     let mut res = ExpResult::new(
         "chaos",
         "Chaos soak: multi-layer fault schedules vs invariant oracles",
@@ -33,6 +39,7 @@ pub fn chaos(ctx: &ExpContext) -> ExpResult {
         let report = run_chaos(&ChaosConfig {
             seed,
             ttis,
+            shards,
             ..ChaosConfig::default()
         });
         res.row(vec![
@@ -51,9 +58,10 @@ pub fn chaos(ctx: &ExpContext) -> ExpResult {
         failures.extend(report.violations.iter().map(|v| v.to_string()));
     }
     res.note(format!(
-        "{seeds} seeds × {ttis} TTIs, zero tolerated violations. Oracles: failover \
-         legality, PRB capacity, HARQ monotonicity, RIB↔stack consistency, command \
-         conservation, decision sanity. Any violation pins (seed, TTI) for exact replay."
+        "{seeds} seeds × {ttis} TTIs ({shards:?} sharding), zero tolerated violations. \
+         Oracles: failover legality, PRB capacity, HARQ monotonicity, RIB↔stack \
+         consistency, command conservation, decision sanity, shard ownership. Any \
+         violation pins (seed, TTI) for exact replay."
     ));
     ctx.write_csv(
         "chaos",

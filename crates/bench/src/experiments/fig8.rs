@@ -62,7 +62,7 @@ pub fn fig8(ctx: &ExpContext) -> ExpResult {
         let core_us = (acc1.rib_total - acc0.rib_total).as_secs_f64() * 1e6 / cycles;
         let apps_us = (acc1.apps_total - acc0.apps_total).as_secs_f64() * 1e6 / cycles;
         let idle_us = (1000.0 - core_us - apps_us).max(0.0);
-        let rib_bytes = sim.master().rib().heap_bytes();
+        let rib_bytes = sim.master().view().heap_bytes();
         let row = vec![
             n_agents.to_string(),
             f2(apps_us),

@@ -164,7 +164,7 @@ pub fn outage(ctx: &ExpContext) -> ExpResult {
                 phase.to_string(),
                 f2(mbps(b.saturating_sub(bucket_start_bits), BUCKET)),
                 state.to_string(),
-                (sim.master().rib().agent(enb).is_some_and(|a| a.is_stale()) as u8).to_string(),
+                (sim.master().view().agent(enb).is_some_and(|a| a.is_stale()) as u8).to_string(),
             ]);
             bucket_start_bits = b;
         }

@@ -6,8 +6,10 @@
 //! threads (`SimConfig::workers`), across a grid of eNodeB and UE
 //! counts, and reports:
 //!
-//! * TTIs/second and the per-phase wall-clock split (serial front,
-//!   phase A, interference coupling, phase B, merge),
+//! * TTIs/second and the per-phase wall-clock split (serial front —
+//!   the master cycle with its fanned-out shard RIB slots — phase A,
+//!   interference coupling, phase B, merge), across worker counts and
+//!   control-plane shard specs,
 //! * heap allocations per TTI (the whole `step`, via this crate's
 //!   counting allocator),
 //! * a digest of the end-state observables, asserting the determinism
@@ -32,6 +34,7 @@ struct Sample {
     enbs: usize,
     ues_per_enb: usize,
     workers: usize,
+    shards: &'static str,
     ttis: u64,
     ttis_per_sec: f64,
     serial_front_ns: u64,
@@ -50,10 +53,20 @@ fn fnv(h: &mut u64, v: u64) {
     }
 }
 
-fn build(n_enbs: usize, ues_per_enb: usize, workers: Option<usize>, seed: u64) -> SimHarness {
+fn build(
+    n_enbs: usize,
+    ues_per_enb: usize,
+    workers: Option<usize>,
+    shards: ShardSpec,
+    seed: u64,
+) -> SimHarness {
     let mut sim = SimHarness::new(SimConfig {
         seed,
         workers,
+        master: TaskManagerConfig {
+            shards,
+            ..TaskManagerConfig::default()
+        },
         ..SimConfig::default()
     });
     for e in 0..n_enbs {
@@ -92,8 +105,15 @@ fn digest(sim: &SimHarness, n_enbs: usize, ues_per_enb: usize) -> u64 {
     h
 }
 
-fn run_point(n_enbs: usize, ues_per_enb: usize, workers: Option<usize>, ttis: u64) -> Sample {
-    let mut sim = build(n_enbs, ues_per_enb, workers, 7);
+fn run_point(
+    n_enbs: usize,
+    ues_per_enb: usize,
+    workers: Option<usize>,
+    shards: ShardSpec,
+    shards_label: &'static str,
+    ttis: u64,
+) -> Sample {
+    let mut sim = build(n_enbs, ues_per_enb, workers, shards, 7);
     sim.run(100); // attach + warm-up (buffers reach steady state)
     let t0_timings = sim.phase_timings();
     let t0 = Instant::now();
@@ -104,6 +124,7 @@ fn run_point(n_enbs: usize, ues_per_enb: usize, workers: Option<usize>, ttis: u6
         enbs: n_enbs,
         ues_per_enb,
         workers: workers.unwrap_or(1),
+        shards: shards_label,
         ttis,
         ttis_per_sec: ttis as f64 / wall.as_secs_f64(),
         serial_front_ns: t.serial_front_ns - t0_timings.serial_front_ns,
@@ -211,11 +232,12 @@ pub fn scale(ctx: &ExpContext) -> ExpResult {
 
     let mut r = ExpResult::new(
         "scale",
-        "parallel TTI engine: serial vs worker-pool scaling",
+        "parallel TTI engine: serial vs worker-pool vs sharded-master scaling",
         &[
             "eNBs",
             "UEs/eNB",
             "workers",
+            "shards",
             "TTIs/s",
             "phaseA ms",
             "phaseB ms",
@@ -227,20 +249,41 @@ pub fn scale(ctx: &ExpContext) -> ExpResult {
     let mut rows = Vec::new();
     let mut json_series = Vec::new();
     let mut speedup_8x64 = 0.0;
+    let mut front_speedup_4x64 = 0.0;
     let mut all_identical = true;
     for &(enbs, ues) in grid {
-        let serial = run_point(enbs, ues, None, ttis);
-        let parallel = run_point(enbs, ues, Some(parallel_workers), ttis);
-        let identical = serial.digest == parallel.digest;
+        let serial = run_point(enbs, ues, None, ShardSpec::Auto, "1", ttis);
+        let parallel = run_point(
+            enbs,
+            ues,
+            Some(parallel_workers),
+            ShardSpec::Auto,
+            "1",
+            ttis,
+        );
+        let sharded = run_point(
+            enbs,
+            ues,
+            Some(parallel_workers),
+            ShardSpec::PerAgent,
+            "per-agent",
+            ttis,
+        );
+        let identical = serial.digest == parallel.digest && serial.digest == sharded.digest;
         all_identical &= identical;
         if (enbs, ues) == (8, 64) {
             speedup_8x64 = parallel.ttis_per_sec / serial.ttis_per_sec.max(1e-9);
         }
-        for s in [&serial, &parallel] {
+        if (enbs, ues) == (4, 64) {
+            front_speedup_4x64 =
+                serial.serial_front_ns as f64 / (sharded.serial_front_ns as f64).max(1.0);
+        }
+        for s in [&serial, &parallel, &sharded] {
             let cells = vec![
                 s.enbs.to_string(),
                 s.ues_per_enb.to_string(),
                 s.workers.to_string(),
+                s.shards.to_string(),
                 format!("{:.0}", s.ttis_per_sec),
                 f2(s.phase_a_ns as f64 / 1e6),
                 f2(s.phase_b_ns as f64 / 1e6),
@@ -254,6 +297,7 @@ pub fn scale(ctx: &ExpContext) -> ExpResult {
                 "enbs": s.enbs,
                 "ues_per_enb": s.ues_per_enb,
                 "workers": s.workers,
+                "shards": s.shards,
                 "ttis": s.ttis,
                 "ttis_per_sec": s.ttis_per_sec,
                 "serial_front_ns": s.serial_front_ns,
@@ -273,6 +317,7 @@ pub fn scale(ctx: &ExpContext) -> ExpResult {
                 "enbs",
                 "ues_per_enb",
                 "workers",
+                "shards",
                 "ttis_per_sec",
                 "phase_a_ms",
                 "phase_b_ms",
@@ -297,6 +342,7 @@ pub fn scale(ctx: &ExpContext) -> ExpResult {
         "series": json_series,
         "sched_alloc_probe": probe_json,
         "speedup_8x64": speedup_8x64,
+        "serial_front_speedup_4x64": front_speedup_4x64,
         "deterministic": all_identical,
         "note": if parallel_workers <= 1 {
             "recorded on a single-CPU machine: the worker pool degenerates to \
@@ -314,8 +360,9 @@ pub fn scale(ctx: &ExpContext) -> ExpResult {
     .expect("write BENCH_scale.json");
 
     r.note(format!(
-        "speedup at 8 eNBs × 64 UEs: {:.2}× with {} workers; observables bit-identical: {}",
-        speedup_8x64, parallel_workers, all_identical
+        "speedup at 8 eNBs × 64 UEs: {:.2}× with {} workers; serial-front speedup at \
+         4 eNBs × 64 UEs with per-agent shards: {:.2}×; observables bit-identical: {}",
+        speedup_8x64, parallel_workers, front_speedup_4x64, all_identical
     ));
     for (name, allocs) in &probe {
         r.note(format!(
@@ -324,7 +371,7 @@ pub fn scale(ctx: &ExpContext) -> ExpResult {
     }
     assert!(
         all_identical,
-        "parallel run diverged from serial (determinism contract broken)"
+        "parallel/sharded run diverged from serial (determinism contract broken)"
     );
     r
 }

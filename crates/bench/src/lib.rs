@@ -93,6 +93,9 @@ pub struct ExpContext {
     pub seeds_override: Option<u64>,
     /// CLI override for run length (`--ttis N`).
     pub ttis_override: Option<u64>,
+    /// CLI override for control-plane shard count (`--shards N`);
+    /// `Some(0)` means one shard per agent.
+    pub shards_override: Option<usize>,
 }
 
 impl ExpContext {
@@ -104,6 +107,7 @@ impl ExpContext {
             out_dir,
             seeds_override: None,
             ttis_override: None,
+            shards_override: None,
         }
     }
 

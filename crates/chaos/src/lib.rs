@@ -89,6 +89,9 @@ pub struct ChaosConfig {
     /// Negative control: force a PRB-capacity violation at (or right
     /// after) this TTI, proving the oracles fire and replay exactly.
     pub inject_violation_at: Option<u64>,
+    /// Control-plane sharding for the master under test
+    /// ([`ShardSpec::Auto`] keeps the single-shard layout).
+    pub shards: ShardSpec,
 }
 
 impl Default for ChaosConfig {
@@ -117,6 +120,7 @@ impl Default for ChaosConfig {
             queue_cap: 64,
             grace: 250,
             inject_violation_at: None,
+            shards: ShardSpec::Auto,
         }
     }
 }
@@ -197,6 +201,7 @@ pub fn run_chaos(config: &ChaosConfig) -> ChaosReport {
         master: TaskManagerConfig {
             liveness_timeout: 40,
             journal_snapshot_every: 8,
+            shards: config.shards,
             ..TaskManagerConfig::default()
         },
         seed: config.seed,

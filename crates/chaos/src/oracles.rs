@@ -25,6 +25,10 @@
 //!    applied per cell per TTI (the stack rejects duplicates, e.g. from
 //!    a duplicated wire frame, with a `Conflict` error — never applies
 //!    them twice).
+//! 7. **shard-ownership** — an agent's RIB subtree is resident in
+//!    exactly the shard the master's ownership map assigns it to, and
+//!    never duplicated into another shard, no matter how many
+//!    crash/restart cycles re-partitioned the sessions.
 //!
 //! A violation records the run seed and the exact TTI, so any failure
 //! replays bit-identically from the seed alone.
@@ -241,12 +245,41 @@ impl Oracles {
 
             // 5. Command conservation.
             self.check_conservation(sim, enb, now, master_down, lossless[i]);
+
+            // 7. Shard ownership (the sharded single-writer discipline).
+            if !master_down {
+                self.check_shard_ownership(sim, enb, now);
+            }
+        }
+    }
+
+    fn check_shard_ownership(&mut self, sim: &SimHarness, enb: EnbId, now: u64) {
+        let master = sim.master();
+        let resident: Vec<usize> = master
+            .shards()
+            .iter()
+            .filter(|s| s.rib().agent(enb).is_some())
+            .map(|s| s.index())
+            .collect();
+        match master.shard_of(enb) {
+            Some(owner) if resident == [owner] => {}
+            Some(owner) => self.record(
+                now,
+                "shard-ownership",
+                format!("{enb}: owner shard {owner} but subtree resident in {resident:?}"),
+            ),
+            None if resident.is_empty() => {}
+            None => self.record(
+                now,
+                "shard-ownership",
+                format!("{enb}: subtree resident in {resident:?} with no owning shard"),
+            ),
         }
     }
 
     fn check_rib_consistency(&mut self, sim: &SimHarness, enb: EnbId, now: u64) {
         let agent = sim.agent(enb).expect("present");
-        let rib = sim.master().rib();
+        let rib = sim.master().view();
         let Some(node) = rib.agent(enb) else {
             self.record(
                 now,

@@ -2,6 +2,7 @@
 //! and the negative control (an injected violation must reproduce with
 //! the exact same seed and TTI on every run).
 
+use flexran::prelude::ShardSpec;
 use flexran_chaos::{run_chaos, ChaosConfig};
 
 fn quick(seed: u64) -> ChaosConfig {
@@ -39,6 +40,36 @@ fn quick_soak_is_clean_and_actually_injects_faults() {
     assert!(faults.stalls > 0, "no stalls injected");
     assert!(faults.wire_windows > 0, "no wire-fault windows injected");
     assert!(faults.delegations > 0, "no delegation pushes injected");
+}
+
+#[test]
+fn sharded_soak_is_clean_and_matches_the_single_shard_run() {
+    // The sharded control plane must survive the same fault schedule
+    // with zero violations (including the shard-ownership oracle), and
+    // — since sharding is behaviour-transparent — produce the exact
+    // same fault log and verdict as the single-shard run of the seed.
+    let base = run_chaos(&quick(11));
+    for shards in [ShardSpec::Fixed(3), ShardSpec::PerAgent] {
+        let cfg = ChaosConfig {
+            shards,
+            ..quick(11)
+        };
+        let report = run_chaos(&cfg);
+        assert!(
+            report.pass(),
+            "sharded ({shards:?}) run violated invariants:\n{}",
+            report
+                .violations
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        assert_eq!(
+            report.faults, base.faults,
+            "shard spec {shards:?} changed the fault schedule"
+        );
+    }
 }
 
 #[test]

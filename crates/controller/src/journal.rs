@@ -372,6 +372,50 @@ fn synthesize_snapshot(rib: &Rib, out: &mut Vec<u8>) {
     }
 }
 
+/// Magic for a multi-segment journal container (one `FXJ1` journal per
+/// RIB shard, concatenated): `FXS1  u32 count  (u32 len  bytes)*`.
+const SEG_MAGIC: &[u8; 4] = b"FXS1";
+
+/// Wrap per-shard journal byte blobs into one container blob (what a
+/// sharded master persists as its crash-recovery image).
+pub fn encode_segments(segments: &[Vec<u8>]) -> Vec<u8> {
+    let total: usize = segments.iter().map(|s| s.len() + 4).sum();
+    let mut out = Vec::with_capacity(8 + total);
+    out.extend_from_slice(SEG_MAGIC);
+    out.extend_from_slice(&(segments.len() as u32).to_be_bytes());
+    for seg in segments {
+        out.extend_from_slice(&(seg.len() as u32).to_be_bytes());
+        out.extend_from_slice(seg);
+    }
+    out
+}
+
+/// Split a container blob back into per-shard journal segments. A bare
+/// single-shard `FXJ1` journal (the pre-sharding format) parses as one
+/// segment, so old journal images still recover.
+pub fn split_segments(bytes: &[u8]) -> Result<Vec<&[u8]>> {
+    if bytes.starts_with(MAGIC) {
+        return Ok(vec![bytes]);
+    }
+    let mut buf = bytes;
+    let magic = take(&mut buf, 4)?;
+    if magic != SEG_MAGIC {
+        return Err(FlexError::Codec("journal magic mismatch".into()));
+    }
+    let count = take_u32(&mut buf)? as usize;
+    let mut segments = Vec::with_capacity(count.min(1024));
+    for _ in 0..count {
+        let len = take_u32(&mut buf)? as usize;
+        segments.push(take(&mut buf, len)?);
+    }
+    if !buf.is_empty() {
+        return Err(FlexError::Codec(
+            "journal container has trailing bytes".into(),
+        ));
+    }
+    Ok(segments)
+}
+
 /// Whether a message kind mutates the RIB when applied by the updater —
 /// i.e. whether it belongs in the delta journal.
 pub fn mutates_rib(msg: &FlexranMessage) -> bool {
@@ -544,6 +588,54 @@ mod tests {
             mutated[i] ^= 0x55;
             let _ = RibJournal::parse(&mutated);
         }
+    }
+
+    #[test]
+    fn segment_container_roundtrips() {
+        let mut rib = Rib::new();
+        let mut up = RibUpdater::new();
+        let mut j = RibJournal::new(1000);
+        populate(&mut rib, &mut up, &mut j);
+        let segs = vec![j.bytes(), RibJournal::new(4).bytes(), Vec::new()];
+        let blob = encode_segments(&segs);
+        let parts = split_segments(&blob).unwrap();
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[0], segs[0].as_slice());
+        assert_eq!(parts[1], segs[1].as_slice());
+        assert!(parts[2].is_empty());
+        // The first segment is a complete journal in its own right.
+        let state = RibJournal::parse(parts[0]).unwrap();
+        assert_eq!(rebuild(&state), rib);
+    }
+
+    #[test]
+    fn bare_journal_parses_as_one_segment() {
+        // Pre-sharding journal images (bare FXJ1) must keep recovering.
+        let j = RibJournal::new(8);
+        let bytes = j.bytes();
+        let parts = split_segments(&bytes).unwrap();
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0], bytes.as_slice());
+    }
+
+    #[test]
+    fn corrupt_containers_error_structurally() {
+        let blob = encode_segments(&[RibJournal::new(8).bytes()]);
+        assert!(split_segments(b"not a journal").is_err());
+        assert!(split_segments(&[]).is_err());
+        // Truncations and byte flips: error or a valid parse, never panic.
+        for cut in 0..blob.len() {
+            let _ = split_segments(&blob[..cut]);
+        }
+        for i in 0..blob.len() {
+            let mut mutated = blob.clone();
+            mutated[i] ^= 0x55;
+            let _ = split_segments(&mutated);
+        }
+        // Trailing garbage is corruption, not slack.
+        let mut padded = blob.clone();
+        padded.push(0);
+        assert!(split_segments(&padded).is_err());
     }
 
     #[test]

@@ -17,19 +17,27 @@
 //!   wall-clock accounting (Fig. 8's instrumentation), and real-time
 //!   pacing for TCP deployments.
 //! * [`journal`] — RIB durability: a snapshot + delta journal written at
-//!   each write cycle, and the recovery path that lets a restarted
-//!   master rebuild the RIB and reconcile via agent re-sync.
+//!   each write cycle (one segment per shard), and the recovery path
+//!   that lets a restarted master rebuild the RIB and reconcile via
+//!   agent re-sync.
+//! * [`shard`] — the partitioned control plane: per-agent (groupable)
+//!   RIB shards, each with its own single-writer updater and journal
+//!   segment, plus the typed cross-shard mailbox.
 
 pub mod journal;
 pub mod master;
 pub mod northbound;
 pub mod rib;
+pub mod shard;
 pub mod updater;
 
 pub use journal::{RecoveredState, RibJournal};
 pub use master::{
     CycleAccounting, CycleStats, MasterController, SessionLivenessStats, TaskManagerConfig,
 };
-pub use northbound::{App, AppRegistry, ConflictGuard, ControlHandle, Priority, RibView};
+pub use northbound::{
+    App, AppRegistry, ConflictGuard, ControlHandle, Northbound, Priority, RibView,
+};
 pub use rib::{AgentNode, CellNode, Rib, UeNode};
+pub use shard::{merged_rib, CrossShardMsg, RibShard, ShardSpec};
 pub use updater::{NotifiedEvent, RibUpdater};

@@ -1,13 +1,33 @@
-//! The FlexRAN master controller (paper §4.3.3).
+//! The FlexRAN master controller (paper §4.3.3), sharded.
 //!
-//! The master manages agent sessions, runs the single-writer RIB Updater,
-//! the Event Notification Service and the registered applications, paced
-//! by the Task Manager in cycles of one TTI split into two slots: first
-//! the RIB Updater, then the applications (the paper's 20 % / 80 %
-//! division — here the split is a budget rather than a pre-emption
-//! boundary, since neither slot ever approaches it in practice; the
-//! per-slot wall-clock times are recorded per cycle, which is exactly the
-//! data behind Fig. 8).
+//! The master manages agent sessions, runs the single-writer RIB Updater
+//! discipline, the Event Notification Service and the registered
+//! applications, paced by the Task Manager in cycles of one TTI split
+//! into two slots: first the RIB Updater, then the applications (the
+//! paper's 20 % / 80 % division — here the split is a budget rather than
+//! a pre-emption boundary, since neither slot ever approaches it in
+//! practice; the per-slot wall-clock times are recorded per cycle, which
+//! is exactly the data behind Fig. 8).
+//!
+//! Since the control-plane sharding (DESIGN.md §"Sharded control
+//! plane"), the RIB slot is partitioned over [`RibShard`]s: each shard
+//! owns a disjoint set of agents with their RIB subtrees, updater and
+//! journal segment, so a harness can fan shard slots out on its worker
+//! pool. A cycle is three steps:
+//!
+//! 1. [`MasterController::begin_cycle`] — serial: route limbo sessions
+//!    (attached but not yet hello'd) to their owning shards.
+//! 2. [`RibShard::run_rib_slot`] per shard — parallelizable: drain the
+//!    shard's sessions through its single writer.
+//! 3. [`MasterController::finish_cycle`] — serial barrier: merge the
+//!    shards' event streams in agent-index order, run the apps slot
+//!    against the shard-transparent [`Northbound`] facade, and route
+//!    staged commands (and cross-shard handover notices) through the
+//!    per-shard mailboxes.
+//!
+//! [`MasterController::run_cycle`] performs all three in order — the
+//! serial execution every existing caller gets, bit-identical to the
+//! fanned-out one.
 //!
 //! Two pacing modes (paper §4.3.3):
 //! * **virtual time** — [`MasterController::run_cycle`] is called once
@@ -19,19 +39,20 @@ use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
 use flexran_proto::messages::delegation::VsfPush;
-use flexran_proto::messages::events::EventKind;
 use flexran_proto::messages::stats::{ReportConfig, StatsRequest};
-use flexran_proto::messages::{EventNotification, FlexranMessage, Header, ResyncRequest};
+use flexran_proto::messages::{FlexranMessage, Header, ResyncRequest};
 use flexran_proto::transport::Transport;
 use flexran_proto::MessageCategory;
 use flexran_types::ids::EnbId;
 use flexran_types::time::Tti;
 use flexran_types::{FlexError, Result};
 
-use crate::journal::{mutates_rib, RibJournal};
-use crate::northbound::{App, AppRegistry, ConflictGuard, ControlHandle, RibView};
+use crate::journal::{encode_segments, split_segments, RibJournal};
+use crate::northbound::{App, AppRegistry, Northbound, RibView};
 use crate::rib::Rib;
-use crate::updater::{NotifiedEvent, RibUpdater};
+use crate::shard::{
+    merged_rib, CrossShardMsg, ReplayOp, RibShard, Session, ShardSpec, TaggedEvent,
+};
 
 /// Task Manager configuration.
 #[derive(Debug, Clone, Copy)]
@@ -49,9 +70,13 @@ pub struct TaskManagerConfig {
     pub liveness_timeout: u64,
     /// Write cycles between RIB journal snapshot rewrites (0 = journaling
     /// disabled). With journaling on, every RIB-mutating agent message and
-    /// every delegated-state send is appended to the journal, and
-    /// [`MasterController::recover`] can rebuild the RIB after a crash.
+    /// every delegated-state send is appended to the owning shard's
+    /// journal segment, and [`MasterController::recover`] can rebuild the
+    /// RIB after a crash.
     pub journal_snapshot_every: u64,
+    /// How agents are partitioned over RIB shards. `Auto` (the default)
+    /// is one shard — the classic serial master.
+    pub shards: ShardSpec,
 }
 
 impl Default for TaskManagerConfig {
@@ -61,6 +86,7 @@ impl Default for TaskManagerConfig {
             rib_slot_fraction: 0.2,
             liveness_timeout: 0,
             journal_snapshot_every: 0,
+            shards: ShardSpec::Auto,
         }
     }
 }
@@ -72,42 +98,6 @@ pub struct SessionLivenessStats {
     pub downs: u64,
     /// `AgentUp` edges (rejoins, including the replay of delegated state).
     pub ups: u64,
-}
-
-/// Delegated state the master replays to a rejoining agent, in original
-/// order (paper §4.3.2: the master, not the agent, owns policy intent).
-#[derive(Debug, Clone)]
-enum ReplayOp {
-    Stats(ReportConfig),
-    Vsf(VsfPush),
-    Policy(String),
-}
-
-impl ReplayOp {
-    fn to_message(&self) -> FlexranMessage {
-        match self {
-            ReplayOp::Stats(config) => {
-                FlexranMessage::StatsRequest(StatsRequest { config: *config })
-            }
-            ReplayOp::Vsf(push) => FlexranMessage::VsfPush(push.clone()),
-            ReplayOp::Policy(yaml) => FlexranMessage::PolicyReconfiguration(
-                flexran_proto::messages::PolicyReconfiguration { yaml: yaml.clone() },
-            ),
-        }
-    }
-
-    /// Inverse of [`ReplayOp::to_message`] — journal recovery turns the
-    /// persisted replay section back into ops. Non-delegation kinds in
-    /// the section are ignored (a corrupt-but-decodable journal must not
-    /// inject arbitrary commands).
-    fn from_message(msg: &FlexranMessage) -> Option<ReplayOp> {
-        match msg {
-            FlexranMessage::StatsRequest(r) => Some(ReplayOp::Stats(r.config)),
-            FlexranMessage::VsfPush(p) => Some(ReplayOp::Vsf(p.clone())),
-            FlexranMessage::PolicyReconfiguration(p) => Some(ReplayOp::Policy(p.yaml.clone())),
-            _ => None,
-        }
-    }
 }
 
 /// Wall-clock accounting of one cycle.
@@ -148,133 +138,186 @@ impl CycleAccounting {
     }
 }
 
-struct Session {
-    transport: Box<dyn Transport>,
-    enb_id: Option<EnbId>,
-    /// Master time of the last message from this agent (None = silent so
-    /// far; the timeout clock starts at the first message).
-    last_rx: Option<Tti>,
-    /// Session currently considered dead.
-    down: bool,
-    /// Delegated-state log replayed on rejoin.
-    replay: Vec<ReplayOp>,
-    /// Recovered-master sessions don't know which agent is on the other
-    /// end until a `Hello` arrives; the first pre-hello traffic triggers
-    /// one `ResyncRequest` nudge so agents that never noticed the outage
-    /// (shorter than their degraded threshold) still re-introduce
-    /// themselves and push full state.
-    needs_resync_nudge: bool,
-}
-
 /// The master controller.
 pub struct MasterController {
     config: TaskManagerConfig,
-    rib: Rib,
-    updater: RibUpdater,
-    sessions: Vec<Session>,
+    /// The partitioned control plane. Shard index is stable for the
+    /// master's lifetime; `owner` maps each known agent to its shard.
+    shards: Vec<RibShard>,
+    owner: BTreeMap<EnbId, usize>,
+    /// Attached sessions that have not introduced themselves yet — they
+    /// belong to no shard until their `Hello` names an agent.
+    limbo: Vec<Session>,
     apps: AppRegistry,
-    guard: ConflictGuard,
+    /// The shard-transparent northbound facade (apps-slot state: staged
+    /// commands, conflict claims, app-path transaction ids).
+    nb: Northbound,
     accounting: CycleAccounting,
-    liveness: SessionLivenessStats,
+    /// Management-path transaction ids (`send_to` and the limbo nudges).
     xid: u32,
     now: Tti,
-    /// RIB durability (None when `journal_snapshot_every` is 0).
-    journal: Option<RibJournal>,
     /// Delegated state recovered from the journal, owed to agents that
     /// have not re-introduced themselves since the restart. Adopted into
     /// the session (and replayed) when the agent's `Hello` arrives.
     pending_replay: BTreeMap<EnbId, Vec<ReplayOp>>,
     /// This incarnation was built by [`MasterController::recover`].
     recovered: bool,
+    /// Next session attach index (the shard-count-invariant global order
+    /// used for event merging and session-enumeration APIs).
+    next_global_idx: u32,
+    /// Handovers whose source and target agents live in different shards
+    /// (each also posts a [`CrossShardMsg::HandoverNotice`]).
+    cross_shard_handovers: u64,
+    /// RIB-slot stopwatch, armed by `begin_cycle`, read by `finish_cycle`.
+    cycle_start: Option<Instant>,
 }
 
 impl MasterController {
     pub fn new(config: TaskManagerConfig) -> Self {
+        let n = config.shards.initial_shards();
         MasterController {
             config,
-            rib: Rib::new(),
-            updater: RibUpdater::new(),
-            sessions: Vec::new(),
+            shards: (0..n).map(|i| RibShard::new(i, n, None, &config)).collect(),
+            owner: BTreeMap::new(),
+            limbo: Vec::new(),
             apps: AppRegistry::new(),
-            guard: ConflictGuard::new(),
+            nb: Northbound::new(),
             accounting: CycleAccounting::default(),
-            liveness: SessionLivenessStats::default(),
             xid: 0,
             now: Tti::ZERO,
-            journal: (config.journal_snapshot_every > 0)
-                .then(|| RibJournal::new(config.journal_snapshot_every)),
             pending_replay: BTreeMap::new(),
             recovered: false,
+            next_global_idx: 0,
+            cross_shard_handovers: 0,
+            cycle_start: None,
         }
     }
 
-    /// Rebuild a master from its journal after a crash. The snapshot and
-    /// delta records are replayed through the RIB Updater (the same
-    /// single writer that built the state originally), every recovered
-    /// agent subtree is marked stale at `now` — the data is a pre-crash
-    /// epoch until the agent re-syncs — and the persisted delegated state
-    /// is held pending, to be replayed when each agent's `Hello` arrives.
-    /// Agent transports must be re-attached via
-    /// [`MasterController::add_agent`]; sessions re-learn their identity
-    /// from the agents' hellos.
+    /// Rebuild a master from its journal after a crash. Each shard
+    /// segment's snapshot and delta records are replayed through the
+    /// owning shard's RIB Updater (the same single writer that built the
+    /// state originally), every recovered agent subtree is marked stale
+    /// at `now` — the data is a pre-crash epoch until the agent re-syncs
+    /// — and the persisted delegated state is held pending, to be
+    /// replayed when each agent's `Hello` arrives. Agent transports must
+    /// be re-attached via [`MasterController::add_agent`]; sessions
+    /// re-learn their identity from the agents' hellos. Accepts both the
+    /// sharded `FXS1` container and a bare pre-sharding `FXJ1` journal.
     pub fn recover(config: TaskManagerConfig, journal_bytes: &[u8], now: Tti) -> Result<Self> {
-        let state = RibJournal::parse(journal_bytes)?;
+        let segments = split_segments(journal_bytes)?;
+        let mut states = Vec::with_capacity(segments.len());
+        for seg in &segments {
+            states.push(RibJournal::parse(seg)?);
+        }
         let mut master = MasterController::new(config);
         master.now = now;
         master.recovered = true;
-        for r in &state.rib_records {
-            // A fresh RIB is writable until the first open_write_cycle,
-            // so replay needs no cycle bracketing (and recovery-time TTIs
-            // would violate the monotonic-epoch assertion anyway).
-            master.updater.apply(&mut master.rib, r.enb, &r.msg, r.tti);
-        }
-        let recovered_agents: Vec<EnbId> = master.rib.agents().map(|a| a.enb_id).collect();
-        for enb in recovered_agents {
-            master.updater.agent_down(&mut master.rib, enb, now);
-        }
-        for (enb, msgs) in &state.replay {
-            let ops: Vec<ReplayOp> = msgs.iter().filter_map(ReplayOp::from_message).collect();
-            if !ops.is_empty() {
-                master.pending_replay.insert(*enb, ops);
+        for state in &states {
+            for r in &state.rib_records {
+                // Records route by agent id, so a journal written under
+                // one shard spec recovers correctly under another. A
+                // fresh shard RIB is writable until its first
+                // open_write_cycle, so replay needs no cycle bracketing
+                // (and recovery-time TTIs would violate the
+                // monotonic-epoch assertion anyway).
+                let idx = master.assign_owner(r.enb);
+                let Some(shard) = master.shards.get_mut(idx) else {
+                    continue;
+                };
+                shard.updater.apply(&mut shard.rib, r.enb, &r.msg, r.tti);
             }
         }
-        if let Some(journal) = master.journal.as_mut() {
-            journal.seed_replay(&state);
-            journal.compact(&master.rib);
+        for shard in &mut master.shards {
+            let recovered_agents: Vec<EnbId> = shard.rib.agents().map(|a| a.enb_id).collect();
+            for enb in recovered_agents {
+                shard.updater.agent_down(&mut shard.rib, enb, now);
+            }
+        }
+        for state in &states {
+            for (enb, msgs) in &state.replay {
+                let ops: Vec<ReplayOp> = msgs.iter().filter_map(ReplayOp::from_message).collect();
+                if !ops.is_empty() {
+                    master.pending_replay.entry(*enb).or_default().extend(ops);
+                }
+                // Seed the owning shard's journal so a twice-crashed
+                // master still owes its agents the same delegated state.
+                let idx = master.assign_owner(*enb);
+                let Some(shard) = master.shards.get_mut(idx) else {
+                    continue;
+                };
+                if let Some(journal) = shard.journal.as_mut() {
+                    for msg in msgs {
+                        journal.record_replay(*enb, msg);
+                    }
+                }
+            }
+        }
+        for shard in &mut master.shards {
+            if let Some(journal) = shard.journal.as_mut() {
+                journal.compact(&shard.rib);
+            }
         }
         Ok(master)
     }
 
     /// Serialized journal of this incarnation, if journaling is on (what
     /// a deployment would keep fsynced; the sim harness carries it across
-    /// a simulated crash).
+    /// a simulated crash). One segment per shard, in shard-index order.
     pub fn journal_bytes(&self) -> Option<Vec<u8>> {
-        self.journal.as_ref().map(|j| j.bytes())
+        if self.config.journal_snapshot_every == 0 {
+            return None;
+        }
+        let segments: Vec<Vec<u8>> = self
+            .shards
+            .iter()
+            .filter_map(|s| s.journal.as_ref().map(|j| j.bytes()))
+            .collect();
+        Some(encode_segments(&segments))
     }
 
-    /// Journal compaction count (diagnostics / tests).
+    /// Journal compaction count across all shard segments (diagnostics).
     pub fn journal_compactions(&self) -> Option<u64> {
-        self.journal.as_ref().map(|j| j.compactions())
+        if self.config.journal_snapshot_every == 0 {
+            return None;
+        }
+        Some(
+            self.shards
+                .iter()
+                .filter_map(|s| s.journal.as_ref().map(|j| j.compactions()))
+                .sum(),
+        )
     }
 
-    /// Detach all session transports, in session order. Used by crash
+    /// Detach all session transports, in attach order. Used by crash
     /// harnesses: the links outlive the master process, the sessions do
     /// not.
     pub fn take_transports(&mut self) -> Vec<Box<dyn Transport>> {
-        self.sessions.drain(..).map(|s| s.transport).collect()
+        let mut all: Vec<(u32, Box<dyn Transport>)> = self
+            .limbo
+            .drain(..)
+            .map(|s| (s.global_idx, s.transport))
+            .collect();
+        for shard in &mut self.shards {
+            all.extend(
+                shard
+                    .sessions
+                    .drain(..)
+                    .map(|s| (s.global_idx, s.transport)),
+            );
+        }
+        all.sort_by_key(|(idx, _)| *idx);
+        all.into_iter().map(|(_, t)| t).collect()
     }
 
-    /// Attach an agent session (any transport).
+    /// Attach an agent session (any transport). The session sits in
+    /// limbo until its `Hello` names an agent, which routes it to the
+    /// owning shard. Returns the session's attach index.
     pub fn add_agent(&mut self, transport: Box<dyn Transport>) -> usize {
-        self.sessions.push(Session {
-            transport,
-            enb_id: None,
-            last_rx: None,
-            down: false,
-            replay: Vec::new(),
-            needs_resync_nudge: self.recovered,
-        });
-        self.sessions.len() - 1
+        let idx = self.next_global_idx;
+        self.next_global_idx += 1;
+        self.limbo
+            .push(Session::new(transport, idx, self.recovered));
+        idx as usize
     }
 
     /// Register a northbound application.
@@ -282,8 +325,44 @@ impl MasterController {
         self.apps.register(app);
     }
 
-    pub fn rib(&self) -> &Rib {
-        &self.rib
+    /// Shard-transparent read view over the whole control plane (what
+    /// the apps slot sees).
+    pub fn view(&self) -> RibView<'_> {
+        RibView::sharded(self.now, &self.shards)
+    }
+
+    /// Clone-merge the shard forests into one owned RIB snapshot
+    /// (recovery golden tests, debug digests, diagnostics — not a hot
+    /// path; readers on the hot path use [`MasterController::view`]).
+    pub fn merged_rib(&self) -> Rib {
+        merged_rib(&self.shards)
+    }
+
+    /// The RIB shards, in shard-index order.
+    pub fn shards(&self) -> &[RibShard] {
+        &self.shards
+    }
+
+    /// Mutable shard access for harnesses that fan the per-shard RIB
+    /// slots out on a worker pool between [`MasterController::begin_cycle`]
+    /// and [`MasterController::finish_cycle`].
+    pub fn shards_mut(&mut self) -> &mut [RibShard] {
+        &mut self.shards
+    }
+
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Which shard owns `enb`, if the agent is known.
+    pub fn shard_of(&self, enb: EnbId) -> Option<usize> {
+        self.owner.get(&enb).copied()
+    }
+
+    /// Handovers observed whose source and target agents live in
+    /// different shards (zero in single-shard runs by construction).
+    pub fn cross_shard_handovers(&self) -> u64 {
+        self.cross_shard_handovers
     }
 
     pub fn accounting(&self) -> CycleAccounting {
@@ -291,29 +370,54 @@ impl MasterController {
     }
 
     pub fn conflicts(&self) -> u64 {
-        self.guard.conflicts
+        self.nb.conflicts()
     }
 
     pub fn app_names(&self) -> Vec<String> {
         self.apps.names()
     }
 
-    /// Known agents, in session order.
+    /// Known agents, in session attach order.
     pub fn connected_agents(&self) -> Vec<EnbId> {
-        self.sessions.iter().filter_map(|s| s.enb_id).collect()
+        let mut known: Vec<(u32, EnbId)> = self
+            .shards
+            .iter()
+            .flat_map(|shard| {
+                shard
+                    .sessions
+                    .iter()
+                    .filter_map(|s| s.enb_id.map(|e| (s.global_idx, e)))
+            })
+            .collect();
+        known.sort_by_key(|(idx, _)| *idx);
+        known.into_iter().map(|(_, e)| e).collect()
     }
 
     /// Agents whose sessions are currently considered down.
     pub fn downed_agents(&self) -> Vec<EnbId> {
-        self.sessions
+        let mut down: Vec<(u32, EnbId)> = self
+            .shards
             .iter()
-            .filter(|s| s.down)
-            .filter_map(|s| s.enb_id)
-            .collect()
+            .flat_map(|shard| {
+                shard
+                    .sessions
+                    .iter()
+                    .filter(|s| s.down)
+                    .filter_map(|s| s.enb_id.map(|e| (s.global_idx, e)))
+            })
+            .collect();
+        down.sort_by_key(|(idx, _)| *idx);
+        down.into_iter().map(|(_, e)| e).collect()
     }
 
+    /// Liveness counters, summed over shards.
     pub fn liveness_stats(&self) -> SessionLivenessStats {
-        self.liveness
+        let mut total = SessionLivenessStats::default();
+        for shard in &self.shards {
+            total.downs += shard.liveness.downs;
+            total.ups += shard.liveness.ups;
+        }
+        total
     }
 
     /// Messages of one category sent so far on the session towards
@@ -322,8 +426,9 @@ impl MasterController {
     /// conservation checks ("every command the master sent is accounted
     /// for at the agent"), e.g. the chaos-engine oracles.
     pub fn session_tx_messages(&self, enb: EnbId, cat: MessageCategory) -> Option<u64> {
-        self.sessions
+        self.shards
             .iter()
+            .flat_map(|shard| shard.sessions.iter())
             .find(|s| s.enb_id == Some(enb))
             .map(|s| s.transport.tx_counters().messages(cat))
     }
@@ -337,8 +442,9 @@ impl MasterController {
     pub fn send_to(&mut self, enb: EnbId, msg: FlexranMessage) -> Result<u32> {
         let xid = self.next_xid();
         let session = self
-            .sessions
+            .shards
             .iter_mut()
+            .flat_map(|shard| shard.sessions.iter_mut())
             .find(|s| s.enb_id == Some(enb))
             .ok_or_else(|| FlexError::NotFound(format!("no session for {enb}")))?;
         session.transport.send(Header::with_xid(xid), &msg)?;
@@ -346,10 +452,16 @@ impl MasterController {
     }
 
     fn record_replay(&mut self, enb: EnbId, op: ReplayOp) {
-        if let Some(journal) = self.journal.as_mut() {
+        let Some(&idx) = self.owner.get(&enb) else {
+            return;
+        };
+        let Some(shard) = self.shards.get_mut(idx) else {
+            return;
+        };
+        if let Some(journal) = shard.journal.as_mut() {
             journal.record_replay(enb, &op.to_message());
         }
-        if let Some(session) = self.sessions.iter_mut().find(|s| s.enb_id == Some(enb)) {
+        if let Some(session) = shard.sessions.iter_mut().find(|s| s.enb_id == Some(enb)) {
             session.replay.push(op);
         }
     }
@@ -384,183 +496,193 @@ impl MasterController {
         Ok(xid)
     }
 
-    fn liveness_event(enb: EnbId, kind: EventKind, now: Tti) -> NotifiedEvent {
-        NotifiedEvent {
-            enb,
-            notification: EventNotification {
-                enb_id: enb,
-                kind,
-                tti: now.0,
-                ..EventNotification::default()
-            },
-            received: now,
+    /// The shard an agent routes to under the configured spec, creating
+    /// it on first sight (`PerAgent`). Idempotent per agent.
+    fn assign_owner(&mut self, enb: EnbId) -> usize {
+        if let Some(&idx) = self.owner.get(&enb) {
+            return idx;
         }
+        let idx = match self.config.shards {
+            ShardSpec::Auto => 0,
+            ShardSpec::Fixed(n) => enb.0 as usize % n.max(1),
+            ShardSpec::PerAgent => {
+                let idx = self.shards.len();
+                self.shards
+                    .push(RibShard::new(idx, idx + 1, Some(enb), &self.config));
+                idx
+            }
+        };
+        self.owner.insert(enb, idx);
+        idx
     }
 
-    /// Run one Task Manager cycle at master time `now`.
-    pub fn run_cycle(&mut self, now: Tti) -> CycleStats {
+    /// Serial cycle front: arm the RIB-slot stopwatch and route limbo
+    /// sessions whose `Hello` arrived to their owning shards (the hello
+    /// itself rides along in the session's carryover queue, so the shard
+    /// folds it through its own single writer this same cycle).
+    pub fn begin_cycle(&mut self, now: Tti) {
         self.now = now;
-        // --------------------------- RIB slot ---------------------------
         // Wall-clock here only *measures* the slot (Fig. 8 accounting);
         // it never influences scheduling decisions.
         // lint:allow(wall-clock)
-        let rib_start = Instant::now();
-        self.rib.open_write_cycle(now);
-        let mut events: Vec<NotifiedEvent> = Vec::new();
-        let mut rejoined: Vec<usize> = Vec::new();
-        for (idx, session) in self.sessions.iter_mut().enumerate() {
-            loop {
-                match session.transport.try_recv() {
-                    Ok(Some((header, msg))) => {
-                        session.last_rx = Some(now);
-                        if session.down {
-                            session.down = false;
-                            rejoined.push(idx);
-                        }
-                        if let FlexranMessage::Heartbeat(h) = &msg {
-                            // Session-level probe: mirror it back even
-                            // before the agent has introduced itself.
-                            let _ = session
-                                .transport
-                                .send(header, &FlexranMessage::HeartbeatAck(*h));
-                        }
-                        if let FlexranMessage::Hello(h) = &msg {
-                            session.enb_id = Some(h.enb_id);
-                            session.needs_resync_nudge = false;
-                            // A recovered master owes this agent its
-                            // pre-crash delegated state: adopt it into
-                            // the session and run the rejoin path, which
-                            // also clears the staleness epoch recovery
-                            // opened.
-                            if let Some(ops) = self.pending_replay.remove(&h.enb_id) {
-                                session.replay = ops;
-                                if !rejoined.contains(&idx) {
-                                    rejoined.push(idx);
-                                }
-                            }
-                        }
-                        let Some(enb) = session.enb_id else {
-                            // Pre-hello traffic carries no identity; it is
-                            // not folded into the RIB. On a recovered
-                            // master it still proves an agent is on this
-                            // transport, so nudge it (once) to
-                            // re-introduce itself and push full state.
-                            if session.needs_resync_nudge {
-                                session.needs_resync_nudge = false;
-                                self.xid = self.xid.wrapping_add(1);
-                                let _ = session.transport.send(
-                                    Header::with_xid(self.xid),
-                                    &FlexranMessage::ResyncRequest(ResyncRequest {
-                                        enb_id: EnbId(0),
-                                        since_tti: 0,
-                                    }),
-                                );
-                            }
-                            continue;
-                        };
-                        if let Some(ev) = self.updater.apply(&mut self.rib, enb, &msg, now) {
-                            events.push(ev);
-                        }
-                        if let Some(journal) = self.journal.as_mut() {
-                            if mutates_rib(&msg) {
-                                journal.record_delta(enb, now, &msg);
-                            }
-                        }
-                    }
-                    Ok(None) => break,
-                    Err(_) => break,
-                }
-            }
-        }
-        // Rejoins: mark the subtree fresh again and replay delegated
-        // state so the agent converges back to the pre-outage policy.
-        for idx in rejoined {
-            let Some((enb, replay)) = self
-                .sessions
-                .get(idx)
-                .and_then(|s| s.enb_id.map(|enb| (enb, s.replay.clone())))
-            else {
-                continue;
-            };
-            // The master's view of the agent predates the outage: ask for
-            // a full state re-sync (fresh ConfigReply + all-flags
-            // StatsReply) before replaying delegated state, so both sides
-            // converge from a known-good base. After a master crash this
-            // is the reconciliation leg of recovery.
-            let since_tti = self
-                .rib
-                .agent(enb)
-                .and_then(|a| a.synced_subframe())
-                .map(|t| t.0)
-                .unwrap_or(0);
-            self.updater.agent_rejoined(&mut self.rib, enb);
-            self.liveness.ups += 1;
-            events.push(Self::liveness_event(enb, EventKind::AgentUp, now));
-            let Some(session) = self.sessions.get_mut(idx) else {
-                continue;
-            };
-            self.xid = self.xid.wrapping_add(1);
-            let _ = session.transport.send(
-                Header::with_xid(self.xid),
-                &FlexranMessage::ResyncRequest(ResyncRequest {
-                    enb_id: enb,
-                    since_tti,
-                }),
-            );
-            for op in replay {
-                self.xid = self.xid.wrapping_add(1);
-                let header = Header::with_xid(self.xid);
-                let _ = session.transport.send(header, &op.to_message());
-            }
-        }
-        // Down detection: sessions silent past the timeout get their RIB
-        // subtree marked stale (a timestamped epoch — not deleted) and an
-        // AgentDown event.
-        if self.config.liveness_timeout > 0 {
-            for session in &mut self.sessions {
-                let (Some(enb), Some(last_rx)) = (session.enb_id, session.last_rx) else {
-                    continue;
+        self.cycle_start = Some(Instant::now());
+        let mut i = 0;
+        while i < self.limbo.len() {
+            let mut routed: Option<EnbId> = None;
+            {
+                let Some(session) = self.limbo.get_mut(i) else {
+                    break;
                 };
-                if !session.down && now.0.saturating_sub(last_rx.0) >= self.config.liveness_timeout
-                {
-                    session.down = true;
-                    self.updater.agent_down(&mut self.rib, enb, now);
-                    self.liveness.downs += 1;
-                    events.push(Self::liveness_event(enb, EventKind::AgentDown, now));
+                while let Ok(Some((header, msg))) = session.transport.try_recv() {
+                    session.last_rx = Some(now);
+                    if let FlexranMessage::Heartbeat(h) = &msg {
+                        // Session-level probe: mirror it back even before
+                        // the agent has introduced itself.
+                        let _ = session
+                            .transport
+                            .send(header, &FlexranMessage::HeartbeatAck(*h));
+                    }
+                    if let FlexranMessage::Hello(h) = &msg {
+                        // Identity learned: hand the session (hello
+                        // first) to the owning shard; it drains the rest
+                        // of the queue there this cycle.
+                        routed = Some(h.enb_id);
+                        session.carryover.push_back((header, msg));
+                        break;
+                    }
+                    // Pre-hello traffic carries no identity and is not
+                    // folded into any RIB. On a recovered master it still
+                    // proves an agent is on this transport, so nudge it
+                    // (paced, retried until the `Hello` lands) to
+                    // re-introduce itself and push full state.
+                    if session.take_nudge(now) {
+                        self.xid = self.xid.wrapping_add(1);
+                        let _ = session.transport.send(
+                            Header::with_xid(self.xid),
+                            &FlexranMessage::ResyncRequest(ResyncRequest {
+                                enb_id: EnbId(0),
+                                since_tti: 0,
+                            }),
+                        );
+                    }
+                }
+            }
+            let Some(enb) = routed else {
+                i += 1;
+                continue;
+            };
+            let mut session = self.limbo.remove(i);
+            // A recovered master owes this agent its pre-crash delegated
+            // state: adopt it into the session and flag the rejoin path,
+            // which also clears the staleness epoch recovery opened.
+            if let Some(ops) = self.pending_replay.remove(&enb) {
+                session.replay = ops;
+                session.rejoin_pending = true;
+            }
+            let idx = self.assign_owner(enb);
+            if let Some(shard) = self.shards.get_mut(idx) {
+                shard.sessions.push(session);
+            }
+        }
+    }
+
+    /// Move sessions a shard disowned (an agent restart re-hello'd with
+    /// an identity the shard does not own) to their owning shards. The
+    /// parked hello rides in the carryover queue and is folded by the
+    /// new owner next cycle.
+    fn rehome_sessions(&mut self) {
+        let mut moving: Vec<(EnbId, Session)> = Vec::new();
+        for shard in &mut self.shards {
+            let mut i = 0;
+            while i < shard.sessions.len() {
+                let rehome = shard.sessions.get(i).and_then(|s| s.rehome_to);
+                if rehome.is_some() {
+                    let mut session = shard.sessions.remove(i);
+                    session.enb_id = None;
+                    if let Some(enb) = session.rehome_to.take() {
+                        moving.push((enb, session));
+                    }
+                } else {
+                    i += 1;
                 }
             }
         }
-        // Durability point: the write cycle's deltas are already
-        // journaled; rewrite the snapshot on the compaction schedule so
-        // journal memory stays bounded by RIB size.
-        if let Some(journal) = self.journal.as_mut() {
-            journal.on_write_cycle(&self.rib);
+        for (enb, session) in moving {
+            let idx = self.assign_owner(enb);
+            if let Some(shard) = self.shards.get_mut(idx) {
+                shard.sessions.push(session);
+            }
         }
-        // The RIB slot is over: the single writer's window closes, and
-        // (under `debug-invariants`) any app-slot mutation now asserts.
-        self.rib.close_write_cycle();
-        let rib_slot = rib_start.elapsed();
+    }
+
+    /// Serial barrier after the per-shard RIB slots: merge the shards'
+    /// event streams (agent-index order — bit-identical to the old
+    /// serial loop for every shard count), run the apps slot against the
+    /// shard-transparent facade, route staged commands through the
+    /// cross-shard mailboxes, and account the cycle.
+    pub fn finish_cycle(&mut self, now: Tti) -> CycleStats {
+        self.rehome_sessions();
+        let rib_slot = self
+            .cycle_start
+            .take()
+            .map(|s| s.elapsed())
+            .unwrap_or_default();
 
         // --------------------------- Apps slot --------------------------
         // Measurement only, as above. lint:allow(wall-clock)
         let apps_start = Instant::now();
-        let mut outbox: Vec<(EnbId, Header, FlexranMessage)> = Vec::new();
+        let mut events: Vec<TaggedEvent> = Vec::new();
+        for shard in &mut self.shards {
+            events.append(&mut shard.events);
+        }
+        // The deterministic merge: drain events first (per-session order
+        // within), then rejoins, then downs — each phase in global
+        // session-attach order, exactly the serial loop's emission order.
+        events.sort_by_key(|e| (e.phase, e.order));
         for app in self.apps.iter_mut() {
-            let view = RibView::new(now, &self.rib);
-            let mut ctl = ControlHandle::new(&mut outbox, &mut self.guard, &mut self.xid);
+            let view = RibView::sharded(now, &self.shards);
+            let mut ctl = self.nb.control();
             for ev in &events {
-                app.on_event(ev, &view, &mut ctl);
+                app.on_event(&ev.event, &view, &mut ctl);
             }
             app.on_cycle(&view, &mut ctl);
         }
-        // Dispatch staged commands.
-        for (enb, header, msg) in outbox {
-            if let Some(session) = self.sessions.iter_mut().find(|s| s.enb_id == Some(enb)) {
-                let _ = session.transport.send(header, &msg);
+        // Route staged commands to the owning shards' mailboxes. A
+        // handover whose target agent lives in another shard additionally
+        // posts a coordination notice to that shard.
+        for (enb, header, msg) in self.nb.take_staged() {
+            if let FlexranMessage::HandoverCommand(cmd) = &msg {
+                let src = self.owner.get(&enb).copied();
+                let dst = self.owner.get(&EnbId(cmd.target_enb)).copied();
+                if let (Some(src), Some(dst)) = (src, dst) {
+                    if src != dst {
+                        self.cross_shard_handovers += 1;
+                        if let Some(shard) = self.shards.get_mut(dst) {
+                            shard.mailbox.push(CrossShardMsg::HandoverNotice {
+                                from: enb,
+                                to: EnbId(cmd.target_enb),
+                            });
+                        }
+                    }
+                }
+            }
+            let Some(&idx) = self.owner.get(&enb) else {
+                // No session ever introduced itself as this agent — the
+                // command has nowhere to go (same as the pre-sharding
+                // dispatch loop).
+                continue;
+            };
+            if let Some(shard) = self.shards.get_mut(idx) {
+                shard
+                    .mailbox
+                    .push(CrossShardMsg::Command { enb, header, msg });
             }
         }
+        for shard in &mut self.shards {
+            shard.drain_mailbox();
+        }
         // Old scheduling claims can never conflict again.
-        self.guard.expire_before(Tti(now.0.saturating_sub(200)));
+        self.nb.expire_claims_before(Tti(now.0.saturating_sub(200)));
         let apps_slot = apps_start.elapsed();
 
         self.accounting.cycles += 1;
@@ -570,6 +692,19 @@ impl MasterController {
             rib_slot,
             apps_slot,
         }
+    }
+
+    /// Run one Task Manager cycle at master time `now`, serially:
+    /// `begin_cycle`, every shard's RIB slot in shard-index order, then
+    /// `finish_cycle`. Harnesses with a worker pool may instead fan the
+    /// shard slots out between the two serial halves — the result is
+    /// bit-identical.
+    pub fn run_cycle(&mut self, now: Tti) -> CycleStats {
+        self.begin_cycle(now);
+        for shard in &mut self.shards {
+            shard.run_rib_slot(now);
+        }
+        self.finish_cycle(now)
     }
 
     /// Real-time mode: run cycles paced at the configured TTI duration
@@ -628,6 +763,9 @@ fn sign_push_compat(push: &mut VsfPush) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::northbound::ControlHandle;
+    use crate::shard::RESYNC_NUDGE_PERIOD;
+    use crate::updater::NotifiedEvent;
     use flexran_proto::messages::Hello;
     use flexran_proto::transport::channel_pair;
 
@@ -648,7 +786,8 @@ mod tests {
             .unwrap();
         master.run_cycle(Tti(0));
         assert_eq!(master.connected_agents(), vec![EnbId(7)]);
-        assert!(master.rib().agent(EnbId(7)).is_some());
+        assert!(master.view().agent(EnbId(7)).is_some());
+        assert_eq!(master.shard_of(EnbId(7)), Some(0));
         // Messages to unknown agents error.
         assert!(master
             .send_to(EnbId(9), FlexranMessage::EchoRequest(Default::default()))
@@ -658,6 +797,88 @@ mod tests {
             .send_to(EnbId(7), FlexranMessage::EchoRequest(Default::default()))
             .unwrap();
         assert!(agent_side.try_recv().unwrap().is_some());
+    }
+
+    #[test]
+    fn fixed_sharding_partitions_agents_by_id() {
+        let mut master = MasterController::new(TaskManagerConfig {
+            shards: ShardSpec::Fixed(2),
+            ..TaskManagerConfig::default()
+        });
+        assert_eq!(master.n_shards(), 2);
+        let mut agent_sides = Vec::new();
+        for i in 1..=3u32 {
+            let (mut agent_side, master_side) = channel_pair();
+            master.add_agent(Box::new(master_side));
+            agent_side
+                .send(
+                    Header::default(),
+                    &FlexranMessage::Hello(Hello {
+                        enb_id: EnbId(i),
+                        n_cells: 1,
+                        capabilities: vec![],
+                    }),
+                )
+                .unwrap();
+            agent_sides.push(agent_side);
+        }
+        master.run_cycle(Tti(0));
+        // Attach order is preserved across shards; ownership is id mod n.
+        assert_eq!(
+            master.connected_agents(),
+            vec![EnbId(1), EnbId(2), EnbId(3)]
+        );
+        assert_eq!(master.shard_of(EnbId(1)), Some(1));
+        assert_eq!(master.shard_of(EnbId(2)), Some(0));
+        assert_eq!(master.shard_of(EnbId(3)), Some(1));
+        // Each agent's subtree lives in exactly its owner's shard.
+        for (enb, owner) in [(EnbId(1), 1), (EnbId(2), 0), (EnbId(3), 1)] {
+            for (idx, shard) in master.shards().iter().enumerate() {
+                assert_eq!(
+                    shard.rib().agent(enb).is_some(),
+                    idx == owner,
+                    "agent {enb} must be resident only in shard {owner}"
+                );
+            }
+        }
+        // The shard-transparent view sees the union.
+        assert_eq!(master.view().n_agents(), 3);
+        assert_eq!(master.merged_rib().n_agents(), 3);
+        // Management sends still route by agent id.
+        master
+            .send_to(EnbId(2), FlexranMessage::EchoRequest(Default::default()))
+            .unwrap();
+        assert!(agent_sides[1].try_recv().unwrap().is_some());
+    }
+
+    #[test]
+    fn per_agent_sharding_allocates_on_hello() {
+        let mut master = MasterController::new(TaskManagerConfig {
+            shards: ShardSpec::PerAgent,
+            ..TaskManagerConfig::default()
+        });
+        assert_eq!(master.n_shards(), 0);
+        let mut links = Vec::new();
+        for i in [5u32, 9] {
+            let (mut agent_side, master_side) = channel_pair();
+            master.add_agent(Box::new(master_side));
+            agent_side
+                .send(
+                    Header::default(),
+                    &FlexranMessage::Hello(Hello {
+                        enb_id: EnbId(i),
+                        n_cells: 1,
+                        capabilities: vec![],
+                    }),
+                )
+                .unwrap();
+            master.run_cycle(Tti(i as u64));
+            links.push(agent_side);
+        }
+        assert_eq!(master.n_shards(), 2);
+        assert_eq!(master.shard_of(EnbId(5)), Some(0));
+        assert_eq!(master.shard_of(EnbId(9)), Some(1));
+        assert_eq!(master.view().n_agents(), 2);
     }
 
     #[test]
@@ -774,7 +995,8 @@ mod tests {
         }
         assert_eq!(master.downed_agents(), vec![EnbId(3)]);
         assert_eq!(master.liveness_stats().downs, 1);
-        let agent = master.rib().agent(EnbId(3)).unwrap();
+        let rib = master.merged_rib();
+        let agent = rib.agent(EnbId(3)).unwrap();
         assert!(agent.is_stale());
         assert_eq!(agent.stale_since, Some(Tti(20)));
         // A heartbeat from the agent → up edge, ack, and state replay.
@@ -787,7 +1009,7 @@ mod tests {
         master.run_cycle(Tti(26));
         assert!(master.downed_agents().is_empty());
         assert_eq!(master.liveness_stats().ups, 1);
-        assert!(!master.rib().agent(EnbId(3)).unwrap().is_stale());
+        assert!(!master.view().is_stale(EnbId(3)));
         let mut kinds = Vec::new();
         while let Ok(Some((_, m))) = agent_side.try_recv() {
             kinds.push(m.kind().to_string());
@@ -854,7 +1076,7 @@ mod tests {
             master.run_cycle(Tti(t));
         }
         assert!(master.journal_compactions().unwrap() >= 1);
-        let pre_crash_rib = master.rib().clone();
+        let pre_crash_rib = master.merged_rib();
         let journal = master.journal_bytes().unwrap();
         let transports = master.take_transports();
         drop(master); // the crash
@@ -864,25 +1086,24 @@ mod tests {
             master.add_agent(t);
         }
         // The forest is back, but stale: it is a pre-crash epoch.
-        assert_eq!(master.rib().n_ues(), 1);
-        let agent = master.rib().agent(EnbId(5)).unwrap();
+        let rib = master.merged_rib();
+        assert_eq!(rib.n_ues(), 1);
+        let agent = rib.agent(EnbId(5)).unwrap();
         assert!(agent.is_stale());
         assert_eq!(agent.stale_since, Some(Tti(50)));
         assert_eq!(
-            master
-                .rib()
-                .ue(
-                    EnbId(5),
-                    flexran_types::ids::CellId(0),
-                    flexran_types::ids::Rnti(0x100)
-                )
-                .unwrap()
-                .report
-                .wideband_cqi,
+            rib.ue(
+                EnbId(5),
+                flexran_types::ids::CellId(0),
+                flexran_types::ids::Rnti(0x100)
+            )
+            .unwrap()
+            .report
+            .wideband_cqi,
             13
         );
         {
-            let mut recovered = master.rib().clone();
+            let mut recovered = master.merged_rib();
             recovered.agent_mut(EnbId(5)).mark_fresh();
             assert_eq!(
                 recovered, pre_crash_rib,
@@ -916,7 +1137,7 @@ mod tests {
             )
             .unwrap();
         master.run_cycle(Tti(52));
-        assert!(!master.rib().agent(EnbId(5)).unwrap().is_stale());
+        assert!(!master.view().is_stale(EnbId(5)));
         assert_eq!(master.liveness_stats().ups, 1);
         let mut kinds = Vec::new();
         while let Ok(Some((_, m))) = agent_side.try_recv() {
@@ -927,6 +1148,149 @@ mod tests {
             vec!["resync-request", "stats-request"],
             "rejoin re-sync plus the journal-recovered subscription"
         );
+    }
+
+    #[test]
+    fn recovery_nudge_is_retried_until_the_hello_lands() {
+        // The resync nudge — or the Hello it provokes — can be lost on a
+        // faulty link. A one-shot nudge would then strand the agent: it
+        // keeps heartbeating (and believes it is connected, since limbo
+        // acks probes), but its subtree stays a stale pre-crash epoch
+        // forever. The nudge must re-arm while the session is pre-hello.
+        let config = TaskManagerConfig {
+            journal_snapshot_every: 4,
+            ..TaskManagerConfig::default()
+        };
+        let mut master = MasterController::new(config);
+        let (mut agent_side, master_side) = channel_pair();
+        master.add_agent(Box::new(master_side));
+        agent_side
+            .send(
+                Header::default(),
+                &FlexranMessage::Hello(Hello {
+                    enb_id: EnbId(5),
+                    n_cells: 1,
+                    capabilities: vec![],
+                }),
+            )
+            .unwrap();
+        master.run_cycle(Tti(0));
+        master
+            .request_stats(
+                EnbId(5),
+                flexran_proto::messages::stats::ReportConfig::default(),
+            )
+            .unwrap();
+        master.run_cycle(Tti(1));
+        let journal = master.journal_bytes().unwrap();
+        let transports = master.take_transports();
+        drop(master); // the crash
+
+        let mut master = MasterController::recover(config, &journal, Tti(50)).unwrap();
+        for t in transports {
+            master.add_agent(t);
+        }
+        while agent_side.try_recv().unwrap().is_some() {}
+        // The agent heartbeats but its Hello "keeps getting lost": the
+        // master re-solicits it every RESYNC_NUDGE_PERIOD TTIs.
+        let mut nudges = 0;
+        for t in (51..=121).step_by(10) {
+            agent_side
+                .send(
+                    Header::with_xid(1),
+                    &FlexranMessage::Heartbeat(flexran_proto::messages::Heartbeat {
+                        seq: t,
+                        tti: t,
+                    }),
+                )
+                .unwrap();
+            master.run_cycle(Tti(t));
+            while let Ok(Some((_, m))) = agent_side.try_recv() {
+                if m.kind() == "resync-request" {
+                    nudges += 1;
+                }
+            }
+        }
+        assert!(
+            (2..=4).contains(&nudges),
+            "paced retries while pre-hello (one per {RESYNC_NUDGE_PERIOD} TTIs), got {nudges}"
+        );
+        assert!(master.view().is_stale(EnbId(5)));
+        // A Hello that finally lands ends the solicitation.
+        agent_side
+            .send(
+                Header::default(),
+                &FlexranMessage::Hello(Hello {
+                    enb_id: EnbId(5),
+                    n_cells: 1,
+                    capabilities: vec![],
+                }),
+            )
+            .unwrap();
+        master.run_cycle(Tti(130));
+        assert!(!master.view().is_stale(EnbId(5)));
+        while agent_side.try_recv().unwrap().is_some() {}
+        agent_side
+            .send(
+                Header::with_xid(1),
+                &FlexranMessage::Heartbeat(flexran_proto::messages::Heartbeat {
+                    seq: 131,
+                    tti: 131,
+                }),
+            )
+            .unwrap();
+        master.run_cycle(Tti(131));
+        let mut kinds = Vec::new();
+        while let Ok(Some((_, m))) = agent_side.try_recv() {
+            kinds.push(m.kind().to_string());
+        }
+        assert_eq!(kinds, vec!["heartbeat-ack"], "no nudges after the hello");
+    }
+
+    #[test]
+    fn sharded_journal_recovers_under_a_different_spec() {
+        // Write the journal under Fixed(2); recover under Auto. Records
+        // route by agent id, so the image is spec-portable.
+        let write_config = TaskManagerConfig {
+            journal_snapshot_every: 4,
+            shards: ShardSpec::Fixed(2),
+            ..TaskManagerConfig::default()
+        };
+        let mut master = MasterController::new(write_config);
+        let mut links = Vec::new();
+        for i in 1..=2u32 {
+            let (mut agent_side, master_side) = channel_pair();
+            master.add_agent(Box::new(master_side));
+            agent_side
+                .send(
+                    Header::default(),
+                    &FlexranMessage::Hello(Hello {
+                        enb_id: EnbId(i),
+                        n_cells: 1,
+                        capabilities: vec![],
+                    }),
+                )
+                .unwrap();
+            links.push(agent_side);
+        }
+        for t in 0..6 {
+            master.run_cycle(Tti(t));
+        }
+        let pre_crash = master.merged_rib();
+        let journal = master.journal_bytes().unwrap();
+
+        let recover_config = TaskManagerConfig {
+            journal_snapshot_every: 4,
+            ..TaskManagerConfig::default()
+        };
+        let recovered = MasterController::recover(recover_config, &journal, Tti(50)).unwrap();
+        assert_eq!(recovered.n_shards(), 1);
+        let mut rib = recovered.merged_rib();
+        for i in 1..=2u32 {
+            assert!(rib.agent(EnbId(i)).unwrap().is_stale());
+            rib.agent_mut(EnbId(i)).mark_fresh();
+        }
+        assert_eq!(rib, pre_crash);
     }
 
     #[test]

@@ -1,20 +1,28 @@
-//! The northbound API (paper §4.4).
+//! The northbound API (paper §4.4), version 2: shard-transparent.
 //!
 //! RAN applications "monitor the infrastructure through the information
 //! obtained from the RIB and apply their control decisions through the
-//! agent control modules". They never write the RIB directly. The API
-//! splits those two capabilities into separate handles:
+//! agent control modules". They never write the RIB directly, and since
+//! the control-plane sharding they never see shards either: reads and
+//! writes route to the owning shard by agent id behind this facade. The
+//! API splits the two capabilities into separate handles:
 //!
-//! * [`RibView`] — the read capability: master time plus the RIB forest,
-//!   including per-agent session-staleness signals. Everything on it is
-//!   `&self`; an application holding only a `RibView` provably cannot
-//!   emit commands.
+//! * [`RibView`] — the read capability: master time plus the (possibly
+//!   sharded) RIB forest, including per-agent session-staleness signals.
+//!   Everything on it is `&self`; an application holding only a
+//!   `RibView` provably cannot emit commands.
 //! * [`ControlHandle`] — the write capability: a staged command sink the
-//!   master dispatches after the application slot. Scheduling commands
-//!   go through [`ControlHandle::schedule_dl`], which claims the
-//!   cell × subframe slot in the **conflict guard** (§7.3 future work)
-//!   internally — applications cannot bypass or observe other apps'
-//!   claims.
+//!   master routes to the owning shards after the application slot.
+//!   Scheduling commands go through [`ControlHandle::schedule_dl`],
+//!   which claims the cell × subframe slot in the **conflict guard**
+//!   (§7.3 future work) internally — applications cannot bypass or
+//!   observe other apps' claims.
+//!
+//! Both handles are minted by [`Northbound`], the versioned facade the
+//! master (and any fixture driving an [`App`] directly) owns. Since v2,
+//! `ControlHandle` cannot be constructed from parts — the facade is the
+//! only mint, so every staged command flows through one claim table and
+//! one transaction-id stream no matter how many shards exist.
 //!
 //! Two execution patterns (paper: periodic and event-based) map to the
 //! two trait hooks: [`App::on_cycle`] runs every master TTI cycle;
@@ -24,11 +32,12 @@
 use std::collections::BTreeSet;
 
 use flexran_proto::messages::{DlSchedulingCommand, FlexranMessage, Header};
-use flexran_types::ids::EnbId;
+use flexran_types::ids::{CellId, EnbId, Rnti};
 use flexran_types::time::Tti;
 use flexran_types::{FlexError, Result};
 
-use crate::rib::{AgentNode, Rib};
+use crate::rib::{AgentNode, CellNode, Rib, UeNode};
+use crate::shard::RibShard;
 use crate::updater::NotifiedEvent;
 
 /// Application priority: higher runs earlier within the apps slot (the
@@ -98,19 +107,100 @@ impl ConflictGuard {
     }
 }
 
-/// The read capability handed to applications: master time plus the RIB.
+/// The versioned northbound facade: the single mint for [`RibView`] and
+/// [`ControlHandle`]. The master owns one; test fixtures driving an
+/// [`App`] directly own their own. All staged commands, conflict claims
+/// and app-path transaction ids live here, independent of how the RIB
+/// is sharded underneath.
+#[derive(Debug, Default)]
+pub struct Northbound {
+    outbox: Vec<(EnbId, Header, FlexranMessage)>,
+    guard: ConflictGuard,
+    xid: u32,
+}
+
+impl Northbound {
+    /// Facade version. v1 was the direct `RibView`/`ControlHandle`
+    /// construction API; v2 is shard-transparent and facade-minted.
+    pub const VERSION: u32 = 2;
+
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Mint the write capability for one app invocation.
+    pub fn control(&mut self) -> ControlHandle<'_> {
+        ControlHandle {
+            outbox: &mut self.outbox,
+            guard: &mut self.guard,
+            xid: &mut self.xid,
+        }
+    }
+
+    /// Commands staged so far this slot, in staging order (fixtures
+    /// assert on these; the master drains them with
+    /// [`Northbound::take_staged`]).
+    pub fn staged(&self) -> &[(EnbId, Header, FlexranMessage)] {
+        &self.outbox
+    }
+
+    /// Drain the staged commands for routing to the owning shards.
+    pub fn take_staged(&mut self) -> Vec<(EnbId, Header, FlexranMessage)> {
+        std::mem::take(&mut self.outbox)
+    }
+
+    /// Conflicts refused so far.
+    pub fn conflicts(&self) -> u64 {
+        self.guard.conflicts
+    }
+
+    /// Live conflict-guard claims (observability for tests).
+    pub fn n_claims(&self) -> usize {
+        self.guard.n_claims()
+    }
+
+    pub(crate) fn expire_claims_before(&mut self, horizon: Tti) {
+        self.guard.expire_before(horizon);
+    }
+}
+
+/// How a [`RibView`] reaches the forest: one RIB, or the union of the
+/// master's shards. Private — shard transparency is the point.
+#[derive(Clone, Copy)]
+enum Backing<'a> {
+    Single(&'a Rib),
+    Sharded(&'a [RibShard]),
+}
+
+/// The read capability handed to applications: master time plus the RIB
+/// forest, shard-transparent.
 ///
 /// Copyable and `&self`-only — an application can fan it out to helper
 /// functions freely, and holding one grants no way to emit commands.
+/// Aggregating reads ([`RibView::agents`], [`RibView::all_ues`],
+/// [`RibView::stale_agents`]) return in ascending agent-id order for
+/// every shard layout.
 #[derive(Clone, Copy)]
 pub struct RibView<'a> {
     now: Tti,
-    rib: &'a Rib,
+    backing: Backing<'a>,
 }
 
 impl<'a> RibView<'a> {
-    pub fn new(now: Tti, rib: &'a Rib) -> Self {
-        RibView { now, rib }
+    /// A view over one plain RIB — fixtures and single-forest harnesses.
+    pub fn over(now: Tti, rib: &'a Rib) -> Self {
+        RibView {
+            now,
+            backing: Backing::Single(rib),
+        }
+    }
+
+    /// A view over the master's shards (the master mints these).
+    pub(crate) fn sharded(now: Tti, shards: &'a [RibShard]) -> Self {
+        RibView {
+            now,
+            backing: Backing::Sharded(shards),
+        }
     }
 
     /// Master time of this cycle.
@@ -118,47 +208,111 @@ impl<'a> RibView<'a> {
         self.now
     }
 
-    /// The full RIB forest, for traversals beyond the conveniences below.
-    pub fn rib(&self) -> &'a Rib {
-        self.rib
+    pub fn agent(&self, enb: EnbId) -> Option<&'a AgentNode> {
+        match self.backing {
+            Backing::Single(rib) => rib.agent(enb),
+            Backing::Sharded(shards) => shards.iter().find_map(|s| s.rib().agent(enb)),
+        }
     }
 
-    pub fn agent(&self, enb: EnbId) -> Option<&'a AgentNode> {
-        self.rib.agent(enb)
+    pub fn cell(&self, enb: EnbId, cell: CellId) -> Option<&'a CellNode> {
+        self.agent(enb)?.cells.get(&cell)
+    }
+
+    pub fn ue(&self, enb: EnbId, cell: CellId, rnti: Rnti) -> Option<&'a UeNode> {
+        self.cell(enb, cell)?.ues.get(&rnti)
+    }
+
+    /// All agents, ascending by id regardless of shard layout.
+    pub fn agents(&self) -> Vec<&'a AgentNode> {
+        match self.backing {
+            Backing::Single(rib) => rib.agents().collect(),
+            Backing::Sharded(shards) => {
+                let mut all: Vec<&'a AgentNode> =
+                    shards.iter().flat_map(|s| s.rib().agents()).collect();
+                all.sort_by_key(|a| a.enb_id);
+                all
+            }
+        }
+    }
+
+    pub fn n_agents(&self) -> usize {
+        match self.backing {
+            Backing::Single(rib) => rib.n_agents(),
+            Backing::Sharded(shards) => shards.iter().map(|s| s.rib().n_agents()).sum(),
+        }
+    }
+
+    /// All UEs across the forest, ascending by agent id.
+    pub fn all_ues(&self) -> Vec<(EnbId, CellId, &'a UeNode)> {
+        match self.backing {
+            Backing::Single(rib) => rib.all_ues(),
+            Backing::Sharded(_) => {
+                let mut out = Vec::new();
+                for agent in self.agents() {
+                    for c in agent.cells.values() {
+                        for u in c.ues.values() {
+                            out.push((agent.enb_id, c.cell_id, u));
+                        }
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    pub fn n_ues(&self) -> usize {
+        match self.backing {
+            Backing::Single(rib) => rib.n_ues(),
+            Backing::Sharded(shards) => shards.iter().map(|s| s.rib().n_ues()).sum(),
+        }
+    }
+
+    /// Agents whose sessions are currently down, with their epoch
+    /// starts, ascending by agent id.
+    pub fn stale_agents(&self) -> Vec<(EnbId, Tti)> {
+        match self.backing {
+            Backing::Single(rib) => rib.stale_agents(),
+            Backing::Sharded(_) => self
+                .agents()
+                .into_iter()
+                .filter_map(|a| a.stale_since.map(|t| (a.enb_id, t)))
+                .collect(),
+        }
+    }
+
+    /// Approximate heap footprint of the forest (paper Fig. 8's memory
+    /// series).
+    pub fn heap_bytes(&self) -> usize {
+        match self.backing {
+            Backing::Single(rib) => rib.heap_bytes(),
+            Backing::Sharded(shards) => shards.iter().map(|s| s.rib().heap_bytes()).sum(),
+        }
     }
 
     /// The agent's freshest synced subframe, if it syncs.
     pub fn synced_subframe(&self, enb: EnbId) -> Option<Tti> {
-        self.rib.agent(enb)?.synced_subframe()
+        self.agent(enb)?.synced_subframe()
     }
 
     /// Whether the agent's session is currently considered down, i.e. its
     /// RIB subtree is a snapshot from before the outage. Applications
     /// should not base control decisions on stale subtrees.
     pub fn is_stale(&self, enb: EnbId) -> bool {
-        self.rib.agent(enb).is_some_and(|a| a.is_stale())
+        self.agent(enb).is_some_and(|a| a.is_stale())
     }
 }
 
 /// The write capability handed to applications: a staged command sink.
-/// Commands are dispatched by the master after the application slot.
+/// Commands are routed to the owning shards by the master after the
+/// application slot. Minted only by [`Northbound::control`].
 pub struct ControlHandle<'a> {
     outbox: &'a mut Vec<(EnbId, Header, FlexranMessage)>,
     guard: &'a mut ConflictGuard,
     xid: &'a mut u32,
 }
 
-impl<'a> ControlHandle<'a> {
-    /// Construct a handle manually — used by the master's Task Manager
-    /// and by harnesses/tests driving an [`App`] directly.
-    pub fn new(
-        outbox: &'a mut Vec<(EnbId, Header, FlexranMessage)>,
-        guard: &'a mut ConflictGuard,
-        xid: &'a mut u32,
-    ) -> Self {
-        ControlHandle { outbox, guard, xid }
-    }
-
+impl ControlHandle<'_> {
     fn next_xid(&mut self) -> u32 {
         *self.xid = self.xid.wrapping_add(1);
         *self.xid
@@ -224,6 +378,7 @@ impl AppRegistry {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::master::TaskManagerConfig;
 
     struct Dummy(&'static str, Priority);
 
@@ -274,39 +429,75 @@ mod tests {
     }
 
     #[test]
-    fn control_handle_stages_and_guards() {
-        let mut outbox = Vec::new();
-        let mut guard = ConflictGuard::new();
-        let mut xid = 0;
-        let mut ctl = ControlHandle::new(&mut outbox, &mut guard, &mut xid);
+    fn facade_mints_handles_that_stage_and_guard() {
+        let mut nb = Northbound::new();
+        assert_eq!(Northbound::VERSION, 2);
         let cmd = DlSchedulingCommand {
             enb_id: EnbId(1),
             cell: 0,
             target_tti: 10,
             dcis: vec![],
         };
-        ctl.schedule_dl(EnbId(1), cmd.clone()).unwrap();
-        assert!(
-            ctl.schedule_dl(EnbId(1), cmd).is_err(),
-            "second app refused"
-        );
-        assert_eq!(ctl.n_staged(), 1);
-        assert_eq!(outbox.len(), 1);
+        {
+            let mut ctl = nb.control();
+            ctl.schedule_dl(EnbId(1), cmd.clone()).unwrap();
+            assert!(
+                ctl.schedule_dl(EnbId(1), cmd.clone()).is_err(),
+                "second app refused"
+            );
+            assert_eq!(ctl.n_staged(), 1);
+        }
+        assert_eq!(nb.staged().len(), 1);
+        assert_eq!(nb.conflicts(), 1);
+        // Claims persist across handle mints within the slot — a later
+        // app cannot steal an earlier app's subframe.
+        {
+            let mut ctl = nb.control();
+            assert!(ctl.schedule_dl(EnbId(1), cmd).is_err());
+        }
+        // Draining hands back the staged commands in order.
+        let staged = nb.take_staged();
+        assert_eq!(staged.len(), 1);
+        assert_eq!(staged[0].0, EnbId(1));
+        assert!(nb.staged().is_empty());
     }
 
     #[test]
     fn rib_view_reads_and_staleness() {
         let mut rib = Rib::new();
         rib.agent_mut(EnbId(1)).last_sync = Some((Tti(90), Tti(95)));
-        let view = RibView::new(Tti(100), &rib);
+        let view = RibView::over(Tti(100), &rib);
         assert_eq!(view.now(), Tti(100));
         assert_eq!(view.synced_subframe(EnbId(1)), Some(Tti(90)));
         assert!(!view.is_stale(EnbId(1)));
         assert!(!view.is_stale(EnbId(9)), "unknown agent is not 'stale'");
         rib.agent_mut(EnbId(1)).mark_stale(Tti(120));
-        let view = RibView::new(Tti(121), &rib);
+        let view = RibView::over(Tti(121), &rib);
         assert!(view.is_stale(EnbId(1)));
         // The subtree survives the outage as a snapshot.
         assert_eq!(view.synced_subframe(EnbId(1)), Some(Tti(90)));
+    }
+
+    #[test]
+    fn sharded_view_reads_across_shards_in_agent_order() {
+        let config = TaskManagerConfig::default();
+        let mut a = RibShard::new(0, 2, None, &config);
+        let mut b = RibShard::new(1, 2, None, &config);
+        // Shard 0 owns agent 4, shard 1 owns agents 1 and 3 — agent-id
+        // order must still come out ascending.
+        b.rib.agent_mut(EnbId(3)).last_sync = Some((Tti(7), Tti(8)));
+        a.rib.agent_mut(EnbId(4)).mark_stale(Tti(9));
+        b.rib.agent_mut(EnbId(1));
+        let shards = [a, b];
+        let view = RibView::sharded(Tti(10), &shards);
+        assert_eq!(view.n_agents(), 3);
+        let ids: Vec<EnbId> = view.agents().into_iter().map(|ag| ag.enb_id).collect();
+        assert_eq!(ids, vec![EnbId(1), EnbId(3), EnbId(4)]);
+        assert_eq!(view.synced_subframe(EnbId(3)), Some(Tti(7)));
+        assert!(view.is_stale(EnbId(4)));
+        assert!(!view.is_stale(EnbId(1)));
+        assert_eq!(view.stale_agents(), vec![(EnbId(4), Tti(9))]);
+        assert!(view.agent(EnbId(2)).is_none());
+        assert!(view.heap_bytes() > 0);
     }
 }

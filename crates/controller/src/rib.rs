@@ -177,6 +177,15 @@ impl Rib {
         })
     }
 
+    /// Adopt a fully built agent subtree (shard-merge path: assembling a
+    /// shard-transparent RIB snapshot from per-shard forests). Writer-side
+    /// like [`Rib::agent_mut`] — only the shard merge and fixtures call it.
+    pub fn adopt_agent(&mut self, node: AgentNode) {
+        #[cfg(feature = "debug-invariants")]
+        self.assert_writable();
+        self.agents.insert(node.enb_id, node);
+    }
+
     /// Remove an agent (permanent departure). Transient session loss
     /// should use [`AgentNode::mark_stale`] instead, which preserves the
     /// subtree for the agent's return.

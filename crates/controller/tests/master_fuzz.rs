@@ -186,7 +186,8 @@ proptest! {
 
         // Validation keeps the forest inside the declared topology even
         // though the traffic was hostile.
-        for agent in master.rib().agents() {
+        let live_rib = master.merged_rib();
+        for agent in live_rib.agents() {
             prop_assert!(
                 agent.cells.len() as u64 <= u64::from(agent.n_cells),
                 "agent {:?} grew {} cells but declared {}",
@@ -209,8 +210,9 @@ proptest! {
         let journal = master.journal_bytes().expect("journaling is on");
         let recovered = MasterController::recover(config, &journal, Tti(n_cycles))
             .expect("recovery never fails on a journal the master itself wrote");
-        prop_assert_eq!(recovered.rib().n_agents(), master.rib().n_agents());
-        for (live, rec) in master.rib().agents().zip(recovered.rib().agents()) {
+        let rec_rib = recovered.merged_rib();
+        prop_assert_eq!(rec_rib.n_agents(), live_rib.n_agents());
+        for (live, rec) in live_rib.agents().zip(rec_rib.agents()) {
             prop_assert_eq!(live.enb_id, rec.enb_id);
             prop_assert_eq!(&live.capabilities, &rec.capabilities);
             prop_assert_eq!(live.n_cells, rec.n_cells);

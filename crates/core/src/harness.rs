@@ -83,9 +83,12 @@ impl Default for SimConfig {
 pub struct PhaseTimings {
     /// Number of `step` calls accumulated.
     pub steps: u64,
-    /// Master cycle + traffic/measurement injection (serial).
+    /// Master cycle: serial begin/finish around the fanned-out
+    /// per-shard RIB slots (parallel when `workers` is set and the
+    /// master has more than one shard).
     pub serial_front_ns: u64,
-    /// Phase A across all agents (parallel when `workers` is set).
+    /// Phase A across all agents, including per-agent traffic and
+    /// measurement injection (parallel when `workers` is set).
     pub phase_a_ns: u64,
     /// Interference-coupling barrier (serial).
     pub coupling_ns: u64,
@@ -143,6 +146,62 @@ where
     });
 }
 
+/// One UE's per-TTI traffic-source and measurement-report injection,
+/// entirely local to the owning agent so the per-agent phase-A fan-out
+/// can run it on worker threads. `rsrp_all_sites` is pure geometry (it
+/// ignores the shared active-site set), so moving this off the serial
+/// front does not change any simulation result.
+fn drive_ue_traffic(
+    agent: &mut FlexranAgent<SimTransport>,
+    radio: &RadioEnvironment,
+    ue: UeId,
+    entry: &mut UeEntry,
+    now: Tti,
+) {
+    let Some(rnti) = entry.rnti else { return };
+    let cell = entry.cell;
+    // Downlink.
+    if let Some(src) = entry.dl_source.as_mut() {
+        let queue = agent
+            .enb()
+            .dl_queue_bytes(cell, rnti)
+            .unwrap_or(Bytes::ZERO);
+        let due = src.bytes_due(now, queue);
+        if !due.is_zero() {
+            let _ = agent.enb_mut().inject_dl_traffic(cell, rnti, due, now);
+        }
+    }
+    // Uplink.
+    if let Some(src) = entry.ul_source.as_mut() {
+        let due = src.bytes_due(now, Bytes::ZERO);
+        if !due.is_zero() {
+            let _ = agent.enb_mut().inject_ul_traffic(cell, rnti, due);
+        }
+    }
+    // Measurement reports (geometry mode).
+    if let (Some(period), Some(site)) = (entry.meas_period, entry.serving_site) {
+        if now.0.is_multiple_of(period) {
+            let all = radio.rsrp_all_sites(ue, now);
+            if !all.is_empty() {
+                let serving_rsrp = all
+                    .iter()
+                    .find(|(s, _)| *s == site)
+                    .map(|(_, r)| *r)
+                    .unwrap_or(-140.0);
+                let neighbours: Vec<(u32, f64)> = all
+                    .into_iter()
+                    .filter(|(s, _)| *s != site)
+                    .map(|(s, r)| (s as u32, r))
+                    .collect();
+                let _ =
+                    agent
+                        .enb_mut()
+                        .submit_measurement(cell, rnti, serving_rsrp, neighbours, now);
+            }
+        }
+    }
+}
+
 /// How a UE's radio is specified when added to the harness.
 pub enum UeRadioSpec {
     FixedCqi(u8),
@@ -197,8 +256,8 @@ pub struct SimHarness {
     pub last_events: Vec<(EnbId, EnbEvent)>,
     /// Phase-B scratch, reused every TTI.
     phase_b_out: Vec<PhaseBOut>,
-    /// Traffic-loop scratch, reused every TTI.
-    ue_id_scratch: Vec<UeId>,
+    /// Per-agent traffic-loop buckets, reused every TTI.
+    ue_buckets: Vec<Vec<(UeId, UeEntry)>>,
     timings: PhaseTimings,
     config: SimConfig,
     /// Per-agent fault handle (same order as `agents`), where one was
@@ -235,7 +294,7 @@ impl SimHarness {
             last_events: Vec::new(),
             site_activity: BTreeMap::new(),
             phase_b_out: Vec::new(),
-            ue_id_scratch: Vec::new(),
+            ue_buckets: Vec::new(),
             timings: PhaseTimings::default(),
             config,
             fault_handles: Vec::new(),
@@ -566,113 +625,78 @@ impl SimHarness {
         let now = self.now;
         self.clock.advance_to(now);
 
-        // 1. Master cycle (commands ride the links this TTI). A crashed
-        //    master runs nothing, and its dead sockets swallow whatever
-        //    the agents send.
+        // 1. Master cycle (commands ride the links this TTI): a serial
+        //    begin (limbo routing, cycle clock), the per-shard RIB
+        //    slots fanned out over the worker pool, and a serial finish
+        //    (agent-index-ordered event merge, apps slot, cross-shard
+        //    mailbox). A crashed master runs nothing, and its dead
+        //    sockets swallow whatever the agents send.
+        let workers = self.config.workers.unwrap_or(1).max(1);
         if self.master_down {
             for t in &mut self.parked_transports {
                 let _ = t.purge_inbound();
             }
         } else {
-            self.master.run_cycle(now);
+            self.master.begin_cycle(now);
+            let mut unit: Vec<()> = Vec::new();
+            fan_out(self.master.shards_mut(), &mut unit, workers, |_, shard| {
+                shard.run_rib_slot(now);
+            });
+            self.master.finish_cycle(now);
         }
-
-        // 2. Traffic sources and measurement reports.
-        let mut ue_ids = std::mem::take(&mut self.ue_id_scratch);
-        ue_ids.clear();
-        ue_ids.extend(self.ues.keys().copied());
-        for ue in ue_ids.iter().copied() {
-            let Some(entry) = self.ues.get_mut(&ue) else {
-                continue;
-            };
-            let Some(rnti) = entry.rnti else { continue };
-            let idx = entry.agent_idx;
-            let cell = entry.cell;
-            // Downlink.
-            if entry.dl_source.is_some() {
-                let queue = self.agents[idx]
-                    .enb()
-                    .dl_queue_bytes(cell, rnti)
-                    .unwrap_or(Bytes::ZERO);
-                let entry = self.ues.get_mut(&ue).expect("present");
-                let due = entry
-                    .dl_source
-                    .as_mut()
-                    .expect("checked")
-                    .bytes_due(now, queue);
-                if !due.is_zero() {
-                    let _ = self.agents[idx]
-                        .enb_mut()
-                        .inject_dl_traffic(cell, rnti, due, now);
-                }
-            }
-            // Uplink.
-            let entry = self.ues.get_mut(&ue).expect("present");
-            if let Some(src) = entry.ul_source.as_mut() {
-                let due = src.bytes_due(now, Bytes::ZERO);
-                if !due.is_zero() {
-                    let _ = self.agents[idx]
-                        .enb_mut()
-                        .inject_ul_traffic(cell, rnti, due);
-                }
-            }
-            // Measurement reports (geometry mode).
-            let entry = self.ues.get(&ue).expect("present");
-            if let (Some(period), Some(site)) = (entry.meas_period, entry.serving_site) {
-                if now.0.is_multiple_of(period) {
-                    let all = self.radio.rsrp_all_sites(ue, now);
-                    if !all.is_empty() {
-                        let serving_rsrp = all
-                            .iter()
-                            .find(|(s, _)| *s == site)
-                            .map(|(_, r)| *r)
-                            .unwrap_or(-140.0);
-                        let neighbours: Vec<(u32, f64)> = all
-                            .into_iter()
-                            .filter(|(s, _)| *s != site)
-                            .map(|(s, r)| (s as u32, r))
-                            .collect();
-                        let _ = self.agents[idx].enb_mut().submit_measurement(
-                            cell,
-                            rnti,
-                            serving_rsrp,
-                            neighbours,
-                            now,
-                        );
-                    }
-                }
-            }
-        }
-
-        self.ue_id_scratch = ue_ids;
 
         // Profiling only, as above. lint:allow(wall-clock)
         let t_front = std::time::Instant::now();
         self.timings.serial_front_ns += (t_front - t_start).as_nanos() as u64;
 
-        // 3. Phase A on every agent (fanned out over the worker pool
-        //    when configured). Measurements in this phase use the
-        //    declared activity hints (restricted measurements).
-        let workers = self.config.workers.unwrap_or(1).max(1);
+        // 2. Traffic, measurements and phase A, per agent, fanned out
+        //    over the worker pool when configured. UE entries are
+        //    bucketed by owning agent (UeId order preserved within each
+        //    bucket) so every injection is agent-local; measurements in
+        //    this phase use the declared activity hints (restricted
+        //    measurements).
         let hint = self.measurement_active_sites(now);
         self.radio.set_active_sites(hint);
         {
+            let mut buckets = std::mem::take(&mut self.ue_buckets);
+            buckets.resize_with(self.agents.len(), Vec::new);
+            for b in &mut buckets {
+                b.clear();
+            }
+            for (ue, entry) in std::mem::take(&mut self.ues) {
+                let idx = entry.agent_idx;
+                if let Some(b) = buckets.get_mut(idx) {
+                    b.push((ue, entry));
+                }
+            }
             let radio = &self.radio;
             let maps = &self.rnti_maps;
+            let mut work: Vec<_> = self.agents.iter_mut().zip(buckets.drain(..)).collect();
             let mut unit: Vec<()> = Vec::new();
-            fan_out(&mut self.agents, &mut unit, workers, |i, agent| {
+            fan_out(&mut work, &mut unit, workers, |i, item| {
+                let (agent, ues) = item;
+                for (ue, entry) in ues.iter_mut() {
+                    drive_ue_traffic(agent, radio, *ue, entry, now);
+                }
                 let mut phy = PhyAdapter {
                     radio,
                     rnti_map: &maps[i],
                 };
                 agent.phase_a(now, &mut phy);
             });
+            for (_, mut bucket) in work {
+                for (ue, entry) in bucket.drain(..) {
+                    self.ues.insert(ue, entry);
+                }
+                buckets.push(bucket);
+            }
+            self.ue_buckets = buckets;
         }
         // Profiling only, as above. lint:allow(wall-clock)
         let t_a = std::time::Instant::now();
         self.timings.phase_a_ns += (t_a - t_front).as_nanos() as u64;
 
-        // 4. Interference coupling: which sites put energy on the air.
+        // 3. Interference coupling: which sites put energy on the air.
         //    This is the serial barrier between the two phases.
         let mut active = Vec::new();
         for agent in &self.agents {
@@ -691,7 +715,7 @@ impl SimHarness {
         let t_couple = std::time::Instant::now();
         self.timings.coupling_ns += (t_couple - t_a).as_nanos() as u64;
 
-        // 5. Phase B on every agent, outputs collected per agent index.
+        // 4. Phase B on every agent, outputs collected per agent index.
         //    The serial and parallel paths share this collect-then-merge
         //    shape, so the merge below sees the same inputs in the same
         //    order either way.
@@ -713,7 +737,7 @@ impl SimHarness {
         let t_b = std::time::Instant::now();
         self.timings.phase_b_ns += (t_b - t_couple).as_nanos() as u64;
 
-        // 6. Merge in agent-index order: attach bookkeeping and X2-style
+        // 5. Merge in agent-index order: attach bookkeeping and X2-style
         //    handover admission (the stand-in for the X2 interface).
         self.last_events.clear();
         for (i, out) in outs.iter().enumerate() {
@@ -1050,10 +1074,13 @@ mod tests {
         sim.add_ue(enb, CellId(0), SliceId::MNO, 0, UeRadioSpec::FixedCqi(10));
         sim.run(10);
         assert!(
-            sim.master().rib().agent(EnbId(1)).is_none(),
+            sim.master().view().agent(EnbId(1)).is_none(),
             "hello in flight"
         );
         sim.run(15);
-        assert!(sim.master().rib().agent(EnbId(1)).is_some(), "hello landed");
+        assert!(
+            sim.master().view().agent(EnbId(1)).is_some(),
+            "hello landed"
+        );
     }
 }

@@ -64,7 +64,8 @@ pub mod prelude {
         AgentConfig, FailoverState, FlexranAgent, LivenessConfig, PolicyDoc, VsfRegistry,
     };
     pub use flexran_controller::{
-        App, ControlHandle, MasterController, RibView, SessionLivenessStats, TaskManagerConfig,
+        App, ControlHandle, MasterController, Northbound, RibView, SessionLivenessStats, ShardSpec,
+        TaskManagerConfig,
     };
     pub use flexran_phy::link_adaptation::{Cqi, Mcs};
     pub use flexran_proto::messages::FlexranMessage;

@@ -12,7 +12,7 @@
 //! equivalent to `SimHarness::new(SimConfig::default())`.
 
 use flexran_agent::{AgentConfig, LivenessConfig};
-use flexran_controller::TaskManagerConfig;
+use flexran_controller::{ShardSpec, TaskManagerConfig};
 use flexran_proto::transport::BackoffConfig;
 use flexran_sim::link::LinkConfig;
 
@@ -32,6 +32,7 @@ pub struct Platform {
     downlink: LinkConfig,
     seed: u64,
     workers: Option<usize>,
+    shards: ShardSpec,
 }
 
 impl Default for Platform {
@@ -54,6 +55,7 @@ impl Platform {
             downlink: LinkConfig::ideal(),
             seed: 1,
             workers: None,
+            shards: ShardSpec::Auto,
         }
     }
 
@@ -122,10 +124,20 @@ impl Platform {
         self
     }
 
+    /// Control-plane sharding: how agents are partitioned across RIB
+    /// shards ([`ShardSpec::Auto`], the default, keeps the single-shard
+    /// behaviour every pre-shard configuration had). Apps never see
+    /// shard boundaries; the northbound facade routes by agent id.
+    pub fn shards(mut self, shards: ShardSpec) -> Self {
+        self.shards = shards;
+        self
+    }
+
     /// The derived master configuration.
     pub fn build_master_config(&self) -> TaskManagerConfig {
         TaskManagerConfig {
             liveness_timeout: self.liveness_timeout,
+            shards: self.shards,
             ..self.master
         }
     }
@@ -174,6 +186,18 @@ mod tests {
         assert!(!agent.liveness.enabled());
         assert_eq!(agent.liveness.heartbeat_period, 0);
         assert_eq!(p.build_master_config().liveness_timeout, 0);
+        assert_eq!(p.build_master_config().shards.initial_shards(), 1);
+    }
+
+    #[test]
+    fn shard_knob_flows_into_the_master_config() {
+        let p = Platform::new().shards(ShardSpec::Fixed(4));
+        assert!(matches!(
+            p.build_master_config().shards,
+            ShardSpec::Fixed(4)
+        ));
+        let sim = Platform::new().shards(ShardSpec::Fixed(2)).build_sim();
+        assert_eq!(sim.master().n_shards(), 2);
     }
 
     #[test]

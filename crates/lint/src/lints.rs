@@ -14,9 +14,12 @@
 //!   the runtime paths of `proto`, `agent`, `controller`: a malformed
 //!   frame or a lost session must surface as `flexran_types::Error`,
 //!   never tear down the control plane.
-//! * **R1 `rib-write`** — only `controller::rib` and the designated
-//!   single writer `controller::updater` may name RIB mutation methods
-//!   (paper Fig. 5 single-writer/multi-reader discipline).
+//! * **R1 `rib-write`** — only `controller::rib`, the designated
+//!   single writer `controller::updater`, and the shard container
+//!   `controller::shard` (which owns one updater per shard and the
+//!   read-only merge) may name RIB mutation methods (paper Fig. 5
+//!   single-writer/multi-reader discipline, applied per shard: no
+//!   module outside the shard's own updater may mutate its RIB).
 //! * **A1 `hot-alloc`** — no allocating calls inside `*_into` function
 //!   bodies (the zero-alloc hot-path contract measured by
 //!   `experiments scale`).
@@ -125,9 +128,16 @@ pub fn lints_for_crate(krate: &str) -> Vec<LintId> {
     out
 }
 
-/// Modules inside `controller` allowed to name RIB mutation methods.
+/// Modules inside `controller` allowed to name RIB mutation methods:
+/// the RIB itself, the single-writer updater, and the shard container
+/// (each shard owns exactly one updater; `merged_rib` adopts cloned
+/// subtrees into a fresh, local forest). Everything else — master,
+/// northbound, apps — must route writes through a shard's own updater.
 fn r1_exempt(krate: &str, rel_path: &str) -> bool {
-    krate == "controller" && (rel_path.ends_with("rib.rs") || rel_path.ends_with("updater.rs"))
+    krate == "controller"
+        && (rel_path.ends_with("rib.rs")
+            || rel_path.ends_with("updater.rs")
+            || rel_path.ends_with("shard.rs"))
 }
 
 /// Analyze one file's source. `file` is the workspace-relative path used
@@ -265,7 +275,7 @@ pub fn analyze_source(krate: &str, file: &str, src: &str) -> Vec<Diagnostic> {
                 );
             }
             // --------------------- R1: RIB single-writer ----------------
-            "agent_mut" | "remove_agent" | "mark_stale" | "mark_fresh"
+            "agent_mut" | "remove_agent" | "mark_stale" | "mark_fresh" | "adopt_agent"
                 if active.contains(&LintId::R1)
                     && !r1_exempt(krate, file)
                     && prev_is(toks, i, ".")
@@ -624,5 +634,16 @@ mod tests {
         assert_eq!(in_master.len(), 2);
         let in_updater = analyze_source("controller", "src/updater.rs", src);
         assert!(in_updater.is_empty());
+        let in_shard = analyze_source("controller", "src/shard.rs", src);
+        assert!(in_shard.is_empty(), "each shard owns its single writer");
+    }
+
+    #[test]
+    fn r1_flags_cross_shard_adoption_outside_the_shard_module() {
+        let src = "fn f(rib: &mut Rib, n: AgentNode) { rib.adopt_agent(n); }";
+        let in_master = analyze_source("controller", "src/master.rs", src);
+        assert_eq!(in_master.len(), 1, "adopting a subtree is a RIB write");
+        let in_shard = analyze_source("controller", "src/shard.rs", src);
+        assert!(in_shard.is_empty());
     }
 }

@@ -74,7 +74,7 @@ fn main() {
         let cycle_start = std::time::Instant::now();
         tti += 1;
         master.run_cycle(Tti(tti));
-        if !subscribed && master.rib().agent(EnbId(1)).is_some() {
+        if !subscribed && master.view().agent(EnbId(1)).is_some() {
             master
                 .request_stats(
                     EnbId(1),
@@ -104,10 +104,10 @@ fn main() {
         acc.mean_rib(),
         acc.mean_apps()
     );
-    let rib_ues = master.rib().n_ues();
+    let rib_ues = master.view().n_ues();
     println!(
         "RIB             : {} agents, {} UEs",
-        master.rib().n_agents(),
+        master.view().n_agents(),
         rib_ues
     );
     assert!(rib_ues >= 1, "the UE must be visible at the master");

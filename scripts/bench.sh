@@ -1,12 +1,20 @@
 #!/usr/bin/env bash
 # Record the platform's perf baseline.
 #
-# Runs the `scale` experiment (serial vs parallel TTI engine, pinned
-# seed, full durations) plus the criterion micro-benchmarks, and
-# snapshots the machine-readable artifacts to the repository root:
+# Runs the `scale` experiment (serial vs worker-pool vs sharded-master
+# TTI engine, pinned seed, full durations) plus the criterion
+# micro-benchmarks, and snapshots the machine-readable artifacts to the
+# repository root:
 #
 #   BENCH_scale.json      — TTIs/s, per-phase wall-time, allocs/TTI,
+#                           multi-worker and per-agent-shard series,
 #                           scheduler zero-alloc probe, determinism check
+#
+# The experiment sizes its worker pool from the machine's available
+# cores; this script surfaces that up front so a committed
+# BENCH_scale.json is never mistaken for a multi-core measurement when
+# it was recorded on a single-CPU host (where every parallel series
+# degenerates to one thread and speedups are ~1.0x by construction).
 #
 # Usage: scripts/bench.sh [--quick]
 set -euo pipefail
@@ -15,6 +23,13 @@ cd "$(dirname "$0")/.."
 MODE=()
 if [[ "${1:-}" == "--quick" ]]; then
   MODE=(--quick)
+fi
+
+CORES=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
+echo "bench host: ${CORES} core(s) available"
+if [[ "$CORES" -le 1 ]]; then
+  echo "WARNING: single-CPU host — worker/shard series will run on one" \
+       "thread; record multi-core numbers on a host with >=2 cores."
 fi
 
 OUT=target/experiments
@@ -26,4 +41,4 @@ cp "$OUT/BENCH_scale.json" BENCH_scale.json
 cargo bench -p flexran-bench --bench micro
 
 echo
-echo "wrote $(pwd)/BENCH_scale.json"
+echo "wrote $(pwd)/BENCH_scale.json (cores: ${CORES})"

@@ -34,4 +34,8 @@ echo "==> chaos smoke gate (8 seeds x 2000 TTIs, zero tolerated violations)"
 cargo run --quiet --release -p flexran-bench --bin experiments -- \
     chaos --seeds 8 --ttis 2000 --out target/check-chaos
 
+echo "==> sharded chaos smoke gate (8 seeds x 2000 TTIs, 4 RIB shards)"
+cargo run --quiet --release -p flexran-bench --bin experiments -- \
+    chaos --seeds 8 --ttis 2000 --shards 4 --out target/check-chaos-sharded
+
 echo "All checks passed."

@@ -1,9 +1,11 @@
-//! Determinism contract of the parallel TTI engine (DESIGN.md
-//! §"Simulation engine"): running the same scenario serially
-//! (`workers: None`) and fanned out over a worker pool must produce
-//! bit-identical observables — the per-TTI event stream, the end-state
-//! UE statistics, and the master's RIB — over a long run that exercises
-//! mobility handovers and control-link fault injection.
+//! Determinism contract of the parallel TTI engine and the sharded
+//! control plane (DESIGN.md §"Simulation engine", §"Sharded control
+//! plane"): running the same scenario serially (`workers: None`, one
+//! shard) and fanned out over any worker pool × shard-spec combination
+//! must produce bit-identical observables — the per-TTI event stream,
+//! the end-state UE statistics, and the master's (merged) RIB — over a
+//! long run that exercises mobility handovers crossing shard
+//! boundaries and control-link fault injection.
 
 use std::collections::BTreeMap;
 
@@ -35,7 +37,7 @@ fn fnv_str(h: &mut u64, s: &str) {
 /// master's mobility manager), stationary fading UEs with mixed
 /// traffic, and one eNodeB behind a lossy, partition-scripted control
 /// link (liveness failover + recovery).
-fn build(workers: Option<usize>) -> (SimHarness, Vec<UeId>) {
+fn build(workers: Option<usize>, shards: ShardSpec) -> (SimHarness, Vec<UeId>) {
     let mut env = Environment::new(10_000_000);
     let sites: Vec<usize> = (0..N_ENBS)
         .map(|i| {
@@ -50,6 +52,10 @@ fn build(workers: Option<usize>) -> (SimHarness, Vec<UeId>) {
         SimConfig {
             seed: 11,
             workers,
+            master: TaskManagerConfig {
+                shards,
+                ..TaskManagerConfig::default()
+            },
             ..SimConfig::default()
         },
         RadioEnvironment::with_geometry(env),
@@ -142,8 +148,8 @@ fn build(workers: Option<usize>) -> (SimHarness, Vec<UeId>) {
 }
 
 /// Run the scenario and digest every observable along the way.
-fn run(workers: Option<usize>) -> (u64, u64, u64) {
-    let (mut sim, ues) = build(workers);
+fn run(workers: Option<usize>, shards: ShardSpec) -> (u64, u64, u64) {
+    let (mut sim, ues) = build(workers, shards);
     let mut events_digest = 0xcbf29ce484222325u64;
     let mut scratch = String::new();
     for _ in 0..TTIS {
@@ -168,15 +174,15 @@ fn run(workers: Option<usize>) -> (u64, u64, u64) {
         fnv_str(&mut stats_digest, &scratch);
     }
     let mut rib_digest = 0xcbf29ce484222325u64;
-    fnv_str(&mut rib_digest, &format!("{:?}", sim.master().rib()));
+    fnv_str(&mut rib_digest, &format!("{:?}", sim.master().merged_rib()));
     (events_digest, stats_digest, rib_digest)
 }
 
 #[test]
 fn parallel_engine_is_bit_identical_to_serial() {
-    let serial = run(None);
+    let serial = run(None, ShardSpec::Auto);
     for workers in [2, 4] {
-        let parallel = run(Some(workers));
+        let parallel = run(Some(workers), ShardSpec::Auto);
         assert_eq!(
             serial.0, parallel.0,
             "event stream diverged at workers={workers}"
@@ -190,10 +196,58 @@ fn parallel_engine_is_bit_identical_to_serial() {
 }
 
 #[test]
+fn sharded_control_plane_is_bit_identical_to_one_shard() {
+    // The shard matrix vs. the 1-shard serial baseline: every worker
+    // count × shard spec must reproduce the exact same observables,
+    // including runs where the travellers' handovers cross a shard
+    // boundary (Fixed(2) puts EnbId 1 and 3 on shard 1 and EnbId 2 on
+    // shard 0, so every inter-site handover is cross-shard).
+    let baseline = run(None, ShardSpec::Auto);
+    let matrix = [
+        (None, ShardSpec::Fixed(2)),
+        (Some(2), ShardSpec::Fixed(2)),
+        (Some(4), ShardSpec::Fixed(4)),
+        (Some(2), ShardSpec::PerAgent),
+        (Some(4), ShardSpec::PerAgent),
+    ];
+    for (workers, shards) in matrix {
+        let sharded = run(workers, shards);
+        assert_eq!(
+            baseline.0, sharded.0,
+            "event stream diverged at workers={workers:?} shards={shards:?}"
+        );
+        assert_eq!(
+            baseline.1, sharded.1,
+            "UE stats diverged at workers={workers:?} shards={shards:?}"
+        );
+        assert_eq!(
+            baseline.2, sharded.2,
+            "RIB diverged at workers={workers:?} shards={shards:?}"
+        );
+    }
+}
+
+#[test]
+fn sharded_scenario_exercises_cross_shard_handovers() {
+    // The matrix above is only meaningful if handovers actually cross
+    // shard boundaries: under Fixed(2) the mobility manager's commands
+    // route between the two shards through the cross-shard mailbox.
+    let (mut sim, _ues) = build(Some(2), ShardSpec::Fixed(2));
+    for _ in 0..TTIS {
+        sim.step();
+    }
+    assert_eq!(sim.master().n_shards(), 2);
+    assert!(
+        sim.master().cross_shard_handovers() > 0,
+        "no handover ever crossed a shard boundary — the matrix is too tame"
+    );
+}
+
+#[test]
 fn scenario_actually_exercises_handovers_and_faults() {
     // The determinism assertion above is only meaningful if the scenario
     // produces the hard cases: cross-agent handovers and failover events.
-    let (mut sim, ues) = build(Some(2));
+    let (mut sim, ues) = build(Some(2), ShardSpec::Auto);
     let mut saw_handover = false;
     let start_serving: Vec<_> = ues.iter().map(|u| sim.serving_enb(*u)).collect();
     for _ in 0..TTIS {

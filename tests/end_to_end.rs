@@ -41,7 +41,7 @@ fn multi_enb_rib_converges() {
         subscribe_all(&mut sim, EnbId(i), 5);
     }
     sim.run(200);
-    let rib = sim.master().rib();
+    let rib = sim.master().view();
     assert_eq!(rib.n_agents(), 3);
     assert_eq!(rib.n_ues(), 12, "all UEs visible in the RIB forest");
     for agent in rib.agents() {

@@ -70,7 +70,7 @@ fn master_crash_recovery_resyncs_the_rib() {
         subscribe_all(&mut sim, EnbId(i), 10);
     }
     sim.run(200);
-    let rib = sim.master().rib();
+    let rib = sim.master().view();
     assert_eq!(rib.n_agents(), 2, "both agents in the RIB before the crash");
     assert_eq!(rib.n_ues(), 6, "all UEs visible before the crash");
 
@@ -100,7 +100,7 @@ fn master_crash_recovery_resyncs_the_rib() {
     // Restart from the journal: the recovered RIB is complete but stale.
     sim.restart_master().expect("recovery from journal");
     assert!(!sim.master_down());
-    let rib = sim.master().rib();
+    let rib = sim.master().view();
     assert_eq!(rib.n_agents(), 2, "journal replay rebuilt both subtrees");
     assert_eq!(rib.n_ues(), 6, "journal replay rebuilt every UE leaf");
     assert_eq!(
@@ -112,7 +112,7 @@ fn master_crash_recovery_resyncs_the_rib() {
     // Re-sync: heartbeats resume, agents rejoin, resync requests draw
     // fresh config + stats, the replayed subscriptions start reporting.
     sim.run(300);
-    let rib = sim.master().rib();
+    let rib = sim.master().view();
     assert!(
         rib.stale_agents().is_empty(),
         "all agents re-synced after recovery: {:?}",
@@ -147,6 +147,76 @@ fn master_crash_recovery_resyncs_the_rib() {
 }
 
 #[test]
+fn sharded_master_recovers_from_per_shard_journal_segments() {
+    // Same crash/restart arc as above, but with the control plane split
+    // across two RIB shards: each shard journals its own segment, the
+    // crash parks the concatenated container, and recovery replays every
+    // segment back into the owning shards.
+    let cfg = SimConfig {
+        master: TaskManagerConfig {
+            shards: ShardSpec::Fixed(2),
+            ..journaled_master()
+        },
+        ..SimConfig::default()
+    };
+    let mut sim = SimHarness::new(cfg);
+    let mut ues = Vec::new();
+    for i in 1..=3u32 {
+        let enb = sim.add_enb(EnbConfig::single_cell(EnbId(i)), liveness_agent_config());
+        for _ in 0..2 {
+            let ue = sim.add_ue(enb, CellId(0), SliceId::MNO, 0, UeRadioSpec::FixedCqi(12));
+            sim.set_dl_traffic(ue, Box::new(CbrSource::new(BitRate::from_mbps(1))));
+            ues.push(ue);
+        }
+    }
+    sim.run(5);
+    for i in 1..=3u32 {
+        subscribe_all(&mut sim, EnbId(i), 10);
+    }
+    sim.run(200);
+    assert_eq!(sim.master().n_shards(), 2);
+    // Fixed(2) ownership: EnbId 1 and 3 on shard 1, EnbId 2 on shard 0.
+    assert_eq!(sim.master().shard_of(EnbId(1)), Some(1));
+    assert_eq!(sim.master().shard_of(EnbId(2)), Some(0));
+    assert_eq!(sim.master().shard_of(EnbId(3)), Some(1));
+    let pre_crash = sim.master().merged_rib();
+    assert_eq!(pre_crash.n_agents(), 3);
+    assert_eq!(pre_crash.n_ues(), 6);
+
+    sim.kill_master();
+    sim.run(100);
+    sim.restart_master().expect("recovery from sharded journal");
+
+    // Recovery rebuilt every subtree in the same owner shards.
+    let recovered = sim.master().merged_rib();
+    assert_eq!(recovered.n_agents(), 3, "all subtrees recovered");
+    assert_eq!(recovered.n_ues(), 6, "every UE leaf recovered");
+    assert_eq!(sim.master().n_shards(), 2);
+    for (enb, shard) in [(EnbId(1), 1), (EnbId(2), 0), (EnbId(3), 1)] {
+        assert_eq!(
+            sim.master().shard_of(enb),
+            Some(shard),
+            "ownership is id-stable across restarts"
+        );
+    }
+
+    // Re-sync brings every shard fresh again.
+    sim.run(300);
+    let rib = sim.master().view();
+    assert!(
+        rib.stale_agents().is_empty(),
+        "all agents re-synced after sharded recovery: {:?}",
+        rib.stale_agents()
+    );
+    assert_eq!(rib.n_ues(), 6, "reconciled RIB still has every UE");
+    assert_eq!(
+        sim.master().liveness_stats().ups,
+        3,
+        "all three sessions rejoined exactly once"
+    );
+}
+
+#[test]
 fn agent_crash_is_detected_and_state_replayed() {
     let cfg = SimConfig {
         master: journaled_master(),
@@ -159,7 +229,7 @@ fn agent_crash_is_detected_and_state_replayed() {
     sim.run(5);
     subscribe_all(&mut sim, EnbId(1), 10);
     sim.run(100);
-    assert_eq!(sim.master().rib().n_ues(), 1);
+    assert_eq!(sim.master().view().n_ues(), 1);
 
     // The agent process dies and a supervisor restarts it: soft state
     // (including the report subscription) is gone, the data plane lives.
@@ -167,7 +237,7 @@ fn agent_crash_is_detected_and_state_replayed() {
     sim.run(200);
     // The restarted agent re-helloed; the master replayed the
     // subscription, so reports resumed and the RIB went fresh again.
-    let rib = sim.master().rib();
+    let rib = sim.master().view();
     assert!(rib.stale_agents().is_empty(), "agent re-synced");
     assert_eq!(rib.n_ues(), 1, "UE leaf restored by replayed reports");
     let sync = rib

@@ -56,7 +56,7 @@ fn master_and_agent_over_real_tcp() {
         let tti = Tti(t);
         agent.run_tti(tti, &mut phy);
         master.run_cycle(tti);
-        if !subscribed && master.rib().agent(EnbId(1)).is_some() {
+        if !subscribed && master.view().agent(EnbId(1)).is_some() {
             master
                 .request_stats(
                     EnbId(1),
@@ -108,7 +108,7 @@ fn master_and_agent_over_real_tcp() {
     assert!(reconfigured, "UE attached and the policy swap applied");
     // The RIB mirrors the UE through real-TCP stats reports.
     let rib_ue = master
-        .rib()
+        .view()
         .agent(EnbId(1))
         .and_then(|a| a.cells.get(&CellId(0)))
         .and_then(|c| c.ues.get(&rnti));
