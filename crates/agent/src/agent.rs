@@ -347,10 +347,16 @@ impl<T: Transport> FlexranAgent<T> {
                 {
                     sched.schedule_dl_into(&scratch.dl_in, &mut scratch.dl_out);
                     if !scratch.dl_out.dcis.is_empty() {
+                        // Hand off through a recycled buffer (returned to
+                        // the cell's pool once executed) — the scratch
+                        // vector keeps its capacity and the steady-state
+                        // loop stays allocation-free.
+                        let mut dcis = self.enb.recycled_dci_buffer(cell);
+                        dcis.extend_from_slice(&scratch.dl_out.dcis);
                         let d = DlSchedulingDecision {
                             cell,
                             target: tti,
-                            dcis: std::mem::take(&mut scratch.dl_out.dcis),
+                            dcis,
                         };
                         if self.enb.submit_dl_decision(d, tti).is_err() {
                             self.counters.command_errors += 1;
@@ -366,10 +372,12 @@ impl<T: Transport> FlexranAgent<T> {
                 {
                     sched.schedule_ul_into(&scratch.ul_in, &mut scratch.ul_out);
                     if !scratch.ul_out.grants.is_empty() {
+                        let mut grants = self.enb.recycled_grant_buffer(cell);
+                        grants.extend_from_slice(&scratch.ul_out.grants);
                         let d = UlSchedulingDecision {
                             cell,
                             target: tti,
-                            grants: std::mem::take(&mut scratch.ul_out.grants),
+                            grants,
                         };
                         if self.enb.submit_ul_decision(d, tti).is_err() {
                             self.counters.command_errors += 1;

@@ -151,8 +151,8 @@ impl OptimizedEicicApp {
                 continue;
             };
             let queued: u64 = cell_node
-                .ues
-                .values()
+                .ues()
+                .iter()
                 .flat_map(|u| u.report.rlc.iter())
                 .filter(|b| b.lcid >= 3)
                 .map(|b| b.tx_queue_bytes)

@@ -119,20 +119,17 @@ mod tests {
     fn rib_with_cqi(cqi: u8) -> Rib {
         let mut rib = Rib::new();
         let agent = rib.agent_mut(EnbId(1));
-        let cell = agent.cells.entry(CellId(0)).or_default();
-        cell.ues.insert(
-            Rnti(0x100),
-            UeNode {
-                rnti: Rnti(0x100),
-                report: UeReport {
-                    rnti: 0x100,
-                    connected: true,
-                    wideband_cqi: cqi,
-                    ..Default::default()
-                },
+        let cell = agent.cell_entry(CellId(0));
+        cell.insert_ue(UeNode {
+            rnti: Rnti(0x100),
+            report: UeReport {
+                rnti: 0x100,
+                connected: true,
+                wideband_cqi: cqi,
                 ..Default::default()
             },
-        );
+            ..Default::default()
+        });
         rib
     }
 

@@ -47,7 +47,7 @@ impl MobilityManagerApp {
     }
 
     fn cell_load(&self, rib: &RibView<'_>, enb: EnbId, cell: CellId) -> usize {
-        rib.cell(enb, cell).map(|c| c.ues.len()).unwrap_or(0)
+        rib.cell(enb, cell).map(|c| c.n_ues()).unwrap_or(0)
     }
 }
 
@@ -181,10 +181,9 @@ mod tests {
         // Target cell enb2/cell0 holds 5 UEs → 10 dB penalty.
         {
             let agent = rib.agent_mut(EnbId(2));
-            let cell = agent.cells.entry(CellId(0)).or_default();
+            let cell = agent.cell_entry(CellId(0));
             for i in 0..5u16 {
-                cell.ues
-                    .insert(flexran_types::ids::Rnti(0x200 + i), Default::default());
+                cell.ue_entry(flexran_types::ids::Rnti(0x200 + i));
             }
         }
         let mut nb = Northbound::new();

@@ -42,8 +42,8 @@ pub fn scheduler_input_from_rib(
         None => (50, 10), // the paper's 10 MHz defaults
     };
     let ues = cell
-        .ues
-        .values()
+        .ues()
+        .iter()
         .map(|u| {
             let r = &u.report;
             let raw_queue: u64 = r
@@ -90,8 +90,8 @@ pub fn ul_scheduler_input_from_rib(cell: &CellNode, now: Tti, target: Tti) -> Ul
         None => (50, 8),
     };
     let ues = cell
-        .ues
-        .values()
+        .ues()
+        .iter()
         .filter(|u| u.report.connected)
         .map(|u| {
             let bsr_idx = u.report.bsr.first().copied().unwrap_or(0) as u8;
@@ -181,7 +181,7 @@ impl App for CentralizedScheduler {
                 continue; // agent not syncing: cannot schedule remotely
             };
             let agent = rib.agent(enb).expect("listed agent");
-            let cells: Vec<u16> = agent.cells.keys().map(|c| c.0).collect();
+            let cells: Vec<u16> = agent.cells().iter().map(|c| c.cell_id.0).collect();
             for cell_id in cells {
                 if !self.in_scope(enb, cell_id) {
                     continue;
@@ -201,7 +201,7 @@ impl App for CentralizedScheduler {
                 // don't re-schedule the same queue.
                 let mut discount: BTreeMap<u16, u64> = BTreeMap::new();
                 for target in from..=horizon {
-                    let cell = agent.cells.get(&CellId(cell_id)).expect("listed cell");
+                    let cell = agent.cell(CellId(cell_id)).expect("listed cell");
                     let input = scheduler_input_from_rib(cell, rib.now(), Tti(target), &discount);
                     let out = self.policy.schedule_dl(&input);
                     self.last_target.insert((enb, cell_id), target);
@@ -264,37 +264,32 @@ mod tests {
 
     #[test]
     fn input_adapter_maps_rib_fields() {
-        let mut cell = CellNode {
-            cell_id: CellId(0),
-            ..Default::default()
-        };
-        cell.ues.insert(
-            Rnti(0x100),
-            UeNode {
-                rnti: Rnti(0x100),
-                report: UeReport {
-                    rnti: 0x100,
-                    wideband_cqi: 9,
-                    slice: 1,
-                    priority_group: 1,
-                    rlc: vec![
-                        RlcReport {
-                            lcid: 1,
-                            tx_queue_bytes: 60,
-                            ..Default::default()
-                        },
-                        RlcReport {
-                            lcid: 3,
-                            tx_queue_bytes: 9_000,
-                            hol_delay_ms: 12,
-                            ..Default::default()
-                        },
-                    ],
-                    ..Default::default()
-                },
+        let mut cell = CellNode::default();
+        cell.cell_id = CellId(0);
+        cell.insert_ue(UeNode {
+            rnti: Rnti(0x100),
+            report: UeReport {
+                rnti: 0x100,
+                wideband_cqi: 9,
+                slice: 1,
+                priority_group: 1,
+                rlc: vec![
+                    RlcReport {
+                        lcid: 1,
+                        tx_queue_bytes: 60,
+                        ..Default::default()
+                    },
+                    RlcReport {
+                        lcid: 3,
+                        tx_queue_bytes: 9_000,
+                        hol_delay_ms: 12,
+                        ..Default::default()
+                    },
+                ],
                 ..Default::default()
             },
-        );
+            ..Default::default()
+        });
         let input = scheduler_input_from_rib(&cell, Tti(10), Tti(16), &BTreeMap::new());
         assert_eq!(input.available_prb, 50);
         let ue = &input.ues[0];
@@ -406,26 +401,22 @@ mod tests {
         {
             let agent = rib.agent_mut(EnbId(1));
             agent.last_sync = Some((Tti(100), Tti(101)));
-            let cell = agent.cells.entry(CellId(0)).or_default();
-            cell.cell_id = CellId(0);
-            cell.ues.insert(
-                Rnti(0x100),
-                UeNode {
-                    rnti: Rnti(0x100),
-                    report: UeReport {
-                        rnti: 0x100,
-                        connected: true,
-                        wideband_cqi: 12,
-                        rlc: vec![RlcReport {
-                            lcid: 3,
-                            tx_queue_bytes: 100_000,
-                            ..Default::default()
-                        }],
+            let cell = agent.cell_entry(CellId(0));
+            cell.insert_ue(UeNode {
+                rnti: Rnti(0x100),
+                report: UeReport {
+                    rnti: 0x100,
+                    connected: true,
+                    wideband_cqi: 12,
+                    rlc: vec![RlcReport {
+                        lcid: 3,
+                        tx_queue_bytes: 100_000,
                         ..Default::default()
-                    },
+                    }],
                     ..Default::default()
                 },
-            );
+                ..Default::default()
+            });
             agent.mark_stale(Tti(105));
         }
         let mut nb = Northbound::new();

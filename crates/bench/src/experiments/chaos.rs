@@ -60,8 +60,8 @@ pub fn chaos(ctx: &ExpContext) -> ExpResult {
     res.note(format!(
         "{seeds} seeds × {ttis} TTIs ({shards:?} sharding), zero tolerated violations. \
          Oracles: failover legality, PRB capacity, HARQ monotonicity, RIB↔stack \
-         consistency, command conservation, decision sanity, shard ownership. Any \
-         violation pins (seed, TTI) for exact replay."
+         consistency, command conservation, decision sanity, shard ownership, \
+         budget-monitor consistency. Any violation pins (seed, TTI) for exact replay."
     ));
     ctx.write_csv(
         "chaos",

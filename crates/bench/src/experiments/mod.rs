@@ -43,6 +43,7 @@ pub const ALL: &[&str] = &[
     "ablation-bler-target",
     "outage",
     "scale",
+    "allocgate",
     "chaos",
 ];
 
@@ -66,6 +67,7 @@ pub fn run(id: &str, ctx: &ExpContext) -> Vec<ExpResult> {
         "ablation-bler-target" => vec![ablations::ablation_bler_target(ctx)],
         "outage" => vec![outage::outage(ctx)],
         "scale" => vec![scale::scale(ctx)],
+        "allocgate" => vec![scale::allocgate(ctx)],
         "chaos" => vec![chaos::chaos(ctx)],
         other => panic!("unknown experiment id '{other}' (available: {ALL:?})"),
     }

@@ -206,6 +206,7 @@ pub fn run_chaos(config: &ChaosConfig) -> ChaosReport {
         },
         seed: config.seed,
         workers: None,
+        tti_budget_ns: flexran::types::budget::DEFAULT_TTI_BUDGET_NS,
     };
     let mut sim = SimHarness::new(sim_cfg);
     let mut enbs = Vec::new();

@@ -251,6 +251,23 @@ impl Oracles {
                 self.check_shard_ownership(sim, enb, now);
             }
         }
+
+        // 8. Deadline-monitor internal consistency. Only the histogram
+        //    invariants are checked, never actual wall-clock values —
+        //    latencies vary run to run and must not affect chaos
+        //    verdicts (replay determinism).
+        for (tag, stats) in [
+            ("harness", sim.budget_stats()),
+            ("master", sim.master().budget_stats()),
+        ] {
+            if !stats.is_consistent() {
+                self.record(
+                    now,
+                    "budget-consistency",
+                    format!("{tag} TTI budget stats are internally inconsistent: {stats:?}"),
+                );
+            }
+        }
     }
 
     fn check_shard_ownership(&mut self, sim: &SimHarness, enb: EnbId, now: u64) {
@@ -303,9 +320,9 @@ impl Oracles {
             return;
         }
         let rib_set: BTreeSet<(CellId, Rnti)> = node
-            .cells
+            .cells()
             .iter()
-            .flat_map(|(cell, cn)| cn.ues.keys().map(move |rnti| (*cell, *rnti)))
+            .flat_map(|cn| cn.ues().iter().map(move |u| (cn.cell_id, u.rnti)))
             .collect();
         let mut stack_set: BTreeSet<(CellId, Rnti)> = BTreeSet::new();
         for cell in agent.enb().cell_ids() {

@@ -283,7 +283,7 @@ fn synthesize_snapshot(rib: &Rib, out: &mut Vec<u8>) {
                 capabilities: agent.capabilities.clone(),
             }),
         );
-        for cell in agent.cells.values() {
+        for cell in agent.cells() {
             if let Some(config) = &cell.config {
                 append_record(
                     out,
@@ -311,7 +311,7 @@ fn synthesize_snapshot(rib: &Rib, out: &mut Vec<u8>) {
                     }),
                 );
             }
-            for ue in cell.ues.values() {
+            for ue in cell.ues() {
                 // The attach/RACH event restores the UE tag and the
                 // connected flag (neither carried by reports); a stats
                 // record then overwrites the report verbatim. UEs that

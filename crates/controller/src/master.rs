@@ -43,6 +43,7 @@ use flexran_proto::messages::stats::{ReportConfig, StatsRequest};
 use flexran_proto::messages::{FlexranMessage, Header, ResyncRequest};
 use flexran_proto::transport::Transport;
 use flexran_proto::MessageCategory;
+use flexran_types::budget::{BudgetStats, TtiBudget, DEFAULT_TTI_BUDGET_NS};
 use flexran_types::ids::EnbId;
 use flexran_types::time::Tti;
 use flexran_types::{FlexError, Result};
@@ -77,6 +78,11 @@ pub struct TaskManagerConfig {
     /// How agents are partitioned over RIB shards. `Auto` (the default)
     /// is one shard — the classic serial master.
     pub shards: ShardSpec,
+    /// Per-cycle wall-time deadline fed to the [`TtiBudget`] monitor
+    /// (nanoseconds; LTE subframe = 1 ms). Observability only: the
+    /// monitor reports latency percentiles and over-budget counts but
+    /// never feeds wall time back into scheduling, so determinism holds.
+    pub tti_budget_ns: u64,
 }
 
 impl Default for TaskManagerConfig {
@@ -87,6 +93,7 @@ impl Default for TaskManagerConfig {
             liveness_timeout: 0,
             journal_snapshot_every: 0,
             shards: ShardSpec::Auto,
+            tti_budget_ns: DEFAULT_TTI_BUDGET_NS,
         }
     }
 }
@@ -170,6 +177,9 @@ pub struct MasterController {
     cross_shard_handovers: u64,
     /// RIB-slot stopwatch, armed by `begin_cycle`, read by `finish_cycle`.
     cycle_start: Option<Instant>,
+    /// Deadline monitor over whole cycles (RIB slot + apps slot) against
+    /// `config.tti_budget_ns`. Purely observational.
+    budget: TtiBudget,
 }
 
 impl MasterController {
@@ -190,6 +200,7 @@ impl MasterController {
             next_global_idx: 0,
             cross_shard_handovers: 0,
             cycle_start: None,
+            budget: TtiBudget::new(config.tti_budget_ns),
         }
     }
 
@@ -328,7 +339,7 @@ impl MasterController {
     /// Shard-transparent read view over the whole control plane (what
     /// the apps slot sees).
     pub fn view(&self) -> RibView<'_> {
-        RibView::sharded(self.now, &self.shards)
+        RibView::sharded(self.now, &self.shards).with_budget(self.budget.stats())
     }
 
     /// Clone-merge the shard forests into one owned RIB snapshot
@@ -367,6 +378,23 @@ impl MasterController {
 
     pub fn accounting(&self) -> CycleAccounting {
         self.accounting
+    }
+
+    /// Deadline-monitor snapshot: latency percentiles, worst case, and
+    /// the over-budget cycle count against `config.tti_budget_ns`.
+    pub fn budget_stats(&self) -> BudgetStats {
+        self.budget.stats()
+    }
+
+    /// Cycles whose wall time exceeded the TTI budget so far.
+    pub fn over_budget_cycles(&self) -> u64 {
+        self.budget.stats().over_budget
+    }
+
+    /// Forget all deadline-monitor samples (e.g. after a warm-up phase)
+    /// without touching the budget itself.
+    pub fn reset_budget(&mut self) {
+        self.budget.reset();
     }
 
     pub fn conflicts(&self) -> u64 {
@@ -520,6 +548,7 @@ impl MasterController {
     /// sessions whose `Hello` arrived to their owning shards (the hello
     /// itself rides along in the session's carryover queue, so the shard
     /// folds it through its own single writer this same cycle).
+    // lint:no-alloc — serial cycle front, runs every TTI
     pub fn begin_cycle(&mut self, now: Tti) {
         self.now = now;
         // Wall-clock here only *measures* the slot (Fig. 8 accounting);
@@ -620,6 +649,7 @@ impl MasterController {
     /// serial loop for every shard count), run the apps slot against the
     /// shard-transparent facade, route staged commands through the
     /// cross-shard mailboxes, and account the cycle.
+    // lint:no-alloc — per-TTI merge + apps slot; steady state is heap-free
     pub fn finish_cycle(&mut self, now: Tti) -> CycleStats {
         self.rehome_sessions();
         let rib_slot = self
@@ -631,6 +661,9 @@ impl MasterController {
         // --------------------------- Apps slot --------------------------
         // Measurement only, as above. lint:allow(wall-clock)
         let apps_start = Instant::now();
+        // `append` below steals the shards' already-allocated buffers and
+        // events are rare, so steady state stays heap-free.
+        // lint:allow(hot-alloc) Vec::new never allocates
         let mut events: Vec<TaggedEvent> = Vec::new();
         for shard in &mut self.shards {
             events.append(&mut shard.events);
@@ -640,7 +673,7 @@ impl MasterController {
         // session-attach order, exactly the serial loop's emission order.
         events.sort_by_key(|e| (e.phase, e.order));
         for app in self.apps.iter_mut() {
-            let view = RibView::sharded(now, &self.shards);
+            let view = RibView::sharded(now, &self.shards).with_budget(self.budget.stats());
             let mut ctl = self.nb.control();
             for ev in &events {
                 app.on_event(&ev.event, &view, &mut ctl);
@@ -688,6 +721,7 @@ impl MasterController {
         self.accounting.cycles += 1;
         self.accounting.rib_total += rib_slot;
         self.accounting.apps_total += apps_slot;
+        self.budget.record((rib_slot + apps_slot).as_nanos() as u64);
         CycleStats {
             rib_slot,
             apps_slot,

@@ -32,6 +32,7 @@
 use std::collections::BTreeSet;
 
 use flexran_proto::messages::{DlSchedulingCommand, FlexranMessage, Header};
+use flexran_types::budget::BudgetStats;
 use flexran_types::ids::{CellId, EnbId, Rnti};
 use flexran_types::time::Tti;
 use flexran_types::{FlexError, Result};
@@ -184,6 +185,9 @@ enum Backing<'a> {
 pub struct RibView<'a> {
     now: Tti,
     backing: Backing<'a>,
+    /// Deadline-monitor snapshot carried from the master (all-zero for
+    /// fixture views built with [`RibView::over`]).
+    budget: BudgetStats,
 }
 
 impl<'a> RibView<'a> {
@@ -192,7 +196,15 @@ impl<'a> RibView<'a> {
         RibView {
             now,
             backing: Backing::Single(rib),
+            budget: BudgetStats::default(),
         }
+    }
+
+    /// Attach a deadline-monitor snapshot (the master does this when
+    /// minting views; fixtures may too, to test budget-aware apps).
+    pub fn with_budget(mut self, budget: BudgetStats) -> Self {
+        self.budget = budget;
+        self
     }
 
     /// A view over the master's shards (the master mints these).
@@ -200,12 +212,21 @@ impl<'a> RibView<'a> {
         RibView {
             now,
             backing: Backing::Sharded(shards),
+            budget: BudgetStats::default(),
         }
     }
 
     /// Master time of this cycle.
     pub fn now(&self) -> Tti {
         self.now
+    }
+
+    /// The master's TTI-deadline monitor as of this cycle: latency
+    /// percentiles, worst case, and the over-budget counter. Wall-clock
+    /// observability only — applications must never let these values
+    /// influence scheduling decisions (determinism contract).
+    pub fn budget(&self) -> BudgetStats {
+        self.budget
     }
 
     pub fn agent(&self, enb: EnbId) -> Option<&'a AgentNode> {
@@ -216,11 +237,11 @@ impl<'a> RibView<'a> {
     }
 
     pub fn cell(&self, enb: EnbId, cell: CellId) -> Option<&'a CellNode> {
-        self.agent(enb)?.cells.get(&cell)
+        self.agent(enb)?.cell(cell)
     }
 
     pub fn ue(&self, enb: EnbId, cell: CellId, rnti: Rnti) -> Option<&'a UeNode> {
-        self.cell(enb, cell)?.ues.get(&rnti)
+        self.cell(enb, cell)?.ue(rnti)
     }
 
     /// All agents, ascending by id regardless of shard layout.
@@ -250,8 +271,8 @@ impl<'a> RibView<'a> {
             Backing::Sharded(_) => {
                 let mut out = Vec::new();
                 for agent in self.agents() {
-                    for c in agent.cells.values() {
-                        for u in c.ues.values() {
+                    for c in agent.cells() {
+                        for u in c.ues() {
                             out.push((agent.enb_id, c.cell_id, u));
                         }
                     }

@@ -29,14 +29,81 @@ pub struct UeNode {
     pub updated: Tti,
 }
 
-/// Second level: one cell.
+/// Second level: one cell. UE leaves live in a dense slab sorted by
+/// RNTI: hot readers (`RibView` polls, `run_rib_slot` walks) scan a
+/// contiguous slice instead of chasing B-tree nodes; attach/detach pays
+/// the (cold) sorted insert/remove.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct CellNode {
     pub cell_id: CellId,
     pub config: Option<CellConfigPb>,
     pub last_report: Option<CellReport>,
     pub updated: Tti,
-    pub ues: BTreeMap<Rnti, UeNode>,
+    ues: Vec<UeNode>,
+}
+
+impl CellNode {
+    /// All UE leaves, ascending by RNTI (the hot read path).
+    pub fn ues(&self) -> &[UeNode] {
+        &self.ues
+    }
+
+    pub fn ue(&self, rnti: Rnti) -> Option<&UeNode> {
+        self.ues
+            .binary_search_by_key(&rnti, |u| u.rnti)
+            .ok()
+            // lint:allow(panic) index returned by binary_search on this vec
+            .map(|i| &self.ues[i])
+    }
+
+    pub fn ue_mut(&mut self, rnti: Rnti) -> Option<&mut UeNode> {
+        self.ues
+            .binary_search_by_key(&rnti, |u| u.rnti)
+            .ok()
+            // lint:allow(panic) index returned by binary_search on this vec
+            .map(|i| &mut self.ues[i])
+    }
+
+    /// Writer-side find-or-create (attach path; the slab insert keeps
+    /// ascending-RNTI order so reads stay bit-identical to the B-tree
+    /// layout this replaced).
+    pub fn ue_entry(&mut self, rnti: Rnti) -> &mut UeNode {
+        let i = match self.ues.binary_search_by_key(&rnti, |u| u.rnti) {
+            Ok(i) => i,
+            Err(i) => {
+                self.ues.insert(
+                    i,
+                    UeNode {
+                        rnti,
+                        ..UeNode::default()
+                    },
+                );
+                i
+            }
+        };
+        // lint:allow(panic) `i` is a hit or the freshly inserted position
+        &mut self.ues[i]
+    }
+
+    /// Writer-side insert of a fully built leaf (fixtures, shard merge).
+    pub fn insert_ue(&mut self, node: UeNode) {
+        match self.ues.binary_search_by_key(&node.rnti, |u| u.rnti) {
+            // lint:allow(panic) index returned by binary_search on this vec
+            Ok(i) => self.ues[i] = node,
+            Err(i) => self.ues.insert(i, node),
+        }
+    }
+
+    pub fn remove_ue(&mut self, rnti: Rnti) -> Option<UeNode> {
+        self.ues
+            .binary_search_by_key(&rnti, |u| u.rnti)
+            .ok()
+            .map(|i| self.ues.remove(i))
+    }
+
+    pub fn n_ues(&self) -> usize {
+        self.ues.len()
+    }
 }
 
 /// Root: one agent / eNodeB.
@@ -59,10 +126,59 @@ pub struct AgentNode {
     /// kept (the topology has not changed, and the rejoining agent will
     /// refresh it) but readers must not treat it as live state.
     pub stale_since: Option<Tti>,
-    pub cells: BTreeMap<CellId, CellNode>,
+    /// Dense cell slab sorted by cell id (same flattening as
+    /// [`CellNode::ues`]).
+    cells: Vec<CellNode>,
 }
 
 impl AgentNode {
+    /// All cells, ascending by id (the hot read path).
+    pub fn cells(&self) -> &[CellNode] {
+        &self.cells
+    }
+
+    pub fn cell(&self, cell: CellId) -> Option<&CellNode> {
+        self.cells
+            .binary_search_by_key(&cell, |c| c.cell_id)
+            .ok()
+            // lint:allow(panic) index returned by binary_search on this vec
+            .map(|i| &self.cells[i])
+    }
+
+    pub fn cell_mut(&mut self, cell: CellId) -> Option<&mut CellNode> {
+        self.cells
+            .binary_search_by_key(&cell, |c| c.cell_id)
+            .ok()
+            // lint:allow(panic) index returned by binary_search on this vec
+            .map(|i| &mut self.cells[i])
+    }
+
+    /// Writer-side find-or-create (config/report/attach paths).
+    pub fn cell_entry(&mut self, cell: CellId) -> &mut CellNode {
+        let i = match self.cells.binary_search_by_key(&cell, |c| c.cell_id) {
+            Ok(i) => i,
+            Err(i) => {
+                self.cells.insert(
+                    i,
+                    CellNode {
+                        cell_id: cell,
+                        ..CellNode::default()
+                    },
+                );
+                i
+            }
+        };
+        // lint:allow(panic) `i` is a hit or the freshly inserted position
+        &mut self.cells[i]
+    }
+
+    pub fn remove_cell(&mut self, cell: CellId) -> Option<CellNode> {
+        self.cells
+            .binary_search_by_key(&cell, |c| c.cell_id)
+            .ok()
+            .map(|i| self.cells.remove(i))
+    }
+
     /// The newest subframe the master knows the agent has reached.
     pub fn synced_subframe(&self) -> Option<Tti> {
         self.last_sync.map(|(agent_tti, _)| agent_tti)
@@ -98,11 +214,38 @@ struct WriteGuard {
 }
 
 /// The RAN Information Base.
-#[derive(Debug, Clone, Default)]
+///
+/// Agent subtrees live in index-addressed slots (`slots`): a slot id is
+/// assigned on attach, stays stable for the agent's lifetime, and is
+/// recycled after a permanent departure. The `EnbId` → slot map is the
+/// *cold* path — attach, detach and point queries; every per-cycle walk
+/// (`agents`, `all_ues`, the shard RIB slot) iterates `order`, which
+/// holds the live slots ascending by agent id so iteration order — and
+/// therefore every digest and journal snapshot — is bit-identical to
+/// the B-tree forest this replaced.
+#[derive(Clone, Default)]
 pub struct Rib {
-    agents: BTreeMap<EnbId, AgentNode>,
+    slots: Vec<Option<AgentNode>>,
+    /// Cold id → slot lookup (attach/detach/point queries).
+    index: BTreeMap<EnbId, usize>,
+    /// Live slots, ascending by `EnbId` (the hot iteration order).
+    order: Vec<usize>,
+    /// Recyclable slot ids.
+    free: Vec<usize>,
     #[cfg(feature = "debug-invariants")]
     write_guard: WriteGuard,
+}
+
+/// Slot numbering and free-list state are attach-order artefacts, not
+/// forest data: `Debug` renders the id-ordered forest only, so a dump
+/// (and anything hashing it) is identical across shard layouts and
+/// recovery paths that build the same forest.
+impl std::fmt::Debug for Rib {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_map()
+            .entries(self.agents().map(|a| (a.enb_id, a)))
+            .finish()
+    }
 }
 
 /// Forest equality — write-guard bookkeeping is deliberately excluded so
@@ -110,7 +253,9 @@ pub struct Rib {
 /// the pre-crash original (journal round-trip golden tests).
 impl PartialEq for Rib {
     fn eq(&self, other: &Self) -> bool {
-        self.agents == other.agents
+        // Slot numbering is an artefact of attach order; forests are
+        // equal when the id-ordered agent sequences are.
+        self.n_agents() == other.n_agents() && self.agents().eq(other.agents())
     }
 }
 
@@ -162,7 +307,9 @@ impl Rib {
     }
 
     pub fn agent(&self, enb: EnbId) -> Option<&AgentNode> {
-        self.agents.get(&enb)
+        let &slot = self.index.get(&enb)?;
+        // lint:allow(panic) `index` only holds live slot positions
+        self.slots[slot].as_ref()
     }
 
     /// Writer-side access: creates the agent node if missing. Only the
@@ -171,10 +318,44 @@ impl Rib {
     pub fn agent_mut(&mut self, enb: EnbId) -> &mut AgentNode {
         #[cfg(feature = "debug-invariants")]
         self.assert_writable();
-        self.agents.entry(enb).or_insert_with(|| AgentNode {
-            enb_id: enb,
-            ..AgentNode::default()
-        })
+        let slot = match self.index.get(&enb) {
+            Some(&s) => s,
+            None => self.attach_slot(
+                enb,
+                AgentNode {
+                    enb_id: enb,
+                    ..AgentNode::default()
+                },
+            ),
+        };
+        // lint:allow(panic) `index` and `slots` move in lockstep; a hit is live
+        self.slots[slot].as_mut().expect("indexed slot is live")
+    }
+
+    /// Cold path: claim a slot for a new agent and splice it into the
+    /// id-ordered iteration sequence.
+    fn attach_slot(&mut self, enb: EnbId, node: AgentNode) -> usize {
+        let slot = match self.free.pop() {
+            Some(s) => {
+                // lint:allow(panic) `free` only holds retired in-bounds slots
+                self.slots[s] = Some(node);
+                s
+            }
+            None => {
+                self.slots.push(Some(node));
+                self.slots.len() - 1
+            }
+        };
+        self.index.insert(enb, slot);
+        let pos = self
+            .order
+            .binary_search_by_key(&enb, |&s| {
+                // lint:allow(panic) `order` only lists live slots
+                self.slots[s].as_ref().expect("ordered slot is live").enb_id
+            })
+            .unwrap_or_else(|p| p);
+        self.order.insert(pos, slot);
+        slot
     }
 
     /// Adopt a fully built agent subtree (shard-merge path: assembling a
@@ -183,7 +364,13 @@ impl Rib {
     pub fn adopt_agent(&mut self, node: AgentNode) {
         #[cfg(feature = "debug-invariants")]
         self.assert_writable();
-        self.agents.insert(node.enb_id, node);
+        match self.index.get(&node.enb_id) {
+            // lint:allow(panic) `index` only holds live slot positions
+            Some(&slot) => self.slots[slot] = Some(node),
+            None => {
+                self.attach_slot(node.enb_id, node);
+            }
+        }
     }
 
     /// Remove an agent (permanent departure). Transient session loss
@@ -192,39 +379,49 @@ impl Rib {
     pub fn remove_agent(&mut self, enb: EnbId) {
         #[cfg(feature = "debug-invariants")]
         self.assert_writable();
-        self.agents.remove(&enb);
+        let Some(slot) = self.index.remove(&enb) else {
+            return;
+        };
+        // lint:allow(panic) `index` only holds live slot positions
+        self.slots[slot] = None;
+        self.free.push(slot);
+        if let Some(pos) = self.order.iter().position(|&s| s == slot) {
+            self.order.remove(pos);
+        }
     }
 
     /// Agents whose sessions are currently down, with their epoch starts.
     pub fn stale_agents(&self) -> Vec<(EnbId, Tti)> {
-        self.agents
-            .values()
+        self.agents()
             .filter_map(|a| a.stale_since.map(|t| (a.enb_id, t)))
             .collect()
     }
 
     pub fn agents(&self) -> impl Iterator<Item = &AgentNode> {
-        self.agents.values()
+        self.order
+            .iter()
+            // lint:allow(panic) `order` only lists live slots
+            .map(|&s| self.slots[s].as_ref().expect("ordered slot is live"))
     }
 
     pub fn n_agents(&self) -> usize {
-        self.agents.len()
+        self.order.len()
     }
 
     pub fn cell(&self, enb: EnbId, cell: CellId) -> Option<&CellNode> {
-        self.agents.get(&enb)?.cells.get(&cell)
+        self.agent(enb)?.cell(cell)
     }
 
     pub fn ue(&self, enb: EnbId, cell: CellId, rnti: Rnti) -> Option<&UeNode> {
-        self.cell(enb, cell)?.ues.get(&rnti)
+        self.cell(enb, cell)?.ue(rnti)
     }
 
     /// All UEs across the forest, with their coordinates.
     pub fn all_ues(&self) -> Vec<(EnbId, CellId, &UeNode)> {
         let mut out = Vec::new();
-        for a in self.agents.values() {
-            for c in a.cells.values() {
-                for u in c.ues.values() {
+        for a in self.agents() {
+            for c in a.cells() {
+                for u in c.ues() {
                     out.push((a.enb_id, c.cell_id, u));
                 }
             }
@@ -234,10 +431,9 @@ impl Rib {
 
     /// Total UE count.
     pub fn n_ues(&self) -> usize {
-        self.agents
-            .values()
-            .flat_map(|a| a.cells.values())
-            .map(|c| c.ues.len())
+        self.agents()
+            .flat_map(|a| a.cells())
+            .map(|c| c.n_ues())
             .sum()
     }
 
@@ -245,16 +441,17 @@ impl Rib {
     /// paper Fig. 8.
     pub fn heap_bytes(&self) -> usize {
         let mut total = std::mem::size_of::<Self>();
-        for a in self.agents.values() {
-            total += std::mem::size_of::<AgentNode>();
+        total += self.slots.capacity() * std::mem::size_of::<Option<AgentNode>>();
+        total += (self.order.capacity() + self.free.capacity()) * std::mem::size_of::<usize>();
+        for a in self.agents() {
             total += a
                 .capabilities
                 .iter()
                 .map(|s| s.capacity() + 24)
                 .sum::<usize>();
-            for c in a.cells.values() {
+            for c in a.cells() {
                 total += std::mem::size_of::<CellNode>();
-                for u in c.ues.values() {
+                for u in c.ues() {
                     total += std::mem::size_of::<UeNode>();
                     // Vec payloads inside the raw report.
                     total += u.report.subband_cqi.capacity() * 8;
@@ -283,16 +480,12 @@ mod tests {
         {
             let agent = rib.agent_mut(EnbId(1));
             agent.connected_at = Tti(0);
-            let cell = agent.cells.entry(CellId(0)).or_default();
-            cell.cell_id = CellId(0);
-            cell.ues.insert(
-                Rnti(0x100),
-                UeNode {
-                    rnti: Rnti(0x100),
-                    ue_tag: UeId(7),
-                    ..UeNode::default()
-                },
-            );
+            let cell = agent.cell_entry(CellId(0));
+            cell.insert_ue(UeNode {
+                rnti: Rnti(0x100),
+                ue_tag: UeId(7),
+                ..UeNode::default()
+            });
         }
         assert_eq!(rib.n_agents(), 1);
         assert_eq!(rib.n_ues(), 1);
@@ -308,11 +501,14 @@ mod tests {
         let mut rib = Rib::new();
         let empty = rib.heap_bytes();
         let agent = rib.agent_mut(EnbId(1));
-        let cell = agent.cells.entry(CellId(0)).or_default();
+        let cell = agent.cell_entry(CellId(0));
         for i in 0..16u16 {
-            let mut node = UeNode::default();
+            let mut node = UeNode {
+                rnti: Rnti(0x100 + i),
+                ..Default::default()
+            };
             node.report.subband_cqi = vec![9; 13];
-            cell.ues.insert(Rnti(0x100 + i), node);
+            cell.insert_ue(node);
         }
         assert!(rib.heap_bytes() > empty + 16 * 100);
     }
@@ -322,8 +518,11 @@ mod tests {
         let mut rib = Rib::new();
         {
             let agent = rib.agent_mut(EnbId(1));
-            let cell = agent.cells.entry(CellId(0)).or_default();
-            cell.ues.insert(Rnti(0x100), UeNode::default());
+            let cell = agent.cell_entry(CellId(0));
+            cell.insert_ue(UeNode {
+                rnti: Rnti(0x100),
+                ..UeNode::default()
+            });
         }
         assert!(rib.stale_agents().is_empty());
         rib.agent_mut(EnbId(1)).mark_stale(Tti(500));

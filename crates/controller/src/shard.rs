@@ -330,10 +330,13 @@ impl RibShard {
     /// sessions, fold messages through the shard's single writer,
     /// journal deltas, process rejoins and liveness timeouts. Exactly
     /// the old serial master loop, restricted to the shard's agents.
+    // lint:no-alloc — per-TTI shard slot; steady state must not touch the heap
     pub fn run_rib_slot(&mut self, now: Tti) {
         let (spec, index, n_shards, owned_hint) =
             (self.spec, self.index, self.n_shards, self.owned_hint);
         self.rib.open_write_cycle(now);
+        // Pushes happen only on the cold rejoin edge after an outage.
+        // lint:allow(hot-alloc) Vec::new never allocates
         let mut rejoined: Vec<usize> = Vec::new();
         for (idx, session) in self.sessions.iter_mut().enumerate() {
             if session.rejoin_pending {
@@ -418,6 +421,7 @@ impl RibShard {
             let Some((enb, order, replay)) = self
                 .sessions
                 .get(idx)
+                // lint:allow(hot-alloc) rejoin-only (cold): replays delegated state
                 .and_then(|s| s.enb_id.map(|enb| (enb, s.global_idx, s.replay.clone())))
             else {
                 continue;

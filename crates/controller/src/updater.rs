@@ -11,7 +11,7 @@ use flexran_proto::messages::{EventNotification, FlexranMessage};
 use flexran_types::ids::{CellId, EnbId, Rnti, UeId};
 use flexran_types::time::Tti;
 
-use crate::rib::{Rib, UeNode};
+use crate::rib::Rib;
 
 /// An event as surfaced to the Event Notification Service / applications.
 #[derive(Debug, Clone, PartialEq)]
@@ -79,7 +79,7 @@ impl RibUpdater {
                         self.rejected_updates += 1;
                         continue;
                     }
-                    let node = agent.cells.entry(CellId(c.cell_id)).or_default();
+                    let node = agent.cell_entry(CellId(c.cell_id));
                     node.cell_id = CellId(c.cell_id);
                     node.config = Some(c.clone());
                     node.updated = now;
@@ -100,7 +100,7 @@ impl RibUpdater {
                         self.rejected_updates += 1;
                         continue;
                     }
-                    let node = agent.cells.entry(CellId(c.cell_id)).or_default();
+                    let node = agent.cell_entry(CellId(c.cell_id));
                     node.cell_id = CellId(c.cell_id);
                     node.last_report = Some(*c);
                     node.updated = now;
@@ -110,12 +110,9 @@ impl RibUpdater {
                         self.rejected_updates += 1;
                         continue;
                     }
-                    let cell = agent.cells.entry(CellId(u.cell)).or_default();
+                    let cell = agent.cell_entry(CellId(u.cell));
                     cell.cell_id = CellId(u.cell);
-                    let node = cell.ues.entry(Rnti(u.rnti)).or_insert_with(|| UeNode {
-                        rnti: Rnti(u.rnti),
-                        ..UeNode::default()
-                    });
+                    let node = cell.ue_entry(Rnti(u.rnti));
                     node.report = u.clone();
                     node.updated = now;
                 }
@@ -130,12 +127,9 @@ impl RibUpdater {
                             self.rejected_updates += 1;
                             return None;
                         }
-                        let cell = agent.cells.entry(CellId(n.cell)).or_default();
+                        let cell = agent.cell_entry(CellId(n.cell));
                         cell.cell_id = CellId(n.cell);
-                        let node = cell.ues.entry(Rnti(n.rnti)).or_insert_with(|| UeNode {
-                            rnti: Rnti(n.rnti),
-                            ..UeNode::default()
-                        });
+                        let node = cell.ue_entry(Rnti(n.rnti));
                         node.ue_tag = UeId(n.ue_tag);
                         if n.kind == EventKind::UeAttached {
                             node.report.connected = true;
@@ -145,18 +139,18 @@ impl RibUpdater {
                     EventKind::AttachFailed
                     | EventKind::UeDetached
                     | EventKind::HandoverExecuted => {
-                        if let Some(cell) = agent.cells.get_mut(&CellId(n.cell)) {
-                            cell.ues.remove(&Rnti(n.rnti));
+                        if let Some(cell) = agent.cell_mut(CellId(n.cell)) {
+                            cell.remove_ue(Rnti(n.rnti));
                             // A cell node that existed only to hold this
                             // UE (no config, no report) is reclaimed —
                             // hostile attach/detach churn must not grow
                             // the forest, and the journal snapshot has no
                             // message that could recreate a bare cell.
-                            if cell.ues.is_empty()
+                            if cell.n_ues() == 0
                                 && cell.config.is_none()
                                 && cell.last_report.is_none()
                             {
-                                agent.cells.remove(&CellId(n.cell));
+                                agent.remove_cell(CellId(n.cell));
                             }
                         }
                     }
@@ -325,7 +319,10 @@ mod tests {
         );
         assert_eq!(up.rejected_updates, 2);
         let agent = rib.agent(EnbId(1)).unwrap();
-        assert!(agent.cells.is_empty(), "phantom state folded into the RIB");
+        assert!(
+            agent.cells().is_empty(),
+            "phantom state folded into the RIB"
+        );
         // Same guard on the event path.
         let ev = EventNotification {
             enb_id: EnbId(1),
@@ -344,7 +341,7 @@ mod tests {
             )
             .is_none());
         assert_eq!(up.rejected_updates, 3);
-        assert!(rib.agent(EnbId(1)).unwrap().cells.is_empty());
+        assert!(rib.agent(EnbId(1)).unwrap().cells().is_empty());
     }
 
     #[test]

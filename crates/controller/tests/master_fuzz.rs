@@ -189,14 +189,14 @@ proptest! {
         let live_rib = master.merged_rib();
         for agent in live_rib.agents() {
             prop_assert!(
-                agent.cells.len() as u64 <= u64::from(agent.n_cells),
+                agent.cells().len() as u64 <= u64::from(agent.n_cells),
                 "agent {:?} grew {} cells but declared {}",
-                agent.enb_id, agent.cells.len(), agent.n_cells
+                agent.enb_id, agent.cells().len(), agent.n_cells
             );
-            for (cell_id, cell) in &agent.cells {
-                prop_assert!(u32::from(cell_id.0) < agent.n_cells);
-                for rnti in cell.ues.keys() {
-                    prop_assert!(rnti.0 != 0, "null-RNTI UE folded into the RIB");
+            for cell in agent.cells() {
+                prop_assert!(u32::from(cell.cell_id.0) < agent.n_cells);
+                for u in cell.ues() {
+                    prop_assert!(u.rnti.0 != 0, "null-RNTI UE folded into the RIB");
                 }
             }
         }
@@ -218,7 +218,7 @@ proptest! {
             prop_assert_eq!(live.n_cells, rec.n_cells);
             prop_assert_eq!(live.connected_at, rec.connected_at);
             prop_assert_eq!(live.last_sync, rec.last_sync);
-            prop_assert_eq!(&live.cells, &rec.cells);
+            prop_assert_eq!(live.cells(), rec.cells());
         }
     }
 }

@@ -42,6 +42,7 @@ use flexran_stack::mac::scheduler::{
     UlScheduler, UlSchedulerInput, UlSchedulerOutput,
 };
 use flexran_stack::stats::UeStats;
+use flexran_types::budget::TtiBudget;
 use flexran_types::config::EnbConfig;
 use flexran_types::ids::{CellId, EnbId, Rnti, SliceId, UeId};
 use flexran_types::time::Tti;
@@ -63,6 +64,10 @@ pub struct SimConfig {
     /// threads. Observables are bit-identical either way — see
     /// DESIGN.md §"Simulation engine" for the determinism contract.
     pub workers: Option<usize>,
+    /// Whole-step wall-time deadline for the TTI budget monitor
+    /// (nanoseconds; LTE subframe = 1 ms). Observability only — the
+    /// monitor never feeds wall time back into simulation state.
+    pub tti_budget_ns: u64,
 }
 
 impl Default for SimConfig {
@@ -73,6 +78,7 @@ impl Default for SimConfig {
             master: TaskManagerConfig::default(),
             seed: 1,
             workers: None,
+            tti_budget_ns: flexran_types::budget::DEFAULT_TTI_BUDGET_NS,
         }
     }
 }
@@ -144,6 +150,81 @@ where
             });
         }
     });
+}
+
+/// Two-slice variant of [`fan_out`] for phases that need a disjoint
+/// `&mut` pair per index (an agent and its UE bucket). Chunking and
+/// merge order are identical to `fan_out`, so serial and parallel runs
+/// stay bit-identical.
+fn fan_out2<A, B, R, F>(a: &mut [A], b: &mut [B], out: &mut Vec<R>, workers: usize, f: F)
+where
+    A: Send,
+    B: Send,
+    R: Send + Default,
+    F: Fn(usize, &mut A, &mut B) -> R + Sync,
+{
+    assert_eq!(a.len(), b.len(), "fan_out2 over unequal slices");
+    out.clear();
+    out.resize_with(a.len(), R::default);
+    let workers = workers.clamp(1, a.len().max(1));
+    if workers <= 1 {
+        for (i, ((ai, bi), slot)) in a
+            .iter_mut()
+            .zip(b.iter_mut())
+            .zip(out.iter_mut())
+            .enumerate()
+        {
+            *slot = f(i, ai, bi);
+        }
+        return;
+    }
+    let chunk = a.len().div_ceil(workers);
+    std::thread::scope(|s| {
+        let f = &f;
+        for (ci, ((ac, bc), oc)) in a
+            .chunks_mut(chunk)
+            .zip(b.chunks_mut(chunk))
+            .zip(out.chunks_mut(chunk))
+            .enumerate()
+        {
+            s.spawn(move || {
+                for (j, ((ai, bi), slot)) in ac
+                    .iter_mut()
+                    .zip(bc.iter_mut())
+                    .zip(oc.iter_mut())
+                    .enumerate()
+                {
+                    *slot = f(ci * chunk + j, ai, bi);
+                }
+            });
+        }
+    });
+}
+
+/// Shared lookup into the per-agent UE buckets (the permanent home of
+/// every [`UeEntry`]): `index` maps a UE to its owning agent, the
+/// bucket is sorted by `UeId`. Free functions so callers can hold
+/// disjoint borrows of the harness's other fields.
+fn ue_entry<'a>(
+    index: &BTreeMap<UeId, usize>,
+    buckets: &'a [Vec<(UeId, UeEntry)>],
+    ue: UeId,
+) -> Option<&'a UeEntry> {
+    let &idx = index.get(&ue)?;
+    let b = buckets.get(idx)?;
+    let i = b.binary_search_by_key(&ue, |(u, _)| *u).ok()?;
+    Some(&b[i].1)
+}
+
+fn ue_entry_mut<'a>(
+    index: &BTreeMap<UeId, usize>,
+    buckets: &'a mut [Vec<(UeId, UeEntry)>],
+    ue: UeId,
+) -> Option<&'a mut UeEntry> {
+    let &idx = index.get(&ue)?;
+    let b = buckets.get_mut(idx)?;
+    let i = b.binary_search_by_key(&ue, |(u, _)| *u).ok()?;
+    Some(&mut b[i].1)
 }
 
 /// One UE's per-TTI traffic-source and measurement-report injection,
@@ -241,7 +322,9 @@ pub struct SimHarness {
     agents: Vec<FlexranAgent<SimTransport>>,
     rnti_maps: Vec<BTreeMap<(CellId, Rnti), UeId>>,
     radio: RadioEnvironment,
-    ues: BTreeMap<UeId, UeEntry>,
+    /// UE → owning agent index (cold path: attach, handover, queries).
+    /// The entries themselves live in `ue_buckets`.
+    ues: BTreeMap<UeId, usize>,
     next_ue: u32,
     now: Tti,
     /// `(agent, cell)` → radio site (geometry-mode interference).
@@ -256,9 +339,16 @@ pub struct SimHarness {
     pub last_events: Vec<(EnbId, EnbEvent)>,
     /// Phase-B scratch, reused every TTI.
     phase_b_out: Vec<PhaseBOut>,
-    /// Per-agent traffic-loop buckets, reused every TTI.
+    /// Permanent per-agent UE buckets (sorted by `UeId`), indexed by
+    /// `ues`. Phase A iterates these directly — no per-TTI rebucketing.
     ue_buckets: Vec<Vec<(UeId, UeEntry)>>,
+    /// Active-site scratch (measurement hint, then interference
+    /// coupling), reused every TTI.
+    site_scratch: Vec<usize>,
     timings: PhaseTimings,
+    /// Whole-step deadline monitor against `config.tti_budget_ns`
+    /// (records the same span `PhaseTimings` decomposes).
+    budget: TtiBudget,
     config: SimConfig,
     /// Per-agent fault handle (same order as `agents`), where one was
     /// attached.
@@ -295,7 +385,9 @@ impl SimHarness {
             site_activity: BTreeMap::new(),
             phase_b_out: Vec::new(),
             ue_buckets: Vec::new(),
+            site_scratch: Vec::new(),
             timings: PhaseTimings::default(),
+            budget: TtiBudget::new(config.tti_budget_ns),
             config,
             fault_handles: Vec::new(),
             master_down: false,
@@ -485,18 +577,20 @@ impl SimHarness {
         self.site_activity.insert(site, (pattern, transmit_in_abs));
     }
 
-    fn measurement_active_sites(&self, tti: Tti) -> Vec<usize> {
-        self.cell_sites
-            .values()
-            .filter(|site| match self.site_activity.get(site) {
-                None => true,
-                Some((pattern, tx_in_abs)) => {
-                    let abs = pattern[(tti.0 % 40) as usize];
-                    abs == *tx_in_abs
-                }
-            })
-            .copied()
-            .collect()
+    fn measurement_active_sites_into(&self, tti: Tti, out: &mut Vec<usize>) {
+        out.clear();
+        out.extend(
+            self.cell_sites
+                .values()
+                .filter(|site| match self.site_activity.get(site) {
+                    None => true,
+                    Some((pattern, tx_in_abs)) => {
+                        let abs = pattern[(tti.0 % 40) as usize];
+                        abs == *tx_in_abs
+                    }
+                })
+                .copied(),
+        );
     }
 
     /// Add a UE and start its attach procedure.
@@ -544,7 +638,7 @@ impl SimHarness {
             .rach(cell, ue, slice, group, self.now)
             .expect("cell exists");
         self.rnti_maps[idx].insert((cell, rnti), ue);
-        self.ues.insert(
+        self.insert_ue_entry(
             ue,
             UeEntry {
                 agent_idx: idx,
@@ -561,34 +655,73 @@ impl SimHarness {
         ue
     }
 
+    /// Place a UE entry into its agent's bucket (sorted by `UeId`) and
+    /// record the owner in the index. Cold path: attach and handover.
+    fn insert_ue_entry(&mut self, ue: UeId, entry: UeEntry) {
+        let idx = entry.agent_idx;
+        if self.ue_buckets.len() < self.agents.len() {
+            self.ue_buckets.resize_with(self.agents.len(), Vec::new);
+        }
+        let b = &mut self.ue_buckets[idx];
+        let pos = b
+            .binary_search_by_key(&ue, |(u, _)| *u)
+            .unwrap_or_else(|p| p);
+        b.insert(pos, (ue, entry));
+        self.ues.insert(ue, idx);
+    }
+
+    /// Move a UE's entry to another agent's bucket (handover).
+    fn rehome_ue_entry(&mut self, ue: UeId, new_idx: usize) {
+        let Some(&old_idx) = self.ues.get(&ue) else {
+            return;
+        };
+        if old_idx == new_idx {
+            return;
+        }
+        let Ok(i) = self.ue_buckets[old_idx].binary_search_by_key(&ue, |(u, _)| *u) else {
+            return;
+        };
+        let (_, mut entry) = self.ue_buckets[old_idx].remove(i);
+        entry.agent_idx = new_idx;
+        self.insert_ue_entry(ue, entry);
+    }
+
+    fn entry(&self, ue: UeId) -> Option<&UeEntry> {
+        ue_entry(&self.ues, &self.ue_buckets, ue)
+    }
+
+    fn entry_mut(&mut self, ue: UeId) -> Option<&mut UeEntry> {
+        ue_entry_mut(&self.ues, &mut self.ue_buckets, ue)
+    }
+
     pub fn set_dl_traffic(&mut self, ue: UeId, source: Box<dyn TrafficSource>) {
-        if let Some(e) = self.ues.get_mut(&ue) {
+        if let Some(e) = self.entry_mut(ue) {
             e.dl_source = Some(source);
         }
     }
 
     pub fn set_ul_traffic(&mut self, ue: UeId, source: Box<dyn TrafficSource>) {
-        if let Some(e) = self.ues.get_mut(&ue) {
+        if let Some(e) = self.entry_mut(ue) {
             e.ul_source = Some(source);
         }
     }
 
     /// Enable periodic measurement reports for a geometry-mode UE.
     pub fn enable_measurements(&mut self, ue: UeId, period_ms: u64) {
-        if let Some(e) = self.ues.get_mut(&ue) {
+        if let Some(e) = self.entry_mut(ue) {
             e.meas_period = Some(period_ms.max(1));
         }
     }
 
     /// Current serving eNodeB of a UE.
     pub fn serving_enb(&self, ue: UeId) -> Option<EnbId> {
-        let e = self.ues.get(&ue)?;
+        let e = self.entry(ue)?;
         Some(self.agents[e.agent_idx].enb().config().enb_id)
     }
 
     /// Data-plane statistics for a UE (None while detached / re-attaching).
     pub fn ue_stats(&self, ue: UeId) -> Option<UeStats> {
-        let e = self.ues.get(&ue)?;
+        let e = self.entry(ue)?;
         let rnti = e.rnti?;
         self.agents[e.agent_idx].enb().ue_stat(e.cell, rnti).ok()
     }
@@ -596,17 +729,19 @@ impl SimHarness {
     /// Inject downlink bytes directly (application-paced flows: TCP/DASH
     /// drive this between steps).
     pub fn inject_dl(&mut self, ue: UeId, bytes: Bytes) -> Result<()> {
-        let e = self
-            .ues
-            .get(&ue)
-            .ok_or_else(|| FlexError::NotFound(format!("{ue}")))?;
-        let rnti = e
-            .rnti
-            .ok_or_else(|| FlexError::NotFound(format!("{ue} has no RNTI")))?;
+        let (agent_idx, cell, rnti) = {
+            let e = self
+                .entry(ue)
+                .ok_or_else(|| FlexError::NotFound(format!("{ue}")))?;
+            let rnti = e
+                .rnti
+                .ok_or_else(|| FlexError::NotFound(format!("{ue} has no RNTI")))?;
+            (e.agent_idx, e.cell, rnti)
+        };
         let now = self.now;
-        self.agents[e.agent_idx]
+        self.agents[agent_idx]
             .enb_mut()
-            .inject_dl_traffic(e.cell, rnti, bytes, now)
+            .inject_dl_traffic(cell, rnti, bytes, now)
     }
 
     /// Cumulative per-phase wall-clock of every `step` so far.
@@ -614,7 +749,25 @@ impl SimHarness {
         self.timings
     }
 
+    /// Deadline-monitor snapshot over whole `step` calls: latency
+    /// percentiles, worst case, and the over-budget TTI count against
+    /// `config.tti_budget_ns`.
+    pub fn budget_stats(&self) -> flexran_types::budget::BudgetStats {
+        self.budget.stats()
+    }
+
+    /// Forget all deadline-monitor samples (benchmarks call this after
+    /// warm-up so percentiles cover only the measured window). Also
+    /// resets the master's monitor.
+    pub fn reset_budget(&mut self) {
+        self.budget.reset();
+        self.master.reset_budget();
+    }
+
     /// Advance one TTI.
+    // lint:no-alloc — the whole-TTI hot path (serial front, phase A,
+    // coupling, phase B, merge); `experiments allocgate` asserts zero
+    // steady-state heap traffic for this body and everything it calls
     pub fn step(&mut self) {
         // The Instant reads in this function only feed `PhaseTimings`
         // (profiling counters); no scheduling decision ever depends on
@@ -638,6 +791,7 @@ impl SimHarness {
             }
         } else {
             self.master.begin_cycle(now);
+            // lint:allow(hot-alloc) Vec<()> of ZSTs can never allocate
             let mut unit: Vec<()> = Vec::new();
             fan_out(self.master.shards_mut(), &mut unit, workers, |_, shard| {
                 shard.run_rib_slot(now);
@@ -655,42 +809,34 @@ impl SimHarness {
         //    bucket) so every injection is agent-local; measurements in
         //    this phase use the declared activity hints (restricted
         //    measurements).
-        let hint = self.measurement_active_sites(now);
-        self.radio.set_active_sites(hint);
+        let mut sites = std::mem::take(&mut self.site_scratch);
+        self.measurement_active_sites_into(now, &mut sites);
+        self.radio.set_active_sites(&sites);
         {
-            let mut buckets = std::mem::take(&mut self.ue_buckets);
-            buckets.resize_with(self.agents.len(), Vec::new);
-            for b in &mut buckets {
-                b.clear();
-            }
-            for (ue, entry) in std::mem::take(&mut self.ues) {
-                let idx = entry.agent_idx;
-                if let Some(b) = buckets.get_mut(idx) {
-                    b.push((ue, entry));
-                }
+            if self.ue_buckets.len() < self.agents.len() {
+                // lint:allow(hot-alloc) grows only when an eNB is added (cold)
+                self.ue_buckets.resize_with(self.agents.len(), Vec::new);
             }
             let radio = &self.radio;
             let maps = &self.rnti_maps;
-            let mut work: Vec<_> = self.agents.iter_mut().zip(buckets.drain(..)).collect();
+            // lint:allow(hot-alloc) Vec<()> of ZSTs can never allocate
             let mut unit: Vec<()> = Vec::new();
-            fan_out(&mut work, &mut unit, workers, |i, item| {
-                let (agent, ues) = item;
-                for (ue, entry) in ues.iter_mut() {
-                    drive_ue_traffic(agent, radio, *ue, entry, now);
-                }
-                let mut phy = PhyAdapter {
-                    radio,
-                    rnti_map: &maps[i],
-                };
-                agent.phase_a(now, &mut phy);
-            });
-            for (_, mut bucket) in work {
-                for (ue, entry) in bucket.drain(..) {
-                    self.ues.insert(ue, entry);
-                }
-                buckets.push(bucket);
-            }
-            self.ue_buckets = buckets;
+            fan_out2(
+                &mut self.agents,
+                &mut self.ue_buckets,
+                &mut unit,
+                workers,
+                |i, agent, ues| {
+                    for (ue, entry) in ues.iter_mut() {
+                        drive_ue_traffic(agent, radio, *ue, entry, now);
+                    }
+                    let mut phy = PhyAdapter {
+                        radio,
+                        rnti_map: &maps[i],
+                    };
+                    agent.phase_a(now, &mut phy);
+                },
+            );
         }
         // Profiling only, as above. lint:allow(wall-clock)
         let t_a = std::time::Instant::now();
@@ -698,19 +844,20 @@ impl SimHarness {
 
         // 3. Interference coupling: which sites put energy on the air.
         //    This is the serial barrier between the two phases.
-        let mut active = Vec::new();
+        sites.clear();
         for agent in &self.agents {
             let enb_id = agent.enb().config().enb_id;
             for ci in 0..agent.enb().n_cells() {
                 let cell = agent.enb().cell_id_at(ci);
                 if agent.enb().will_transmit_dl(cell, now) {
                     if let Some(site) = self.cell_sites.get(&(enb_id, cell)) {
-                        active.push(*site);
+                        sites.push(*site);
                     }
                 }
             }
         }
-        self.radio.set_active_sites(active);
+        self.radio.set_active_sites(&sites);
+        self.site_scratch = sites;
         // Profiling only, as above. lint:allow(wall-clock)
         let t_couple = std::time::Instant::now();
         self.timings.coupling_ns += (t_couple - t_a).as_nanos() as u64;
@@ -743,6 +890,7 @@ impl SimHarness {
         for (i, out) in outs.iter().enumerate() {
             let enb_id = self.agents[i].enb().config().enb_id;
             for ev in &out.events {
+                // lint:allow(hot-alloc) events fire on attach/handover only (cold)
                 self.last_events.push((enb_id, ev.clone()));
                 self.apply_event(i, ev);
             }
@@ -765,6 +913,7 @@ impl SimHarness {
         self.phase_b_out = outs;
         self.timings.merge_ns += t_b.elapsed().as_nanos() as u64;
         self.timings.steps += 1;
+        self.budget.record(t_start.elapsed().as_nanos() as u64);
     }
 
     fn resolve_handover_target(
@@ -793,24 +942,24 @@ impl SimHarness {
             EnbEvent::RachAttempt { cell, rnti, ue, .. } => {
                 // Re-attach after failure: track the fresh RNTI.
                 self.rnti_maps[agent_idx].insert((*cell, *rnti), *ue);
-                if let Some(e) = self.ues.get_mut(ue) {
+                self.rehome_ue_entry(*ue, agent_idx);
+                if let Some(e) = self.entry_mut(*ue) {
                     e.rnti = Some(*rnti);
-                    e.agent_idx = agent_idx;
                     e.cell = *cell;
                 }
             }
             EnbEvent::UeAttached { cell, rnti, ue, .. } => {
                 self.rnti_maps[agent_idx].insert((*cell, *rnti), *ue);
-                if let Some(e) = self.ues.get_mut(ue) {
+                self.rehome_ue_entry(*ue, agent_idx);
+                if let Some(e) = self.entry_mut(*ue) {
                     e.rnti = Some(*rnti);
-                    e.agent_idx = agent_idx;
                     e.cell = *cell;
                 }
             }
             EnbEvent::AttachFailed { cell, rnti, ue, .. }
             | EnbEvent::UeDetached { cell, rnti, ue, .. } => {
                 self.rnti_maps[agent_idx].remove(&(*cell, *rnti));
-                if let Some(e) = self.ues.get_mut(ue) {
+                if let Some(e) = self.entry_mut(*ue) {
                     if e.rnti == Some(*rnti) {
                         e.rnti = None;
                     }
@@ -825,7 +974,7 @@ impl SimHarness {
             } => {
                 self.rnti_maps[agent_idx].remove(&(*cell, *rnti));
                 let Some(pending) = self.pending_handovers.remove(&(agent_idx, *rnti)) else {
-                    if let Some(e) = self.ues.get_mut(ue) {
+                    if let Some(e) = self.entry_mut(*ue) {
                         e.rnti = None;
                     }
                     return;
@@ -834,8 +983,7 @@ impl SimHarness {
                     return;
                 };
                 let (slice, group) = self
-                    .ues
-                    .get(ue)
+                    .entry(*ue)
                     .map(|e| (e.slice, e.group))
                     .unwrap_or((SliceId::MNO, 0));
                 let now = self.now;
@@ -848,8 +996,8 @@ impl SimHarness {
                     now,
                 ) {
                     self.rnti_maps[tgt_idx].insert((pending.target_cell, new_rnti), *ue);
-                    if let Some(e) = self.ues.get_mut(ue) {
-                        e.agent_idx = tgt_idx;
+                    self.rehome_ue_entry(*ue, tgt_idx);
+                    if let Some(e) = self.entry_mut(*ue) {
                         e.cell = pending.target_cell;
                         e.rnti = Some(new_rnti);
                         if let Some(site) = pending.target_site {
@@ -950,11 +1098,13 @@ impl VanillaHarness {
             {
                 self.dl.schedule_dl_into(&self.dl_in, &mut self.dl_out);
                 if !self.dl_out.dcis.is_empty() {
+                    let mut dcis = self.enb.recycled_dci_buffer(cell);
+                    dcis.extend_from_slice(&self.dl_out.dcis);
                     let _ = self.enb.submit_dl_decision(
                         DlSchedulingDecision {
                             cell,
                             target: now,
-                            dcis: std::mem::take(&mut self.dl_out.dcis),
+                            dcis,
                         },
                         now,
                     );
@@ -967,11 +1117,13 @@ impl VanillaHarness {
             {
                 self.ul.schedule_ul_into(&self.ul_in, &mut self.ul_out);
                 if !self.ul_out.grants.is_empty() {
+                    let mut grants = self.enb.recycled_grant_buffer(cell);
+                    grants.extend_from_slice(&self.ul_out.grants);
                     let _ = self.enb.submit_ul_decision(
                         UlSchedulingDecision {
                             cell,
                             target: now,
-                            grants: std::mem::take(&mut self.ul_out.grants),
+                            grants,
                         },
                         now,
                     );

@@ -171,6 +171,7 @@ impl Platform {
             master: self.build_master_config(),
             seed: self.seed,
             workers: self.workers,
+            tti_budget_ns: self.build_master_config().tti_budget_ns,
         })
     }
 }

@@ -21,8 +21,12 @@
 //!   single-writer/multi-reader discipline, applied per shard: no
 //!   module outside the shard's own updater may mutate its RIB).
 //! * **A1 `hot-alloc`** — no allocating calls inside `*_into` function
-//!   bodies (the zero-alloc hot-path contract measured by
-//!   `experiments scale`).
+//!   bodies, or inside any function annotated `// lint:no-alloc` on the
+//!   lines directly above its `fn` (the zero-alloc hot-path contract
+//!   measured by `experiments scale` and gated by `experiments
+//!   allocgate`). The annotation is how per-TTI paths whose names don't
+//!   end in `_into` — shard RIB-slot bodies, the finish-cycle merge,
+//!   interference coupling — opt into coverage.
 //! * **U1 `unsafe`** — every `unsafe` token needs a `// SAFETY:` comment
 //!   within the three preceding lines.
 //!
@@ -153,7 +157,8 @@ pub fn analyze_source(krate: &str, file: &str, src: &str) -> Vec<Diagnostic> {
         .map(|(line, _)| *line)
         .collect();
     let test_spans = find_test_spans(&out.toks);
-    let into_bodies = find_into_bodies(&out.toks);
+    let mut into_bodies = find_into_bodies(&out.toks);
+    into_bodies.extend(find_marked_bodies(&out.toks, &out.comments));
 
     let in_test = |line: u32| test_spans.iter().any(|(a, b)| (*a..=*b).contains(&line));
     let allowed = |lint: LintId, line: u32| {
@@ -516,15 +521,53 @@ fn find_test_spans(toks: &[Tok]) -> Vec<(u32, u32)> {
 /// Token-index spans of the bodies of functions whose name ends in
 /// `_into`.
 fn find_into_bodies(toks: &[Tok]) -> Vec<(usize, usize)> {
+    find_fn_bodies(toks, |toks, i| {
+        toks.get(i + 1)
+            .is_some_and(|t| t.kind == TokKind::Ident && t.text.ends_with("_into"))
+    })
+}
+
+/// Token spans of function bodies annotated `// lint:no-alloc` within
+/// the three lines above their `fn` keyword (attributes may sit
+/// between). These opt into the A1 hot-path allocation lint. Each
+/// marker binds to the *first* `fn` that follows it, never to later
+/// siblings that also happen to start within the window.
+fn find_marked_bodies(toks: &[Tok], comments: &[(u32, String)]) -> Vec<(usize, usize)> {
+    let markers: Vec<u32> = comments
+        .iter()
+        .filter(|(_, text)| text.contains("lint:no-alloc"))
+        .map(|(line, _)| *line)
+        .collect();
+    if markers.is_empty() {
+        return Vec::new();
+    }
+    let mut marked_fns = BTreeSet::new();
+    for marker in markers {
+        let first = toks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| {
+                t.kind == TokKind::Ident
+                    && t.text == "fn"
+                    && t.line > marker
+                    && t.line <= marker + 3
+            })
+            .map(|(i, _)| i)
+            .next();
+        if let Some(i) = first {
+            marked_fns.insert(i);
+        }
+    }
+    find_fn_bodies(toks, |_, i| marked_fns.contains(&i))
+}
+
+/// Token spans (exclusive of the braces) of every `fn` body for which
+/// `qualifies(toks, fn_token_index)` holds.
+fn find_fn_bodies(toks: &[Tok], qualifies: impl Fn(&[Tok], usize) -> bool) -> Vec<(usize, usize)> {
     let mut spans = Vec::new();
     let mut i = 0;
     while i < toks.len() {
-        if toks[i].kind == TokKind::Ident
-            && toks[i].text == "fn"
-            && toks
-                .get(i + 1)
-                .is_some_and(|t| t.kind == TokKind::Ident && t.text.ends_with("_into"))
-        {
+        if toks[i].kind == TokKind::Ident && toks[i].text == "fn" && qualifies(toks, i) {
             // Scan to the body's opening brace at paren depth 0.
             let mut paren = 0i32;
             let mut k = i + 2;
@@ -615,6 +658,31 @@ mod tests {
                    fn encode_into(x: u8, out: &mut Vec<u8>) { let s = format!(\"{x}\"); }\n";
         let ids = lint_ids("stack", src);
         assert_eq!(ids, vec![("A1", 2)]);
+    }
+
+    #[test]
+    fn a1_covers_no_alloc_marked_bodies() {
+        let src = "// lint:no-alloc — per-TTI path\n\
+                   fn finish(out: &mut Vec<u8>) { let s = format!(\"x\"); }\n\
+                   fn unmarked(out: &mut Vec<u8>) { let s = format!(\"x\"); }\n";
+        let ids = lint_ids("controller", src);
+        assert_eq!(ids, vec![("A1", 2)]);
+    }
+
+    #[test]
+    fn a1_marker_reaches_past_attributes() {
+        let src = "// lint:no-alloc\n\
+                   #[inline]\n\
+                   fn hot(out: &mut Vec<u8>) { let v = Vec::new(); }\n";
+        let ids = lint_ids("stack", src);
+        assert_eq!(ids, vec![("A1", 3)]);
+    }
+
+    #[test]
+    fn a1_marker_too_far_above_does_not_bind() {
+        let src = "// lint:no-alloc\n\n\n\n\
+                   fn cold(out: &mut Vec<u8>) { let v = Vec::new(); }\n";
+        assert!(lint_ids("stack", src).is_empty());
     }
 
     #[test]

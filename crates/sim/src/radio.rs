@@ -94,9 +94,11 @@ impl RadioEnvironment {
     }
 
     /// Set which sites transmit this subframe (geometry mode; call before
-    /// the eNodeBs' `finish_tti`).
-    pub fn set_active_sites(&mut self, sites: Vec<usize>) {
-        self.active_sites = sites;
+    /// the eNodeBs' `finish_tti`). Copies into an internal buffer whose
+    /// capacity is reused, so per-TTI updates never allocate.
+    pub fn set_active_sites(&mut self, sites: &[usize]) {
+        self.active_sites.clear();
+        self.active_sites.extend_from_slice(sites);
     }
 
     /// SINR for a UE at `tti`.
@@ -207,9 +209,9 @@ mod tests {
                 serving_site: small,
             },
         );
-        radio.set_active_sites(vec![macro_, small]);
+        radio.set_active_sites(&[macro_, small]);
         let interfered = radio.sinr_db(UeId(1), Tti(0));
-        radio.set_active_sites(vec![small]);
+        radio.set_active_sites(&[small]);
         let clean = radio.sinr_db(UeId(1), Tti(1));
         assert!(clean > interfered + 5.0);
     }
@@ -251,7 +253,7 @@ mod tests {
                 serving_site: a,
             },
         );
-        radio.set_active_sites(vec![a, b]);
+        radio.set_active_sites(&[a, b]);
         let far = radio.sinr_db(UeId(1), Tti(0));
         radio.set_serving_site(UeId(1), b);
         let near = radio.sinr_db(UeId(1), Tti(1));

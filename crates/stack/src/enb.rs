@@ -21,8 +21,6 @@
 //! counted ([`crate::stats::CellStats::missed_deadlines`]) — the
 //! deadline-miss semantics of the paper's Fig. 9.
 
-use std::collections::BTreeMap;
-
 use flexran_phy::bler::BlerModel;
 use flexran_phy::link_adaptation::{cqi_from_sinr, Cqi};
 use flexran_phy::tables::{itbs_for_mcs, tbs_bits};
@@ -36,7 +34,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::events::EnbEvent;
 use crate::mac::bsr::bsr_index;
-use crate::mac::dci::{DlSchedulingDecision, UlSchedulingDecision};
+use crate::mac::dci::{DlDci, DlSchedulingDecision, UlGrant, UlSchedulingDecision};
 use crate::mac::harq::{FeedbackOutcome, HarqEntity};
 use crate::mac::scheduler::{DlSchedulerInput, RetxInfo, UeSchedInfo, UlSchedulerInput, UlUeInfo};
 use crate::mac::{HARQ_FEEDBACK_DELAY, MAC_HEADER_BYTES};
@@ -209,15 +207,47 @@ struct PendingRetx {
     attempt: u8,
 }
 
+/// Find-or-insert the feedback vector for `key` and push `fb`, reusing
+/// pooled vectors so steady-state enqueueing never allocates. A free
+/// function (not a `CellState` method) so callers can hold disjoint
+/// borrows of the cell's other fields.
+fn push_feedback(
+    queue: &mut Vec<(u64, Vec<Feedback>)>,
+    pool: &mut Vec<Vec<Feedback>>,
+    key: u64,
+    fb: Feedback,
+) {
+    if let Some(i) = queue.iter().position(|(k, _)| *k == key) {
+        queue[i].1.push(fb);
+    } else {
+        let mut v = pool.pop().unwrap_or_default();
+        v.push(fb);
+        queue.push((key, v));
+    }
+}
+
 struct CellState {
     config: CellConfig,
     abs_pattern: Option<AbsPattern>,
-    ues: BTreeMap<Rnti, UeContext>,
-    pending_dl: BTreeMap<u64, DlSchedulingDecision>,
-    pending_ul: BTreeMap<u64, UlSchedulingDecision>,
-    feedback_queue: BTreeMap<u64, Vec<Feedback>>,
-    /// `(rnti, pid) → (srb bytes, drb payload bytes)` inside HARQ.
-    payload_split: BTreeMap<(u16, u8), (u64, u64)>,
+    /// UE contexts, sorted by RNTI (dense slab: per-TTI walks are linear
+    /// scans, lookups binary-search; inserts/removes only on attach,
+    /// detach and handover).
+    ues: Vec<UeContext>,
+    /// Pending decisions keyed by target subframe. A handful of entries
+    /// at most (current TTI + schedule-ahead), so a linear scan beats
+    /// any tree — and, unlike a node-based map, inserting and removing
+    /// one entry per TTI never touches the allocator.
+    pending_dl: Vec<(u64, DlSchedulingDecision)>,
+    pending_ul: Vec<(u64, UlSchedulingDecision)>,
+    /// HARQ feedback due per subframe (`HARQ_FEEDBACK_DELAY` keys live
+    /// at once). Drained vectors return to `feedback_pool`.
+    feedback_queue: Vec<(u64, Vec<Feedback>)>,
+    feedback_pool: Vec<Vec<Feedback>>,
+    /// Recycled decision buffers: consumed decisions donate their DCI /
+    /// grant vectors back so the next cycle's submission allocates
+    /// nothing (see [`Enb::recycled_dci_buffer`]).
+    dci_pool: Vec<Vec<DlDci>>,
+    grant_pool: Vec<Vec<UlGrant>>,
     current_retx: Vec<PendingRetx>,
     retx_prbs: u8,
     scheduled_rach: Vec<(u64, UeId, SliceId, u8)>,
@@ -231,11 +261,13 @@ impl CellState {
         CellState {
             config,
             abs_pattern: None,
-            ues: BTreeMap::new(),
-            pending_dl: BTreeMap::new(),
-            pending_ul: BTreeMap::new(),
-            feedback_queue: BTreeMap::new(),
-            payload_split: BTreeMap::new(),
+            ues: Vec::new(),
+            pending_dl: Vec::new(),
+            pending_ul: Vec::new(),
+            feedback_queue: Vec::new(),
+            feedback_pool: Vec::new(),
+            dci_pool: Vec::new(),
+            grant_pool: Vec::new(),
             current_retx: Vec::new(),
             retx_prbs: 0,
             scheduled_rach: Vec::new(),
@@ -243,6 +275,30 @@ impl CellState {
             next_rnti: Rnti::CRNTI_MIN + 0xC3, // 0x100
             muted_now: false,
         }
+    }
+
+    fn ue_idx(&self, rnti: Rnti) -> Option<usize> {
+        self.ues.binary_search_by_key(&rnti, |u| u.rnti).ok()
+    }
+
+    fn ue(&self, rnti: Rnti) -> Option<&UeContext> {
+        self.ue_idx(rnti).map(|i| &self.ues[i])
+    }
+
+    fn ue_mut(&mut self, rnti: Rnti) -> Option<&mut UeContext> {
+        self.ue_idx(rnti).map(|i| &mut self.ues[i])
+    }
+
+    /// Sorted insert (attach paths only — never per-TTI).
+    fn insert_ue(&mut self, ctx: UeContext) {
+        match self.ues.binary_search_by_key(&ctx.rnti, |u| u.rnti) {
+            Ok(i) => self.ues[i] = ctx,
+            Err(i) => self.ues.insert(i, ctx),
+        }
+    }
+
+    fn remove_ue(&mut self, rnti: Rnti) -> Option<UeContext> {
+        self.ue_idx(rnti).map(|i| self.ues.remove(i))
     }
 
     fn is_abs(&self, tti: Tti) -> bool {
@@ -259,7 +315,7 @@ impl CellState {
             } else {
                 self.next_rnti + 1
             };
-            if !self.ues.contains_key(&r) {
+            if self.ue_idx(r).is_none() {
                 return r;
             }
         }
@@ -286,7 +342,7 @@ impl CellState {
                 at: now + timers.msg3_delay,
             },
         );
-        self.ues.insert(rnti, ctx);
+        self.insert_ue(ctx);
         events.push(EnbEvent::RachAttempt {
             cell: self.config.cell_id,
             rnti,
@@ -390,7 +446,7 @@ impl Enb {
         if !forwarded.is_zero() {
             ctx.drb.enqueue(forwarded, now);
         }
-        cell_state.ues.insert(rnti, ctx);
+        cell_state.insert_ue(ctx);
         cell_state.stats.attaches += 1;
         self.events.push(EnbEvent::UeAttached {
             cell,
@@ -408,8 +464,7 @@ impl Enb {
         let deadline = now + self.params.timers.ho_deadline;
         let ctx = self
             .cell_mut(cell)?
-            .ues
-            .get_mut(&rnti)
+            .ue_mut(rnti)
             .ok_or_else(|| FlexError::NotFound(format!("{rnti}")))?;
         if ctx.state != RrcState::Connected {
             return Err(FlexError::InvalidConfig(format!(
@@ -425,8 +480,7 @@ impl Enb {
     pub fn detach(&mut self, cell: CellId, rnti: Rnti, now: Tti) -> Result<()> {
         let ctx = self
             .cell_mut(cell)?
-            .ues
-            .remove(&rnti)
+            .remove_ue(rnti)
             .ok_or_else(|| FlexError::NotFound(format!("{rnti}")))?;
         self.events.push(EnbEvent::UeDetached {
             cell,
@@ -449,8 +503,7 @@ impl Enb {
     ) -> Result<()> {
         // Validate the UE exists, then emit.
         self.cell_ref(cell)?
-            .ues
-            .get(&rnti)
+            .ue(rnti)
             .ok_or_else(|| FlexError::NotFound(format!("{rnti}")))?;
         self.events.push(EnbEvent::MeasurementReport {
             cell,
@@ -467,8 +520,7 @@ impl Enb {
     pub fn set_drx(&mut self, cell: CellId, rnti: Rnti, cycle: u64, on: u64) -> Result<()> {
         let ctx = self
             .cell_mut(cell)?
-            .ues
-            .get_mut(&rnti)
+            .ue_mut(rnti)
             .ok_or_else(|| FlexError::NotFound(format!("{rnti}")))?;
         if on == 0 || on > cycle {
             return Err(FlexError::InvalidConfig(format!(
@@ -497,8 +549,7 @@ impl Enb {
         self.cell_idx(scell)?; // must exist on this eNodeB
         let ctx = self
             .cell_mut(pcell)?
-            .ues
-            .get_mut(&rnti)
+            .ue_mut(rnti)
             .ok_or_else(|| FlexError::NotFound(format!("{rnti}")))?;
         if activate {
             ctx.active_scells.insert(scell.0);
@@ -533,8 +584,7 @@ impl Enb {
     ) -> Result<()> {
         let ctx = self
             .cell_mut(cell)?
-            .ues
-            .get_mut(&rnti)
+            .ue_mut(rnti)
             .ok_or_else(|| FlexError::NotFound(format!("{rnti}")))?;
         let pdu = ctx.pdcp_dl.submit(payload, now);
         ctx.drb.enqueue(pdu.size, now);
@@ -545,8 +595,7 @@ impl Enb {
     pub fn inject_ul_traffic(&mut self, cell: CellId, rnti: Rnti, payload: Bytes) -> Result<()> {
         let ctx = self
             .cell_mut(cell)?
-            .ues
-            .get_mut(&rnti)
+            .ue_mut(rnti)
             .ok_or_else(|| FlexError::NotFound(format!("{rnti}")))?;
         ctx.ul_backlog += payload.as_u64();
         Ok(())
@@ -607,7 +656,7 @@ impl Enb {
         input.ues.clear();
         input.ues.extend(
             c.ues
-                .values()
+                .iter()
                 .filter(|u| u.is_schedulable(target))
                 .map(|u| UeSchedInfo {
                     rnti: u.rnti,
@@ -657,7 +706,7 @@ impl Enb {
         input.ues.clear();
         input.ues.extend(
             c.ues
-                .values()
+                .iter()
                 .filter(|u| u.state.is_connected())
                 .map(|u| UlUeInfo {
                     rnti: u.rnti,
@@ -689,13 +738,13 @@ impl Enb {
             )));
         }
         decision.validate(c.config.dl_bandwidth.n_prb(), c.config.max_dl_dcis_per_tti)?;
-        if c.pending_dl.contains_key(&decision.target.0) {
+        if c.pending_dl.iter().any(|(t, _)| *t == decision.target.0) {
             return Err(FlexError::Conflict(format!(
                 "decision for {}/{} already pending",
                 cell, decision.target
             )));
         }
-        c.pending_dl.insert(decision.target.0, decision);
+        c.pending_dl.push((decision.target.0, decision));
         Ok(())
     }
 
@@ -710,14 +759,32 @@ impl Enb {
                 decision.target, now
             )));
         }
-        if c.pending_ul.contains_key(&decision.target.0) {
+        if c.pending_ul.iter().any(|(t, _)| *t == decision.target.0) {
             return Err(FlexError::Conflict(format!(
                 "UL decision for {}/{} already pending",
                 decision.cell, decision.target
             )));
         }
-        c.pending_ul.insert(decision.target.0, decision);
+        c.pending_ul.push((decision.target.0, decision));
         Ok(())
+    }
+
+    /// A cleared DCI vector recycled from decisions this cell has already
+    /// executed. Schedulers build their decision into this buffer so the
+    /// submit → execute → recycle loop is allocation-free in steady state.
+    pub fn recycled_dci_buffer(&mut self, cell: CellId) -> Vec<DlDci> {
+        match self.cell_idx(cell) {
+            Ok(i) => self.cells[i].dci_pool.pop().unwrap_or_default(),
+            Err(_) => Vec::new(),
+        }
+    }
+
+    /// Uplink counterpart of [`Enb::recycled_dci_buffer`].
+    pub fn recycled_grant_buffer(&mut self, cell: CellId) -> Vec<UlGrant> {
+        match self.cell_idx(cell) {
+            Ok(i) => self.cells[i].grant_pool.pop().unwrap_or_default(),
+            Err(_) => Vec::new(),
+        }
     }
 
     /// Whether the cell will put energy on the air this subframe
@@ -732,9 +799,8 @@ impl Enb {
         }
         !c.current_retx.is_empty()
             || c.pending_dl
-                .get(&tti.0)
-                .map(|d| !d.dcis.is_empty())
-                .unwrap_or(false)
+                .iter()
+                .any(|(t, d)| *t == tti.0 && !d.dcis.is_empty())
     }
 
     // ------------------------------------------------------------------
@@ -766,7 +832,7 @@ impl Enb {
 
             // CQI measurement.
             let cell_id = c.config.cell_id;
-            for u in c.ues.values_mut() {
+            for u in c.ues.iter_mut() {
                 if u.cqi_updated == Tti::ZERO || tti.0.is_multiple_of(params.cqi_period) {
                     let sinr = phy.sinr_db(cell_id, u.rnti, tti);
                     u.sinr_db = sinr;
@@ -775,19 +841,17 @@ impl Enb {
                 }
             }
 
-            // HARQ feedback due this TTI.
-            if let Some(fbs) = c.feedback_queue.remove(&tti.0) {
-                for fb in fbs {
-                    let Some(u) = c.ues.get_mut(&fb.rnti) else {
-                        c.payload_split.remove(&(fb.rnti.0, fb.pid));
+            // HARQ feedback due this TTI (the drained vector returns to
+            // the pool once processed — no steady-state allocation).
+            if let Some(qi) = c.feedback_queue.iter().position(|(t, _)| *t == tti.0) {
+                let (_, mut fbs) = c.feedback_queue.swap_remove(qi);
+                for fb in fbs.iter().copied() {
+                    let Ok(ui) = c.ues.binary_search_by_key(&fb.rnti, |u| u.rnti) else {
                         continue;
                     };
+                    let u = &mut c.ues[ui];
                     match u.harq.feedback(fb.pid, fb.success, tti) {
-                        FeedbackOutcome::Acked { .. } => {
-                            let (srb, drb) = c
-                                .payload_split
-                                .remove(&(fb.rnti.0, fb.pid))
-                                .unwrap_or((0, 0));
+                        FeedbackOutcome::Acked { srb, drb } => {
                             u.srb_in_flight = u.srb_in_flight.saturating_sub(srb);
                             u.dl_delivered_bits += drb * 8;
                             // RRC advances when the outstanding signalling
@@ -814,11 +878,7 @@ impl Enb {
                             }
                         }
                         FeedbackOutcome::WillRetransmit => {}
-                        FeedbackOutcome::Exhausted { .. } => {
-                            let (srb, drb) = c
-                                .payload_split
-                                .remove(&(fb.rnti.0, fb.pid))
-                                .unwrap_or((0, 0));
+                        FeedbackOutcome::Exhausted { srb, drb } => {
                             // Higher-layer recovery: bytes return to the
                             // head of their queues.
                             if srb > 0 {
@@ -832,19 +892,20 @@ impl Enb {
                         }
                     }
                 }
+                fbs.clear();
+                c.feedback_pool.push(fbs);
             }
 
             // Handover completion: command delivered → UE leaves.
             let ho_done: Vec<Rnti> = c
                 .ues
-                .values()
+                .iter()
                 .filter(|u| matches!(u.state, RrcState::HandoverPrep { .. }) && u.srb_drained())
                 .map(|u| u.rnti)
                 .collect();
             for rnti in ho_done {
-                let mut ctx = c.ues.remove(&rnti).expect("context exists");
+                let mut ctx = c.remove_ue(rnti).expect("context exists");
                 let forwarded = ctx.drb.flush() + ctx.harq.outstanding();
-                c.payload_split.retain(|(r, _), _| *r != rnti.0);
                 events.push(EnbEvent::HandoverExecuted {
                     cell: cell_id,
                     rnti,
@@ -856,7 +917,7 @@ impl Enb {
 
             // RRC timers: Msg3 completion and deadline expiry.
             let mut failed: Vec<(Rnti, &'static str)> = Vec::new();
-            for u in c.ues.values_mut() {
+            for u in c.ues.iter_mut() {
                 match u.state {
                     RrcState::AwaitMsg3 { at } if at <= tti => {
                         u.srb.enqueue(Bytes(CONN_SETUP_BYTES), tti);
@@ -873,8 +934,7 @@ impl Enb {
                 }
             }
             for (rnti, stage) in failed {
-                let ctx = c.ues.remove(&rnti).expect("context exists");
-                c.payload_split.retain(|(r, _), _| *r != rnti.0);
+                let ctx = c.remove_ue(rnti).expect("context exists");
                 c.stats.attach_failures += 1;
                 events.push(EnbEvent::AttachFailed {
                     cell: cell_id,
@@ -897,24 +957,25 @@ impl Enb {
             c.current_retx.clear();
             c.retx_prbs = 0;
             if !c.muted_now {
-                let rntis: Vec<Rnti> = c.ues.keys().copied().collect();
-                for rnti in rntis {
-                    let u = c.ues.get_mut(&rnti).expect("context exists");
-                    for (pid, n_prb, mcs, attempt) in u.harq.take_due_retx(tti) {
-                        c.current_retx.push(PendingRetx {
+                let current_retx = &mut c.current_retx;
+                let retx_prbs = &mut c.retx_prbs;
+                for u in c.ues.iter_mut() {
+                    let rnti = u.rnti;
+                    u.harq.drain_due_retx(tti, |pid, n_prb, mcs, attempt| {
+                        current_retx.push(PendingRetx {
                             rnti,
                             pid,
                             n_prb,
                             mcs,
                             attempt,
                         });
-                        c.retx_prbs = c.retx_prbs.saturating_add(n_prb);
-                    }
+                        *retx_prbs = retx_prbs.saturating_add(n_prb);
+                    });
                 }
             }
 
             // Scheduling requests for new uplink data.
-            for u in c.ues.values_mut() {
+            for u in c.ues.iter_mut() {
                 if u.state.is_connected() && u.ul_backlog > 0 && u.ul_bsr == 0 {
                     events.push(EnbEvent::SchedulingRequest {
                         cell: cell_id,
@@ -935,40 +996,48 @@ impl Enb {
         let params = self.params.clone();
         for c in &mut self.cells {
             let cell_id = c.config.cell_id;
-            // Retransmissions first (they pre-empted the PRBs).
+            // Retransmissions first (they pre-empted the PRBs). The
+            // reservation buffer is walked in place and cleared after —
+            // its capacity survives into the next TTI.
             if !c.muted_now {
-                let retx = std::mem::take(&mut c.current_retx);
-                for r in retx {
-                    let Some(u) = c.ues.get_mut(&r.rnti) else {
+                for i in 0..c.current_retx.len() {
+                    let r = c.current_retx[i];
+                    let Ok(ui) = c.ues.binary_search_by_key(&r.rnti, |u| u.rnti) else {
                         continue;
                     };
                     let sinr = phy.sinr_db(cell_id, r.rnti, tti)
                         + HarqEntity::combining_gain_db(r.attempt);
                     let draw: f64 = self.rng.random();
                     let success = params.bler.success(r.mcs, sinr, draw);
-                    c.feedback_queue
-                        .entry(tti.0 + HARQ_FEEDBACK_DELAY)
-                        .or_default()
-                        .push(Feedback {
+                    push_feedback(
+                        &mut c.feedback_queue,
+                        &mut c.feedback_pool,
+                        tti.0 + HARQ_FEEDBACK_DELAY,
+                        Feedback {
                             rnti: r.rnti,
                             pid: r.pid,
                             success,
-                        });
+                        },
+                    );
                     c.stats.dl_prbs_used += r.n_prb as u64;
                     let tbs = tbs_bits(itbs_for_mcs(r.mcs.0), r.n_prb) as u64;
                     c.stats.dl_mac_bits += tbs;
-                    u.bits_this_tti += tbs;
+                    c.ues[ui].bits_this_tti += tbs;
                 }
+                c.current_retx.clear();
             }
 
-            // New-data decision for this subframe.
-            if let Some(decision) = c.pending_dl.remove(&tti.0) {
+            // New-data decision for this subframe. The decision's DCI
+            // buffer is donated back to the pool once executed.
+            if let Some(pi) = c.pending_dl.iter().position(|(t, _)| *t == tti.0) {
+                let (_, mut decision) = c.pending_dl.swap_remove(pi);
                 if !c.muted_now {
                     c.stats.decisions_applied += 1;
-                    for dci in decision.dcis {
-                        let Some(u) = c.ues.get_mut(&dci.rnti) else {
+                    for dci in decision.dcis.iter().copied() {
+                        let Ok(ui) = c.ues.binary_search_by_key(&dci.rnti, |u| u.rnti) else {
                             continue;
                         };
+                        let u = &mut c.ues[ui];
                         if !u.is_schedulable(tti) {
                             continue;
                         }
@@ -996,34 +1065,40 @@ impl Enb {
                             continue; // nothing to send: allocation wasted
                         }
                         u.srb_in_flight += srb_payload;
-                        u.harq.start(pid, Bytes(payload), dci.mcs, dci.n_prb, tti);
-                        c.payload_split
-                            .insert((dci.rnti.0, pid), (srb_payload, drb_payload));
+                        u.harq
+                            .start(pid, srb_payload, drb_payload, dci.mcs, dci.n_prb, tti);
                         let sinr = phy.sinr_db(cell_id, dci.rnti, tti);
                         let draw: f64 = self.rng.random();
                         let success = params.bler.success(dci.mcs, sinr, draw);
-                        c.feedback_queue
-                            .entry(tti.0 + HARQ_FEEDBACK_DELAY)
-                            .or_default()
-                            .push(Feedback {
+                        push_feedback(
+                            &mut c.feedback_queue,
+                            &mut c.feedback_pool,
+                            tti.0 + HARQ_FEEDBACK_DELAY,
+                            Feedback {
                                 rnti: dci.rnti,
                                 pid,
                                 success,
-                            });
+                            },
+                        );
                         c.stats.dl_prbs_used += dci.n_prb as u64;
                         let tbs = tbs_bits(itbs_for_mcs(dci.mcs.0), dci.n_prb) as u64;
                         c.stats.dl_mac_bits += tbs;
-                        u.bits_this_tti += tbs;
+                        c.ues[ui].bits_this_tti += tbs;
                     }
                 }
+                decision.dcis.clear();
+                c.dci_pool.push(decision.dcis);
             }
 
-            // Uplink grants for this subframe.
-            if let Some(decision) = c.pending_ul.remove(&tti.0) {
-                for g in decision.grants {
-                    let Some(u) = c.ues.get_mut(&g.rnti) else {
+            // Uplink grants for this subframe (grant buffer recycled the
+            // same way as the DCI buffer above).
+            if let Some(pi) = c.pending_ul.iter().position(|(t, _)| *t == tti.0) {
+                let (_, mut decision) = c.pending_ul.swap_remove(pi);
+                for g in decision.grants.iter().copied() {
+                    let Ok(ui) = c.ues.binary_search_by_key(&g.rnti, |u| u.rnti) else {
                         continue;
                     };
+                    let u = &mut c.ues[ui];
                     let tbs_bytes = (tbs_bits(itbs_for_mcs(g.mcs.0), g.n_prb) as u64) / 8;
                     let sent = tbs_bytes.saturating_sub(MAC_HEADER_BYTES).min(u.ul_backlog);
                     if sent == 0 {
@@ -1045,10 +1120,12 @@ impl Enb {
                     }
                     // On failure the backlog stays; a later grant retries.
                 }
+                decision.grants.clear();
+                c.grant_pool.push(decision.grants);
             }
 
             // Average-rate EWMA for proportional fairness.
-            for u in c.ues.values_mut() {
+            for u in c.ues.iter_mut() {
                 let inst = (u.bits_this_tti * 1000) as f64; // bits/s this TTI
                 u.avg_rate_bps =
                     (1.0 - params.avg_rate_alpha) * u.avg_rate_bps + params.avg_rate_alpha * inst;
@@ -1095,14 +1172,13 @@ impl Enb {
     /// statistics (the per-TTI reports hot path).
     pub fn ue_stats_iter(&self, cell: CellId) -> Result<impl Iterator<Item = UeStats> + '_> {
         let c = self.cell_ref(cell)?;
-        Ok(c.ues.values().map(|u| u.stats()))
+        Ok(c.ues.iter().map(|u| u.stats()))
     }
 
-    /// A single UE's statistics (direct map lookup, not a scan).
+    /// A single UE's statistics (binary-searched slab lookup, not a scan).
     pub fn ue_stat(&self, cell: CellId, rnti: Rnti) -> Result<UeStats> {
         let c = self.cell_ref(cell)?;
-        c.ues
-            .get(&rnti)
+        c.ue(rnti)
             .map(|u| u.stats())
             .ok_or_else(|| FlexError::NotFound(format!("{rnti}")))
     }
@@ -1112,8 +1188,7 @@ impl Enb {
     pub fn dl_queue_bytes(&self, cell: CellId, rnti: Rnti) -> Result<Bytes> {
         let c = self.cell_ref(cell)?;
         let u = c
-            .ues
-            .get(&rnti)
+            .ue(rnti)
             .ok_or_else(|| FlexError::NotFound(format!("{rnti}")))?;
         Ok(u.drb.buffer_occupancy())
     }
@@ -1134,12 +1209,11 @@ impl Enb {
         let mut total = 0usize;
         for c in &self.cells {
             total += c.ues.len() * std::mem::size_of::<UeContext>();
-            for u in c.ues.values() {
+            for u in c.ues.iter() {
                 total += u.srb.heap_bytes() + u.drb.heap_bytes();
             }
             total += c.pending_dl.len() * std::mem::size_of::<DlSchedulingDecision>();
             total += c.feedback_queue.len() * std::mem::size_of::<Vec<Feedback>>();
-            total += c.payload_split.len() * 24;
         }
         total
     }

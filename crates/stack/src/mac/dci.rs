@@ -50,15 +50,16 @@ impl DlSchedulingDecision {
                 self.total_prbs()
             )));
         }
-        let mut seen = std::collections::BTreeSet::new();
-        for d in &self.dcis {
+        // Duplicate-RNTI scan is quadratic but bounded by `max_dcis`
+        // (single digits per subframe) — no allocation on the hot path.
+        for (i, d) in self.dcis.iter().enumerate() {
             if d.n_prb == 0 {
                 return Err(flexran_types::FlexError::InvalidConfig(format!(
                     "zero-PRB DCI for {}",
                     d.rnti
                 )));
             }
-            if !seen.insert(d.rnti) {
+            if self.dcis[..i].iter().any(|e| e.rnti == d.rnti) {
                 return Err(flexran_types::FlexError::Conflict(format!(
                     "duplicate DCI for {} in one subframe",
                     d.rnti

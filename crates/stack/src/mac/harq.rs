@@ -33,21 +33,35 @@ pub enum ProcessState {
 }
 
 /// One HARQ process: the in-flight transport block and its allocation.
+/// The payload is tracked split by bearer (signalling vs data) so that
+/// delivery and recovery credit the right queue without any side table —
+/// the split lives and dies with the process itself.
 #[derive(Debug, Clone)]
 pub struct HarqProcess {
     pub state: ProcessState,
-    /// RLC payload bytes carried (what must be recovered on failure).
-    pub payload: Bytes,
+    /// Signalling (SRB) payload bytes carried.
+    pub srb: u64,
+    /// Data (DRB) payload bytes carried.
+    pub drb: u64,
     pub mcs: Mcs,
     pub n_prb: u8,
     pub attempts: u8,
+}
+
+impl HarqProcess {
+    /// Total RLC payload bytes carried (what must be recovered on
+    /// failure).
+    pub fn payload(&self) -> Bytes {
+        Bytes(self.srb + self.drb)
+    }
 }
 
 impl Default for HarqProcess {
     fn default() -> Self {
         HarqProcess {
             state: ProcessState::Idle,
-            payload: Bytes::ZERO,
+            srb: 0,
+            drb: 0,
             mcs: Mcs(0),
             n_prb: 0,
             attempts: 0,
@@ -59,12 +73,14 @@ impl Default for HarqProcess {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FeedbackOutcome {
     Acked {
-        payload: Bytes,
+        srb: u64,
+        drb: u64,
     },
     WillRetransmit,
     /// Retries exhausted; payload handed back for higher-layer recovery.
     Exhausted {
-        payload: Bytes,
+        srb: u64,
+        drb: u64,
     },
 }
 
@@ -93,13 +109,15 @@ impl HarqEntity {
             .map(|i| i as u8)
     }
 
-    /// Record a new-data transmission on `pid` at `now`.
-    pub fn start(&mut self, pid: u8, payload: Bytes, mcs: Mcs, n_prb: u8, now: Tti) {
+    /// Record a new-data transmission on `pid` at `now`, carrying `srb`
+    /// signalling and `drb` data payload bytes.
+    pub fn start(&mut self, pid: u8, srb: u64, drb: u64, mcs: Mcs, n_prb: u8, now: Tti) {
         let p = &mut self.processes[pid as usize % 8];
         debug_assert_eq!(p.state, ProcessState::Idle, "process reuse while busy");
         *p = HarqProcess {
             state: ProcessState::InFlight { sent: now },
-            payload,
+            srb,
+            drb,
             mcs,
             n_prb,
             attempts: 1,
@@ -113,15 +131,15 @@ impl HarqEntity {
         match p.state {
             ProcessState::InFlight { sent } => {
                 if ack {
-                    let payload = p.payload;
+                    let (srb, drb) = (p.srb, p.drb);
                     *p = HarqProcess::default();
                     self.acked += 1;
-                    FeedbackOutcome::Acked { payload }
+                    FeedbackOutcome::Acked { srb, drb }
                 } else if p.attempts >= HARQ_MAX_ATTEMPTS {
-                    let payload = p.payload;
+                    let (srb, drb) = (p.srb, p.drb);
                     *p = HarqProcess::default();
                     self.exhausted += 1;
-                    FeedbackOutcome::Exhausted { payload }
+                    FeedbackOutcome::Exhausted { srb, drb }
                 } else {
                     p.state = ProcessState::PendingRetx {
                         ready_at: Tti(sent.0 + HARQ_RTT).max(now),
@@ -137,19 +155,28 @@ impl HarqEntity {
     }
 
     /// Retransmissions due at `now`: marks them in flight again and
-    /// returns `(pid, n_prb, mcs, attempt_number)` per block.
-    pub fn take_due_retx(&mut self, now: Tti) -> Vec<(u8, u8, Mcs, u8)> {
-        let mut due = Vec::new();
+    /// calls `f(pid, n_prb, mcs, attempt_number)` per block. The per-TTI
+    /// hot path — no allocation.
+    pub fn drain_due_retx(&mut self, now: Tti, mut f: impl FnMut(u8, u8, Mcs, u8)) {
         for (i, p) in self.processes.iter_mut().enumerate() {
             if let ProcessState::PendingRetx { ready_at } = p.state {
                 if ready_at <= now {
                     p.attempts += 1;
                     p.state = ProcessState::InFlight { sent: now };
                     self.tx_retx += 1;
-                    due.push((i as u8, p.n_prb, p.mcs, p.attempts));
+                    f(i as u8, p.n_prb, p.mcs, p.attempts);
                 }
             }
         }
+    }
+
+    /// Allocating convenience wrapper around [`HarqEntity::drain_due_retx`]
+    /// (tests and diagnostics; the data plane uses the closure form).
+    pub fn take_due_retx(&mut self, now: Tti) -> Vec<(u8, u8, Mcs, u8)> {
+        let mut due = Vec::new();
+        self.drain_due_retx(now, |pid, n_prb, mcs, attempt| {
+            due.push((pid, n_prb, mcs, attempt));
+        });
         due
     }
 
@@ -185,7 +212,7 @@ impl HarqEntity {
             self.processes
                 .iter()
                 .filter(|p| p.state != ProcessState::Idle)
-                .map(|p| p.payload.as_u64())
+                .map(|p| p.srb + p.drb)
                 .sum(),
         )
     }
@@ -206,15 +233,10 @@ mod tests {
     fn ack_frees_the_process() {
         let mut h = HarqEntity::new();
         let pid = h.idle_process().unwrap();
-        h.start(pid, Bytes(1000), Mcs(10), 10, Tti(5));
+        h.start(pid, 100, 900, Mcs(10), 10, Tti(5));
         assert!(!h.all_idle());
         let out = h.feedback(pid, true, Tti(9));
-        assert_eq!(
-            out,
-            FeedbackOutcome::Acked {
-                payload: Bytes(1000)
-            }
-        );
+        assert_eq!(out, FeedbackOutcome::Acked { srb: 100, drb: 900 });
         assert!(h.all_idle());
         assert_eq!(h.acked, 1);
     }
@@ -222,7 +244,7 @@ mod tests {
     #[test]
     fn nack_schedules_synchronous_retx() {
         let mut h = HarqEntity::new();
-        h.start(0, Bytes(500), Mcs(12), 8, Tti(10));
+        h.start(0, 0, 500, Mcs(12), 8, Tti(10));
         assert_eq!(
             h.feedback(0, false, Tti(14)),
             FeedbackOutcome::WillRetransmit
@@ -241,7 +263,7 @@ mod tests {
     #[test]
     fn exhaustion_returns_payload() {
         let mut h = HarqEntity::new();
-        h.start(0, Bytes(640), Mcs(5), 4, Tti(0));
+        h.start(0, 40, 600, Mcs(5), 4, Tti(0));
         for k in 0..(HARQ_MAX_ATTEMPTS - 1) {
             assert_eq!(
                 h.feedback(0, false, Tti(4 + 8 * k as u64)),
@@ -250,12 +272,7 @@ mod tests {
             assert_eq!(h.take_due_retx(Tti(8 + 8 * k as u64)).len(), 1);
         }
         let out = h.feedback(0, false, Tti(100));
-        assert_eq!(
-            out,
-            FeedbackOutcome::Exhausted {
-                payload: Bytes(640)
-            }
-        );
+        assert_eq!(out, FeedbackOutcome::Exhausted { srb: 40, drb: 600 });
         assert!(h.all_idle());
         assert_eq!(h.exhausted, 1);
     }
@@ -265,7 +282,7 @@ mod tests {
         let mut h = HarqEntity::new();
         for i in 0..8 {
             let pid = h.idle_process().expect("process available");
-            h.start(pid, Bytes(1), Mcs(0), 1, Tti(i));
+            h.start(pid, 0, 1, Mcs(0), 1, Tti(i));
         }
         assert!(h.idle_process().is_none());
         assert_eq!(h.outstanding(), Bytes(8));
@@ -281,8 +298,8 @@ mod tests {
     #[test]
     fn in_flight_lookup_by_send_time() {
         let mut h = HarqEntity::new();
-        h.start(0, Bytes(10), Mcs(3), 2, Tti(40));
-        h.start(1, Bytes(20), Mcs(4), 3, Tti(41));
+        h.start(0, 0, 10, Mcs(3), 2, Tti(40));
+        h.start(1, 0, 20, Mcs(4), 3, Tti(41));
         let hits = h.in_flight_sent_at(Tti(40));
         assert_eq!(hits.len(), 1);
         assert_eq!(hits[0].0, 0);

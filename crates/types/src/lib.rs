@@ -11,6 +11,7 @@
 //! data plane (`flexran-stack`), the protocol (`flexran-proto`) and the
 //! control plane (`flexran-controller`) all agree on the same vocabulary.
 
+pub mod budget;
 pub mod config;
 pub mod error;
 pub mod ids;

@@ -30,6 +30,10 @@ echo "==> determinism + master-recovery tests with debug-invariants assertions"
 cargo test --quiet --release -p flexran --features debug-invariants --test determinism
 cargo test --quiet --release -p flexran --features debug-invariants --test master_recovery
 
+echo "==> allocation-regression gate (2 eNBs x 32 UEs, committed ceiling: 0 allocs)"
+cargo run --quiet --release -p flexran-bench --bin experiments -- \
+    allocgate --out target/check-allocgate
+
 echo "==> chaos smoke gate (8 seeds x 2000 TTIs, zero tolerated violations)"
 cargo run --quiet --release -p flexran-bench --bin experiments -- \
     chaos --seeds 8 --ttis 2000 --out target/check-chaos

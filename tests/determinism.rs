@@ -227,6 +227,80 @@ fn sharded_control_plane_is_bit_identical_to_one_shard() {
     }
 }
 
+/// Slab-RIB golden: the scale experiment's 1 eNB × 16 UE grid point,
+/// reproduced exactly (seed, radio specs, warm-up + measured TTI count),
+/// must digest to the value committed in BENCH_scale.json *before* the
+/// RIB was flattened from B-tree nodes onto index-addressed slabs. This
+/// pins the slab layout to the historical observable stream: any layout
+/// change that reorders iteration or perturbs state is caught here, for
+/// every worker count × shard spec.
+#[test]
+fn slab_rib_digests_match_pre_flattening_goldens() {
+    // Golden recorded pre-flattening (BENCH_scale.json, enbs=1,
+    // ues_per_enb=16, seed 7, 100 warm-up + 2000 measured TTIs).
+    const GOLDEN_1X16: &str = "0a3e0d5c0635f4e2";
+    const SCALE_SEED: u64 = 7;
+    const SCALE_TTIS: u64 = 2_100;
+    const N_UES: u32 = 16;
+
+    fn fnv_u64(h: &mut u64, v: u64) {
+        for b in v.to_le_bytes() {
+            *h ^= b as u64;
+            *h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+
+    let run_scale_point = |workers: Option<usize>, shards: ShardSpec| -> String {
+        let mut sim = SimHarness::new(SimConfig {
+            seed: SCALE_SEED,
+            workers,
+            master: TaskManagerConfig {
+                shards,
+                ..TaskManagerConfig::default()
+            },
+            ..SimConfig::default()
+        });
+        let enb = sim.add_enb(EnbConfig::single_cell(EnbId(1)), AgentConfig::default());
+        for u in 0..N_UES as u64 {
+            let ue = sim.add_ue(
+                enb,
+                CellId(0),
+                SliceId::MNO,
+                0,
+                UeRadioSpec::Fading(15.0, 4.0, 0.95, SCALE_SEED ^ u),
+            );
+            sim.set_dl_traffic(ue, Box::new(FullBufferSource::default()));
+        }
+        sim.run(SCALE_TTIS);
+        let mut h = 0xcbf29ce484222325u64;
+        for id in 1..=N_UES {
+            let s = sim.ue_stats(UeId(id)).expect("UE exists");
+            fnv_u64(&mut h, s.dl_delivered_bits);
+            fnv_u64(&mut h, s.ul_delivered_bits);
+            fnv_u64(&mut h, s.dl_queue_bytes.as_u64());
+            fnv_u64(&mut h, s.cqi.0 as u64);
+            fnv_u64(&mut h, s.harq_tx + s.harq_retx);
+        }
+        format!("{h:016x}")
+    };
+
+    for workers in [None, Some(2), Some(4)] {
+        for shards in [
+            ShardSpec::Fixed(1),
+            ShardSpec::Fixed(2),
+            ShardSpec::Fixed(4),
+            ShardSpec::PerAgent,
+        ] {
+            assert_eq!(
+                run_scale_point(workers, shards),
+                GOLDEN_1X16,
+                "slab-RIB digest diverged from the pre-flattening golden at \
+                 workers={workers:?} shards={shards:?}"
+            );
+        }
+    }
+}
+
 #[test]
 fn sharded_scenario_exercises_cross_shard_handovers() {
     // The matrix above is only meaningful if handovers actually cross

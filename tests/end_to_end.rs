@@ -45,8 +45,8 @@ fn multi_enb_rib_converges() {
     assert_eq!(rib.n_agents(), 3);
     assert_eq!(rib.n_ues(), 12, "all UEs visible in the RIB forest");
     for agent in rib.agents() {
-        let cell = agent.cells.values().next().expect("cell reported");
-        for ue in cell.ues.values() {
+        let cell = agent.cells().first().expect("cell reported");
+        for ue in cell.ues() {
             assert!(ue.report.connected);
             assert_eq!(ue.report.wideband_cqi, 10);
         }

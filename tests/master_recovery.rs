@@ -131,8 +131,8 @@ fn master_crash_recovery_resyncs_the_rib() {
             sync.0 > 300,
             "post-recovery sync epoch must be post-crash, got {sync}"
         );
-        for cell in agent_node.cells.values() {
-            for ue in cell.ues.values() {
+        for cell in agent_node.cells() {
+            for ue in cell.ues() {
                 assert!(ue.report.connected, "replayed subscription refreshed UEs");
             }
         }

@@ -110,8 +110,8 @@ fn master_and_agent_over_real_tcp() {
     let rib_ue = master
         .view()
         .agent(EnbId(1))
-        .and_then(|a| a.cells.get(&CellId(0)))
-        .and_then(|c| c.ues.get(&rnti));
+        .and_then(|a| a.cell(CellId(0)))
+        .and_then(|c| c.ue(rnti));
     assert!(rib_ue.is_some(), "UE visible in the RIB");
     // Remote decisions flowed back and moved real data.
     let stats = agent.enb().ue_stat(CellId(0), rnti).unwrap();
