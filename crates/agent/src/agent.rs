@@ -292,11 +292,13 @@ impl<T: Transport> FlexranAgent<T> {
             return;
         }
         if !self.hello_sent {
+            // lint:allow(alloc-reach) hello composition runs once per (re)connect
             self.send_hello();
         }
         self.enb.begin_tti(tti, phy);
         // Protocol intake.
         loop {
+            // lint:allow(alloc-reach) decode materializes owned messages — arrival-driven
             match self.transport.try_recv() {
                 Ok(Some((header, msg))) => {
                     self.counters.rx_messages += 1;
@@ -305,6 +307,9 @@ impl<T: Transport> FlexranAgent<T> {
                         // so the master replays delegated state.
                         self.hello_sent = false;
                     }
+                    // Command/config handling runs only when a control
+                    // message arrived — episodic vs the TTI loop.
+                    // lint:allow(alloc-reach)
                     self.handle_message(header, msg, tti);
                 }
                 Ok(None) => break,
@@ -322,13 +327,18 @@ impl<T: Transport> FlexranAgent<T> {
             let probe = flexran_proto::messages::Heartbeat { seq, tti: tti.0 };
             let _ = self
                 .transport
+                // lint:allow(alloc-reach) wire frame growth is pooled; probe is paced
                 .send(Header::default(), &FlexranMessage::Heartbeat(probe));
         }
         if tick.entered_local_control {
+            // Entering local control happens once per master outage, not
+            // per TTI. lint:allow(alloc-reach)
             let fallback = self.liveness.config().fallback_dl_scheduler.clone();
             if self.mac.dl.active_name() != Some(fallback.as_str()) {
+                // lint:allow(alloc-reach) failover bookkeeping, once per outage
                 self.pre_failover_dl = self.mac.dl.active_name().map(String::from);
             }
+            // lint:allow(alloc-reach) VSF swap to the fallback scheduler, once per outage
             if self.mac.dl.activate(&fallback).is_err() {
                 self.counters.command_errors += 1;
             }
@@ -423,13 +433,16 @@ impl<T: Transport> FlexranAgent<T> {
                     }
                 }
             }
+            // lint:allow(alloc-reach) notification composition — event-driven
             let note = EventNotification::from_enb_event(enb_id, ev);
             let _ = self
                 .transport
+                // lint:allow(alloc-reach) wire frame growth is pooled; send is event-driven
                 .send(Header::default(), &FlexranMessage::EventNotification(note));
         }
         if self.config.sync_period > 0 && tti.0.is_multiple_of(self.config.sync_period) {
             let sfnsf = tti.sfn_sf();
+            // lint:allow(alloc-reach) rides the sync_period, amortized
             let _ = self.transport.send(
                 Header::default(),
                 &FlexranMessage::SubframeTrigger(SubframeTrigger {
@@ -440,12 +453,15 @@ impl<T: Transport> FlexranAgent<T> {
                 }),
             );
         }
+        // lint:allow(alloc-reach) report composition — interval/trigger-driven
         for (xid, reply) in self.reports.due(tti, &self.enb) {
             let _ = self
                 .transport
+                // lint:allow(alloc-reach) wire frame growth is pooled; reply rides the report interval
                 .send(Header::with_xid(xid), &FlexranMessage::StatsReply(reply));
         }
         for ack in std::mem::take(&mut self.outbox_acks) {
+            // lint:allow(alloc-reach) ack send — command-driven
             let _ = self.transport.send(
                 Header::with_xid(ack.xid),
                 &FlexranMessage::DelegationAck(ack),

@@ -53,9 +53,7 @@ impl HandoverVsf for A3HandoverVsf {
     }
 
     fn on_measurement(&mut self, serving_rsrp_dbm: f64, neighbours: &[(u32, f64)]) -> Option<u32> {
-        let best = neighbours
-            .iter()
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN RSRP"))?;
+        let best = neighbours.iter().max_by(|a, b| a.1.total_cmp(&b.1))?;
         if best.1 > serving_rsrp_dbm + self.hysteresis_db {
             if self.candidate == Some(best.0) {
                 self.streak += 1;

@@ -484,7 +484,12 @@ impl Program {
                 .eval(a, ue, prb_total)
                 .powf(self.eval(b, ue, prb_total)),
             Expr::Call(f, args) => {
-                let v: Vec<f64> = args.iter().map(|a| self.eval(a, ue, prb_total)).collect();
+                // DSL functions are at most binary (`Func::from_name`
+                // arities): evaluate into fixed scratch, no per-call Vec.
+                let mut v = [0.0f64; 2];
+                for (slot, a) in v.iter_mut().zip(args.iter()) {
+                    *slot = self.eval(a, ue, prb_total);
+                }
                 match f {
                     Func::Min => v[0].min(v[1]),
                     Func::Max => v[0].max(v[1]),

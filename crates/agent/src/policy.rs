@@ -56,32 +56,33 @@ struct Line<'a> {
 fn split_lines(src: &str) -> Result<Vec<Line<'_>>> {
     let mut out = Vec::new();
     for (no, raw) in src.lines().enumerate() {
-        let line = match raw.find('#') {
-            Some(i) => &raw[..i],
+        let line = match raw.split_once('#') {
+            Some((before, _comment)) => before,
             None => raw,
         };
-        if line.trim().is_empty() {
+        let after_indent = line.trim_start_matches(' ');
+        if after_indent.trim().is_empty() {
             continue;
         }
-        let indent = line.len() - line.trim_start_matches(' ').len();
-        if line[indent..].starts_with('\t') {
+        let indent = line.len() - after_indent.len();
+        if after_indent.starts_with('\t') {
             return Err(FlexError::Policy(format!(
                 "line {}: tabs are not allowed for indentation",
                 no + 1
             )));
         }
         let body = line.trim();
-        let Some(colon) = body.find(':') else {
+        let Some((key, value)) = body.split_once(':') else {
             return Err(FlexError::Policy(format!(
                 "line {}: expected 'key:' or 'key: value'",
                 no + 1
             )));
         };
-        let key = body[..colon].trim();
+        let key = key.trim();
         if key.is_empty() {
             return Err(FlexError::Policy(format!("line {}: empty key", no + 1)));
         }
-        let rest = body[colon + 1..].trim();
+        let rest = value.trim();
         out.push(Line {
             indent,
             key,
@@ -128,9 +129,10 @@ impl PolicyDoc {
     pub fn parse(src: &str) -> Result<PolicyDoc> {
         let lines = split_lines(src)?;
         let mut doc = PolicyDoc::default();
+        // Cursor-style walk: every access goes through `lines.get(i)`, so
+        // the parser has no indexing panic sites at all.
         let mut i = 0;
-        while i < lines.len() {
-            let l = &lines[i];
+        while let Some(l) = lines.get(i) {
             if l.indent != 0 || l.value.is_some() {
                 return Err(FlexError::Policy(format!(
                     "expected a module name at top level, got '{}'",
@@ -143,21 +145,20 @@ impl PolicyDoc {
             };
             i += 1;
             // VSF entries, indented deeper than the module.
-            while i < lines.len() && lines[i].indent > 0 {
-                let vsf_indent = lines[i].indent;
-                if lines[i].value.is_some() {
+            while let Some(entry) = lines.get(i).filter(|l| l.indent > 0) {
+                let vsf_indent = entry.indent;
+                if entry.value.is_some() {
                     return Err(FlexError::Policy(format!(
                         "VSF entry '{}' must be a mapping",
-                        lines[i].key
+                        entry.key
                     )));
                 }
                 let mut vsf = VsfPolicy {
-                    vsf: lines[i].key.to_string(),
+                    vsf: entry.key.to_string(),
                     ..VsfPolicy::default()
                 };
                 i += 1;
-                while i < lines.len() && lines[i].indent > vsf_indent {
-                    let section = &lines[i];
+                while let Some(section) = lines.get(i).filter(|l| l.indent > vsf_indent) {
                     match (section.key, section.value) {
                         ("behavior", Some(v)) => {
                             vsf.behavior = Some(v.to_string());
@@ -166,8 +167,7 @@ impl PolicyDoc {
                         ("parameters", None) => {
                             let sec_indent = section.indent;
                             i += 1;
-                            while i < lines.len() && lines[i].indent > sec_indent {
-                                let p = &lines[i];
+                            while let Some(p) = lines.get(i).filter(|l| l.indent > sec_indent) {
                                 let Some(v) = p.value else {
                                     return Err(FlexError::Policy(format!(
                                         "parameter '{}' has no value",

@@ -190,6 +190,7 @@ impl RibJournal {
     pub fn on_write_cycle(&mut self, rib: &Rib) {
         self.cycles_since_snapshot += 1;
         if self.cycles_since_snapshot >= self.snapshot_every {
+            // lint:allow(alloc-reach) compaction — amortized over snapshot_every cycles
             self.compact(rib);
         }
     }
@@ -292,7 +293,7 @@ fn synthesize_snapshot(rib: &Rib, out: &mut Vec<u8>) {
                     cell.updated,
                     &FlexranMessage::ConfigReply(ConfigReply {
                         enb_id: enb,
-                        cells: vec![config.clone()],
+                        cells: vec![*config],
                         ues: Vec::new(),
                     }),
                 );

@@ -536,6 +536,7 @@ impl MasterController {
             ShardSpec::PerAgent => {
                 let idx = self.shards.len();
                 self.shards
+                    // lint:allow(alloc-reach) shard construction — once per newly-seen agent
                     .push(RibShard::new(idx, idx + 1, Some(enb), &self.config));
                 idx
             }
@@ -549,6 +550,7 @@ impl MasterController {
     /// itself rides along in the session's carryover queue, so the shard
     /// folds it through its own single writer this same cycle).
     // lint:no-alloc — serial cycle front, runs every TTI
+    // lint:serial-only — must never run inside a shard's RIB slot
     pub fn begin_cycle(&mut self, now: Tti) {
         self.now = now;
         // Wall-clock here only *measures* the slot (Fig. 8 accounting);
@@ -562,6 +564,7 @@ impl MasterController {
                 let Some(session) = self.limbo.get_mut(i) else {
                     break;
                 };
+                // lint:allow(alloc-reach) decode materializes owned messages — arrival-driven
                 while let Ok(Some((header, msg))) = session.transport.try_recv() {
                     session.last_rx = Some(now);
                     if let FlexranMessage::Heartbeat(h) = &msg {
@@ -569,6 +572,7 @@ impl MasterController {
                         // the agent has introduced itself.
                         let _ = session
                             .transport
+                            // lint:allow(alloc-reach) wire frame growth is pooled; ack is arrival-driven
                             .send(header, &FlexranMessage::HeartbeatAck(*h));
                     }
                     if let FlexranMessage::Hello(h) = &msg {
@@ -586,6 +590,7 @@ impl MasterController {
                     // re-introduce itself and push full state.
                     if session.take_nudge(now) {
                         self.xid = self.xid.wrapping_add(1);
+                        // lint:allow(alloc-reach) recovery nudge — paced, pre-hello only
                         let _ = session.transport.send(
                             Header::with_xid(self.xid),
                             &FlexranMessage::ResyncRequest(ResyncRequest {
@@ -619,7 +624,9 @@ impl MasterController {
     /// an identity the shard does not own) to their owning shards. The
     /// parked hello rides in the carryover queue and is folded by the
     /// new owner next cycle.
+    // lint:serial-only — moves sessions across shards; single-writer only
     fn rehome_sessions(&mut self) {
+        // lint:allow(alloc-reach) populated only when an agent restart re-hello'd
         let mut moving: Vec<(EnbId, Session)> = Vec::new();
         for shard in &mut self.shards {
             let mut i = 0;
@@ -650,6 +657,7 @@ impl MasterController {
     /// shard-transparent facade, route staged commands through the
     /// cross-shard mailboxes, and account the cycle.
     // lint:no-alloc — per-TTI merge + apps slot; steady state is heap-free
+    // lint:serial-only — must never run inside a shard's RIB slot
     pub fn finish_cycle(&mut self, now: Tti) -> CycleStats {
         self.rehome_sessions();
         let rib_slot = self

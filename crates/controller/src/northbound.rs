@@ -247,9 +247,11 @@ impl<'a> RibView<'a> {
     /// All agents, ascending by id regardless of shard layout.
     pub fn agents(&self) -> Vec<&'a AgentNode> {
         match self.backing {
+            // lint:allow(alloc-reach) northbound snapshot query — off the RIB write path
             Backing::Single(rib) => rib.agents().collect(),
             Backing::Sharded(shards) => {
                 let mut all: Vec<&'a AgentNode> =
+                    // lint:allow(alloc-reach) northbound snapshot query — off the RIB write path
                     shards.iter().flat_map(|s| s.rib().agents()).collect();
                 all.sort_by_key(|a| a.enb_id);
                 all

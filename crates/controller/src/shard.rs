@@ -350,6 +350,7 @@ impl RibShard {
             loop {
                 let next = match session.carryover.pop_front() {
                     Some(m) => Some(m),
+                    // lint:allow(alloc-reach) decode materializes owned messages — arrival-driven
                     None => match session.transport.try_recv() {
                         Ok(Some(m)) => Some(m),
                         Ok(None) | Err(_) => None,
@@ -366,6 +367,7 @@ impl RibShard {
                     // agent has introduced itself.
                     let _ = session
                         .transport
+                        // lint:allow(alloc-reach) wire frame growth is pooled; ack is arrival-driven
                         .send(header, &FlexranMessage::HeartbeatAck(*h));
                 }
                 if let FlexranMessage::Hello(h) = &msg {
@@ -391,6 +393,7 @@ impl RibShard {
                     // full state.
                     if session.take_nudge(now) {
                         let xid = session.next_xid();
+                        // lint:allow(alloc-reach) recovery nudge — paced, pre-hello only
                         let _ = session.transport.send(
                             Header::with_xid(xid),
                             &FlexranMessage::ResyncRequest(ResyncRequest {
@@ -448,6 +451,7 @@ impl RibShard {
                 continue;
             };
             let xid = session.next_xid();
+            // lint:allow(alloc-reach) rejoin-only (cold): resync request after an outage
             let _ = session.transport.send(
                 Header::with_xid(xid),
                 &FlexranMessage::ResyncRequest(ResyncRequest {
@@ -459,6 +463,7 @@ impl RibShard {
                 let xid = session.next_xid();
                 let _ = session
                     .transport
+                    // lint:allow(alloc-reach) rejoin-only (cold): replays delegated state
                     .send(Header::with_xid(xid), &op.to_message());
             }
         }
@@ -504,6 +509,7 @@ impl RibShard {
                 CrossShardMsg::Command { enb, header, msg } => {
                     if let Some(session) = self.sessions.iter_mut().find(|s| s.enb_id == Some(enb))
                     {
+                        // lint:allow(alloc-reach) cross-shard command forwarding — command-driven
                         let _ = session.transport.send(header, &msg);
                     }
                 }

@@ -67,7 +67,7 @@ impl RibUpdater {
             FlexranMessage::Hello(h) => {
                 let agent = rib.agent_mut(enb);
                 agent.enb_id = h.enb_id;
-                agent.capabilities = h.capabilities.clone();
+                agent.capabilities.clone_from(&h.capabilities);
                 agent.n_cells = h.n_cells;
                 agent.connected_at = now;
                 None
@@ -81,7 +81,7 @@ impl RibUpdater {
                     }
                     let node = agent.cell_entry(CellId(c.cell_id));
                     node.cell_id = CellId(c.cell_id);
-                    node.config = Some(c.clone());
+                    node.config = Some(*c);
                     node.updated = now;
                 }
                 None
@@ -113,7 +113,7 @@ impl RibUpdater {
                     let cell = agent.cell_entry(CellId(u.cell));
                     cell.cell_id = CellId(u.cell);
                     let node = cell.ue_entry(Rnti(u.rnti));
-                    node.report = u.clone();
+                    node.report.clone_from(u);
                     node.updated = now;
                 }
                 None
@@ -164,6 +164,7 @@ impl RibUpdater {
                 }
                 Some(NotifiedEvent {
                     enb,
+                    // lint:allow(alloc-reach) owned copy handed to the apps slot — event-driven
                     notification: n.clone(),
                     received: now,
                 })

@@ -38,11 +38,22 @@ pub struct Tok {
     pub line: u32,
 }
 
-/// Lexer output: the token stream plus comments (line, full text).
+/// One comment with its 1-based starting line. Doc comments (`///`,
+/// `//!`, `/** */`, `/*! */`) are tagged: they are *documentation*, so
+/// `lint:` markers quoted inside them (e.g. a doc block describing the
+/// annotation grammar) must never act as live annotations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    pub line: u32,
+    pub text: String,
+    pub doc: bool,
+}
+
+/// Lexer output: the token stream plus comments.
 #[derive(Debug, Default)]
 pub struct LexOut {
     pub toks: Vec<Tok>,
-    pub comments: Vec<(u32, String)>,
+    pub comments: Vec<Comment>,
 }
 
 /// Tokenize `src`. Unterminated constructs are consumed to end of input
@@ -157,7 +168,10 @@ impl Lexer {
             text.push(c);
             self.bump();
         }
-        self.out.comments.push((line, text));
+        // `///` (but not `////`, which rustdoc treats as plain) and `//!`
+        // are doc comments.
+        let doc = (text.starts_with("///") && !text.starts_with("////")) || text.starts_with("//!");
+        self.out.comments.push(Comment { line, text, doc });
     }
 
     fn block_comment(&mut self) {
@@ -183,7 +197,11 @@ impl Lexer {
                 self.bump();
             }
         }
-        self.out.comments.push((line, text));
+        // `/**` (but not `/***` or the empty `/**/`) and `/*!` are doc
+        // comments.
+        let doc = (text.starts_with("/**") && !text.starts_with("/***") && text.len() > 4)
+            || text.starts_with("/*!");
+        self.out.comments.push(Comment { line, text, doc });
     }
 
     fn string_literal(&mut self, line: u32) {
@@ -340,7 +358,60 @@ mod tests {
         assert!(ids.contains(&"static".to_string()) || !ids.is_empty());
         let out = lex(src);
         assert_eq!(out.comments.len(), 2);
-        assert!(out.comments[0].1.contains("Instant::now in comment"));
+        assert!(out.comments[0].text.contains("Instant::now in comment"));
+        assert!(!out.comments[0].doc);
+    }
+
+    #[test]
+    fn doc_comments_are_tagged() {
+        let src = "/// doc line\n//! inner doc\n//// plain\n// plain\n\
+                   /** doc block */\n/*! inner doc block */\n/* plain block */\n/**/\n";
+        let docs: Vec<bool> = lex(src).comments.iter().map(|c| c.doc).collect();
+        assert_eq!(
+            docs,
+            vec![true, true, false, false, true, true, false, false]
+        );
+    }
+
+    #[test]
+    fn nested_block_comments_consume_to_the_outer_close() {
+        // Everything through the *outer* `*/` is comment; the unwrap
+        // afterwards is real code and must produce tokens.
+        let src = "/* outer /* inner */ still a comment */ x.unwrap()";
+        let out = lex(src);
+        let ids = out
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect::<Vec<_>>();
+        assert_eq!(ids, vec!["x", "unwrap"]);
+        assert_eq!(out.comments.len(), 1);
+        assert!(out.comments[0].text.contains("inner"));
+    }
+
+    #[test]
+    fn multiline_raw_strings_track_lines_and_stay_opaque() {
+        // A raw string spanning lines must not hide following code, and
+        // line numbers after it must stay correct.
+        let src = "let s = r#\"line one\nunwrap() in a string\n\"quoted\"\"#;\nlet t = 1;";
+        let out = lex(src);
+        let ids: Vec<(&str, u32)> = out
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| (t.text.as_str(), t.line))
+            .collect();
+        assert_eq!(ids, vec![("let", 1), ("s", 1), ("let", 4), ("t", 4)]);
+    }
+
+    #[test]
+    fn raw_strings_with_more_closing_hashes_terminate_correctly() {
+        // `r#".."#` closed by exactly one hash even when more hashes and
+        // quotes appear inside.
+        let src = r###"let s = r##"a "# b"##; let u = done;"###;
+        let ids = idents(src);
+        assert_eq!(ids, vec!["let", "s", "let", "u", "done"]);
     }
 
     #[test]

@@ -38,9 +38,11 @@
 
 use std::collections::BTreeSet;
 
-use crate::lexer::{lex, Tok, TokKind};
+use crate::lexer::{lex, Comment, Tok, TokKind};
 
-/// Lint identifiers.
+/// Lint identifiers. `A2`/`P2`/`S1` are the interprocedural lints
+/// computed over the workspace call graph (see [`crate::reach`]); the
+/// rest are per-file token lints.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum LintId {
     D1,
@@ -49,16 +51,28 @@ pub enum LintId {
     R1,
     A1,
     U1,
+    /// Transitive no-alloc: nothing reachable from a `*_into` /
+    /// `lint:no-alloc` root may allocate.
+    A2,
+    /// Transitive panic-reachability: nothing reachable from the
+    /// control-plane runtime crates may panic, even in other crates.
+    P2,
+    /// Shard/phase discipline: nothing reachable from a parallel-phase
+    /// root (`run_rib_slot`) may call a serial-phase-only function.
+    S1,
 }
 
 impl LintId {
-    pub const ALL: [LintId; 6] = [
+    pub const ALL: [LintId; 9] = [
         LintId::D1,
         LintId::D2,
         LintId::P1,
         LintId::R1,
         LintId::A1,
         LintId::U1,
+        LintId::A2,
+        LintId::P2,
+        LintId::S1,
     ];
 
     /// Stable id used in diagnostics and the baseline file.
@@ -70,6 +84,9 @@ impl LintId {
             LintId::R1 => "R1",
             LintId::A1 => "A1",
             LintId::U1 => "U1",
+            LintId::A2 => "A2",
+            LintId::P2 => "P2",
+            LintId::S1 => "S1",
         }
     }
 
@@ -82,6 +99,9 @@ impl LintId {
             LintId::R1 => "rib-write",
             LintId::A1 => "hot-alloc",
             LintId::U1 => "unsafe",
+            LintId::A2 => "alloc-reach",
+            LintId::P2 => "panic-reach",
+            LintId::S1 => "phase-discipline",
         }
     }
 
@@ -153,8 +173,8 @@ pub fn analyze_source(krate: &str, file: &str, src: &str) -> Vec<Diagnostic> {
     let safety_lines: BTreeSet<u32> = out
         .comments
         .iter()
-        .filter(|(_, text)| text.contains("SAFETY:"))
-        .map(|(line, _)| *line)
+        .filter(|c| c.text.contains("SAFETY:"))
+        .map(|c| c.line)
         .collect();
     let test_spans = find_test_spans(&out.toks);
     let mut into_bodies = find_into_bodies(&out.toks);
@@ -329,7 +349,7 @@ pub fn analyze_source(krate: &str, file: &str, src: &str) -> Vec<Diagnostic> {
 }
 
 /// Allocating construct starting at token `i` inside an `_into` body.
-fn alloc_pattern(toks: &[Tok], i: usize) -> Option<&'static str> {
+pub(crate) fn alloc_pattern(toks: &[Tok], i: usize) -> Option<&'static str> {
     let t = &toks[i];
     if t.kind != TokKind::Ident {
         return None;
@@ -353,14 +373,20 @@ fn alloc_pattern(toks: &[Tok], i: usize) -> Option<&'static str> {
         "to_vec" if prev_is(toks, i, ".") && next_is(toks, i + 1, "(") => Some(".to_vec()"),
         "to_string" if prev_is(toks, i, ".") && next_is(toks, i + 1, "(") => Some(".to_string()"),
         "to_owned" if prev_is(toks, i, ".") && next_is(toks, i + 1, "(") => Some(".to_owned()"),
-        "collect" if prev_is(toks, i, ".") && next_is(toks, i + 1, "(") => Some(".collect()"),
+        // `.collect()` and the turbofish form `.collect::<Vec<_>>()`.
+        "collect"
+            if prev_is(toks, i, ".")
+                && (next_is(toks, i + 1, "(") || seq(toks, i + 1, &["::", "<"])) =>
+        {
+            Some(".collect()")
+        }
         _ => None,
     }
 }
 
 /// Does `t` end an expression a `[` could index? Identifiers that are
 /// really keywords introduce patterns/items instead and are excluded.
-fn is_expr_tail(t: &Tok) -> bool {
+pub(crate) fn is_expr_tail(t: &Tok) -> bool {
     match t.kind {
         TokKind::Punct => t.text == ")" || t.text == "]",
         TokKind::Ident => !matches!(
@@ -407,34 +433,39 @@ fn is_expr_tail(t: &Tok) -> bool {
 }
 
 /// `toks[i..]` matches `texts` exactly.
-fn seq(toks: &[Tok], i: usize, texts: &[&str]) -> bool {
+pub(crate) fn seq(toks: &[Tok], i: usize, texts: &[&str]) -> bool {
     texts
         .iter()
         .enumerate()
         .all(|(k, want)| toks.get(i + k).is_some_and(|t| t.text == *want))
 }
 
-fn next_is(toks: &[Tok], i: usize, text: &str) -> bool {
+pub(crate) fn next_is(toks: &[Tok], i: usize, text: &str) -> bool {
     toks.get(i).is_some_and(|t| t.text == text)
 }
 
-fn prev_is(toks: &[Tok], i: usize, text: &str) -> bool {
+pub(crate) fn prev_is(toks: &[Tok], i: usize, text: &str) -> bool {
     i > 0 && toks[i - 1].text == text
 }
 
 /// Parse `lint:allow(key, key2)` annotations out of comments, yielding
-/// `(line, key)` pairs.
-fn collect_allows(comments: &[(u32, String)]) -> Vec<(u32, String)> {
+/// `(line, key)` pairs. Doc comments are documentation: a quoted
+/// `lint:allow(...)` inside one (e.g. the annotation grammar described
+/// in a module doc) must never suppress anything.
+pub(crate) fn collect_allows(comments: &[Comment]) -> Vec<(u32, String)> {
     let mut out = Vec::new();
-    for (line, text) in comments {
-        let mut rest = text.as_str();
+    for c in comments {
+        if c.doc {
+            continue;
+        }
+        let mut rest = c.text.as_str();
         while let Some(pos) = rest.find("lint:allow(") {
             rest = &rest[pos + "lint:allow(".len()..];
             let Some(end) = rest.find(')') else { break };
             for key in rest[..end].split(',') {
                 let key = key.trim();
                 if !key.is_empty() {
-                    out.push((*line, key.to_string()));
+                    out.push((c.line, key.to_string()));
                 }
             }
             rest = &rest[end..];
@@ -444,7 +475,7 @@ fn collect_allows(comments: &[(u32, String)]) -> Vec<(u32, String)> {
 }
 
 /// Line spans `[start, end]` of `#[cfg(test)]` / `#[test]` items.
-fn find_test_spans(toks: &[Tok]) -> Vec<(u32, u32)> {
+pub(crate) fn find_test_spans(toks: &[Tok]) -> Vec<(u32, u32)> {
     let mut spans = Vec::new();
     let mut i = 0;
     while i < toks.len() {
@@ -531,12 +562,13 @@ fn find_into_bodies(toks: &[Tok]) -> Vec<(usize, usize)> {
 /// the three lines above their `fn` keyword (attributes may sit
 /// between). These opt into the A1 hot-path allocation lint. Each
 /// marker binds to the *first* `fn` that follows it, never to later
-/// siblings that also happen to start within the window.
-fn find_marked_bodies(toks: &[Tok], comments: &[(u32, String)]) -> Vec<(usize, usize)> {
+/// siblings that also happen to start within the window. Doc comments
+/// never bind — a doc block *describing* the marker is not a marker.
+fn find_marked_bodies(toks: &[Tok], comments: &[Comment]) -> Vec<(usize, usize)> {
     let markers: Vec<u32> = comments
         .iter()
-        .filter(|(_, text)| text.contains("lint:no-alloc"))
-        .map(|(line, _)| *line)
+        .filter(|c| !c.doc && c.text.contains("lint:no-alloc"))
+        .map(|c| c.line)
         .collect();
     if markers.is_empty() {
         return Vec::new();
@@ -595,7 +627,7 @@ fn find_fn_bodies(toks: &[Tok], qualifies: impl Fn(&[Tok], usize) -> bool) -> Ve
 }
 
 /// Given `toks[open]` == `{`, return `(line, index)` of the matching `}`.
-fn match_brace(toks: &[Tok], open: usize) -> (u32, usize) {
+pub(crate) fn match_brace(toks: &[Tok], open: usize) -> (u32, usize) {
     let mut depth = 0i32;
     for (k, t) in toks.iter().enumerate().skip(open) {
         match t.text.as_str() {

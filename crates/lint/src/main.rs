@@ -2,7 +2,8 @@
 //! `flexran-lint` — the workspace invariant checker CLI.
 //!
 //! ```text
-//! flexran-lint [--root DIR] [--json] [--no-baseline] [--update-baseline]
+//! flexran-lint [--root DIR] [--json] [--sarif PATH] [--no-baseline]
+//!              [--no-cache] [--update-baseline]
 //! ```
 //!
 //! Exit codes: 0 clean (possibly with baselined violations), 1 new
@@ -12,12 +13,14 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use flexran_lint::baseline::Baseline;
-use flexran_lint::{collect_diagnostics, run_workspace, to_json, Options, BASELINE_FILE};
+use flexran_lint::{collect_diagnostics, run_workspace, to_json, to_sarif, Options, BASELINE_FILE};
 
 struct Args {
     root: PathBuf,
     json: bool,
+    sarif: Option<PathBuf>,
     no_baseline: bool,
+    no_cache: bool,
     update_baseline: bool,
 }
 
@@ -25,7 +28,9 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         root: PathBuf::from("."),
         json: false,
+        sarif: None,
         no_baseline: false,
+        no_cache: false,
         update_baseline: false,
     };
     let mut it = std::env::args().skip(1);
@@ -35,11 +40,15 @@ fn parse_args() -> Result<Args, String> {
                 args.root = PathBuf::from(it.next().ok_or("--root needs a path")?);
             }
             "--json" => args.json = true,
+            "--sarif" => {
+                args.sarif = Some(PathBuf::from(it.next().ok_or("--sarif needs a path")?));
+            }
             "--no-baseline" => args.no_baseline = true,
+            "--no-cache" => args.no_cache = true,
             "--update-baseline" => args.update_baseline = true,
             "--help" | "-h" => {
-                return Err("usage: flexran-lint [--root DIR] [--json] [--no-baseline] \
-                            [--update-baseline]"
+                return Err("usage: flexran-lint [--root DIR] [--json] [--sarif PATH] \
+                            [--no-baseline] [--no-cache] [--update-baseline]"
                     .into())
             }
             other => return Err(format!("unknown argument `{other}` (try --help)")),
@@ -73,6 +82,10 @@ fn main() -> ExitCode {
     };
 
     if args.update_baseline {
+        // The baseline must be reproducible on any host: bypass the
+        // cache and refreeze from a cold scan. Paths are already
+        // workspace-relative with forward slashes, and serialization is
+        // BTreeMap-ordered, so the output is byte-deterministic.
         return match collect_diagnostics(&args.root) {
             Ok((diags, files)) => {
                 let baseline = Baseline::from_diagnostics(&diags);
@@ -98,6 +111,7 @@ fn main() -> ExitCode {
 
     let opts = Options {
         no_baseline: args.no_baseline,
+        no_cache: args.no_cache,
     };
     let report = match run_workspace(&args.root, &opts) {
         Ok(r) => r,
@@ -107,6 +121,12 @@ fn main() -> ExitCode {
         }
     };
 
+    if let Some(path) = &args.sarif {
+        if let Err(e) = std::fs::write(path, to_sarif(&report.gated)) {
+            eprintln!("write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
     if args.json {
         print!("{}", to_json(&report.gated));
     } else {
@@ -121,8 +141,10 @@ fn main() -> ExitCode {
             );
         }
         println!(
-            "flexran-lint: {} file(s), {} new violation(s), {} baselined, {} stale entr(ies)",
+            "flexran-lint: {} file(s) ({} cached), {} new violation(s), {} baselined, \
+             {} stale entr(ies)",
             report.files,
+            report.cache_hits,
             report.gated.new.len(),
             report.gated.baselined.len(),
             report.gated.stale.len()

@@ -16,6 +16,7 @@ pub const MAX_FRAME_BYTES: usize = 16 * 1024 * 1024;
 /// free of allocation sites (the message only materializes on failure).
 #[cold]
 fn oversize(len: usize) -> FlexError {
+    // lint:allow(alloc-reach) error path — materializes only on failure
     FlexError::Codec(format!(
         "frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"
     ))

@@ -61,8 +61,9 @@ impl ConfigRequest {
     }
 }
 
-/// On-wire cell configuration.
-#[derive(Debug, Clone, PartialEq)]
+/// On-wire cell configuration. All-scalar, so `Copy`: the RIB updater
+/// folds these by value without touching the heap.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CellConfigPb {
     pub cell_id: u16,
     pub band: u16,

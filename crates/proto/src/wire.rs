@@ -257,6 +257,8 @@ impl WireWriter {
         self.tag(field, WireType::LengthDelimited);
         let len_pos = self.buf.len();
         self.buf.put_u8(0); // length placeholder
+                            // The closure body is analyzed at its definition site
+                            // (closures-as-edges), not through this `FnOnce`. lint:alloc-free-callee
         f(self);
         let payload = self.buf.len() - len_pos - 1;
         let len_bytes = uvarint_len(payload as u64);

@@ -368,7 +368,10 @@ impl Direction {
         }
     }
 
-    fn push(&mut self, now: Tti, mut payload: Vec<u8>, category: MessageCategory) {
+    // Named `transmit`, not `push`: a method named like the universal
+    // collection verb would alias every `.push(..)` call in the workspace
+    // under the lint call graph's conservative method resolution.
+    fn transmit(&mut self, now: Tti, mut payload: Vec<u8>, category: MessageCategory) {
         let (fault_delay_ms, mangle) = match &self.faults {
             Some(handle) => match handle.0.lock().judge(now, category, payload.len()) {
                 FaultVerdict::Drop => return,
@@ -580,7 +583,7 @@ impl Transport for SimTransport {
             msg.category(),
             self.scratch.len() as u64 + FRAME_OVERHEAD_BYTES,
         );
-        self.out.lock().push(
+        self.out.lock().transmit(
             self.clock.now(),
             self.scratch.as_slice().to_vec(),
             msg.category(),

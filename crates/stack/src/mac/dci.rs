@@ -39,12 +39,14 @@ impl DlSchedulingDecision {
     /// Validate against a cell's PRB and DCI budgets.
     pub fn validate(&self, n_prb: u8, max_dcis: u8) -> flexran_types::Result<()> {
         if self.dcis.len() > max_dcis as usize {
+            // lint:allow(alloc-reach) error path
             return Err(flexran_types::FlexError::InvalidConfig(format!(
                 "{} DCIs exceeds the cell budget of {max_dcis}",
                 self.dcis.len()
             )));
         }
         if self.total_prbs() > n_prb as u32 {
+            // lint:allow(alloc-reach) error path
             return Err(flexran_types::FlexError::InvalidConfig(format!(
                 "{} PRBs exceeds the cell bandwidth of {n_prb}",
                 self.total_prbs()
@@ -54,12 +56,14 @@ impl DlSchedulingDecision {
         // (single digits per subframe) — no allocation on the hot path.
         for (i, d) in self.dcis.iter().enumerate() {
             if d.n_prb == 0 {
+                // lint:allow(alloc-reach) error path
                 return Err(flexran_types::FlexError::InvalidConfig(format!(
                     "zero-PRB DCI for {}",
                     d.rnti
                 )));
             }
             if self.dcis[..i].iter().any(|e| e.rnti == d.rnti) {
+                // lint:allow(alloc-reach) error path
                 return Err(flexran_types::FlexError::Conflict(format!(
                     "duplicate DCI for {} in one subframe",
                     d.rnti

@@ -164,6 +164,7 @@ impl HarqEntity {
                     p.attempts += 1;
                     p.state = ProcessState::InFlight { sent: now };
                     self.tx_retx += 1;
+                    // lint:alloc-free-callee the closure body is analyzed at its definition site (closures-as-edges)
                     f(i as u8, p.n_prb, p.mcs, p.attempts);
                 }
             }

@@ -155,12 +155,14 @@ impl CellConfig {
     /// Validate invariants that the wire protocol cannot express.
     pub fn validate(&self) -> crate::Result<()> {
         if !(1..=3).contains(&self.pdcch_symbols) {
+            // lint:allow(alloc-reach) error path — validation runs at (re)configuration
             return Err(crate::FlexError::InvalidConfig(format!(
                 "pdcch_symbols {} outside 1..=3",
                 self.pdcch_symbols
             )));
         }
         if ![1, 2, 4].contains(&self.n_antenna_ports) {
+            // lint:allow(alloc-reach) error path — validation runs at (re)configuration
             return Err(crate::FlexError::InvalidConfig(format!(
                 "{} antenna ports (must be 1, 2 or 4)",
                 self.n_antenna_ports
@@ -197,10 +199,12 @@ impl EnbConfig {
                 "eNodeB must serve at least one cell".into(),
             ));
         }
+        // lint:allow(alloc-reach) validation runs at (re)configuration, not per TTI
         let mut seen = std::collections::BTreeSet::new();
         for c in &self.cells {
             c.validate()?;
             if !seen.insert(c.cell_id) {
+                // lint:allow(alloc-reach) error path — validation runs at (re)configuration
                 return Err(crate::FlexError::InvalidConfig(format!(
                     "duplicate cell id {}",
                     c.cell_id
