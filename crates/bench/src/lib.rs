@@ -29,6 +29,15 @@ pub mod alloc_counter {
     static ALLOCS: AtomicU64 = AtomicU64::new(0);
     static BYTES: AtomicU64 = AtomicU64::new(0);
 
+    thread_local! {
+        // Per-thread allocation count for concurrent measurements
+        // (campaign runs execute on a worker pool; the process-global
+        // counter would blame one run for its neighbours' churn).
+        // `const` init: the TLS slot must not itself allocate lazily,
+        // or the first counted allocation would recurse.
+        static THREAD_ALLOCS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+    }
+
     /// The counting allocator. Counts `alloc`/`realloc` calls and bytes;
     /// frees are not tracked (the experiments care about allocation
     /// *churn*, not footprint).
@@ -42,6 +51,9 @@ pub mod alloc_counter {
         unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
             BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+            // `try_with`: TLS may already be torn down during thread
+            // exit; losing those few counts is fine, aborting is not.
+            let _ = THREAD_ALLOCS.try_with(|c| c.set(c.get() + 1));
             // SAFETY: forwarding the caller's obligations verbatim.
             unsafe { System.alloc(layout) }
         }
@@ -58,6 +70,7 @@ pub mod alloc_counter {
         unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
             BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+            let _ = THREAD_ALLOCS.try_with(|c| c.set(c.get() + 1));
             // SAFETY: forwarding the caller's obligations verbatim.
             unsafe { System.realloc(ptr, layout, new_size) }
         }
@@ -71,6 +84,13 @@ pub mod alloc_counter {
     /// Bytes requested since process start.
     pub fn allocated_bytes() -> u64 {
         BYTES.load(Ordering::Relaxed)
+    }
+
+    /// Allocation calls made by the *calling thread* since it started.
+    /// This is the counter the campaign orchestrator's
+    /// [`flexran_campaign::alloc_probe`] gets registered with.
+    pub fn thread_allocations() -> u64 {
+        THREAD_ALLOCS.try_with(std::cell::Cell::get).unwrap_or(0)
     }
 
     /// Allocation calls and bytes spent running `f`.

@@ -1,0 +1,48 @@
+//! Optional per-thread allocation accounting for campaign KPIs.
+//!
+//! The orchestrator itself must not install a global allocator — any
+//! binary that links both this crate and another counting allocator
+//! (flexran-bench's, say) would fail to link with two `#[global_allocator]`
+//! statics. Instead, whichever *binary* hosts the campaign registers a
+//! thread-attributed counter here (`flexran-campaign`'s own binary and
+//! the `experiments` runner both do), and jobs sample it around each
+//! run. Thread attribution matters: campaign runs execute concurrently,
+//! so a process-global counter would blame one run for its neighbours'
+//! heap traffic.
+
+use std::sync::OnceLock;
+
+static COUNTER: OnceLock<fn() -> u64> = OnceLock::new();
+
+/// Register the host binary's counter: *allocations made by the calling
+/// thread since it started*. First registration wins; later calls are
+/// ignored (the counter is process-wide plumbing, not per-campaign).
+pub fn register(counter: fn() -> u64) {
+    let _ = COUNTER.set(counter);
+}
+
+/// Allocations attributed to the calling thread, if a counter was
+/// registered. Jobs diff two readings around a run to get its count.
+pub fn thread_allocations() -> Option<u64> {
+    COUNTER.get().map(|f| f())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unregistered_probe_reads_none_then_sticks_after_register() {
+        // Note: OnceLock is process-wide, so this test also covers the
+        // first-registration-wins contract.
+        fn fake() -> u64 {
+            42
+        }
+        fn other() -> u64 {
+            7
+        }
+        register(fake);
+        register(other); // ignored
+        assert_eq!(thread_allocations(), Some(42));
+    }
+}

@@ -1,0 +1,181 @@
+//! The campaign worker pool: fan N independent runs over OS threads
+//! with cooperative cancellation and deterministic, index-addressed
+//! result collection.
+//!
+//! The pool is deliberately boring: a shared atomic work counter hands
+//! run indices to `workers` scoped threads; each completed result is
+//! shipped back over a channel and stored into the slot of its *plan
+//! index*, so the aggregate is independent of completion order and of
+//! the worker count — the property the serial-vs-pool determinism test
+//! pins. Cancellation is cooperative at run granularity: a cancelled
+//! pool finishes the runs already in flight and leaves the rest as
+//! `None` slots, which the report surfaces as skipped (never as
+//! silently passed).
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+
+/// Shared cancellation flag. Cloning hands out another handle to the
+/// same flag; any handle can cancel.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request cancellation: no *new* run starts after this is observed;
+    /// runs already executing complete normally.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// One completion event, delivered on the orchestrating thread in
+/// completion order (progress display), while the result itself is
+/// filed by plan index (deterministic aggregation).
+#[derive(Debug)]
+pub struct Progress<'a, R> {
+    /// Plan index of the completed run.
+    pub index: usize,
+    /// Runs completed so far, including this one.
+    pub done: usize,
+    /// Total runs planned.
+    pub total: usize,
+    pub result: &'a R,
+}
+
+/// Run `job` over every item on a pool of `workers` threads and collect
+/// the results by plan index. `on_done` fires on the calling thread
+/// once per completed run — it may cancel the token to stop the
+/// campaign early. A `None` slot means the run never started
+/// (cancelled before a worker claimed it).
+pub fn run_pool<T, R, F>(
+    items: &[T],
+    workers: usize,
+    cancel: &CancelToken,
+    job: F,
+    on_done: &mut dyn FnMut(&Progress<'_, R>),
+) -> Vec<Option<R>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let total = items.len();
+    let mut slots: Vec<Option<R>> = Vec::new();
+    slots.resize_with(total, || None);
+    if total == 0 {
+        return slots;
+    }
+    let workers = workers.clamp(1, total);
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            let job = &job;
+            scope.spawn(move || loop {
+                if cancel.is_cancelled() {
+                    break;
+                }
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else {
+                    break; // plan exhausted
+                };
+                let result = job(i, item);
+                if tx.send((i, result)).is_err() {
+                    break; // orchestrator gone; nothing left to report to
+                }
+            });
+        }
+        // The workers hold the remaining senders; when the last one
+        // exits, `recv` errors out and the collection loop ends.
+        drop(tx);
+        let mut done = 0usize;
+        while let Ok((index, result)) = rx.recv() {
+            done += 1;
+            on_done(&Progress {
+                index,
+                done,
+                total,
+                result: &result,
+            });
+            if let Some(slot) = slots.get_mut(index) {
+                *slot = Some(result);
+            }
+        }
+    });
+    slots
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_filed_by_plan_index_for_any_worker_count() {
+        let items: Vec<u64> = (0..37).collect();
+        for workers in [1, 2, 4, 16] {
+            let out = run_pool(
+                &items,
+                workers,
+                &CancelToken::new(),
+                |i, v| (i as u64) * 1000 + v * 3,
+                &mut |_| {},
+            );
+            let expect: Vec<Option<u64>> = (0..37u64).map(|v| Some(v * 1000 + v * 3)).collect();
+            assert_eq!(out, expect, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn progress_counts_every_completion() {
+        let items = [0u8; 9];
+        let mut seen = Vec::new();
+        run_pool(&items, 3, &CancelToken::new(), |i, _| i, &mut |p| {
+            seen.push((p.done, p.total))
+        });
+        assert_eq!(seen.len(), 9);
+        assert_eq!(seen.last(), Some(&(9, 9)));
+    }
+
+    #[test]
+    fn cancellation_skips_unstarted_runs_deterministically() {
+        // One worker, cancelled from inside the first run (any handle
+        // may cancel): run 0 still completes — cancellation is
+        // cooperative at run granularity — and everything after it is
+        // skipped, a deterministic outcome the report must surface as
+        // "skipped", never as a silent pass. (Cancelling from `on_done`
+        // also works but races the worker's next claim, so the exact
+        // completed count is not deterministic there.)
+        let items = [0u8; 5];
+        let cancel = CancelToken::new();
+        let cancel_in_job = cancel.clone();
+        let out = run_pool(
+            &items,
+            1,
+            &cancel,
+            |i, _| {
+                cancel_in_job.cancel();
+                i
+            },
+            &mut |_| {},
+        );
+        assert_eq!(out, vec![Some(0), None, None, None, None]);
+        assert!(cancel.is_cancelled());
+    }
+
+    #[test]
+    fn empty_plan_is_a_noop() {
+        let out = run_pool::<u8, u8, _>(&[], 4, &CancelToken::new(), |_, _| 0, &mut |_| {});
+        assert!(out.is_empty());
+    }
+}

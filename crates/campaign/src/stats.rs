@@ -1,0 +1,135 @@
+//! Exact sample statistics for campaign aggregation.
+//!
+//! Campaign KPI distributions are computed from the *collected samples*
+//! — never from streaming sketches or bucketed histograms — so the
+//! reported percentiles are exact under the nearest-rank definition:
+//! the p-th percentile of `n` samples is the smallest sample `v` such
+//! that at least `ceil(p/100 · n)` samples are `≤ v`. A property test
+//! (`tests/stats_proptest.rs`) holds [`percentile`] to that definition
+//! against an independent counting oracle, including the `n = 0`,
+//! `n = 1` and all-equal edge cases.
+
+/// Exact nearest-rank percentile of an ascending-sorted sample set.
+/// `p` is in percent (`50.0` = median). Returns `None` on an empty set.
+pub fn percentile(sorted: &[f64], p: f64) -> Option<f64> {
+    let n = sorted.len();
+    if n == 0 {
+        return None;
+    }
+    // 1-based nearest rank; p ≤ 0 clamps to the minimum, p ≥ 100 to the
+    // maximum. `ceil` never overflows: p is a percent, n a sample count.
+    let rank = ((p / 100.0) * n as f64).ceil() as usize;
+    sorted.get(rank.clamp(1, n) - 1).copied()
+}
+
+/// The aggregate of one KPI's samples across a campaign: exact
+/// percentiles plus the usual moment statistics and a 95% confidence
+/// interval on the mean (normal approximation).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Distribution {
+    pub n: usize,
+    pub min: f64,
+    pub max: f64,
+    pub mean: f64,
+    /// Sample standard deviation (`n - 1` denominator; 0 when `n < 2`).
+    pub std_dev: f64,
+    /// Half-width of the 95% CI on the mean: `1.96 · sd / sqrt(n)`.
+    pub ci95: f64,
+    pub p50: f64,
+    pub p95: f64,
+    pub p99: f64,
+}
+
+impl Distribution {
+    /// Aggregate a sample set. Returns `None` when it is empty (a KPI
+    /// with zero samples has no distribution — the report never invents
+    /// numbers for it). Non-finite samples are dropped before sorting so
+    /// a single poisoned measurement cannot corrupt every percentile.
+    pub fn from_samples(samples: &[f64]) -> Option<Distribution> {
+        let mut sorted: Vec<f64> = samples.iter().copied().filter(|v| v.is_finite()).collect();
+        sorted.sort_by(f64::total_cmp);
+        let n = sorted.len();
+        let first = *sorted.first()?;
+        let last = *sorted.last()?;
+        let mean = sorted.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            sorted.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let std_dev = var.sqrt();
+        Some(Distribution {
+            n,
+            min: first,
+            max: last,
+            mean,
+            std_dev,
+            ci95: 1.96 * std_dev / (n as f64).sqrt(),
+            p50: percentile(&sorted, 50.0).unwrap_or(first),
+            p95: percentile(&sorted, 95.0).unwrap_or(last),
+            p99: percentile(&sorted, 99.0).unwrap_or(last),
+        })
+    }
+
+    /// Machine-readable form used by every campaign report.
+    pub fn to_json(&self) -> serde_json::Value {
+        serde_json::json!({
+            "n": self.n as u64,
+            "min": self.min,
+            "mean": self.mean,
+            "std_dev": self.std_dev,
+            "ci95": self.ci95,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+            "max": self.max,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sample_set_has_no_distribution() {
+        assert_eq!(percentile(&[], 50.0), None);
+        assert!(Distribution::from_samples(&[]).is_none());
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let d = Distribution::from_samples(&[7.5]).unwrap();
+        assert_eq!((d.n, d.min, d.max), (1, 7.5, 7.5));
+        assert_eq!((d.p50, d.p95, d.p99), (7.5, 7.5, 7.5));
+        assert_eq!(d.std_dev, 0.0);
+        assert_eq!(d.ci95, 0.0);
+    }
+
+    #[test]
+    fn all_equal_samples_collapse() {
+        let d = Distribution::from_samples(&[3.0; 17]).unwrap();
+        assert_eq!((d.p50, d.p95, d.p99, d.mean), (3.0, 3.0, 3.0, 3.0));
+        assert_eq!(d.std_dev, 0.0);
+    }
+
+    #[test]
+    fn nearest_rank_on_a_known_set() {
+        // Classic nearest-rank example: 1..=10.
+        let s: Vec<f64> = (1..=10).map(|v| v as f64).collect();
+        assert_eq!(percentile(&s, 50.0), Some(5.0));
+        assert_eq!(percentile(&s, 95.0), Some(10.0));
+        assert_eq!(percentile(&s, 99.0), Some(10.0));
+        assert_eq!(percentile(&s, 0.0), Some(1.0));
+        assert_eq!(percentile(&s, 100.0), Some(10.0));
+        assert_eq!(percentile(&s, 10.0), Some(1.0));
+        assert_eq!(percentile(&s, 10.1), Some(2.0));
+    }
+
+    #[test]
+    fn non_finite_samples_are_dropped() {
+        let d = Distribution::from_samples(&[1.0, f64::NAN, 3.0, f64::INFINITY]).unwrap();
+        assert_eq!(d.n, 2);
+        assert_eq!((d.min, d.max), (1.0, 3.0));
+    }
+}

@@ -1,0 +1,118 @@
+//! Property tests: the campaign's aggregation math vs an independent
+//! counting oracle.
+//!
+//! [`flexran_campaign::percentile`] implements the exact nearest-rank
+//! definition: the p-th percentile of `n` samples is the smallest
+//! sample `v` such that at least `ceil(p/100 · n)` samples are `≤ v`.
+//! The oracle below *counts* — for a candidate answer it checks the
+//! definition directly, without sharing any arithmetic with the
+//! implementation (no rank formula, no sorting assumptions). The
+//! properties hold for arbitrary sample sets, arbitrary `p`, and the
+//! degenerate `n = 0` / `n = 1` / all-equal cases the nearest-rank
+//! definition is notoriously easy to get wrong on.
+
+use flexran_campaign::{percentile, Distribution};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// The definitional oracle: the smallest sample with at least
+/// `ceil(p/100 · n)` samples at or below it (clamped to the min for
+/// `p ≈ 0`). Quadratic and arithmetic-free on purpose.
+fn oracle_percentile(samples: &[f64], p: f64) -> Option<f64> {
+    if samples.is_empty() {
+        return None;
+    }
+    let n = samples.len() as f64;
+    let need = ((p / 100.0) * n).ceil().clamp(1.0, n) as usize;
+    let mut best: Option<f64> = None;
+    for &candidate in samples {
+        let at_or_below = samples.iter().filter(|&&s| s <= candidate).count();
+        if at_or_below >= need && best.is_none_or(|b| candidate < b) {
+            best = Some(candidate);
+        }
+    }
+    best
+}
+
+fn sorted(samples: &[f64]) -> Vec<f64> {
+    let mut s = samples.to_vec();
+    s.sort_by(f64::total_cmp);
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The implementation matches the counting oracle for arbitrary
+    /// sample sets and percentiles, including duplicates.
+    #[test]
+    fn percentile_matches_the_counting_oracle(
+        samples in vec(-1.0e6..1.0e6f64, 1..40),
+        p in 0.0..100.0f64,
+    ) {
+        let s = sorted(&samples);
+        prop_assert_eq!(percentile(&s, p), oracle_percentile(&samples, p));
+    }
+
+    /// Small integer-valued samples force heavy duplication — the case
+    /// where off-by-one rank bugs actually bite.
+    #[test]
+    fn percentile_matches_the_oracle_under_heavy_ties(
+        raw in vec(0u64..5, 1..30),
+        p in 0.0..100.0f64,
+    ) {
+        let samples: Vec<f64> = raw.iter().map(|&v| v as f64).collect();
+        let s = sorted(&samples);
+        prop_assert_eq!(percentile(&s, p), oracle_percentile(&samples, p));
+    }
+
+    /// p50/p95/p99 as wired into `Distribution` agree with the oracle,
+    /// and the moment statistics are internally consistent.
+    #[test]
+    fn distribution_percentiles_and_moments_are_consistent(
+        samples in vec(-1.0e3..1.0e3f64, 1..40),
+    ) {
+        let d = Distribution::from_samples(&samples).unwrap();
+        prop_assert_eq!(d.n, samples.len());
+        prop_assert_eq!(Some(d.p50), oracle_percentile(&samples, 50.0));
+        prop_assert_eq!(Some(d.p95), oracle_percentile(&samples, 95.0));
+        prop_assert_eq!(Some(d.p99), oracle_percentile(&samples, 99.0));
+        // Ordering invariants of the aggregate.
+        prop_assert!(d.min <= d.p50 && d.p50 <= d.p95);
+        prop_assert!(d.p95 <= d.p99 && d.p99 <= d.max);
+        // Tiny slack: the mean goes through a float summation and may
+        // land an ulp outside [min, max] when samples are (near-)equal.
+        prop_assert!(d.min - 1e-9 <= d.mean && d.mean <= d.max + 1e-9);
+        prop_assert!(d.std_dev >= 0.0 && d.ci95 >= 0.0);
+    }
+
+    /// All-equal sample sets collapse every statistic onto the value.
+    /// Order statistics are exact; the mean goes through a summation
+    /// and only promises to match within float rounding.
+    #[test]
+    fn all_equal_samples_collapse(value in -1.0e6..1.0e6f64, n in 1usize..50) {
+        let samples = vec![value; n];
+        let d = Distribution::from_samples(&samples).unwrap();
+        prop_assert_eq!((d.min, d.max), (value, value));
+        prop_assert_eq!((d.p50, d.p95, d.p99), (value, value, value));
+        prop_assert!((d.mean - value).abs() <= value.abs() * 1e-12);
+        // The spread statistics inherit the mean's rounding: bounded by
+        // a relative epsilon, not exactly zero.
+        prop_assert!(d.std_dev <= value.abs() * 1e-12);
+        prop_assert!(d.ci95 <= value.abs() * 1e-12);
+    }
+
+    /// A single sample is every percentile (`n = 1`).
+    #[test]
+    fn single_sample_is_every_percentile(value in -1.0e6..1.0e6f64, p in 0.0..100.0f64) {
+        prop_assert_eq!(percentile(&[value], p), Some(value));
+    }
+}
+
+/// `n = 0` stays outside proptest: it is a single case, not a family.
+#[test]
+fn empty_sample_set_has_no_percentile_and_no_distribution() {
+    assert_eq!(percentile(&[], 50.0), None);
+    assert_eq!(oracle_percentile(&[], 50.0), None);
+    assert!(Distribution::from_samples(&[]).is_none());
+}

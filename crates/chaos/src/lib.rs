@@ -137,7 +137,9 @@ pub struct FaultLog {
 }
 
 /// Outcome of one chaos run. Bit-identical across replays of the same
-/// [`ChaosConfig`].
+/// [`ChaosConfig`]: every field (including `digest`) is derived from the
+/// seeded schedule and the deterministic simulation, never from wall
+/// time.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ChaosReport {
     pub seed: u64,
@@ -146,11 +148,38 @@ pub struct ChaosReport {
     /// Violations recorded (capped; `violations_total` counts all).
     pub violations: Vec<Violation>,
     pub violations_total: u64,
+    /// FNV digest of the end-state observables (per-UE delivered-bit /
+    /// queue / HARQ counters in attach order) folded with the fault log
+    /// and the violation count. Two runs of the same config — serial,
+    /// under a campaign pool, or in another process — must produce the
+    /// same digest.
+    pub digest: u64,
+    /// Cumulative downlink goodput across every UE (bits, deterministic).
+    pub dl_delivered_bits: u64,
+    /// Cumulative uplink goodput across every UE (bits, deterministic).
+    pub ul_delivered_bits: u64,
 }
 
 impl ChaosReport {
     pub fn pass(&self) -> bool {
         self.violations_total == 0
+    }
+}
+
+/// Measurement-only side channel of a chaos run: wall-clock facts that
+/// legitimately differ between replays and therefore live *outside* the
+/// bit-identical [`ChaosReport`]. Campaign KPI distributions are built
+/// from these.
+#[derive(Debug, Clone)]
+pub struct ChaosTelemetry {
+    /// TTI deadline-budget percentiles over the whole run (harness-side).
+    pub budget: flexran::types::budget::BudgetStats,
+}
+
+fn fnv(h: &mut u64, v: u64) {
+    for b in v.to_le_bytes() {
+        *h ^= b as u64;
+        *h = h.wrapping_mul(0x100000001b3);
     }
 }
 
@@ -189,6 +218,13 @@ fn draw_len(rng: &mut StdRng, (lo, hi): (u64, u64)) -> u64 {
 
 /// Run one seeded chaos schedule to completion and report.
 pub fn run_chaos(config: &ChaosConfig) -> ChaosReport {
+    run_chaos_instrumented(config).0
+}
+
+/// Like [`run_chaos`], but also returns the measurement-only
+/// [`ChaosTelemetry`] (wall-clock TTI-budget percentiles). The report
+/// stays bit-identical across replays; the telemetry does not.
+pub fn run_chaos_instrumented(config: &ChaosConfig) -> (ChaosReport, ChaosTelemetry) {
     let sim_cfg = SimConfig {
         uplink: LinkConfig {
             queue_cap: config.queue_cap,
@@ -210,6 +246,7 @@ pub fn run_chaos(config: &ChaosConfig) -> ChaosReport {
     };
     let mut sim = SimHarness::new(sim_cfg);
     let mut enbs = Vec::new();
+    let mut ues = Vec::new();
     for i in 1..=config.n_enbs {
         let enb = sim.add_enb_with_faults(
             EnbConfig::single_cell(EnbId(i)),
@@ -221,6 +258,7 @@ pub fn run_chaos(config: &ChaosConfig) -> ChaosReport {
         for _ in 0..config.ues_per_enb {
             let ue = sim.add_ue(enb, CellId(0), SliceId::MNO, 0, UeRadioSpec::FixedCqi(12));
             sim.set_dl_traffic(ue, Box::new(CbrSource::new(BitRate::from_mbps(1))));
+            ues.push(ue);
         }
         enbs.push(enb);
     }
@@ -358,11 +396,50 @@ pub fn run_chaos(config: &ChaosConfig) -> ChaosReport {
         oracles.check(&sim, &enbs, &disturb, &lossless);
     }
 
-    ChaosReport {
+    // End-state digest: per-UE observables in attach order, then the
+    // fault log and the verdict. Everything folded here is derived from
+    // the seeded schedule, so replays (serial, pooled, cross-process)
+    // reproduce it bit-identically.
+    let mut digest = 0xcbf29ce484222325u64;
+    let mut dl_delivered_bits = 0u64;
+    let mut ul_delivered_bits = 0u64;
+    for &ue in &ues {
+        let Some(s) = sim.ue_stats(ue) else {
+            fnv(&mut digest, u64::MAX);
+            continue;
+        };
+        fnv(&mut digest, s.dl_delivered_bits);
+        fnv(&mut digest, s.ul_delivered_bits);
+        fnv(&mut digest, s.dl_queue_bytes.as_u64());
+        fnv(&mut digest, s.cqi.0 as u64);
+        fnv(&mut digest, s.harq_tx + s.harq_retx);
+        dl_delivered_bits += s.dl_delivered_bits;
+        ul_delivered_bits += s.ul_delivered_bits;
+    }
+    for v in [
+        log.agent_crashes,
+        log.master_crashes,
+        log.master_restarts,
+        log.stalls,
+        log.wire_windows,
+        log.delegations,
+        oracles.total,
+    ] {
+        fnv(&mut digest, v);
+    }
+
+    let report = ChaosReport {
         seed: config.seed,
         ttis: config.ttis,
         faults: log,
         violations_total: oracles.total,
         violations: oracles.violations,
-    }
+        digest,
+        dl_delivered_bits,
+        ul_delivered_bits,
+    };
+    let telemetry = ChaosTelemetry {
+        budget: sim.budget_stats(),
+    };
+    (report, telemetry)
 }

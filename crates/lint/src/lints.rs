@@ -135,8 +135,10 @@ pub fn lints_for_crate(krate: &str) -> Vec<LintId> {
         out.push(LintId::D1);
         out.push(LintId::D2);
     }
-    // Panic-freedom on the control-plane runtime paths.
-    if matches!(krate, "proto" | "agent" | "controller") {
+    // Panic-freedom on the control-plane runtime paths, plus the
+    // campaign orchestrator: a panicking aggregator would take down a
+    // multi-hour soak and lose every completed run's record.
+    if matches!(krate, "proto" | "agent" | "controller" | "campaign") {
         out.push(LintId::P1);
     }
     // RIB single-writer discipline: the RIB lives in `controller`;

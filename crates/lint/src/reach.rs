@@ -35,6 +35,11 @@ use crate::lints::{Diagnostic, LintId};
 
 /// Crates whose runtime functions are P2 roots (the crates P1 already
 /// covers per-file; keep the two in sync with `lints_for_crate`).
+/// `campaign` is deliberately P1-only: per-file panic-freedom keeps the
+/// orchestrator itself from tearing down a soak, but its call graph
+/// reaches straight into the chaos harness, whose assertion-style
+/// `expect`s are the point — transitive panic-reachability would flag
+/// the entire test battery.
 pub const P2_ROOT_CRATES: &[&str] = &["proto", "agent", "controller"];
 
 /// Walk the graph from `roots`, following workspace edges for which

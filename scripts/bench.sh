@@ -29,17 +29,26 @@
 # allocation contract is fully exercised there, only the speedup
 # columns are degenerate.
 #
-# Usage: scripts/bench.sh [--quick] [--force]
+# With --sweep, additionally runs the multi-seed campaign sweep
+# (`flexran-campaign sweep`): the same scale grid, every point measured
+# under independent seeds, written to target/experiments/BENCH_scale_sweep.json
+# with per-KPI distributions (mean ± 95% CI, exact p50/p95/p99) instead
+# of single-run points. The sweep never replaces the committed
+# single-run baseline — the two schemas are complementary.
+#
+# Usage: scripts/bench.sh [--quick] [--force] [--sweep]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 MODE=()
 FORCE=0
+SWEEP=0
 for arg in "$@"; do
   case "$arg" in
     --quick) MODE=(--quick) ;;
     --force) FORCE=1 ;;
-    *) echo "unknown flag '$arg' (flags: --quick --force)" >&2; exit 2 ;;
+    --sweep) SWEEP=1 ;;
+    *) echo "unknown flag '$arg' (flags: --quick --force --sweep)" >&2; exit 2 ;;
   esac
 done
 
@@ -72,6 +81,15 @@ cp "$OUT/BENCH_scale.json" BENCH_scale.json
 
 # Micro-benchmarks (median/p95 per op, JSON at target/criterion/).
 cargo bench -p flexran-bench --bench micro
+
+# Optional seeded sweep: distribution-grade scale points (see
+# EXPERIMENTS.md §"Campaign reports").
+if [[ "$SWEEP" -eq 1 ]]; then
+  SWEEP_OUT="$OUT/sweep"
+  cargo run --release -p flexran-campaign -- sweep "${MODE[@]}" --out "$SWEEP_OUT"
+  cp "$SWEEP_OUT/BENCH_scale.json" "$OUT/BENCH_scale_sweep.json"
+  echo "wrote $(pwd)/$OUT/BENCH_scale_sweep.json (seeded distributions)"
+fi
 
 echo
 echo "wrote $(pwd)/BENCH_scale.json (cores: ${CORES})"

@@ -34,12 +34,11 @@ echo "==> allocation-regression gate (2 eNBs x 32 UEs, committed ceiling: 0 allo
 cargo run --quiet --release -p flexran-bench --bin experiments -- \
     allocgate --out target/check-allocgate
 
-echo "==> chaos smoke gate (8 seeds x 2000 TTIs, zero tolerated violations)"
-cargo run --quiet --release -p flexran-bench --bin experiments -- \
-    chaos --seeds 8 --ttis 2000 --out target/check-chaos
-
-echo "==> sharded chaos smoke gate (8 seeds x 2000 TTIs, 4 RIB shards)"
-cargo run --quiet --release -p flexran-bench --bin experiments -- \
-    chaos --seeds 8 --ttis 2000 --shards 4 --out target/check-chaos-sharded
+echo "==> chaos campaign gate (8 seeds x 2000 TTIs, unsharded + 4-shard, parallel)"
+# One campaign covers what used to be two sequential experiment runs:
+# every seed under both the single-shard and the 4-shard master, fanned
+# over the worker pool, failing on any violation (exit 1 pins each one).
+cargo run --quiet --release -p flexran-campaign -- \
+    chaos --seeds 8 --ttis 2000 --configs 1,4 --out target/check-chaos
 
 echo "All checks passed."

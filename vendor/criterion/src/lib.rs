@@ -75,8 +75,8 @@ impl Criterion {
             elapsed: Duration::ZERO,
         };
         f(&mut b); // warm-up
-        b.budget = (self.measurement_time / self.sample_size.max(1) as u32)
-            .max(Duration::from_millis(1));
+        b.budget =
+            (self.measurement_time / self.sample_size.max(1) as u32).max(Duration::from_millis(1));
         let mut samples = Vec::with_capacity(self.sample_size);
         let mut iters_total = 0u64;
         for _ in 0..self.sample_size {

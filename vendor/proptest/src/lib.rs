@@ -558,11 +558,9 @@ mod tests {
 
             let soup = Strategy::generate(&"[a-z0-9_+*/()^=,. \\n-]{0,120}", &mut rng);
             assert!(soup.len() <= 120);
-            assert!(soup
-                .chars()
-                .all(|c| c.is_ascii_lowercase()
-                    || c.is_ascii_digit()
-                    || "_+*/()^=,. \n-".contains(c)));
+            assert!(soup.chars().all(|c| c.is_ascii_lowercase()
+                || c.is_ascii_digit()
+                || "_+*/()^=,. \n-".contains(c)));
 
             let free = Strategy::generate(&"\\PC{0,200}", &mut rng);
             assert!(free.chars().count() <= 200);
