@@ -22,7 +22,8 @@
 use flexran_proto::messages::delegation::{DelegationAck, VsfArtifact, VsfPush};
 use flexran_proto::messages::stats::{ReportConfig, ReportFlags, ReportType};
 use flexran_proto::messages::{
-    ConfigReply, EventNotification, FlexranMessage, Header, SubframeTrigger,
+    ConfigBundleAck, ConfigBundlePb, ConfigReply, EventNotification, FlexranMessage, Header,
+    SubframeTrigger,
 };
 use flexran_proto::transport::Transport;
 use flexran_stack::enb::{Enb, PhyView};
@@ -109,6 +110,11 @@ pub struct FlexranAgent<T: Transport> {
     /// DL scheduler that was active when failover swapped in the
     /// fallback; restored when the session rejoins.
     pre_failover_dl: Option<String>,
+    /// (version, signature) of the fleet config bundle currently
+    /// applied; `(0, 0)` until the first rollout reaches this agent.
+    /// Soft state: a crash-restart wipes it, and the advertised zero
+    /// signature is what draws the master's drift re-push.
+    active_config: (u64, u64),
     hello_sent: bool,
     /// Chaos hook: while `true`, the control thread is over its TTI
     /// budget — subframes still commit but intake/liveness/scheduling
@@ -185,6 +191,7 @@ impl<T: Transport> FlexranAgent<T> {
             counters: AgentCounters::default(),
             liveness,
             pre_failover_dl: None,
+            active_config: (0, 0),
             hello_sent: false,
             stalled: false,
             outbox_acks: Vec::new(),
@@ -211,6 +218,7 @@ impl<T: Transport> FlexranAgent<T> {
         self.counters = AgentCounters::default();
         self.liveness = LivenessTracker::new(self.config.liveness.clone());
         self.pre_failover_dl = None;
+        self.active_config = (0, 0);
         self.hello_sent = false;
         self.stalled = false;
         self.outbox_acks.clear();
@@ -250,6 +258,13 @@ impl<T: Transport> FlexranAgent<T> {
 
     pub fn counters(&self) -> AgentCounters {
         self.counters
+    }
+
+    /// `(version, signature)` of the applied fleet config bundle
+    /// (`(0, 0)` = factory state). Chaos oracle #9 asserts the signature
+    /// stays within the set the master has issued.
+    pub fn active_config(&self) -> (u64, u64) {
+        self.active_config
     }
 
     pub fn config(&self) -> &AgentConfig {
@@ -324,7 +339,11 @@ impl<T: Transport> FlexranAgent<T> {
         // §5.4 pointer swap, driven by missed heartbeats).
         let tick = self.liveness.tick(tti);
         if let Some(seq) = tick.probe {
-            let probe = flexran_proto::messages::Heartbeat { seq, tti: tti.0 };
+            let probe = flexran_proto::messages::Heartbeat {
+                seq,
+                tti: tti.0,
+                applied_config: self.active_config.1,
+            };
             let _ = self
                 .transport
                 // lint:allow(alloc-reach) wire frame growth is pooled; probe is paced
@@ -621,6 +640,26 @@ impl<T: Transport> FlexranAgent<T> {
                     error: result.err().map(|e| e.to_string()).unwrap_or_default(),
                 });
             }
+            FlexranMessage::ConfigBundlePush(push) => {
+                let result = self.apply_bundle(&push.bundle);
+                match &result {
+                    Ok(()) => self.counters.pushes_accepted += 1,
+                    Err(_) => self.counters.pushes_rejected += 1,
+                }
+                // Acked directly (not via the outbox) so the master sees
+                // the verdict the same TTI it drains the transport —
+                // rollout gates react one observation cycle sooner.
+                let ack = ConfigBundleAck {
+                    enb_id: self.enb.config().enb_id,
+                    version: push.bundle.version,
+                    signature: push.bundle.signature,
+                    ok: result.is_ok(),
+                    error: result.err().map(|e| e.to_string()).unwrap_or_default(),
+                };
+                let _ = self
+                    .transport
+                    .send(header, &FlexranMessage::ConfigBundleAck(ack));
+            }
             // Messages an agent never consumes.
             FlexranMessage::Hello(_)
             | FlexranMessage::EchoReply(_)
@@ -628,6 +667,7 @@ impl<T: Transport> FlexranAgent<T> {
             | FlexranMessage::SubframeTrigger(_)
             | FlexranMessage::StatsReply(_)
             | FlexranMessage::EventNotification(_)
+            | FlexranMessage::ConfigBundleAck(_)
             | FlexranMessage::DelegationAck(_) => {}
         }
     }
@@ -637,6 +677,7 @@ impl<T: Transport> FlexranAgent<T> {
             enb_id: self.enb.config().enb_id,
             n_cells: self.enb.cell_ids().len() as u32,
             capabilities: self.config.capabilities.clone(),
+            applied_config: self.active_config.1,
         });
         let _ = self.transport.send(Header::default(), &hello);
         self.hello_sent = true;
@@ -709,9 +750,81 @@ impl<T: Transport> FlexranAgent<T> {
         }
     }
 
+    /// Apply a fleet config bundle transactionally: *validate* every
+    /// piece (signature, policy document, VSF instantiation) before
+    /// *swapping* any module state, so a bad bundle leaves the agent
+    /// exactly as it was and the nack tells the rollout gate why.
+    ///
+    /// The swap itself reuses the pre-failover restore machinery: if the
+    /// policy application fails halfway (it can — parameter validation
+    /// happens against the live scheduler), the previously active DL
+    /// scheduler is reinstated before the error propagates.
+    fn apply_bundle(&mut self, bundle: &ConfigBundlePb) -> Result<()> {
+        if !bundle.verify() {
+            return Err(FlexError::Delegation(format!(
+                "config bundle v{} failed signature verification",
+                bundle.version
+            )));
+        }
+        // Validation phase: nothing below may touch module state.
+        let doc = if bundle.policy_yaml.is_empty() {
+            None
+        } else {
+            Some(PolicyDoc::parse(&bundle.policy_yaml)?)
+        };
+        let vsf = if bundle.vsf_key.is_empty() {
+            None
+        } else {
+            Some((
+                bundle.vsf_key.clone(),
+                self.registry.instantiate(&bundle.vsf_key)?,
+            ))
+        };
+        if !bundle.scheduler.is_empty()
+            && bundle.scheduler != bundle.vsf_key
+            && !self.mac.dl.contains(&bundle.scheduler)
+        {
+            return Err(FlexError::Delegation(format!(
+                "bundle selects unknown DL scheduler '{}'",
+                bundle.scheduler
+            )));
+        }
+        // Swap phase.
+        let prev_dl = self.mac.dl.active_name().map(String::from);
+        if let Some((key, imp)) = vsf {
+            match imp {
+                VsfImpl::DlScheduler(s) => self.mac.dl.insert(&key, s),
+                VsfImpl::UlScheduler(s) => self.mac.ul.insert(&key, s),
+                VsfImpl::Handover(h) => self.rrc.handover.insert(&key, h),
+            }
+        }
+        if !bundle.scheduler.is_empty() {
+            self.mac.dl.activate(&bundle.scheduler)?;
+        }
+        if let Some(doc) = doc {
+            if let Err(e) = self.apply_policy_doc(&doc) {
+                // Roll the scheduler swap back (same pointer-restore path
+                // the failover machinery uses) so a half-applied bundle
+                // cannot leave a Frankenstein configuration behind.
+                if let Some(prev) = prev_dl {
+                    if self.mac.dl.activate(&prev).is_err() {
+                        self.counters.command_errors += 1;
+                    }
+                }
+                return Err(e);
+            }
+        }
+        self.active_config = (bundle.version, bundle.signature);
+        Ok(())
+    }
+
     /// Policy reconfiguration: behaviour swaps and parameter updates.
     fn apply_policy(&mut self, yaml: &str) -> Result<()> {
         let doc = PolicyDoc::parse(yaml)?;
+        self.apply_policy_doc(&doc)
+    }
+
+    fn apply_policy_doc(&mut self, doc: &PolicyDoc) -> Result<()> {
         for module in &doc.modules {
             match module.module.as_str() {
                 "mac" => {
@@ -1180,7 +1293,11 @@ mod tests {
         master
             .send(
                 Header::default(),
-                &FlexranMessage::Heartbeat(flexran_proto::messages::Heartbeat { seq: 9, tti: 0 }),
+                &FlexranMessage::Heartbeat(flexran_proto::messages::Heartbeat {
+                    seq: 9,
+                    tti: 0,
+                    applied_config: 0,
+                }),
             )
             .unwrap();
         for t in 0..12 {

@@ -69,6 +69,11 @@ impl<T: ?Sized> VsfSlot<T> {
         self.active.as_deref()
     }
 
+    /// Whether `name` is in the cache (validate-before-swap checks).
+    pub fn contains(&self, name: &str) -> bool {
+        self.cache.contains_key(name)
+    }
+
     /// The active implementation, if any.
     pub fn active_mut(&mut self) -> Option<&mut T> {
         let name = self.active.as_ref()?;

@@ -139,6 +139,7 @@ mod tests {
                     enb_id: EnbId(3),
                     n_cells: 1,
                     capabilities: vec![],
+                    applied_config: 0,
                 }),
             )
             .unwrap();

@@ -322,6 +322,7 @@ mod tests {
                     enb_id: EnbId(1),
                     n_cells: 1,
                     capabilities: vec![],
+                    applied_config: 0,
                 }),
             )
             .unwrap();

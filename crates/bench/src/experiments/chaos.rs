@@ -27,6 +27,10 @@ pub fn chaos(ctx: &ExpContext) -> ExpResult {
     alloc_probe::register(alloc_counter::thread_allocations);
 
     let mut spec = ChaosCampaignSpec::new(seeds, ttis, workers);
+    // Fleet-config rollouts ride the fault schedule too, so the
+    // config-provenance oracle is exercised against corrupted canary
+    // pushes, crashing canaries and mid-rollout master recoveries.
+    spec.base.rollout_prob = 0.005;
     spec.variants = vec![match ctx.shards_override {
         None => ChaosVariant {
             label: "shards=1".to_string(),
@@ -54,6 +58,7 @@ pub fn chaos(ctx: &ExpContext) -> ExpResult {
             "stalls",
             "wire windows",
             "delegations",
+            "rollouts",
             "violations",
             "digest",
         ],
@@ -80,6 +85,7 @@ pub fn chaos(ctx: &ExpContext) -> ExpResult {
             counter("stalls").to_string(),
             counter("wire_windows").to_string(),
             counter("delegations").to_string(),
+            counter("rollouts").to_string(),
             r.violations_total.to_string(),
             format!("{:016x}", r.digest),
         ]);
@@ -89,8 +95,8 @@ pub fn chaos(ctx: &ExpContext) -> ExpResult {
         "{seeds} seeds × {ttis} TTIs ({} sharding) on {} campaign workers, zero \
          tolerated violations. Oracles: failover legality, PRB capacity, HARQ \
          monotonicity, RIB↔stack consistency, command conservation, decision \
-         sanity, shard ownership, budget-monitor consistency. Any violation pins \
-         (config, seed, TTI) for exact replay.",
+         sanity, shard ownership, budget-monitor consistency, config \
+         provenance. Any violation pins (config, seed, TTI) for exact replay.",
         spec.variants
             .first()
             .map_or("shards=1", |v| v.label.as_str()),

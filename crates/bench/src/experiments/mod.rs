@@ -10,6 +10,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod outage;
+pub mod rollout;
 pub mod scale;
 pub mod sec54;
 pub mod table2;
@@ -42,6 +43,7 @@ pub const ALL: &[&str] = &[
     "ablation-dci-budget",
     "ablation-bler-target",
     "outage",
+    "rollout",
     "scale",
     "allocgate",
     "chaos",
@@ -66,6 +68,7 @@ pub fn run(id: &str, ctx: &ExpContext) -> Vec<ExpResult> {
         "ablation-dci-budget" => vec![ablations::ablation_dci_budget(ctx)],
         "ablation-bler-target" => vec![ablations::ablation_bler_target(ctx)],
         "outage" => vec![outage::outage(ctx)],
+        "rollout" => vec![rollout::rollout(ctx)],
         "scale" => vec![scale::scale(ctx)],
         "allocgate" => vec![scale::allocgate(ctx)],
         "chaos" => vec![chaos::chaos(ctx)],

@@ -1,0 +1,180 @@
+//! Fleet-config rollout smoke — the canary/rollback gate.
+//!
+//! Eight eNodeBs behind a journaled master, one loaded UE each. The run
+//! exercises the whole rollout state machine (DESIGN.md §11) in two
+//! acts over a fixed 2000-TTI budget:
+//!
+//! 1. **converge** — bundle v1 selects a real local scheduler; the
+//!    canary (eNB 1) gates the fleet push and the rollout must end
+//!    `converged` with all eight agents advertising v1's signature.
+//! 2. **forced regression** — bundle v2 selects `remote-stub` with no
+//!    delegation app behind it, so the canary's goodput collapses
+//!    inside one observation window. The KPI gate must catch it and
+//!    roll the fleet back: the run must end `rolled-back` with every
+//!    agent on v1 and v2 never pushed past the canary.
+//!
+//! Any other outcome panics, so `scripts/check.sh` can use this
+//! experiment as its rollout smoke gate. The emitted `rollout.csv` is
+//! the journaled event history — deterministic run-to-run.
+
+use flexran::agent::{AgentConfig, LivenessConfig};
+use flexran::controller::{RolloutConfig, RolloutEventKind, RolloutPhase};
+use flexran::harness::{SimConfig, SimHarness, UeRadioSpec};
+use flexran::prelude::*;
+use flexran::sim::traffic::CbrSource;
+
+use crate::experiments::subscribe_stats;
+use crate::{csv, ExpContext, ExpResult};
+
+const N_ENBS: u32 = 8;
+const CANARY: EnbId = EnbId(1);
+const WINDOW: u64 = 100;
+
+fn rollout_fleet() -> SimHarness {
+    let cfg = SimConfig {
+        master: TaskManagerConfig {
+            liveness_timeout: 40,
+            journal_snapshot_every: 8,
+            ..TaskManagerConfig::default()
+        },
+        ..SimConfig::default()
+    };
+    let mut sim = SimHarness::new(cfg);
+    for i in 1..=N_ENBS {
+        let enb = sim.add_enb(
+            EnbConfig::single_cell(EnbId(i)),
+            AgentConfig {
+                sync_period: 1,
+                liveness: LivenessConfig {
+                    heartbeat_period: 5,
+                    liveness_timeout: 40,
+                    ..LivenessConfig::default()
+                },
+                ..AgentConfig::default()
+            },
+        );
+        let ue = sim.add_ue(enb, CellId(0), SliceId::MNO, 0, UeRadioSpec::FixedCqi(12));
+        sim.set_dl_traffic(ue, Box::new(CbrSource::new(BitRate::from_mbps(2))));
+    }
+    sim.run(5);
+    for i in 1..=N_ENBS {
+        subscribe_stats(&mut sim, EnbId(i), 10);
+    }
+    sim
+}
+
+fn apply(sim: &mut SimHarness, scheduler: &str) -> u64 {
+    sim.master_mut()
+        .apply_config_bundle(
+            String::new(),
+            scheduler.to_string(),
+            scheduler.to_string(),
+            CANARY,
+            RolloutConfig {
+                observation_window: WINDOW,
+                ..RolloutConfig::default()
+            },
+        )
+        .expect("no rollout in flight")
+}
+
+/// Run until the in-flight rollout reaches a resting phase (or the TTI
+/// budget runs out); returns TTIs consumed.
+fn settle(sim: &mut SimHarness, budget: u64) -> u64 {
+    let mut spent = 0;
+    while spent < budget {
+        sim.run(10);
+        spent += 10;
+        let phase = sim.master().rollout_status().phase;
+        if matches!(phase, RolloutPhase::Converged | RolloutPhase::RolledBack) {
+            break;
+        }
+    }
+    spent
+}
+
+pub fn rollout(ctx: &ExpContext) -> ExpResult {
+    let total = ctx.ttis_override.unwrap_or(ctx.ttis(2_000, 2_000));
+    let mut sim = rollout_fleet();
+    sim.run(100); // traffic + periodic reports settle before any baseline
+
+    // Act 1: a clean canary-first rollout must converge.
+    let v1 = apply(&mut sim, "round-robin");
+    let spent = settle(&mut sim, total / 2);
+    let s1 = sim.master().rollout_status();
+    assert_eq!(
+        s1.phase,
+        RolloutPhase::Converged,
+        "rollout smoke: v1 did not converge within {spent} TTIs ({s1:?})"
+    );
+    let v1_sig = sim
+        .master()
+        .agent_applied_config(CANARY)
+        .expect("canary session");
+
+    // Act 2: the forced regression must be caught at the canary and
+    // rolled back to v1.
+    let v2 = apply(&mut sim, "remote-stub");
+    let spent2 = settle(&mut sim, total - spent);
+    let s2 = sim.master().rollout_status();
+    assert_eq!(
+        s2.phase,
+        RolloutPhase::RolledBack,
+        "rollout smoke: v2 regression not rolled back within {spent2} TTIs ({s2:?})"
+    );
+    assert_eq!(
+        s2.last_converged, v1,
+        "rollback landed on the wrong version"
+    );
+    let history = sim.master().rollout_history();
+    assert!(
+        history
+            .iter()
+            .any(|e| e.kind == RolloutEventKind::Regression && e.version == v2),
+        "no regression event journaled for v2"
+    );
+    assert!(
+        !history
+            .iter()
+            .any(|e| e.kind == RolloutEventKind::FleetPushed && e.version == v2),
+        "the regressing bundle escaped the canary"
+    );
+    let mut back_on_v1 = 0;
+    for i in 1..=N_ENBS {
+        if sim.master().agent_applied_config(EnbId(i)) == Some(v1_sig) {
+            back_on_v1 += 1;
+        }
+    }
+    assert_eq!(
+        back_on_v1, N_ENBS,
+        "only {back_on_v1}/{N_ENBS} agents advertise v1 after the rollback"
+    );
+
+    let mut r = ExpResult::new(
+        "rollout",
+        "fleet-config rollout: KPI-gated canary convergence, then forced regression and rollback",
+        &["tti", "event", "version", "enb"],
+    );
+    for e in history {
+        r.row(vec![
+            e.tti.0.to_string(),
+            e.kind.to_string(),
+            e.version.to_string(),
+            e.enb.0.to_string(),
+        ]);
+    }
+    r.note(format!(
+        "{N_ENBS} agents, canary {CANARY}, window {WINDOW} TTIs: v{v1} converged in \
+         {spent} TTIs; v{v2} (remote-stub, no delegation app) rolled back in {spent2} \
+         TTIs; {back_on_v1}/{N_ENBS} agents back on v{v1} (signature-verified via \
+         heartbeat)"
+    ));
+    ctx.write_csv(
+        "rollout",
+        &csv(
+            &r.headers.iter().map(String::as_str).collect::<Vec<_>>(),
+            &r.rows,
+        ),
+    );
+    r
+}

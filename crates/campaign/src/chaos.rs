@@ -143,6 +143,7 @@ pub fn run_one(label: &str, cfg: &ChaosConfig) -> RunRecord {
             ("stalls", report.faults.stalls),
             ("wire_windows", report.faults.wire_windows),
             ("delegations", report.faults.delegations),
+            ("rollouts", report.faults.rollouts),
         ],
     }
 }

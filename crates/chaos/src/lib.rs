@@ -41,6 +41,7 @@ use rand::{Rng, SeedableRng};
 
 use flexran::agent::AgentConfig;
 use flexran::apps::CentralizedScheduler;
+use flexran::controller::{RolloutConfig, RolloutPhase};
 use flexran::harness::{SimConfig, SimHarness, UeRadioSpec};
 use flexran::prelude::*;
 use flexran::proto::{ReportConfig, ReportFlags, ReportType, VsfArtifact, VsfPush};
@@ -81,6 +82,15 @@ pub struct ChaosConfig {
     pub wire: WireFaults,
     /// Per-agent per-TTI probability of pushing a (cached) VSF.
     pub delegation_prob: f64,
+    /// Per-TTI probability of starting a fleet-config rollout (while the
+    /// master is up and no rollout is in flight). Rollouts ride the same
+    /// faulted links as everything else, so canary pushes get corrupted,
+    /// canary agents crash mid-observation and the master dies mid-phase
+    /// — exactly what the rollout state machine must survive. `0.0`
+    /// keeps the fault stream identical to a pre-rollout schedule.
+    pub rollout_prob: f64,
+    /// KPI observation window of chaos-issued rollouts, in master TTIs.
+    pub rollout_window: u64,
     /// Bounded control-link queue capacity (0 = unbounded).
     pub queue_cap: usize,
     /// Quiesce window: TTIs after the last fault on an agent before the
@@ -117,6 +127,8 @@ impl Default for ChaosConfig {
                 insert_prob: 0.03,
             },
             delegation_prob: 0.005,
+            rollout_prob: 0.0,
+            rollout_window: 80,
             queue_cap: 64,
             grace: 250,
             inject_violation_at: None,
@@ -134,6 +146,7 @@ pub struct FaultLog {
     pub stalls: u64,
     pub wire_windows: u64,
     pub delegations: u64,
+    pub rollouts: u64,
 }
 
 /// Outcome of one chaos run. Bit-identical across replays of the same
@@ -392,6 +405,41 @@ pub fn run_chaos_instrumented(config: &ChaosConfig) -> (ChaosReport, ChaosTeleme
             }
         }
 
+        // Fleet-config rollouts under fire. Drawn after the per-agent
+        // faults so a zero probability leaves the legacy fault stream
+        // untouched. Only one rollout can be in flight; steady-state
+        // phases (idle / converged / rolled-back) accept a new apply.
+        if config.rollout_prob > 0.0 && !sim.master_down() && roll(&mut rng, config.rollout_prob) {
+            let in_flight = matches!(
+                sim.master().rollout_status().phase,
+                RolloutPhase::Draft
+                    | RolloutPhase::Canary
+                    | RolloutPhase::Fleet
+                    | RolloutPhase::RollingBack
+            );
+            if !in_flight {
+                let canary = enbs[rng.random_range(0..n)];
+                // Alternate between two local schedulers so consecutive
+                // bundles differ (distinct signatures on the wire).
+                let sched = if log.rollouts % 2 == 0 {
+                    "round-robin"
+                } else {
+                    "proportional-fair"
+                };
+                let _ = sim.master_mut().apply_config_bundle(
+                    String::new(),
+                    sched.to_string(),
+                    sched.to_string(),
+                    canary,
+                    RolloutConfig {
+                        observation_window: config.rollout_window,
+                        ..RolloutConfig::default()
+                    },
+                );
+                log.rollouts += 1;
+            }
+        }
+
         sim.step();
         oracles.check(&sim, &enbs, &disturb, &lossless);
     }
@@ -423,6 +471,7 @@ pub fn run_chaos_instrumented(config: &ChaosConfig) -> (ChaosReport, ChaosTeleme
         log.stalls,
         log.wire_windows,
         log.delegations,
+        log.rollouts,
         oracles.total,
     ] {
         fnv(&mut digest, v);

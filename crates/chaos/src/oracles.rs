@@ -29,6 +29,14 @@
 //!    exactly the shard the master's ownership map assigns it to, and
 //!    never duplicated into another shard, no matter how many
 //!    crash/restart cycles re-partitioned the sessions.
+//! 8. **budget-consistency** — the TTI deadline-budget histograms stay
+//!    internally consistent (structure only; never wall-clock values).
+//! 9. **config-provenance** — no agent ever runs a config bundle the
+//!    master never issued (every applied signature verifies against the
+//!    issued set), and once the rollout state machine rests — converged
+//!    or rolled back — every quiesced agent runs exactly the version the
+//!    machine says it should: the active version after convergence, the
+//!    last converged version after a rollback.
 //!
 //! A violation records the run seed and the exact TTI, so any failure
 //! replays bit-identically from the seed alone.
@@ -36,6 +44,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use flexran::agent::FailoverState;
+use flexran::controller::RolloutPhase;
 use flexran::harness::SimHarness;
 use flexran::proto::transport::Transport;
 use flexran::proto::MessageCategory;
@@ -83,6 +92,12 @@ pub struct Oracles {
     prev_failover: Vec<FailoverState>,
     prev_cell: Vec<BTreeMap<CellId, CellCounters>>,
     prev_harq: Vec<BTreeMap<(CellId, Rnti), (u64, u64)>>,
+    /// Every distinct config signature each agent has ever run. Config
+    /// pushes are retried after losses, so conservation is counted by
+    /// `(agent, signature)` — a set — never by frame: a retry or a
+    /// duplicated wire frame re-applying the same signed bundle is one
+    /// config, not two.
+    seen_configs: Vec<BTreeSet<u64>>,
     pub violations: Vec<Violation>,
     pub total: u64,
 }
@@ -113,6 +128,7 @@ impl Oracles {
             prev_failover: vec![FailoverState::Connected; n_enbs],
             prev_cell: vec![BTreeMap::new(); n_enbs],
             prev_harq: vec![BTreeMap::new(); n_enbs],
+            seen_configs: vec![BTreeSet::new(); n_enbs],
             violations: Vec::new(),
             total: 0,
         }
@@ -246,6 +262,9 @@ impl Oracles {
             // 5. Command conservation.
             self.check_conservation(sim, enb, now, master_down, lossless[i]);
 
+            // 9. Config provenance and resting-state landing.
+            self.check_config(sim, enb, i, now, master_down, disturb[i]);
+
             // 7. Shard ownership (the sharded single-writer discipline).
             if !master_down {
                 self.check_shard_ownership(sim, enb, now);
@@ -351,6 +370,68 @@ impl Oracles {
         }
     }
 
+    fn check_config(
+        &mut self,
+        sim: &SimHarness,
+        enb: EnbId,
+        i: usize,
+        now: u64,
+        master_down: bool,
+        disturbed: u64,
+    ) {
+        let (version, sig) = sim.agent(enb).expect("present").active_config();
+        if sig != 0 {
+            self.seen_configs[i].insert(sig);
+        }
+        if master_down {
+            return; // the issued set is unreadable while the process is down
+        }
+
+        // 9a. Provenance: every signature this agent has *ever* run was
+        // minted by the master. Membership is per (agent, signature) —
+        // a retried or wire-duplicated push re-applying the same signed
+        // bundle is one config, never two — so losses and retries can
+        // neither trip this check nor hide a fabricated bundle.
+        let issued = sim.master().issued_config_signatures();
+        let rogue: Vec<u64> = self.seen_configs[i]
+            .iter()
+            .filter(|s| !issued.contains(s))
+            .copied()
+            .collect();
+        for s in rogue {
+            self.record(
+                now,
+                "config-provenance",
+                format!("{enb}: ran config signature {s:016x} the master never issued"),
+            );
+        }
+
+        // 9b. Resting-state landing: once the rollout machine rests and
+        // the agent has been fault-free past the quiesce window, the
+        // agent must run exactly the version the machine prescribes —
+        // the rolled-out version after convergence, the last converged
+        // version after a rollback.
+        let status = sim.master().rollout_status();
+        let expected = match status.phase {
+            RolloutPhase::Converged => status.active_version,
+            RolloutPhase::RolledBack => status.last_converged,
+            _ => return, // idle or mid-flight: no landing prescribed yet
+        };
+        // A rollback with no prior converged version has nothing to
+        // land on (the documented first-rollout limitation).
+        if expected != 0 && now.saturating_sub(disturbed) > self.grace && version != expected {
+            self.record(
+                now,
+                "config-provenance",
+                format!(
+                    "{enb}: runs config v{version} {} TTIs after quiesce but the \
+                     {} rollout expects v{expected}",
+                    self.grace, status.phase
+                ),
+            );
+        }
+    }
+
     fn check_conservation(
         &mut self,
         sim: &SimHarness,
@@ -375,6 +456,12 @@ impl Oracles {
                 );
             }
         }
+        // Config pushes are deliberately NOT frame-counted here: the
+        // rollout controller re-sends a bundle until the agent
+        // advertises its signature, so tx > rx is routine and a
+        // lost-then-retried push would double-count under frame
+        // arithmetic. Config conservation is counted by (agent,
+        // signature) in the config-provenance oracle instead.
         let cmds = MessageCategory::Commands;
         let rx = transport.rx_counters().messages(cmds);
         if master_down {

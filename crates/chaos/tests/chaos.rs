@@ -108,6 +108,48 @@ fn negative_control_reproduces_seed_and_tti_exactly() {
 }
 
 #[test]
+fn rollout_scenario_survives_the_full_fault_mix() {
+    // The `rollout` fault scenario: fleet-config rollouts drawn into the
+    // standard multi-layer fault stream, so canary pushes get corrupted
+    // on the wire, canary agents crash mid-observation and the master
+    // dies (and journal-recovers) mid-phase. The config-provenance
+    // oracle checks every TTI that no agent ever runs a bundle the
+    // master never issued and that resting rollouts land every quiesced
+    // agent on the prescribed version.
+    let mut rollouts = 0;
+    let mut master_crashes = 0;
+    let mut agent_crashes = 0;
+    for seed in 0..6 {
+        let cfg = ChaosConfig {
+            rollout_prob: 0.01,
+            rollout_window: 60,
+            ttis: 2_000,
+            ..quick(seed)
+        };
+        let report = run_chaos(&cfg);
+        assert!(
+            report.pass(),
+            "seed {seed} violated invariants:\n{}",
+            report
+                .violations
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        rollouts += report.faults.rollouts;
+        master_crashes += report.faults.master_crashes;
+        agent_crashes += report.faults.agent_crashes;
+        // Replay determinism holds with the rollout stream enabled.
+        assert_eq!(run_chaos(&cfg), report, "seed {seed} must replay");
+    }
+    // The verdict must come from rollouts actually riding the faults.
+    assert!(rollouts >= 6, "only {rollouts} rollouts drawn across seeds");
+    assert!(master_crashes > 0, "no master crash hit a rollout run");
+    assert!(agent_crashes > 0, "no agent crash hit a rollout run");
+}
+
+#[test]
 fn lossless_schedule_holds_exact_command_conservation() {
     // No crashes and no wire faults: the exact conservation equation
     // (tx == rx + in-flight) is checked every single TTI, under stalls

@@ -64,6 +64,13 @@ const MAGIC: &[u8; 4] = b"FXJ1";
 /// Record tags.
 const TAG_RIB: u8 = 1;
 const TAG_REPLAY: u8 = 2;
+/// Fleet-rollout state record. Unlike the other two kinds, the payload is
+/// *not* a wire envelope but the rollout controller's own codec (see
+/// [`crate::config`]): rollout state is master intent — bundle store,
+/// history, state-machine position — and has no agent-message equivalent.
+/// Rollout records ride in the replay section, so they survive compaction
+/// exactly like delegated state does.
+const TAG_ROLLOUT: u8 = 3;
 
 /// Cap on a single journal record payload — same bound as a wire frame,
 /// for the same reason: anything larger is corruption, not data.
@@ -78,6 +85,11 @@ pub struct RibJournal {
     snapshot: Vec<u8>,
     deltas: Vec<u8>,
     replay: Vec<u8>,
+    /// Current rollout-controller state (raw [`crate::config`] codec
+    /// bytes; empty = no rollout state). Rewritten wholesale on every
+    /// rollout mutation — the state is small and self-contained, so one
+    /// current record beats an unbounded mutation log.
+    rollout: Vec<u8>,
     /// Delta records appended since the last compaction (diagnostics).
     deltas_recorded: u64,
     /// Snapshot rewrites performed (diagnostics).
@@ -132,6 +144,9 @@ pub struct RecoveredState {
     pub rib_records: Vec<JournalRecord>,
     /// Delegated-state messages per agent, in original send order.
     pub replay: BTreeMap<EnbId, Vec<FlexranMessage>>,
+    /// Rollout-controller state (raw [`crate::config`] codec bytes), if a
+    /// rollout record was journaled. Last record wins.
+    pub rollout: Option<Vec<u8>>,
 }
 
 fn parse_section(mut buf: &[u8], expect_tag: u8, out: &mut Vec<JournalRecord>) -> Result<()> {
@@ -158,6 +173,40 @@ fn parse_section(mut buf: &[u8], expect_tag: u8, out: &mut Vec<JournalRecord>) -
     Ok(())
 }
 
+/// Parse the replay section, which carries two record kinds: delegated
+/// state (`TAG_REPLAY`, wire-envelope payload) and the rollout state
+/// record (`TAG_ROLLOUT`, raw codec payload — the one record kind whose
+/// payload is not a `FlexranMessage`). Journals from before the rollout
+/// subsystem simply have no `TAG_ROLLOUT` record and recover with
+/// `rollout: None`.
+fn parse_replay_section(mut buf: &[u8], state: &mut RecoveredState) -> Result<()> {
+    while !buf.is_empty() {
+        let tag = take(&mut buf, 1)?;
+        let tag = tag.first().copied().unwrap_or(0);
+        if tag != TAG_REPLAY && tag != TAG_ROLLOUT {
+            return Err(FlexError::Codec(format!(
+                "journal record tag {tag} where {TAG_REPLAY} or {TAG_ROLLOUT} expected"
+            )));
+        }
+        let enb = EnbId(take_u32(&mut buf)?);
+        let _tti = Tti(take_u64(&mut buf)?);
+        let len = take_u32(&mut buf)? as usize;
+        if len > MAX_RECORD_BYTES {
+            return Err(FlexError::Codec(format!(
+                "journal record of {len} bytes exceeds the {MAX_RECORD_BYTES}-byte cap"
+            )));
+        }
+        let payload = take(&mut buf, len)?;
+        if tag == TAG_ROLLOUT {
+            state.rollout = Some(payload.to_vec());
+        } else {
+            let (_, msg) = FlexranMessage::decode(payload)?;
+            state.replay.entry(enb).or_default().push(msg);
+        }
+    }
+    Ok(())
+}
+
 impl RibJournal {
     pub fn new(snapshot_every: u64) -> Self {
         RibJournal {
@@ -166,6 +215,7 @@ impl RibJournal {
             snapshot: Vec::new(),
             deltas: Vec::new(),
             replay: Vec::new(),
+            rollout: Vec::new(),
             deltas_recorded: 0,
             compactions: 0,
         }
@@ -183,6 +233,15 @@ impl RibJournal {
     /// *intent*, not derivable from the RIB.
     pub fn record_replay(&mut self, enb: EnbId, msg: &FlexranMessage) {
         append_record(&mut self.replay, TAG_REPLAY, enb, Tti::ZERO, msg);
+    }
+
+    /// Journal the rollout controller's current state (raw codec bytes),
+    /// replacing any previous rollout record. Like replay records, the
+    /// rollout record is intent — not derivable from the RIB — and
+    /// survives compaction.
+    pub fn record_rollout(&mut self, state: &[u8]) {
+        self.rollout.clear();
+        self.rollout.extend_from_slice(state);
     }
 
     /// Called once per closed write cycle; rewrites the snapshot and
@@ -213,17 +272,35 @@ impl RibJournal {
                 self.record_replay(*enb, msg);
             }
         }
+        if let Some(rollout) = &state.rollout {
+            self.record_rollout(rollout);
+        }
     }
 
     /// Serialize the whole journal (what a deployment would fsync).
     pub fn bytes(&self) -> Vec<u8> {
-        let mut out =
-            Vec::with_capacity(12 + self.snapshot.len() + self.replay.len() + self.deltas.len());
+        let rollout_len = if self.rollout.is_empty() {
+            0
+        } else {
+            17 + self.rollout.len()
+        };
+        let mut out = Vec::with_capacity(
+            12 + self.snapshot.len() + self.replay.len() + rollout_len + self.deltas.len(),
+        );
         out.extend_from_slice(MAGIC);
         out.extend_from_slice(&(self.snapshot.len() as u32).to_be_bytes());
         out.extend_from_slice(&self.snapshot);
-        out.extend_from_slice(&(self.replay.len() as u32).to_be_bytes());
+        out.extend_from_slice(&((self.replay.len() + rollout_len) as u32).to_be_bytes());
         out.extend_from_slice(&self.replay);
+        if !self.rollout.is_empty() {
+            // Same record framing as every other kind, raw payload: the
+            // rollout state has no eNodeB or TTI of its own.
+            out.push(TAG_ROLLOUT);
+            out.extend_from_slice(&0u32.to_be_bytes());
+            out.extend_from_slice(&0u64.to_be_bytes());
+            out.extend_from_slice(&(self.rollout.len() as u32).to_be_bytes());
+            out.extend_from_slice(&self.rollout);
+        }
         out.extend_from_slice(&self.deltas);
         out
     }
@@ -246,17 +323,16 @@ impl RibJournal {
         let mut state = RecoveredState::default();
         parse_section(snapshot, TAG_RIB, &mut state.rib_records)?;
         parse_section(deltas, TAG_RIB, &mut state.rib_records)?;
-        let mut replay_records = Vec::new();
-        parse_section(replay, TAG_REPLAY, &mut replay_records)?;
-        for r in replay_records {
-            state.replay.entry(r.enb).or_default().push(r.msg);
-        }
+        parse_replay_section(replay, &mut state)?;
         Ok(state)
     }
 
     /// Journal heap footprint (bounded-memory assertions).
     pub fn heap_bytes(&self) -> usize {
-        self.snapshot.capacity() + self.deltas.capacity() + self.replay.capacity()
+        self.snapshot.capacity()
+            + self.deltas.capacity()
+            + self.replay.capacity()
+            + self.rollout.capacity()
     }
 
     pub fn compactions(&self) -> u64 {
@@ -282,6 +358,10 @@ fn synthesize_snapshot(rib: &Rib, out: &mut Vec<u8>) {
                 enb_id: enb,
                 n_cells: agent.n_cells,
                 capabilities: agent.capabilities.clone(),
+                // Sessions are marked down on recovery and agents
+                // re-introduce themselves, so the live signature arrives
+                // with the post-recovery Hello, not from the snapshot.
+                applied_config: 0,
             }),
         );
         for cell in agent.cells() {
@@ -467,6 +547,7 @@ mod tests {
                 enb_id: EnbId(1),
                 n_cells: 1,
                 capabilities: vec!["dl_scheduling".into()],
+                applied_config: 0,
             }),
         );
         feed(
@@ -562,6 +643,43 @@ mod tests {
         let ops = state.replay.get(&EnbId(1)).unwrap();
         assert_eq!(ops.len(), 1);
         assert_eq!(ops[0].kind(), "stats-request");
+    }
+
+    #[test]
+    fn rollout_record_roundtrips_and_survives_compaction() {
+        let mut rib = Rib::new();
+        let mut up = RibUpdater::new();
+        let mut j = RibJournal::new(1000);
+        populate(&mut rib, &mut up, &mut j);
+        j.record_rollout(b"rollout-state-v1");
+        // Also a replay record, to prove the two kinds coexist in order.
+        j.record_replay(
+            EnbId(1),
+            &FlexranMessage::StatsRequest(flexran_proto::messages::StatsRequest::default()),
+        );
+        j.compact(&rib);
+        let state = RibJournal::parse(&j.bytes()).unwrap();
+        assert_eq!(state.rollout.as_deref(), Some(&b"rollout-state-v1"[..]));
+        assert_eq!(state.replay.get(&EnbId(1)).unwrap().len(), 1);
+        // A later record replaces the earlier one (current-state semantics).
+        j.record_rollout(b"rollout-state-v2");
+        let state = RibJournal::parse(&j.bytes()).unwrap();
+        assert_eq!(state.rollout.as_deref(), Some(&b"rollout-state-v2"[..]));
+        // Seeding a fresh journal carries the record forward.
+        let mut j2 = RibJournal::new(8);
+        j2.seed_replay(&state);
+        let state2 = RibJournal::parse(&j2.bytes()).unwrap();
+        assert_eq!(state2.rollout.as_deref(), Some(&b"rollout-state-v2"[..]));
+    }
+
+    #[test]
+    fn journal_without_rollout_record_recovers_none() {
+        let mut rib = Rib::new();
+        let mut up = RibUpdater::new();
+        let mut j = RibJournal::new(1000);
+        populate(&mut rib, &mut up, &mut j);
+        let state = RibJournal::parse(&j.bytes()).unwrap();
+        assert!(state.rollout.is_none());
     }
 
     #[test]

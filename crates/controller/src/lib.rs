@@ -23,7 +23,11 @@
 //! * [`shard`] — the partitioned control plane: per-agent (groupable)
 //!   RIB shards, each with its own single-writer updater and journal
 //!   segment, plus the typed cross-shard mailbox.
+//! * [`config`] — versioned fleet configuration: the signed bundle
+//!   store and the KPI-gated canary rollout state machine with
+//!   automatic rollback (DESIGN.md §11).
 
+pub mod config;
 pub mod journal;
 pub mod master;
 pub mod northbound;
@@ -31,6 +35,10 @@ pub mod rib;
 pub mod shard;
 pub mod updater;
 
+pub use config::{
+    AgentKpi, BundleAck, ConfigBundle, FleetKpi, RolloutAction, RolloutConfig, RolloutController,
+    RolloutEvent, RolloutEventKind, RolloutPhase, RolloutStatus,
+};
 pub use journal::{RecoveredState, RibJournal};
 pub use master::{
     CycleAccounting, CycleStats, MasterController, SessionLivenessStats, TaskManagerConfig,

@@ -40,7 +40,7 @@ use std::time::{Duration, Instant};
 
 use flexran_proto::messages::delegation::VsfPush;
 use flexran_proto::messages::stats::{ReportConfig, StatsRequest};
-use flexran_proto::messages::{FlexranMessage, Header, ResyncRequest};
+use flexran_proto::messages::{ConfigBundlePush, FlexranMessage, Header, ResyncRequest};
 use flexran_proto::transport::Transport;
 use flexran_proto::MessageCategory;
 use flexran_types::budget::{BudgetStats, TtiBudget, DEFAULT_TTI_BUDGET_NS};
@@ -48,6 +48,10 @@ use flexran_types::ids::EnbId;
 use flexran_types::time::Tti;
 use flexran_types::{FlexError, Result};
 
+use crate::config::{
+    AgentKpi, BundleAck, FleetKpi, RolloutAction, RolloutConfig, RolloutController, RolloutEvent,
+    RolloutStatus,
+};
 use crate::journal::{encode_segments, split_segments, RibJournal};
 use crate::northbound::{App, AppRegistry, Northbound, RibView};
 use crate::rib::Rib;
@@ -180,6 +184,17 @@ pub struct MasterController {
     /// Deadline monitor over whole cycles (RIB slot + apps slot) against
     /// `config.tti_budget_ns`. Purely observational.
     budget: TtiBudget,
+    /// Latest journal record of the rollout controller (raw codec bytes;
+    /// empty = no rollout ever staged). Written whenever the state
+    /// machine transitions and appended to [`MasterController::journal_bytes`]
+    /// as its own final segment, so recovery resumes the rollout.
+    rollout_state: Vec<u8>,
+    /// Reusable buffers for the per-cycle rollout step (KPI samples,
+    /// drained acks, staged pushes) — the step stays heap-free in steady
+    /// state once a rollout has engaged.
+    kpi_scratch: Vec<AgentKpi>,
+    ack_scratch: Vec<BundleAck>,
+    action_scratch: Vec<RolloutAction>,
 }
 
 impl MasterController {
@@ -201,6 +216,10 @@ impl MasterController {
             cross_shard_handovers: 0,
             cycle_start: None,
             budget: TtiBudget::new(config.tti_budget_ns),
+            rollout_state: Vec::new(),
+            kpi_scratch: Vec::new(),
+            ack_scratch: Vec::new(),
+            action_scratch: Vec::new(),
         }
     }
 
@@ -268,6 +287,18 @@ impl MasterController {
                 journal.compact(&shard.rib);
             }
         }
+        // Resume the fleet rollout state machine from the last rollout
+        // record across all segments (the current incarnation writes it
+        // as its own final segment; older layouts may carry it anywhere).
+        // Observation windows are volatile and restart: the recovered
+        // machine re-opens the current phase's KPI window rather than
+        // comparing counters across process epochs.
+        if let Some(bytes) = states.iter().rev().find_map(|s| s.rollout.clone()) {
+            master
+                .nb
+                .set_rollout(RolloutController::from_bytes(&bytes)?);
+            master.rollout_state = bytes;
+        }
         Ok(master)
     }
 
@@ -278,11 +309,19 @@ impl MasterController {
         if self.config.journal_snapshot_every == 0 {
             return None;
         }
-        let segments: Vec<Vec<u8>> = self
+        let mut segments: Vec<Vec<u8>> = self
             .shards
             .iter()
             .filter_map(|s| s.journal.as_ref().map(|j| j.bytes()))
             .collect();
+        if !self.rollout_state.is_empty() {
+            // The rollout record gets its own final segment: it is
+            // fleet-wide state that belongs to no shard, and a journal
+            // written before any rollout stays byte-identical.
+            let mut j = RibJournal::new(1);
+            j.record_rollout(&self.rollout_state);
+            segments.push(j.bytes());
+        }
         Some(encode_segments(&segments))
     }
 
@@ -719,6 +758,11 @@ impl MasterController {
                     .push(CrossShardMsg::Command { enb, header, msg });
             }
         }
+        // Fleet rollout step: gated on engagement so the pre-rollout
+        // per-cycle cost is zero (and heap-free).
+        if self.nb.rollout().is_engaged() {
+            self.step_rollout(now);
+        }
         for shard in &mut self.shards {
             shard.drain_mailbox();
         }
@@ -734,6 +778,135 @@ impl MasterController {
             rib_slot,
             apps_slot,
         }
+    }
+
+    /// One write cycle's worth of fleet-rollout work: assemble the KPI
+    /// sample (ascending agent id — deterministic for every shard
+    /// layout), drain the shards' bundle acks, advance the state machine
+    /// by at most one transition, route its pushes through the owning
+    /// shards' mailboxes (drained right after, same cycle), and journal
+    /// the state whenever it transitions.
+    // lint:serial-only — reads fleet-wide state across shards; barrier only
+    fn step_rollout(&mut self, now: Tti) {
+        self.kpi_scratch.clear();
+        self.ack_scratch.clear();
+        self.action_scratch.clear();
+        let mut rejected_updates = 0;
+        for shard in &mut self.shards {
+            rejected_updates += shard.updater.rejected_updates;
+            self.ack_scratch.append(&mut shard.config_acks);
+        }
+        // `owner` iterates in ascending agent-id order; an agent known
+        // from the journal but not yet re-attached samples as down.
+        for (&enb, &idx) in &self.owner {
+            let Some(shard) = self.shards.get(idx) else {
+                continue;
+            };
+            let goodput = shard
+                .rib
+                .agent(enb)
+                .map(|a| {
+                    a.cells()
+                        .iter()
+                        .filter_map(|c| c.last_report.as_ref())
+                        .map(|r| r.dl_prbs_used_total)
+                        .sum()
+                })
+                .unwrap_or(0);
+            let session = shard.sessions.iter().find(|s| s.enb_id == Some(enb));
+            self.kpi_scratch.push(AgentKpi {
+                enb,
+                goodput,
+                down: session.map(|s| s.down).unwrap_or(true),
+                applied: session.map(|s| s.applied_config).unwrap_or(0),
+            });
+        }
+        let fleet = FleetKpi {
+            agents: &self.kpi_scratch,
+            rejected_updates,
+            // Wall-clock derived; only consulted when the (off-by-default)
+            // over-budget oracle is enabled.
+            over_budget_ttis: self.budget.stats().over_budget,
+        };
+        let mut actions = std::mem::take(&mut self.action_scratch);
+        self.nb
+            .rollout_mut()
+            .step(now, &fleet, &self.ack_scratch, &mut actions);
+        for action in actions.drain(..) {
+            let RolloutAction::Push { enb, bundle } = action;
+            let xid = self.next_xid();
+            let Some(&idx) = self.owner.get(&enb) else {
+                continue;
+            };
+            if let Some(shard) = self.shards.get_mut(idx) {
+                // lint:allow(alloc-reach) bundle push — paced, rollout-only
+                shard.mailbox.push(CrossShardMsg::Command {
+                    enb,
+                    header: Header::with_xid(xid),
+                    msg: FlexranMessage::ConfigBundlePush(ConfigBundlePush {
+                        enb_id: enb,
+                        bundle,
+                    }),
+                });
+            }
+        }
+        self.action_scratch = actions;
+        if self.nb.rollout_mut().take_dirty() {
+            // lint:allow(alloc-reach) journal write — once per state transition
+            self.rollout_state = self.nb.rollout().to_bytes();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fleet config rollout (northbound facade v3, delegated)
+    // ------------------------------------------------------------------
+
+    /// Stage a signed config bundle and start its canary-first rollout.
+    /// Returns the assigned version. Errors while a rollout is in flight.
+    pub fn apply_config_bundle(
+        &mut self,
+        policy_yaml: String,
+        vsf_key: String,
+        scheduler: String,
+        canary: EnbId,
+        cfg: RolloutConfig,
+    ) -> Result<u64> {
+        let now = self.now;
+        self.nb
+            .apply_bundle(now, policy_yaml, vsf_key, scheduler, canary, cfg)
+    }
+
+    /// Where the fleet rollout stands.
+    pub fn rollout_status(&self) -> RolloutStatus {
+        self.nb.rollout_status()
+    }
+
+    /// The journaled rollout audit trail.
+    pub fn rollout_history(&self) -> &[RolloutEvent] {
+        self.nb.rollout_history()
+    }
+
+    /// Abort the in-flight rollout, rolling back whatever was pushed.
+    pub fn abort_rollout(&mut self) -> Result<()> {
+        let now = self.now;
+        self.nb.abort_rollout(now)
+    }
+
+    /// Every bundle signature this master has ever issued. External
+    /// conservation checks (chaos oracle #9) assert no agent runs a
+    /// config outside this set.
+    pub fn issued_config_signatures(&self) -> Vec<u64> {
+        self.nb.rollout().issued_signatures()
+    }
+
+    /// The config signature agent `enb` last advertised (None = no
+    /// session has identified itself as `enb`).
+    pub fn agent_applied_config(&self, enb: EnbId) -> Option<u64> {
+        self.shards
+            .iter()
+            .flat_map(|shard| shard.sessions.iter())
+            .find(|s| s.enb_id == Some(enb))
+            .map(|s| s.applied_config)
     }
 
     /// Run one Task Manager cycle at master time `now`, serially:
@@ -823,6 +996,7 @@ mod tests {
                     enb_id: EnbId(7),
                     n_cells: 1,
                     capabilities: vec![],
+                    applied_config: 0,
                 }),
             )
             .unwrap();
@@ -859,6 +1033,7 @@ mod tests {
                         enb_id: EnbId(i),
                         n_cells: 1,
                         capabilities: vec![],
+                        applied_config: 0,
                     }),
                 )
                 .unwrap();
@@ -911,6 +1086,7 @@ mod tests {
                         enb_id: EnbId(i),
                         n_cells: 1,
                         capabilities: vec![],
+                        applied_config: 0,
                     }),
                 )
                 .unwrap();
@@ -978,6 +1154,7 @@ mod tests {
                     enb_id: EnbId(1),
                     n_cells: 1,
                     capabilities: vec![],
+                    applied_config: 0,
                 }),
             )
             .unwrap();
@@ -1013,6 +1190,7 @@ mod tests {
                     enb_id: EnbId(3),
                     n_cells: 1,
                     capabilities: vec![],
+                    applied_config: 0,
                 }),
             )
             .unwrap();
@@ -1045,7 +1223,11 @@ mod tests {
         agent_side
             .send(
                 Header::with_xid(1),
-                &FlexranMessage::Heartbeat(flexran_proto::messages::Heartbeat { seq: 4, tti: 26 }),
+                &FlexranMessage::Heartbeat(flexran_proto::messages::Heartbeat {
+                    seq: 4,
+                    tti: 26,
+                    applied_config: 0,
+                }),
             )
             .unwrap();
         master.run_cycle(Tti(26));
@@ -1085,6 +1267,7 @@ mod tests {
                     enb_id: EnbId(5),
                     n_cells: 1,
                     capabilities: vec!["dl_scheduling".into()],
+                    applied_config: 0,
                 }),
             )
             .unwrap();
@@ -1157,7 +1340,11 @@ mod tests {
         agent_side
             .send(
                 Header::with_xid(1),
-                &FlexranMessage::Heartbeat(flexran_proto::messages::Heartbeat { seq: 1, tti: 51 }),
+                &FlexranMessage::Heartbeat(flexran_proto::messages::Heartbeat {
+                    seq: 1,
+                    tti: 51,
+                    applied_config: 0,
+                }),
             )
             .unwrap();
         master.run_cycle(Tti(51));
@@ -1175,6 +1362,7 @@ mod tests {
                     enb_id: EnbId(5),
                     n_cells: 1,
                     capabilities: vec!["dl_scheduling".into()],
+                    applied_config: 0,
                 }),
             )
             .unwrap();
@@ -1213,6 +1401,7 @@ mod tests {
                     enb_id: EnbId(5),
                     n_cells: 1,
                     capabilities: vec![],
+                    applied_config: 0,
                 }),
             )
             .unwrap();
@@ -1243,6 +1432,7 @@ mod tests {
                     &FlexranMessage::Heartbeat(flexran_proto::messages::Heartbeat {
                         seq: t,
                         tti: t,
+                        applied_config: 0,
                     }),
                 )
                 .unwrap();
@@ -1266,6 +1456,7 @@ mod tests {
                     enb_id: EnbId(5),
                     n_cells: 1,
                     capabilities: vec![],
+                    applied_config: 0,
                 }),
             )
             .unwrap();
@@ -1278,6 +1469,7 @@ mod tests {
                 &FlexranMessage::Heartbeat(flexran_proto::messages::Heartbeat {
                     seq: 131,
                     tti: 131,
+                    applied_config: 0,
                 }),
             )
             .unwrap();
@@ -1310,6 +1502,7 @@ mod tests {
                         enb_id: EnbId(i),
                         n_cells: 1,
                         capabilities: vec![],
+                        applied_config: 0,
                     }),
                 )
                 .unwrap();

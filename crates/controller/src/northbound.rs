@@ -1,4 +1,5 @@
-//! The northbound API (paper §4.4), version 2: shard-transparent.
+//! The northbound API (paper §4.4), version 3: shard-transparent, with
+//! fleet config rollout.
 //!
 //! RAN applications "monitor the infrastructure through the information
 //! obtained from the RIB and apply their control decisions through the
@@ -37,6 +38,7 @@ use flexran_types::ids::{CellId, EnbId, Rnti};
 use flexran_types::time::Tti;
 use flexran_types::{FlexError, Result};
 
+use crate::config::{RolloutConfig, RolloutController, RolloutEvent, RolloutStatus};
 use crate::rib::{AgentNode, CellNode, Rib, UeNode};
 use crate::shard::RibShard;
 use crate::updater::NotifiedEvent;
@@ -118,12 +120,18 @@ pub struct Northbound {
     outbox: Vec<(EnbId, Header, FlexranMessage)>,
     guard: ConflictGuard,
     xid: u32,
+    /// Fleet config rollout: bundle store + canary state machine. Lives
+    /// here (not on any shard) because bundles and rollout decisions are
+    /// fleet-wide; the master steps it at the serial cycle barrier.
+    rollout: RolloutController,
 }
 
 impl Northbound {
     /// Facade version. v1 was the direct `RibView`/`ControlHandle`
-    /// construction API; v2 is shard-transparent and facade-minted.
-    pub const VERSION: u32 = 2;
+    /// construction API; v2 is shard-transparent and facade-minted; v3
+    /// adds the fleet config rollout API (`apply_bundle`,
+    /// `rollout_status`, `rollout_history`, `abort_rollout`).
+    pub const VERSION: u32 = 3;
 
     pub fn new() -> Self {
         Self::default()
@@ -162,6 +170,54 @@ impl Northbound {
 
     pub(crate) fn expire_claims_before(&mut self, horizon: Tti) {
         self.guard.expire_before(horizon);
+    }
+
+    // ------------------------------------------------------------------
+    // Fleet config rollout (facade v3)
+    // ------------------------------------------------------------------
+
+    /// Stage a signed config bundle and start its canary-first rollout.
+    /// Returns the version assigned to the bundle. Errors while another
+    /// rollout is in flight.
+    pub fn apply_bundle(
+        &mut self,
+        now: Tti,
+        policy_yaml: String,
+        vsf_key: String,
+        scheduler: String,
+        canary: EnbId,
+        cfg: RolloutConfig,
+    ) -> Result<u64> {
+        self.rollout
+            .apply(now, policy_yaml, vsf_key, scheduler, canary, cfg)
+    }
+
+    /// Where the rollout stands (phase, versions, canary).
+    pub fn rollout_status(&self) -> RolloutStatus {
+        self.rollout.status()
+    }
+
+    /// The journaled rollout audit trail.
+    pub fn rollout_history(&self) -> &[RolloutEvent] {
+        self.rollout.history()
+    }
+
+    /// Abort the in-flight rollout, rolling back whatever was pushed.
+    pub fn abort_rollout(&mut self, now: Tti) -> Result<()> {
+        self.rollout.abort(now)
+    }
+
+    /// The rollout state machine (the master steps it each write cycle).
+    pub(crate) fn rollout_mut(&mut self) -> &mut RolloutController {
+        &mut self.rollout
+    }
+
+    pub(crate) fn rollout(&self) -> &RolloutController {
+        &self.rollout
+    }
+
+    pub(crate) fn set_rollout(&mut self, rollout: RolloutController) {
+        self.rollout = rollout;
     }
 }
 
@@ -454,7 +510,7 @@ mod tests {
     #[test]
     fn facade_mints_handles_that_stage_and_guard() {
         let mut nb = Northbound::new();
-        assert_eq!(Northbound::VERSION, 2);
+        assert_eq!(Northbound::VERSION, 3);
         let cmd = DlSchedulingCommand {
             enb_id: EnbId(1),
             cell: 0,

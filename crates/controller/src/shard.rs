@@ -44,6 +44,7 @@ use flexran_proto::transport::Transport;
 use flexran_types::ids::EnbId;
 use flexran_types::time::Tti;
 
+use crate::config::BundleAck;
 use crate::journal::{mutates_rib, RibJournal};
 use crate::master::{SessionLivenessStats, TaskManagerConfig};
 use crate::rib::Rib;
@@ -151,6 +152,10 @@ pub(crate) struct Session {
     /// The session re-introduced itself as an agent this shard does not
     /// own; the master moves it to the owning shard at the barrier.
     pub(crate) rehome_to: Option<EnbId>,
+    /// Config-bundle signature the agent last advertised (via `Hello`,
+    /// heartbeat, or a successful bundle ack; 0 = none). The rollout
+    /// state machine reads this to detect convergence and drift.
+    pub(crate) applied_config: u64,
 }
 
 impl Session {
@@ -172,6 +177,7 @@ impl Session {
             carryover: VecDeque::new(),
             rejoin_pending: false,
             rehome_to: None,
+            applied_config: 0,
         }
     }
 
@@ -284,6 +290,9 @@ pub struct RibShard {
     pub(crate) events: Vec<TaggedEvent>,
     /// Incoming cross-shard messages (drained at the barrier).
     pub(crate) mailbox: Vec<CrossShardMsg>,
+    /// Config-bundle acks received this cycle, drained by the master's
+    /// rollout step at the barrier.
+    pub(crate) config_acks: Vec<BundleAck>,
     coordination_notices: u64,
 }
 
@@ -308,6 +317,7 @@ impl RibShard {
             liveness: SessionLivenessStats::default(),
             events: Vec::new(),
             mailbox: Vec::new(),
+            config_acks: Vec::new(),
             coordination_notices: 0,
         }
     }
@@ -364,11 +374,26 @@ impl RibShard {
                 }
                 if let FlexranMessage::Heartbeat(h) = &msg {
                     // Session-level probe: mirror it back even before the
-                    // agent has introduced itself.
+                    // agent has introduced itself. The probe doubles as
+                    // the drift signal: it carries the signature of the
+                    // config bundle the agent is actually running.
+                    session.applied_config = h.applied_config;
                     let _ = session
                         .transport
                         // lint:allow(alloc-reach) wire frame growth is pooled; ack is arrival-driven
                         .send(header, &FlexranMessage::HeartbeatAck(*h));
+                }
+                if let FlexranMessage::ConfigBundleAck(a) = &msg {
+                    if a.ok {
+                        session.applied_config = a.signature;
+                    }
+                    // lint:allow(alloc-reach) rollout ack — arrives only while a push is in flight
+                    self.config_acks.push(BundleAck {
+                        enb: a.enb_id,
+                        version: a.version,
+                        signature: a.signature,
+                        ok: a.ok,
+                    });
                 }
                 if let FlexranMessage::Hello(h) = &msg {
                     if !owns_enb(spec, index, n_shards, owned_hint, h.enb_id) {
@@ -384,6 +409,7 @@ impl RibShard {
                     }
                     session.enb_id = Some(h.enb_id);
                     session.needs_resync_nudge = false;
+                    session.applied_config = h.applied_config;
                 }
                 let Some(enb) = session.enb_id else {
                     // Pre-hello traffic carries no identity; it is not

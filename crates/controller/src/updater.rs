@@ -186,6 +186,7 @@ mod tests {
             enb_id: EnbId(1),
             n_cells: 1,
             capabilities: vec!["dl_scheduling".into()],
+            applied_config: 0,
         })
     }
 

@@ -82,6 +82,7 @@ fn hostile_message() -> impl Strategy<Value = FlexranMessage> {
                 enb_id: EnbId(id % 5),
                 n_cells: n,
                 capabilities: vec!["dl_scheduling".into()],
+                applied_config: 0,
             })
         }),
         (

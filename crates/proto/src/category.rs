@@ -27,10 +27,13 @@ pub enum MessageCategory {
     Events,
     /// Session liveness probes: heartbeats and echo RTT measurements.
     Liveness,
+    /// Fleet configuration rollout: versioned bundle pushes and their
+    /// signed acks.
+    Config,
 }
 
 impl MessageCategory {
-    pub const ALL: [MessageCategory; 7] = [
+    pub const ALL: [MessageCategory; 8] = [
         MessageCategory::AgentManagement,
         MessageCategory::Sync,
         MessageCategory::StatsReporting,
@@ -38,6 +41,7 @@ impl MessageCategory {
         MessageCategory::Delegation,
         MessageCategory::Events,
         MessageCategory::Liveness,
+        MessageCategory::Config,
     ];
 
     /// Whether messages of this category may be shed when a bounded
@@ -59,6 +63,7 @@ impl MessageCategory {
             MessageCategory::Delegation => 4,
             MessageCategory::Events => 5,
             MessageCategory::Liveness => 6,
+            MessageCategory::Config => 7,
         }
     }
 }
@@ -73,6 +78,7 @@ impl fmt::Display for MessageCategory {
             MessageCategory::Delegation => "control-delegation",
             MessageCategory::Events => "event-notifications",
             MessageCategory::Liveness => "liveness",
+            MessageCategory::Config => "config-rollout",
         };
         f.write_str(s)
     }
@@ -81,8 +87,8 @@ impl fmt::Display for MessageCategory {
 /// Per-category byte and message counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ByteCounters {
-    bytes: [u64; 7],
-    messages: [u64; 7],
+    bytes: [u64; 8],
+    messages: [u64; 8],
 }
 
 impl ByteCounters {
@@ -93,19 +99,19 @@ impl ByteCounters {
     /// Record one serialized message of `bytes` (wire size incl. framing).
     pub fn add(&mut self, cat: MessageCategory, bytes: u64) {
         let i = cat.index();
-        // lint:allow(panic) — `index()` < 7, proven by the bijection test.
+        // lint:allow(panic) — `index()` < 8, proven by the bijection test.
         self.bytes[i] += bytes;
         // lint:allow(panic) — as above.
         self.messages[i] += 1;
     }
 
     pub fn bytes(&self, cat: MessageCategory) -> u64 {
-        // lint:allow(panic) — `index()` < 7, proven by the bijection test.
+        // lint:allow(panic) — `index()` < 8, proven by the bijection test.
         self.bytes[cat.index()]
     }
 
     pub fn messages(&self, cat: MessageCategory) -> u64 {
-        // lint:allow(panic) — `index()` < 7, proven by the bijection test.
+        // lint:allow(panic) — `index()` < 8, proven by the bijection test.
         self.messages[cat.index()]
     }
 
@@ -203,7 +209,7 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         for cat in MessageCategory::ALL {
             assert!(seen.insert(cat.index()));
-            assert!(cat.index() < 7);
+            assert!(cat.index() < 8);
         }
     }
 }

@@ -258,10 +258,172 @@ impl ConfigReply {
     }
 }
 
+/// A versioned fleet configuration bundle: everything one agent needs to
+/// run a given control-plane configuration — the policy document, the VSF
+/// to select, and the scheduler behaviour to activate — signed by the
+/// master so agents can verify provenance before applying (§4.3.1's
+/// code-signing requirement extended to whole configurations).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ConfigBundlePb {
+    /// Monotonic fleet-wide version issued by the rollout controller.
+    pub version: u64,
+    /// Policy reconfiguration document (the Fig. 3 YAML subset).
+    pub policy_yaml: String,
+    /// VSF registry key to (re)install before activating, empty = none.
+    pub vsf_key: String,
+    /// DL scheduler behaviour to activate, empty = keep current.
+    pub scheduler: String,
+    /// Keyed FNV-1a over (version, policy, vsf, scheduler).
+    pub signature: u64,
+}
+
+impl ConfigBundlePb {
+    /// Build a bundle and sign it (the master is the signing authority;
+    /// the shared-constant key is the model's stand-in for PKI, matching
+    /// the VSF push signing scheme).
+    pub fn signed(version: u64, policy_yaml: String, vsf_key: String, scheduler: String) -> Self {
+        let mut b = ConfigBundlePb {
+            version,
+            policy_yaml,
+            vsf_key,
+            scheduler,
+            signature: 0,
+        };
+        b.signature = b.compute_signature();
+        b
+    }
+
+    /// The keyed FNV-1a signature over (version, policy, vsf, scheduler).
+    pub fn compute_signature(&self) -> u64 {
+        const SIGNING_KEY: u64 = 0x46_4C_45_58_52_41_4E_21;
+        let mut h = SIGNING_KEY ^ 0xcbf29ce484222325;
+        let mut feed = |data: &[u8]| {
+            for b in data {
+                h ^= *b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+        };
+        feed(&self.version.to_be_bytes());
+        feed(self.policy_yaml.as_bytes());
+        feed(&[0]);
+        feed(self.vsf_key.as_bytes());
+        feed(&[0]);
+        feed(self.scheduler.as_bytes());
+        h
+    }
+
+    /// Whether the carried signature matches the content. Agents refuse
+    /// to apply a bundle that fails this check.
+    pub fn verify(&self) -> bool {
+        self.signature != 0 && self.signature == self.compute_signature()
+    }
+
+    pub(crate) fn encode(&self, w: &mut WireWriter) {
+        w.uint(1, self.version);
+        w.string(2, &self.policy_yaml);
+        w.string(3, &self.vsf_key);
+        w.string(4, &self.scheduler);
+        w.uint(5, self.signature);
+    }
+
+    pub(crate) fn decode(data: &[u8]) -> Result<ConfigBundlePb> {
+        let mut m = ConfigBundlePb::default();
+        let mut r = WireReader::new(data);
+        while let Some((f, v)) = r.next_field()? {
+            match f {
+                1 => m.version = v.as_u64()?,
+                2 => m.policy_yaml = v.as_str()?.to_string(),
+                3 => m.vsf_key = v.as_str()?.to_string(),
+                4 => m.scheduler = v.as_str()?.to_string(),
+                5 => m.signature = v.as_u64()?,
+                _ => {}
+            }
+        }
+        Ok(m)
+    }
+}
+
+/// Master → agent: apply this configuration bundle transactionally.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ConfigBundlePush {
+    pub enb_id: EnbId,
+    pub bundle: ConfigBundlePb,
+}
+
+impl ConfigBundlePush {
+    pub(crate) fn encode(&self, w: &mut WireWriter) {
+        w.uint(1, self.enb_id.0 as u64);
+        w.message(2, |m| self.bundle.encode(m));
+    }
+
+    pub(crate) fn decode(data: &[u8]) -> Result<ConfigBundlePush> {
+        let mut m = ConfigBundlePush::default();
+        let mut r = WireReader::new(data);
+        while let Some((f, v)) = r.next_field()? {
+            match f {
+                1 => m.enb_id = EnbId(v.as_u32()?),
+                2 => m.bundle = ConfigBundlePb::decode(v.as_bytes()?)?,
+                _ => {}
+            }
+        }
+        Ok(m)
+    }
+}
+
+/// Agent → master: outcome of a bundle apply. Carries the signature back
+/// so the master can attribute the ack to the exact bundle it pushed
+/// (retried pushes after a shed frame dedupe on (agent, signature)).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ConfigBundleAck {
+    pub enb_id: EnbId,
+    pub version: u64,
+    pub signature: u64,
+    pub ok: bool,
+    pub error: String,
+}
+
+impl ConfigBundleAck {
+    pub(crate) fn encode(&self, w: &mut WireWriter) {
+        w.uint(1, self.enb_id.0 as u64);
+        w.uint(2, self.version);
+        w.uint(3, self.signature);
+        w.uint(4, self.ok as u64);
+        w.string(5, &self.error);
+    }
+
+    pub(crate) fn decode(data: &[u8]) -> Result<ConfigBundleAck> {
+        let mut m = ConfigBundleAck::default();
+        let mut r = WireReader::new(data);
+        while let Some((f, v)) = r.next_field()? {
+            match f {
+                1 => m.enb_id = EnbId(v.as_u32()?),
+                2 => m.version = v.as_u64()?,
+                3 => m.signature = v.as_u64()?,
+                4 => m.ok = v.as_u64()? != 0,
+                5 => m.error = v.as_str()?.to_string(),
+                _ => {}
+            }
+        }
+        Ok(m)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::messages::{FlexranMessage, Header};
+
+    #[test]
+    fn bundle_signing_detects_tampering() {
+        let b = ConfigBundlePb::signed(3, "mac:\n".into(), "max-cqi".into(), "max-cqi".into());
+        assert!(b.verify());
+        let mut tampered = b.clone();
+        tampered.scheduler = "round-robin".into();
+        assert!(!tampered.verify());
+        let mut unsigned = ConfigBundlePb::signed(3, String::new(), String::new(), String::new());
+        unsigned.signature = 0;
+        assert!(!unsigned.verify(), "unsigned bundles never verify");
+    }
 
     #[test]
     fn cell_config_roundtrips_through_wire_and_types() {

@@ -28,7 +28,7 @@ use crate::wire::{crc32, WireReader, WireWriter};
 pub use commands::{
     AbsCommand, DlSchedulingCommand, DrxCommand, HandoverCommand, ScellCommand, UlSchedulingCommand,
 };
-pub use config::{ConfigReply, ConfigRequest};
+pub use config::{ConfigBundleAck, ConfigBundlePb, ConfigBundlePush, ConfigReply, ConfigRequest};
 pub use delegation::{DelegationAck, PolicyReconfiguration, VsfArtifact, VsfPush};
 pub use events::{EventNotification, SubframeTrigger};
 pub use stats::{
@@ -90,6 +90,11 @@ pub struct Hello {
     pub n_cells: u32,
     /// Capability strings (e.g. `"dl_scheduling"`, `"vsf_dsl"`).
     pub capabilities: Vec<String>,
+    /// Signature of the config bundle the agent is running (0 = none).
+    /// Lets the master detect drift the moment a restarted agent
+    /// re-introduces itself. Skip-if-zero keeps pre-rollout envelopes
+    /// byte-identical.
+    pub applied_config: u64,
 }
 
 impl Hello {
@@ -99,6 +104,7 @@ impl Hello {
         for c in &self.capabilities {
             w.string(3, c);
         }
+        w.uint(4, self.applied_config);
     }
 
     fn decode(data: &[u8]) -> Result<Hello> {
@@ -109,6 +115,7 @@ impl Hello {
                 1 => m.enb_id = EnbId(v.as_u32()?),
                 2 => m.n_cells = v.as_u32()?,
                 3 => m.capabilities.push(v.as_str()?.to_string()),
+                4 => m.applied_config = v.as_u64()?,
                 _ => {}
             }
         }
@@ -154,12 +161,19 @@ pub struct Heartbeat {
     pub seq: u64,
     /// Sender's current TTI when the probe/ack was emitted.
     pub tti: u64,
+    /// Signature of the config bundle the agent is running (0 = none;
+    /// always 0 on master-originated probes). Piggybacking on the
+    /// heartbeat gives the rollout controller a continuous drift signal
+    /// without new periodic traffic; skip-if-zero keeps pre-rollout
+    /// probes byte-identical.
+    pub applied_config: u64,
 }
 
 impl Heartbeat {
     fn encode(&self, w: &mut WireWriter) {
         w.uint(1, self.seq);
         w.uint(2, self.tti);
+        w.uint(3, self.applied_config);
     }
 
     fn decode(data: &[u8]) -> Result<Heartbeat> {
@@ -169,6 +183,7 @@ impl Heartbeat {
             match f {
                 1 => m.seq = v.as_u64()?,
                 2 => m.tti = v.as_u64()?,
+                3 => m.applied_config = v.as_u64()?,
                 _ => {}
             }
         }
@@ -234,6 +249,8 @@ pub enum FlexranMessage {
     PolicyReconfiguration(PolicyReconfiguration),
     DelegationAck(DelegationAck),
     ResyncRequest(ResyncRequest),
+    ConfigBundlePush(ConfigBundlePush),
+    ConfigBundleAck(ConfigBundleAck),
 }
 
 /// Envelope field numbers (protobuf `oneof` style).
@@ -272,6 +289,8 @@ const F_SCELL: u32 = 27;
 const F_HEARTBEAT: u32 = 28;
 const F_HEARTBEAT_ACK: u32 = 29;
 const F_RESYNC_REQ: u32 = 30;
+const F_CONFIG_BUNDLE_PUSH: u32 = 31;
+const F_CONFIG_BUNDLE_ACK: u32 = 32;
 
 impl FlexranMessage {
     /// Serialize with the given header. The result is protobuf-wire
@@ -310,6 +329,8 @@ impl FlexranMessage {
             FlexranMessage::PolicyReconfiguration(b) => w.message(F_POLICY, |m| b.encode(m)),
             FlexranMessage::DelegationAck(b) => w.message(F_DELEG_ACK, |m| b.encode(m)),
             FlexranMessage::ResyncRequest(b) => w.message(F_RESYNC_REQ, |m| b.encode(m)),
+            FlexranMessage::ConfigBundlePush(b) => w.message(F_CONFIG_BUNDLE_PUSH, |m| b.encode(m)),
+            FlexranMessage::ConfigBundleAck(b) => w.message(F_CONFIG_BUNDLE_ACK, |m| b.encode(m)),
         }
         let crc = crc32(w.as_slice());
         w.fixed32_always(F_INTEGRITY, crc);
@@ -441,6 +462,16 @@ impl FlexranMessage {
                         v.as_bytes()?,
                     )?))
                 }
+                F_CONFIG_BUNDLE_PUSH => {
+                    body = Some(FlexranMessage::ConfigBundlePush(ConfigBundlePush::decode(
+                        v.as_bytes()?,
+                    )?))
+                }
+                F_CONFIG_BUNDLE_ACK => {
+                    body = Some(FlexranMessage::ConfigBundleAck(ConfigBundleAck::decode(
+                        v.as_bytes()?,
+                    )?))
+                }
                 other => return Err(FlexError::Codec(format!("unknown envelope field {other}"))),
             }
         }
@@ -473,6 +504,9 @@ impl FlexranMessage {
             FlexranMessage::VsfPush(_)
             | FlexranMessage::PolicyReconfiguration(_)
             | FlexranMessage::DelegationAck(_) => MessageCategory::Delegation,
+            FlexranMessage::ConfigBundlePush(_) | FlexranMessage::ConfigBundleAck(_) => {
+                MessageCategory::Config
+            }
         }
     }
 
@@ -500,6 +534,8 @@ impl FlexranMessage {
             FlexranMessage::PolicyReconfiguration(_) => "policy-reconfiguration",
             FlexranMessage::DelegationAck(_) => "delegation-ack",
             FlexranMessage::ResyncRequest(_) => "resync-request",
+            FlexranMessage::ConfigBundlePush(_) => "config-bundle-push",
+            FlexranMessage::ConfigBundleAck(_) => "config-bundle-ack",
         }
     }
 }
@@ -515,6 +551,7 @@ mod tests {
             enb_id: EnbId(7),
             n_cells: 2,
             capabilities: vec!["dl_scheduling".into(), "vsf_dsl".into()],
+            applied_config: 0,
         });
         let bytes = msg.encode(Header::with_xid(99));
         let (h, got) = FlexranMessage::decode(&bytes).unwrap();
@@ -567,6 +604,7 @@ mod tests {
             enb_id: EnbId(7),
             n_cells: 2,
             capabilities: vec!["dl_scheduling".into()],
+            applied_config: 0,
         });
         let bytes = msg.encode(Header::with_xid(9)).to_vec();
         // Flip each bit of the envelope in turn — body, trailer key and
@@ -683,7 +721,11 @@ mod tests {
 
     #[test]
     fn heartbeat_roundtrip_and_size() {
-        let msg = FlexranMessage::Heartbeat(Heartbeat { seq: 42, tti: 9001 });
+        let msg = FlexranMessage::Heartbeat(Heartbeat {
+            seq: 42,
+            tti: 9001,
+            applied_config: 0,
+        });
         let bytes = msg.encode(Header::with_xid(7));
         let (h, got) = FlexranMessage::decode(&bytes).unwrap();
         assert_eq!(h.xid, 7);
@@ -691,7 +733,11 @@ mod tests {
         // Liveness probes ride the control channel every heartbeat period;
         // they must stay tiny so Fig. 7's overhead accounting is honest.
         assert!(bytes.len() <= 24, "heartbeat is {} bytes", bytes.len());
-        let ack = FlexranMessage::HeartbeatAck(Heartbeat { seq: 42, tti: 9001 });
+        let ack = FlexranMessage::HeartbeatAck(Heartbeat {
+            seq: 42,
+            tti: 9001,
+            applied_config: 0,
+        });
         let (_, got) = FlexranMessage::decode(&ack.encode(Header::with_xid(8))).unwrap();
         assert_eq!(got, ack);
     }

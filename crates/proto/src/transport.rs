@@ -504,6 +504,7 @@ mod tests {
             enb_id: EnbId(n),
             n_cells: 1,
             capabilities: vec![],
+            applied_config: 0,
         })
     }
 

@@ -16,8 +16,8 @@
 use flexran_proto::messages::commands::DciPb;
 use flexran_proto::messages::events::EventKind;
 use flexran_proto::messages::{
-    CellReport, DlSchedulingCommand, EventNotification, FlexranMessage, Header, Hello,
-    ResyncRequest, StatsReply, UeReport,
+    CellReport, ConfigBundleAck, ConfigBundlePb, ConfigBundlePush, DlSchedulingCommand,
+    EventNotification, FlexranMessage, Header, Hello, ResyncRequest, StatsReply, UeReport,
 };
 use flexran_types::ids::EnbId;
 
@@ -45,11 +45,53 @@ fn hello_snapshot() {
         enb_id: EnbId(42),
         n_cells: 2,
         capabilities: vec!["dl_scheduling".into(), "handover".into()],
+        applied_config: 0,
+    });
+    roundtrip(&msg);
+    // `applied_config` (field 4) is skip-if-zero, so a pre-rollout Hello
+    // still encodes to the historical bytes.
+    assert_eq!(
+        snapshot(&msg),
+        "0a0408011007521d082a10021a0d646c5f7363686564756c696e671a0868616e646f766572151cc70442"
+    );
+}
+
+#[test]
+fn config_bundle_push_snapshot() {
+    // Added for the fleet config rollout: envelope field 31. New message —
+    // existing field numbers are untouched.
+    let msg = FlexranMessage::ConfigBundlePush(ConfigBundlePush {
+        enb_id: EnbId(4),
+        bundle: ConfigBundlePb {
+            version: 3,
+            policy_yaml: "mac:\n".into(),
+            vsf_key: "max-cqi".into(),
+            scheduler: "max-cqi".into(),
+            signature: 0x1122334455667788,
+        },
     });
     roundtrip(&msg);
     assert_eq!(
         snapshot(&msg),
-        "0a0408011007521d082a10021a0d646c5f7363686564756c696e671a0868616e646f766572151cc70442"
+        "0a0408011007fa012908041225080312056d61633a0a1a076d61782d6371692207\
+         6d61782d6371692888ef99abc5e88c9111150cbefe2f"
+    );
+}
+
+#[test]
+fn config_bundle_ack_snapshot() {
+    // Added for the fleet config rollout: envelope field 32.
+    let msg = FlexranMessage::ConfigBundleAck(ConfigBundleAck {
+        enb_id: EnbId(4),
+        version: 3,
+        signature: 0x1122334455667788,
+        ok: true,
+        error: String::new(),
+    });
+    roundtrip(&msg);
+    assert_eq!(
+        snapshot(&msg),
+        "0a0408011007820210080410031888ef99abc5e88c91112001150b09d325"
     );
 }
 

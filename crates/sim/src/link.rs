@@ -87,9 +87,9 @@ struct FaultState {
     rng: StdRng,
     dropped: u64,
     delivered: u64,
-    dropped_by_cat: [u64; 7],
-    corrupted_by_cat: [u64; 7],
-    duplicated_by_cat: [u64; 7],
+    dropped_by_cat: [u64; 8],
+    corrupted_by_cat: [u64; 8],
+    duplicated_by_cat: [u64; 8],
     injected: u64,
 }
 
@@ -213,9 +213,9 @@ impl FaultHandle {
             rng: StdRng::seed_from_u64(seed ^ 0xFA_17),
             dropped: 0,
             delivered: 0,
-            dropped_by_cat: [0; 7],
-            corrupted_by_cat: [0; 7],
-            duplicated_by_cat: [0; 7],
+            dropped_by_cat: [0; 8],
+            corrupted_by_cat: [0; 8],
+            duplicated_by_cat: [0; 8],
             injected: 0,
         })))
     }
@@ -352,7 +352,7 @@ struct Direction {
     /// wire-level mangling).
     faults: Option<FaultHandle>,
     /// Messages removed by the bounded-queue shedder, per category.
-    shed_by_cat: [u64; 7],
+    shed_by_cat: [u64; 8],
 }
 
 impl Direction {
@@ -364,7 +364,7 @@ impl Direction {
             last_arrival: Tti::ZERO,
             rng: StdRng::seed_from_u64(config.seed),
             faults: None,
-            shed_by_cat: [0; 7],
+            shed_by_cat: [0; 8],
         }
     }
 
@@ -632,6 +632,7 @@ mod tests {
             enb_id: EnbId(n),
             n_cells: 1,
             capabilities: vec![],
+            applied_config: 0,
         })
     }
 
@@ -969,7 +970,11 @@ mod tests {
             enb_id: EnbId(1),
             ..StatsReply::default()
         });
-        let beat = FlexranMessage::Heartbeat(flexran_proto::messages::Heartbeat { seq: 1, tti: 0 });
+        let beat = FlexranMessage::Heartbeat(flexran_proto::messages::Heartbeat {
+            seq: 1,
+            tti: 0,
+            applied_config: 0,
+        });
         for i in 0..6u32 {
             a.send(Header::with_xid(i), &stats).unwrap();
         }

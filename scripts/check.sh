@@ -34,6 +34,10 @@ echo "==> allocation-regression gate (2 eNBs x 32 UEs, committed ceiling: 0 allo
 cargo run --quiet --release -p flexran-bench --bin experiments -- \
     allocgate --out target/check-allocgate
 
+echo "==> rollout smoke gate (8 agents, 1 canary, forced regression -> rollback, 2000 TTIs)"
+cargo run --quiet --release -p flexran-bench --bin experiments -- \
+    rollout --out target/check-rollout
+
 echo "==> chaos campaign gate (8 seeds x 2000 TTIs, unsharded + 4-shard, parallel)"
 # One campaign covers what used to be two sequential experiment runs:
 # every seed under both the single-shard and the 4-shard master, fanned

@@ -1,0 +1,255 @@
+//! Integration tests for the versioned fleet-config rollout (DESIGN.md
+//! §11): KPI-gated canary-first convergence, automatic rollback on a
+//! goodput regression, drift re-convergence after an agent rejoin, and
+//! the master resuming a mid-flight rollout from its journal.
+
+use flexran::agent::{AgentConfig, LivenessConfig};
+use flexran::controller::{RolloutConfig, RolloutEventKind, RolloutPhase};
+use flexran::harness::{SimConfig, SimHarness, UeRadioSpec};
+use flexran::prelude::*;
+use flexran::sim::traffic::CbrSource;
+
+fn liveness_agent_config() -> AgentConfig {
+    AgentConfig {
+        sync_period: 1,
+        liveness: LivenessConfig {
+            heartbeat_period: 5,
+            liveness_timeout: 40,
+            ..LivenessConfig::default()
+        },
+        ..AgentConfig::default()
+    }
+}
+
+fn journaled_master() -> TaskManagerConfig {
+    TaskManagerConfig {
+        liveness_timeout: 40,
+        journal_snapshot_every: 8,
+        ..TaskManagerConfig::default()
+    }
+}
+
+fn subscribe_all(sim: &mut SimHarness, enb: EnbId, period: u32) {
+    sim.master_mut()
+        .request_stats(
+            enb,
+            flexran::proto::ReportConfig {
+                report_type: flexran::proto::ReportType::Periodic { period },
+                flags: flexran::proto::ReportFlags::ALL,
+            },
+        )
+        .expect("session exists");
+}
+
+/// A fleet of `n` single-cell eNodeBs, one loaded UE each, with periodic
+/// stats subscriptions so the master's RIB carries live goodput.
+fn fleet(n: u32, master: TaskManagerConfig) -> (SimHarness, Vec<UeId>) {
+    let cfg = SimConfig {
+        master,
+        ..SimConfig::default()
+    };
+    let mut sim = SimHarness::new(cfg);
+    let mut ues = Vec::new();
+    for i in 1..=n {
+        let enb = sim.add_enb(EnbConfig::single_cell(EnbId(i)), liveness_agent_config());
+        let ue = sim.add_ue(enb, CellId(0), SliceId::MNO, 0, UeRadioSpec::FixedCqi(12));
+        sim.set_dl_traffic(ue, Box::new(CbrSource::new(BitRate::from_mbps(2))));
+        ues.push(ue);
+    }
+    sim.run(5);
+    for i in 1..=n {
+        subscribe_all(&mut sim, EnbId(i), 10);
+    }
+    sim.run(100); // let traffic and reports settle before any baseline
+    (sim, ues)
+}
+
+fn quick_windows() -> RolloutConfig {
+    RolloutConfig {
+        observation_window: 50,
+        ..RolloutConfig::default()
+    }
+}
+
+/// Push a bundle selecting `scheduler` fleet-wide, canary-first, and run
+/// the sim until the rollout leaves its in-flight phases.
+fn rollout(sim: &mut SimHarness, scheduler: &str, canary: EnbId) -> u64 {
+    let version = sim
+        .master_mut()
+        .apply_config_bundle(
+            String::new(),
+            scheduler.to_string(),
+            scheduler.to_string(),
+            canary,
+            quick_windows(),
+        )
+        .expect("no rollout in flight");
+    sim.run(600);
+    version
+}
+
+#[test]
+fn canary_pass_converges_the_fleet() {
+    let (mut sim, _ues) = fleet(3, journaled_master());
+    let version = rollout(&mut sim, "max-cqi", EnbId(1));
+
+    let status = sim.master().rollout_status();
+    assert_eq!(status.phase, RolloutPhase::Converged, "{status:?}");
+    assert_eq!(status.last_converged, version);
+
+    // Every agent runs the bundle it was issued, and says so over the
+    // control channel (heartbeat-advertised signature in the master's
+    // session table).
+    let issued = sim.master().issued_config_signatures();
+    let sig = sim.agent(EnbId(1)).unwrap().active_config().1;
+    assert!(sig != 0 && issued.contains(&sig));
+    for i in 1..=3u32 {
+        assert_eq!(
+            sim.agent(EnbId(i)).unwrap().active_config(),
+            (version, sig),
+            "agent {i} applied the rolled-out bundle"
+        );
+        assert_eq!(
+            sim.master().agent_applied_config(EnbId(i)),
+            Some(sig),
+            "agent {i} advertised the signature back to the master"
+        );
+    }
+
+    // Canary-first ordering is journaled: the canary applied before the
+    // fleet was ever pushed.
+    let history = sim.master().rollout_history();
+    let canary_ok = history
+        .iter()
+        .position(|e| e.kind == RolloutEventKind::CanaryApplied)
+        .expect("canary gate recorded");
+    let fleet_push = history
+        .iter()
+        .position(|e| e.kind == RolloutEventKind::FleetPushed)
+        .expect("fleet push recorded");
+    assert!(canary_ok < fleet_push, "canary gated the fleet push");
+}
+
+#[test]
+fn goodput_regression_rolls_the_fleet_back() {
+    let (mut sim, ues) = fleet(3, journaled_master());
+    let v1 = rollout(&mut sim, "max-cqi", EnbId(1));
+    assert_eq!(sim.master().rollout_status().phase, RolloutPhase::Converged);
+    let v1_sig = sim.agent(EnbId(1)).unwrap().active_config().1;
+
+    // "remote-stub" disables local DL scheduling; with no delegation app
+    // attached the canary's goodput collapses inside one window.
+    let v2 = rollout(&mut sim, "remote-stub", EnbId(2));
+    let status = sim.master().rollout_status();
+    assert_eq!(status.phase, RolloutPhase::RolledBack, "{status:?}");
+    assert_eq!(status.last_converged, v1, "rollback target is v1");
+
+    // The regression never escaped the canary, and every agent is back
+    // on the last converged bundle.
+    let history = sim.master().rollout_history();
+    assert!(
+        history
+            .iter()
+            .any(|e| e.kind == RolloutEventKind::Regression && e.version == v2),
+        "regression journaled"
+    );
+    assert!(
+        !history
+            .iter()
+            .any(|e| e.kind == RolloutEventKind::FleetPushed && e.version == v2),
+        "v2 was never pushed past the canary"
+    );
+    for i in 1..=3u32 {
+        assert_eq!(
+            sim.agent(EnbId(i)).unwrap().active_config(),
+            (v1, v1_sig),
+            "agent {i} runs the last converged bundle"
+        );
+    }
+
+    // The fleet kept its data plane: traffic still flows on v1.
+    let before: u64 = ues
+        .iter()
+        .map(|&ue| sim.ue_stats(ue).map_or(0, |s| s.dl_delivered_bits))
+        .sum();
+    sim.run(200);
+    let after: u64 = ues
+        .iter()
+        .map(|&ue| sim.ue_stats(ue).map_or(0, |s| s.dl_delivered_bits))
+        .sum();
+    assert!(after > before, "goodput resumed after rollback");
+}
+
+#[test]
+fn rejoining_agent_is_repushed_to_the_converged_config() {
+    let (mut sim, _ues) = fleet(2, journaled_master());
+    let v1 = rollout(&mut sim, "proportional-fair", EnbId(1));
+    assert_eq!(sim.master().rollout_status().phase, RolloutPhase::Converged);
+    let sig = sim.agent(EnbId(1)).unwrap().active_config().1;
+
+    // Crash-restart wipes the agent's soft state, config included; on
+    // rejoin it advertises signature 0 and the master detects drift.
+    sim.crash_agent(EnbId(2)).unwrap();
+    assert_eq!(sim.agent(EnbId(2)).unwrap().active_config(), (0, 0));
+
+    sim.run(400);
+    assert_eq!(
+        sim.agent(EnbId(2)).unwrap().active_config(),
+        (v1, sig),
+        "drift re-push re-converged the rejoined agent"
+    );
+    assert_eq!(sim.master().agent_applied_config(EnbId(2)), Some(sig));
+    assert_eq!(sim.master().rollout_status().phase, RolloutPhase::Converged);
+}
+
+#[test]
+fn master_crash_mid_rollout_resumes_from_the_journal() {
+    let (mut sim, _ues) = fleet(3, journaled_master());
+    let version = sim
+        .master_mut()
+        .apply_config_bundle(
+            String::new(),
+            "max-cqi".to_string(),
+            "max-cqi".to_string(),
+            EnbId(1),
+            quick_windows(),
+        )
+        .expect("no rollout in flight");
+
+    // Step until the rollout is demonstrably mid-flight, then crash the
+    // master before any gate has passed fleet-wide.
+    let mut phase = RolloutPhase::Draft;
+    for _ in 0..40 {
+        sim.run(5);
+        phase = sim.master().rollout_status().phase;
+        if phase == RolloutPhase::Canary {
+            break;
+        }
+    }
+    assert_eq!(phase, RolloutPhase::Canary, "crash lands mid-canary");
+
+    sim.kill_master();
+    sim.run(50); // agents ride out the outage in local control
+    sim.restart_master().expect("journal recovery");
+
+    let recovered = sim.master().rollout_status();
+    assert_eq!(
+        recovered.active_version, version,
+        "recovered master still owns the rollout"
+    );
+    assert!(
+        recovered.phase == RolloutPhase::Canary,
+        "state machine resumed where the journal left it: {recovered:?}"
+    );
+
+    // Agents rejoin, observation windows re-open, and the rollout runs
+    // to convergence under the restarted master.
+    sim.run(800);
+    let status = sim.master().rollout_status();
+    assert_eq!(status.phase, RolloutPhase::Converged, "{status:?}");
+    let sig = sim.agent(EnbId(1)).unwrap().active_config().1;
+    for i in 1..=3u32 {
+        assert_eq!(sim.agent(EnbId(i)).unwrap().active_config(), (version, sig));
+        assert_eq!(sim.master().agent_applied_config(EnbId(i)), Some(sig));
+    }
+}
